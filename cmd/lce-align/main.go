@@ -1,0 +1,46 @@
+// Command lce-align runs the automated alignment loop for a service:
+// synthesize a (noisy) emulator from documentation, then iteratively
+// diff it against the cloud oracle on symbolically derived traces and
+// repair the divergences:
+//
+//	lce-align -service ec2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lce"
+)
+
+func main() {
+	service := flag.String("service", "ec2", "service to align: ec2 | dynamodb | network-firewall | azure-network")
+	flag.Parse()
+
+	res, err := lce.AlignWithCloud(*service, lce.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lce-align:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("alignment of %s:\n", *service)
+	for _, r := range res.Rounds {
+		fmt.Printf("  round %d: %d/%d traces aligned", r.Round, r.Aligned, r.Total)
+		if len(r.Repairs) > 0 {
+			fmt.Printf("; repairs:")
+			for _, rep := range r.Repairs {
+				fmt.Printf(" [%s %s]", rep.Kind, rep.Target)
+			}
+		}
+		fmt.Println()
+		for _, d := range r.Divergence {
+			fmt.Printf("    divergence: %s (%s): %s\n", d.Action, d.Kind, d.Detail)
+		}
+	}
+	if res.Converged {
+		fmt.Println("converged: the emulator is behaviourally aligned with the cloud")
+	} else {
+		fmt.Println("did NOT converge; residual divergences remain")
+		os.Exit(2)
+	}
+}

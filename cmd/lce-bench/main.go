@@ -1,0 +1,116 @@
+// Command lce-bench regenerates the paper's tables and figures and
+// prints them:
+//
+//	lce-bench            # everything
+//	lce-bench -table1 -fig3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lce/internal/eval"
+)
+
+func main() {
+	var (
+		table1     = flag.Bool("table1", false, "Table 1: manual baseline coverage")
+		fig3       = flag.Bool("fig3", false, "Fig. 3: accuracy across scenarios")
+		fig4       = flag.Bool("fig4", false, "Fig. 4: CDF of SM complexity")
+		basic      = flag.Bool("basic", false, "§5 basic functionality")
+		vsManual   = flag.Bool("vsmanual", false, "§5 versus manual engineering")
+		d2cTax     = flag.Bool("d2c", false, "§5 D2C error taxonomy")
+		multicloud = flag.Bool("multicloud", false, "§5 multi-cloud")
+		converge   = flag.Bool("converge", false, "A1: alignment convergence")
+		decoding   = flag.Bool("decoding", false, "A2: decoding ablation")
+		graphs     = flag.Bool("graphs", false, "A3: complexity graphs and anti-patterns")
+	)
+	flag.Parse()
+	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs)
+
+	if all || *table1 {
+		fmt.Println(eval.FormatTable1(eval.Table1()))
+	}
+	if all || *fig3 {
+		rows, err := eval.Fig3()
+		check(err)
+		fmt.Println(eval.FormatFig3(rows))
+	}
+	if all || *fig4 {
+		series, err := eval.Fig4()
+		check(err)
+		fmt.Println(eval.FormatFig4(series))
+	}
+	if all || *basic {
+		res, err := eval.BasicFunctionality()
+		check(err)
+		fmt.Printf("Basic functionality: synthesized full EC2 spec in %v; trace aligned with the cloud: %v\n\n",
+			res.SynthesisTime, res.Aligned)
+	}
+	if all || *vsManual {
+		rows, err := eval.VersusManual()
+		check(err)
+		fmt.Println(eval.FormatVersusManual(rows))
+	}
+	if all || *d2cTax {
+		rows, err := eval.D2CTaxonomy()
+		check(err)
+		fmt.Println("Direct-to-code error taxonomy over the Fig. 3 workload:")
+		for _, r := range rows {
+			fmt.Printf("  %s: %d\n", r.Category, r.Count)
+			for _, e := range r.Examples {
+				fmt.Printf("    e.g. %s\n", e)
+			}
+		}
+		fmt.Println()
+	}
+	if all || *multicloud {
+		rows, err := eval.MultiCloud()
+		check(err)
+		fmt.Println("Multi-cloud (Azure backend):")
+		for _, r := range rows {
+			fmt.Printf("  %-24s %d/%d traces aligned\n", r.System, r.Aligned, r.Total)
+		}
+		fmt.Println()
+	}
+	if all || *converge {
+		rows, err := eval.AlignmentConvergence()
+		check(err)
+		fmt.Println("Alignment convergence (EC2, preliminary noise):")
+		for _, r := range rows {
+			fmt.Printf("  round %d: %d/%d aligned (%d repairs)\n", r.Round, r.Aligned, r.Total, r.Repairs)
+		}
+		fmt.Println()
+	}
+	if all || *decoding {
+		rows, err := eval.DecodingAblation()
+		check(err)
+		fmt.Println("Decoding ablation (EC2 corpus):")
+		for _, r := range rows {
+			fmt.Printf("  syntax-noise %.0f%%: free decoding %d re-prompts, constrained %d\n",
+				100*r.SyntaxNoise, r.FreeRePrompts, r.ConstrainedRePrompts)
+		}
+		fmt.Println()
+	}
+	if all || *graphs {
+		stats, anti, err := eval.GraphReport()
+		check(err)
+		fmt.Println("Specification graph metrics (§4.4):")
+		for _, s := range stats {
+			fmt.Printf("  %-18s nodes=%-3d edges=%-3d density=%.3f states=%-4d transitions=%-4d checks=%-4d depth=%d\n",
+				s.Service, s.Nodes, s.Edges, s.EdgeDensity, s.States, s.Transitions, s.Checks, s.MaxDepth)
+		}
+		fmt.Printf("  anti-patterns detected: %d\n", len(anti))
+		for _, ap := range anti {
+			fmt.Printf("    [%s] %s.%s: %s\n", ap.Kind, ap.SM, ap.Action, ap.Detail)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lce-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command lce-server serves a cloud backend over HTTP in the
+// LocalStack style, so DevOps programs can be pointed at it instead of
+// the cloud:
+//
+//	lce-server -service ec2 -backend learned -addr :4566
+//
+// Backends: "learned" (emulator synthesized from documentation),
+// "oracle" (the hand-written ground-truth model), "d2c" (the
+// direct-to-code baseline), "manual" (the Moto-style partial
+// baseline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"lce"
+	"lce/internal/manual"
+)
+
+func main() {
+	var (
+		service = flag.String("service", "ec2", "service to emulate: ec2 | dynamodb | network-firewall | eks | azure-network")
+		backend = flag.String("backend", "learned", "backend kind: learned | oracle | d2c | manual")
+		addr    = flag.String("addr", ":4566", "listen address")
+		noisy   = flag.Bool("noisy", false, "synthesize the learned backend with the preliminary noise model instead of a faithful extraction")
+	)
+	flag.Parse()
+
+	b, err := buildBackend(*service, *backend, *noisy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("serving %s (%s backend, %d actions) on %s", *service, *backend, len(b.Actions()), *addr)
+	log.Printf("try: curl -s -XPOST localhost%s/invoke -d '{\"action\":\"CreateVpc\",\"params\":{\"cidrBlock\":\"10.0.0.0/16\"}}'", *addr)
+	if err := http.ListenAndServe(*addr, lce.Serve(b)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildBackend(service, kind string, noisy bool) (lce.Backend, error) {
+	switch kind {
+	case "oracle":
+		return lce.Cloud(service)
+	case "manual":
+		switch service {
+		case "ec2":
+			return manual.NewEC2(), nil
+		case "dynamodb":
+			return manual.NewDynamoDB(), nil
+		case "network-firewall":
+			return manual.NewNetworkFirewall(), nil
+		case "eks":
+			return manual.NewEKS(), nil
+		default:
+			return nil, fmt.Errorf("no manual baseline for %q", service)
+		}
+	case "d2c":
+		c, err := lce.Documentation(service)
+		if err != nil {
+			return nil, err
+		}
+		return lce.DirectToCode(c)
+	case "learned":
+		c, err := lce.Documentation(service)
+		if err != nil {
+			return nil, err
+		}
+		opts := lce.PerfectOptions()
+		if noisy {
+			opts = lce.DefaultOptions()
+		}
+		emu, rep, err := lce.Learn(c, opts)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("synthesized %d SMs (%d re-prompts, %d stubs patched)", rep.SMCount, rep.RePrompts, rep.StubsPatched)
+		return emu, nil
+	default:
+		return nil, fmt.Errorf("unknown backend kind %q", kind)
+	}
+}

@@ -1,0 +1,53 @@
+// devops-vpc is the paper's §5 "basic functionality" DevOps program:
+// create a VPC, attach a subnet, enable MapPublicIpOnLaunch — executed
+// against BOTH the learned emulator and the cloud oracle, confirming
+// the responses align step by step.
+//
+//	go run ./examples/devops-vpc
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lce"
+	"lce/internal/scenarios"
+	"lce/internal/trace"
+)
+
+func main() {
+	docs, err := lce.Documentation("ec2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	emu, _, err := lce.Learn(docs, lce.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("code synthesis took %v\n", time.Since(start))
+
+	cloud, err := lce.Cloud("ec2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	program := scenarios.BasicFunctionality()
+	fmt.Println("running the DevOps program on emulator and cloud:")
+	for i, step := range program.Steps {
+		fmt.Printf("  %d. %s\n", i+1, step.Action)
+	}
+	rep := lce.Compare(emu, cloud, program)
+	if rep.Aligned() {
+		fmt.Println("all responses aligned with the cloud — including vpc_id and subnet_id state")
+	} else {
+		fmt.Println(trace.FormatReport(rep))
+	}
+
+	// Demonstrate the maintained state directly.
+	out := trace.Run(emu, program)
+	last := out[3] // DescribeSubnets
+	subnets := last.Result.Get("subnets").AsList()
+	fmt.Printf("emulated subnet state: %v\n", subnets[0])
+}

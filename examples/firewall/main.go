@@ -1,0 +1,61 @@
+// firewall exercises the coverage story: AWS Network Firewall has 45
+// API actions; the Moto-style manual baseline supports 5 of them
+// (CreateFirewall but not DeleteFirewall), while the learned emulator
+// serves the full lifecycle.
+//
+//	go run ./examples/firewall
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lce"
+	"lce/internal/manual"
+)
+
+func main() {
+	docs, err := lce.Documentation("network-firewall")
+	if err != nil {
+		log.Fatal(err)
+	}
+	learned, _, err := lce.Learn(docs, lce.PerfectOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := manual.NewNetworkFirewall()
+
+	fmt.Printf("learned emulator: %d actions; manual baseline: %d actions\n",
+		len(learned.Actions()), len(baseline.Actions()))
+
+	run := func(b lce.Backend, name string) {
+		fmt.Printf("\n--- %s ---\n", name)
+		invoke := func(action string, params lce.Params) string {
+			res, err := b.Invoke(lce.Request{Action: action, Params: params})
+			if err != nil {
+				fmt.Printf("  %-28s ERROR %v\n", action, err)
+				return ""
+			}
+			fmt.Printf("  %-28s ok %v\n", action, res)
+			for _, k := range res.Keys() {
+				if len(k) > 2 && k[len(k)-2:] == "Id" {
+					return res.Get(k).AsString()
+				}
+			}
+			return ""
+		}
+		policyID := invoke("CreateFirewallPolicy", lce.Params{"firewallPolicyName": lce.Str("base")})
+		fwID := invoke("CreateFirewall", lce.Params{
+			"firewallName":     lce.Str("edge"),
+			"firewallPolicyId": lce.Str(policyID),
+			"vpcId":            lce.Str("vpc-12345"),
+		})
+		invoke("UpdateFirewallDeleteProtection", lce.Params{"firewallId": lce.Str(fwID), "enabled": lce.Bool(true)})
+		invoke("DeleteFirewall", lce.Params{"firewallId": lce.Str(fwID)}) // blocked by protection (learned) / unimplemented (baseline)
+		invoke("UpdateFirewallDeleteProtection", lce.Params{"firewallId": lce.Str(fwID), "enabled": lce.Bool(false)})
+		invoke("DeleteFirewall", lce.Params{"firewallId": lce.Str(fwID)})
+	}
+
+	run(learned, "learned emulator (full lifecycle works)")
+	run(baseline, "manual baseline (DeleteFirewall and protections unimplemented)")
+}

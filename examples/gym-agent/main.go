@@ -1,0 +1,65 @@
+// gym-agent demonstrates the §4.4 "cloud gym": a learned emulator
+// wrapped as an episodic environment where an agent provisions
+// infrastructure toward a goal, at no cost and no risk. The agent here
+// is a trivial scripted policy with a retry-on-error twist — the point
+// is the environment, which scores progress and surfaces cloud error
+// codes as learning signal.
+//
+//	go run ./examples/gym-agent
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lce"
+	"lce/internal/gym"
+)
+
+func main() {
+	docs, err := lce.Documentation("ec2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	emu, _, err := lce.Learn(docs, lce.PerfectOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Goal: two subnets visible via DescribeSubnets.
+	env := gym.New(emu, gym.CountGoal("two-subnets", "DescribeSubnets", "subnets", 2), 32)
+	env.Reset()
+	fmt.Println(env.DescribeGoal())
+
+	// A scripted "agent" that makes a realistic mistake (overlapping
+	// CIDR) and recovers using the error code.
+	var vpcID string
+	plan := []lce.Request{
+		{Action: "CreateVpc", Params: lce.Params{"cidrBlock": lce.Str("10.0.0.0/16")}},
+		{Action: "CreateSubnet", Params: lce.Params{"cidrBlock": lce.Str("10.0.1.0/24")}},
+		{Action: "CreateSubnet", Params: lce.Params{"cidrBlock": lce.Str("10.0.1.128/25")}}, // overlaps!
+		{Action: "CreateSubnet", Params: lce.Params{"cidrBlock": lce.Str("10.0.2.0/24")}},   // recovery
+	}
+	total := 0.0
+	for _, req := range plan {
+		if req.Action == "CreateSubnet" {
+			req.Params["vpcId"] = lce.Str(vpcID)
+		}
+		obs := env.Step(req)
+		total += obs.Reward
+		switch {
+		case obs.ErrorCode != "":
+			fmt.Printf("  step %d %s -> error %s (reward %.2f)\n", obs.Steps, req.Action, obs.ErrorCode, obs.Reward)
+		default:
+			fmt.Printf("  step %d %s -> ok (reward %.2f)\n", obs.Steps, req.Action, obs.Reward)
+			if id := obs.Result.Get("vpcId"); !id.IsNil() {
+				vpcID = id.AsString()
+			}
+		}
+		if obs.Done {
+			fmt.Printf("goal reached in %d steps; episode return %.2f\n", obs.Steps, total)
+			return
+		}
+	}
+	fmt.Printf("episode ended without reaching the goal; return %.2f\n", total)
+}

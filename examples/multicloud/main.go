@@ -1,0 +1,61 @@
+// multicloud deploys the same infrastructure intent — an isolated
+// network, a subnet, a NIC/instance with a public address — on two
+// providers' learned emulators, showing the approach is
+// provider-agnostic: the same pipeline consumed AWS-style consolidated
+// docs and Azure-style scattered docs.
+//
+//	go run ./examples/multicloud
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lce"
+)
+
+func main() {
+	for _, service := range []string{"ec2", "azure-network"} {
+		docs, err := lce.Documentation(service)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emu, rep, err := lce.Learn(docs, lce.PerfectOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== %s (%s-style docs, %d pages, %d SMs) ===\n",
+			service, docs.Provider, len(docs.Pages), rep.SMCount)
+		if service == "ec2" {
+			deployAWS(emu)
+		} else {
+			deployAzure(emu)
+		}
+	}
+}
+
+func must(res lce.Result, err error) lce.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func deployAWS(b lce.Backend) {
+	vpc := must(b.Invoke(lce.Request{Action: "CreateVpc", Params: lce.Params{"cidrBlock": lce.Str("10.0.0.0/16")}})).Get("vpcId").AsString()
+	subnet := must(b.Invoke(lce.Request{Action: "CreateSubnet", Params: lce.Params{"vpcId": lce.Str(vpc), "cidrBlock": lce.Str("10.0.1.0/24")}})).Get("subnetId").AsString()
+	inst := must(b.Invoke(lce.Request{Action: "RunInstances", Params: lce.Params{"subnetId": lce.Str(subnet), "instanceType": lce.Str("t3.micro")}})).Get("instanceId").AsString()
+	eip := must(b.Invoke(lce.Request{Action: "AllocateAddress", Params: nil})).Get("allocationId").AsString()
+	must(b.Invoke(lce.Request{Action: "AssociateAddress", Params: lce.Params{"allocationId": lce.Str(eip), "instanceId": lce.Str(inst)}}))
+	fmt.Printf("deployed %s ⊃ %s ⊃ %s with address %s\n", vpc, subnet, inst, eip)
+}
+
+func deployAzure(b lce.Backend) {
+	vnet := must(b.Invoke(lce.Request{Action: "CreateVirtualNetwork", Params: lce.Params{"name": lce.Str("prod"), "addressPrefix": lce.Str("10.0.0.0/16")}})).Get("virtualNetworkId").AsString()
+	subnet := must(b.Invoke(lce.Request{Action: "CreateSubnet", Params: lce.Params{"virtualNetworkId": lce.Str(vnet), "name": lce.Str("default"), "addressPrefix": lce.Str("10.0.1.0/24")}})).Get("subnetId").AsString()
+	nic := must(b.Invoke(lce.Request{Action: "CreateNetworkInterface", Params: lce.Params{"subnetId": lce.Str(subnet), "name": lce.Str("nic0")}})).Get("networkInterfaceId").AsString()
+	vm := must(b.Invoke(lce.Request{Action: "CreateVirtualMachine", Params: lce.Params{"networkInterfaceId": lce.Str(nic), "name": lce.Str("vm0")}})).Get("virtualMachineId").AsString()
+	pip := must(b.Invoke(lce.Request{Action: "CreatePublicIpAddress", Params: lce.Params{"name": lce.Str("ip0")}})).Get("publicIpAddressId").AsString()
+	must(b.Invoke(lce.Request{Action: "AssociatePublicIpAddress", Params: lce.Params{"networkInterfaceId": lce.Str(nic), "publicIpAddressId": lce.Str(pip)}}))
+	fmt.Printf("deployed %s ⊃ %s ⊃ %s on %s with address %s\n", vnet, subnet, nic, vm, pip)
+}

@@ -1,0 +1,58 @@
+// Quickstart: learn an emulator from cloud documentation and talk to
+// it through the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lce"
+)
+
+func main() {
+	// 1. Fetch the provider's documentation (a rendered text corpus —
+	//    the only thing the synthesizer is allowed to read).
+	docs, err := lce.Documentation("ec2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("documentation: %d pages of %s docs\n", len(docs.Pages), docs.Provider)
+
+	// 2. Learn the emulator: wrangle → extract SMs → link → interpret.
+	emu, report, err := lce.Learn(docs, lce.PerfectOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned %d state machines covering %d API actions\n",
+		report.SMCount, len(emu.Actions()))
+
+	// 3. Use it like the cloud.
+	res, err := emu.Invoke(lce.Request{
+		Action: "CreateVpc",
+		Params: lce.Params{"cidrBlock": lce.Str("10.0.0.0/16")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vpcID := res.Get("vpcId").AsString()
+	fmt.Printf("created %s\n", vpcID)
+
+	res, err = emu.Invoke(lce.Request{
+		Action: "CreateSubnet",
+		Params: lce.Params{"vpcId": lce.Str(vpcID), "cidrBlock": lce.Str("10.0.1.0/24")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created %s\n", res.Get("subnetId").AsString())
+
+	// 4. The emulator rejects what the cloud would reject — with the
+	//    cloud's error code.
+	_, err = emu.Invoke(lce.Request{
+		Action: "DeleteVpc",
+		Params: lce.Params{"vpcId": lce.Str(vpcID)},
+	})
+	fmt.Printf("DeleteVpc with a live subnet: %v\n", err)
+}

@@ -1,0 +1,3 @@
+module lce
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package advisor implements the paper's §4.3 aspiration of going
+// beyond error-code parity: "we may be able to provide even more
+// informative responses than the cloud, by decoding the API call
+// sequences to suggest root causes and repairs". Where the paper would
+// pass the failure context to an LLM, this implementation decodes it
+// symbolically from the learned specification itself: the failing
+// check, the live resources implicated by it, and the transitions that
+// would clear the obstruction are all recoverable from the SM
+// abstraction.
+package advisor
+
+import (
+	"fmt"
+	"strings"
+
+	"lce/internal/cloudapi"
+	"lce/internal/interp"
+	"lce/internal/spec"
+)
+
+// Advice is an enriched error explanation.
+type Advice struct {
+	Code      string
+	RootCause string
+	Repairs   []string
+}
+
+// String renders the advice for developer consumption.
+func (a Advice) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", a.Code, a.RootCause)
+	for _, r := range a.Repairs {
+		fmt.Fprintf(&b, "\n  repair: %s", r)
+	}
+	return b.String()
+}
+
+// Explain decodes a failed request against a learned emulator into a
+// root cause and concrete repair steps.
+func Explain(emu *interp.Emulator, req cloudapi.Request, apiErr *cloudapi.APIError) Advice {
+	adv := Advice{Code: apiErr.Code, RootCause: apiErr.Message}
+	svc := emu.Spec()
+	sm, tr, ok := svc.Action(req.Action)
+	if !ok {
+		adv.RootCause = fmt.Sprintf("the action %s does not exist on service %s", req.Action, svc.Name)
+		adv.Repairs = append(adv.Repairs, suggestActions(svc, req.Action)...)
+		return adv
+	}
+	switch {
+	case apiErr.Code == cloudapi.CodeDependencyViolation || apiErr.Code == sm.Dependency:
+		adv.Repairs = append(adv.Repairs, dependencyRepairs(emu, svc, sm, req)...)
+	case apiErr.Code == sm.NotFound || strings.Contains(apiErr.Code, "NotFound"):
+		adv.RootCause = fmt.Sprintf("a resource referenced by %s does not exist (or was already deleted)", req.Action)
+		adv.Repairs = append(adv.Repairs,
+			fmt.Sprintf("create the missing resource first, or describe live resources with one of: %s", strings.Join(describesOf(svc), ", ")))
+	default:
+		// Locate the failing check in the spec and surface its
+		// predicate as the documented constraint.
+		if pred := findCheck(tr, apiErr.Code); pred != "" {
+			adv.RootCause = fmt.Sprintf("the documented constraint `%s` on %s was not satisfied", pred, req.Action)
+		}
+		if repair := constraintRepair(svc, tr, apiErr.Code); repair != "" {
+			adv.Repairs = append(adv.Repairs, repair)
+		}
+	}
+	if len(adv.Repairs) == 0 {
+		adv.Repairs = append(adv.Repairs, fmt.Sprintf("consult the %s documentation for %s", svc.Name, req.Action))
+	}
+	return adv
+}
+
+// dependencyRepairs enumerates the live children blocking a destroy
+// and names the transitions that reclaim them.
+func dependencyRepairs(emu *interp.Emulator, svc *spec.Service, sm *spec.SM, req cloudapi.Request) []string {
+	selfParam := ""
+	if tr := sm.Transition(req.Action); tr != nil {
+		if p := tr.SelfParam(); p != nil {
+			selfParam = p.Name
+		}
+	}
+	if selfParam == "" {
+		return nil
+	}
+	id := req.Params.Get(selfParam).AsString()
+	inst, ok := emu.World().Lookup(sm.Name, id)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, child := range emu.World().LiveChildren(inst.Ref) {
+		if destroy := destroyOf(svc, child.Ref.Type); destroy != "" {
+			out = append(out, fmt.Sprintf("delete %s via %s first", child.Ref.ID, destroy))
+		} else {
+			out = append(out, fmt.Sprintf("reclaim %s first", child.Ref))
+		}
+	}
+	return out
+}
+
+// destroyOf names the public destroy transition of an SM.
+func destroyOf(svc *spec.Service, smName string) string {
+	sm := svc.SM(smName)
+	if sm == nil {
+		return ""
+	}
+	for _, tr := range sm.Transitions {
+		if tr.Kind == spec.KDestroy && !tr.Internal {
+			return tr.Name
+		}
+	}
+	return ""
+}
+
+// describesOf lists a few describe actions for orientation.
+func describesOf(svc *spec.Service) []string {
+	var out []string
+	for _, sm := range svc.SMs {
+		for _, tr := range sm.Transitions {
+			if tr.Kind == spec.KDescribe && !tr.Internal && tr.SelfParam() == nil {
+				out = append(out, tr.Name)
+				if len(out) == 3 {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// findCheck returns the predicate of the assert carrying the code.
+func findCheck(tr *spec.Transition, code string) string {
+	found := ""
+	var walk func([]spec.Stmt)
+	walk = func(stmts []spec.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *spec.AssertStmt:
+				if st.Code == code && found == "" {
+					found = spec.ExprString(st.Pred)
+				}
+			case *spec.IfStmt:
+				walk(st.Then)
+				walk(st.Else)
+			case *spec.ForEachStmt:
+				walk(st.Body)
+			}
+		}
+	}
+	walk(tr.Body)
+	return found
+}
+
+// constraintRepair derives a suggestion from the shape of the failing
+// check.
+func constraintRepair(svc *spec.Service, tr *spec.Transition, code string) string {
+	pred := findCheck(tr, code)
+	switch {
+	case pred == "":
+		return ""
+	case strings.Contains(pred, "prefixLen"):
+		return "choose a CIDR block within the documented prefix-length bounds"
+	case strings.Contains(pred, "cidrValid"):
+		return "pass a canonical IPv4 CIDR block (e.g. 10.0.0.0/16)"
+	case strings.Contains(pred, "cidrOverlaps"):
+		return "choose a range that does not overlap existing resources"
+	case strings.Contains(pred, "cidrWithin"):
+		return "choose a range contained in the parent resource's range"
+	case strings.Contains(pred, `read(state) ==`):
+		return "transition the resource into the required state first (describe it to see its current state)"
+	case strings.Contains(pred, "matching") && strings.Contains(pred, "== 0"):
+		return "the name or association already exists; pick a different one or delete the conflicting resource"
+	case strings.Contains(pred, "matching") && strings.Contains(pred, "> 0"):
+		return "the referenced named resource does not exist; create it first"
+	case strings.Contains(pred, "||"):
+		return fmt.Sprintf("pass one of the documented values: the constraint is `%s`", pred)
+	default:
+		return fmt.Sprintf("satisfy the documented constraint `%s`", pred)
+	}
+}
+
+// suggestActions finds near-miss action names for typos.
+func suggestActions(svc *spec.Service, typo string) []string {
+	var out []string
+	lower := strings.ToLower(typo)
+	for _, a := range svc.Actions() {
+		if strings.Contains(strings.ToLower(a), lower) || strings.Contains(lower, strings.ToLower(a)) {
+			out = append(out, "did you mean "+a+"?")
+		}
+	}
+	if len(out) > 3 {
+		out = out[:3]
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"lce/internal/cloudapi"
+	"lce/internal/docs"
+	"lce/internal/docs/corpus"
+	"lce/internal/docs/wrangle"
+	"lce/internal/interp"
+	"lce/internal/synth"
+)
+
+func learnedEC2(t *testing.T) *interp.Emulator {
+	t.Helper()
+	brief, err := wrangle.Wrangle(docs.Render(corpus.EC2()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _, err := synth.SynthesizeFromBrief(brief, synth.Options{Noise: synth.Perfect, Decoding: synth.Constrained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu, err := interp.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return emu
+}
+
+func failWith(t *testing.T, emu *interp.Emulator, req cloudapi.Request) *cloudapi.APIError {
+	t.Helper()
+	_, err := emu.Invoke(req)
+	ae, ok := cloudapi.AsAPIError(err)
+	if !ok {
+		t.Fatalf("expected API error, got %v", err)
+	}
+	return ae
+}
+
+func TestExplainDependencyViolation(t *testing.T) {
+	emu := learnedEC2(t)
+	vpc, _ := emu.Invoke(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}})
+	vpcID := vpc.Get("vpcId").AsString()
+	sub, _ := emu.Invoke(cloudapi.Request{Action: "CreateSubnet", Params: cloudapi.Params{
+		"vpcId": cloudapi.Str(vpcID), "cidrBlock": cloudapi.Str("10.0.1.0/24")}})
+	subID := sub.Get("subnetId").AsString()
+
+	req := cloudapi.Request{Action: "DeleteVpc", Params: cloudapi.Params{"vpcId": cloudapi.Str(vpcID)}}
+	ae := failWith(t, emu, req)
+	adv := Explain(emu, req, ae)
+	if adv.Code != "DependencyViolation" {
+		t.Errorf("code = %s", adv.Code)
+	}
+	joined := strings.Join(adv.Repairs, "\n")
+	if !strings.Contains(joined, subID) || !strings.Contains(joined, "DeleteSubnet") {
+		t.Errorf("repairs do not name the blocking subnet and its delete action:\n%s", joined)
+	}
+}
+
+func TestExplainConstraintViolation(t *testing.T) {
+	emu := learnedEC2(t)
+	req := cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/8")}}
+	ae := failWith(t, emu, req)
+	adv := Explain(emu, req, ae)
+	if !strings.Contains(adv.RootCause, "prefixLen") {
+		t.Errorf("root cause does not surface the documented constraint: %s", adv.RootCause)
+	}
+	if !strings.Contains(strings.Join(adv.Repairs, " "), "prefix-length") {
+		t.Errorf("repairs = %v", adv.Repairs)
+	}
+}
+
+func TestExplainStateGuard(t *testing.T) {
+	emu := learnedEC2(t)
+	vpc, _ := emu.Invoke(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}})
+	sub, _ := emu.Invoke(cloudapi.Request{Action: "CreateSubnet", Params: cloudapi.Params{
+		"vpcId": vpc.Get("vpcId"), "cidrBlock": cloudapi.Str("10.0.1.0/24")}})
+	inst, _ := emu.Invoke(cloudapi.Request{Action: "RunInstances", Params: cloudapi.Params{"subnetId": sub.Get("subnetId")}})
+
+	req := cloudapi.Request{Action: "StartInstances", Params: cloudapi.Params{"instanceId": inst.Get("instanceId")}}
+	ae := failWith(t, emu, req)
+	adv := Explain(emu, req, ae)
+	if !strings.Contains(strings.Join(adv.Repairs, " "), "required state") {
+		t.Errorf("repairs = %v", adv.Repairs)
+	}
+}
+
+func TestExplainNotFound(t *testing.T) {
+	emu := learnedEC2(t)
+	req := cloudapi.Request{Action: "DeleteVpc", Params: cloudapi.Params{"vpcId": cloudapi.Str("vpc-deadbeef")}}
+	ae := failWith(t, emu, req)
+	adv := Explain(emu, req, ae)
+	if !strings.Contains(adv.RootCause, "does not exist") {
+		t.Errorf("root cause = %s", adv.RootCause)
+	}
+	if !strings.Contains(strings.Join(adv.Repairs, " "), "Describe") {
+		t.Errorf("repairs = %v", adv.Repairs)
+	}
+}
+
+func TestExplainUnknownActionSuggestsNames(t *testing.T) {
+	emu := learnedEC2(t)
+	req := cloudapi.Request{Action: "CreateVpcs"}
+	ae := failWith(t, emu, req)
+	adv := Explain(emu, req, ae)
+	if !strings.Contains(strings.Join(adv.Repairs, " "), "CreateVpc") {
+		t.Errorf("no suggestion for near-miss action: %v", adv.Repairs)
+	}
+}
+
+func TestAdviceString(t *testing.T) {
+	a := Advice{Code: "X", RootCause: "y", Repairs: []string{"do z"}}
+	s := a.String()
+	if !strings.Contains(s, "X: y") || !strings.Contains(s, "repair: do z") {
+		t.Errorf("render = %q", s)
+	}
+}

@@ -1,0 +1,169 @@
+// Package align implements the automated alignment loop (§4.3): run
+// symbolically derived traces against both the learned emulator and
+// the cloud oracle, diff the outcomes, localize each divergence to a
+// spec element, and repair it — by re-reading the documentation for
+// the implicated resource, or, when the documentation itself is out of
+// sync with the cloud, by adopting the error code the cloud was
+// observed to return. The loop iterates until the emulator aligns or
+// the round budget is spent.
+package align
+
+import (
+	"fmt"
+	"sort"
+
+	"lce/internal/cloudapi"
+	"lce/internal/docs"
+	"lce/internal/interp"
+	"lce/internal/spec"
+	"lce/internal/symexec"
+	"lce/internal/synth"
+	"lce/internal/trace"
+)
+
+// Repair describes one fix the engine applied.
+type Repair struct {
+	Kind   string // "redocument-sm" | "adopt-cloud-code"
+	Target string // SM name or "action/code"
+	Reason string
+}
+
+// Round summarizes one alignment iteration.
+type Round struct {
+	Round      int
+	Aligned    int
+	Total      int
+	Divergence []trace.StepDiff
+	Repairs    []Repair
+}
+
+// Result is the outcome of an alignment run.
+type Result struct {
+	Rounds []Round
+	// Converged reports whether every trace aligned by the end.
+	Converged bool
+	// Final is the aligned (or best-effort) emulator.
+	Final *interp.Emulator
+}
+
+// Options tunes the loop.
+type Options struct {
+	MaxRounds int
+	// GenerateViolations adds symexec-derived single-violation traces
+	// to the seed suite.
+	GenerateViolations bool
+}
+
+// Run executes the alignment loop over svc, mutating it in place.
+func Run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, seeds []trace.Trace, opts Options) (*Result, error) {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = len(svc.SMs) + 2
+	}
+	traces := append([]trace.Trace{}, seeds...)
+	if opts.GenerateViolations {
+		traces = append(traces, symexec.ViolationTraces(svc, seeds)...)
+	}
+	res := &Result{}
+	// adopted records cloud error codes already grafted onto actions so
+	// a stale-doc divergence is only "fixed from observation" once.
+	adopted := map[string]bool{}
+	// redocumented records SMs already re-extracted; if a divergence
+	// persists on a redocumented SM, the docs themselves are wrong and
+	// the cloud's observed behaviour wins.
+	redocumented := map[string]bool{}
+
+	for round := 1; round <= opts.MaxRounds; round++ {
+		emu, err := interp.New(svc)
+		if err != nil {
+			return res, fmt.Errorf("align: emulator rebuild failed: %w", err)
+		}
+		res.Final = emu
+		r := Round{Round: round, Total: len(traces)}
+		implicated := map[string]trace.StepDiff{}
+		var wrongCodes []trace.StepDiff
+		for _, tr := range traces {
+			rep := trace.Compare(emu, oracle, tr)
+			if rep.Aligned() {
+				r.Aligned++
+				continue
+			}
+			d := *rep.FirstDiff()
+			r.Divergence = append(r.Divergence, d)
+			smName := localize(svc, d.Action)
+			if smName != "" {
+				if _, seen := implicated[smName]; !seen {
+					implicated[smName] = d
+				}
+			}
+			if d.Kind == trace.DiffWrongCode {
+				wrongCodes = append(wrongCodes, d)
+			}
+		}
+		if r.Aligned == r.Total {
+			res.Rounds = append(res.Rounds, r)
+			res.Converged = true
+			return res, nil
+		}
+
+		// Repair phase. First preference: re-read the docs for each
+		// implicated SM (deterministic order).
+		names := make([]string, 0, len(implicated))
+		for n := range implicated {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		progressed := false
+		for _, n := range names {
+			if redocumented[n] {
+				continue
+			}
+			if err := synth.RepairSM(svc, brief, n); err != nil {
+				return res, fmt.Errorf("align: repair of %s failed: %w", n, err)
+			}
+			redocumented[n] = true
+			progressed = true
+			r.Repairs = append(r.Repairs, Repair{
+				Kind:   "redocument-sm",
+				Target: n,
+				Reason: fmt.Sprintf("divergence at %s (%s)", implicated[n].Action, implicated[n].Kind),
+			})
+		}
+		// Second preference: a wrong-code divergence that survived
+		// redocumentation means the documentation disagrees with the
+		// cloud; adopt the observed code (§4.3 — error codes must match
+		// the cloud exactly).
+		if !progressed {
+			for _, d := range wrongCodes {
+				key := d.Action + "/" + d.Against.Code
+				if adopted[key] {
+					continue
+				}
+				if synth.SetAssertCode(svc, d.Action, d.Subject.Code, d.Against.Code) {
+					adopted[key] = true
+					progressed = true
+					r.Repairs = append(r.Repairs, Repair{
+						Kind:   "adopt-cloud-code",
+						Target: key,
+						Reason: fmt.Sprintf("documentation says %s, cloud returns %s", d.Subject.Code, d.Against.Code),
+					})
+				}
+			}
+		}
+		res.Rounds = append(res.Rounds, r)
+		if !progressed {
+			return res, nil // stuck: report best effort
+		}
+	}
+	return res, nil
+}
+
+// localize maps a diverging action to the SM that owns it — the
+// paper's "track down the source of errors to a specific SM
+// implementation".
+func localize(svc *spec.Service, action string) string {
+	sm, _, ok := svc.Action(action)
+	if !ok {
+		return ""
+	}
+	return sm.Name
+}

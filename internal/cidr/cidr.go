@@ -1,0 +1,83 @@
+// Package cidr provides the small set of CIDR computations the cloud
+// models and the spec interpreter's builtins share: validation, prefix
+// arithmetic, containment and overlap. The paper's evaluation leans on
+// these checks ("while it can check for simple CIDR conflicts, it
+// incorrectly allows the creation of a subnet with an invalid prefix
+// size (e.g., /29)"), so both the ground-truth cloud and the learned
+// emulator need an authoritative implementation.
+package cidr
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Parse parses an IPv4 CIDR block in canonical form. It rejects IPv6
+// and non-canonical prefixes (host bits set), matching the strictness
+// of the cloud APIs being modeled.
+func Parse(s string) (netip.Prefix, error) {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("cidr: %w", err)
+	}
+	if !p.Addr().Is4() {
+		return netip.Prefix{}, fmt.Errorf("cidr: %q is not IPv4", s)
+	}
+	if p.Masked() != p {
+		return netip.Prefix{}, fmt.Errorf("cidr: %q has host bits set", s)
+	}
+	return p, nil
+}
+
+// Valid reports whether s is a canonical IPv4 CIDR block.
+func Valid(s string) bool {
+	_, err := Parse(s)
+	return err == nil
+}
+
+// PrefixLen returns the prefix length of s, or -1 when invalid.
+func PrefixLen(s string) int {
+	p, err := Parse(s)
+	if err != nil {
+		return -1
+	}
+	return p.Bits()
+}
+
+// Within reports whether inner is fully contained in outer. Invalid
+// inputs are never within anything.
+func Within(inner, outer string) bool {
+	ip, err := Parse(inner)
+	if err != nil {
+		return false
+	}
+	op, err := Parse(outer)
+	if err != nil {
+		return false
+	}
+	return op.Bits() <= ip.Bits() && op.Contains(ip.Addr())
+}
+
+// Overlaps reports whether the two blocks share any address. Invalid
+// inputs never overlap.
+func Overlaps(a, b string) bool {
+	ap, err := Parse(a)
+	if err != nil {
+		return false
+	}
+	bp, err := Parse(b)
+	if err != nil {
+		return false
+	}
+	return ap.Overlaps(bp)
+}
+
+// HostCapacity returns the number of addresses in the block (including
+// the reserved ones), or 0 when invalid.
+func HostCapacity(s string) int64 {
+	p, err := Parse(s)
+	if err != nil {
+		return 0
+	}
+	return int64(1) << (32 - p.Bits())
+}

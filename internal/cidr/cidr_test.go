@@ -1,0 +1,113 @@
+package cidr
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestValid(t *testing.T) {
+	valid := []string{"10.0.0.0/16", "192.168.1.0/24", "0.0.0.0/0", "10.0.0.1/32", "172.16.0.0/12"}
+	invalid := []string{"", "10.0.0.0", "10.0.0.0/33", "10.0.0.1/24", "300.0.0.0/8", "::/0", "2001:db8::/32", "10.0.0.0/-1", "banana"}
+	for _, s := range valid {
+		if !Valid(s) {
+			t.Errorf("Valid(%q) = false", s)
+		}
+	}
+	for _, s := range invalid {
+		if Valid(s) {
+			t.Errorf("Valid(%q) = true", s)
+		}
+	}
+}
+
+func TestPrefixLen(t *testing.T) {
+	if PrefixLen("10.0.0.0/16") != 16 {
+		t.Error("PrefixLen /16")
+	}
+	if PrefixLen("not-a-cidr") != -1 {
+		t.Error("PrefixLen invalid")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	cases := []struct {
+		inner, outer string
+		want         bool
+	}{
+		{"10.0.1.0/24", "10.0.0.0/16", true},
+		{"10.0.0.0/16", "10.0.0.0/16", true},
+		{"10.0.0.0/16", "10.0.1.0/24", false},
+		{"192.168.0.0/24", "10.0.0.0/16", false},
+		{"bad", "10.0.0.0/16", false},
+		{"10.0.1.0/24", "bad", false},
+	}
+	for _, tc := range cases {
+		if got := Within(tc.inner, tc.outer); got != tc.want {
+			t.Errorf("Within(%q, %q) = %v, want %v", tc.inner, tc.outer, got, tc.want)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"10.0.0.0/24", "10.0.0.128/25", true},
+		{"10.0.0.0/24", "10.0.1.0/24", false},
+		{"10.0.0.0/8", "10.200.0.0/16", true},
+		{"bad", "10.0.0.0/16", false},
+	}
+	for _, tc := range cases {
+		if got := Overlaps(tc.a, tc.b); got != tc.want {
+			t.Errorf("Overlaps(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHostCapacity(t *testing.T) {
+	if HostCapacity("10.0.0.0/24") != 256 {
+		t.Error("capacity /24")
+	}
+	if HostCapacity("10.0.0.0/32") != 1 {
+		t.Error("capacity /32")
+	}
+	if HostCapacity("nope") != 0 {
+		t.Error("capacity invalid")
+	}
+}
+
+func TestQuickWithinImpliesOverlaps(t *testing.T) {
+	f := func(a, b, c, d byte, bitsRaw uint8) bool {
+		bits := 8 + int(bitsRaw)%17 // 8..24
+		outer := fmt.Sprintf("%d.%d.0.0/16", a, b)
+		inner := fmt.Sprintf("%d.%d.%d.0/24", a, b, c)
+		_ = d
+		_ = bits
+		if !Valid(outer) || !Valid(inner) {
+			return true
+		}
+		if Within(inner, outer) && !Overlaps(inner, outer) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOverlapsSymmetric(t *testing.T) {
+	f := func(a1, b1, a2, b2 byte, p1, p2 uint8) bool {
+		c1 := fmt.Sprintf("%d.%d.0.0/%d", a1, b1, 8+int(p1)%9)
+		c2 := fmt.Sprintf("%d.%d.0.0/%d", a2, b2, 8+int(p2)%9)
+		if !Valid(c1) || !Valid(c2) {
+			return true
+		}
+		return Overlaps(c1, c2) == Overlaps(c2, c1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

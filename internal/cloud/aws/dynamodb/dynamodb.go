@@ -1,0 +1,609 @@
+// Package dynamodb is the hand-written ground-truth model of DynamoDB
+// used as an oracle. It models the 7 resource types the paper's
+// generated spec covers (Table, Item, GlobalSecondaryIndex, Backup,
+// GlobalTable, ExportTask, ImportTask) with DynamoDB's control-plane
+// error vocabulary (ResourceNotFoundException, ResourceInUseException,
+// ValidationException, …).
+package dynamodb
+
+import (
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Resource type names.
+const (
+	TTable       = "Table"
+	TItem        = "Item"
+	TGsi         = "GlobalSecondaryIndex"
+	TBackup      = "Backup"
+	TGlobalTable = "GlobalTable"
+	TExportTask  = "ExportTask"
+	TImportTask  = "ImportTask"
+)
+
+// DynamoDB error codes (real AWS codes).
+const (
+	codeNotFound       = "ResourceNotFoundException"
+	codeInUse          = "ResourceInUseException"
+	codeValidation     = "ValidationException"
+	codeTableNotFound  = "TableNotFoundException"
+	codeBackupNotFound = "BackupNotFoundException"
+	codeGlobalExists   = "GlobalTableAlreadyExistsException"
+	codeGlobalNotFound = "GlobalTableNotFoundException"
+	codeExportNotFound = "ExportNotFoundException"
+	codeImportNotFound = "ImportNotFoundException"
+	codeLimitExceeded  = "LimitExceededException"
+)
+
+// New builds the DynamoDB oracle backend.
+func New() *base.Service {
+	svc := base.NewService("dynamodb")
+	svc.Register("CreateTable", createTable)
+	svc.Register("DeleteTable", deleteTable)
+	svc.Register("DescribeTable", describeTable)
+	svc.Register("ListTables", listTables)
+	svc.Register("UpdateTable", updateTable)
+	svc.Register("UpdateTimeToLive", updateTimeToLive)
+	svc.Register("DescribeTimeToLive", describeTimeToLive)
+
+	svc.Register("PutItem", putItem)
+	svc.Register("GetItem", getItem)
+	svc.Register("UpdateItem", updateItem)
+	svc.Register("DeleteItem", deleteItem)
+	svc.Register("Scan", scanTable)
+
+	svc.Register("CreateGlobalSecondaryIndex", createGsi)
+	svc.Register("DeleteGlobalSecondaryIndex", deleteGsi)
+	svc.Register("DescribeGlobalSecondaryIndexes", describeAllGsi)
+
+	svc.Register("CreateBackup", createBackup)
+	svc.Register("DeleteBackup", deleteBackup)
+	svc.Register("DescribeBackup", describeBackup)
+	svc.Register("ListBackups", listBackups)
+	svc.Register("RestoreTableFromBackup", restoreTableFromBackup)
+
+	svc.Register("CreateGlobalTable", createGlobalTable)
+	svc.Register("DescribeGlobalTable", describeGlobalTable)
+	svc.Register("UpdateGlobalTable", updateGlobalTable)
+
+	svc.Register("ExportTableToPointInTime", exportTable)
+	svc.Register("DescribeExport", describeExport)
+	svc.Register("ListExports", listExports)
+
+	svc.Register("ImportTable", importTable)
+	svc.Register("DescribeImport", describeImport)
+	svc.Register("ListImports", listImports)
+	return svc
+}
+
+func findTable(s *base.Store, name string) *base.Resource {
+	return s.FindLive(TTable, func(r *base.Resource) bool { return r.Str("tableName") == name })
+}
+
+func reqTable(s *base.Store, p cloudapi.Params) (*base.Resource, *cloudapi.APIError) {
+	name, apiErr := base.ReqStr(p, "tableName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	t := findTable(s, name)
+	if t == nil {
+		return nil, cloudapi.Errf(codeNotFound, "requested resource not found: table %q", name)
+	}
+	return t, nil
+}
+
+func createTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "tableName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findTable(s, name) != nil {
+		return nil, cloudapi.Errf(codeInUse, "table already exists: %s", name)
+	}
+	keySchema, apiErr := base.ReqStr(p, "keyAttribute")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	billing := base.OptStr(p, "billingMode", "PAY_PER_REQUEST")
+	if billing != "PAY_PER_REQUEST" && billing != "PROVISIONED" {
+		return nil, cloudapi.Errf(codeValidation, "invalid billing mode %q", billing)
+	}
+	var rcu, wcu int64
+	if billing == "PROVISIONED" {
+		rcu = base.OptInt(p, "readCapacityUnits", 0)
+		wcu = base.OptInt(p, "writeCapacityUnits", 0)
+		if rcu < 1 || wcu < 1 {
+			return nil, cloudapi.Errf(codeValidation, "provisioned tables require positive read and write capacity units")
+		}
+	}
+	t := s.Create(TTable, "table")
+	t.Set("tableName", cloudapi.Str(name))
+	t.Set("keyAttribute", cloudapi.Str(keySchema))
+	t.Set("billingMode", cloudapi.Str(billing))
+	t.Set("tableStatus", cloudapi.Str("ACTIVE"))
+	t.Set("itemCount", cloudapi.Int(0))
+	t.Set("ttlEnabled", cloudapi.False)
+	if billing == "PROVISIONED" {
+		t.Set("readCapacityUnits", cloudapi.Int(rcu))
+		t.Set("writeCapacityUnits", cloudapi.Int(wcu))
+	}
+	return cloudapi.Result{"tableId": cloudapi.Str(t.ID), "tableName": cloudapi.Str(name)}, nil
+}
+
+func deleteTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if gt := s.FindLive(TGlobalTable, func(r *base.Resource) bool {
+		for _, e := range r.Attr("replicaTableNames").AsList() {
+			if e.AsString() == t.Str("tableName") {
+				return true
+			}
+		}
+		return false
+	}); gt != nil {
+		return nil, cloudapi.Errf(codeInUse, "table %q is a replica of global table %q", t.Str("tableName"), gt.Str("globalTableName"))
+	}
+	for _, it := range s.Children(t.ID, TItem) {
+		s.Delete(it.ID)
+	}
+	for _, g := range s.Children(t.ID, TGsi) {
+		s.Delete(g.ID)
+	}
+	s.Delete(t.ID)
+	return base.OKResult(), nil
+}
+
+func describeTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return cloudapi.Result{"table": base.Describe(t)}, nil
+}
+
+func listTables(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	names := []cloudapi.Value{}
+	for _, t := range s.ListLive(TTable) {
+		names = append(names, t.Attr("tableName"))
+	}
+	return cloudapi.Result{"tableNames": cloudapi.List(names...)}, nil
+}
+
+func updateTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if p.Has("billingMode") {
+		billing := p.Get("billingMode").AsString()
+		if billing != "PAY_PER_REQUEST" && billing != "PROVISIONED" {
+			return nil, cloudapi.Errf(codeValidation, "invalid billing mode %q", billing)
+		}
+		t.Set("billingMode", cloudapi.Str(billing))
+		if billing == "PAY_PER_REQUEST" {
+			t.Set("readCapacityUnits", cloudapi.Nil)
+			t.Set("writeCapacityUnits", cloudapi.Nil)
+		}
+	}
+	if p.Has("readCapacityUnits") || p.Has("writeCapacityUnits") {
+		if t.Str("billingMode") != "PROVISIONED" {
+			return nil, cloudapi.Errf(codeValidation, "capacity units may only be set on PROVISIONED tables")
+		}
+		rcu := base.OptInt(p, "readCapacityUnits", t.Int("readCapacityUnits"))
+		wcu := base.OptInt(p, "writeCapacityUnits", t.Int("writeCapacityUnits"))
+		if rcu < 1 || wcu < 1 {
+			return nil, cloudapi.Errf(codeValidation, "capacity units must be positive")
+		}
+		t.Set("readCapacityUnits", cloudapi.Int(rcu))
+		t.Set("writeCapacityUnits", cloudapi.Int(wcu))
+	}
+	return base.OKResult(), nil
+}
+
+func updateTimeToLive(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	v := p.Get("ttlEnabled")
+	if v.Kind() != cloudapi.KindBool {
+		return nil, cloudapi.Errf(codeValidation, "ttlEnabled expects a boolean")
+	}
+	if v.AsBool() == t.Bool("ttlEnabled") {
+		// Real DynamoDB rejects a no-op TTL update.
+		return nil, cloudapi.Errf(codeValidation, "TimeToLive is already %v", v.AsBool())
+	}
+	t.Set("ttlEnabled", v)
+	return base.OKResult(), nil
+}
+
+func describeTimeToLive(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	status := "DISABLED"
+	if t.Bool("ttlEnabled") {
+		status = "ENABLED"
+	}
+	return cloudapi.Result{"timeToLiveStatus": cloudapi.Str(status)}, nil
+}
+
+func findItem(s *base.Store, tableID, key string) *base.Resource {
+	return s.FindLive(TItem, func(r *base.Resource) bool {
+		return r.Parent == tableID && r.Str("key") == key
+	})
+}
+
+func putItem(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	key, apiErr := base.ReqStr(p, "key")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	attrs := p.Get("attributes")
+	if !attrs.IsNil() && attrs.Kind() != cloudapi.KindMap {
+		return nil, cloudapi.Errf(codeValidation, "attributes expects a map")
+	}
+	// Overwriting an existing key replaces the item wholesale: the old
+	// item is reclaimed and a fresh one created, which keeps scan order
+	// (creation order) identical between backends.
+	if old := findItem(s, t.ID, key); old != nil {
+		s.Delete(old.ID)
+	} else {
+		t.Set("itemCount", cloudapi.Int(t.Int("itemCount")+1))
+	}
+	it := s.Create(TItem, "item")
+	it.Parent = t.ID
+	it.Set("tableName", t.Attr("tableName"))
+	it.Set("key", cloudapi.Str(key))
+	if attrs.IsNil() {
+		attrs = cloudapi.Map(nil)
+	}
+	it.Set("attributes", attrs)
+	return base.OKResult(), nil
+}
+
+func getItem(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	key, apiErr := base.ReqStr(p, "key")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	it := findItem(s, t.ID, key)
+	if it == nil {
+		// GetItem on a missing key succeeds with an empty payload.
+		return cloudapi.Result{}, nil
+	}
+	return cloudapi.Result{"item": it.Attr("attributes")}, nil
+}
+
+func updateItem(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	key, apiErr := base.ReqStr(p, "key")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	attrs := p.Get("attributes")
+	if attrs.Kind() != cloudapi.KindMap {
+		return nil, cloudapi.Errf(codeValidation, "attributes expects a map")
+	}
+	it := findItem(s, t.ID, key)
+	if it == nil {
+		// This model requires the item to exist; use PutItem to create.
+		return nil, cloudapi.Errf(codeNotFound, "item %q not found in table %q", key, t.Str("tableName"))
+	}
+	merged := map[string]cloudapi.Value{}
+	for k, v := range it.Attr("attributes").AsMap() {
+		merged[k] = v
+	}
+	for k, v := range attrs.AsMap() {
+		merged[k] = v
+	}
+	it.Set("attributes", cloudapi.Map(merged))
+	return base.OKResult(), nil
+}
+
+func deleteItem(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	key, apiErr := base.ReqStr(p, "key")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if it := findItem(s, t.ID, key); it != nil {
+		s.Delete(it.ID)
+		t.Set("itemCount", cloudapi.Int(t.Int("itemCount")-1))
+	}
+	// DeleteItem is idempotent.
+	return base.OKResult(), nil
+}
+
+func scanTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	items := []cloudapi.Value{}
+	for _, it := range s.Children(t.ID, TItem) {
+		items = append(items, it.Attr("attributes"))
+	}
+	return cloudapi.Result{
+		"items": cloudapi.List(items...),
+		"count": cloudapi.Int(int64(len(items))),
+	}, nil
+}
+
+func createGsi(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "indexName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	dup := s.FindLive(TGsi, func(r *base.Resource) bool {
+		return r.Parent == t.ID && r.Str("indexName") == name
+	})
+	if dup != nil {
+		return nil, cloudapi.Errf(codeInUse, "index %q already exists on table %q", name, t.Str("tableName"))
+	}
+	// DynamoDB caps GSIs per table at 20.
+	if len(s.Children(t.ID, TGsi)) >= 20 {
+		return nil, cloudapi.Errf(codeLimitExceeded, "table %q already has the maximum number of indexes", t.Str("tableName"))
+	}
+	keyAttr, apiErr := base.ReqStr(p, "keyAttribute")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	g := s.Create(TGsi, "gsi")
+	g.Parent = t.ID
+	g.Set("tableName", t.Attr("tableName"))
+	g.Set("indexName", cloudapi.Str(name))
+	g.Set("keyAttribute", cloudapi.Str(keyAttr))
+	g.Set("indexStatus", cloudapi.Str("ACTIVE"))
+	return cloudapi.Result{"indexId": cloudapi.Str(g.ID)}, nil
+}
+
+func deleteGsi(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "indexName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	g := s.FindLive(TGsi, func(r *base.Resource) bool {
+		return r.Parent == t.ID && r.Str("indexName") == name
+	})
+	if g == nil {
+		return nil, cloudapi.Errf(codeNotFound, "index %q not found on table %q", name, t.Str("tableName"))
+	}
+	s.Delete(g.ID)
+	return base.OKResult(), nil
+}
+
+func describeAllGsi(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return cloudapi.Result{"indexes": base.DescribeAll(s.Children(t.ID, TGsi))}, nil
+}
+
+func createBackup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "backupName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	b := s.Create(TBackup, "backup")
+	b.Set("tableName", t.Attr("tableName"))
+	b.Set("backupName", cloudapi.Str(name))
+	b.Set("backupStatus", cloudapi.Str("AVAILABLE"))
+	b.Set("itemCount", t.Attr("itemCount"))
+	return cloudapi.Result{"backupId": cloudapi.Str(b.ID)}, nil
+}
+
+func reqBackup(s *base.Store, p cloudapi.Params) (*base.Resource, *cloudapi.APIError) {
+	id, apiErr := base.ReqStr(p, "backupId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	b, ok := s.Live(TBackup, id)
+	if !ok {
+		return nil, cloudapi.Errf(codeBackupNotFound, "backup not found: %s", id)
+	}
+	return b, nil
+}
+
+func deleteBackup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	b, apiErr := reqBackup(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(b.ID)
+	return base.OKResult(), nil
+}
+
+func describeBackup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	b, apiErr := reqBackup(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return cloudapi.Result{"backup": base.Describe(b)}, nil
+}
+
+func listBackups(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	return cloudapi.Result{"backups": base.DescribeAll(s.ListLive(TBackup))}, nil
+}
+
+func restoreTableFromBackup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	b, apiErr := reqBackup(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	target, apiErr := base.ReqStr(p, "targetTableName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findTable(s, target) != nil {
+		return nil, cloudapi.Errf("TableAlreadyExistsException", "table already exists: %s", target)
+	}
+	t := s.Create(TTable, "table")
+	t.Set("tableName", cloudapi.Str(target))
+	t.Set("keyAttribute", cloudapi.Str("pk"))
+	t.Set("billingMode", cloudapi.Str("PAY_PER_REQUEST"))
+	t.Set("tableStatus", cloudapi.Str("ACTIVE"))
+	t.Set("itemCount", b.Attr("itemCount"))
+	t.Set("ttlEnabled", cloudapi.False)
+	t.Set("restoredFromBackupId", cloudapi.Str(b.ID))
+	return cloudapi.Result{"tableId": cloudapi.Str(t.ID), "tableName": cloudapi.Str(target)}, nil
+}
+
+func createGlobalTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "globalTableName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TGlobalTable, func(r *base.Resource) bool { return r.Str("globalTableName") == name }) != nil {
+		return nil, cloudapi.Errf(codeGlobalExists, "global table already exists: %s", name)
+	}
+	// The local table of the same name must exist.
+	if findTable(s, name) == nil {
+		return nil, cloudapi.Errf(codeTableNotFound, "table not found: %s", name)
+	}
+	gt := s.Create(TGlobalTable, "gt")
+	gt.Set("globalTableName", cloudapi.Str(name))
+	gt.Set("replicaTableNames", cloudapi.List(cloudapi.Str(name)))
+	gt.Set("globalTableStatus", cloudapi.Str("ACTIVE"))
+	return cloudapi.Result{"globalTableId": cloudapi.Str(gt.ID)}, nil
+}
+
+func describeGlobalTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "globalTableName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	gt := s.FindLive(TGlobalTable, func(r *base.Resource) bool { return r.Str("globalTableName") == name })
+	if gt == nil {
+		return nil, cloudapi.Errf(codeGlobalNotFound, "global table not found: %s", name)
+	}
+	return cloudapi.Result{"globalTable": base.Describe(gt)}, nil
+}
+
+func updateGlobalTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "globalTableName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	gt := s.FindLive(TGlobalTable, func(r *base.Resource) bool { return r.Str("globalTableName") == name })
+	if gt == nil {
+		return nil, cloudapi.Errf(codeGlobalNotFound, "global table not found: %s", name)
+	}
+	replica, apiErr := base.ReqStr(p, "replicaTableName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findTable(s, replica) == nil {
+		return nil, cloudapi.Errf(codeTableNotFound, "table not found: %s", replica)
+	}
+	reps := gt.Attr("replicaTableNames").AsList()
+	for _, r := range reps {
+		if r.AsString() == replica {
+			return nil, cloudapi.Errf(codeValidation, "table %q is already a replica", replica)
+		}
+	}
+	gt.Set("replicaTableNames", cloudapi.List(append(reps, cloudapi.Str(replica))...))
+	return base.OKResult(), nil
+}
+
+func exportTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	t, apiErr := reqTable(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	dest, apiErr := base.ReqStr(p, "s3Bucket")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	e := s.Create(TExportTask, "export")
+	e.Set("tableName", t.Attr("tableName"))
+	e.Set("s3Bucket", cloudapi.Str(dest))
+	e.Set("exportStatus", cloudapi.Str("COMPLETED"))
+	e.Set("itemCount", t.Attr("itemCount"))
+	return cloudapi.Result{"exportId": cloudapi.Str(e.ID)}, nil
+}
+
+func describeExport(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	id, apiErr := base.ReqStr(p, "exportId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	e, ok := s.Live(TExportTask, id)
+	if !ok {
+		return nil, cloudapi.Errf(codeExportNotFound, "export not found: %s", id)
+	}
+	return cloudapi.Result{"export": base.Describe(e)}, nil
+}
+
+func listExports(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	return cloudapi.Result{"exports": base.DescribeAll(s.ListLive(TExportTask))}, nil
+}
+
+func importTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "tableName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findTable(s, name) != nil {
+		return nil, cloudapi.Errf(codeInUse, "table already exists: %s", name)
+	}
+	src, apiErr := base.ReqStr(p, "s3Bucket")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	// The import task records the request; the imported table
+	// materializes out of band in this model (a documented
+	// simplification — see DESIGN.md).
+	im := s.Create(TImportTask, "import")
+	im.Set("tableName", cloudapi.Str(name))
+	im.Set("s3Bucket", cloudapi.Str(src))
+	im.Set("importStatus", cloudapi.Str("COMPLETED"))
+	return cloudapi.Result{"importId": cloudapi.Str(im.ID)}, nil
+}
+
+func describeImport(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	id, apiErr := base.ReqStr(p, "importId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	im, ok := s.Live(TImportTask, id)
+	if !ok {
+		return nil, cloudapi.Errf(codeImportNotFound, "import not found: %s", id)
+	}
+	return cloudapi.Result{"import": base.Describe(im)}, nil
+}
+
+func listImports(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	return cloudapi.Result{"imports": base.DescribeAll(s.ListLive(TImportTask))}, nil
+}

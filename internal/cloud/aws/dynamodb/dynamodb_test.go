@@ -1,0 +1,189 @@
+package dynamodb
+
+import (
+	"testing"
+
+	"lce/internal/cloudapi"
+)
+
+func inv(t *testing.T, b cloudapi.Backend, action string, kv ...any) cloudapi.Result {
+	t.Helper()
+	res, err := b.Invoke(cloudapi.Request{Action: action, Params: params(kv...)})
+	if err != nil {
+		t.Fatalf("%s: %v", action, err)
+	}
+	return res
+}
+
+func invErr(t *testing.T, b cloudapi.Backend, wantCode, action string, kv ...any) {
+	t.Helper()
+	_, err := b.Invoke(cloudapi.Request{Action: action, Params: params(kv...)})
+	ae, ok := cloudapi.AsAPIError(err)
+	if err == nil || !ok {
+		t.Fatalf("%s: want API error %s, got %v", action, wantCode, err)
+	}
+	if ae.Code != wantCode {
+		t.Fatalf("%s: code = %s, want %s (%s)", action, ae.Code, wantCode, ae.Message)
+	}
+}
+
+func params(kv ...any) cloudapi.Params {
+	p := cloudapi.Params{}
+	for i := 0; i < len(kv); i += 2 {
+		switch v := kv[i+1].(type) {
+		case string:
+			p[kv[i].(string)] = cloudapi.Str(v)
+		case int:
+			p[kv[i].(string)] = cloudapi.Int(int64(v))
+		case bool:
+			p[kv[i].(string)] = cloudapi.Bool(v)
+		case cloudapi.Value:
+			p[kv[i].(string)] = v
+		}
+	}
+	return p
+}
+
+func TestTableLifecycle(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateTable", "tableName", "users", "keyAttribute", "pk")
+	invErr(t, svc, codeInUse, "CreateTable", "tableName", "users", "keyAttribute", "pk")
+	res := inv(t, svc, "DescribeTable", "tableName", "users")
+	m := res.Get("table").AsMap()
+	if m["billingMode"].AsString() != "PAY_PER_REQUEST" || m["tableStatus"].AsString() != "ACTIVE" {
+		t.Errorf("table payload = %v", res.Get("table"))
+	}
+	names := inv(t, svc, "ListTables").Get("tableNames").AsList()
+	if len(names) != 1 || names[0].AsString() != "users" {
+		t.Errorf("ListTables = %v", names)
+	}
+	inv(t, svc, "DeleteTable", "tableName", "users")
+	invErr(t, svc, codeNotFound, "DescribeTable", "tableName", "users")
+}
+
+func TestProvisionedCapacityValidation(t *testing.T) {
+	svc := New()
+	invErr(t, svc, codeValidation, "CreateTable", "tableName", "t", "keyAttribute", "pk", "billingMode", "PROVISIONED")
+	inv(t, svc, "CreateTable", "tableName", "t", "keyAttribute", "pk", "billingMode", "PROVISIONED", "readCapacityUnits", 5, "writeCapacityUnits", 5)
+	// Capacity units rejected for on-demand tables.
+	inv(t, svc, "CreateTable", "tableName", "od", "keyAttribute", "pk")
+	invErr(t, svc, codeValidation, "UpdateTable", "tableName", "od", "readCapacityUnits", 10, "writeCapacityUnits", 10)
+	// Switching billing mode clears capacity.
+	inv(t, svc, "UpdateTable", "tableName", "t", "billingMode", "PAY_PER_REQUEST")
+	m := inv(t, svc, "DescribeTable", "tableName", "t").Get("table").AsMap()
+	if _, has := m["readCapacityUnits"]; has {
+		t.Error("capacity units not cleared on billing switch")
+	}
+}
+
+func TestItemsCrud(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateTable", "tableName", "users", "keyAttribute", "pk")
+	attrs := cloudapi.Map(map[string]cloudapi.Value{"name": cloudapi.Str("ada")})
+	inv(t, svc, "PutItem", "tableName", "users", "key", "u1", "attributes", attrs)
+	got := inv(t, svc, "GetItem", "tableName", "users", "key", "u1").Get("item").AsMap()
+	if got["name"].AsString() != "ada" {
+		t.Errorf("item = %v", got)
+	}
+	// Missing key: empty result, not an error.
+	res := inv(t, svc, "GetItem", "tableName", "users", "key", "missing")
+	if !res.Get("item").IsNil() {
+		t.Errorf("missing item = %v", res.Get("item"))
+	}
+	// UpdateItem merges into existing items and rejects missing keys.
+	invErr(t, svc, codeNotFound, "UpdateItem", "tableName", "users", "key", "ghost",
+		"attributes", cloudapi.Map(map[string]cloudapi.Value{"x": cloudapi.Int(1)}))
+	inv(t, svc, "UpdateItem", "tableName", "users", "key", "u1",
+		"attributes", cloudapi.Map(map[string]cloudapi.Value{"age": cloudapi.Int(36)}))
+	got = inv(t, svc, "GetItem", "tableName", "users", "key", "u1").Get("item").AsMap()
+	if got["name"].AsString() != "ada" || got["age"].AsInt() != 36 {
+		t.Errorf("merged item = %v", got)
+	}
+	// Scan counts.
+	inv(t, svc, "PutItem", "tableName", "users", "key", "u2")
+	scan := inv(t, svc, "Scan", "tableName", "users")
+	if scan.Get("count").AsInt() != 2 {
+		t.Errorf("scan count = %v", scan.Get("count"))
+	}
+	// Idempotent delete.
+	inv(t, svc, "DeleteItem", "tableName", "users", "key", "u1")
+	inv(t, svc, "DeleteItem", "tableName", "users", "key", "u1")
+	tbl := inv(t, svc, "DescribeTable", "tableName", "users").Get("table").AsMap()
+	if tbl["itemCount"].AsInt() != 1 {
+		t.Errorf("itemCount = %v", tbl["itemCount"])
+	}
+}
+
+func TestGsiLimitsAndDuplicates(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateTable", "tableName", "users", "keyAttribute", "pk")
+	inv(t, svc, "CreateGlobalSecondaryIndex", "tableName", "users", "indexName", "byEmail", "keyAttribute", "email")
+	invErr(t, svc, codeInUse, "CreateGlobalSecondaryIndex", "tableName", "users", "indexName", "byEmail", "keyAttribute", "email")
+	idx := inv(t, svc, "DescribeGlobalSecondaryIndexes", "tableName", "users").Get("indexes").AsList()
+	if len(idx) != 1 {
+		t.Fatalf("gsi count = %d", len(idx))
+	}
+	inv(t, svc, "DeleteGlobalSecondaryIndex", "tableName", "users", "indexName", "byEmail")
+	invErr(t, svc, codeNotFound, "DeleteGlobalSecondaryIndex", "tableName", "users", "indexName", "byEmail")
+}
+
+func TestTtlToggle(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateTable", "tableName", "t", "keyAttribute", "pk")
+	// No-op TTL updates are rejected, like the real API.
+	invErr(t, svc, codeValidation, "UpdateTimeToLive", "tableName", "t", "ttlEnabled", false)
+	inv(t, svc, "UpdateTimeToLive", "tableName", "t", "ttlEnabled", true)
+	status := inv(t, svc, "DescribeTimeToLive", "tableName", "t").Get("timeToLiveStatus").AsString()
+	if status != "ENABLED" {
+		t.Errorf("ttl status = %q", status)
+	}
+}
+
+func TestBackupsAndRestore(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateTable", "tableName", "users", "keyAttribute", "pk")
+	inv(t, svc, "PutItem", "tableName", "users", "key", "u1")
+	backupID := inv(t, svc, "CreateBackup", "tableName", "users", "backupName", "b1").Get("backupId").AsString()
+	inv(t, svc, "DescribeBackup", "backupId", backupID)
+	invErr(t, svc, "TableAlreadyExistsException", "RestoreTableFromBackup", "backupId", backupID, "targetTableName", "users")
+	inv(t, svc, "RestoreTableFromBackup", "backupId", backupID, "targetTableName", "users2")
+	m := inv(t, svc, "DescribeTable", "tableName", "users2").Get("table").AsMap()
+	if m["itemCount"].AsInt() != 1 {
+		t.Errorf("restored itemCount = %v", m["itemCount"])
+	}
+	inv(t, svc, "DeleteBackup", "backupId", backupID)
+	invErr(t, svc, codeBackupNotFound, "DescribeBackup", "backupId", backupID)
+}
+
+func TestGlobalTables(t *testing.T) {
+	svc := New()
+	invErr(t, svc, codeTableNotFound, "CreateGlobalTable", "globalTableName", "gt")
+	inv(t, svc, "CreateTable", "tableName", "gt", "keyAttribute", "pk")
+	inv(t, svc, "CreateGlobalTable", "globalTableName", "gt")
+	invErr(t, svc, codeGlobalExists, "CreateGlobalTable", "globalTableName", "gt")
+	// A replica table blocks DeleteTable.
+	invErr(t, svc, codeInUse, "DeleteTable", "tableName", "gt")
+	// Add a replica.
+	inv(t, svc, "CreateTable", "tableName", "gt-eu", "keyAttribute", "pk")
+	inv(t, svc, "UpdateGlobalTable", "globalTableName", "gt", "replicaTableName", "gt-eu")
+	invErr(t, svc, codeValidation, "UpdateGlobalTable", "globalTableName", "gt", "replicaTableName", "gt-eu")
+	m := inv(t, svc, "DescribeGlobalTable", "globalTableName", "gt").Get("globalTable").AsMap()
+	if len(m["replicaTableNames"].AsList()) != 2 {
+		t.Errorf("replicas = %v", m["replicaTableNames"])
+	}
+}
+
+func TestExportsAndImports(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateTable", "tableName", "users", "keyAttribute", "pk")
+	exportID := inv(t, svc, "ExportTableToPointInTime", "tableName", "users", "s3Bucket", "backup-bucket").Get("exportId").AsString()
+	inv(t, svc, "DescribeExport", "exportId", exportID)
+	if n := len(inv(t, svc, "ListExports").Get("exports").AsList()); n != 1 {
+		t.Errorf("export count = %d", n)
+	}
+	inv(t, svc, "ImportTable", "tableName", "imported", "s3Bucket", "src-bucket")
+	invErr(t, svc, codeInUse, "ImportTable", "tableName", "users", "s3Bucket", "src-bucket")
+	if n := len(inv(t, svc, "ListImports").Get("imports").AsList()); n != 1 {
+		t.Errorf("import count = %d", n)
+	}
+}

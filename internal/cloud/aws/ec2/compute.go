@@ -1,0 +1,311 @@
+package ec2
+
+import (
+	"strings"
+
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Compute error codes (real AWS codes).
+const (
+	codeInstanceNotFound       = "InvalidInstanceID.NotFound"
+	codeIncorrectInstanceState = "IncorrectInstanceState"
+	codeImageNotFound          = "InvalidAMIID.NotFound"
+	codeKeyPairNotFound        = "InvalidKeyPair.NotFound"
+	codeKeyPairDuplicate       = "InvalidKeyPair.Duplicate"
+	codeLaunchTemplateNotFound = "InvalidLaunchTemplateId.NotFound"
+	codeLaunchTemplateDup      = "InvalidLaunchTemplateName.AlreadyExistsException"
+	codePlacementGroupUnknown  = "InvalidPlacementGroup.Unknown"
+	codePlacementGroupDup      = "InvalidPlacementGroup.Duplicate"
+	codePlacementGroupInUse    = "InvalidPlacementGroup.InUse"
+)
+
+func registerCompute(svc *base.Service) {
+	svc.Register("RunInstances", runInstances)
+	svc.Register("StartInstances", startInstances)
+	svc.Register("StopInstances", stopInstances)
+	svc.Register("TerminateInstances", terminateInstances)
+	svc.Register("DescribeInstances", describeAllOf(TInstance, "instances"))
+	svc.Register("ModifyInstanceAttribute", modifyInstanceAttribute)
+
+	svc.Register("CreateKeyPair", createKeyPair)
+	svc.Register("DeleteKeyPair", deleteKeyPair)
+	svc.Register("DescribeKeyPairs", describeAllOf(TKeyPair, "keyPairs"))
+
+	svc.Register("CreateImage", createImage)
+	svc.Register("DeregisterImage", deregisterImage)
+	svc.Register("DescribeImages", describeAllOf(TImage, "images"))
+
+	svc.Register("CreateLaunchTemplate", createLaunchTemplate)
+	svc.Register("DeleteLaunchTemplate", deleteLaunchTemplate)
+	svc.Register("DescribeLaunchTemplates", describeAllOf(TLaunchTemplate, "launchTemplates"))
+
+	svc.Register("CreatePlacementGroup", createPlacementGroup)
+	svc.Register("DeletePlacementGroup", deletePlacementGroup)
+	svc.Register("DescribePlacementGroups", describeAllOf(TPlacementGroup, "placementGroups"))
+}
+
+// isBurstable reports whether an instance type supports credit
+// specifications (t2/t3/t4g families).
+func isBurstable(instanceType string) bool {
+	return strings.HasPrefix(instanceType, "t2.") ||
+		strings.HasPrefix(instanceType, "t3.") ||
+		strings.HasPrefix(instanceType, "t3a.") ||
+		strings.HasPrefix(instanceType, "t4g.")
+}
+
+func runInstances(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	sub, apiErr := reqLive(s, p, "subnetId", TSubnet, codeSubnetNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	instanceType := base.OptStr(p, "instanceType", "m5.large")
+	tenancy := base.OptStr(p, "instanceTenancy", "")
+	if tenancy == "" {
+		// Tenancy defaults to the VPC's tenancy attribute — resource
+		// context the D2C baseline loses.
+		if vpc, ok := s.Live(TVpc, sub.Str("vpcId")); ok {
+			tenancy = vpc.Str("instanceTenancy")
+		} else {
+			tenancy = "default"
+		}
+	}
+	switch tenancy {
+	case "default", "dedicated", "host":
+	default:
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid tenancy %q", tenancy)
+	}
+	credit := base.OptStr(p, "creditSpecification", "")
+	if credit != "" {
+		if !isBurstable(instanceType) {
+			return nil, fmtErr(codeParamCombo, "the instance type '%s' does not support credit specifications", instanceType)
+		}
+		if credit != "standard" && credit != "unlimited" {
+			return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid credit specification %q", credit)
+		}
+	} else if isBurstable(instanceType) {
+		credit = "standard"
+	}
+	if p.Has("keyName") {
+		name := p.Get("keyName").AsString()
+		if s.FindLive(TKeyPair, func(r *base.Resource) bool { return r.Str("keyName") == name }) == nil {
+			return nil, fmtErr(codeKeyPairNotFound, "the key pair '%s' does not exist", name)
+		}
+	}
+	if p.Has("placementGroupName") {
+		name := p.Get("placementGroupName").AsString()
+		if s.FindLive(TPlacementGroup, func(r *base.Resource) bool { return r.Str("groupName") == name }) == nil {
+			return nil, fmtErr(codePlacementGroupUnknown, "the placement group '%s' is unknown", name)
+		}
+	}
+	inst := s.Create(TInstance, "i")
+	stamp(inst)
+	inst.Parent = sub.ID
+	inst.Set("subnetId", cloudapi.Str(sub.ID))
+	inst.Set("instanceType", cloudapi.Str(instanceType))
+	inst.Set("state", cloudapi.Str("running"))
+	inst.Set("instanceTenancy", cloudapi.Str(tenancy))
+	if credit != "" {
+		inst.Set("creditSpecification", cloudapi.Str(credit))
+	}
+	if p.Has("keyName") {
+		inst.Set("keyName", p.Get("keyName"))
+	}
+	if p.Has("placementGroupName") {
+		inst.Set("placementGroupName", p.Get("placementGroupName"))
+	}
+	return idResult("instanceId", inst), nil
+}
+
+func startInstances(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	inst, apiErr := reqLive(s, p, "instanceId", TInstance, codeInstanceNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	// The transition error the paper highlights: starting an instance
+	// that is not stopped fails with IncorrectInstanceState, it does
+	// NOT succeed silently.
+	if inst.Str("state") != "stopped" {
+		return nil, fmtErr(codeIncorrectInstanceState, "the instance '%s' is not in a state from which it can be started (current state: %s)", inst.ID, inst.Str("state"))
+	}
+	inst.Set("state", cloudapi.Str("running"))
+	return base.OKResult(), nil
+}
+
+func stopInstances(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	inst, apiErr := reqLive(s, p, "instanceId", TInstance, codeInstanceNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if inst.Str("state") != "running" {
+		return nil, fmtErr(codeIncorrectInstanceState, "the instance '%s' is not in a state from which it can be stopped (current state: %s)", inst.ID, inst.Str("state"))
+	}
+	inst.Set("state", cloudapi.Str("stopped"))
+	return base.OKResult(), nil
+}
+
+func terminateInstances(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	inst, apiErr := reqLive(s, p, "instanceId", TInstance, codeInstanceNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if att := s.FindLive(TVolume, func(r *base.Resource) bool { return r.Str("attachedInstanceId") == inst.ID }); att != nil {
+		att.Set("attachedInstanceId", cloudapi.Nil)
+		att.Set("state", cloudapi.Str("available"))
+	}
+	s.Delete(inst.ID)
+	return base.OKResult(), nil
+}
+
+func modifyInstanceAttribute(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	inst, apiErr := reqLive(s, p, "instanceId", TInstance, codeInstanceNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if p.Has("instanceType") {
+		// Changing the instance type requires the instance to be
+		// stopped.
+		if inst.Str("state") != "stopped" {
+			return nil, fmtErr(codeIncorrectInstanceState, "the instance '%s' must be stopped to modify its type", inst.ID)
+		}
+		t := p.Get("instanceType").AsString()
+		inst.Set("instanceType", cloudapi.Str(t))
+		if !isBurstable(t) {
+			inst.Set("creditSpecification", cloudapi.Nil)
+		} else if inst.Str("creditSpecification") == "" {
+			inst.Set("creditSpecification", cloudapi.Str("standard"))
+		}
+		return base.OKResult(), nil
+	}
+	if p.Has("creditSpecification") {
+		credit := p.Get("creditSpecification").AsString()
+		if !isBurstable(inst.Str("instanceType")) {
+			return nil, fmtErr(codeParamCombo, "the instance type '%s' does not support credit specifications", inst.Str("instanceType"))
+		}
+		if credit != "standard" && credit != "unlimited" {
+			return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid credit specification %q", credit)
+		}
+		inst.Set("creditSpecification", cloudapi.Str(credit))
+		return base.OKResult(), nil
+	}
+	return nil, fmtErr(cloudapi.CodeMissingParameter, "the request must contain an attribute to modify")
+}
+
+func createKeyPair(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "keyName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TKeyPair, func(r *base.Resource) bool { return r.Str("keyName") == name }) != nil {
+		return nil, fmtErr(codeKeyPairDuplicate, "the keypair '%s' already exists", name)
+	}
+	kp := s.Create(TKeyPair, "key")
+	stamp(kp)
+	kp.Set("keyName", cloudapi.Str(name))
+	kp.Set("keyFingerprint", cloudapi.Str("00:"+name))
+	return idResult("keyPairId", kp), nil
+}
+
+func deleteKeyPair(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "keyName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	kp := s.FindLive(TKeyPair, func(r *base.Resource) bool { return r.Str("keyName") == name })
+	if kp == nil {
+		// DeleteKeyPair is idempotent in AWS: deleting a missing key
+		// succeeds.
+		return base.OKResult(), nil
+	}
+	s.Delete(kp.ID)
+	return base.OKResult(), nil
+}
+
+func createImage(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	inst, apiErr := reqLive(s, p, "instanceId", TInstance, codeInstanceNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "name")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	img := s.Create(TImage, "ami")
+	stamp(img)
+	img.Set("name", cloudapi.Str(name))
+	img.Set("sourceInstanceId", cloudapi.Str(inst.ID))
+	img.Set("state", cloudapi.Str("available"))
+	return idResult("imageId", img), nil
+}
+
+func deregisterImage(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	img, apiErr := reqLive(s, p, "imageId", TImage, codeImageNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(img.ID)
+	return base.OKResult(), nil
+}
+
+func createLaunchTemplate(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "launchTemplateName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TLaunchTemplate, func(r *base.Resource) bool { return r.Str("launchTemplateName") == name }) != nil {
+		return nil, fmtErr(codeLaunchTemplateDup, "launch template name '%s' is already in use", name)
+	}
+	lt := s.Create(TLaunchTemplate, "lt")
+	stamp(lt)
+	lt.Set("launchTemplateName", cloudapi.Str(name))
+	lt.Set("instanceType", cloudapi.Str(base.OptStr(p, "instanceType", "m5.large")))
+	return idResult("launchTemplateId", lt), nil
+}
+
+func deleteLaunchTemplate(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	lt, apiErr := reqLive(s, p, "launchTemplateId", TLaunchTemplate, codeLaunchTemplateNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(lt.ID)
+	return base.OKResult(), nil
+}
+
+func createPlacementGroup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "groupName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TPlacementGroup, func(r *base.Resource) bool { return r.Str("groupName") == name }) != nil {
+		return nil, fmtErr(codePlacementGroupDup, "the placement group '%s' already exists", name)
+	}
+	strategy := base.OptStr(p, "strategy", "cluster")
+	switch strategy {
+	case "cluster", "spread", "partition":
+	default:
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid placement strategy %q", strategy)
+	}
+	pg := s.Create(TPlacementGroup, "pg")
+	stamp(pg)
+	pg.Set("groupName", cloudapi.Str(name))
+	pg.Set("strategy", cloudapi.Str(strategy))
+	pg.Set("state", cloudapi.Str("available"))
+	return idResult("placementGroupId", pg), nil
+}
+
+func deletePlacementGroup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "groupName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	pg := s.FindLive(TPlacementGroup, func(r *base.Resource) bool { return r.Str("groupName") == name })
+	if pg == nil {
+		return nil, fmtErr(codePlacementGroupUnknown, "the placement group '%s' is unknown", name)
+	}
+	if s.FindLive(TInstance, func(r *base.Resource) bool { return r.Str("placementGroupName") == name }) != nil {
+		return nil, fmtErr(codePlacementGroupInUse, "the placement group '%s' is in use", name)
+	}
+	s.Delete(pg.ID)
+	return base.OKResult(), nil
+}

@@ -1,0 +1,362 @@
+package ec2
+
+import (
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Connectivity error codes (real AWS codes).
+const (
+	codePeeringNotFound     = "InvalidVpcPeeringConnectionID.NotFound"
+	codePeeringState        = "InvalidStateTransition"
+	codeEndpointNotFound    = "InvalidVpcEndpointId.NotFound"
+	codeDhcpNotFound        = "InvalidDhcpOptionsID.NotFound"
+	codeCgwNotFound         = "InvalidCustomerGatewayID.NotFound"
+	codeVgwNotFound         = "InvalidVpnGatewayID.NotFound"
+	codeVpnConnNotFound     = "InvalidVpnConnectionID.NotFound"
+	codeTgwNotFound         = "InvalidTransitGatewayID.NotFound"
+	codeTgwAttachNotFound   = "InvalidTransitGatewayAttachmentID.NotFound"
+	codeVgwAttachmentExists = "VpnGatewayAttachmentLimitExceeded"
+)
+
+func registerConnectivity(svc *base.Service) {
+	svc.Register("CreateVpcEndpoint", createVpcEndpoint)
+	svc.Register("DeleteVpcEndpoint", deleteVpcEndpoint)
+	svc.Register("DescribeVpcEndpoints", describeAllOf(TVpcEndpoint, "vpcEndpoints"))
+	svc.Register("ModifyVpcEndpoint", modifyVpcEndpoint)
+
+	svc.Register("CreateVpcPeeringConnection", createVpcPeering)
+	svc.Register("AcceptVpcPeeringConnection", acceptVpcPeering)
+	svc.Register("RejectVpcPeeringConnection", rejectVpcPeering)
+	svc.Register("DeleteVpcPeeringConnection", deleteVpcPeering)
+	svc.Register("DescribeVpcPeeringConnections", describeAllOf(TVpcPeering, "vpcPeeringConnections"))
+
+	svc.Register("CreateDhcpOptions", createDhcpOptions)
+	svc.Register("DeleteDhcpOptions", deleteDhcpOptions)
+	svc.Register("AssociateDhcpOptions", associateDhcpOptions)
+	svc.Register("DescribeDhcpOptions", describeAllOf(TDhcpOptions, "dhcpOptions"))
+
+	svc.Register("CreateCustomerGateway", createCustomerGateway)
+	svc.Register("DeleteCustomerGateway", deleteCustomerGateway)
+	svc.Register("DescribeCustomerGateways", describeAllOf(TCustomerGateway, "customerGateways"))
+
+	svc.Register("CreateVpnGateway", createVpnGateway)
+	svc.Register("DeleteVpnGateway", deleteVpnGateway)
+	svc.Register("AttachVpnGateway", attachVpnGateway)
+	svc.Register("DetachVpnGateway", detachVpnGateway)
+	svc.Register("DescribeVpnGateways", describeAllOf(TVpnGateway, "vpnGateways"))
+
+	svc.Register("CreateVpnConnection", createVpnConnection)
+	svc.Register("DeleteVpnConnection", deleteVpnConnection)
+	svc.Register("DescribeVpnConnections", describeAllOf(TVpnConnection, "vpnConnections"))
+
+	svc.Register("CreateTransitGateway", createTransitGateway)
+	svc.Register("DeleteTransitGateway", deleteTransitGateway)
+	svc.Register("DescribeTransitGateways", describeAllOf(TTransitGateway, "transitGateways"))
+	svc.Register("CreateTransitGatewayVpcAttachment", createTgwAttachment)
+	svc.Register("DeleteTransitGatewayVpcAttachment", deleteTgwAttachment)
+	svc.Register("DescribeTransitGatewayAttachments", describeAllOf(TTransitGatewayAttachment, "transitGatewayAttachments"))
+}
+
+func createVpcEndpoint(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	serviceName, apiErr := base.ReqStr(p, "serviceName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	epType := base.OptStr(p, "vpcEndpointType", "Gateway")
+	if epType != "Gateway" && epType != "Interface" {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid endpoint type %q", epType)
+	}
+	ep := s.Create(TVpcEndpoint, "vpce")
+	stamp(ep)
+	ep.Parent = vpc.ID
+	ep.Set("vpcId", cloudapi.Str(vpc.ID))
+	ep.Set("serviceName", cloudapi.Str(serviceName))
+	ep.Set("vpcEndpointType", cloudapi.Str(epType))
+	ep.Set("state", cloudapi.Str("available"))
+	return idResult("vpcEndpointId", ep), nil
+}
+
+func deleteVpcEndpoint(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	ep, apiErr := reqLive(s, p, "vpcEndpointId", TVpcEndpoint, codeEndpointNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(ep.ID)
+	return base.OKResult(), nil
+}
+
+func modifyVpcEndpoint(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	ep, apiErr := reqLive(s, p, "vpcEndpointId", TVpcEndpoint, codeEndpointNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if !p.Has("policyDocument") {
+		return nil, fmtErr(cloudapi.CodeMissingParameter, "the request must contain the parameter policyDocument")
+	}
+	ep.Set("policyDocument", p.Get("policyDocument"))
+	return base.OKResult(), nil
+}
+
+func createVpcPeering(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	requester, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	accepter, apiErr := reqLive(s, p, "peerVpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if requester.ID == accepter.ID {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "a VPC cannot be peered with itself")
+	}
+	pcx := s.Create(TVpcPeering, "pcx")
+	stamp(pcx)
+	pcx.Set("requesterVpcId", cloudapi.Str(requester.ID))
+	pcx.Set("accepterVpcId", cloudapi.Str(accepter.ID))
+	pcx.Set("status", cloudapi.Str("pending-acceptance"))
+	return idResult("vpcPeeringConnectionId", pcx), nil
+}
+
+func acceptVpcPeering(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	pcx, apiErr := reqLive(s, p, "vpcPeeringConnectionId", TVpcPeering, codePeeringNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if pcx.Str("status") != "pending-acceptance" {
+		return nil, fmtErr(codePeeringState, "the peering connection '%s' is not pending acceptance (status: %s)", pcx.ID, pcx.Str("status"))
+	}
+	pcx.Set("status", cloudapi.Str("active"))
+	return base.OKResult(), nil
+}
+
+func rejectVpcPeering(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	pcx, apiErr := reqLive(s, p, "vpcPeeringConnectionId", TVpcPeering, codePeeringNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if pcx.Str("status") != "pending-acceptance" {
+		return nil, fmtErr(codePeeringState, "the peering connection '%s' is not pending acceptance (status: %s)", pcx.ID, pcx.Str("status"))
+	}
+	pcx.Set("status", cloudapi.Str("rejected"))
+	return base.OKResult(), nil
+}
+
+func deleteVpcPeering(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	pcx, apiErr := reqLive(s, p, "vpcPeeringConnectionId", TVpcPeering, codePeeringNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(pcx.ID)
+	return base.OKResult(), nil
+}
+
+func createDhcpOptions(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	domain, apiErr := base.ReqStr(p, "domainName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	d := s.Create(TDhcpOptions, "dopt")
+	stamp(d)
+	d.Set("domainName", cloudapi.Str(domain))
+	return idResult("dhcpOptionsId", d), nil
+}
+
+func deleteDhcpOptions(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	d, apiErr := reqLive(s, p, "dhcpOptionsId", TDhcpOptions, codeDhcpNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if vpc := s.FindLive(TVpc, func(r *base.Resource) bool { return r.Str("dhcpOptionsId") == d.ID }); vpc != nil {
+		return nil, fmtErr(cloudapi.CodeDependencyViolation, "the dhcp options '%s' are associated with vpc '%s'", d.ID, vpc.ID)
+	}
+	s.Delete(d.ID)
+	return base.OKResult(), nil
+}
+
+func associateDhcpOptions(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	d, apiErr := reqLive(s, p, "dhcpOptionsId", TDhcpOptions, codeDhcpNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vpc.Set("dhcpOptionsId", cloudapi.Str(d.ID))
+	return base.OKResult(), nil
+}
+
+func createCustomerGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	asn, apiErr := base.ReqInt(p, "bgpAsn")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if asn < 1 || asn > 4294967294 {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid BGP ASN %d", asn)
+	}
+	ip, apiErr := base.ReqStr(p, "ipAddress")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	cgw := s.Create(TCustomerGateway, "cgw")
+	stamp(cgw)
+	cgw.Set("bgpAsn", cloudapi.Int(asn))
+	cgw.Set("ipAddress", cloudapi.Str(ip))
+	cgw.Set("type", cloudapi.Str("ipsec.1"))
+	cgw.Set("state", cloudapi.Str("available"))
+	return idResult("customerGatewayId", cgw), nil
+}
+
+func deleteCustomerGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	cgw, apiErr := reqLive(s, p, "customerGatewayId", TCustomerGateway, codeCgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if conn := s.FindLive(TVpnConnection, func(r *base.Resource) bool { return r.Str("customerGatewayId") == cgw.ID }); conn != nil {
+		return nil, fmtErr("IncorrectState", "the customer gateway '%s' is in use by vpn connection '%s'", cgw.ID, conn.ID)
+	}
+	s.Delete(cgw.ID)
+	return base.OKResult(), nil
+}
+
+func createVpnGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vgw := s.Create(TVpnGateway, "vgw")
+	stamp(vgw)
+	vgw.Set("type", cloudapi.Str("ipsec.1"))
+	vgw.Set("state", cloudapi.Str("available"))
+	return idResult("vpnGatewayId", vgw), nil
+}
+
+func deleteVpnGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vgw, apiErr := reqLive(s, p, "vpnGatewayId", TVpnGateway, codeVgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if vgw.Str("attachedVpcId") != "" {
+		return nil, fmtErr("IncorrectState", "the vpn gateway '%s' is still attached to vpc '%s'", vgw.ID, vgw.Str("attachedVpcId"))
+	}
+	if conn := s.FindLive(TVpnConnection, func(r *base.Resource) bool { return r.Str("vpnGatewayId") == vgw.ID }); conn != nil {
+		return nil, fmtErr("IncorrectState", "the vpn gateway '%s' is in use by vpn connection '%s'", vgw.ID, conn.ID)
+	}
+	s.Delete(vgw.ID)
+	return base.OKResult(), nil
+}
+
+func attachVpnGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vgw, apiErr := reqLive(s, p, "vpnGatewayId", TVpnGateway, codeVgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if vgw.Str("attachedVpcId") != "" {
+		return nil, fmtErr(codeVgwAttachmentExists, "the vpn gateway '%s' is already attached", vgw.ID)
+	}
+	vgw.Set("attachedVpcId", cloudapi.Str(vpc.ID))
+	return base.OKResult(), nil
+}
+
+func detachVpnGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vgw, apiErr := reqLive(s, p, "vpnGatewayId", TVpnGateway, codeVgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vpcID, apiErr := base.ReqStr(p, "vpcId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if vgw.Str("attachedVpcId") != vpcID {
+		return nil, fmtErr(codeGatewayNotAttached, "the vpn gateway '%s' is not attached to vpc '%s'", vgw.ID, vpcID)
+	}
+	vgw.Set("attachedVpcId", cloudapi.Nil)
+	return base.OKResult(), nil
+}
+
+func createVpnConnection(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	cgw, apiErr := reqLive(s, p, "customerGatewayId", TCustomerGateway, codeCgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vgw, apiErr := reqLive(s, p, "vpnGatewayId", TVpnGateway, codeVgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	conn := s.Create(TVpnConnection, "vpn")
+	stamp(conn)
+	conn.Set("customerGatewayId", cloudapi.Str(cgw.ID))
+	conn.Set("vpnGatewayId", cloudapi.Str(vgw.ID))
+	conn.Set("type", cloudapi.Str("ipsec.1"))
+	conn.Set("state", cloudapi.Str("available"))
+	return idResult("vpnConnectionId", conn), nil
+}
+
+func deleteVpnConnection(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	conn, apiErr := reqLive(s, p, "vpnConnectionId", TVpnConnection, codeVpnConnNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(conn.ID)
+	return base.OKResult(), nil
+}
+
+func createTransitGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	tgw := s.Create(TTransitGateway, "tgw")
+	stamp(tgw)
+	tgw.Set("state", cloudapi.Str("available"))
+	if p.Has("description") {
+		tgw.Set("description", p.Get("description"))
+	}
+	return idResult("transitGatewayId", tgw), nil
+}
+
+func deleteTransitGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	tgw, apiErr := reqLive(s, p, "transitGatewayId", TTransitGateway, codeTgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if child := s.AnyChild(tgw.ID, TTransitGatewayAttachment); child != nil {
+		return nil, fmtErr("IncorrectState", "the transit gateway '%s' has attachments (%s) and cannot be deleted", tgw.ID, child.ID)
+	}
+	s.Delete(tgw.ID)
+	return base.OKResult(), nil
+}
+
+func createTgwAttachment(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	tgw, apiErr := reqLive(s, p, "transitGatewayId", TTransitGateway, codeTgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	dup := s.FindLive(TTransitGatewayAttachment, func(r *base.Resource) bool {
+		return r.Parent == tgw.ID && r.Str("vpcId") == vpc.ID
+	})
+	if dup != nil {
+		return nil, fmtErr("DuplicateTransitGatewayAttachment", "vpc '%s' is already attached to transit gateway '%s'", vpc.ID, tgw.ID)
+	}
+	att := s.Create(TTransitGatewayAttachment, "tgw-attach")
+	stamp(att)
+	att.Parent = tgw.ID
+	att.Set("transitGatewayId", cloudapi.Str(tgw.ID))
+	att.Set("vpcId", cloudapi.Str(vpc.ID))
+	att.Set("state", cloudapi.Str("available"))
+	return idResult("transitGatewayAttachmentId", att), nil
+}
+
+func deleteTgwAttachment(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	att, apiErr := reqLive(s, p, "transitGatewayAttachmentId", TTransitGatewayAttachment, codeTgwAttachNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(att.ID)
+	return base.OKResult(), nil
+}

@@ -1,0 +1,593 @@
+package ec2
+
+import (
+	"testing"
+
+	"lce/internal/cloudapi"
+)
+
+func inv(t *testing.T, b cloudapi.Backend, action string, kv ...any) cloudapi.Result {
+	t.Helper()
+	res, err := b.Invoke(cloudapi.Request{Action: action, Params: params(kv...)})
+	if err != nil {
+		t.Fatalf("%s: %v", action, err)
+	}
+	return res
+}
+
+func invErr(t *testing.T, b cloudapi.Backend, wantCode, action string, kv ...any) {
+	t.Helper()
+	_, err := b.Invoke(cloudapi.Request{Action: action, Params: params(kv...)})
+	if err == nil {
+		t.Fatalf("%s: want error %s, got success", action, wantCode)
+	}
+	ae, ok := cloudapi.AsAPIError(err)
+	if !ok {
+		t.Fatalf("%s: non-API error %v", action, err)
+	}
+	if ae.Code != wantCode {
+		t.Fatalf("%s: code = %s, want %s (%s)", action, ae.Code, wantCode, ae.Message)
+	}
+}
+
+func params(kv ...any) cloudapi.Params {
+	p := cloudapi.Params{}
+	for i := 0; i < len(kv); i += 2 {
+		name := kv[i].(string)
+		switch v := kv[i+1].(type) {
+		case string:
+			p[name] = cloudapi.Str(v)
+		case int:
+			p[name] = cloudapi.Int(int64(v))
+		case bool:
+			p[name] = cloudapi.Bool(v)
+		case cloudapi.Value:
+			p[name] = v
+		default:
+			panic("unsupported param type")
+		}
+	}
+	return p
+}
+
+func mkVpc(t *testing.T, b cloudapi.Backend, block string) string {
+	t.Helper()
+	return inv(t, b, "CreateVpc", "cidrBlock", block).Get("vpcId").AsString()
+}
+
+func mkSubnet(t *testing.T, b cloudapi.Backend, vpcID, block string) string {
+	t.Helper()
+	return inv(t, b, "CreateSubnet", "vpcId", vpcID, "cidrBlock", block).Get("subnetId").AsString()
+}
+
+func mkInstance(t *testing.T, b cloudapi.Backend, subnetID string, extra ...any) string {
+	t.Helper()
+	kv := append([]any{"subnetId", subnetID}, extra...)
+	return inv(t, b, "RunInstances", kv...).Get("instanceId").AsString()
+}
+
+func TestVpcLifecycle(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	res := inv(t, svc, "DescribeVpcs")
+	vpcs := res.Get("vpcs").AsList()
+	if len(vpcs) != 1 {
+		t.Fatalf("vpc count = %d", len(vpcs))
+	}
+	m := vpcs[0].AsMap()
+	if m["id"].AsString() != vpcID || m["cidrBlock"].AsString() != "10.0.0.0/16" {
+		t.Errorf("describe payload = %v", vpcs[0])
+	}
+	if m["instanceTenancy"].AsString() != "default" || !m["enableDnsSupport"].AsBool() || m["enableDnsHostnames"].AsBool() {
+		t.Errorf("default attributes wrong: %v", vpcs[0])
+	}
+	inv(t, svc, "DeleteVpc", "vpcId", vpcID)
+	invErr(t, svc, codeVpcNotFound, "DeleteVpc", "vpcId", vpcID)
+}
+
+func TestVpcCidrValidation(t *testing.T) {
+	svc := New()
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "CreateVpc", "cidrBlock", "banana")
+	invErr(t, svc, codeVpcRange, "CreateVpc", "cidrBlock", "10.0.0.0/8")
+	invErr(t, svc, codeVpcRange, "CreateVpc", "cidrBlock", "10.0.0.0/29")
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "CreateVpc", "cidrBlock", "10.0.0.0/16", "instanceTenancy", "banana")
+}
+
+func TestDeleteVpcDependencyViolation(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	invErr(t, svc, cloudapi.CodeDependencyViolation, "DeleteVpc", "vpcId", vpcID)
+	inv(t, svc, "DeleteSubnet", "subnetId", subID)
+	inv(t, svc, "DeleteVpc", "vpcId", vpcID)
+}
+
+func TestDeleteVpcBlockedByAttachedIgw(t *testing.T) {
+	// The exact Moto bug the paper cites: DeleteVpc must fail with
+	// DependencyViolation while an Internet Gateway is attached.
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	igwID := inv(t, svc, "CreateInternetGateway").Get("internetGatewayId").AsString()
+	inv(t, svc, "AttachInternetGateway", "internetGatewayId", igwID, "vpcId", vpcID)
+	invErr(t, svc, cloudapi.CodeDependencyViolation, "DeleteVpc", "vpcId", vpcID)
+	inv(t, svc, "DetachInternetGateway", "internetGatewayId", igwID, "vpcId", vpcID)
+	inv(t, svc, "DeleteVpc", "vpcId", vpcID)
+}
+
+func TestModifyVpcAttributeDnsCoupling(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	// Disable support first, then enabling hostnames must fail.
+	inv(t, svc, "ModifyVpcAttribute", "vpcId", vpcID, "enableDnsSupport", false)
+	invErr(t, svc, codeParamCombo, "ModifyVpcAttribute", "vpcId", vpcID, "enableDnsHostnames", true)
+	// Re-enable support; hostnames may follow; then support cannot be
+	// disabled while hostnames are on.
+	inv(t, svc, "ModifyVpcAttribute", "vpcId", vpcID, "enableDnsSupport", true)
+	inv(t, svc, "ModifyVpcAttribute", "vpcId", vpcID, "enableDnsHostnames", true)
+	invErr(t, svc, codeParamCombo, "ModifyVpcAttribute", "vpcId", vpcID, "enableDnsSupport", false)
+}
+
+func TestCreateDefaultVpc(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateDefaultVpc")
+	invErr(t, svc, codeDefaultVpcExists, "CreateDefaultVpc")
+}
+
+func TestSubnetChecks(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	// Out of VPC range.
+	invErr(t, svc, codeSubnetRange, "CreateSubnet", "vpcId", vpcID, "cidrBlock", "192.168.0.0/24")
+	// Invalid prefix size even though it fits: the /29 edge case.
+	invErr(t, svc, codeSubnetRange, "CreateSubnet", "vpcId", vpcID, "cidrBlock", "10.0.1.0/29")
+	// Valid.
+	mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	// Overlapping sibling.
+	invErr(t, svc, codeSubnetConflict, "CreateSubnet", "vpcId", vpcID, "cidrBlock", "10.0.1.128/25")
+	// Unknown vpc.
+	invErr(t, svc, codeVpcNotFound, "CreateSubnet", "vpcId", "vpc-nope", "cidrBlock", "10.0.2.0/24")
+}
+
+func TestModifySubnetAttribute(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	inv(t, svc, "ModifySubnetAttribute", "subnetId", subID, "mapPublicIpOnLaunch", true)
+	subs := inv(t, svc, "DescribeSubnets").Get("subnets").AsList()
+	if !subs[0].AsMap()["mapPublicIpOnLaunch"].AsBool() {
+		t.Error("mapPublicIpOnLaunch not persisted")
+	}
+}
+
+func TestInstanceStateMachine(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	instID := mkInstance(t, svc, subID)
+
+	// Starting a running instance must FAIL, not silently succeed —
+	// the paper's headline transition error.
+	invErr(t, svc, codeIncorrectInstanceState, "StartInstances", "instanceId", instID)
+	inv(t, svc, "StopInstances", "instanceId", instID)
+	invErr(t, svc, codeIncorrectInstanceState, "StopInstances", "instanceId", instID)
+	inv(t, svc, "StartInstances", "instanceId", instID)
+	inv(t, svc, "TerminateInstances", "instanceId", instID)
+	invErr(t, svc, codeInstanceNotFound, "StartInstances", "instanceId", instID)
+}
+
+func TestInstanceTenancyInheritedFromVpc(t *testing.T) {
+	svc := New()
+	vpcID := inv(t, svc, "CreateVpc", "cidrBlock", "10.0.0.0/16", "instanceTenancy", "dedicated").Get("vpcId").AsString()
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	instID := mkInstance(t, svc, subID)
+	insts := inv(t, svc, "DescribeInstances").Get("instances").AsList()
+	if got := insts[0].AsMap()["instanceTenancy"].AsString(); got != "dedicated" {
+		t.Errorf("tenancy = %q, want dedicated (inherited); instance %s", got, instID)
+	}
+}
+
+func TestCreditSpecificationRules(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	// Credit spec on a non-burstable type is an invalid combination.
+	invErr(t, svc, codeParamCombo, "RunInstances", "subnetId", subID, "instanceType", "m5.large", "creditSpecification", "unlimited")
+	// Burstable types default to standard.
+	instID := mkInstance(t, svc, subID, "instanceType", "t3.micro")
+	insts := inv(t, svc, "DescribeInstances").Get("instances").AsList()
+	if got := insts[0].AsMap()["creditSpecification"].AsString(); got != "standard" {
+		t.Errorf("credit spec = %q, want standard", got)
+	}
+	// Modify requires the attribute to be applicable.
+	inv(t, svc, "ModifyInstanceAttribute", "instanceId", instID, "creditSpecification", "unlimited")
+	insts = inv(t, svc, "DescribeInstances").Get("instances").AsList()
+	if got := insts[0].AsMap()["creditSpecification"].AsString(); got != "unlimited" {
+		t.Errorf("credit spec after modify = %q", got)
+	}
+}
+
+func TestModifyInstanceTypeRequiresStopped(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	instID := mkInstance(t, svc, subID)
+	invErr(t, svc, codeIncorrectInstanceState, "ModifyInstanceAttribute", "instanceId", instID, "instanceType", "m5.xlarge")
+	inv(t, svc, "StopInstances", "instanceId", instID)
+	inv(t, svc, "ModifyInstanceAttribute", "instanceId", instID, "instanceType", "m5.xlarge")
+}
+
+func TestSubnetDeleteBlockedByInstance(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	mkInstance(t, svc, subID)
+	invErr(t, svc, cloudapi.CodeDependencyViolation, "DeleteSubnet", "subnetId", subID)
+}
+
+func TestInternetGatewayLifecycle(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	igwID := inv(t, svc, "CreateInternetGateway").Get("internetGatewayId").AsString()
+	inv(t, svc, "AttachInternetGateway", "internetGatewayId", igwID, "vpcId", vpcID)
+	invErr(t, svc, codeAlreadyAssociated, "AttachInternetGateway", "internetGatewayId", igwID, "vpcId", vpcID)
+	// Second IGW on the same VPC is rejected.
+	igw2 := inv(t, svc, "CreateInternetGateway").Get("internetGatewayId").AsString()
+	invErr(t, svc, codeAlreadyAssociated, "AttachInternetGateway", "internetGatewayId", igw2, "vpcId", vpcID)
+	// Deleting an attached IGW fails.
+	invErr(t, svc, cloudapi.CodeDependencyViolation, "DeleteInternetGateway", "internetGatewayId", igwID)
+	inv(t, svc, "DetachInternetGateway", "internetGatewayId", igwID, "vpcId", vpcID)
+	invErr(t, svc, codeGatewayNotAttached, "DetachInternetGateway", "internetGatewayId", igwID, "vpcId", vpcID)
+	inv(t, svc, "DeleteInternetGateway", "internetGatewayId", igwID)
+}
+
+func TestNatGatewayNeedsFreeAddress(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	allocID := inv(t, svc, "AllocateAddress").Get("allocationId").AsString()
+	natID := inv(t, svc, "CreateNatGateway", "subnetId", subID, "allocationId", allocID).Get("natGatewayId").AsString()
+	// The same address cannot back two NAT gateways.
+	invErr(t, svc, codeAddressInUse, "CreateNatGateway", "subnetId", subID, "allocationId", allocID)
+	// Nor can it be released while in use.
+	invErr(t, svc, codeAddressInUse, "ReleaseAddress", "allocationId", allocID)
+	inv(t, svc, "DeleteNatGateway", "natGatewayId", natID)
+	inv(t, svc, "ReleaseAddress", "allocationId", allocID)
+}
+
+func TestRouteTableLifecycle(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	rtID := inv(t, svc, "CreateRouteTable", "vpcId", vpcID).Get("routeTableId").AsString()
+	igwID := inv(t, svc, "CreateInternetGateway").Get("internetGatewayId").AsString()
+	inv(t, svc, "AttachInternetGateway", "internetGatewayId", igwID, "vpcId", vpcID)
+
+	inv(t, svc, "CreateRoute", "routeTableId", rtID, "destinationCidrBlock", "0.0.0.0/0", "gatewayId", igwID)
+	invErr(t, svc, codeRouteExists, "CreateRoute", "routeTableId", rtID, "destinationCidrBlock", "0.0.0.0/0", "gatewayId", igwID)
+	invErr(t, svc, codeIgwNotFound, "CreateRoute", "routeTableId", rtID, "destinationCidrBlock", "1.0.0.0/8", "gatewayId", "igw-bogus")
+
+	inv(t, svc, "AssociateRouteTable", "routeTableId", rtID, "subnetId", subID)
+	invErr(t, svc, codeAlreadyAssociated, "AssociateRouteTable", "routeTableId", rtID, "subnetId", subID)
+	invErr(t, svc, cloudapi.CodeDependencyViolation, "DeleteRouteTable", "routeTableId", rtID)
+	inv(t, svc, "DisassociateRouteTable", "routeTableId", rtID, "subnetId", subID)
+	invErr(t, svc, codeAssociationNotFound, "DisassociateRouteTable", "routeTableId", rtID, "subnetId", subID)
+
+	inv(t, svc, "ReplaceRoute", "routeTableId", rtID, "destinationCidrBlock", "0.0.0.0/0", "gatewayId", "local")
+	inv(t, svc, "DeleteRoute", "routeTableId", rtID, "destinationCidrBlock", "0.0.0.0/0")
+	invErr(t, svc, codeRouteNotFound, "DeleteRoute", "routeTableId", rtID, "destinationCidrBlock", "0.0.0.0/0")
+	inv(t, svc, "DeleteRouteTable", "routeTableId", rtID)
+}
+
+func TestCrossVpcRouteTableAssociationRejected(t *testing.T) {
+	svc := New()
+	vpc1 := mkVpc(t, svc, "10.0.0.0/16")
+	vpc2 := mkVpc(t, svc, "10.1.0.0/16")
+	rtID := inv(t, svc, "CreateRouteTable", "vpcId", vpc1).Get("routeTableId").AsString()
+	subID := mkSubnet(t, svc, vpc2, "10.1.1.0/24")
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "AssociateRouteTable", "routeTableId", rtID, "subnetId", subID)
+}
+
+func TestNetworkInterfaceAttachment(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	eniID := inv(t, svc, "CreateNetworkInterface", "subnetId", subID).Get("networkInterfaceId").AsString()
+	instID := mkInstance(t, svc, subID)
+	inv(t, svc, "AttachNetworkInterface", "networkInterfaceId", eniID, "instanceId", instID)
+	invErr(t, svc, codeEniInUse, "AttachNetworkInterface", "networkInterfaceId", eniID, "instanceId", instID)
+	invErr(t, svc, codeEniInUse, "DeleteNetworkInterface", "networkInterfaceId", eniID)
+	inv(t, svc, "DetachNetworkInterface", "networkInterfaceId", eniID)
+	invErr(t, svc, codeAttachNotFound, "DetachNetworkInterface", "networkInterfaceId", eniID)
+	inv(t, svc, "DeleteNetworkInterface", "networkInterfaceId", eniID)
+}
+
+func TestAddressAssociation(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	instID := mkInstance(t, svc, subID)
+	res := inv(t, svc, "AllocateAddress")
+	allocID := res.Get("allocationId").AsString()
+	inv(t, svc, "AssociateAddress", "allocationId", allocID, "instanceId", instID)
+	invErr(t, svc, codeAddressInUse, "AssociateAddress", "allocationId", allocID, "instanceId", instID)
+	invErr(t, svc, codeAddressInUse, "ReleaseAddress", "allocationId", allocID)
+	inv(t, svc, "DisassociateAddress", "allocationId", allocID)
+	inv(t, svc, "ReleaseAddress", "allocationId", allocID)
+}
+
+func TestSecurityGroups(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	sgID := inv(t, svc, "CreateSecurityGroup", "vpcId", vpcID, "groupName", "web", "description", "web tier").Get("groupId").AsString()
+	invErr(t, svc, codeGroupDuplicate, "CreateSecurityGroup", "vpcId", vpcID, "groupName", "web", "description", "dup")
+
+	ruleID := inv(t, svc, "AuthorizeSecurityGroupIngress", "groupId", sgID, "ipProtocol", "tcp", "fromPort", 443, "toPort", 443, "cidrIpv4", "0.0.0.0/0").Get("securityGroupRuleId").AsString()
+	invErr(t, svc, codePermDuplicate, "AuthorizeSecurityGroupIngress", "groupId", sgID, "ipProtocol", "tcp", "fromPort", 443, "toPort", 443, "cidrIpv4", "0.0.0.0/0")
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "AuthorizeSecurityGroupIngress", "groupId", sgID, "ipProtocol", "tcp", "fromPort", 99999, "cidrIpv4", "0.0.0.0/0")
+	inv(t, svc, "RevokeSecurityGroupRule", "securityGroupRuleId", ruleID)
+	inv(t, svc, "DeleteSecurityGroup", "groupId", sgID)
+	// DeleteVpc now passes (group gone).
+	inv(t, svc, "DeleteVpc", "vpcId", vpcID)
+}
+
+func TestNetworkAclEntries(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	aclID := inv(t, svc, "CreateNetworkAcl", "vpcId", vpcID).Get("networkAclId").AsString()
+	inv(t, svc, "CreateNetworkAclEntry", "networkAclId", aclID, "ruleNumber", 100, "cidrBlock", "0.0.0.0/0")
+	invErr(t, svc, codeNaclEntryExists, "CreateNetworkAclEntry", "networkAclId", aclID, "ruleNumber", 100, "cidrBlock", "0.0.0.0/0")
+	// Same number on the egress side is fine.
+	inv(t, svc, "CreateNetworkAclEntry", "networkAclId", aclID, "ruleNumber", 100, "egress", true, "cidrBlock", "0.0.0.0/0")
+	inv(t, svc, "ReplaceNetworkAclEntry", "networkAclId", aclID, "ruleNumber", 100, "ruleAction", "deny")
+	invErr(t, svc, codeNaclEntryNotFound, "DeleteNetworkAclEntry", "networkAclId", aclID, "ruleNumber", 200)
+	inv(t, svc, "DeleteNetworkAclEntry", "networkAclId", aclID, "ruleNumber", 100)
+	inv(t, svc, "DeleteNetworkAcl", "networkAclId", aclID)
+}
+
+func TestVolumesAndSnapshots(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := inv(t, svc, "CreateSubnet", "vpcId", vpcID, "cidrBlock", "10.0.1.0/24", "availabilityZone", "us-east-1a").Get("subnetId").AsString()
+	instID := mkInstance(t, svc, subID)
+
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "CreateVolume", "size", 0, "availabilityZone", "us-east-1a")
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "CreateVolume", "size", 100, "availabilityZone", "us-east-1a", "volumeType", "banana")
+	volID := inv(t, svc, "CreateVolume", "size", 100, "availabilityZone", "us-east-1a").Get("volumeId").AsString()
+
+	// AZ mismatch.
+	vol2 := inv(t, svc, "CreateVolume", "size", 10, "availabilityZone", "us-west-2a").Get("volumeId").AsString()
+	invErr(t, svc, codeVolumeZoneMismatch, "AttachVolume", "volumeId", vol2, "instanceId", instID)
+
+	inv(t, svc, "AttachVolume", "volumeId", volID, "instanceId", instID)
+	invErr(t, svc, codeIncorrectState, "AttachVolume", "volumeId", volID, "instanceId", instID)
+	invErr(t, svc, codeVolumeInUse, "DeleteVolume", "volumeId", volID)
+
+	snapID := inv(t, svc, "CreateSnapshot", "volumeId", volID).Get("snapshotId").AsString()
+	inv(t, svc, "CopySnapshot", "snapshotId", snapID)
+
+	inv(t, svc, "DetachVolume", "volumeId", volID)
+	// Shrinking is rejected; growing is allowed.
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "ModifyVolume", "volumeId", volID, "size", 50)
+	inv(t, svc, "ModifyVolume", "volumeId", volID, "size", 200)
+	inv(t, svc, "DeleteVolume", "volumeId", volID)
+	inv(t, svc, "DeleteSnapshot", "snapshotId", snapID)
+}
+
+func TestTerminateInstanceDetachesVolume(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	instID := mkInstance(t, svc, subID)
+	volID := inv(t, svc, "CreateVolume", "size", 8, "availabilityZone", "us-east-1a").Get("volumeId").AsString()
+	inv(t, svc, "AttachVolume", "volumeId", volID, "instanceId", instID)
+	inv(t, svc, "TerminateInstances", "instanceId", instID)
+	inv(t, svc, "DeleteVolume", "volumeId", volID)
+}
+
+func TestKeyPairs(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateKeyPair", "keyName", "deploy")
+	invErr(t, svc, codeKeyPairDuplicate, "CreateKeyPair", "keyName", "deploy")
+	// RunInstances with unknown key fails.
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	invErr(t, svc, codeKeyPairNotFound, "RunInstances", "subnetId", subID, "keyName", "nope")
+	inv(t, svc, "RunInstances", "subnetId", subID, "keyName", "deploy")
+	// Idempotent delete.
+	inv(t, svc, "DeleteKeyPair", "keyName", "deploy")
+	inv(t, svc, "DeleteKeyPair", "keyName", "deploy")
+}
+
+func TestImagesAndLaunchTemplates(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	instID := mkInstance(t, svc, subID)
+	amiID := inv(t, svc, "CreateImage", "instanceId", instID, "name", "golden").Get("imageId").AsString()
+	inv(t, svc, "DeregisterImage", "imageId", amiID)
+	invErr(t, svc, codeImageNotFound, "DeregisterImage", "imageId", amiID)
+
+	ltID := inv(t, svc, "CreateLaunchTemplate", "launchTemplateName", "web").Get("launchTemplateId").AsString()
+	invErr(t, svc, codeLaunchTemplateDup, "CreateLaunchTemplate", "launchTemplateName", "web")
+	inv(t, svc, "DeleteLaunchTemplate", "launchTemplateId", ltID)
+}
+
+func TestPlacementGroups(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreatePlacementGroup", "groupName", "hpc", "strategy", "cluster")
+	invErr(t, svc, codePlacementGroupDup, "CreatePlacementGroup", "groupName", "hpc")
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "CreatePlacementGroup", "groupName", "x", "strategy", "banana")
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := mkSubnet(t, svc, vpcID, "10.0.1.0/24")
+	instID := mkInstance(t, svc, subID, "placementGroupName", "hpc")
+	invErr(t, svc, codePlacementGroupInUse, "DeletePlacementGroup", "groupName", "hpc")
+	inv(t, svc, "TerminateInstances", "instanceId", instID)
+	inv(t, svc, "DeletePlacementGroup", "groupName", "hpc")
+}
+
+func TestVpcPeeringStateMachine(t *testing.T) {
+	svc := New()
+	vpc1 := mkVpc(t, svc, "10.0.0.0/16")
+	vpc2 := mkVpc(t, svc, "10.1.0.0/16")
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "CreateVpcPeeringConnection", "vpcId", vpc1, "peerVpcId", vpc1)
+	pcxID := inv(t, svc, "CreateVpcPeeringConnection", "vpcId", vpc1, "peerVpcId", vpc2).Get("vpcPeeringConnectionId").AsString()
+	inv(t, svc, "AcceptVpcPeeringConnection", "vpcPeeringConnectionId", pcxID)
+	invErr(t, svc, codePeeringState, "AcceptVpcPeeringConnection", "vpcPeeringConnectionId", pcxID)
+	invErr(t, svc, codePeeringState, "RejectVpcPeeringConnection", "vpcPeeringConnectionId", pcxID)
+	inv(t, svc, "DeleteVpcPeeringConnection", "vpcPeeringConnectionId", pcxID)
+}
+
+func TestVpnStack(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	cgwID := inv(t, svc, "CreateCustomerGateway", "bgpAsn", 65000, "ipAddress", "203.0.113.10").Get("customerGatewayId").AsString()
+	vgwID := inv(t, svc, "CreateVpnGateway").Get("vpnGatewayId").AsString()
+	inv(t, svc, "AttachVpnGateway", "vpnGatewayId", vgwID, "vpcId", vpcID)
+	invErr(t, svc, codeVgwAttachmentExists, "AttachVpnGateway", "vpnGatewayId", vgwID, "vpcId", vpcID)
+
+	connID := inv(t, svc, "CreateVpnConnection", "customerGatewayId", cgwID, "vpnGatewayId", vgwID).Get("vpnConnectionId").AsString()
+	invErr(t, svc, "IncorrectState", "DeleteCustomerGateway", "customerGatewayId", cgwID)
+	invErr(t, svc, "IncorrectState", "DeleteVpnGateway", "vpnGatewayId", vgwID)
+	inv(t, svc, "DeleteVpnConnection", "vpnConnectionId", connID)
+	invErr(t, svc, "IncorrectState", "DeleteVpnGateway", "vpnGatewayId", vgwID) // still attached
+	inv(t, svc, "DetachVpnGateway", "vpnGatewayId", vgwID, "vpcId", vpcID)
+	inv(t, svc, "DeleteVpnGateway", "vpnGatewayId", vgwID)
+	inv(t, svc, "DeleteCustomerGateway", "customerGatewayId", cgwID)
+	// An attached VPN gateway blocks VPC deletion too.
+	vgw2 := inv(t, svc, "CreateVpnGateway").Get("vpnGatewayId").AsString()
+	inv(t, svc, "AttachVpnGateway", "vpnGatewayId", vgw2, "vpcId", vpcID)
+	invErr(t, svc, cloudapi.CodeDependencyViolation, "DeleteVpc", "vpcId", vpcID)
+}
+
+func TestTransitGateway(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	tgwID := inv(t, svc, "CreateTransitGateway").Get("transitGatewayId").AsString()
+	attID := inv(t, svc, "CreateTransitGatewayVpcAttachment", "transitGatewayId", tgwID, "vpcId", vpcID).Get("transitGatewayAttachmentId").AsString()
+	invErr(t, svc, "DuplicateTransitGatewayAttachment", "CreateTransitGatewayVpcAttachment", "transitGatewayId", tgwID, "vpcId", vpcID)
+	invErr(t, svc, "IncorrectState", "DeleteTransitGateway", "transitGatewayId", tgwID)
+	inv(t, svc, "DeleteTransitGatewayVpcAttachment", "transitGatewayAttachmentId", attID)
+	inv(t, svc, "DeleteTransitGateway", "transitGatewayId", tgwID)
+}
+
+func TestDhcpOptionsAndEndpointsAndFlowLogs(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+
+	doptID := inv(t, svc, "CreateDhcpOptions", "domainName", "corp.internal").Get("dhcpOptionsId").AsString()
+	inv(t, svc, "AssociateDhcpOptions", "dhcpOptionsId", doptID, "vpcId", vpcID)
+	invErr(t, svc, cloudapi.CodeDependencyViolation, "DeleteDhcpOptions", "dhcpOptionsId", doptID)
+
+	epID := inv(t, svc, "CreateVpcEndpoint", "vpcId", vpcID, "serviceName", "com.amazonaws.us-east-1.s3").Get("vpcEndpointId").AsString()
+	inv(t, svc, "ModifyVpcEndpoint", "vpcEndpointId", epID, "policyDocument", "allow-all")
+	invErr(t, svc, cloudapi.CodeDependencyViolation, "DeleteVpc", "vpcId", vpcID)
+	inv(t, svc, "DeleteVpcEndpoint", "vpcEndpointId", epID)
+
+	flID := inv(t, svc, "CreateFlowLogs", "resourceId", vpcID, "logDestination", "s3://logs").Get("flowLogId").AsString()
+	invErr(t, svc, cloudapi.CodeInvalidParameter, "CreateFlowLogs", "resourceId", "i-bogus", "logDestination", "s3://logs")
+	inv(t, svc, "DeleteFlowLogs", "flowLogId", flID)
+}
+
+func TestUnknownActionAndReset(t *testing.T) {
+	svc := New()
+	invErr(t, svc, cloudapi.CodeUnknownAction, "Frobnicate")
+	id1 := mkVpc(t, svc, "10.0.0.0/16")
+	svc.Reset()
+	if svc.Store().CountLive(TVpc) != 0 {
+		t.Error("reset left resources")
+	}
+	id2 := mkVpc(t, svc, "10.0.0.0/16")
+	if id1 != id2 {
+		t.Errorf("non-deterministic ids across reset: %s vs %s", id1, id2)
+	}
+}
+
+func TestActionCatalogCount(t *testing.T) {
+	svc := New()
+	actions := svc.Actions()
+	if len(actions) < 90 {
+		t.Errorf("EC2 oracle models %d actions, want >= 90", len(actions))
+	}
+	seen := map[string]bool{}
+	for _, a := range actions {
+		if seen[a] {
+			t.Errorf("duplicate action %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestAllResourceTypesCovered(t *testing.T) {
+	// The oracle must instantiate all 28 resource types end to end.
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	subID := inv(t, svc, "CreateSubnet", "vpcId", vpcID, "cidrBlock", "10.0.1.0/24", "availabilityZone", "us-east-1a").Get("subnetId").AsString()
+	instID := mkInstance(t, svc, subID)
+	inv(t, svc, "CreateInternetGateway")
+	allocID := inv(t, svc, "AllocateAddress").Get("allocationId").AsString()
+	inv(t, svc, "CreateNatGateway", "subnetId", subID, "allocationId", allocID)
+	rtID := inv(t, svc, "CreateRouteTable", "vpcId", vpcID).Get("routeTableId").AsString()
+	inv(t, svc, "CreateRoute", "routeTableId", rtID, "destinationCidrBlock", "10.9.0.0/16", "gatewayId", "local")
+	inv(t, svc, "CreateNetworkInterface", "subnetId", subID)
+	sgID := inv(t, svc, "CreateSecurityGroup", "vpcId", vpcID, "groupName", "g", "description", "d").Get("groupId").AsString()
+	inv(t, svc, "AuthorizeSecurityGroupIngress", "groupId", sgID, "cidrIpv4", "0.0.0.0/0")
+	inv(t, svc, "CreateKeyPair", "keyName", "k")
+	inv(t, svc, "CreateVolume", "size", 8, "availabilityZone", "us-east-1a")
+	volID := inv(t, svc, "CreateVolume", "size", 8, "availabilityZone", "us-east-1a").Get("volumeId").AsString()
+	inv(t, svc, "CreateSnapshot", "volumeId", volID)
+	inv(t, svc, "CreateImage", "instanceId", instID, "name", "img")
+	inv(t, svc, "CreateLaunchTemplate", "launchTemplateName", "lt")
+	inv(t, svc, "CreateVpcEndpoint", "vpcId", vpcID, "serviceName", "s3")
+	vpc2 := mkVpc(t, svc, "10.1.0.0/16")
+	inv(t, svc, "CreateVpcPeeringConnection", "vpcId", vpcID, "peerVpcId", vpc2)
+	inv(t, svc, "CreateDhcpOptions", "domainName", "d")
+	aclID := inv(t, svc, "CreateNetworkAcl", "vpcId", vpcID).Get("networkAclId").AsString()
+	inv(t, svc, "CreateNetworkAclEntry", "networkAclId", aclID, "ruleNumber", 1, "cidrBlock", "0.0.0.0/0")
+	inv(t, svc, "CreateCustomerGateway", "bgpAsn", 65000, "ipAddress", "1.2.3.4")
+	inv(t, svc, "CreateVpnGateway")
+	tgwID := inv(t, svc, "CreateTransitGateway").Get("transitGatewayId").AsString()
+	inv(t, svc, "CreateTransitGatewayVpcAttachment", "transitGatewayId", tgwID, "vpcId", vpcID)
+	inv(t, svc, "CreatePlacementGroup", "groupName", "pg")
+	inv(t, svc, "CreateFlowLogs", "resourceId", vpcID, "logDestination", "s3://l")
+
+	store := svc.Store()
+	types := []string{
+		TVpc, TSubnet, TInstance, TInternetGateway, TNatGateway, TRouteTable,
+		TRoute, TNetworkInterface, TSecurityGroup, TSecurityGroupRule, TAddress,
+		TKeyPair, TVolume, TSnapshot, TImage, TLaunchTemplate, TVpcEndpoint,
+		TVpcPeering, TDhcpOptions, TNetworkAcl, TNetworkAclEntry,
+		TCustomerGateway, TVpnGateway, TVpnConnection, TTransitGateway,
+		TTransitGatewayAttachment, TPlacementGroup, TFlowLog,
+	}
+	if len(types) != 28 {
+		t.Fatalf("type list has %d entries, want 28", len(types))
+	}
+	missing := 0
+	for _, typ := range types {
+		if typ == TVpnConnection {
+			continue // exercised in TestVpnStack
+		}
+		if store.CountLive(typ) == 0 {
+			t.Errorf("no live %s after full provisioning", typ)
+			missing++
+		}
+	}
+	_ = missing
+}
+
+func TestDescribePayloadShape(t *testing.T) {
+	svc := New()
+	vpcID := mkVpc(t, svc, "10.0.0.0/16")
+	m := inv(t, svc, "DescribeVpcs").Get("vpcs").AsList()[0].AsMap()
+	if _, hasID := m["id"]; !hasID {
+		t.Error("describe payload missing id key")
+	}
+	if m["id"].AsString() != vpcID {
+		t.Error("describe id mismatch")
+	}
+	for k, v := range m {
+		if v.IsNil() {
+			t.Errorf("describe payload contains nil attr %q", k)
+		}
+	}
+}

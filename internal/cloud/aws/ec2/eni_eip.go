@@ -1,0 +1,133 @@
+package ec2
+
+import (
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// ENI/EIP error codes (real AWS codes).
+const (
+	codeEniNotFound    = "InvalidNetworkInterfaceID.NotFound"
+	codeEniInUse       = "InvalidNetworkInterface.InUse"
+	codeAttachNotFound = "InvalidAttachment.NotFound"
+	codeAddressInUse   = "InvalidIPAddress.InUse"
+)
+
+func registerEniEip(svc *base.Service) {
+	svc.Register("CreateNetworkInterface", createNetworkInterface)
+	svc.Register("DeleteNetworkInterface", deleteNetworkInterface)
+	svc.Register("DescribeNetworkInterfaces", describeAllOf(TNetworkInterface, "networkInterfaces"))
+	svc.Register("AttachNetworkInterface", attachNetworkInterface)
+	svc.Register("DetachNetworkInterface", detachNetworkInterface)
+
+	svc.Register("AllocateAddress", allocateAddress)
+	svc.Register("ReleaseAddress", releaseAddress)
+	svc.Register("AssociateAddress", associateAddress)
+	svc.Register("DisassociateAddress", disassociateAddress)
+	svc.Register("DescribeAddresses", describeAllOf(TAddress, "addresses"))
+}
+
+func createNetworkInterface(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	sub, apiErr := reqLive(s, p, "subnetId", TSubnet, codeSubnetNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	eni := s.Create(TNetworkInterface, "eni")
+	stamp(eni)
+	eni.Parent = sub.ID
+	eni.Set("subnetId", cloudapi.Str(sub.ID))
+	eni.Set("status", cloudapi.Str("available"))
+	if p.Has("description") {
+		eni.Set("description", p.Get("description"))
+	}
+	return idResult("networkInterfaceId", eni), nil
+}
+
+func deleteNetworkInterface(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	eni, apiErr := reqLive(s, p, "networkInterfaceId", TNetworkInterface, codeEniNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if eni.Str("attachedInstanceId") != "" {
+		return nil, fmtErr(codeEniInUse, "the network interface '%s' is currently in use", eni.ID)
+	}
+	s.Delete(eni.ID)
+	return base.OKResult(), nil
+}
+
+func attachNetworkInterface(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	eni, apiErr := reqLive(s, p, "networkInterfaceId", TNetworkInterface, codeEniNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	inst, apiErr := reqLive(s, p, "instanceId", TInstance, codeInstanceNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if eni.Str("attachedInstanceId") != "" {
+		return nil, fmtErr(codeEniInUse, "the network interface '%s' is already attached", eni.ID)
+	}
+	eni.Set("attachedInstanceId", cloudapi.Str(inst.ID))
+	eni.Set("status", cloudapi.Str("in-use"))
+	return base.OKResult(), nil
+}
+
+func detachNetworkInterface(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	eni, apiErr := reqLive(s, p, "networkInterfaceId", TNetworkInterface, codeEniNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if eni.Str("attachedInstanceId") == "" {
+		return nil, fmtErr(codeAttachNotFound, "the network interface '%s' is not attached", eni.ID)
+	}
+	eni.Set("attachedInstanceId", cloudapi.Nil)
+	eni.Set("status", cloudapi.Str("available"))
+	return base.OKResult(), nil
+}
+
+func allocateAddress(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	addr := s.Create(TAddress, "eipalloc")
+	stamp(addr)
+	addr.Set("domain", cloudapi.Str("vpc"))
+	return cloudapi.Result{"allocationId": cloudapi.Str(addr.ID)}, nil
+}
+
+func releaseAddress(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	addr, apiErr := reqLive(s, p, "allocationId", TAddress, codeAllocNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if addr.Str("associatedInstanceId") != "" || addr.Str("associatedNatGatewayId") != "" {
+		return nil, fmtErr(codeAddressInUse, "the address '%s' is currently associated and cannot be released", addr.ID)
+	}
+	s.Delete(addr.ID)
+	return base.OKResult(), nil
+}
+
+func associateAddress(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	addr, apiErr := reqLive(s, p, "allocationId", TAddress, codeAllocNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	inst, apiErr := reqLive(s, p, "instanceId", TInstance, codeInstanceNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if addr.Str("associatedInstanceId") != "" {
+		return nil, fmtErr(codeAddressInUse, "the address '%s' is already associated", addr.ID)
+	}
+	addr.Set("associatedInstanceId", cloudapi.Str(inst.ID))
+	return base.OKResult(), nil
+}
+
+func disassociateAddress(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	addr, apiErr := reqLive(s, p, "allocationId", TAddress, codeAllocNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if addr.Str("associatedInstanceId") == "" {
+		return nil, fmtErr(codeAssociationNotFound, "the address '%s' is not associated", addr.ID)
+	}
+	addr.Set("associatedInstanceId", cloudapi.Nil)
+	return base.OKResult(), nil
+}

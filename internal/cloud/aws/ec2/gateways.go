@@ -1,0 +1,123 @@
+package ec2
+
+import (
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Gateway error codes (real AWS codes).
+const (
+	codeIgwNotFound        = "InvalidInternetGatewayID.NotFound"
+	codeNatGwNotFound      = "NatGatewayNotFound"
+	codeAlreadyAssociated  = "Resource.AlreadyAssociated"
+	codeGatewayNotAttached = "Gateway.NotAttached"
+	codeAllocNotFound      = "InvalidAllocationID.NotFound"
+)
+
+func registerGateways(svc *base.Service) {
+	svc.Register("CreateInternetGateway", createInternetGateway)
+	svc.Register("AttachInternetGateway", attachInternetGateway)
+	svc.Register("DetachInternetGateway", detachInternetGateway)
+	svc.Register("DeleteInternetGateway", deleteInternetGateway)
+	svc.Register("DescribeInternetGateways", describeAllOf(TInternetGateway, "internetGateways"))
+
+	svc.Register("CreateNatGateway", createNatGateway)
+	svc.Register("DeleteNatGateway", deleteNatGateway)
+	svc.Register("DescribeNatGateways", describeAllOf(TNatGateway, "natGateways"))
+}
+
+func createInternetGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	igw := s.Create(TInternetGateway, "igw")
+	stamp(igw)
+	igw.Set("state", cloudapi.Str("available"))
+	return idResult("internetGatewayId", igw), nil
+}
+
+func attachInternetGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	igw, apiErr := reqLive(s, p, "internetGatewayId", TInternetGateway, codeIgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if igw.Str("attachedVpcId") != "" {
+		return nil, fmtErr(codeAlreadyAssociated, "the internet gateway '%s' is already attached to vpc '%s'", igw.ID, igw.Str("attachedVpcId"))
+	}
+	// A VPC can have at most one Internet Gateway.
+	if other := s.FindLive(TInternetGateway, func(r *base.Resource) bool { return r.Str("attachedVpcId") == vpc.ID }); other != nil {
+		return nil, fmtErr(codeAlreadyAssociated, "vpc '%s' already has an attached internet gateway ('%s')", vpc.ID, other.ID)
+	}
+	igw.Set("attachedVpcId", cloudapi.Str(vpc.ID))
+	return base.OKResult(), nil
+}
+
+func detachInternetGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	igw, apiErr := reqLive(s, p, "internetGatewayId", TInternetGateway, codeIgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vpcID, apiErr := base.ReqStr(p, "vpcId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if igw.Str("attachedVpcId") != vpcID {
+		return nil, fmtErr(codeGatewayNotAttached, "the internet gateway '%s' is not attached to vpc '%s'", igw.ID, vpcID)
+	}
+	igw.Set("attachedVpcId", cloudapi.Nil)
+	return base.OKResult(), nil
+}
+
+func deleteInternetGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	igw, apiErr := reqLive(s, p, "internetGatewayId", TInternetGateway, codeIgwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if igw.Str("attachedVpcId") != "" {
+		return nil, fmtErr(cloudapi.CodeDependencyViolation, "the internet gateway '%s' is still attached to vpc '%s' and cannot be deleted", igw.ID, igw.Str("attachedVpcId"))
+	}
+	s.Delete(igw.ID)
+	return base.OKResult(), nil
+}
+
+func createNatGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	sub, apiErr := reqLive(s, p, "subnetId", TSubnet, codeSubnetNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	connectivity := base.OptStr(p, "connectivityType", "public")
+	if connectivity != "public" && connectivity != "private" {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid connectivity type %q", connectivity)
+	}
+	alloc, apiErr := reqLive(s, p, "allocationId", TAddress, codeAllocNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if alloc.Str("associatedInstanceId") != "" || alloc.Str("associatedNatGatewayId") != "" {
+		return nil, fmtErr("InvalidIPAddress.InUse", "the address '%s' is already associated", alloc.ID)
+	}
+	nat := s.Create(TNatGateway, "nat")
+	stamp(nat)
+	nat.Parent = sub.ID
+	nat.Set("subnetId", cloudapi.Str(sub.ID))
+	nat.Set("state", cloudapi.Str("available"))
+	nat.Set("connectivityType", cloudapi.Str(connectivity))
+	nat.Set("allocationId", cloudapi.Str(alloc.ID))
+	alloc.Set("associatedNatGatewayId", cloudapi.Str(nat.ID))
+	return idResult("natGatewayId", nat), nil
+}
+
+func deleteNatGateway(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	nat, apiErr := reqLive(s, p, "natGatewayId", TNatGateway, codeNatGwNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if allocID := nat.Str("allocationId"); allocID != "" {
+		if a, ok := s.Live(TAddress, allocID); ok {
+			a.Set("associatedNatGatewayId", cloudapi.Nil)
+		}
+	}
+	s.Delete(nat.ID)
+	return base.OKResult(), nil
+}

@@ -1,0 +1,55 @@
+package ec2
+
+import (
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Flow-log error codes (real AWS codes).
+const codeFlowLogNotFound = "InvalidFlowLogId.NotFound"
+
+func registerMisc(svc *base.Service) {
+	svc.Register("CreateFlowLogs", createFlowLogs)
+	svc.Register("DeleteFlowLogs", deleteFlowLogs)
+	svc.Register("DescribeFlowLogs", describeAllOf(TFlowLog, "flowLogs"))
+}
+
+func createFlowLogs(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	resourceID, apiErr := base.ReqStr(p, "resourceId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	var owner *base.Resource
+	if vpc, ok := s.Live(TVpc, resourceID); ok {
+		owner = vpc
+	} else if sub, ok := s.Live(TSubnet, resourceID); ok {
+		owner = sub
+	} else {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "flow log target '%s' is not a VPC or subnet", resourceID)
+	}
+	traffic := base.OptStr(p, "trafficType", "ALL")
+	switch traffic {
+	case "ACCEPT", "REJECT", "ALL":
+	default:
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid traffic type %q", traffic)
+	}
+	dest, apiErr := base.ReqStr(p, "logDestination")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	fl := s.Create(TFlowLog, "fl")
+	stamp(fl)
+	fl.Set("resourceId", cloudapi.Str(owner.ID))
+	fl.Set("trafficType", cloudapi.Str(traffic))
+	fl.Set("logDestination", cloudapi.Str(dest))
+	return idResult("flowLogId", fl), nil
+}
+
+func deleteFlowLogs(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fl, apiErr := reqLive(s, p, "flowLogId", TFlowLog, codeFlowLogNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(fl.ID)
+	return base.OKResult(), nil
+}

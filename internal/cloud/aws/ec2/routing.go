@@ -1,0 +1,202 @@
+package ec2
+
+import (
+	"lce/internal/cidr"
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Routing error codes (real AWS codes).
+const (
+	codeRouteTableNotFound  = "InvalidRouteTableID.NotFound"
+	codeRouteNotFound       = "InvalidRoute.NotFound"
+	codeRouteExists         = "RouteAlreadyExists"
+	codeAssociationNotFound = "InvalidAssociationID.NotFound"
+)
+
+func registerRouting(svc *base.Service) {
+	svc.Register("CreateRouteTable", createRouteTable)
+	svc.Register("DeleteRouteTable", deleteRouteTable)
+	svc.Register("DescribeRouteTables", describeAllOf(TRouteTable, "routeTables"))
+	svc.Register("AssociateRouteTable", associateRouteTable)
+	svc.Register("DisassociateRouteTable", disassociateRouteTable)
+
+	svc.Register("CreateRoute", createRoute)
+	svc.Register("DeleteRoute", deleteRoute)
+	svc.Register("ReplaceRoute", replaceRoute)
+}
+
+func createRouteTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	rt := s.Create(TRouteTable, "rtb")
+	stamp(rt)
+	rt.Parent = vpc.ID
+	rt.Set("vpcId", cloudapi.Str(vpc.ID))
+	return idResult("routeTableId", rt), nil
+}
+
+func deleteRouteTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rt, apiErr := reqLive(s, p, "routeTableId", TRouteTable, codeRouteTableNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if child := s.AnyChild(rt.ID, TRoute); child != nil {
+		return nil, fmtErr(cloudapi.CodeDependencyViolation, "the route table '%s' still contains routes (%s) and cannot be deleted", rt.ID, child.ID)
+	}
+	if len(rt.Attr("associatedSubnetIds").AsList()) > 0 {
+		return nil, fmtErr(cloudapi.CodeDependencyViolation, "the route table '%s' has subnet associations and cannot be deleted", rt.ID)
+	}
+	s.Delete(rt.ID)
+	return base.OKResult(), nil
+}
+
+func associateRouteTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rt, apiErr := reqLive(s, p, "routeTableId", TRouteTable, codeRouteTableNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	sub, apiErr := reqLive(s, p, "subnetId", TSubnet, codeSubnetNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if rt.Str("vpcId") != sub.Str("vpcId") {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "route table '%s' and subnet '%s' belong to different VPCs", rt.ID, sub.ID)
+	}
+	assoc := rt.Attr("associatedSubnetIds").AsList()
+	for _, a := range assoc {
+		if a.AsString() == sub.ID {
+			return nil, fmtErr(codeAlreadyAssociated, "subnet '%s' is already associated with route table '%s'", sub.ID, rt.ID)
+		}
+	}
+	rt.Set("associatedSubnetIds", cloudapi.List(append(assoc, cloudapi.Str(sub.ID))...))
+	return base.OKResult(), nil
+}
+
+func disassociateRouteTable(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rt, apiErr := reqLive(s, p, "routeTableId", TRouteTable, codeRouteTableNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	subID, apiErr := base.ReqStr(p, "subnetId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	assoc := rt.Attr("associatedSubnetIds").AsList()
+	var out []cloudapi.Value
+	found := false
+	for _, a := range assoc {
+		if a.AsString() == subID {
+			found = true
+			continue
+		}
+		out = append(out, a)
+	}
+	if !found {
+		return nil, fmtErr(codeAssociationNotFound, "subnet '%s' is not associated with route table '%s'", subID, rt.ID)
+	}
+	rt.Set("associatedSubnetIds", cloudapi.List(out...))
+	return base.OKResult(), nil
+}
+
+// routeTarget validates the gateway parameter of route mutations: the
+// target must be a live internet gateway, NAT gateway, or the local
+// sentinel.
+func routeTarget(s *base.Store, gatewayID string) *cloudapi.APIError {
+	if gatewayID == "local" {
+		return nil
+	}
+	if _, ok := s.Live(TInternetGateway, gatewayID); ok {
+		return nil
+	}
+	if _, ok := s.Live(TNatGateway, gatewayID); ok {
+		return nil
+	}
+	return cloudapi.Errf(codeIgwNotFound, "the gateway '%s' does not exist", gatewayID)
+}
+
+func createRoute(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rt, apiErr := reqLive(s, p, "routeTableId", TRouteTable, codeRouteTableNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	dest, apiErr := base.ReqStr(p, "destinationCidrBlock")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if !cidr.Valid(dest) {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid destination CIDR block %s", dest)
+	}
+	gw, apiErr := base.ReqStr(p, "gatewayId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if apiErr := routeTarget(s, gw); apiErr != nil {
+		return nil, apiErr
+	}
+	for _, r := range s.Children(rt.ID, TRoute) {
+		if r.Str("destinationCidrBlock") == dest {
+			return nil, fmtErr(codeRouteExists, "the route identified by %s already exists in route table '%s'", dest, rt.ID)
+		}
+	}
+	route := s.Create(TRoute, "r")
+	stamp(route)
+	route.Parent = rt.ID
+	route.Set("routeTableId", cloudapi.Str(rt.ID))
+	route.Set("destinationCidrBlock", cloudapi.Str(dest))
+	route.Set("gatewayId", cloudapi.Str(gw))
+	route.Set("state", cloudapi.Str("active"))
+	return idResult("routeId", route), nil
+}
+
+func findRoute(s *base.Store, rtID, dest string) *base.Resource {
+	for _, r := range s.Children(rtID, TRoute) {
+		if r.Str("destinationCidrBlock") == dest {
+			return r
+		}
+	}
+	return nil
+}
+
+func deleteRoute(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rt, apiErr := reqLive(s, p, "routeTableId", TRouteTable, codeRouteTableNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	dest, apiErr := base.ReqStr(p, "destinationCidrBlock")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	route := findRoute(s, rt.ID, dest)
+	if route == nil {
+		return nil, fmtErr(codeRouteNotFound, "no route with destination %s in route table '%s'", dest, rt.ID)
+	}
+	s.Delete(route.ID)
+	return base.OKResult(), nil
+}
+
+func replaceRoute(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rt, apiErr := reqLive(s, p, "routeTableId", TRouteTable, codeRouteTableNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	dest, apiErr := base.ReqStr(p, "destinationCidrBlock")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	gw, apiErr := base.ReqStr(p, "gatewayId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if apiErr := routeTarget(s, gw); apiErr != nil {
+		return nil, apiErr
+	}
+	route := findRoute(s, rt.ID, dest)
+	if route == nil {
+		return nil, fmtErr(codeRouteNotFound, "no route with destination %s in route table '%s'", dest, rt.ID)
+	}
+	route.Set("gatewayId", cloudapi.Str(gw))
+	return base.OKResult(), nil
+}

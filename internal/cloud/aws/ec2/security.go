@@ -1,0 +1,251 @@
+package ec2
+
+import (
+	"lce/internal/cidr"
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Security error codes (real AWS codes).
+const (
+	codeGroupNotFound     = "InvalidGroup.NotFound"
+	codeGroupDuplicate    = "InvalidGroup.Duplicate"
+	codeGroupInUse        = "DependencyViolation"
+	codePermDuplicate     = "InvalidPermission.Duplicate"
+	codePermNotFound      = "InvalidPermission.NotFound"
+	codeSgRuleNotFound    = "InvalidSecurityGroupRuleId.NotFound"
+	codeNaclNotFound      = "InvalidNetworkAclID.NotFound"
+	codeNaclEntryExists   = "NetworkAclEntryAlreadyExists"
+	codeNaclEntryNotFound = "InvalidNetworkAclEntry.NotFound"
+)
+
+func registerSecurity(svc *base.Service) {
+	svc.Register("CreateSecurityGroup", createSecurityGroup)
+	svc.Register("DeleteSecurityGroup", deleteSecurityGroup)
+	svc.Register("DescribeSecurityGroups", describeAllOf(TSecurityGroup, "securityGroups"))
+	svc.Register("AuthorizeSecurityGroupIngress", authorizeRule("ingress"))
+	svc.Register("AuthorizeSecurityGroupEgress", authorizeRule("egress"))
+	svc.Register("RevokeSecurityGroupRule", revokeSecurityGroupRule)
+	svc.Register("DescribeSecurityGroupRules", describeAllOf(TSecurityGroupRule, "securityGroupRules"))
+
+	svc.Register("CreateNetworkAcl", createNetworkAcl)
+	svc.Register("DeleteNetworkAcl", deleteNetworkAcl)
+	svc.Register("DescribeNetworkAcls", describeAllOf(TNetworkAcl, "networkAcls"))
+	svc.Register("CreateNetworkAclEntry", createNetworkAclEntry)
+	svc.Register("DeleteNetworkAclEntry", deleteNetworkAclEntry)
+	svc.Register("ReplaceNetworkAclEntry", replaceNetworkAclEntry)
+}
+
+func createSecurityGroup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "groupName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	desc, apiErr := base.ReqStr(p, "description")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	dup := s.FindLive(TSecurityGroup, func(r *base.Resource) bool {
+		return r.Str("vpcId") == vpc.ID && r.Str("groupName") == name
+	})
+	if dup != nil {
+		return nil, fmtErr(codeGroupDuplicate, "the security group '%s' already exists for vpc '%s'", name, vpc.ID)
+	}
+	sg := s.Create(TSecurityGroup, "sg")
+	stamp(sg)
+	sg.Parent = vpc.ID
+	sg.Set("vpcId", cloudapi.Str(vpc.ID))
+	sg.Set("groupName", cloudapi.Str(name))
+	sg.Set("description", cloudapi.Str(desc))
+	return idResult("groupId", sg), nil
+}
+
+func deleteSecurityGroup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	sg, apiErr := reqLive(s, p, "groupId", TSecurityGroup, codeGroupNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if used := s.FindLive(TInstance, func(r *base.Resource) bool { return r.Str("securityGroupId") == sg.ID }); used != nil {
+		return nil, fmtErr(codeGroupInUse, "the security group '%s' is in use by instance '%s'", sg.ID, used.ID)
+	}
+	for _, rule := range s.Children(sg.ID, TSecurityGroupRule) {
+		s.Delete(rule.ID)
+	}
+	s.Delete(sg.ID)
+	return base.OKResult(), nil
+}
+
+func authorizeRule(direction string) base.Handler {
+	return func(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+		sg, apiErr := reqLive(s, p, "groupId", TSecurityGroup, codeGroupNotFound)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		protocol := base.OptStr(p, "ipProtocol", "tcp")
+		switch protocol {
+		case "tcp", "udp", "icmp", "-1":
+		default:
+			return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid protocol %q", protocol)
+		}
+		fromPort := base.OptInt(p, "fromPort", 0)
+		toPort := base.OptInt(p, "toPort", fromPort)
+		if fromPort < -1 || fromPort > 65535 || toPort < -1 || toPort > 65535 || toPort < fromPort {
+			return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid port range %d-%d", fromPort, toPort)
+		}
+		block, apiErr := base.ReqStr(p, "cidrIpv4")
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		if !cidr.Valid(block) {
+			return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid CIDR block %s", block)
+		}
+		dup := s.FindLive(TSecurityGroupRule, func(r *base.Resource) bool {
+			return r.Parent == sg.ID && r.Str("direction") == direction &&
+				r.Str("ipProtocol") == protocol && r.Int("fromPort") == fromPort &&
+				r.Int("toPort") == toPort && r.Str("cidrIpv4") == block
+		})
+		if dup != nil {
+			return nil, fmtErr(codePermDuplicate, "the specified rule already exists in group '%s'", sg.ID)
+		}
+		rule := s.Create(TSecurityGroupRule, "sgr")
+		stamp(rule)
+		rule.Parent = sg.ID
+		rule.Set("groupId", cloudapi.Str(sg.ID))
+		rule.Set("direction", cloudapi.Str(direction))
+		rule.Set("ipProtocol", cloudapi.Str(protocol))
+		rule.Set("fromPort", cloudapi.Int(fromPort))
+		rule.Set("toPort", cloudapi.Int(toPort))
+		rule.Set("cidrIpv4", cloudapi.Str(block))
+		return idResult("securityGroupRuleId", rule), nil
+	}
+}
+
+func revokeSecurityGroupRule(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rule, apiErr := reqLive(s, p, "securityGroupRuleId", TSecurityGroupRule, codeSgRuleNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(rule.ID)
+	return base.OKResult(), nil
+}
+
+func createNetworkAcl(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	acl := s.Create(TNetworkAcl, "acl")
+	stamp(acl)
+	acl.Parent = vpc.ID
+	acl.Set("vpcId", cloudapi.Str(vpc.ID))
+	acl.Set("isDefault", cloudapi.False)
+	return idResult("networkAclId", acl), nil
+}
+
+func deleteNetworkAcl(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	acl, apiErr := reqLive(s, p, "networkAclId", TNetworkAcl, codeNaclNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	for _, e := range s.Children(acl.ID, TNetworkAclEntry) {
+		s.Delete(e.ID)
+	}
+	s.Delete(acl.ID)
+	return base.OKResult(), nil
+}
+
+func createNetworkAclEntry(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	acl, apiErr := reqLive(s, p, "networkAclId", TNetworkAcl, codeNaclNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ruleNumber, apiErr := base.ReqInt(p, "ruleNumber")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if ruleNumber < 1 || ruleNumber > 32766 {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "rule number %d out of range 1..32766", ruleNumber)
+	}
+	egress := base.OptBool(p, "egress", false)
+	dup := s.FindLive(TNetworkAclEntry, func(r *base.Resource) bool {
+		return r.Parent == acl.ID && r.Int("ruleNumber") == ruleNumber && r.Bool("egress") == egress
+	})
+	if dup != nil {
+		return nil, fmtErr(codeNaclEntryExists, "a rule with number %d already exists in acl '%s'", ruleNumber, acl.ID)
+	}
+	action := base.OptStr(p, "ruleAction", "allow")
+	if action != "allow" && action != "deny" {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid rule action %q", action)
+	}
+	block, apiErr := base.ReqStr(p, "cidrBlock")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if !cidr.Valid(block) {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid CIDR block %s", block)
+	}
+	entry := s.Create(TNetworkAclEntry, "acle")
+	stamp(entry)
+	entry.Parent = acl.ID
+	entry.Set("networkAclId", cloudapi.Str(acl.ID))
+	entry.Set("ruleNumber", cloudapi.Int(ruleNumber))
+	entry.Set("egress", cloudapi.Bool(egress))
+	entry.Set("ruleAction", cloudapi.Str(action))
+	entry.Set("cidrBlock", cloudapi.Str(block))
+	return idResult("networkAclEntryId", entry), nil
+}
+
+func findAclEntry(s *base.Store, aclID string, ruleNumber int64, egress bool) *base.Resource {
+	return s.FindLive(TNetworkAclEntry, func(r *base.Resource) bool {
+		return r.Parent == aclID && r.Int("ruleNumber") == ruleNumber && r.Bool("egress") == egress
+	})
+}
+
+func deleteNetworkAclEntry(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	acl, apiErr := reqLive(s, p, "networkAclId", TNetworkAcl, codeNaclNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ruleNumber, apiErr := base.ReqInt(p, "ruleNumber")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	entry := findAclEntry(s, acl.ID, ruleNumber, base.OptBool(p, "egress", false))
+	if entry == nil {
+		return nil, fmtErr(codeNaclEntryNotFound, "no rule with number %d in acl '%s'", ruleNumber, acl.ID)
+	}
+	s.Delete(entry.ID)
+	return base.OKResult(), nil
+}
+
+func replaceNetworkAclEntry(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	acl, apiErr := reqLive(s, p, "networkAclId", TNetworkAcl, codeNaclNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ruleNumber, apiErr := base.ReqInt(p, "ruleNumber")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	entry := findAclEntry(s, acl.ID, ruleNumber, base.OptBool(p, "egress", false))
+	if entry == nil {
+		return nil, fmtErr(codeNaclEntryNotFound, "no rule with number %d in acl '%s'", ruleNumber, acl.ID)
+	}
+	action := base.OptStr(p, "ruleAction", "allow")
+	if action != "allow" && action != "deny" {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid rule action %q", action)
+	}
+	entry.Set("ruleAction", cloudapi.Str(action))
+	if p.Has("cidrBlock") {
+		block := p.Get("cidrBlock").AsString()
+		if !cidr.Valid(block) {
+			return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid CIDR block %s", block)
+		}
+		entry.Set("cidrBlock", cloudapi.Str(block))
+	}
+	return base.OKResult(), nil
+}

@@ -1,0 +1,165 @@
+package ec2
+
+import (
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Storage error codes (real AWS codes).
+const (
+	codeVolumeNotFound     = "InvalidVolume.NotFound"
+	codeVolumeInUse        = "VolumeInUse"
+	codeVolumeZoneMismatch = "InvalidVolume.ZoneMismatch"
+	codeIncorrectState     = "IncorrectState"
+	codeSnapshotNotFound   = "InvalidSnapshot.NotFound"
+	codeSnapshotInUse      = "InvalidSnapshot.InUse"
+)
+
+func registerStorage(svc *base.Service) {
+	svc.Register("CreateVolume", createVolume)
+	svc.Register("DeleteVolume", deleteVolume)
+	svc.Register("DescribeVolumes", describeAllOf(TVolume, "volumes"))
+	svc.Register("AttachVolume", attachVolume)
+	svc.Register("DetachVolume", detachVolume)
+	svc.Register("ModifyVolume", modifyVolume)
+
+	svc.Register("CreateSnapshot", createSnapshot)
+	svc.Register("DeleteSnapshot", deleteSnapshot)
+	svc.Register("DescribeSnapshots", describeAllOf(TSnapshot, "snapshots"))
+	svc.Register("CopySnapshot", copySnapshot)
+}
+
+func createVolume(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	size, apiErr := base.ReqInt(p, "size")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if size < 1 || size > 16384 {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "volume size %d GiB out of range 1..16384", size)
+	}
+	az, apiErr := base.ReqStr(p, "availabilityZone")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	volType := base.OptStr(p, "volumeType", "gp3")
+	switch volType {
+	case "gp2", "gp3", "io1", "io2", "st1", "sc1", "standard":
+	default:
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid volume type %q", volType)
+	}
+	vol := s.Create(TVolume, "vol")
+	stamp(vol)
+	vol.Set("size", cloudapi.Int(size))
+	vol.Set("availabilityZone", cloudapi.Str(az))
+	vol.Set("volumeType", cloudapi.Str(volType))
+	vol.Set("state", cloudapi.Str("available"))
+	return idResult("volumeId", vol), nil
+}
+
+func deleteVolume(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vol, apiErr := reqLive(s, p, "volumeId", TVolume, codeVolumeNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if vol.Str("attachedInstanceId") != "" {
+		return nil, fmtErr(codeVolumeInUse, "the volume '%s' is currently attached to instance '%s'", vol.ID, vol.Str("attachedInstanceId"))
+	}
+	s.Delete(vol.ID)
+	return base.OKResult(), nil
+}
+
+func attachVolume(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vol, apiErr := reqLive(s, p, "volumeId", TVolume, codeVolumeNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	inst, apiErr := reqLive(s, p, "instanceId", TInstance, codeInstanceNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if vol.Str("state") != "available" {
+		return nil, fmtErr(codeIncorrectState, "the volume '%s' is not available (state: %s)", vol.ID, vol.Str("state"))
+	}
+	// The instance's subnet AZ must match the volume's AZ.
+	if sub, ok := s.Live(TSubnet, inst.Str("subnetId")); ok {
+		if sub.Str("availabilityZone") != vol.Str("availabilityZone") {
+			return nil, fmtErr(codeVolumeZoneMismatch, "volume '%s' (%s) and instance '%s' (%s) are in different availability zones",
+				vol.ID, vol.Str("availabilityZone"), inst.ID, sub.Str("availabilityZone"))
+		}
+	}
+	vol.Set("attachedInstanceId", cloudapi.Str(inst.ID))
+	vol.Set("state", cloudapi.Str("in-use"))
+	return base.OKResult(), nil
+}
+
+func detachVolume(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vol, apiErr := reqLive(s, p, "volumeId", TVolume, codeVolumeNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if vol.Str("attachedInstanceId") == "" {
+		return nil, fmtErr(codeAttachNotFound, "the volume '%s' is not attached", vol.ID)
+	}
+	vol.Set("attachedInstanceId", cloudapi.Nil)
+	vol.Set("state", cloudapi.Str("available"))
+	return base.OKResult(), nil
+}
+
+func modifyVolume(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vol, apiErr := reqLive(s, p, "volumeId", TVolume, codeVolumeNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	size, apiErr := base.ReqInt(p, "size")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	// Volumes can only grow.
+	if size < vol.Int("size") {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "volume size can only be increased (current %d, requested %d)", vol.Int("size"), size)
+	}
+	if size > 16384 {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "volume size %d GiB out of range 1..16384", size)
+	}
+	vol.Set("size", cloudapi.Int(size))
+	return base.OKResult(), nil
+}
+
+func createSnapshot(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vol, apiErr := reqLive(s, p, "volumeId", TVolume, codeVolumeNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	snap := s.Create(TSnapshot, "snap")
+	stamp(snap)
+	snap.Set("volumeId", cloudapi.Str(vol.ID))
+	snap.Set("volumeSize", vol.Attr("size"))
+	snap.Set("state", cloudapi.Str("completed"))
+	return idResult("snapshotId", snap), nil
+}
+
+func deleteSnapshot(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	snap, apiErr := reqLive(s, p, "snapshotId", TSnapshot, codeSnapshotNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if img := s.FindLive(TImage, func(r *base.Resource) bool { return r.Str("sourceSnapshotId") == snap.ID }); img != nil {
+		return nil, fmtErr(codeSnapshotInUse, "the snapshot '%s' is in use by image '%s'", snap.ID, img.ID)
+	}
+	s.Delete(snap.ID)
+	return base.OKResult(), nil
+}
+
+func copySnapshot(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	src, apiErr := reqLive(s, p, "snapshotId", TSnapshot, codeSnapshotNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	cp := s.Create(TSnapshot, "snap")
+	stamp(cp)
+	cp.Set("volumeId", src.Attr("volumeId"))
+	cp.Set("volumeSize", src.Attr("volumeSize"))
+	cp.Set("state", cloudapi.Str("completed"))
+	cp.Set("sourceSnapshotId", cloudapi.Str(src.ID))
+	return idResult("snapshotId", cp), nil
+}

@@ -1,0 +1,211 @@
+package ec2
+
+import (
+	"lce/internal/cidr"
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// VPC error codes (real AWS codes).
+const (
+	codeVpcNotFound      = "InvalidVpcID.NotFound"
+	codeVpcRange         = "InvalidVpc.Range"
+	codeSubnetNotFound   = "InvalidSubnetID.NotFound"
+	codeSubnetRange      = "InvalidSubnet.Range"
+	codeSubnetConflict   = "InvalidSubnet.Conflict"
+	codeDefaultVpcExists = "DefaultVpcAlreadyExists"
+	codeParamCombo       = "InvalidParameterCombination"
+)
+
+func registerVpc(svc *base.Service) {
+	svc.Register("CreateVpc", createVpc)
+	svc.Register("CreateDefaultVpc", createDefaultVpc)
+	svc.Register("DeleteVpc", deleteVpc)
+	svc.Register("DescribeVpcs", describeAllOf(TVpc, "vpcs"))
+	svc.Register("ModifyVpcAttribute", modifyVpcAttribute)
+}
+
+func createVpc(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	block, apiErr := base.ReqStr(p, "cidrBlock")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if !cidr.Valid(block) {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid CIDR block %s", block)
+	}
+	if n := cidr.PrefixLen(block); n < 16 || n > 28 {
+		return nil, fmtErr(codeVpcRange, "the CIDR '%s' is invalid: block size must be between /16 and /28", block)
+	}
+	tenancy := base.OptStr(p, "instanceTenancy", "default")
+	switch tenancy {
+	case "default", "dedicated", "host":
+	default:
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid tenancy %q", tenancy)
+	}
+	vpc := s.Create(TVpc, "vpc")
+	stamp(vpc)
+	vpc.Set("cidrBlock", cloudapi.Str(block))
+	vpc.Set("state", cloudapi.Str("available"))
+	vpc.Set("instanceTenancy", cloudapi.Str(tenancy))
+	vpc.Set("enableDnsSupport", cloudapi.True)
+	vpc.Set("enableDnsHostnames", cloudapi.False)
+	vpc.Set("isDefault", cloudapi.False)
+	return idResult("vpcId", vpc), nil
+}
+
+func createDefaultVpc(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	if s.FindLive(TVpc, func(r *base.Resource) bool { return r.Bool("isDefault") }) != nil {
+		return nil, fmtErr(codeDefaultVpcExists, "a default VPC already exists")
+	}
+	vpc := s.Create(TVpc, "vpc")
+	stamp(vpc)
+	vpc.Set("cidrBlock", cloudapi.Str("172.31.0.0/16"))
+	vpc.Set("state", cloudapi.Str("available"))
+	vpc.Set("instanceTenancy", cloudapi.Str("default"))
+	vpc.Set("enableDnsSupport", cloudapi.True)
+	vpc.Set("enableDnsHostnames", cloudapi.True)
+	vpc.Set("isDefault", cloudapi.True)
+	return idResult("vpcId", vpc), nil
+}
+
+// vpcDependentTypes are the resource types whose existence blocks
+// DeleteVpc. This is the check Moto famously got wrong for attached
+// Internet Gateways (§2 of the paper).
+var vpcDependentTypes = []string{TSubnet, TRouteTable, TSecurityGroup, TNetworkAcl, TVpcEndpoint}
+
+func deleteVpc(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if child := s.AnyChild(vpc.ID, vpcDependentTypes...); child != nil {
+		return nil, fmtErr(cloudapi.CodeDependencyViolation, "the vpc '%s' has dependencies (%s) and cannot be deleted", vpc.ID, child.ID)
+	}
+	// An attached Internet Gateway or VPN Gateway also blocks deletion.
+	if igw := s.FindLive(TInternetGateway, func(r *base.Resource) bool { return r.Str("attachedVpcId") == vpc.ID }); igw != nil {
+		return nil, fmtErr(cloudapi.CodeDependencyViolation, "the vpc '%s' has dependencies (%s) and cannot be deleted", vpc.ID, igw.ID)
+	}
+	if vgw := s.FindLive(TVpnGateway, func(r *base.Resource) bool { return r.Str("attachedVpcId") == vpc.ID }); vgw != nil {
+		return nil, fmtErr(cloudapi.CodeDependencyViolation, "the vpc '%s' has dependencies (%s) and cannot be deleted", vpc.ID, vgw.ID)
+	}
+	s.Delete(vpc.ID)
+	return base.OKResult(), nil
+}
+
+func modifyVpcAttribute(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	changed := false
+	if p.Has("enableDnsSupport") {
+		v := p.Get("enableDnsSupport")
+		if v.Kind() != cloudapi.KindBool {
+			return nil, fmtErr(cloudapi.CodeInvalidParameter, "enableDnsSupport expects a boolean")
+		}
+		// Disabling DNS support while hostnames are enabled is an
+		// invalid combination.
+		if !v.AsBool() && vpc.Bool("enableDnsHostnames") {
+			return nil, fmtErr(codeParamCombo, "DNS support cannot be disabled while DNS hostnames are enabled on vpc '%s'", vpc.ID)
+		}
+		vpc.Set("enableDnsSupport", v)
+		changed = true
+	}
+	if p.Has("enableDnsHostnames") {
+		v := p.Get("enableDnsHostnames")
+		if v.Kind() != cloudapi.KindBool {
+			return nil, fmtErr(cloudapi.CodeInvalidParameter, "enableDnsHostnames expects a boolean")
+		}
+		// The resource-context check the paper's D2C baseline misses:
+		// DNS hostnames can only be enabled when DNS support is on.
+		if v.AsBool() && !vpc.Bool("enableDnsSupport") {
+			return nil, fmtErr(codeParamCombo, "DNS hostnames cannot be enabled on vpc '%s' while DNS support is disabled", vpc.ID)
+		}
+		vpc.Set("enableDnsHostnames", v)
+		changed = true
+	}
+	if !changed {
+		return nil, fmtErr(cloudapi.CodeMissingParameter, "the request must contain exactly one attribute to modify")
+	}
+	return base.OKResult(), nil
+}
+
+func registerSubnet(svc *base.Service) {
+	svc.Register("CreateSubnet", createSubnet)
+	svc.Register("DeleteSubnet", deleteSubnet)
+	svc.Register("DescribeSubnets", describeAllOf(TSubnet, "subnets"))
+	svc.Register("ModifySubnetAttribute", modifySubnetAttribute)
+}
+
+func createSubnet(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vpc, apiErr := reqLive(s, p, "vpcId", TVpc, codeVpcNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	block, apiErr := base.ReqStr(p, "cidrBlock")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if !cidr.Valid(block) {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "invalid CIDR block %s", block)
+	}
+	// The subtle check the paper calls out: AWS subnets must be between
+	// /16 and /28 — a /29 is rejected even when it fits in the VPC.
+	if n := cidr.PrefixLen(block); n < 16 || n > 28 {
+		return nil, fmtErr(codeSubnetRange, "the CIDR '%s' is invalid: subnet size must be between /16 and /28", block)
+	}
+	if !cidr.Within(block, vpc.Str("cidrBlock")) {
+		return nil, fmtErr(codeSubnetRange, "the CIDR '%s' is invalid for vpc '%s' with CIDR '%s'", block, vpc.ID, vpc.Str("cidrBlock"))
+	}
+	for _, sib := range s.Children(vpc.ID, TSubnet) {
+		if cidr.Overlaps(block, sib.Str("cidrBlock")) {
+			return nil, fmtErr(codeSubnetConflict, "the CIDR '%s' conflicts with another subnet (%s)", block, sib.ID)
+		}
+	}
+	az := base.OptStr(p, "availabilityZone", "us-east-1a")
+	sub := s.Create(TSubnet, "subnet")
+	stamp(sub)
+	sub.Parent = vpc.ID
+	sub.Set("vpcId", cloudapi.Str(vpc.ID))
+	sub.Set("cidrBlock", cloudapi.Str(block))
+	sub.Set("availabilityZone", cloudapi.Str(az))
+	sub.Set("state", cloudapi.Str("available"))
+	sub.Set("mapPublicIpOnLaunch", cloudapi.False)
+	sub.Set("availableIpAddressCount", cloudapi.Int(cidr.HostCapacity(block)-5))
+	return idResult("subnetId", sub), nil
+}
+
+func deleteSubnet(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	sub, apiErr := reqLive(s, p, "subnetId", TSubnet, codeSubnetNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if child := s.AnyChild(sub.ID, TInstance, TNetworkInterface, TNatGateway); child != nil {
+		return nil, fmtErr(cloudapi.CodeDependencyViolation, "the subnet '%s' has dependencies (%s) and cannot be deleted", sub.ID, child.ID)
+	}
+	for _, rt := range s.ListLive(TRouteTable) {
+		for _, a := range rt.Attr("associatedSubnetIds").AsList() {
+			if a.AsString() == sub.ID {
+				return nil, fmtErr(cloudapi.CodeDependencyViolation, "the subnet '%s' is associated with route table '%s' and cannot be deleted", sub.ID, rt.ID)
+			}
+		}
+	}
+	s.Delete(sub.ID)
+	return base.OKResult(), nil
+}
+
+func modifySubnetAttribute(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	sub, apiErr := reqLive(s, p, "subnetId", TSubnet, codeSubnetNotFound)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if !p.Has("mapPublicIpOnLaunch") {
+		return nil, fmtErr(cloudapi.CodeMissingParameter, "the request must contain the parameter mapPublicIpOnLaunch")
+	}
+	v := p.Get("mapPublicIpOnLaunch")
+	if v.Kind() != cloudapi.KindBool {
+		return nil, fmtErr(cloudapi.CodeInvalidParameter, "mapPublicIpOnLaunch expects a boolean")
+	}
+	sub.Set("mapPublicIpOnLaunch", v)
+	return base.OKResult(), nil
+}

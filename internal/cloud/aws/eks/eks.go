@@ -1,0 +1,382 @@
+// Package eks is the hand-written ground-truth model of the EKS
+// control plane. It exists primarily for the Table-1 coverage
+// accounting (58 cataloged actions, Moto-style baseline at 26 %) but
+// models the core lifecycle behaviourally so differential traces can
+// exercise it.
+package eks
+
+import (
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Resource type names.
+const (
+	TCluster                = "Cluster"
+	TNodegroup              = "Nodegroup"
+	TFargateProfile         = "FargateProfile"
+	TAddon                  = "Addon"
+	TAccessEntry            = "AccessEntry"
+	TIdentityProviderConfig = "IdentityProviderConfig"
+	TPodIdentityAssociation = "PodIdentityAssociation"
+)
+
+// EKS error codes (real AWS codes).
+const (
+	codeNotFound     = "ResourceNotFoundException"
+	codeInUse        = "ResourceInUseException"
+	codeInvalidParam = "InvalidParameterException"
+	codeInvalidReq   = "InvalidRequestException"
+	codeLimit        = "ResourceLimitExceededException"
+)
+
+// New builds the EKS oracle backend.
+func New() *base.Service {
+	svc := base.NewService("eks")
+	svc.Register("CreateCluster", createCluster)
+	svc.Register("DeleteCluster", deleteCluster)
+	svc.Register("DescribeCluster", describeCluster)
+	svc.Register("ListClusters", listClusters)
+	svc.Register("UpdateClusterVersion", updateClusterVersion)
+
+	svc.Register("CreateNodegroup", createNodegroup)
+	svc.Register("DeleteNodegroup", deleteNodegroup)
+	svc.Register("DescribeNodegroup", describeChild(TNodegroup, "nodegroupName", "nodegroup"))
+	svc.Register("ListNodegroups", listChildren(TNodegroup, "nodegroups"))
+	svc.Register("UpdateNodegroupConfig", updateNodegroupConfig)
+
+	svc.Register("CreateFargateProfile", createFargateProfile)
+	svc.Register("DeleteFargateProfile", deleteChild(TFargateProfile, "fargateProfileName"))
+	svc.Register("DescribeFargateProfile", describeChild(TFargateProfile, "fargateProfileName", "fargateProfile"))
+	svc.Register("ListFargateProfiles", listChildren(TFargateProfile, "fargateProfiles"))
+
+	svc.Register("CreateAddon", createAddon)
+	svc.Register("DeleteAddon", deleteChild(TAddon, "addonName"))
+	svc.Register("DescribeAddon", describeChild(TAddon, "addonName", "addon"))
+	svc.Register("ListAddons", listChildren(TAddon, "addons"))
+
+	svc.Register("CreateAccessEntry", createAccessEntry)
+	svc.Register("DeleteAccessEntry", deleteChild(TAccessEntry, "principalArn"))
+	svc.Register("ListAccessEntries", listChildren(TAccessEntry, "accessEntries"))
+
+	svc.Register("CreatePodIdentityAssociation", createPodIdentityAssociation)
+	svc.Register("DeletePodIdentityAssociation", deleteChild(TPodIdentityAssociation, "serviceAccount"))
+	svc.Register("ListPodIdentityAssociations", listChildren(TPodIdentityAssociation, "podIdentityAssociations"))
+	return svc
+}
+
+var supportedVersions = map[string]bool{"1.27": true, "1.28": true, "1.29": true, "1.30": true, "1.31": true}
+
+func findCluster(s *base.Store, name string) *base.Resource {
+	return s.FindLive(TCluster, func(r *base.Resource) bool { return r.Str("clusterName") == name })
+}
+
+func reqCluster(s *base.Store, p cloudapi.Params) (*base.Resource, *cloudapi.APIError) {
+	name, apiErr := base.ReqStr(p, "clusterName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	c := findCluster(s, name)
+	if c == nil {
+		return nil, cloudapi.Errf(codeNotFound, "no cluster found for name: %s", name)
+	}
+	return c, nil
+}
+
+// childKey names the attribute that identifies a child resource within
+// its cluster (nodegroupName, addonName, …).
+func childKey(typ string) string {
+	switch typ {
+	case TNodegroup:
+		return "nodegroupName"
+	case TFargateProfile:
+		return "fargateProfileName"
+	case TAddon:
+		return "addonName"
+	case TAccessEntry:
+		return "principalArn"
+	case TPodIdentityAssociation:
+		return "serviceAccount"
+	default:
+		return "name"
+	}
+}
+
+func findChild(s *base.Store, clusterID, typ, name string) *base.Resource {
+	key := childKey(typ)
+	return s.FindLive(typ, func(r *base.Resource) bool {
+		return r.Parent == clusterID && r.Str(key) == name
+	})
+}
+
+func createCluster(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "clusterName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findCluster(s, name) != nil {
+		return nil, cloudapi.Errf(codeInUse, "cluster already exists: %s", name)
+	}
+	version := base.OptStr(p, "version", "1.31")
+	if !supportedVersions[version] {
+		return nil, cloudapi.Errf(codeInvalidParam, "unsupported Kubernetes version %q", version)
+	}
+	c := s.Create(TCluster, "cluster")
+	c.Set("clusterName", cloudapi.Str(name))
+	c.Set("version", cloudapi.Str(version))
+	c.Set("status", cloudapi.Str("ACTIVE"))
+	return cloudapi.Result{"clusterId": cloudapi.Str(c.ID), "clusterName": cloudapi.Str(name)}, nil
+}
+
+func deleteCluster(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	// Real EKS refuses to delete a cluster that still has nodegroups or
+	// Fargate profiles.
+	if child := s.AnyChild(c.ID, TNodegroup, TFargateProfile); child != nil {
+		return nil, cloudapi.Errf(codeInUse, "cluster %q has attached resources (%s) and cannot be deleted", c.Str("clusterName"), child.ID)
+	}
+	for _, typ := range []string{TAddon, TAccessEntry, TPodIdentityAssociation, TIdentityProviderConfig} {
+		for _, child := range s.Children(c.ID, typ) {
+			s.Delete(child.ID)
+		}
+	}
+	s.Delete(c.ID)
+	return base.OKResult(), nil
+}
+
+func describeCluster(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return cloudapi.Result{"cluster": base.Describe(c)}, nil
+}
+
+func listClusters(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	names := []cloudapi.Value{}
+	for _, c := range s.ListLive(TCluster) {
+		names = append(names, c.Attr("clusterName"))
+	}
+	return cloudapi.Result{"clusters": cloudapi.List(names...)}, nil
+}
+
+func updateClusterVersion(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	version, apiErr := base.ReqStr(p, "version")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if !supportedVersions[version] {
+		return nil, cloudapi.Errf(codeInvalidParam, "unsupported Kubernetes version %q", version)
+	}
+	// Downgrades are rejected.
+	if version < c.Str("version") {
+		return nil, cloudapi.Errf(codeInvalidReq, "cannot downgrade cluster from %s to %s", c.Str("version"), version)
+	}
+	c.Set("version", cloudapi.Str(version))
+	return base.OKResult(), nil
+}
+
+func createNodegroup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "nodegroupName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findChild(s, c.ID, TNodegroup, name) != nil {
+		return nil, cloudapi.Errf(codeInUse, "nodegroup already exists: %s", name)
+	}
+	desired := base.OptInt(p, "desiredSize", 2)
+	minSize := base.OptInt(p, "minSize", 1)
+	maxSize := base.OptInt(p, "maxSize", desired)
+	if minSize < 0 || desired < minSize || desired > maxSize {
+		return nil, cloudapi.Errf(codeInvalidParam, "invalid scaling config min=%d desired=%d max=%d", minSize, desired, maxSize)
+	}
+	ng := s.Create(TNodegroup, "ng")
+	ng.Parent = c.ID
+	ng.Set("clusterName", c.Attr("clusterName"))
+	ng.Set("nodegroupName", cloudapi.Str(name))
+	ng.Set("desiredSize", cloudapi.Int(desired))
+	ng.Set("minSize", cloudapi.Int(minSize))
+	ng.Set("maxSize", cloudapi.Int(maxSize))
+	ng.Set("status", cloudapi.Str("ACTIVE"))
+	return cloudapi.Result{"nodegroupId": cloudapi.Str(ng.ID)}, nil
+}
+
+func deleteNodegroup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "nodegroupName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ng := findChild(s, c.ID, TNodegroup, name)
+	if ng == nil {
+		return nil, cloudapi.Errf(codeNotFound, "no nodegroup found for name: %s", name)
+	}
+	s.Delete(ng.ID)
+	return base.OKResult(), nil
+}
+
+func updateNodegroupConfig(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "nodegroupName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ng := findChild(s, c.ID, TNodegroup, name)
+	if ng == nil {
+		return nil, cloudapi.Errf(codeNotFound, "no nodegroup found for name: %s", name)
+	}
+	desired := base.OptInt(p, "desiredSize", ng.Int("desiredSize"))
+	minSize := base.OptInt(p, "minSize", ng.Int("minSize"))
+	maxSize := base.OptInt(p, "maxSize", ng.Int("maxSize"))
+	if minSize < 0 || desired < minSize || desired > maxSize {
+		return nil, cloudapi.Errf(codeInvalidParam, "invalid scaling config min=%d desired=%d max=%d", minSize, desired, maxSize)
+	}
+	ng.Set("desiredSize", cloudapi.Int(desired))
+	ng.Set("minSize", cloudapi.Int(minSize))
+	ng.Set("maxSize", cloudapi.Int(maxSize))
+	return base.OKResult(), nil
+}
+
+func createFargateProfile(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "fargateProfileName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findChild(s, c.ID, TFargateProfile, name) != nil {
+		return nil, cloudapi.Errf(codeInUse, "fargate profile already exists: %s", name)
+	}
+	fp := s.Create(TFargateProfile, "fp")
+	fp.Parent = c.ID
+	fp.Set("clusterName", c.Attr("clusterName"))
+	fp.Set("fargateProfileName", cloudapi.Str(name))
+	fp.Set("namespace", cloudapi.Str(base.OptStr(p, "namespace", "default")))
+	fp.Set("status", cloudapi.Str("ACTIVE"))
+	return cloudapi.Result{"fargateProfileId": cloudapi.Str(fp.ID)}, nil
+}
+
+func createAddon(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "addonName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findChild(s, c.ID, TAddon, name) != nil {
+		return nil, cloudapi.Errf(codeInUse, "addon already exists: %s", name)
+	}
+	ad := s.Create(TAddon, "addon")
+	ad.Parent = c.ID
+	ad.Set("clusterName", c.Attr("clusterName"))
+	ad.Set("addonName", cloudapi.Str(name))
+	ad.Set("status", cloudapi.Str("ACTIVE"))
+	return cloudapi.Result{"addonId": cloudapi.Str(ad.ID)}, nil
+}
+
+func createAccessEntry(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	arn, apiErr := base.ReqStr(p, "principalArn")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findChild(s, c.ID, TAccessEntry, arn) != nil {
+		return nil, cloudapi.Errf(codeInUse, "access entry already exists for %s", arn)
+	}
+	ae := s.Create(TAccessEntry, "ae")
+	ae.Parent = c.ID
+	ae.Set("clusterName", c.Attr("clusterName"))
+	ae.Set("principalArn", cloudapi.Str(arn))
+	return cloudapi.Result{"accessEntryId": cloudapi.Str(ae.ID)}, nil
+}
+
+func createPodIdentityAssociation(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	c, apiErr := reqCluster(s, p)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	sa, apiErr := base.ReqStr(p, "serviceAccount")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if findChild(s, c.ID, TPodIdentityAssociation, sa) != nil {
+		return nil, cloudapi.Errf(codeInUse, "pod identity association already exists for %s", sa)
+	}
+	pia := s.Create(TPodIdentityAssociation, "pia")
+	pia.Parent = c.ID
+	pia.Set("clusterName", c.Attr("clusterName"))
+	pia.Set("serviceAccount", cloudapi.Str(sa))
+	pia.Set("roleArn", cloudapi.Str(base.OptStr(p, "roleArn", "")))
+	return cloudapi.Result{"podIdentityAssociationId": cloudapi.Str(pia.ID)}, nil
+}
+
+func deleteChild(typ, param string) base.Handler {
+	return func(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+		c, apiErr := reqCluster(s, p)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		name, apiErr := base.ReqStr(p, param)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		child := findChild(s, c.ID, typ, name)
+		if child == nil {
+			return nil, cloudapi.Errf(codeNotFound, "no %s found for %s", typ, name)
+		}
+		s.Delete(child.ID)
+		return base.OKResult(), nil
+	}
+}
+
+func describeChild(typ, param, key string) base.Handler {
+	return func(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+		c, apiErr := reqCluster(s, p)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		name, apiErr := base.ReqStr(p, param)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		child := findChild(s, c.ID, typ, name)
+		if child == nil {
+			return nil, cloudapi.Errf(codeNotFound, "no %s found for %s", typ, name)
+		}
+		return cloudapi.Result{key: base.Describe(child)}, nil
+	}
+}
+
+func listChildren(typ, key string) base.Handler {
+	return func(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+		c, apiErr := reqCluster(s, p)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		return cloudapi.Result{key: base.DescribeAll(s.Children(c.ID, typ))}, nil
+	}
+}

@@ -1,0 +1,107 @@
+package eks
+
+import (
+	"testing"
+
+	"lce/internal/cloudapi"
+)
+
+func inv(t *testing.T, b cloudapi.Backend, action string, kv ...any) cloudapi.Result {
+	t.Helper()
+	res, err := b.Invoke(cloudapi.Request{Action: action, Params: params(kv...)})
+	if err != nil {
+		t.Fatalf("%s: %v", action, err)
+	}
+	return res
+}
+
+func invErr(t *testing.T, b cloudapi.Backend, wantCode, action string, kv ...any) {
+	t.Helper()
+	_, err := b.Invoke(cloudapi.Request{Action: action, Params: params(kv...)})
+	ae, ok := cloudapi.AsAPIError(err)
+	if err == nil || !ok {
+		t.Fatalf("%s: want API error %s, got %v", action, wantCode, err)
+	}
+	if ae.Code != wantCode {
+		t.Fatalf("%s: code = %s, want %s (%s)", action, ae.Code, wantCode, ae.Message)
+	}
+}
+
+func params(kv ...any) cloudapi.Params {
+	p := cloudapi.Params{}
+	for i := 0; i < len(kv); i += 2 {
+		switch v := kv[i+1].(type) {
+		case string:
+			p[kv[i].(string)] = cloudapi.Str(v)
+		case int:
+			p[kv[i].(string)] = cloudapi.Int(int64(v))
+		case bool:
+			p[kv[i].(string)] = cloudapi.Bool(v)
+		}
+	}
+	return p
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateCluster", "clusterName", "prod", "version", "1.30")
+	invErr(t, svc, codeInUse, "CreateCluster", "clusterName", "prod")
+	invErr(t, svc, codeInvalidParam, "CreateCluster", "clusterName", "x", "version", "9.99")
+	m := inv(t, svc, "DescribeCluster", "clusterName", "prod").Get("cluster").AsMap()
+	if m["version"].AsString() != "1.30" {
+		t.Errorf("cluster = %v", m)
+	}
+	// Version upgrades only move forward.
+	invErr(t, svc, codeInvalidReq, "UpdateClusterVersion", "clusterName", "prod", "version", "1.28")
+	inv(t, svc, "UpdateClusterVersion", "clusterName", "prod", "version", "1.31")
+	inv(t, svc, "DeleteCluster", "clusterName", "prod")
+	invErr(t, svc, codeNotFound, "DescribeCluster", "clusterName", "prod")
+}
+
+func TestClusterDeleteBlockedByNodegroup(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateCluster", "clusterName", "prod")
+	inv(t, svc, "CreateNodegroup", "clusterName", "prod", "nodegroupName", "workers")
+	invErr(t, svc, codeInUse, "DeleteCluster", "clusterName", "prod")
+	inv(t, svc, "DeleteNodegroup", "clusterName", "prod", "nodegroupName", "workers")
+	inv(t, svc, "DeleteCluster", "clusterName", "prod")
+}
+
+func TestNodegroupScaling(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateCluster", "clusterName", "prod")
+	invErr(t, svc, codeInvalidParam, "CreateNodegroup", "clusterName", "prod", "nodegroupName", "bad", "minSize", 5, "desiredSize", 2, "maxSize", 10)
+	inv(t, svc, "CreateNodegroup", "clusterName", "prod", "nodegroupName", "workers", "minSize", 1, "desiredSize", 3, "maxSize", 5)
+	invErr(t, svc, codeInUse, "CreateNodegroup", "clusterName", "prod", "nodegroupName", "workers")
+	invErr(t, svc, codeInvalidParam, "UpdateNodegroupConfig", "clusterName", "prod", "nodegroupName", "workers", "desiredSize", 99)
+	inv(t, svc, "UpdateNodegroupConfig", "clusterName", "prod", "nodegroupName", "workers", "desiredSize", 5)
+	m := inv(t, svc, "DescribeNodegroup", "clusterName", "prod", "nodegroupName", "workers").Get("nodegroup").AsMap()
+	if m["desiredSize"].AsInt() != 5 {
+		t.Errorf("nodegroup = %v", m)
+	}
+}
+
+func TestFargateAddonsAccessEntriesPodIdentity(t *testing.T) {
+	svc := New()
+	inv(t, svc, "CreateCluster", "clusterName", "prod")
+	inv(t, svc, "CreateFargateProfile", "clusterName", "prod", "fargateProfileName", "fp1", "namespace", "batch")
+	invErr(t, svc, codeInUse, "CreateFargateProfile", "clusterName", "prod", "fargateProfileName", "fp1")
+	inv(t, svc, "CreateAddon", "clusterName", "prod", "addonName", "vpc-cni")
+	inv(t, svc, "CreateAccessEntry", "clusterName", "prod", "principalArn", "arn:aws:iam::1:role/dev")
+	inv(t, svc, "CreatePodIdentityAssociation", "clusterName", "prod", "serviceAccount", "app-sa")
+
+	if n := len(inv(t, svc, "ListFargateProfiles", "clusterName", "prod").Get("fargateProfiles").AsList()); n != 1 {
+		t.Errorf("fargate profiles = %d", n)
+	}
+	if n := len(inv(t, svc, "ListAddons", "clusterName", "prod").Get("addons").AsList()); n != 1 {
+		t.Errorf("addons = %d", n)
+	}
+	// Fargate profile blocks cluster deletion; addons do not.
+	invErr(t, svc, codeInUse, "DeleteCluster", "clusterName", "prod")
+	inv(t, svc, "DeleteFargateProfile", "clusterName", "prod", "fargateProfileName", "fp1")
+	inv(t, svc, "DeleteCluster", "clusterName", "prod")
+	// Children cascade away with the cluster.
+	if n := svc.Store().CountLive(TAddon); n != 0 {
+		t.Errorf("addons after cluster delete = %d", n)
+	}
+}

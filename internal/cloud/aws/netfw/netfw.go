@@ -1,0 +1,661 @@
+// Package netfw is the hand-written ground-truth model of AWS Network
+// Firewall: the service the paper uses to demonstrate the coverage gap
+// (Moto emulates 5 of its 45 API actions — e.g. CreateFirewall but not
+// DeleteFirewall — while the learned emulator captures all 45). This
+// oracle implements all 45 actions over the 8 resource types the
+// paper's generated spec contains.
+package netfw
+
+import (
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Resource type names (8 SMs, matching Fig. 4).
+const (
+	TFirewall               = "Firewall"
+	TFirewallPolicy         = "FirewallPolicy"
+	TRuleGroup              = "RuleGroup"
+	TTLSConfig              = "TLSInspectionConfiguration"
+	TLoggingConfig          = "LoggingConfiguration"
+	TResourcePolicy         = "ResourcePolicy"
+	TVpcEndpointAssociation = "VpcEndpointAssociation"
+	TAnalysisReport         = "AnalysisReport"
+)
+
+// Network Firewall error codes (real AWS codes).
+const (
+	codeNotFound       = "ResourceNotFoundException"
+	codeInvalidRequest = "InvalidRequestException"
+	codeInvalidOp      = "InvalidOperationException"
+	codeInUse          = "InsufficientCapacityException"
+	codeResourceOwned  = "ResourceOwnedException"
+	codeLimitExceeded  = "LimitExceededException"
+)
+
+// New builds the Network Firewall oracle backend with all 45 actions.
+func New() *base.Service {
+	svc := base.NewService("network-firewall")
+	// Firewall (13 actions).
+	svc.Register("CreateFirewall", createFirewall)
+	svc.Register("DeleteFirewall", deleteFirewall)
+	svc.Register("DescribeFirewall", describeOne(TFirewall, "firewallId", "firewall"))
+	svc.Register("ListFirewalls", listAll(TFirewall, "firewalls"))
+	svc.Register("AssociateFirewallPolicy", associateFirewallPolicy)
+	svc.Register("AssociateSubnets", associateSubnets)
+	svc.Register("DisassociateSubnets", disassociateSubnets)
+	svc.Register("UpdateFirewallDeleteProtection", updateFirewallBool("deleteProtection"))
+	svc.Register("UpdateFirewallPolicyChangeProtection", updateFirewallBool("firewallPolicyChangeProtection"))
+	svc.Register("UpdateSubnetChangeProtection", updateFirewallBool("subnetChangeProtection"))
+	svc.Register("UpdateFirewallDescription", updateFirewallDescription)
+	svc.Register("UpdateFirewallEncryptionConfiguration", updateFirewallEncryption)
+	svc.Register("TagResource", tagResource)
+	// FirewallPolicy (5).
+	svc.Register("CreateFirewallPolicy", createFirewallPolicy)
+	svc.Register("DeleteFirewallPolicy", deleteFirewallPolicy)
+	svc.Register("DescribeFirewallPolicy", describeOne(TFirewallPolicy, "firewallPolicyId", "firewallPolicy"))
+	svc.Register("ListFirewallPolicies", listAll(TFirewallPolicy, "firewallPolicies"))
+	svc.Register("UpdateFirewallPolicy", updateFirewallPolicy)
+	// RuleGroup (7).
+	svc.Register("CreateRuleGroup", createRuleGroup)
+	svc.Register("DeleteRuleGroup", deleteRuleGroup)
+	svc.Register("DescribeRuleGroup", describeOne(TRuleGroup, "ruleGroupId", "ruleGroup"))
+	svc.Register("DescribeRuleGroupMetadata", describeRuleGroupMetadata)
+	svc.Register("ListRuleGroups", listAll(TRuleGroup, "ruleGroups"))
+	svc.Register("UpdateRuleGroup", updateRuleGroup)
+	svc.Register("UntagResource", untagResource)
+	// TLSInspectionConfiguration (5).
+	svc.Register("CreateTLSInspectionConfiguration", createTLSConfig)
+	svc.Register("DeleteTLSInspectionConfiguration", deleteTLSConfig)
+	svc.Register("DescribeTLSInspectionConfiguration", describeOne(TTLSConfig, "tlsInspectionConfigurationId", "tlsInspectionConfiguration"))
+	svc.Register("ListTLSInspectionConfigurations", listAll(TTLSConfig, "tlsInspectionConfigurations"))
+	svc.Register("UpdateTLSInspectionConfiguration", updateTLSConfig)
+	// LoggingConfiguration (3).
+	svc.Register("DescribeLoggingConfiguration", describeLoggingConfiguration)
+	svc.Register("UpdateLoggingConfiguration", updateLoggingConfiguration)
+	svc.Register("ListTagsForResource", listTagsForResource)
+	// ResourcePolicy (3).
+	svc.Register("PutResourcePolicy", putResourcePolicy)
+	svc.Register("DeleteResourcePolicy", deleteResourcePolicy)
+	svc.Register("DescribeResourcePolicy", describeResourcePolicy)
+	// VpcEndpointAssociation (4).
+	svc.Register("CreateVpcEndpointAssociation", createVpcEndpointAssociation)
+	svc.Register("DeleteVpcEndpointAssociation", deleteVpcEndpointAssociation)
+	svc.Register("DescribeVpcEndpointAssociation", describeOne(TVpcEndpointAssociation, "vpcEndpointAssociationId", "vpcEndpointAssociation"))
+	svc.Register("ListVpcEndpointAssociations", listAll(TVpcEndpointAssociation, "vpcEndpointAssociations"))
+	// AnalysisReport / flow operations (5).
+	svc.Register("StartAnalysisReport", startAnalysisReport)
+	svc.Register("GetAnalysisReportResults", getAnalysisReportResults)
+	svc.Register("ListAnalysisReports", listAll(TAnalysisReport, "analysisReports"))
+	svc.Register("StartFlowCapture", startFlowOp)
+	svc.Register("DeleteLoggingConfiguration", deleteLoggingConfiguration)
+	return svc
+}
+
+func describeOne(typ, param, key string) base.Handler {
+	return func(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+		id, apiErr := base.ReqStr(p, param)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		r, ok := s.Live(typ, id)
+		if !ok {
+			return nil, cloudapi.Errf(codeNotFound, "%s %q not found", typ, id)
+		}
+		return cloudapi.Result{key: base.Describe(r)}, nil
+	}
+}
+
+func listAll(typ, key string) base.Handler {
+	return func(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+		return cloudapi.Result{key: base.DescribeAll(s.ListLive(typ))}, nil
+	}
+}
+
+func reqRes(s *base.Store, p cloudapi.Params, param, typ string) (*base.Resource, *cloudapi.APIError) {
+	id, apiErr := base.ReqStr(p, param)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	r, ok := s.Live(typ, id)
+	if !ok {
+		return nil, cloudapi.Errf(codeNotFound, "%s %q not found", typ, id)
+	}
+	return r, nil
+}
+
+func createFirewall(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "firewallName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TFirewall, func(r *base.Resource) bool { return r.Str("firewallName") == name }) != nil {
+		return nil, cloudapi.Errf(codeInvalidRequest, "a firewall named %q already exists", name)
+	}
+	policy, apiErr := reqRes(s, p, "firewallPolicyId", TFirewallPolicy)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vpcID, apiErr := base.ReqStr(p, "vpcId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	fw := s.Create(TFirewall, "fw")
+	fw.Set("firewallName", cloudapi.Str(name))
+	fw.Set("firewallPolicyId", cloudapi.Str(policy.ID))
+	fw.Set("vpcId", cloudapi.Str(vpcID))
+	fw.Set("subnetIds", p.Get("subnetIds"))
+	if fw.Attr("subnetIds").IsNil() {
+		fw.Set("subnetIds", cloudapi.List())
+	}
+	fw.Set("deleteProtection", cloudapi.Bool(base.OptBool(p, "deleteProtection", false)))
+	fw.Set("firewallPolicyChangeProtection", cloudapi.False)
+	fw.Set("subnetChangeProtection", cloudapi.False)
+	fw.Set("status", cloudapi.Str("READY"))
+	fw.Set("tags", cloudapi.Map(nil))
+	return cloudapi.Result{"firewallId": cloudapi.Str(fw.ID)}, nil
+}
+
+func deleteFirewall(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if fw.Bool("deleteProtection") {
+		return nil, cloudapi.Errf(codeInvalidOp, "firewall %q has delete protection enabled", fw.ID)
+	}
+	if assoc := s.FindLive(TVpcEndpointAssociation, func(r *base.Resource) bool { return r.Str("firewallId") == fw.ID }); assoc != nil {
+		return nil, cloudapi.Errf(codeInvalidOp, "firewall %q has VPC endpoint associations", fw.ID)
+	}
+	s.Delete(fw.ID)
+	return base.OKResult(), nil
+}
+
+func associateFirewallPolicy(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if fw.Bool("firewallPolicyChangeProtection") {
+		return nil, cloudapi.Errf(codeInvalidOp, "firewall %q has policy change protection enabled", fw.ID)
+	}
+	policy, apiErr := reqRes(s, p, "firewallPolicyId", TFirewallPolicy)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	fw.Set("firewallPolicyId", cloudapi.Str(policy.ID))
+	return base.OKResult(), nil
+}
+
+func associateSubnets(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if fw.Bool("subnetChangeProtection") {
+		return nil, cloudapi.Errf(codeInvalidOp, "firewall %q has subnet change protection enabled", fw.ID)
+	}
+	subID, apiErr := base.ReqStr(p, "subnetId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	subs := fw.Attr("subnetIds").AsList()
+	for _, sID := range subs {
+		if sID.AsString() == subID {
+			return nil, cloudapi.Errf(codeInvalidRequest, "subnet %q is already associated with firewall %q", subID, fw.ID)
+		}
+	}
+	fw.Set("subnetIds", cloudapi.List(append(subs, cloudapi.Str(subID))...))
+	return base.OKResult(), nil
+}
+
+func disassociateSubnets(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if fw.Bool("subnetChangeProtection") {
+		return nil, cloudapi.Errf(codeInvalidOp, "firewall %q has subnet change protection enabled", fw.ID)
+	}
+	subID, apiErr := base.ReqStr(p, "subnetId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	subs := fw.Attr("subnetIds").AsList()
+	var out []cloudapi.Value
+	found := false
+	for _, sID := range subs {
+		if sID.AsString() == subID {
+			found = true
+			continue
+		}
+		out = append(out, sID)
+	}
+	if !found {
+		return nil, cloudapi.Errf(codeInvalidRequest, "subnet %q is not associated with firewall %q", subID, fw.ID)
+	}
+	fw.Set("subnetIds", cloudapi.List(out...))
+	return base.OKResult(), nil
+}
+
+func updateFirewallBool(attr string) base.Handler {
+	return func(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+		fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		v := p.Get("enabled")
+		if v.Kind() != cloudapi.KindBool {
+			return nil, cloudapi.Errf(codeInvalidRequest, "enabled expects a boolean")
+		}
+		fw.Set(attr, v)
+		return base.OKResult(), nil
+	}
+}
+
+func updateFirewallDescription(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	desc, apiErr := base.ReqStr(p, "description")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	fw.Set("description", cloudapi.Str(desc))
+	return base.OKResult(), nil
+}
+
+func updateFirewallEncryption(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	kind := base.OptStr(p, "encryptionType", "AWS_OWNED_KMS_KEY")
+	if kind != "AWS_OWNED_KMS_KEY" && kind != "CUSTOMER_KMS" {
+		return nil, cloudapi.Errf(codeInvalidRequest, "invalid encryption type %q", kind)
+	}
+	fw.Set("encryptionType", cloudapi.Str(kind))
+	return base.OKResult(), nil
+}
+
+func createFirewallPolicy(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "firewallPolicyName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TFirewallPolicy, func(r *base.Resource) bool { return r.Str("firewallPolicyName") == name }) != nil {
+		return nil, cloudapi.Errf(codeInvalidRequest, "a firewall policy named %q already exists", name)
+	}
+	fp := s.Create(TFirewallPolicy, "fwp")
+	fp.Set("firewallPolicyName", cloudapi.Str(name))
+	fp.Set("statelessDefaultAction", cloudapi.Str(base.OptStr(p, "statelessDefaultAction", "aws:forward_to_sfe")))
+	fp.Set("ruleGroupIds", cloudapi.List())
+	return cloudapi.Result{"firewallPolicyId": cloudapi.Str(fp.ID)}, nil
+}
+
+func deleteFirewallPolicy(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fp, apiErr := reqRes(s, p, "firewallPolicyId", TFirewallPolicy)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if fw := s.FindLive(TFirewall, func(r *base.Resource) bool { return r.Str("firewallPolicyId") == fp.ID }); fw != nil {
+		return nil, cloudapi.Errf(codeInvalidOp, "firewall policy %q is in use by firewall %q", fp.ID, fw.ID)
+	}
+	s.Delete(fp.ID)
+	return base.OKResult(), nil
+}
+
+func updateFirewallPolicy(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fp, apiErr := reqRes(s, p, "firewallPolicyId", TFirewallPolicy)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	rg, apiErr := reqRes(s, p, "ruleGroupId", TRuleGroup)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	groups := fp.Attr("ruleGroupIds").AsList()
+	for _, g := range groups {
+		if g.AsString() == rg.ID {
+			return nil, cloudapi.Errf(codeInvalidRequest, "rule group %q is already referenced by policy %q", rg.ID, fp.ID)
+		}
+	}
+	fp.Set("ruleGroupIds", cloudapi.List(append(groups, cloudapi.Str(rg.ID))...))
+	return base.OKResult(), nil
+}
+
+func createRuleGroup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "ruleGroupName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TRuleGroup, func(r *base.Resource) bool { return r.Str("ruleGroupName") == name }) != nil {
+		return nil, cloudapi.Errf(codeInvalidRequest, "a rule group named %q already exists", name)
+	}
+	kind := base.OptStr(p, "type", "STATEFUL")
+	if kind != "STATEFUL" && kind != "STATELESS" {
+		return nil, cloudapi.Errf(codeInvalidRequest, "invalid rule group type %q", kind)
+	}
+	capacity := base.OptInt(p, "capacity", 100)
+	if capacity < 1 || capacity > 30000 {
+		return nil, cloudapi.Errf(codeInvalidRequest, "capacity %d out of range 1..30000", capacity)
+	}
+	rg := s.Create(TRuleGroup, "rg")
+	rg.Set("ruleGroupName", cloudapi.Str(name))
+	rg.Set("type", cloudapi.Str(kind))
+	rg.Set("capacity", cloudapi.Int(capacity))
+	rg.Set("ruleCount", cloudapi.Int(0))
+	return cloudapi.Result{"ruleGroupId": cloudapi.Str(rg.ID)}, nil
+}
+
+func deleteRuleGroup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rg, apiErr := reqRes(s, p, "ruleGroupId", TRuleGroup)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	user := s.FindLive(TFirewallPolicy, func(r *base.Resource) bool {
+		for _, g := range r.Attr("ruleGroupIds").AsList() {
+			if g.AsString() == rg.ID {
+				return true
+			}
+		}
+		return false
+	})
+	if user != nil {
+		return nil, cloudapi.Errf(codeInvalidOp, "rule group %q is referenced by firewall policy %q", rg.ID, user.ID)
+	}
+	s.Delete(rg.ID)
+	return base.OKResult(), nil
+}
+
+func describeRuleGroupMetadata(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rg, apiErr := reqRes(s, p, "ruleGroupId", TRuleGroup)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return cloudapi.Result{
+		"ruleGroupName": rg.Attr("ruleGroupName"),
+		"type":          rg.Attr("type"),
+		"capacity":      rg.Attr("capacity"),
+	}, nil
+}
+
+func updateRuleGroup(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rg, apiErr := reqRes(s, p, "ruleGroupId", TRuleGroup)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	count, apiErr := base.ReqInt(p, "ruleCount")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if count < 0 || count > rg.Int("capacity") {
+		return nil, cloudapi.Errf(codeInUse, "rule count %d exceeds rule group capacity %d", count, rg.Int("capacity"))
+	}
+	rg.Set("ruleCount", cloudapi.Int(count))
+	return base.OKResult(), nil
+}
+
+func createTLSConfig(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "tlsInspectionConfigurationName")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TTLSConfig, func(r *base.Resource) bool { return r.Str("tlsInspectionConfigurationName") == name }) != nil {
+		return nil, cloudapi.Errf(codeInvalidRequest, "a TLS inspection configuration named %q already exists", name)
+	}
+	tc := s.Create(TTLSConfig, "tls")
+	tc.Set("tlsInspectionConfigurationName", cloudapi.Str(name))
+	tc.Set("certificateAuthorityArn", cloudapi.Str(base.OptStr(p, "certificateAuthorityArn", "")))
+	return cloudapi.Result{"tlsInspectionConfigurationId": cloudapi.Str(tc.ID)}, nil
+}
+
+func deleteTLSConfig(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	tc, apiErr := reqRes(s, p, "tlsInspectionConfigurationId", TTLSConfig)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if fw := s.FindLive(TFirewall, func(r *base.Resource) bool { return r.Str("tlsInspectionConfigurationId") == tc.ID }); fw != nil {
+		return nil, cloudapi.Errf(codeInvalidOp, "TLS inspection configuration %q is in use by firewall %q", tc.ID, fw.ID)
+	}
+	s.Delete(tc.ID)
+	return base.OKResult(), nil
+}
+
+func updateTLSConfig(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	tc, apiErr := reqRes(s, p, "tlsInspectionConfigurationId", TTLSConfig)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	arn, apiErr := base.ReqStr(p, "certificateAuthorityArn")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	tc.Set("certificateAuthorityArn", cloudapi.Str(arn))
+	return base.OKResult(), nil
+}
+
+func describeLoggingConfiguration(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	lc := s.FindLive(TLoggingConfig, func(r *base.Resource) bool { return r.Str("firewallId") == fw.ID })
+	if lc == nil {
+		return cloudapi.Result{}, nil
+	}
+	return cloudapi.Result{"loggingConfiguration": base.Describe(lc)}, nil
+}
+
+// updateLoggingConfiguration installs a firewall's logging
+// configuration. Replacing an existing configuration requires deleting
+// it first (DeleteLoggingConfiguration), which keeps the operation a
+// pure creation.
+func updateLoggingConfiguration(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TLoggingConfig, func(r *base.Resource) bool { return r.Str("firewallId") == fw.ID }) != nil {
+		return nil, cloudapi.Errf(codeInvalidRequest, "firewall %q already has a logging configuration; delete it first", fw.ID)
+	}
+	logType := base.OptStr(p, "logType", "FLOW")
+	if logType != "FLOW" && logType != "ALERT" && logType != "TLS" {
+		return nil, cloudapi.Errf(codeInvalidRequest, "invalid log type %q", logType)
+	}
+	dest, apiErr := base.ReqStr(p, "logDestination")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	lc := s.Create(TLoggingConfig, "logcfg")
+	lc.Set("firewallId", cloudapi.Str(fw.ID))
+	lc.Set("logType", cloudapi.Str(logType))
+	lc.Set("logDestination", cloudapi.Str(dest))
+	return cloudapi.Result{"loggingConfigurationId": cloudapi.Str(lc.ID)}, nil
+}
+
+func deleteLoggingConfiguration(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	lc := s.FindLive(TLoggingConfig, func(r *base.Resource) bool { return r.Str("firewallId") == fw.ID })
+	if lc == nil {
+		return nil, cloudapi.Errf(codeNotFound, "firewall %q has no logging configuration", fw.ID)
+	}
+	s.Delete(lc.ID)
+	return base.OKResult(), nil
+}
+
+// Tags are firewall-scoped in this model, keeping the tag vocabulary
+// attached to a single resource type.
+func tagResource(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	key, apiErr := base.ReqStr(p, "tagKey")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	value := base.OptStr(p, "tagValue", "")
+	tags := fw.Attr("tags").AsMap()
+	merged := make(map[string]cloudapi.Value, len(tags)+1)
+	for k, v := range tags {
+		merged[k] = v
+	}
+	merged[key] = cloudapi.Str(value)
+	fw.Set("tags", cloudapi.Map(merged))
+	return base.OKResult(), nil
+}
+
+func untagResource(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	key, apiErr := base.ReqStr(p, "tagKey")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	tags := fw.Attr("tags").AsMap()
+	merged := make(map[string]cloudapi.Value, len(tags))
+	for k, v := range tags {
+		if k != key {
+			merged[k] = v
+		}
+	}
+	fw.Set("tags", cloudapi.Map(merged))
+	return base.OKResult(), nil
+}
+
+func listTagsForResource(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	tags := fw.Attr("tags")
+	if tags.IsNil() {
+		tags = cloudapi.Map(nil)
+	}
+	return cloudapi.Result{"tags": tags}, nil
+}
+
+func putResourcePolicy(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	targetID, apiErr := base.ReqStr(p, "resourceId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	target, ok := s.Get(targetID)
+	if !ok || !target.Alive || (target.Type != TRuleGroup && target.Type != TFirewallPolicy) {
+		return nil, cloudapi.Errf(codeNotFound, "shareable resource %q not found", targetID)
+	}
+	policyDoc, apiErr := base.ReqStr(p, "policy")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TResourcePolicy, func(r *base.Resource) bool { return r.Str("resourceId") == targetID }) != nil {
+		return nil, cloudapi.Errf(codeInvalidRequest, "resource %q already has a policy; delete it first", targetID)
+	}
+	rp := s.Create(TResourcePolicy, "rpol")
+	rp.Set("resourceId", cloudapi.Str(targetID))
+	rp.Set("policy", cloudapi.Str(policyDoc))
+	return cloudapi.Result{"resourcePolicyId": cloudapi.Str(rp.ID)}, nil
+}
+
+func deleteResourcePolicy(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	targetID, apiErr := base.ReqStr(p, "resourceId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	rp := s.FindLive(TResourcePolicy, func(r *base.Resource) bool { return r.Str("resourceId") == targetID })
+	if rp == nil {
+		return nil, cloudapi.Errf(codeNotFound, "no resource policy for %q", targetID)
+	}
+	s.Delete(rp.ID)
+	return base.OKResult(), nil
+}
+
+func describeResourcePolicy(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	targetID, apiErr := base.ReqStr(p, "resourceId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	rp := s.FindLive(TResourcePolicy, func(r *base.Resource) bool { return r.Str("resourceId") == targetID })
+	if rp == nil {
+		return nil, cloudapi.Errf(codeNotFound, "no resource policy for %q", targetID)
+	}
+	return cloudapi.Result{"policy": rp.Attr("policy")}, nil
+}
+
+func createVpcEndpointAssociation(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	vpcID, apiErr := base.ReqStr(p, "vpcId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	subnetID, apiErr := base.ReqStr(p, "subnetId")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	assoc := s.Create(TVpcEndpointAssociation, "fwva")
+	assoc.Parent = fw.ID
+	assoc.Set("firewallId", cloudapi.Str(fw.ID))
+	assoc.Set("vpcId", cloudapi.Str(vpcID))
+	assoc.Set("subnetId", cloudapi.Str(subnetID))
+	assoc.Set("status", cloudapi.Str("READY"))
+	return cloudapi.Result{"vpcEndpointAssociationId": cloudapi.Str(assoc.ID)}, nil
+}
+
+func deleteVpcEndpointAssociation(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	assoc, apiErr := reqRes(s, p, "vpcEndpointAssociationId", TVpcEndpointAssociation)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	s.Delete(assoc.ID)
+	return base.OKResult(), nil
+}
+
+func startAnalysisReport(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	reportType := base.OptStr(p, "analysisType", "TLS_SNI")
+	if reportType != "TLS_SNI" && reportType != "HTTP_HOST" {
+		return nil, cloudapi.Errf(codeInvalidRequest, "invalid analysis type %q", reportType)
+	}
+	rep := s.Create(TAnalysisReport, "arep")
+	rep.Set("firewallId", cloudapi.Str(fw.ID))
+	rep.Set("analysisType", cloudapi.Str(reportType))
+	rep.Set("status", cloudapi.Str("COMPLETED"))
+	return cloudapi.Result{"analysisReportId": cloudapi.Str(rep.ID)}, nil
+}
+
+func getAnalysisReportResults(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	rep, apiErr := reqRes(s, p, "analysisReportId", TAnalysisReport)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return cloudapi.Result{
+		"status":       rep.Attr("status"),
+		"analysisType": rep.Attr("analysisType"),
+		"results":      cloudapi.List(),
+	}, nil
+}
+
+func startFlowOp(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	fw, apiErr := reqRes(s, p, "firewallId", TFirewall)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	op := s.Create(TAnalysisReport, "arep")
+	op.Set("firewallId", cloudapi.Str(fw.ID))
+	op.Set("analysisType", cloudapi.Str("FLOW_CAPTURE"))
+	op.Set("status", cloudapi.Str("COMPLETED"))
+	return cloudapi.Result{"analysisReportId": cloudapi.Str(op.ID)}, nil
+}

@@ -1,0 +1,362 @@
+// Package azure is the hand-written ground-truth model of an Azure
+// Network + Compute analogue, used for the paper's multi-cloud
+// experiment (§5 "Multi-cloud"): the same learned-emulator workflow is
+// replicated against a second provider whose API vocabulary, error
+// codes, and documentation layout differ from AWS's. Azure addresses
+// resources by name within a resource group; we model name-addressing
+// through generated IDs with name attributes, and use Azure-style
+// error codes (ResourceNotFound, NetcfgInvalidSubnet,
+// InUseSubnetCannotBeDeleted, OperationNotAllowed, …).
+package azure
+
+import (
+	"lce/internal/cidr"
+	"lce/internal/cloud/base"
+	"lce/internal/cloudapi"
+)
+
+// Resource type names.
+const (
+	TVirtualNetwork       = "VirtualNetwork"
+	TSubnet               = "Subnet"
+	TPublicIPAddress      = "PublicIPAddress"
+	TNetworkInterface     = "NetworkInterface"
+	TNetworkSecurityGroup = "NetworkSecurityGroup"
+	TVirtualMachine       = "VirtualMachine"
+)
+
+// Azure-style error codes.
+const (
+	codeNotFound      = "ResourceNotFound"
+	codeInvalidCidr   = "InvalidAddressPrefixFormat"
+	codeInvalidSubnet = "NetcfgInvalidSubnet"
+	codeSubnetInUse   = "InUseSubnetCannotBeDeleted"
+	codeInUse         = "InUseNetworkInterfaceCannotBeDeleted"
+	codePublicIPInUse = "PublicIPAddressCannotBeDeleted"
+	codeNotAllowed    = "OperationNotAllowed"
+	codeConflict      = "AnotherOperationInProgress"
+	codeBadRequest    = "InvalidRequestFormat"
+)
+
+// New builds the Azure oracle backend.
+func New() *base.Service {
+	svc := base.NewService("azure-network")
+	svc.Register("CreateVirtualNetwork", createVnet)
+	svc.Register("DeleteVirtualNetwork", deleteVnet)
+	svc.Register("ListVirtualNetworks", listAll(TVirtualNetwork, "virtualNetworks"))
+
+	svc.Register("CreateSubnet", createSubnet)
+	svc.Register("DeleteSubnet", deleteSubnet)
+	svc.Register("ListSubnets", listAll(TSubnet, "subnets"))
+
+	svc.Register("CreatePublicIpAddress", createPublicIP)
+	svc.Register("DeletePublicIpAddress", deletePublicIP)
+	svc.Register("ListPublicIpAddresses", listAll(TPublicIPAddress, "publicIpAddresses"))
+
+	svc.Register("CreateNetworkInterface", createNic)
+	svc.Register("DeleteNetworkInterface", deleteNic)
+	svc.Register("AssociatePublicIpAddress", associatePublicIP)
+	svc.Register("DissociatePublicIpAddress", dissociatePublicIP)
+	svc.Register("ListNetworkInterfaces", listAll(TNetworkInterface, "networkInterfaces"))
+
+	svc.Register("CreateNetworkSecurityGroup", createNsg)
+	svc.Register("DeleteNetworkSecurityGroup", deleteNsg)
+	svc.Register("ListNetworkSecurityGroups", listAll(TNetworkSecurityGroup, "networkSecurityGroups"))
+
+	svc.Register("CreateVirtualMachine", createVM)
+	svc.Register("DeleteVirtualMachine", deleteVM)
+	svc.Register("StartVirtualMachine", startVM)
+	svc.Register("DeallocateVirtualMachine", deallocateVM)
+	svc.Register("ListVirtualMachines", listAll(TVirtualMachine, "virtualMachines"))
+	return svc
+}
+
+func listAll(typ, key string) base.Handler {
+	return func(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+		return cloudapi.Result{key: base.DescribeAll(s.ListLive(typ))}, nil
+	}
+}
+
+func reqRes(s *base.Store, p cloudapi.Params, param, typ string) (*base.Resource, *cloudapi.APIError) {
+	id, apiErr := base.ReqStr(p, param)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	r, ok := s.Live(typ, id)
+	if !ok {
+		return nil, cloudapi.Errf(codeNotFound, "the resource %q was not found", id)
+	}
+	return r, nil
+}
+
+func createVnet(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "name")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	prefix, apiErr := base.ReqStr(p, "addressPrefix")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if !cidr.Valid(prefix) {
+		return nil, cloudapi.Errf(codeInvalidCidr, "address prefix %q is not a valid CIDR block", prefix)
+	}
+	location := base.OptStr(p, "location", "eastus")
+	vnet := s.Create(TVirtualNetwork, "vnet")
+	vnet.Set("name", cloudapi.Str(name))
+	vnet.Set("addressPrefix", cloudapi.Str(prefix))
+	vnet.Set("location", cloudapi.Str(location))
+	vnet.Set("provisioningState", cloudapi.Str("Succeeded"))
+	return cloudapi.Result{"virtualNetworkId": cloudapi.Str(vnet.ID)}, nil
+}
+
+func deleteVnet(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vnet, apiErr := reqRes(s, p, "virtualNetworkId", TVirtualNetwork)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if child := s.AnyChild(vnet.ID, TSubnet); child != nil {
+		return nil, cloudapi.Errf(codeNotAllowed, "virtual network %q contains subnets and cannot be deleted", vnet.ID)
+	}
+	s.Delete(vnet.ID)
+	return base.OKResult(), nil
+}
+
+func createSubnet(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vnet, apiErr := reqRes(s, p, "virtualNetworkId", TVirtualNetwork)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "name")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	prefix, apiErr := base.ReqStr(p, "addressPrefix")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if !cidr.Valid(prefix) {
+		return nil, cloudapi.Errf(codeInvalidCidr, "address prefix %q is not a valid CIDR block", prefix)
+	}
+	// Azure subnets may be as small as /29 (unlike AWS's /28 floor).
+	if n := cidr.PrefixLen(prefix); n < 8 || n > 29 {
+		return nil, cloudapi.Errf(codeInvalidSubnet, "subnet prefix %q must be between /8 and /29", prefix)
+	}
+	if !cidr.Within(prefix, vnet.Str("addressPrefix")) {
+		return nil, cloudapi.Errf(codeInvalidSubnet, "subnet prefix %q is not contained in virtual network %q", prefix, vnet.Str("addressPrefix"))
+	}
+	for _, sib := range s.Children(vnet.ID, TSubnet) {
+		if cidr.Overlaps(prefix, sib.Str("addressPrefix")) {
+			return nil, cloudapi.Errf(codeInvalidSubnet, "subnet prefix %q overlaps existing subnet %q", prefix, sib.ID)
+		}
+	}
+	sub := s.Create(TSubnet, "asubnet")
+	sub.Parent = vnet.ID
+	sub.Set("virtualNetworkId", cloudapi.Str(vnet.ID))
+	sub.Set("name", cloudapi.Str(name))
+	sub.Set("addressPrefix", cloudapi.Str(prefix))
+	sub.Set("provisioningState", cloudapi.Str("Succeeded"))
+	return cloudapi.Result{"subnetId": cloudapi.Str(sub.ID)}, nil
+}
+
+func deleteSubnet(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	sub, apiErr := reqRes(s, p, "subnetId", TSubnet)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if child := s.AnyChild(sub.ID, TNetworkInterface); child != nil {
+		return nil, cloudapi.Errf(codeSubnetInUse, "subnet %q is in use by %s", sub.ID, child.ID)
+	}
+	s.Delete(sub.ID)
+	return base.OKResult(), nil
+}
+
+func createPublicIP(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "name")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	location := base.OptStr(p, "location", "eastus")
+	sku := base.OptStr(p, "sku", "Standard")
+	if sku != "Basic" && sku != "Standard" {
+		return nil, cloudapi.Errf(codeBadRequest, "invalid SKU %q", sku)
+	}
+	pip := s.Create(TPublicIPAddress, "pip")
+	pip.Set("name", cloudapi.Str(name))
+	pip.Set("location", cloudapi.Str(location))
+	pip.Set("sku", cloudapi.Str(sku))
+	pip.Set("provisioningState", cloudapi.Str("Succeeded"))
+	return cloudapi.Result{"publicIpAddressId": cloudapi.Str(pip.ID)}, nil
+}
+
+func deletePublicIP(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	pip, apiErr := reqRes(s, p, "publicIpAddressId", TPublicIPAddress)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if pip.Str("associatedNicId") != "" {
+		return nil, cloudapi.Errf(codePublicIPInUse, "public IP %q is attached to network interface %q", pip.ID, pip.Str("associatedNicId"))
+	}
+	s.Delete(pip.ID)
+	return base.OKResult(), nil
+}
+
+func createNic(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	sub, apiErr := reqRes(s, p, "subnetId", TSubnet)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name, apiErr := base.ReqStr(p, "name")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	location := base.OptStr(p, "location", "eastus")
+	nic := s.Create(TNetworkInterface, "anic")
+	nic.Parent = sub.ID
+	nic.Set("subnetId", cloudapi.Str(sub.ID))
+	nic.Set("name", cloudapi.Str(name))
+	nic.Set("location", cloudapi.Str(location))
+	nic.Set("provisioningState", cloudapi.Str("Succeeded"))
+	return cloudapi.Result{"networkInterfaceId": cloudapi.Str(nic.ID)}, nil
+}
+
+func deleteNic(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	nic, apiErr := reqRes(s, p, "networkInterfaceId", TNetworkInterface)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if nic.Str("attachedVmId") != "" {
+		return nil, cloudapi.Errf(codeInUse, "network interface %q is attached to virtual machine %q", nic.ID, nic.Str("attachedVmId"))
+	}
+	if pipID := nic.Str("publicIpAddressId"); pipID != "" {
+		if pip, ok := s.Live(TPublicIPAddress, pipID); ok {
+			pip.Set("associatedNicId", cloudapi.Nil)
+		}
+	}
+	s.Delete(nic.ID)
+	return base.OKResult(), nil
+}
+
+func associatePublicIP(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	nic, apiErr := reqRes(s, p, "networkInterfaceId", TNetworkInterface)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	pip, apiErr := reqRes(s, p, "publicIpAddressId", TPublicIPAddress)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	// The location coupling from the paper's §3 toy example, in its
+	// Azure form: the public IP and NIC must share a location.
+	if pip.Str("location") != nic.Str("location") {
+		return nil, cloudapi.Errf(codeBadRequest, "public IP %q (%s) and network interface %q (%s) are in different locations",
+			pip.ID, pip.Str("location"), nic.ID, nic.Str("location"))
+	}
+	if pip.Str("associatedNicId") != "" {
+		return nil, cloudapi.Errf(codeConflict, "public IP %q is already associated", pip.ID)
+	}
+	nic.Set("publicIpAddressId", cloudapi.Str(pip.ID))
+	pip.Set("associatedNicId", cloudapi.Str(nic.ID))
+	return base.OKResult(), nil
+}
+
+func dissociatePublicIP(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	nic, apiErr := reqRes(s, p, "networkInterfaceId", TNetworkInterface)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	pipID := nic.Str("publicIpAddressId")
+	if pipID == "" {
+		return nil, cloudapi.Errf(codeBadRequest, "network interface %q has no public IP", nic.ID)
+	}
+	if pip, ok := s.Live(TPublicIPAddress, pipID); ok {
+		pip.Set("associatedNicId", cloudapi.Nil)
+	}
+	nic.Set("publicIpAddressId", cloudapi.Nil)
+	return base.OKResult(), nil
+}
+
+func createNsg(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	name, apiErr := base.ReqStr(p, "name")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if s.FindLive(TNetworkSecurityGroup, func(r *base.Resource) bool { return r.Str("name") == name }) != nil {
+		return nil, cloudapi.Errf(codeConflict, "a network security group named %q already exists", name)
+	}
+	nsg := s.Create(TNetworkSecurityGroup, "nsg")
+	nsg.Set("name", cloudapi.Str(name))
+	nsg.Set("provisioningState", cloudapi.Str("Succeeded"))
+	return cloudapi.Result{"networkSecurityGroupId": cloudapi.Str(nsg.ID)}, nil
+}
+
+func deleteNsg(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	nsg, apiErr := reqRes(s, p, "networkSecurityGroupId", TNetworkSecurityGroup)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if nic := s.FindLive(TNetworkInterface, func(r *base.Resource) bool { return r.Str("networkSecurityGroupId") == nsg.ID }); nic != nil {
+		return nil, cloudapi.Errf(codeNotAllowed, "network security group %q is in use by %q", nsg.ID, nic.ID)
+	}
+	s.Delete(nsg.ID)
+	return base.OKResult(), nil
+}
+
+func createVM(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	nic, apiErr := reqRes(s, p, "networkInterfaceId", TNetworkInterface)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if nic.Str("attachedVmId") != "" {
+		return nil, cloudapi.Errf(codeConflict, "network interface %q is already attached", nic.ID)
+	}
+	name, apiErr := base.ReqStr(p, "name")
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	size := base.OptStr(p, "vmSize", "Standard_D2s_v3")
+	vm := s.Create(TVirtualMachine, "vm")
+	vm.Set("name", cloudapi.Str(name))
+	vm.Set("vmSize", cloudapi.Str(size))
+	vm.Set("networkInterfaceId", cloudapi.Str(nic.ID))
+	vm.Set("powerState", cloudapi.Str("running"))
+	nic.Set("attachedVmId", cloudapi.Str(vm.ID))
+	return cloudapi.Result{"virtualMachineId": cloudapi.Str(vm.ID)}, nil
+}
+
+func deleteVM(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vm, apiErr := reqRes(s, p, "virtualMachineId", TVirtualMachine)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if nic, ok := s.Live(TNetworkInterface, vm.Str("networkInterfaceId")); ok {
+		nic.Set("attachedVmId", cloudapi.Nil)
+	}
+	s.Delete(vm.ID)
+	return base.OKResult(), nil
+}
+
+func startVM(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vm, apiErr := reqRes(s, p, "virtualMachineId", TVirtualMachine)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	// Azure's analogue of IncorrectInstanceState.
+	if vm.Str("powerState") != "deallocated" {
+		return nil, cloudapi.Errf(codeNotAllowed, "virtual machine %q is not deallocated (state: %s)", vm.ID, vm.Str("powerState"))
+	}
+	vm.Set("powerState", cloudapi.Str("running"))
+	return base.OKResult(), nil
+}
+
+func deallocateVM(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
+	vm, apiErr := reqRes(s, p, "virtualMachineId", TVirtualMachine)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if vm.Str("powerState") != "running" {
+		return nil, cloudapi.Errf(codeNotAllowed, "virtual machine %q is not running (state: %s)", vm.ID, vm.Str("powerState"))
+	}
+	vm.Set("powerState", cloudapi.Str("deallocated"))
+	return base.OKResult(), nil
+}

@@ -1,0 +1,115 @@
+package azure
+
+import (
+	"testing"
+
+	"lce/internal/cloudapi"
+)
+
+func inv(t *testing.T, b cloudapi.Backend, action string, kv ...any) cloudapi.Result {
+	t.Helper()
+	res, err := b.Invoke(cloudapi.Request{Action: action, Params: params(kv...)})
+	if err != nil {
+		t.Fatalf("%s: %v", action, err)
+	}
+	return res
+}
+
+func invErr(t *testing.T, b cloudapi.Backend, wantCode, action string, kv ...any) {
+	t.Helper()
+	_, err := b.Invoke(cloudapi.Request{Action: action, Params: params(kv...)})
+	ae, ok := cloudapi.AsAPIError(err)
+	if err == nil || !ok {
+		t.Fatalf("%s: want API error %s, got %v", action, wantCode, err)
+	}
+	if ae.Code != wantCode {
+		t.Fatalf("%s: code = %s, want %s (%s)", action, ae.Code, wantCode, ae.Message)
+	}
+}
+
+func params(kv ...any) cloudapi.Params {
+	p := cloudapi.Params{}
+	for i := 0; i < len(kv); i += 2 {
+		switch v := kv[i+1].(type) {
+		case string:
+			p[kv[i].(string)] = cloudapi.Str(v)
+		case int:
+			p[kv[i].(string)] = cloudapi.Int(int64(v))
+		case bool:
+			p[kv[i].(string)] = cloudapi.Bool(v)
+		}
+	}
+	return p
+}
+
+func mkStack(t *testing.T, svc cloudapi.Backend) (vnet, sub, nic string) {
+	t.Helper()
+	vnet = inv(t, svc, "CreateVirtualNetwork", "name", "vnet1", "addressPrefix", "10.0.0.0/16").Get("virtualNetworkId").AsString()
+	sub = inv(t, svc, "CreateSubnet", "virtualNetworkId", vnet, "name", "default", "addressPrefix", "10.0.1.0/24").Get("subnetId").AsString()
+	nic = inv(t, svc, "CreateNetworkInterface", "subnetId", sub, "name", "nic1").Get("networkInterfaceId").AsString()
+	return
+}
+
+func TestVnetSubnetHierarchy(t *testing.T) {
+	svc := New()
+	vnet, sub, nic := mkStack(t, svc)
+	invErr(t, svc, codeNotAllowed, "DeleteVirtualNetwork", "virtualNetworkId", vnet)
+	invErr(t, svc, codeSubnetInUse, "DeleteSubnet", "subnetId", sub)
+	inv(t, svc, "DeleteNetworkInterface", "networkInterfaceId", nic)
+	inv(t, svc, "DeleteSubnet", "subnetId", sub)
+	inv(t, svc, "DeleteVirtualNetwork", "virtualNetworkId", vnet)
+}
+
+func TestAzureSubnetRules(t *testing.T) {
+	svc := New()
+	vnet := inv(t, svc, "CreateVirtualNetwork", "name", "v", "addressPrefix", "10.0.0.0/16").Get("virtualNetworkId").AsString()
+	invErr(t, svc, codeInvalidCidr, "CreateSubnet", "virtualNetworkId", vnet, "name", "s", "addressPrefix", "banana")
+	invErr(t, svc, codeInvalidSubnet, "CreateSubnet", "virtualNetworkId", vnet, "name", "s", "addressPrefix", "192.168.0.0/24")
+	// Unlike AWS, a /29 is legal in Azure.
+	inv(t, svc, "CreateSubnet", "virtualNetworkId", vnet, "name", "tiny", "addressPrefix", "10.0.2.0/29")
+	// A /30 is not.
+	invErr(t, svc, codeInvalidSubnet, "CreateSubnet", "virtualNetworkId", vnet, "name", "nano", "addressPrefix", "10.0.3.0/30")
+	// Overlap detection.
+	invErr(t, svc, codeInvalidSubnet, "CreateSubnet", "virtualNetworkId", vnet, "name", "dup", "addressPrefix", "10.0.2.0/29")
+}
+
+func TestPublicIPLocationCoupling(t *testing.T) {
+	// The Azure rendition of the paper's §3 example: a public IP can
+	// only attach to a NIC in the same location.
+	svc := New()
+	_, _, nic := mkStack(t, svc)
+	pipEast := inv(t, svc, "CreatePublicIpAddress", "name", "ip1", "location", "eastus").Get("publicIpAddressId").AsString()
+	pipWest := inv(t, svc, "CreatePublicIpAddress", "name", "ip2", "location", "westus").Get("publicIpAddressId").AsString()
+
+	invErr(t, svc, codeBadRequest, "AssociatePublicIpAddress", "networkInterfaceId", nic, "publicIpAddressId", pipWest)
+	inv(t, svc, "AssociatePublicIpAddress", "networkInterfaceId", nic, "publicIpAddressId", pipEast)
+	invErr(t, svc, codeConflict, "AssociatePublicIpAddress", "networkInterfaceId", nic, "publicIpAddressId", pipEast)
+	invErr(t, svc, codePublicIPInUse, "DeletePublicIpAddress", "publicIpAddressId", pipEast)
+	inv(t, svc, "DissociatePublicIpAddress", "networkInterfaceId", nic)
+	inv(t, svc, "DeletePublicIpAddress", "publicIpAddressId", pipEast)
+	inv(t, svc, "DeletePublicIpAddress", "publicIpAddressId", pipWest)
+}
+
+func TestVMPowerStates(t *testing.T) {
+	svc := New()
+	_, _, nic := mkStack(t, svc)
+	vmID := inv(t, svc, "CreateVirtualMachine", "networkInterfaceId", nic, "name", "vm1").Get("virtualMachineId").AsString()
+	// Starting a running VM fails (Azure's IncorrectInstanceState).
+	invErr(t, svc, codeNotAllowed, "StartVirtualMachine", "virtualMachineId", vmID)
+	inv(t, svc, "DeallocateVirtualMachine", "virtualMachineId", vmID)
+	invErr(t, svc, codeNotAllowed, "DeallocateVirtualMachine", "virtualMachineId", vmID)
+	inv(t, svc, "StartVirtualMachine", "virtualMachineId", vmID)
+	// The NIC is bound while the VM exists.
+	invErr(t, svc, codeInUse, "DeleteNetworkInterface", "networkInterfaceId", nic)
+	invErr(t, svc, codeConflict, "CreateVirtualMachine", "networkInterfaceId", nic, "name", "vm2")
+	inv(t, svc, "DeleteVirtualMachine", "virtualMachineId", vmID)
+	inv(t, svc, "DeleteNetworkInterface", "networkInterfaceId", nic)
+}
+
+func TestNsgLifecycle(t *testing.T) {
+	svc := New()
+	nsgID := inv(t, svc, "CreateNetworkSecurityGroup", "name", "web").Get("networkSecurityGroupId").AsString()
+	invErr(t, svc, codeConflict, "CreateNetworkSecurityGroup", "name", "web")
+	inv(t, svc, "DeleteNetworkSecurityGroup", "networkSecurityGroupId", nsgID)
+	invErr(t, svc, codeNotFound, "DeleteNetworkSecurityGroup", "networkSecurityGroupId", nsgID)
+}

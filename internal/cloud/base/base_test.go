@@ -1,0 +1,202 @@
+package base
+
+import (
+	"sync"
+	"testing"
+
+	"lce/internal/cloudapi"
+)
+
+func TestStoreLifecycle(t *testing.T) {
+	s := NewStore()
+	a := s.Create("T", "t")
+	b := s.Create("T", "t")
+	if a.ID != "t-00000001" || b.ID != "t-00000002" {
+		t.Errorf("ids = %s %s", a.ID, b.ID)
+	}
+	if got := s.CountLive("T"); got != 2 {
+		t.Errorf("live = %d", got)
+	}
+	s.Delete(a.ID)
+	if got := s.CountLive("T"); got != 1 {
+		t.Errorf("live after delete = %d", got)
+	}
+	if _, ok := s.Live("T", a.ID); ok {
+		t.Error("dead resource returned by Live")
+	}
+	if r, ok := s.Get(a.ID); !ok || r.Alive {
+		t.Error("Get should return dead resources")
+	}
+	s.Discard(b.ID)
+	if _, ok := s.Get(b.ID); ok {
+		t.Error("discarded resource still present")
+	}
+	if got := len(s.ListLive("T")); got != 0 {
+		t.Errorf("list = %d", got)
+	}
+}
+
+func TestStoreChildren(t *testing.T) {
+	s := NewStore()
+	p := s.Create("P", "p")
+	c1 := s.Create("C", "c")
+	c1.Parent = p.ID
+	c2 := s.Create("C", "c")
+	c2.Parent = p.ID
+	d := s.Create("D", "d")
+	d.Parent = p.ID
+	if got := len(s.Children(p.ID, "C")); got != 2 {
+		t.Errorf("children = %d", got)
+	}
+	first := s.AnyChild(p.ID, "C", "D")
+	if first == nil || first.ID != c1.ID {
+		t.Errorf("AnyChild = %v (creation order expected)", first)
+	}
+	s.Delete(c1.ID)
+	s.Delete(c2.ID)
+	if got := s.AnyChild(p.ID, "C"); got != nil {
+		t.Errorf("AnyChild after deletes = %v", got)
+	}
+	if got := s.AnyChild(p.ID, "C", "D"); got == nil || got.ID != d.ID {
+		t.Errorf("AnyChild across types = %v", got)
+	}
+}
+
+func TestFindLive(t *testing.T) {
+	s := NewStore()
+	a := s.Create("T", "t")
+	a.Set("name", cloudapi.Str("x"))
+	b := s.Create("T", "t")
+	b.Set("name", cloudapi.Str("y"))
+	got := s.FindLive("T", func(r *Resource) bool { return r.Str("name") == "y" })
+	if got == nil || got.ID != b.ID {
+		t.Errorf("FindLive = %v", got)
+	}
+	s.Delete(b.ID)
+	if s.FindLive("T", func(r *Resource) bool { return r.Str("name") == "y" }) != nil {
+		t.Error("FindLive returned dead resource")
+	}
+}
+
+func TestResourceAccessors(t *testing.T) {
+	s := NewStore()
+	r := s.Create("T", "t")
+	r.Set("s", cloudapi.Str("v"))
+	r.Set("i", cloudapi.Int(7))
+	r.Set("b", cloudapi.Bool(true))
+	if r.Str("s") != "v" || r.Int("i") != 7 || !r.Bool("b") {
+		t.Error("typed accessors")
+	}
+	if !r.Attr("missing").IsNil() {
+		t.Error("missing attr not nil")
+	}
+}
+
+func TestDescribeHelpers(t *testing.T) {
+	s := NewStore()
+	r := s.Create("T", "t")
+	r.Set("a", cloudapi.Str("x"))
+	r.Set("nilled", cloudapi.Nil)
+	m := Describe(r).AsMap()
+	if m["id"].AsString() != r.ID || m["a"].AsString() != "x" {
+		t.Errorf("describe = %v", m)
+	}
+	if _, has := m["nilled"]; has {
+		t.Error("nil attr included in describe")
+	}
+	all := DescribeAll(s.ListLive("T")).AsList()
+	if len(all) != 1 {
+		t.Errorf("DescribeAll = %v", all)
+	}
+}
+
+func TestServiceDispatch(t *testing.T) {
+	svc := NewService("test")
+	svc.Register("Ping", func(s *Store, p cloudapi.Params) (cloudapi.Result, error) {
+		return cloudapi.Result{"pong": cloudapi.True}, nil
+	})
+	res, err := svc.Invoke(cloudapi.Request{Action: "Ping"})
+	if err != nil || !res.Get("pong").AsBool() {
+		t.Errorf("ping = %v %v", res, err)
+	}
+	_, err = svc.Invoke(cloudapi.Request{Action: "Nope"})
+	if ae, ok := cloudapi.AsAPIError(err); !ok || ae.Code != cloudapi.CodeUnknownAction {
+		t.Errorf("unknown action = %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	svc.Register("Ping", nil)
+}
+
+func TestSetupRunsOnReset(t *testing.T) {
+	svc := NewService("test")
+	svc.SetSetup(func(s *Store) {
+		r := s.Create("Seed", "seed")
+		r.Set("v", cloudapi.Str("initial"))
+	})
+	if svc.Store().CountLive("Seed") != 1 {
+		t.Fatal("setup did not run at install")
+	}
+	svc.Store().Create("Seed", "seed")
+	svc.Reset()
+	if svc.Store().CountLive("Seed") != 1 {
+		t.Error("reset did not re-run setup")
+	}
+}
+
+func TestServiceConcurrentInvokes(t *testing.T) {
+	svc := NewService("test")
+	svc.Register("Mk", func(s *Store, p cloudapi.Params) (cloudapi.Result, error) {
+		r := s.Create("T", "t")
+		return cloudapi.Result{"id": cloudapi.Str(r.ID)}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := svc.Invoke(cloudapi.Request{Action: "Mk"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := svc.Store().CountLive("T"); got != 800 {
+		t.Errorf("live = %d, want 800", got)
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	p := cloudapi.Params{
+		"s": cloudapi.Str("x"),
+		"i": cloudapi.Int(3),
+		"b": cloudapi.Bool(true),
+	}
+	if v, e := ReqStr(p, "s"); e != nil || v != "x" {
+		t.Error("ReqStr")
+	}
+	if _, e := ReqStr(p, "missing"); e == nil || e.Code != cloudapi.CodeMissingParameter {
+		t.Error("ReqStr missing")
+	}
+	if _, e := ReqStr(p, "i"); e == nil || e.Code != cloudapi.CodeInvalidParameter {
+		t.Error("ReqStr wrong kind")
+	}
+	if v, e := ReqInt(p, "i"); e != nil || v != 3 {
+		t.Error("ReqInt")
+	}
+	if OptStr(p, "missing", "d") != "d" || OptStr(p, "s", "d") != "x" {
+		t.Error("OptStr")
+	}
+	if OptInt(p, "missing", 9) != 9 || OptInt(p, "i", 9) != 3 {
+		t.Error("OptInt")
+	}
+	if !OptBool(p, "b", false) || OptBool(p, "missing", true) != true {
+		t.Error("OptBool")
+	}
+}

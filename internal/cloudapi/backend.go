@@ -1,0 +1,128 @@
+package cloudapi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params carries the named arguments of an API request.
+type Params map[string]Value
+
+// Get returns the named parameter, or Nil when absent.
+func (p Params) Get(name string) Value {
+	if p == nil {
+		return Nil
+	}
+	return p[name]
+}
+
+// Has reports whether the named parameter is present and non-nil.
+func (p Params) Has(name string) bool {
+	v, ok := p[name]
+	return ok && !v.IsNil()
+}
+
+// Clone returns a shallow copy of the parameter map.
+func (p Params) Clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Request is one API invocation: an action name plus named parameters,
+// mirroring the query-style cloud control APIs the paper's DevOps
+// programs issue (e.g. Action=CreateVpc&CidrBlock=10.0.0.0/16).
+type Request struct {
+	Action string
+	Params Params
+}
+
+// Result is the attribute map a successful API invocation returns.
+type Result map[string]Value
+
+// Get returns the named result attribute, or Nil when absent.
+func (r Result) Get(name string) Value {
+	if r == nil {
+		return Nil
+	}
+	return r[name]
+}
+
+// Keys returns the result's attribute names in sorted order.
+func (r Result) Keys() []string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// APIError is the structured error a cloud API returns. Per the paper
+// (§4.3), error *codes* must align exactly between emulator and cloud,
+// while error *messages* are for human consumption and may differ in
+// wording.
+type APIError struct {
+	Code    string
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return e.Code
+	}
+	return e.Code + ": " + e.Message
+}
+
+// Errf constructs an APIError with a formatted message.
+func Errf(code, format string, args ...any) *APIError {
+	return &APIError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// AsAPIError unwraps err into an *APIError when it is one.
+func AsAPIError(err error) (*APIError, bool) {
+	ae, ok := err.(*APIError)
+	return ae, ok
+}
+
+// Common framework-level error codes shared across services.
+const (
+	CodeUnknownAction       = "InvalidAction"
+	CodeMissingParameter    = "MissingParameter"
+	CodeInvalidParameter    = "InvalidParameterValue"
+	CodeDependencyViolation = "DependencyViolation"
+	CodeInternalFailure     = "InternalFailure"
+)
+
+// Backend is a cloud-shaped thing that can execute API requests: the
+// ground-truth cloud models, the learned (spec-interpreted) emulator,
+// the manual baseline, and the direct-to-code baseline all implement
+// it. Differential testing and the HTTP front-end are written against
+// this interface only.
+type Backend interface {
+	// Service returns the service name, e.g. "ec2".
+	Service() string
+	// Actions returns the sorted list of actions this backend can
+	// execute. Used for coverage accounting (Table 1).
+	Actions() []string
+	// Invoke executes one request. API-level failures are returned as
+	// *APIError; any other error kind indicates a backend malfunction.
+	Invoke(req Request) (Result, error)
+	// Reset clears all resource state, returning the backend to a
+	// fresh account.
+	Reset()
+}
+
+// SortedActions is a helper for Backend implementations: it copies and
+// sorts the given action names.
+func SortedActions(names map[string]bool) []string {
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,49 @@
+package cloudapi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// IDGen issues deterministic resource identifiers in the familiar cloud
+// style ("vpc-00000001", "subnet-00000002", …). Determinism matters:
+// the whole evaluation pipeline is seeded so paper figures regenerate
+// bit-identically, and differential traces can match resources created
+// on two independent backends by creation order.
+type IDGen struct {
+	mu   sync.Mutex
+	next map[string]int
+}
+
+// NewIDGen returns a fresh generator.
+func NewIDGen() *IDGen {
+	return &IDGen{next: make(map[string]int)}
+}
+
+// Next issues the next ID for the given prefix.
+func (g *IDGen) Next(prefix string) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.next[prefix]++
+	return fmt.Sprintf("%s-%08x", prefix, g.next[prefix])
+}
+
+// Rollback returns the most recently issued ID for the prefix to the
+// pool. The spec interpreter uses it when a create transition fails
+// its assertions: the instance is discarded and the ID must not be
+// burned, or the emulator's ID sequence would drift from the cloud's
+// after any failed create.
+func (g *IDGen) Rollback(prefix string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.next[prefix] > 0 {
+		g.next[prefix]--
+	}
+}
+
+// Reset restarts every prefix counter.
+func (g *IDGen) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.next = make(map[string]int)
+}

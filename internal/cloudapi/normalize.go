@@ -1,0 +1,42 @@
+package cloudapi
+
+// NormalizeResult deep-converts every Ref value in a result to its
+// plain ID string. Cloud APIs return resource identifiers on the wire,
+// never typed references; applying this at the Backend boundary lets
+// the spec-interpreted emulator (which manipulates typed refs
+// internally) and the hand-written oracle (which uses ID strings)
+// produce byte-comparable responses.
+func NormalizeResult(r Result) Result {
+	if r == nil {
+		return nil
+	}
+	out := make(Result, len(r))
+	for k, v := range r {
+		out[k] = NormalizeValue(v)
+	}
+	return out
+}
+
+// NormalizeValue converts refs to ID strings recursively.
+func NormalizeValue(v Value) Value {
+	switch v.Kind() {
+	case KindRef:
+		return Str(v.AsRef().ID)
+	case KindList:
+		l := v.AsList()
+		out := make([]Value, len(l))
+		for i, e := range l {
+			out[i] = NormalizeValue(e)
+		}
+		return List(out...)
+	case KindMap:
+		m := v.AsMap()
+		out := make(map[string]Value, len(m))
+		for k, e := range m {
+			out[k] = NormalizeValue(e)
+		}
+		return Map(out)
+	default:
+		return v
+	}
+}

@@ -1,0 +1,107 @@
+package cloudapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The wire encoding maps Value to JSON so requests and responses can
+// cross the HTTP front-end. Scalars map to JSON scalars; references are
+// distinguished by a {"$ref": "Type/ID"} wrapper so they survive the
+// round trip; lists and maps map recursively.
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindNil:
+		return []byte("null"), nil
+	case KindString:
+		return json.Marshal(v.s)
+	case KindInt:
+		return json.Marshal(v.i)
+	case KindBool:
+		return json.Marshal(v.b)
+	case KindRef:
+		return json.Marshal(map[string]string{"$ref": v.ref.Type + "/" + v.ref.ID})
+	case KindList:
+		if v.list == nil {
+			return []byte("[]"), nil
+		}
+		return json.Marshal(v.list)
+	case KindMap:
+		if v.m == nil {
+			return []byte("{}"), nil
+		}
+		return json.Marshal(v.m)
+	default:
+		return nil, fmt.Errorf("cloudapi: cannot marshal kind %v", v.kind)
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var raw any
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	val, err := fromJSON(raw)
+	if err != nil {
+		return err
+	}
+	*v = val
+	return nil
+}
+
+func fromJSON(raw any) (Value, error) {
+	switch t := raw.(type) {
+	case nil:
+		return Nil, nil
+	case string:
+		return Str(t), nil
+	case bool:
+		return Bool(t), nil
+	case json.Number:
+		i, err := t.Int64()
+		if err != nil {
+			return Nil, fmt.Errorf("cloudapi: non-integer number %q on the wire", t.String())
+		}
+		return Int(i), nil
+	case []any:
+		list := make([]Value, len(t))
+		for i, e := range t {
+			v, err := fromJSON(e)
+			if err != nil {
+				return Nil, err
+			}
+			list[i] = v
+		}
+		return List(list...), nil
+	case map[string]any:
+		if ref, ok := t["$ref"]; ok && len(t) == 1 {
+			s, ok := ref.(string)
+			if !ok {
+				return Nil, fmt.Errorf("cloudapi: $ref must be a string")
+			}
+			for i := 0; i < len(s); i++ {
+				if s[i] == '/' {
+					return RefVal(s[:i], s[i+1:]), nil
+				}
+			}
+			return Nil, fmt.Errorf("cloudapi: malformed $ref %q", s)
+		}
+		m := make(map[string]Value, len(t))
+		for k, e := range t {
+			v, err := fromJSON(e)
+			if err != nil {
+				return Nil, err
+			}
+			m[k] = v
+		}
+		return Map(m), nil
+	default:
+		return Nil, fmt.Errorf("cloudapi: cannot unmarshal %T", raw)
+	}
+}

@@ -1,0 +1,80 @@
+// Package core composes the paper's primary contribution into one
+// end-to-end pipeline: documentation → wrangling → constrained SM
+// synthesis → consistency checking → interpretation → automated
+// alignment against the cloud. The individual stages live in their own
+// packages (docs/wrangle, synth, checks, interp, symexec, align); core
+// is the orchestration a downstream user reaches for when they want
+// "an emulator for this service, aligned with this cloud" in one call.
+package core
+
+import (
+	"fmt"
+
+	"lce/internal/align"
+	"lce/internal/checks"
+	"lce/internal/cloudapi"
+	"lce/internal/docs"
+	"lce/internal/docs/wrangle"
+	"lce/internal/interp"
+	"lce/internal/spec"
+	"lce/internal/synth"
+	"lce/internal/trace"
+)
+
+// Pipeline is one learned-emulator build for one service.
+type Pipeline struct {
+	// Corpus is the rendered documentation to learn from.
+	Corpus docs.Corpus
+	// Oracle is the cloud to align against (nil skips alignment).
+	Oracle cloudapi.Backend
+	// Seeds are the golden traces alignment starts from; symbolic
+	// single-violation variants are derived from them automatically.
+	Seeds []trace.Trace
+	// Options tunes the synthesizer (noise model, decoding regime).
+	Options synth.Options
+}
+
+// Build runs the full pipeline and returns the emulator, the spec it
+// interprets, and reports from every stage.
+type Build struct {
+	Emulator  *interp.Emulator
+	Spec      *spec.Service
+	Synthesis *synth.Report
+	Findings  []checks.Finding
+	Alignment *align.Result
+}
+
+// Run executes the pipeline.
+func (p Pipeline) Run() (*Build, error) {
+	brief, err := wrangle.Wrangle(p.Corpus)
+	if err != nil {
+		return nil, fmt.Errorf("core: wrangling: %w", err)
+	}
+	svc, rep, err := synth.SynthesizeFromBrief(brief, p.Options)
+	if err != nil {
+		return nil, fmt.Errorf("core: synthesis: %w", err)
+	}
+	b := &Build{Spec: svc, Synthesis: rep}
+	b.Findings = checks.Run(svc)
+	if len(b.Findings) > 0 {
+		// Consistency findings on a linked spec indicate the generation
+		// produced semantically invalid structure the linker could not
+		// cascade away; surface them rather than emulate garbage.
+		return b, fmt.Errorf("core: consistency checks failed: %v", b.Findings[0])
+	}
+	if p.Oracle != nil && len(p.Seeds) > 0 {
+		res, err := align.Run(svc, brief, p.Oracle, p.Seeds, align.Options{GenerateViolations: true})
+		if err != nil {
+			return b, fmt.Errorf("core: alignment: %w", err)
+		}
+		b.Alignment = res
+		b.Emulator = res.Final
+		return b, nil
+	}
+	emu, err := interp.New(svc)
+	if err != nil {
+		return b, err
+	}
+	b.Emulator = emu
+	return b, nil
+}

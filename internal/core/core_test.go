@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/docs"
+	"lce/internal/docs/corpus"
+	"lce/internal/scenarios"
+	"lce/internal/synth"
+	"lce/internal/trace"
+)
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p := Pipeline{
+		Corpus:  docs.Render(corpus.EC2()),
+		Oracle:  ec2.New(),
+		Seeds:   append(scenarios.EC2Fig3(), scenarios.EC2Extended()...),
+		Options: synth.DefaultOptions(),
+	}
+	b, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Alignment == nil || !b.Alignment.Converged {
+		t.Fatal("pipeline did not converge")
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("findings = %v", b.Findings)
+	}
+	// The built emulator must align on the whole workload.
+	oracle := ec2.New()
+	for _, tr := range scenarios.EC2Fig3() {
+		if rep := trace.Compare(b.Emulator, oracle, tr); !rep.Aligned() {
+			t.Errorf("%s", trace.FormatReport(rep))
+		}
+	}
+}
+
+func TestPipelineWithoutOracle(t *testing.T) {
+	p := Pipeline{
+		Corpus:  docs.Render(corpus.DynamoDB()),
+		Options: synth.Options{Noise: synth.Perfect, Decoding: synth.Constrained},
+	}
+	b, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Emulator == nil || b.Alignment != nil {
+		t.Errorf("build = %+v", b)
+	}
+	if b.Synthesis.SMCount != 7 {
+		t.Errorf("SMs = %d", b.Synthesis.SMCount)
+	}
+}

@@ -1,0 +1,279 @@
+package corpus
+
+import "lce/internal/docs"
+
+// Azure returns the authored documentation for the Azure-Network
+// analogue used in the multi-cloud experiment. The content is rendered
+// in Azure's scattered per-operation page style, so the wrangler has
+// to do provider-specific work — exactly the "primary additional
+// effort" the paper reports for generalizing to other clouds.
+func Azure() *docs.ServiceDoc {
+	return &docs.ServiceDoc{
+		Service:  "azure-network",
+		Provider: "azure",
+		Overview: "Azure virtual networking: virtual networks contain subnets; NICs live in subnets and attach public IPs and virtual machines; network security groups filter traffic.",
+		Resources: []*docs.ResourceDoc{
+			azVnet(), azSubnet(), azPublicIP(), azNic(), azNsg(), azVM(),
+		},
+	}
+}
+
+func azVnet() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "VirtualNetwork", IDPrefix: "vnet",
+		NotFound:   "ResourceNotFound",
+		Dependency: "OperationNotAllowed",
+		Overview:   "A virtual network is an isolated address space. It cannot be deleted while it contains subnets.",
+		States: []docs.StateDoc{
+			st("name", "str", "the network name"),
+			st("addressPrefix", "str", "the address space, in CIDR notation"),
+			st("location", "str", "the Azure region"),
+			st("provisioningState", "str", "the provisioning state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateVirtualNetwork", "create", "Creates a virtual network.",
+				ps(
+					p("name", "str", "the network name"),
+					p("addressPrefix", "str", "the address space"),
+					od("location", "str", sdef("eastus"), "the Azure region"),
+				),
+				cs(
+					ck(`cidrValid(addressPrefix)`, "InvalidAddressPrefixFormat", "the address prefix is not a valid CIDR block"),
+					w("name", "name"),
+					w("addressPrefix", "addressPrefix"),
+					w("location", "location"),
+					w("provisioningState", `"Succeeded"`),
+				),
+				rs(ret("virtualNetworkId", "id(self)", "the ID of the created network"))),
+			api("DeleteVirtualNetwork", "destroy", "Deletes the virtual network. Its subnets must be deleted first.",
+				ps(rcv("virtualNetworkId", "ref(VirtualNetwork)", "the network to delete")),
+				nil, okRet),
+			api("ListVirtualNetworks", "describe", "Lists the virtual networks.",
+				nil, nil, rs(ret("virtualNetworks", `describeAll("VirtualNetwork")`, "the networks"))),
+		},
+	}
+}
+
+func azSubnet() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Subnet", IDPrefix: "asubnet", Parent: "VirtualNetwork",
+		NotFound:   "ResourceNotFound",
+		Dependency: "InUseSubnetCannotBeDeleted",
+		Overview:   "A subnet partitions a virtual network. Azure subnets may be as small as a /29 — smaller than AWS allows.",
+		States: []docs.StateDoc{
+			st("virtualNetworkId", "ref(VirtualNetwork)", "the containing network"),
+			st("name", "str", "the subnet name"),
+			st("addressPrefix", "str", "the subnet range"),
+			st("provisioningState", "str", "the provisioning state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateSubnet", "create", "Creates a subnet in the specified virtual network. The prefix must be a /8 to /29 block contained in the network and must not overlap another subnet.",
+				ps(
+					par("virtualNetworkId", "ref(VirtualNetwork)", "the network"),
+					p("name", "str", "the subnet name"),
+					p("addressPrefix", "str", "the subnet range"),
+				),
+				cs(
+					ck(`cidrValid(addressPrefix)`, "InvalidAddressPrefixFormat", "the address prefix is not a valid CIDR block"),
+					ck(`prefixLen(addressPrefix) >= 8 && prefixLen(addressPrefix) <= 29`, "NetcfgInvalidSubnet", "the subnet prefix must be between /8 and /29"),
+					ck(`cidrWithin(addressPrefix, virtualNetworkId.addressPrefix)`, "NetcfgInvalidSubnet", "the prefix is not contained in the virtual network"),
+					fe("sib", `matching("Subnet", "virtualNetworkId", virtualNetworkId)`,
+						ck(`!cidrOverlaps(addressPrefix, sib.addressPrefix)`, "NetcfgInvalidSubnet", "the prefix overlaps an existing subnet"),
+					),
+					w("virtualNetworkId", "virtualNetworkId"),
+					w("name", "name"),
+					w("addressPrefix", "addressPrefix"),
+					w("provisioningState", `"Succeeded"`),
+				),
+				rs(ret("subnetId", "id(self)", "the ID of the created subnet"))),
+			api("DeleteSubnet", "destroy", "Deletes the subnet. Its network interfaces must be deleted first.",
+				ps(rcv("subnetId", "ref(Subnet)", "the subnet to delete")),
+				nil, okRet),
+			api("ListSubnets", "describe", "Lists the subnets.",
+				nil, nil, rs(ret("subnets", `describeAll("Subnet")`, "the subnets"))),
+		},
+	}
+}
+
+func azPublicIP() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "PublicIPAddress", IDPrefix: "pip",
+		NotFound: "ResourceNotFound",
+		Overview: "A public IP address resource. It attaches to a network interface in the same location; an attached address cannot be deleted.",
+		States: []docs.StateDoc{
+			st("name", "str", "the address name"),
+			st("location", "str", "the Azure region"),
+			st("sku", `enum("Basic", "Standard")`, "the SKU"),
+			st("provisioningState", "str", "the provisioning state"),
+			st("associatedNicId", "ref(NetworkInterface)", "the attached network interface"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreatePublicIpAddress", "create", "Creates a public IP address.",
+				ps(
+					p("name", "str", "the address name"),
+					od("location", "str", sdef("eastus"), "the Azure region"),
+					od("sku", "str", sdef("Standard"), "Basic or Standard"),
+				),
+				cs(
+					ck(`sku == "Basic" || sku == "Standard"`, "InvalidRequestFormat", "the SKU is not valid"),
+					w("name", "name"),
+					w("location", "location"),
+					w("sku", "sku"),
+					w("provisioningState", `"Succeeded"`),
+				),
+				rs(ret("publicIpAddressId", "id(self)", "the ID of the created address"))),
+			api("DeletePublicIpAddress", "destroy", "Deletes the public IP. It must be detached first.",
+				ps(rcv("publicIpAddressId", "ref(PublicIPAddress)", "the address to delete")),
+				cs(ck(`isnil(read(associatedNicId))`, "PublicIPAddressCannotBeDeleted", "the address is attached to a network interface")),
+				okRet),
+			api("ListPublicIpAddresses", "describe", "Lists the public IP addresses.",
+				nil, nil, rs(ret("publicIpAddresses", `describeAll("PublicIPAddress")`, "the addresses"))),
+		},
+	}
+}
+
+func azNic() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "NetworkInterface", IDPrefix: "anic", Parent: "Subnet",
+		NotFound: "ResourceNotFound",
+		Overview: "A network interface lives in a subnet; it may carry a public IP from the same location and attaches to at most one virtual machine.",
+		States: []docs.StateDoc{
+			st("subnetId", "ref(Subnet)", "the containing subnet"),
+			st("name", "str", "the interface name"),
+			st("location", "str", "the Azure region"),
+			st("provisioningState", "str", "the provisioning state"),
+			st("publicIpAddressId", "ref(PublicIPAddress)", "the attached public IP"),
+			st("attachedVmId", "ref(VirtualMachine)", "the attached virtual machine"),
+			st("networkSecurityGroupId", "ref(NetworkSecurityGroup)", "the applied security group"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateNetworkInterface", "create", "Creates a network interface in the specified subnet.",
+				ps(
+					par("subnetId", "ref(Subnet)", "the subnet"),
+					p("name", "str", "the interface name"),
+					od("location", "str", sdef("eastus"), "the Azure region"),
+				),
+				cs(
+					w("subnetId", "subnetId"),
+					w("name", "name"),
+					w("location", "location"),
+					w("provisioningState", `"Succeeded"`),
+				),
+				rs(ret("networkInterfaceId", "id(self)", "the ID of the created interface"))),
+			api("DeleteNetworkInterface", "destroy", "Deletes the interface, releasing any attached public IP. Interfaces attached to virtual machines cannot be deleted.",
+				ps(rcv("networkInterfaceId", "ref(NetworkInterface)", "the interface to delete")),
+				cs(
+					ck(`isnil(read(attachedVmId))`, "InUseNetworkInterfaceCannotBeDeleted", "the interface is attached to a virtual machine"),
+					iff(`!isnil(read(publicIpAddressId))`,
+						xw("read(publicIpAddressId)", "associatedNicId", "nil"),
+					),
+				),
+				okRet),
+			api("AssociatePublicIpAddress", "modify", "Attaches a public IP to the interface. The address and interface must share a location.",
+				ps(
+					rcv("networkInterfaceId", "ref(NetworkInterface)", "the interface"),
+					p("publicIpAddressId", "ref(PublicIPAddress)", "the address to attach"),
+				),
+				cs(
+					ck(`publicIpAddressId.location == read(location)`, "InvalidRequestFormat", "the address and interface are in different locations"),
+					ck(`isnil(publicIpAddressId.associatedNicId)`, "AnotherOperationInProgress", "the address is already associated"),
+					w("publicIpAddressId", "publicIpAddressId"),
+					xw("publicIpAddressId", "associatedNicId", "self"),
+				),
+				okRet),
+			api("DissociatePublicIpAddress", "modify", "Detaches the interface's public IP.",
+				ps(rcv("networkInterfaceId", "ref(NetworkInterface)", "the interface")),
+				cs(
+					ck(`!isnil(read(publicIpAddressId))`, "InvalidRequestFormat", "the interface has no public IP"),
+					xw("read(publicIpAddressId)", "associatedNicId", "nil"),
+					w("publicIpAddressId", "nil"),
+				),
+				okRet),
+			api("ListNetworkInterfaces", "describe", "Lists the network interfaces.",
+				nil, nil, rs(ret("networkInterfaces", `describeAll("NetworkInterface")`, "the interfaces"))),
+		},
+	}
+}
+
+func azNsg() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "NetworkSecurityGroup", IDPrefix: "nsg",
+		NotFound: "ResourceNotFound",
+		Overview: "A network security group filters traffic. Names are unique; groups in use by interfaces cannot be deleted.",
+		States: []docs.StateDoc{
+			st("name", "str", "the group name"),
+			st("provisioningState", "str", "the provisioning state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateNetworkSecurityGroup", "create", "Creates a network security group.",
+				ps(p("name", "str", "the group name")),
+				cs(
+					ck(`len(matching("NetworkSecurityGroup", "name", name)) == 0`, "AnotherOperationInProgress", "a group with that name already exists"),
+					w("name", "name"),
+					w("provisioningState", `"Succeeded"`),
+				),
+				rs(ret("networkSecurityGroupId", "id(self)", "the ID of the created group"))),
+			api("DeleteNetworkSecurityGroup", "destroy", "Deletes the group. It must not be applied to any interface.",
+				ps(rcv("networkSecurityGroupId", "ref(NetworkSecurityGroup)", "the group to delete")),
+				cs(ck(`len(matching("NetworkInterface", "networkSecurityGroupId", self)) == 0`, "OperationNotAllowed", "the group is in use by a network interface")),
+				okRet),
+			api("ListNetworkSecurityGroups", "describe", "Lists the network security groups.",
+				nil, nil, rs(ret("networkSecurityGroups", `describeAll("NetworkSecurityGroup")`, "the groups"))),
+		},
+	}
+}
+
+func azVM() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "VirtualMachine", IDPrefix: "vm",
+		NotFound: "ResourceNotFound",
+		Overview: "A virtual machine bound to one network interface. Power operations are only valid from the opposite state: starting a machine that is not deallocated fails.",
+		States: []docs.StateDoc{
+			st("name", "str", "the machine name"),
+			st("vmSize", "str", "the machine size"),
+			st("networkInterfaceId", "ref(NetworkInterface)", "the bound interface"),
+			st("powerState", `enum("running", "deallocated")`, "the power state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateVirtualMachine", "create", "Creates a virtual machine bound to an unattached network interface.",
+				ps(
+					p("networkInterfaceId", "ref(NetworkInterface)", "the interface to bind"),
+					p("name", "str", "the machine name"),
+					od("vmSize", "str", sdef("Standard_D2s_v3"), "the machine size"),
+				),
+				cs(
+					ck(`isnil(networkInterfaceId.attachedVmId)`, "AnotherOperationInProgress", "the interface is already attached"),
+					w("name", "name"),
+					w("vmSize", "vmSize"),
+					w("networkInterfaceId", "networkInterfaceId"),
+					w("powerState", `"running"`),
+					xw("networkInterfaceId", "attachedVmId", "self"),
+				),
+				rs(ret("virtualMachineId", "id(self)", "the ID of the created machine"))),
+			api("DeleteVirtualMachine", "destroy", "Deletes the machine, releasing its interface.",
+				ps(rcv("virtualMachineId", "ref(VirtualMachine)", "the machine to delete")),
+				cs(
+					iff(`!isnil(read(networkInterfaceId))`,
+						xw("read(networkInterfaceId)", "attachedVmId", "nil"),
+					),
+				),
+				okRet),
+			api("StartVirtualMachine", "modify", "Starts a deallocated machine. Starting a machine that is not deallocated fails.",
+				ps(rcv("virtualMachineId", "ref(VirtualMachine)", "the machine")),
+				cs(
+					ck(`read(powerState) == "deallocated"`, "OperationNotAllowed", "the machine is not deallocated"),
+					w("powerState", `"running"`),
+				),
+				okRet),
+			api("DeallocateVirtualMachine", "modify", "Deallocates a running machine.",
+				ps(rcv("virtualMachineId", "ref(VirtualMachine)", "the machine")),
+				cs(
+					ck(`read(powerState) == "running"`, "OperationNotAllowed", "the machine is not running"),
+					w("powerState", `"deallocated"`),
+				),
+				okRet),
+			api("ListVirtualMachines", "describe", "Lists the virtual machines.",
+				nil, nil, rs(ret("virtualMachines", `describeAll("VirtualMachine")`, "the machines"))),
+		},
+	}
+}

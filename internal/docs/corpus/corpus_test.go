@@ -1,0 +1,129 @@
+package corpus
+
+import (
+	"testing"
+
+	"lce/internal/cloud/aws/dynamodb"
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/cloud/aws/netfw"
+	"lce/internal/cloud/azure"
+	"lce/internal/cloudapi"
+	"lce/internal/docs"
+)
+
+func TestCorporaValidate(t *testing.T) {
+	for _, d := range []*docs.ServiceDoc{EC2(), NetworkFirewall(), DynamoDB(), Azure()} {
+		if errs := docs.Validate(d); len(errs) > 0 {
+			for _, e := range errs {
+				t.Error(e)
+			}
+		}
+	}
+}
+
+func TestEC2DocShape(t *testing.T) {
+	d := EC2()
+	if got := len(d.Resources); got != 28 {
+		t.Errorf("EC2 doc resources = %d, want 28 (Fig. 4)", got)
+	}
+}
+
+func TestNetworkFirewallDocShape(t *testing.T) {
+	d := NetworkFirewall()
+	if got := len(d.Resources); got != 8 {
+		t.Errorf("NWFW doc resources = %d, want 8 (Fig. 4)", got)
+	}
+	if got := d.APICount(); got != 45 {
+		t.Errorf("NWFW documented APIs = %d, want 45", got)
+	}
+}
+
+func TestDynamoDBDocShape(t *testing.T) {
+	d := DynamoDB()
+	if got := len(d.Resources); got != 7 {
+		t.Errorf("DynamoDB doc resources = %d, want 7 (Fig. 4)", got)
+	}
+}
+
+// TestDocsCoverOracleActions verifies the provider documented every
+// action its implementation serves, and nothing else — the premise of
+// learning emulation logic from documentation.
+func TestDocsCoverOracleActions(t *testing.T) {
+	cases := []struct {
+		doc    *docs.ServiceDoc
+		oracle cloudapi.Backend
+	}{
+		{EC2(), ec2.New()},
+		{NetworkFirewall(), netfw.New()},
+		{DynamoDB(), dynamodb.New()},
+		{Azure(), azure.New()},
+	}
+	for _, tc := range cases {
+		documented := map[string]bool{}
+		for _, r := range tc.doc.Resources {
+			for _, a := range r.APIs {
+				if documented[a.Name] {
+					t.Errorf("%s: API %s documented twice", tc.doc.Service, a.Name)
+				}
+				documented[a.Name] = true
+			}
+		}
+		for _, action := range tc.oracle.Actions() {
+			if !documented[action] {
+				t.Errorf("%s: oracle action %s is undocumented", tc.doc.Service, action)
+			}
+		}
+		for name := range documented {
+			found := false
+			for _, action := range tc.oracle.Actions() {
+				if action == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: documented API %s does not exist in the oracle", tc.doc.Service, name)
+			}
+		}
+	}
+}
+
+// TestDocStatesMatchDescribePayloads checks each documented state list
+// against what the oracle actually stores after a representative
+// provisioning run: every oracle attribute must be documented, or the
+// learned emulator could never align its describe payloads.
+func TestDocStatesMatchDescribePayloadsEC2(t *testing.T) {
+	d := EC2()
+	svc := ec2.New()
+	run := func(action string, kv ...string) cloudapi.Result {
+		p := cloudapi.Params{}
+		for i := 0; i < len(kv); i += 2 {
+			p[kv[i]] = cloudapi.Str(kv[i+1])
+		}
+		res, err := svc.Invoke(cloudapi.Request{Action: action, Params: p})
+		if err != nil {
+			t.Fatalf("%s: %v", action, err)
+		}
+		return res
+	}
+	vpcID := run("CreateVpc", "cidrBlock", "10.0.0.0/16").Get("vpcId").AsString()
+	run("CreateSubnet", "vpcId", vpcID, "cidrBlock", "10.0.1.0/24")
+
+	for _, typ := range []string{"Vpc", "Subnet"} {
+		rd := d.Resource(typ)
+		if rd == nil {
+			t.Fatalf("no doc for %s", typ)
+		}
+		documented := map[string]bool{}
+		for _, sv := range rd.States {
+			documented[sv.Name] = true
+		}
+		for _, r := range svc.Store().ListLive(typ) {
+			for attr := range r.Attrs {
+				if !documented[attr] {
+					t.Errorf("%s: oracle attribute %q is undocumented", typ, attr)
+				}
+			}
+		}
+	}
+}

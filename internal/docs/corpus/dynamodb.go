@@ -1,0 +1,438 @@
+package corpus
+
+import "lce/internal/docs"
+
+// tbl is the expression that resolves the table named by the tableName
+// parameter — DynamoDB addresses tables by name, not by ID.
+const tbl = `first(matching("Table", "tableName", tableName))`
+const tblExists = `len(matching("Table", "tableName", tableName)) > 0`
+
+// DynamoDB returns the authored documentation for the DynamoDB oracle:
+// 7 resources (Table, Item, GlobalSecondaryIndex, Backup, GlobalTable,
+// ExportTask, ImportTask), matching the 7 SMs in Fig. 4.
+func DynamoDB() *docs.ServiceDoc {
+	return &docs.ServiceDoc{
+		Service:  "dynamodb",
+		Provider: "aws",
+		Overview: "Amazon DynamoDB is a key-value database. Tables are addressed by name and hold items; secondary indexes, backups, global tables and import/export tasks complete the control plane.",
+		Resources: []*docs.ResourceDoc{
+			ddbTable(), ddbItem(), ddbGsi(), ddbBackup(), ddbGlobalTable(),
+			ddbExport(), ddbImport(),
+		},
+	}
+}
+
+func ddbTable() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Table", IDPrefix: "table",
+		NotFound: "ResourceNotFoundException",
+		Overview: "A DynamoDB table. Table names are unique per account; deleting a table reclaims its items and indexes, but replicas of a global table cannot be deleted.",
+		States: []docs.StateDoc{
+			st("tableName", "str", "the table name, unique per account"),
+			st("keyAttribute", "str", "the partition key attribute"),
+			st("billingMode", `enum("PAY_PER_REQUEST", "PROVISIONED")`, "the billing mode"),
+			st("tableStatus", "str", "the table status"),
+			st("itemCount", "int", "the number of items"),
+			st("ttlEnabled", "bool", "whether time-to-live is enabled"),
+			st("readCapacityUnits", "int", "provisioned read capacity"),
+			st("writeCapacityUnits", "int", "provisioned write capacity"),
+			st("restoredFromBackupId", "ref(Backup)", "the backup this table was restored from"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateTable", "create", "Creates a table. Provisioned tables require positive read and write capacity units.",
+				ps(
+					p("tableName", "str", "the table name"),
+					p("keyAttribute", "str", "the partition key attribute"),
+					od("billingMode", "str", sdef("PAY_PER_REQUEST"), "PAY_PER_REQUEST or PROVISIONED"),
+					opt("readCapacityUnits", "int", "provisioned read capacity"),
+					opt("writeCapacityUnits", "int", "provisioned write capacity"),
+				),
+				cs(
+					ck(`len(matching("Table", "tableName", tableName)) == 0`, "ResourceInUseException", "a table with that name already exists"),
+					ck(`billingMode == "PAY_PER_REQUEST" || billingMode == "PROVISIONED"`, "ValidationException", "the billing mode is not valid"),
+					iff(`billingMode == "PROVISIONED"`,
+						ck(`!isnil(readCapacityUnits) && !isnil(writeCapacityUnits) && readCapacityUnits >= 1 && writeCapacityUnits >= 1`, "ValidationException", "provisioned tables require positive read and write capacity units"),
+						w("readCapacityUnits", "readCapacityUnits"),
+						w("writeCapacityUnits", "writeCapacityUnits"),
+					),
+					w("tableName", "tableName"),
+					w("keyAttribute", "keyAttribute"),
+					w("billingMode", "billingMode"),
+					w("tableStatus", `"ACTIVE"`),
+					w("itemCount", "0"),
+					w("ttlEnabled", "false"),
+				),
+				rs(
+					ret("tableId", "id(self)", "the ID of the created table"),
+					ret("tableName", "tableName", "the table name"),
+				)),
+			api("DeleteTable", "modify", "Deletes the named table and reclaims its items and indexes. Replicas of global tables cannot be deleted.",
+				ps(p("tableName", "str", "the table to delete")),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					fe("gt", `instances("GlobalTable")`,
+						ck(`!contains(gt.replicaTableNames, tableName)`, "ResourceInUseException", "the table is a replica of a global table"),
+					),
+					fe("it", `matching("Item", "tableName", tableName)`, xd("it")),
+					fe("g", `matching("GlobalSecondaryIndex", "tableName", tableName)`, xd("g")),
+					xd(tbl),
+				),
+				okRet),
+			api("DescribeTable", "describe", "Describes the named table.",
+				ps(p("tableName", "str", "the table")),
+				cs(ck(tblExists, "ResourceNotFoundException", "the table does not exist")),
+				rs(ret("table", "describe("+tbl+")", "the table"))),
+			api("ListTables", "describe", "Lists the account's table names.",
+				nil, nil,
+				rs(ret("tableNames", `pluck(instances("Table"), "tableName")`, "the table names"))),
+			api("UpdateTable", "modify", "Updates the table's billing mode or provisioned capacity.",
+				ps(
+					p("tableName", "str", "the table"),
+					opt("billingMode", "str", "PAY_PER_REQUEST or PROVISIONED"),
+					opt("readCapacityUnits", "int", "new read capacity"),
+					opt("writeCapacityUnits", "int", "new write capacity"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					iff(`!isnil(billingMode)`,
+						ck(`billingMode == "PAY_PER_REQUEST" || billingMode == "PROVISIONED"`, "ValidationException", "the billing mode is not valid"),
+						xw(tbl, "billingMode", "billingMode"),
+						iff(`billingMode == "PAY_PER_REQUEST"`,
+							xw(tbl, "readCapacityUnits", "nil"),
+							xw(tbl, "writeCapacityUnits", "nil"),
+						),
+					),
+					iff(`!isnil(readCapacityUnits) || !isnil(writeCapacityUnits)`,
+						ck(tbl+`.billingMode == "PROVISIONED"`, "ValidationException", "capacity units may only be set on provisioned tables"),
+						iff(`!isnil(readCapacityUnits)`,
+							ck(`readCapacityUnits >= 1`, "ValidationException", "capacity units must be positive"),
+							xw(tbl, "readCapacityUnits", "readCapacityUnits"),
+						),
+						iff(`!isnil(writeCapacityUnits)`,
+							ck(`writeCapacityUnits >= 1`, "ValidationException", "capacity units must be positive"),
+							xw(tbl, "writeCapacityUnits", "writeCapacityUnits"),
+						),
+					),
+				),
+				okRet),
+			api("UpdateTimeToLive", "modify", "Enables or disables time-to-live. No-op updates are rejected.",
+				ps(
+					p("tableName", "str", "the table"),
+					p("ttlEnabled", "bool", "the new TTL setting"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					ck(`ttlEnabled != `+tbl+`.ttlEnabled`, "ValidationException", "TimeToLive is already in the requested state"),
+					xw(tbl, "ttlEnabled", "ttlEnabled"),
+				),
+				okRet),
+			api("DescribeTimeToLive", "describe", "Returns the table's TTL status.",
+				ps(p("tableName", "str", "the table")),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					ife(tbl+`.ttlEnabled`,
+						[]docs.Clause{docs.RetC("timeToLiveStatus", `"ENABLED"`)},
+						[]docs.Clause{docs.RetC("timeToLiveStatus", `"DISABLED"`)}),
+				),
+				nil),
+			api("RestoreTableFromBackup", "create", "Restores a backup into a new table.",
+				ps(
+					p("backupId", "ref(Backup)", "the backup to restore"),
+					p("targetTableName", "str", "the name of the new table"),
+				),
+				cs(
+					ck(`len(matching("Table", "tableName", targetTableName)) == 0`, "TableAlreadyExistsException", "a table with that name already exists"),
+					w("tableName", "targetTableName"),
+					w("keyAttribute", `"pk"`),
+					w("billingMode", `"PAY_PER_REQUEST"`),
+					w("tableStatus", `"ACTIVE"`),
+					w("itemCount", "backupId.itemCount"),
+					w("ttlEnabled", "false"),
+					w("restoredFromBackupId", "backupId"),
+				),
+				rs(
+					ret("tableId", "id(self)", "the ID of the restored table"),
+					ret("tableName", "targetTableName", "the new table's name"),
+				)),
+		},
+	}
+}
+
+const itemsOf = `matching("Item", "tableName", tableName)`
+const itemAt = `first(filterEq(matching("Item", "tableName", tableName), "key", key))`
+const itemExists = `len(filterEq(matching("Item", "tableName", tableName), "key", key)) > 0`
+
+func ddbItem() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Item", IDPrefix: "item",
+		NotFound: "ResourceNotFoundException",
+		Overview: "An item is a key-addressed attribute map in a table. PutItem replaces the whole item; UpdateItem merges attributes into an existing item.",
+		States: []docs.StateDoc{
+			st("tableName", "str", "the containing table's name"),
+			st("key", "str", "the partition key value"),
+			st("attributes", "map", "the item's attributes"),
+		},
+		APIs: []docs.APIDoc{
+			api("PutItem", "create", "Writes an item, replacing any existing item with the same key.",
+				ps(
+					p("tableName", "str", "the table"),
+					p("key", "str", "the partition key value"),
+					opt("attributes", "map", "the item's attributes"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					ife(itemExists,
+						[]docs.Clause{fe("old", `filterEq(matching("Item", "tableName", tableName), "key", key)`, xd("old"))},
+						[]docs.Clause{xw(tbl, "itemCount", tbl+".itemCount + 1")}),
+					w("tableName", "tableName"),
+					w("key", "key"),
+					ife("isnil(attributes)",
+						[]docs.Clause{w("attributes", "emptyMap()")},
+						[]docs.Clause{w("attributes", "attributes")}),
+				),
+				okRet),
+			api("GetItem", "describe", "Reads an item. A missing key yields an empty response, not an error.",
+				ps(
+					p("tableName", "str", "the table"),
+					p("key", "str", "the partition key value"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					iff(itemExists, docs.RetC("item", itemAt+".attributes")),
+				),
+				nil),
+			api("UpdateItem", "modify", "Merges attributes into an existing item.",
+				ps(
+					p("tableName", "str", "the table"),
+					p("key", "str", "the partition key value"),
+					p("attributes", "map", "the attributes to merge"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					ck(itemExists, "ResourceNotFoundException", "the item does not exist"),
+					xw(itemAt, "attributes", "mapMerge("+itemAt+".attributes, attributes)"),
+				),
+				okRet),
+			api("DeleteItem", "modify", "Deletes an item. Deleting a missing key succeeds.",
+				ps(
+					p("tableName", "str", "the table"),
+					p("key", "str", "the partition key value"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					iff(itemExists,
+						fe("it", `filterEq(matching("Item", "tableName", tableName), "key", key)`, xd("it")),
+						xw(tbl, "itemCount", tbl+".itemCount - 1"),
+					),
+				),
+				okRet),
+			api("Scan", "describe", "Returns every item in the table.",
+				ps(p("tableName", "str", "the table")),
+				cs(ck(tblExists, "ResourceNotFoundException", "the table does not exist")),
+				rs(
+					ret("items", "pluck("+itemsOf+`, "attributes")`, "the item attribute maps"),
+					ret("count", "len("+itemsOf+")", "the number of items"),
+				)),
+		},
+	}
+}
+
+const gsiAt = `first(filterEq(matching("GlobalSecondaryIndex", "tableName", tableName), "indexName", indexName))`
+const gsiExists = `len(filterEq(matching("GlobalSecondaryIndex", "tableName", tableName), "indexName", indexName)) > 0`
+
+func ddbGsi() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "GlobalSecondaryIndex", IDPrefix: "gsi",
+		NotFound: "ResourceNotFoundException",
+		Overview: "A global secondary index projects a table under an alternate key. A table holds at most 20 indexes.",
+		States: []docs.StateDoc{
+			st("tableName", "str", "the indexed table's name"),
+			st("indexName", "str", "the index name, unique per table"),
+			st("keyAttribute", "str", "the index partition key"),
+			st("indexStatus", "str", "the index status"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateGlobalSecondaryIndex", "create", "Adds an index to the named table.",
+				ps(
+					p("tableName", "str", "the table"),
+					p("indexName", "str", "the index name"),
+					p("keyAttribute", "str", "the index partition key"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					ck(`len(filterEq(matching("GlobalSecondaryIndex", "tableName", tableName), "indexName", indexName)) == 0`, "ResourceInUseException", "an index with that name already exists on the table"),
+					ck(`len(matching("GlobalSecondaryIndex", "tableName", tableName)) < 20`, "LimitExceededException", "the table already has the maximum number of indexes"),
+					w("tableName", "tableName"),
+					w("indexName", "indexName"),
+					w("keyAttribute", "keyAttribute"),
+					w("indexStatus", `"ACTIVE"`),
+				),
+				rs(ret("indexId", "id(self)", "the ID of the created index"))),
+			api("DeleteGlobalSecondaryIndex", "modify", "Removes an index from the named table.",
+				ps(
+					p("tableName", "str", "the table"),
+					p("indexName", "str", "the index to remove"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					ck(gsiExists, "ResourceNotFoundException", "the index does not exist on the table"),
+					fe("g", `filterEq(matching("GlobalSecondaryIndex", "tableName", tableName), "indexName", indexName)`, xd("g")),
+				),
+				okRet),
+			api("DescribeGlobalSecondaryIndexes", "describe", "Lists the named table's indexes.",
+				ps(p("tableName", "str", "the table")),
+				cs(ck(tblExists, "ResourceNotFoundException", "the table does not exist")),
+				rs(ret("indexes", `describeEach(matching("GlobalSecondaryIndex", "tableName", tableName))`, "the indexes"))),
+		},
+	}
+}
+
+func ddbBackup() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Backup", IDPrefix: "backup",
+		NotFound: "BackupNotFoundException",
+		Overview: "A backup captures a table's metadata and item count at a point in time.",
+		States: []docs.StateDoc{
+			st("tableName", "str", "the backed-up table's name"),
+			st("backupName", "str", "the backup's name"),
+			st("backupStatus", "str", "the backup status"),
+			st("itemCount", "int", "the item count at backup time"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateBackup", "create", "Creates a backup of the named table.",
+				ps(
+					p("tableName", "str", "the table"),
+					p("backupName", "str", "a name for the backup"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					w("tableName", "tableName"),
+					w("backupName", "backupName"),
+					w("backupStatus", `"AVAILABLE"`),
+					w("itemCount", tbl+".itemCount"),
+				),
+				rs(ret("backupId", "id(self)", "the ID of the created backup"))),
+			api("DeleteBackup", "destroy", "Deletes the backup.",
+				ps(rcv("backupId", "ref(Backup)", "the backup to delete")),
+				nil, okRet),
+			api("DescribeBackup", "describe", "Describes the backup.",
+				ps(rcv("backupId", "ref(Backup)", "the backup")),
+				nil,
+				rs(ret("backup", "describe(self)", "the backup"))),
+			api("ListBackups", "describe", "Lists the account's backups.",
+				nil, nil, rs(ret("backups", `describeAll("Backup")`, "the backups"))),
+		},
+	}
+}
+
+const gtAt = `first(matching("GlobalTable", "globalTableName", globalTableName))`
+const gtExists = `len(matching("GlobalTable", "globalTableName", globalTableName)) > 0`
+
+func ddbGlobalTable() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "GlobalTable", IDPrefix: "gt",
+		NotFound: "GlobalTableNotFoundException",
+		Overview: "A global table replicates a table across regions. The local table of the same name becomes its first replica; replica tables cannot be deleted.",
+		States: []docs.StateDoc{
+			st("globalTableName", "str", "the global table's name"),
+			st("replicaTableNames", "list(str)", "the replica table names"),
+			st("globalTableStatus", "str", "the status"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateGlobalTable", "create", "Promotes the named table into a global table.",
+				ps(p("globalTableName", "str", "the table name to promote")),
+				cs(
+					ck(`len(matching("GlobalTable", "globalTableName", globalTableName)) == 0`, "GlobalTableAlreadyExistsException", "a global table with that name already exists"),
+					ck(`len(matching("Table", "tableName", globalTableName)) > 0`, "TableNotFoundException", "the local table does not exist"),
+					w("globalTableName", "globalTableName"),
+					w("replicaTableNames", "append(emptyList(), globalTableName)"),
+					w("globalTableStatus", `"ACTIVE"`),
+				),
+				rs(ret("globalTableId", "id(self)", "the ID of the created global table"))),
+			api("DescribeGlobalTable", "describe", "Describes the named global table.",
+				ps(p("globalTableName", "str", "the global table")),
+				cs(ck(gtExists, "GlobalTableNotFoundException", "the global table does not exist")),
+				rs(ret("globalTable", "describe("+gtAt+")", "the global table"))),
+			api("UpdateGlobalTable", "modify", "Adds a replica to the named global table.",
+				ps(
+					p("globalTableName", "str", "the global table"),
+					p("replicaTableName", "str", "the table to add as a replica"),
+				),
+				cs(
+					ck(gtExists, "GlobalTableNotFoundException", "the global table does not exist"),
+					ck(`len(matching("Table", "tableName", replicaTableName)) > 0`, "TableNotFoundException", "the replica table does not exist"),
+					ck(`!contains(`+gtAt+`.replicaTableNames, replicaTableName)`, "ValidationException", "the table is already a replica"),
+					xw(gtAt, "replicaTableNames", "append("+gtAt+".replicaTableNames, replicaTableName)"),
+				),
+				okRet),
+		},
+	}
+}
+
+func ddbExport() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "ExportTask", IDPrefix: "export",
+		NotFound: "ExportNotFoundException",
+		Overview: "An export task copies a table snapshot to S3.",
+		States: []docs.StateDoc{
+			st("tableName", "str", "the exported table's name"),
+			st("s3Bucket", "str", "the destination bucket"),
+			st("exportStatus", "str", "the export status"),
+			st("itemCount", "int", "the exported item count"),
+		},
+		APIs: []docs.APIDoc{
+			api("ExportTableToPointInTime", "create", "Exports the named table to an S3 bucket.",
+				ps(
+					p("tableName", "str", "the table"),
+					p("s3Bucket", "str", "the destination bucket"),
+				),
+				cs(
+					ck(tblExists, "ResourceNotFoundException", "the table does not exist"),
+					w("tableName", "tableName"),
+					w("s3Bucket", "s3Bucket"),
+					w("exportStatus", `"COMPLETED"`),
+					w("itemCount", tbl+".itemCount"),
+				),
+				rs(ret("exportId", "id(self)", "the ID of the export task"))),
+			api("DescribeExport", "describe", "Describes the export task.",
+				ps(rcv("exportId", "ref(ExportTask)", "the export task")),
+				nil,
+				rs(ret("export", "describe(self)", "the export task"))),
+			api("ListExports", "describe", "Lists the account's export tasks.",
+				nil, nil, rs(ret("exports", `describeAll("ExportTask")`, "the export tasks"))),
+		},
+	}
+}
+
+func ddbImport() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "ImportTask", IDPrefix: "import",
+		NotFound: "ImportNotFoundException",
+		Overview: "An import task records a request to load a table from S3. The table name must not already be in use.",
+		States: []docs.StateDoc{
+			st("tableName", "str", "the target table name"),
+			st("s3Bucket", "str", "the source bucket"),
+			st("importStatus", "str", "the import status"),
+		},
+		APIs: []docs.APIDoc{
+			api("ImportTable", "create", "Starts importing a new table from S3.",
+				ps(
+					p("tableName", "str", "the target table name"),
+					p("s3Bucket", "str", "the source bucket"),
+				),
+				cs(
+					ck(`len(matching("Table", "tableName", tableName)) == 0`, "ResourceInUseException", "a table with that name already exists"),
+					w("tableName", "tableName"),
+					w("s3Bucket", "s3Bucket"),
+					w("importStatus", `"COMPLETED"`),
+				),
+				rs(ret("importId", "id(self)", "the ID of the import task"))),
+			api("DescribeImport", "describe", "Describes the import task.",
+				ps(rcv("importId", "ref(ImportTask)", "the import task")),
+				nil,
+				rs(ret("import", "describe(self)", "the import task"))),
+			api("ListImports", "describe", "Lists the account's import tasks.",
+				nil, nil, rs(ret("imports", `describeAll("ImportTask")`, "the import tasks"))),
+		},
+	}
+}

@@ -1,0 +1,600 @@
+// Package corpus holds the hand-authored documentation content for
+// each oracle service — the role the cloud provider's documentation
+// team plays in the reproduction. Every behaviour clause mirrors the
+// corresponding oracle handler; the differential tests in
+// internal/synth verify that a noise-free extraction of this corpus
+// produces an emulator that aligns with the oracle.
+package corpus
+
+import (
+	"strings"
+
+	"lce/internal/cloudapi"
+	"lce/internal/docs"
+	"lce/internal/spec"
+)
+
+// Shared shorthand for the constructors.
+var (
+	ck  = docs.Check
+	w   = docs.W
+	xw  = docs.XW
+	xd  = docs.XDel
+	iff = docs.If
+	ife = docs.IfElse
+	fe  = docs.ForEach
+	p   = docs.P
+	opt = docs.Opt
+	od  = docs.OptDef
+	rcv = docs.Rcv
+	par = docs.Par
+	st  = docs.St
+	ret = docs.Ret
+)
+
+func sdef(s string) cloudapi.Value { return cloudapi.Str(s) }
+func bdef(b bool) cloudapi.Value   { return cloudapi.Bool(b) }
+func cint(i int64) cloudapi.Value  { return cloudapi.Int(i) }
+
+func api(name string, kind string, desc string, params []docs.ParamDoc, clauses []docs.Clause, returns []docs.ReturnDoc) docs.APIDoc {
+	k, ok := parseKind(kind)
+	if !ok {
+		panic("corpus: bad kind " + kind)
+	}
+	return docs.APIDoc{Name: name, Kind: k, Desc: desc, Params: params, Clauses: clauses, Returns: returns}
+}
+
+func ps(ps ...docs.ParamDoc) []docs.ParamDoc { return ps }
+func cs(cs ...docs.Clause) []docs.Clause     { return cs }
+func rs(rs ...docs.ReturnDoc) []docs.ReturnDoc {
+	return rs
+}
+
+// okRet is the uniform modify/destroy response.
+var okRet = []docs.ReturnDoc{ret("return", "true", "true on success")}
+
+// EC2 returns the authored documentation for the EC2 oracle: 28
+// resources, matching the 28 SMs the paper's generated EC2 spec
+// contains (Fig. 4).
+func EC2() *docs.ServiceDoc {
+	d := &docs.ServiceDoc{
+		Service:  "ec2",
+		Provider: "aws",
+		Overview: "Amazon Elastic Compute Cloud provides resizable computing capacity. This reference describes the query API actions for compute, VPC networking, storage and connectivity resources.",
+	}
+	d.Resources = []*docs.ResourceDoc{
+		ec2Vpc(), ec2Subnet(), ec2Instance(), ec2InternetGateway(),
+		ec2NatGateway(), ec2RouteTable(), ec2Route(), ec2NetworkInterface(),
+		ec2SecurityGroup(), ec2SecurityGroupRule(), ec2Address(), ec2KeyPair(),
+		ec2Volume(), ec2Snapshot(), ec2Image(), ec2LaunchTemplate(),
+		ec2VpcEndpoint(), ec2VpcPeering(), ec2DhcpOptions(), ec2NetworkAcl(),
+		ec2NetworkAclEntry(), ec2CustomerGateway(), ec2VpnGateway(),
+		ec2VpnConnection(), ec2TransitGateway(), ec2TransitGatewayAttachment(),
+		ec2PlacementGroup(), ec2FlowLog(),
+	}
+	for _, r := range d.Resources {
+		addCommonEC2Attributes(r)
+	}
+	return d
+}
+
+// addCommonEC2Attributes documents the account-level attributes every
+// EC2 resource carries (owner, region, ARN, tags) and their
+// initialization on each creation API — mirroring the oracle's stamp.
+func addCommonEC2Attributes(r *docs.ResourceDoc) {
+	lower := strings.ToLower(r.Name)
+	r.States = append(r.States,
+		st("ownerId", "str", "the account that owns the resource"),
+		st("region", "str", "the region the resource lives in"),
+		st("arn", "str", "the Amazon resource name"),
+		st("tags", "map", "the resource's tags"),
+	)
+	for i := range r.APIs {
+		a := &r.APIs[i]
+		if a.Kind != parseKindMust("create") {
+			continue
+		}
+		a.Clauses = append(a.Clauses,
+			w("ownerId", `"123456789012"`),
+			w("region", `"us-east-1"`),
+			w("arn", `concat("arn:aws:ec2:us-east-1:123456789012:`+lower+`/", id(self))`),
+			w("tags", "emptyMap()"),
+		)
+	}
+}
+
+func parseKindMust(k string) spec.TransKind {
+	kind, ok := parseKind(k)
+	if !ok {
+		panic("corpus: bad kind " + k)
+	}
+	return kind
+}
+
+const tenancyCheck = `instanceTenancy == "default" || instanceTenancy == "dedicated" || instanceTenancy == "host"`
+const burstableCheck = `hasPrefix(instanceType, "t2.") || hasPrefix(instanceType, "t3.") || hasPrefix(instanceType, "t3a.") || hasPrefix(instanceType, "t4g.")`
+
+func ec2Vpc() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Vpc", IDPrefix: "vpc",
+		NotFound:   "InvalidVpcID.NotFound",
+		Dependency: "DependencyViolation",
+		Overview:   "A virtual private cloud is an isolated virtual network. Subnets, route tables, security groups, network ACLs, endpoints and gateways live inside a VPC; it cannot be deleted while any of them remain.",
+		States: []docs.StateDoc{
+			st("cidrBlock", "str", "the IPv4 network range of the VPC"),
+			st("state", `enum("pending", "available")`, "the lifecycle state"),
+			st("instanceTenancy", "str", "the allowed tenancy of instances launched into the VPC"),
+			st("enableDnsSupport", "bool", "whether Amazon-provided DNS resolution is enabled"),
+			st("enableDnsHostnames", "bool", "whether instances receive public DNS hostnames"),
+			st("isDefault", "bool", "whether this is the account's default VPC"),
+			st("dhcpOptionsId", "ref(DhcpOptions)", "the associated DHCP options set"),
+			st("policyDocument", "str", "reserved"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateVpc", "create", "Creates a VPC with the specified IPv4 CIDR block.",
+				ps(
+					p("cidrBlock", "str", "the IPv4 network range, in CIDR notation"),
+					od("instanceTenancy", "str", sdef("default"), "the tenancy of instances launched into the VPC"),
+				),
+				cs(
+					ck(`cidrValid(cidrBlock)`, "InvalidParameterValue", "the CIDR block is not valid"),
+					ck(`prefixLen(cidrBlock) >= 16 && prefixLen(cidrBlock) <= 28`, "InvalidVpc.Range", "the block size must be between a /16 and a /28"),
+					ck(tenancyCheck, "InvalidParameterValue", "the tenancy is not valid"),
+					w("cidrBlock", "cidrBlock"),
+					w("state", `"available"`),
+					w("instanceTenancy", "instanceTenancy"),
+					w("enableDnsSupport", "true"),
+					w("enableDnsHostnames", "false"),
+					w("isDefault", "false"),
+				),
+				rs(ret("vpcId", "id(self)", "the ID of the created VPC"))),
+			api("CreateDefaultVpc", "create", "Creates the account's default VPC with the standard 172.31.0.0/16 range.",
+				nil,
+				cs(
+					ck(`len(matching("Vpc", "isDefault", true)) == 0`, "DefaultVpcAlreadyExists", "a default VPC already exists in this account"),
+					w("cidrBlock", `"172.31.0.0/16"`),
+					w("state", `"available"`),
+					w("instanceTenancy", `"default"`),
+					w("enableDnsSupport", "true"),
+					w("enableDnsHostnames", "true"),
+					w("isDefault", "true"),
+				),
+				rs(ret("vpcId", "id(self)", "the ID of the created default VPC"))),
+			api("DeleteVpc", "destroy", "Deletes the specified VPC. All contained resources must be deleted or detached first.",
+				ps(rcv("vpcId", "ref(Vpc)", "the VPC to delete")),
+				cs(
+					ck(`len(matching("InternetGateway", "attachedVpcId", self)) == 0`, "DependencyViolation", "an internet gateway is still attached to the VPC"),
+					ck(`len(matching("VpnGateway", "attachedVpcId", self)) == 0`, "DependencyViolation", "a virtual private gateway is still attached to the VPC"),
+				),
+				okRet),
+			api("DescribeVpcs", "describe", "Describes the account's VPCs.",
+				nil, nil, rs(ret("vpcs", `describeAll("Vpc")`, "the VPCs"))),
+			api("ModifyVpcAttribute", "modify", "Modifies one DNS attribute of the specified VPC. DNS hostnames require DNS support; DNS support cannot be disabled while hostnames are enabled.",
+				ps(
+					rcv("vpcId", "ref(Vpc)", "the VPC to modify"),
+					opt("enableDnsSupport", "bool", "enable or disable DNS resolution"),
+					opt("enableDnsHostnames", "bool", "enable or disable public DNS hostnames"),
+				),
+				cs(
+					ck(`!isnil(enableDnsSupport) || !isnil(enableDnsHostnames)`, "MissingParameter", "the request must contain an attribute to modify"),
+					iff(`!isnil(enableDnsSupport)`,
+						ck(`enableDnsSupport || !read(enableDnsHostnames)`, "InvalidParameterCombination", "DNS support cannot be disabled while DNS hostnames are enabled"),
+						w("enableDnsSupport", "enableDnsSupport"),
+					),
+					iff(`!isnil(enableDnsHostnames)`,
+						ck(`!enableDnsHostnames || read(enableDnsSupport)`, "InvalidParameterCombination", "DNS hostnames cannot be enabled while DNS support is disabled"),
+						w("enableDnsHostnames", "enableDnsHostnames"),
+					),
+				),
+				okRet),
+		},
+	}
+}
+
+func ec2Subnet() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Subnet", IDPrefix: "subnet", Parent: "Vpc",
+		NotFound:   "InvalidSubnetID.NotFound",
+		Dependency: "DependencyViolation",
+		Overview:   "A subnet is a range of IP addresses in a VPC. Instances, network interfaces and NAT gateways launch into subnets; the subnet cannot be deleted while any of them remain.",
+		States: []docs.StateDoc{
+			st("vpcId", "ref(Vpc)", "the containing VPC"),
+			st("cidrBlock", "str", "the IPv4 range of the subnet"),
+			st("availabilityZone", "str", "the availability zone"),
+			st("state", `enum("pending", "available")`, "the lifecycle state"),
+			st("mapPublicIpOnLaunch", "bool", "whether instances launched into this subnet receive a public IP"),
+			st("availableIpAddressCount", "int", "the number of unused addresses (five addresses are reserved)"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateSubnet", "create", "Creates a subnet in the specified VPC. The subnet's range must be a /16 to /28 block contained in the VPC's range and must not overlap another subnet.",
+				ps(
+					par("vpcId", "ref(Vpc)", "the VPC to create the subnet in"),
+					p("cidrBlock", "str", "the IPv4 range, in CIDR notation"),
+					od("availabilityZone", "str", sdef("us-east-1a"), "the availability zone"),
+				),
+				cs(
+					ck(`cidrValid(cidrBlock)`, "InvalidParameterValue", "the CIDR block is not valid"),
+					ck(`prefixLen(cidrBlock) >= 16 && prefixLen(cidrBlock) <= 28`, "InvalidSubnet.Range", "the subnet size must be between a /16 and a /28"),
+					ck(`cidrWithin(cidrBlock, vpcId.cidrBlock)`, "InvalidSubnet.Range", "the range is not inside the VPC's range"),
+					fe("sib", `matching("Subnet", "vpcId", vpcId)`,
+						ck(`!cidrOverlaps(cidrBlock, sib.cidrBlock)`, "InvalidSubnet.Conflict", "the range conflicts with another subnet in the VPC"),
+					),
+					w("vpcId", "vpcId"),
+					w("cidrBlock", "cidrBlock"),
+					w("availabilityZone", "availabilityZone"),
+					w("state", `"available"`),
+					w("mapPublicIpOnLaunch", "false"),
+					w("availableIpAddressCount", "cidrCapacity(cidrBlock) - 5"),
+				),
+				rs(ret("subnetId", "id(self)", "the ID of the created subnet"))),
+			api("DeleteSubnet", "destroy", "Deletes the specified subnet. Instances, network interfaces, NAT gateways and route-table associations must be removed first.",
+				ps(rcv("subnetId", "ref(Subnet)", "the subnet to delete")),
+				cs(
+					fe("rt", `instances("RouteTable")`,
+						ck(`!contains(rt.associatedSubnetIds, self)`, "DependencyViolation", "the subnet is associated with a route table"),
+					),
+				),
+				okRet),
+			api("DescribeSubnets", "describe", "Describes the account's subnets.",
+				nil, nil, rs(ret("subnets", `describeAll("Subnet")`, "the subnets"))),
+			api("ModifySubnetAttribute", "modify", "Modifies the public-IP-on-launch attribute of the subnet.",
+				ps(
+					rcv("subnetId", "ref(Subnet)", "the subnet to modify"),
+					p("mapPublicIpOnLaunch", "bool", "whether launched instances receive a public IP"),
+				),
+				cs(w("mapPublicIpOnLaunch", "mapPublicIpOnLaunch")),
+				okRet),
+		},
+	}
+}
+
+func ec2Instance() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Instance", IDPrefix: "i", Parent: "Subnet",
+		NotFound:   "InvalidInstanceID.NotFound",
+		Dependency: "DependencyViolation",
+		Overview:   "An EC2 instance is a virtual server launched into a subnet. Its tenancy defaults to the VPC's tenancy attribute; burstable instance families carry a credit specification.",
+		States: []docs.StateDoc{
+			st("subnetId", "ref(Subnet)", "the subnet the instance runs in"),
+			st("instanceType", "str", "the instance type"),
+			st("state", `enum("running", "stopped")`, "the instance lifecycle state"),
+			st("instanceTenancy", "str", "the tenancy the instance runs with"),
+			st("creditSpecification", "str", "the CPU credit option for burstable instances"),
+			st("keyName", "str", "the key pair used for login"),
+			st("placementGroupName", "str", "the placement group the instance launched into"),
+		},
+		APIs: []docs.APIDoc{
+			api("RunInstances", "create", "Launches an instance into the specified subnet. When no tenancy is given the instance inherits the VPC's tenancy; credit specifications apply only to burstable families.",
+				ps(
+					par("subnetId", "ref(Subnet)", "the subnet to launch into"),
+					od("instanceType", "str", sdef("m5.large"), "the instance type"),
+					opt("instanceTenancy", "str", "the tenancy; defaults to the VPC's tenancy attribute"),
+					opt("creditSpecification", "str", "standard or unlimited; burstable families only"),
+					opt("keyName", "str", "the name of an existing key pair"),
+					opt("placementGroupName", "str", "the name of an existing placement group"),
+				),
+				cs(
+					ife(`isnil(instanceTenancy)`,
+						[]docs.Clause{w("instanceTenancy", "subnetId.vpcId.instanceTenancy")},
+						[]docs.Clause{
+							ck(tenancyCheck, "InvalidParameterValue", "the tenancy is not valid"),
+							w("instanceTenancy", "instanceTenancy"),
+						}),
+					ife(`!isnil(creditSpecification)`,
+						[]docs.Clause{
+							ck(burstableCheck, "InvalidParameterCombination", "the instance type does not support credit specifications"),
+							ck(`creditSpecification == "standard" || creditSpecification == "unlimited"`, "InvalidParameterValue", "the credit specification is not valid"),
+							w("creditSpecification", "creditSpecification"),
+						},
+						[]docs.Clause{
+							iff(burstableCheck, w("creditSpecification", `"standard"`)),
+						}),
+					iff(`!isnil(keyName)`,
+						ck(`len(matching("KeyPair", "keyName", keyName)) > 0`, "InvalidKeyPair.NotFound", "the key pair does not exist"),
+						w("keyName", "keyName"),
+					),
+					iff(`!isnil(placementGroupName)`,
+						ck(`len(matching("PlacementGroup", "groupName", placementGroupName)) > 0`, "InvalidPlacementGroup.Unknown", "the placement group is unknown"),
+						w("placementGroupName", "placementGroupName"),
+					),
+					w("subnetId", "subnetId"),
+					w("instanceType", "instanceType"),
+					w("state", `"running"`),
+				),
+				rs(ret("instanceId", "id(self)", "the ID of the launched instance"))),
+			api("StartInstances", "modify", "Starts a stopped instance. Starting an instance that is not stopped fails with IncorrectInstanceState.",
+				ps(rcv("instanceId", "ref(Instance)", "the instance to start")),
+				cs(
+					ck(`read(state) == "stopped"`, "IncorrectInstanceState", "the instance is not in a state from which it can be started"),
+					w("state", `"running"`),
+				),
+				okRet),
+			api("StopInstances", "modify", "Stops a running instance. Stopping an instance that is not running fails with IncorrectInstanceState.",
+				ps(rcv("instanceId", "ref(Instance)", "the instance to stop")),
+				cs(
+					ck(`read(state) == "running"`, "IncorrectInstanceState", "the instance is not in a state from which it can be stopped"),
+					w("state", `"stopped"`),
+				),
+				okRet),
+			api("TerminateInstances", "destroy", "Terminates the instance. Attached volumes are detached and become available again.",
+				ps(rcv("instanceId", "ref(Instance)", "the instance to terminate")),
+				cs(
+					fe("v", `matching("Volume", "attachedInstanceId", self)`,
+						xw("v", "attachedInstanceId", "nil"),
+						xw("v", "state", `"available"`),
+					),
+				),
+				okRet),
+			api("DescribeInstances", "describe", "Describes the account's instances.",
+				nil, nil, rs(ret("instances", `describeAll("Instance")`, "the instances"))),
+			api("ModifyInstanceAttribute", "modify", "Modifies the instance type (stopped instances only) or the credit specification of the instance.",
+				ps(
+					rcv("instanceId", "ref(Instance)", "the instance to modify"),
+					opt("instanceType", "str", "the new instance type; the instance must be stopped"),
+					opt("creditSpecification", "str", "standard or unlimited; burstable families only"),
+				),
+				cs(
+					ck(`!isnil(instanceType) || !isnil(creditSpecification)`, "MissingParameter", "the request must contain an attribute to modify"),
+					ife(`!isnil(instanceType)`,
+						[]docs.Clause{
+							ck(`read(state) == "stopped"`, "IncorrectInstanceState", "the instance must be stopped to modify its type"),
+							w("instanceType", "instanceType"),
+							ife(`hasPrefix(instanceType, "t2.") || hasPrefix(instanceType, "t3.") || hasPrefix(instanceType, "t3a.") || hasPrefix(instanceType, "t4g.")`,
+								[]docs.Clause{iff(`isnil(read(creditSpecification))`, w("creditSpecification", `"standard"`))},
+								[]docs.Clause{w("creditSpecification", "nil")}),
+						},
+						[]docs.Clause{
+							ck(`hasPrefix(read(instanceType), "t2.") || hasPrefix(read(instanceType), "t3.") || hasPrefix(read(instanceType), "t3a.") || hasPrefix(read(instanceType), "t4g.")`, "InvalidParameterCombination", "the instance type does not support credit specifications"),
+							ck(`creditSpecification == "standard" || creditSpecification == "unlimited"`, "InvalidParameterValue", "the credit specification is not valid"),
+							w("creditSpecification", "creditSpecification"),
+						}),
+				),
+				okRet),
+		},
+	}
+}
+
+func ec2InternetGateway() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "InternetGateway", IDPrefix: "igw",
+		NotFound: "InvalidInternetGatewayID.NotFound",
+		Overview: "An internet gateway connects a VPC to the internet. A gateway attaches to at most one VPC and a VPC accepts at most one gateway; an attached gateway cannot be deleted.",
+		States: []docs.StateDoc{
+			st("attachedVpcId", "ref(Vpc)", "the VPC the gateway is attached to"),
+			st("state", "str", "the lifecycle state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateInternetGateway", "create", "Creates an internet gateway.",
+				nil,
+				cs(w("state", `"available"`)),
+				rs(ret("internetGatewayId", "id(self)", "the ID of the created gateway"))),
+			api("AttachInternetGateway", "modify", "Attaches the gateway to a VPC.",
+				ps(
+					rcv("internetGatewayId", "ref(InternetGateway)", "the gateway to attach"),
+					p("vpcId", "ref(Vpc)", "the VPC to attach to"),
+				),
+				cs(
+					ck(`isnil(read(attachedVpcId))`, "Resource.AlreadyAssociated", "the gateway is already attached"),
+					ck(`len(matching("InternetGateway", "attachedVpcId", vpcId)) == 0`, "Resource.AlreadyAssociated", "the VPC already has an attached internet gateway"),
+					w("attachedVpcId", "vpcId"),
+				),
+				okRet),
+			api("DetachInternetGateway", "modify", "Detaches the gateway from the specified VPC.",
+				ps(
+					rcv("internetGatewayId", "ref(InternetGateway)", "the gateway to detach"),
+					p("vpcId", "str", "the VPC the gateway is currently attached to"),
+				),
+				cs(
+					ck(`!isnil(read(attachedVpcId)) && id(read(attachedVpcId)) == vpcId`, "Gateway.NotAttached", "the gateway is not attached to the specified VPC"),
+					w("attachedVpcId", "nil"),
+				),
+				okRet),
+			api("DeleteInternetGateway", "destroy", "Deletes the gateway. It must be detached first.",
+				ps(rcv("internetGatewayId", "ref(InternetGateway)", "the gateway to delete")),
+				cs(ck(`isnil(read(attachedVpcId))`, "DependencyViolation", "the gateway is still attached to a VPC")),
+				okRet),
+			api("DescribeInternetGateways", "describe", "Describes the account's internet gateways.",
+				nil, nil, rs(ret("internetGateways", `describeAll("InternetGateway")`, "the gateways"))),
+		},
+	}
+}
+
+func ec2NatGateway() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "NatGateway", IDPrefix: "nat", Parent: "Subnet",
+		NotFound: "NatGatewayNotFound",
+		Overview: "A NAT gateway enables outbound connectivity for private subnets. It consumes an elastic IP address for the lifetime of the gateway.",
+		States: []docs.StateDoc{
+			st("subnetId", "ref(Subnet)", "the subnet hosting the gateway"),
+			st("state", "str", "the lifecycle state"),
+			st("connectivityType", "str", "public or private connectivity"),
+			st("allocationId", "ref(Address)", "the elastic IP backing the gateway"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateNatGateway", "create", "Creates a NAT gateway in the specified subnet backed by an unassociated elastic IP.",
+				ps(
+					par("subnetId", "ref(Subnet)", "the subnet to host the gateway"),
+					p("allocationId", "ref(Address)", "an unassociated elastic IP allocation"),
+					od("connectivityType", "str", sdef("public"), "public or private"),
+				),
+				cs(
+					ck(`connectivityType == "public" || connectivityType == "private"`, "InvalidParameterValue", "the connectivity type is not valid"),
+					ck(`isnil(allocationId.associatedInstanceId) && isnil(allocationId.associatedNatGatewayId)`, "InvalidIPAddress.InUse", "the address is already associated"),
+					w("subnetId", "subnetId"),
+					w("state", `"available"`),
+					w("connectivityType", "connectivityType"),
+					w("allocationId", "allocationId"),
+					xw("allocationId", "associatedNatGatewayId", "self"),
+				),
+				rs(ret("natGatewayId", "id(self)", "the ID of the created gateway"))),
+			api("DeleteNatGateway", "destroy", "Deletes the NAT gateway and releases its hold on the elastic IP.",
+				ps(rcv("natGatewayId", "ref(NatGateway)", "the gateway to delete")),
+				cs(
+					iff(`!isnil(read(allocationId))`,
+						xw("read(allocationId)", "associatedNatGatewayId", "nil"),
+					),
+				),
+				okRet),
+			api("DescribeNatGateways", "describe", "Describes the account's NAT gateways.",
+				nil, nil, rs(ret("natGateways", `describeAll("NatGateway")`, "the gateways"))),
+		},
+	}
+}
+
+func ec2RouteTable() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "RouteTable", IDPrefix: "rtb", Parent: "Vpc",
+		NotFound:   "InvalidRouteTableID.NotFound",
+		Dependency: "DependencyViolation",
+		Overview:   "A route table contains routes that direct traffic from associated subnets. Tables with routes or subnet associations cannot be deleted.",
+		States: []docs.StateDoc{
+			st("vpcId", "ref(Vpc)", "the containing VPC"),
+			st("associatedSubnetIds", "list(ref(Subnet))", "the subnets associated with this table"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateRouteTable", "create", "Creates a route table in the specified VPC.",
+				ps(par("vpcId", "ref(Vpc)", "the VPC to create the table in")),
+				cs(w("vpcId", "vpcId")),
+				rs(ret("routeTableId", "id(self)", "the ID of the created table"))),
+			api("DeleteRouteTable", "destroy", "Deletes the route table. Its routes and subnet associations must be removed first.",
+				ps(rcv("routeTableId", "ref(RouteTable)", "the table to delete")),
+				cs(ck(`len(read(associatedSubnetIds)) == 0`, "DependencyViolation", "the table still has subnet associations")),
+				okRet),
+			api("DescribeRouteTables", "describe", "Describes the account's route tables.",
+				nil, nil, rs(ret("routeTables", `describeAll("RouteTable")`, "the tables"))),
+			api("AssociateRouteTable", "modify", "Associates the route table with a subnet in the same VPC.",
+				ps(
+					rcv("routeTableId", "ref(RouteTable)", "the table to associate"),
+					p("subnetId", "ref(Subnet)", "the subnet to associate"),
+				),
+				cs(
+					ck(`read(vpcId) == subnetId.vpcId`, "InvalidParameterValue", "the table and subnet belong to different VPCs"),
+					ck(`!contains(read(associatedSubnetIds), subnetId)`, "Resource.AlreadyAssociated", "the subnet is already associated with this table"),
+					w("associatedSubnetIds", "append(read(associatedSubnetIds), subnetId)"),
+				),
+				okRet),
+			api("DisassociateRouteTable", "modify", "Removes the association between the route table and a subnet.",
+				ps(
+					rcv("routeTableId", "ref(RouteTable)", "the table"),
+					p("subnetId", "str", "the associated subnet"),
+				),
+				cs(
+					ck(`contains(read(associatedSubnetIds), lookup("Subnet", subnetId))`, "InvalidAssociationID.NotFound", "the subnet is not associated with this table"),
+					w("associatedSubnetIds", `remove(read(associatedSubnetIds), lookup("Subnet", subnetId))`),
+				),
+				okRet),
+			api("DeleteRoute", "modify", "Deletes the route with the given destination from the table.",
+				ps(
+					rcv("routeTableId", "ref(RouteTable)", "the table"),
+					p("destinationCidrBlock", "str", "the destination of the route to delete"),
+				),
+				cs(
+					ck(`len(filterEq(matching("Route", "routeTableId", self), "destinationCidrBlock", destinationCidrBlock)) > 0`, "InvalidRoute.NotFound", "no route with that destination exists in the table"),
+					fe("r", `filterEq(matching("Route", "routeTableId", self), "destinationCidrBlock", destinationCidrBlock)`,
+						xd("r"),
+					),
+				),
+				okRet),
+			api("ReplaceRoute", "modify", "Replaces the target of an existing route in the table.",
+				ps(
+					rcv("routeTableId", "ref(RouteTable)", "the table"),
+					p("destinationCidrBlock", "str", "the destination of the route to replace"),
+					p("gatewayId", "str", "the new target gateway, or the literal local"),
+				),
+				cs(
+					ck(`gatewayId == "local" || !isnil(lookup("InternetGateway", gatewayId)) || !isnil(lookup("NatGateway", gatewayId))`, "InvalidInternetGatewayID.NotFound", "the target gateway does not exist"),
+					ck(`len(filterEq(matching("Route", "routeTableId", self), "destinationCidrBlock", destinationCidrBlock)) > 0`, "InvalidRoute.NotFound", "no route with that destination exists in the table"),
+					fe("r", `filterEq(matching("Route", "routeTableId", self), "destinationCidrBlock", destinationCidrBlock)`,
+						xw("r", "gatewayId", "gatewayId"),
+					),
+				),
+				okRet),
+		},
+	}
+}
+
+func ec2Route() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Route", IDPrefix: "r", Parent: "RouteTable",
+		NotFound: "InvalidRoute.NotFound",
+		Overview: "A route directs traffic for a destination range to a gateway. Destinations are unique within a route table.",
+		States: []docs.StateDoc{
+			st("routeTableId", "ref(RouteTable)", "the containing route table"),
+			st("destinationCidrBlock", "str", "the destination range"),
+			st("gatewayId", "str", "the target gateway ID, or local"),
+			st("state", "str", "the route state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateRoute", "create", "Creates a route in the specified table. The target must be an existing internet or NAT gateway, or the literal local.",
+				ps(
+					par("routeTableId", "ref(RouteTable)", "the table to add the route to"),
+					p("destinationCidrBlock", "str", "the destination range, in CIDR notation"),
+					p("gatewayId", "str", "the target gateway, or the literal local"),
+				),
+				cs(
+					ck(`cidrValid(destinationCidrBlock)`, "InvalidParameterValue", "the destination CIDR block is not valid"),
+					ck(`gatewayId == "local" || !isnil(lookup("InternetGateway", gatewayId)) || !isnil(lookup("NatGateway", gatewayId))`, "InvalidInternetGatewayID.NotFound", "the target gateway does not exist"),
+					fe("r", `matching("Route", "routeTableId", routeTableId)`,
+						ck(`r.destinationCidrBlock != destinationCidrBlock`, "RouteAlreadyExists", "a route with that destination already exists in the table"),
+					),
+					w("routeTableId", "routeTableId"),
+					w("destinationCidrBlock", "destinationCidrBlock"),
+					w("gatewayId", "gatewayId"),
+					w("state", `"active"`),
+				),
+				rs(ret("routeId", "id(self)", "the ID of the created route"))),
+		},
+	}
+}
+
+func ec2NetworkInterface() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "NetworkInterface", IDPrefix: "eni", Parent: "Subnet",
+		NotFound: "InvalidNetworkInterfaceID.NotFound",
+		Overview: "An elastic network interface is a virtual network card in a subnet. An attached interface cannot be deleted.",
+		States: []docs.StateDoc{
+			st("subnetId", "ref(Subnet)", "the containing subnet"),
+			st("status", `enum("available", "in-use")`, "the attachment status"),
+			st("description", "str", "a free-form description"),
+			st("attachedInstanceId", "ref(Instance)", "the instance the interface is attached to"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateNetworkInterface", "create", "Creates a network interface in the specified subnet.",
+				ps(
+					par("subnetId", "ref(Subnet)", "the subnet"),
+					opt("description", "str", "a description"),
+				),
+				cs(
+					w("subnetId", "subnetId"),
+					w("status", `"available"`),
+					iff(`!isnil(description)`, w("description", "description")),
+				),
+				rs(ret("networkInterfaceId", "id(self)", "the ID of the created interface"))),
+			api("DeleteNetworkInterface", "destroy", "Deletes the network interface. It must be detached first.",
+				ps(rcv("networkInterfaceId", "ref(NetworkInterface)", "the interface to delete")),
+				cs(ck(`isnil(read(attachedInstanceId))`, "InvalidNetworkInterface.InUse", "the interface is currently in use")),
+				okRet),
+			api("DescribeNetworkInterfaces", "describe", "Describes the account's network interfaces.",
+				nil, nil, rs(ret("networkInterfaces", `describeAll("NetworkInterface")`, "the interfaces"))),
+			api("AttachNetworkInterface", "modify", "Attaches the interface to an instance.",
+				ps(
+					rcv("networkInterfaceId", "ref(NetworkInterface)", "the interface"),
+					p("instanceId", "ref(Instance)", "the instance to attach to"),
+				),
+				cs(
+					ck(`isnil(read(attachedInstanceId))`, "InvalidNetworkInterface.InUse", "the interface is already attached"),
+					w("attachedInstanceId", "instanceId"),
+					w("status", `"in-use"`),
+				),
+				okRet),
+			api("DetachNetworkInterface", "modify", "Detaches the interface from its instance.",
+				ps(rcv("networkInterfaceId", "ref(NetworkInterface)", "the interface")),
+				cs(
+					ck(`!isnil(read(attachedInstanceId))`, "InvalidAttachment.NotFound", "the interface is not attached"),
+					w("attachedInstanceId", "nil"),
+					w("status", `"available"`),
+				),
+				okRet),
+		},
+	}
+}

@@ -1,0 +1,801 @@
+package corpus
+
+import (
+	"lce/internal/docs"
+	"lce/internal/spec"
+)
+
+func parseKind(s string) (spec.TransKind, bool) { return spec.ParseTransKind(s) }
+
+func ec2SecurityGroup() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "SecurityGroup", IDPrefix: "sg", Parent: "Vpc",
+		NotFound:   "InvalidGroup.NotFound",
+		Dependency: "DependencyViolation",
+		Overview:   "A security group is a virtual firewall scoped to a VPC. Group names are unique within a VPC; deleting a group revokes its rules.",
+		States: []docs.StateDoc{
+			st("vpcId", "ref(Vpc)", "the containing VPC"),
+			st("groupName", "str", "the group name, unique within the VPC"),
+			st("description", "str", "a description"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateSecurityGroup", "create", "Creates a security group in the specified VPC.",
+				ps(
+					par("vpcId", "ref(Vpc)", "the VPC"),
+					p("groupName", "str", "the group name"),
+					p("description", "str", "a description"),
+				),
+				cs(
+					ck(`len(filterEq(matching("SecurityGroup", "vpcId", vpcId), "groupName", groupName)) == 0`, "InvalidGroup.Duplicate", "a group with that name already exists in the VPC"),
+					w("vpcId", "vpcId"),
+					w("groupName", "groupName"),
+					w("description", "description"),
+				),
+				rs(ret("groupId", "id(self)", "the ID of the created group"))),
+			api("DeleteSecurityGroup", "destroy", "Deletes the security group and revokes its rules. Groups referenced by instances cannot be deleted.",
+				ps(rcv("groupId", "ref(SecurityGroup)", "the group to delete")),
+				cs(
+					ck(`len(matching("Instance", "securityGroupId", self)) == 0`, "DependencyViolation", "the group is in use by an instance"),
+					fe("r", `matching("SecurityGroupRule", "groupId", self)`, xd("r")),
+				),
+				okRet),
+			api("DescribeSecurityGroups", "describe", "Describes the account's security groups.",
+				nil, nil, rs(ret("securityGroups", `describeAll("SecurityGroup")`, "the groups"))),
+		},
+	}
+}
+
+func sgAuthorize(name, direction string) docs.APIDoc {
+	return api(name, "create", "Adds an "+direction+" rule to the specified security group. Duplicate rules are rejected.",
+		ps(
+			p("groupId", "ref(SecurityGroup)", "the group to authorize"),
+			od("ipProtocol", "str", sdef("tcp"), "tcp, udp, icmp or -1"),
+			od("fromPort", "int", cint(0), "the start of the port range"),
+			opt("toPort", "int", "the end of the port range; defaults to fromPort"),
+			p("cidrIpv4", "str", "the IPv4 range the rule applies to"),
+		),
+		cs(
+			w("groupId", "groupId"),
+			w("direction", `"`+direction+`"`),
+			w("ipProtocol", "ipProtocol"),
+			w("fromPort", "fromPort"),
+			ife("isnil(toPort)",
+				[]docs.Clause{w("toPort", "fromPort")},
+				[]docs.Clause{w("toPort", "toPort")}),
+			w("cidrIpv4", "cidrIpv4"),
+			ck(`ipProtocol == "tcp" || ipProtocol == "udp" || ipProtocol == "icmp" || ipProtocol == "-1"`, "InvalidParameterValue", "the protocol is not valid"),
+			ck(`fromPort >= -1 && fromPort <= 65535 && read(toPort) <= 65535 && read(toPort) >= fromPort`, "InvalidParameterValue", "the port range is not valid"),
+			ck(`cidrValid(cidrIpv4)`, "InvalidParameterValue", "the CIDR block is not valid"),
+			ck(`len(filterEq(filterEq(filterEq(filterEq(filterEq(matching("SecurityGroupRule", "groupId", groupId), "direction", "`+direction+`"), "ipProtocol", ipProtocol), "fromPort", fromPort), "toPort", read(toPort)), "cidrIpv4", cidrIpv4)) <= 1`, "InvalidPermission.Duplicate", "the specified rule already exists in the group"),
+		),
+		rs(ret("securityGroupRuleId", "id(self)", "the ID of the created rule")))
+}
+
+func ec2SecurityGroupRule() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "SecurityGroupRule", IDPrefix: "sgr",
+		NotFound: "InvalidSecurityGroupRuleId.NotFound",
+		Overview: "A security group rule permits traffic in one direction for a protocol, port range and IPv4 range.",
+		States: []docs.StateDoc{
+			st("groupId", "ref(SecurityGroup)", "the owning group"),
+			st("direction", `enum("ingress", "egress")`, "the traffic direction"),
+			st("ipProtocol", "str", "the protocol"),
+			st("fromPort", "int", "the start of the port range"),
+			st("toPort", "int", "the end of the port range"),
+			st("cidrIpv4", "str", "the IPv4 range"),
+		},
+		APIs: []docs.APIDoc{
+			sgAuthorize("AuthorizeSecurityGroupIngress", "ingress"),
+			sgAuthorize("AuthorizeSecurityGroupEgress", "egress"),
+			api("RevokeSecurityGroupRule", "destroy", "Revokes (deletes) the specified rule.",
+				ps(rcv("securityGroupRuleId", "ref(SecurityGroupRule)", "the rule to revoke")),
+				nil, okRet),
+			api("DescribeSecurityGroupRules", "describe", "Describes the account's security group rules.",
+				nil, nil, rs(ret("securityGroupRules", `describeAll("SecurityGroupRule")`, "the rules"))),
+		},
+	}
+}
+
+func ec2Address() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Address", IDPrefix: "eipalloc",
+		NotFound: "InvalidAllocationID.NotFound",
+		Overview: "An elastic IP address allocation. An associated address cannot be released.",
+		States: []docs.StateDoc{
+			st("domain", "str", "the address domain"),
+			st("associatedInstanceId", "ref(Instance)", "the instance the address is associated with"),
+			st("associatedNatGatewayId", "ref(NatGateway)", "the NAT gateway consuming the address"),
+		},
+		APIs: []docs.APIDoc{
+			api("AllocateAddress", "create", "Allocates an elastic IP address for use in a VPC.",
+				nil,
+				cs(w("domain", `"vpc"`)),
+				rs(ret("allocationId", "id(self)", "the allocation ID"))),
+			api("ReleaseAddress", "destroy", "Releases the address. It must not be associated.",
+				ps(rcv("allocationId", "ref(Address)", "the allocation to release")),
+				cs(ck(`isnil(read(associatedInstanceId)) && isnil(read(associatedNatGatewayId))`, "InvalidIPAddress.InUse", "the address is currently associated")),
+				okRet),
+			api("AssociateAddress", "modify", "Associates the address with an instance.",
+				ps(
+					rcv("allocationId", "ref(Address)", "the allocation"),
+					p("instanceId", "ref(Instance)", "the instance to associate"),
+				),
+				cs(
+					ck(`isnil(read(associatedInstanceId))`, "InvalidIPAddress.InUse", "the address is already associated"),
+					w("associatedInstanceId", "instanceId"),
+				),
+				okRet),
+			api("DisassociateAddress", "modify", "Removes the address's association.",
+				ps(rcv("allocationId", "ref(Address)", "the allocation")),
+				cs(
+					ck(`!isnil(read(associatedInstanceId))`, "InvalidAssociationID.NotFound", "the address is not associated"),
+					w("associatedInstanceId", "nil"),
+				),
+				okRet),
+			api("DescribeAddresses", "describe", "Describes the account's elastic IP addresses.",
+				nil, nil, rs(ret("addresses", `describeAll("Address")`, "the addresses"))),
+		},
+	}
+}
+
+func ec2KeyPair() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "KeyPair", IDPrefix: "key",
+		NotFound: "InvalidKeyPair.NotFound",
+		Overview: "A key pair holds the public key used for instance login. Key names are unique; deletion by name is idempotent.",
+		States: []docs.StateDoc{
+			st("keyName", "str", "the key name"),
+			st("keyFingerprint", "str", "the public key fingerprint"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateKeyPair", "create", "Creates a key pair with the given name.",
+				ps(p("keyName", "str", "the key name")),
+				cs(
+					ck(`len(matching("KeyPair", "keyName", keyName)) == 0`, "InvalidKeyPair.Duplicate", "a key pair with that name already exists"),
+					w("keyName", "keyName"),
+					w("keyFingerprint", `concat("00:", keyName)`),
+				),
+				rs(ret("keyPairId", "id(self)", "the ID of the created key pair"))),
+			api("DeleteKeyPair", "modify", "Deletes the key pair with the given name. Deleting a missing key succeeds.",
+				ps(p("keyName", "str", "the key name")),
+				cs(fe("k", `matching("KeyPair", "keyName", keyName)`, xd("k"))),
+				okRet),
+			api("DescribeKeyPairs", "describe", "Describes the account's key pairs.",
+				nil, nil, rs(ret("keyPairs", `describeAll("KeyPair")`, "the key pairs"))),
+		},
+	}
+}
+
+func ec2Volume() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Volume", IDPrefix: "vol",
+		NotFound: "InvalidVolume.NotFound",
+		Overview: "An EBS volume provides block storage in one availability zone. Attached volumes cannot be deleted and volumes may only grow.",
+		States: []docs.StateDoc{
+			st("size", "int", "the volume size in GiB"),
+			st("availabilityZone", "str", "the availability zone"),
+			st("volumeType", "str", "the volume type"),
+			st("state", `enum("available", "in-use")`, "the attachment state"),
+			st("attachedInstanceId", "ref(Instance)", "the instance the volume is attached to"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateVolume", "create", "Creates a volume of 1 to 16384 GiB in an availability zone.",
+				ps(
+					p("size", "int", "the size in GiB"),
+					p("availabilityZone", "str", "the availability zone"),
+					od("volumeType", "str", sdef("gp3"), "the volume type"),
+				),
+				cs(
+					ck(`size >= 1 && size <= 16384`, "InvalidParameterValue", "the size is out of range"),
+					ck(`volumeType == "gp2" || volumeType == "gp3" || volumeType == "io1" || volumeType == "io2" || volumeType == "st1" || volumeType == "sc1" || volumeType == "standard"`, "InvalidParameterValue", "the volume type is not valid"),
+					w("size", "size"),
+					w("availabilityZone", "availabilityZone"),
+					w("volumeType", "volumeType"),
+					w("state", `"available"`),
+				),
+				rs(ret("volumeId", "id(self)", "the ID of the created volume"))),
+			api("DeleteVolume", "destroy", "Deletes the volume. It must be detached first.",
+				ps(rcv("volumeId", "ref(Volume)", "the volume to delete")),
+				cs(ck(`isnil(read(attachedInstanceId))`, "VolumeInUse", "the volume is currently attached")),
+				okRet),
+			api("AttachVolume", "modify", "Attaches the volume to an instance in the same availability zone.",
+				ps(
+					rcv("volumeId", "ref(Volume)", "the volume"),
+					p("instanceId", "ref(Instance)", "the instance to attach to"),
+				),
+				cs(
+					ck(`read(state) == "available"`, "IncorrectState", "the volume is not available"),
+					ck(`instanceId.subnetId.availabilityZone == read(availabilityZone)`, "InvalidVolume.ZoneMismatch", "the volume and instance are in different availability zones"),
+					w("attachedInstanceId", "instanceId"),
+					w("state", `"in-use"`),
+				),
+				okRet),
+			api("DetachVolume", "modify", "Detaches the volume from its instance.",
+				ps(rcv("volumeId", "ref(Volume)", "the volume")),
+				cs(
+					ck(`!isnil(read(attachedInstanceId))`, "InvalidAttachment.NotFound", "the volume is not attached"),
+					w("attachedInstanceId", "nil"),
+					w("state", `"available"`),
+				),
+				okRet),
+			api("ModifyVolume", "modify", "Grows the volume. Shrinking is not supported.",
+				ps(
+					rcv("volumeId", "ref(Volume)", "the volume"),
+					p("size", "int", "the new size in GiB"),
+				),
+				cs(
+					ck(`size >= read(size)`, "InvalidParameterValue", "the size can only be increased"),
+					ck(`size <= 16384`, "InvalidParameterValue", "the size is out of range"),
+					w("size", "size"),
+				),
+				okRet),
+			api("DescribeVolumes", "describe", "Describes the account's volumes.",
+				nil, nil, rs(ret("volumes", `describeAll("Volume")`, "the volumes"))),
+		},
+	}
+}
+
+func ec2Snapshot() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Snapshot", IDPrefix: "snap",
+		NotFound: "InvalidSnapshot.NotFound",
+		Overview: "A point-in-time snapshot of a volume. Snapshots backing images cannot be deleted.",
+		States: []docs.StateDoc{
+			st("volumeId", "ref(Volume)", "the source volume"),
+			st("volumeSize", "int", "the source volume's size in GiB"),
+			st("state", "str", "the snapshot state"),
+			st("sourceSnapshotId", "ref(Snapshot)", "the snapshot this one was copied from"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateSnapshot", "create", "Creates a snapshot of the specified volume.",
+				ps(p("volumeId", "ref(Volume)", "the volume to snapshot")),
+				cs(
+					w("volumeId", "volumeId"),
+					w("volumeSize", "volumeId.size"),
+					w("state", `"completed"`),
+				),
+				rs(ret("snapshotId", "id(self)", "the ID of the created snapshot"))),
+			api("DeleteSnapshot", "destroy", "Deletes the snapshot unless an image depends on it.",
+				ps(rcv("snapshotId", "ref(Snapshot)", "the snapshot to delete")),
+				cs(ck(`len(matching("Image", "sourceSnapshotId", self)) == 0`, "InvalidSnapshot.InUse", "the snapshot is in use by an image")),
+				okRet),
+			api("CopySnapshot", "create", "Copies an existing snapshot.",
+				ps(p("snapshotId", "ref(Snapshot)", "the snapshot to copy")),
+				cs(
+					w("volumeId", "snapshotId.volumeId"),
+					w("volumeSize", "snapshotId.volumeSize"),
+					w("state", `"completed"`),
+					w("sourceSnapshotId", "snapshotId"),
+				),
+				rs(ret("snapshotId", "id(self)", "the ID of the copy"))),
+			api("DescribeSnapshots", "describe", "Describes the account's snapshots.",
+				nil, nil, rs(ret("snapshots", `describeAll("Snapshot")`, "the snapshots"))),
+		},
+	}
+}
+
+func ec2Image() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Image", IDPrefix: "ami",
+		NotFound: "InvalidAMIID.NotFound",
+		Overview: "An Amazon machine image captured from an instance.",
+		States: []docs.StateDoc{
+			st("name", "str", "the image name"),
+			st("sourceInstanceId", "ref(Instance)", "the instance the image was created from"),
+			st("state", "str", "the image state"),
+			st("sourceSnapshotId", "ref(Snapshot)", "reserved"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateImage", "create", "Creates an image from the specified instance.",
+				ps(
+					p("instanceId", "ref(Instance)", "the source instance"),
+					p("name", "str", "the image name"),
+				),
+				cs(
+					w("name", "name"),
+					w("sourceInstanceId", "instanceId"),
+					w("state", `"available"`),
+				),
+				rs(ret("imageId", "id(self)", "the ID of the created image"))),
+			api("DeregisterImage", "destroy", "Deregisters the image.",
+				ps(rcv("imageId", "ref(Image)", "the image to deregister")),
+				nil, okRet),
+			api("DescribeImages", "describe", "Describes the account's images.",
+				nil, nil, rs(ret("images", `describeAll("Image")`, "the images"))),
+		},
+	}
+}
+
+func ec2LaunchTemplate() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "LaunchTemplate", IDPrefix: "lt",
+		NotFound: "InvalidLaunchTemplateId.NotFound",
+		Overview: "A launch template captures instance launch parameters. Template names are unique.",
+		States: []docs.StateDoc{
+			st("launchTemplateName", "str", "the template name"),
+			st("instanceType", "str", "the default instance type"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateLaunchTemplate", "create", "Creates a launch template.",
+				ps(
+					p("launchTemplateName", "str", "the template name"),
+					od("instanceType", "str", sdef("m5.large"), "the default instance type"),
+				),
+				cs(
+					ck(`len(matching("LaunchTemplate", "launchTemplateName", launchTemplateName)) == 0`, "InvalidLaunchTemplateName.AlreadyExistsException", "a template with that name already exists"),
+					w("launchTemplateName", "launchTemplateName"),
+					w("instanceType", "instanceType"),
+				),
+				rs(ret("launchTemplateId", "id(self)", "the ID of the created template"))),
+			api("DeleteLaunchTemplate", "destroy", "Deletes the launch template.",
+				ps(rcv("launchTemplateId", "ref(LaunchTemplate)", "the template to delete")),
+				nil, okRet),
+			api("DescribeLaunchTemplates", "describe", "Describes the account's launch templates.",
+				nil, nil, rs(ret("launchTemplates", `describeAll("LaunchTemplate")`, "the templates"))),
+		},
+	}
+}
+
+func ec2VpcEndpoint() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "VpcEndpoint", IDPrefix: "vpce", Parent: "Vpc",
+		NotFound: "InvalidVpcEndpointId.NotFound",
+		Overview: "A VPC endpoint provides private connectivity to a supported service.",
+		States: []docs.StateDoc{
+			st("vpcId", "ref(Vpc)", "the containing VPC"),
+			st("serviceName", "str", "the service the endpoint targets"),
+			st("vpcEndpointType", "str", "Gateway or Interface"),
+			st("state", "str", "the endpoint state"),
+			st("policyDocument", "str", "the access policy document"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateVpcEndpoint", "create", "Creates an endpoint to the named service in the specified VPC.",
+				ps(
+					par("vpcId", "ref(Vpc)", "the VPC"),
+					p("serviceName", "str", "the service name"),
+					od("vpcEndpointType", "str", sdef("Gateway"), "Gateway or Interface"),
+				),
+				cs(
+					ck(`vpcEndpointType == "Gateway" || vpcEndpointType == "Interface"`, "InvalidParameterValue", "the endpoint type is not valid"),
+					w("vpcId", "vpcId"),
+					w("serviceName", "serviceName"),
+					w("vpcEndpointType", "vpcEndpointType"),
+					w("state", `"available"`),
+				),
+				rs(ret("vpcEndpointId", "id(self)", "the ID of the created endpoint"))),
+			api("DeleteVpcEndpoint", "destroy", "Deletes the endpoint.",
+				ps(rcv("vpcEndpointId", "ref(VpcEndpoint)", "the endpoint to delete")),
+				nil, okRet),
+			api("ModifyVpcEndpoint", "modify", "Replaces the endpoint's access policy document.",
+				ps(
+					rcv("vpcEndpointId", "ref(VpcEndpoint)", "the endpoint"),
+					p("policyDocument", "str", "the new policy document"),
+				),
+				cs(w("policyDocument", "policyDocument")),
+				okRet),
+			api("DescribeVpcEndpoints", "describe", "Describes the account's VPC endpoints.",
+				nil, nil, rs(ret("vpcEndpoints", `describeAll("VpcEndpoint")`, "the endpoints"))),
+		},
+	}
+}
+
+func ec2VpcPeering() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "VpcPeeringConnection", IDPrefix: "pcx",
+		NotFound: "InvalidVpcPeeringConnectionID.NotFound",
+		Overview: "A peering connection joins two VPCs. It starts pending acceptance and may be accepted or rejected exactly once.",
+		States: []docs.StateDoc{
+			st("requesterVpcId", "ref(Vpc)", "the requesting VPC"),
+			st("accepterVpcId", "ref(Vpc)", "the accepting VPC"),
+			st("status", `enum("pending-acceptance", "active", "rejected")`, "the connection status"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateVpcPeeringConnection", "create", "Requests a peering connection between two distinct VPCs.",
+				ps(
+					p("vpcId", "ref(Vpc)", "the requesting VPC"),
+					p("peerVpcId", "ref(Vpc)", "the accepting VPC"),
+				),
+				cs(
+					ck(`vpcId != peerVpcId`, "InvalidParameterValue", "a VPC cannot be peered with itself"),
+					w("requesterVpcId", "vpcId"),
+					w("accepterVpcId", "peerVpcId"),
+					w("status", `"pending-acceptance"`),
+				),
+				rs(ret("vpcPeeringConnectionId", "id(self)", "the ID of the created connection"))),
+			api("AcceptVpcPeeringConnection", "modify", "Accepts a pending peering connection.",
+				ps(rcv("vpcPeeringConnectionId", "ref(VpcPeeringConnection)", "the connection")),
+				cs(
+					ck(`read(status) == "pending-acceptance"`, "InvalidStateTransition", "the connection is not pending acceptance"),
+					w("status", `"active"`),
+				),
+				okRet),
+			api("RejectVpcPeeringConnection", "modify", "Rejects a pending peering connection.",
+				ps(rcv("vpcPeeringConnectionId", "ref(VpcPeeringConnection)", "the connection")),
+				cs(
+					ck(`read(status) == "pending-acceptance"`, "InvalidStateTransition", "the connection is not pending acceptance"),
+					w("status", `"rejected"`),
+				),
+				okRet),
+			api("DeleteVpcPeeringConnection", "destroy", "Deletes the peering connection.",
+				ps(rcv("vpcPeeringConnectionId", "ref(VpcPeeringConnection)", "the connection")),
+				nil, okRet),
+			api("DescribeVpcPeeringConnections", "describe", "Describes the account's peering connections.",
+				nil, nil, rs(ret("vpcPeeringConnections", `describeAll("VpcPeeringConnection")`, "the connections"))),
+		},
+	}
+}
+
+func ec2DhcpOptions() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "DhcpOptions", IDPrefix: "dopt",
+		NotFound: "InvalidDhcpOptionsID.NotFound",
+		Overview: "A DHCP options set configures the domain settings VPCs hand to their instances. Associated sets cannot be deleted.",
+		States: []docs.StateDoc{
+			st("domainName", "str", "the domain name handed to instances"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateDhcpOptions", "create", "Creates a DHCP options set.",
+				ps(p("domainName", "str", "the domain name")),
+				cs(w("domainName", "domainName")),
+				rs(ret("dhcpOptionsId", "id(self)", "the ID of the created set"))),
+			api("DeleteDhcpOptions", "destroy", "Deletes the set unless a VPC is associated with it.",
+				ps(rcv("dhcpOptionsId", "ref(DhcpOptions)", "the set to delete")),
+				cs(ck(`len(matching("Vpc", "dhcpOptionsId", self)) == 0`, "DependencyViolation", "the set is associated with a VPC")),
+				okRet),
+			api("AssociateDhcpOptions", "modify", "Associates the set with a VPC.",
+				ps(
+					rcv("dhcpOptionsId", "ref(DhcpOptions)", "the set"),
+					p("vpcId", "ref(Vpc)", "the VPC to associate"),
+				),
+				cs(xw("vpcId", "dhcpOptionsId", "self")),
+				okRet),
+			api("DescribeDhcpOptions", "describe", "Describes the account's DHCP options sets.",
+				nil, nil, rs(ret("dhcpOptions", `describeAll("DhcpOptions")`, "the sets"))),
+		},
+	}
+}
+
+func ec2NetworkAcl() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "NetworkAcl", IDPrefix: "acl", Parent: "Vpc",
+		NotFound: "InvalidNetworkAclID.NotFound",
+		Overview: "A network ACL filters traffic at the subnet boundary. Deleting an ACL removes its entries.",
+		States: []docs.StateDoc{
+			st("vpcId", "ref(Vpc)", "the containing VPC"),
+			st("isDefault", "bool", "whether this is the VPC's default ACL"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateNetworkAcl", "create", "Creates a network ACL in the specified VPC.",
+				ps(par("vpcId", "ref(Vpc)", "the VPC")),
+				cs(
+					w("vpcId", "vpcId"),
+					w("isDefault", "false"),
+				),
+				rs(ret("networkAclId", "id(self)", "the ID of the created ACL"))),
+			api("DeleteNetworkAcl", "destroy", "Deletes the ACL and its entries.",
+				ps(rcv("networkAclId", "ref(NetworkAcl)", "the ACL to delete")),
+				cs(fe("e", `matching("NetworkAclEntry", "networkAclId", self)`, xd("e"))),
+				okRet),
+			api("DescribeNetworkAcls", "describe", "Describes the account's network ACLs.",
+				nil, nil, rs(ret("networkAcls", `describeAll("NetworkAcl")`, "the ACLs"))),
+			api("DeleteNetworkAclEntry", "modify", "Deletes the entry with the given rule number and direction.",
+				ps(
+					rcv("networkAclId", "ref(NetworkAcl)", "the ACL"),
+					p("ruleNumber", "int", "the rule number"),
+					od("egress", "bool", bdef(false), "whether the entry is an egress rule"),
+				),
+				cs(
+					ck(`len(filterEq(filterEq(matching("NetworkAclEntry", "networkAclId", self), "ruleNumber", ruleNumber), "egress", egress)) > 0`, "InvalidNetworkAclEntry.NotFound", "no entry with that rule number exists"),
+					fe("e", `filterEq(filterEq(matching("NetworkAclEntry", "networkAclId", self), "ruleNumber", ruleNumber), "egress", egress)`, xd("e")),
+				),
+				okRet),
+			api("ReplaceNetworkAclEntry", "modify", "Replaces the action (and optionally the range) of an existing entry.",
+				ps(
+					rcv("networkAclId", "ref(NetworkAcl)", "the ACL"),
+					p("ruleNumber", "int", "the rule number"),
+					od("egress", "bool", bdef(false), "whether the entry is an egress rule"),
+					od("ruleAction", "str", sdef("allow"), "allow or deny"),
+					opt("cidrBlock", "str", "a new range for the entry"),
+				),
+				cs(
+					ck(`len(filterEq(filterEq(matching("NetworkAclEntry", "networkAclId", self), "ruleNumber", ruleNumber), "egress", egress)) > 0`, "InvalidNetworkAclEntry.NotFound", "no entry with that rule number exists"),
+					ck(`ruleAction == "allow" || ruleAction == "deny"`, "InvalidParameterValue", "the rule action is not valid"),
+					fe("e", `filterEq(filterEq(matching("NetworkAclEntry", "networkAclId", self), "ruleNumber", ruleNumber), "egress", egress)`,
+						xw("e", "ruleAction", "ruleAction"),
+						iff(`!isnil(cidrBlock)`,
+							ck(`cidrValid(cidrBlock)`, "InvalidParameterValue", "the CIDR block is not valid"),
+							xw("e", "cidrBlock", "cidrBlock"),
+						),
+					),
+				),
+				okRet),
+		},
+	}
+}
+
+func ec2NetworkAclEntry() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "NetworkAclEntry", IDPrefix: "acle",
+		NotFound: "InvalidNetworkAclEntry.NotFound",
+		Overview: "An entry in a network ACL: a numbered allow or deny rule for one direction. Rule numbers are unique per ACL and direction.",
+		States: []docs.StateDoc{
+			st("networkAclId", "ref(NetworkAcl)", "the containing ACL"),
+			st("ruleNumber", "int", "the rule number, 1 to 32766"),
+			st("egress", "bool", "whether the rule applies to egress traffic"),
+			st("ruleAction", `enum("allow", "deny")`, "the action"),
+			st("cidrBlock", "str", "the range the rule applies to"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateNetworkAclEntry", "create", "Adds a numbered entry to the specified ACL.",
+				ps(
+					p("networkAclId", "ref(NetworkAcl)", "the ACL"),
+					p("ruleNumber", "int", "the rule number, 1 to 32766"),
+					p("cidrBlock", "str", "the range the rule applies to"),
+					od("egress", "bool", bdef(false), "whether the rule applies to egress traffic"),
+					od("ruleAction", "str", sdef("allow"), "allow or deny"),
+				),
+				cs(
+					ck(`ruleNumber >= 1 && ruleNumber <= 32766`, "InvalidParameterValue", "the rule number is out of range"),
+					ck(`len(filterEq(filterEq(matching("NetworkAclEntry", "networkAclId", networkAclId), "ruleNumber", ruleNumber), "egress", egress)) == 0`, "NetworkAclEntryAlreadyExists", "an entry with that rule number already exists"),
+					ck(`ruleAction == "allow" || ruleAction == "deny"`, "InvalidParameterValue", "the rule action is not valid"),
+					ck(`cidrValid(cidrBlock)`, "InvalidParameterValue", "the CIDR block is not valid"),
+					w("networkAclId", "networkAclId"),
+					w("ruleNumber", "ruleNumber"),
+					w("egress", "egress"),
+					w("ruleAction", "ruleAction"),
+					w("cidrBlock", "cidrBlock"),
+				),
+				rs(ret("networkAclEntryId", "id(self)", "the ID of the created entry"))),
+		},
+	}
+}
+
+func ec2CustomerGateway() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "CustomerGateway", IDPrefix: "cgw",
+		NotFound: "InvalidCustomerGatewayID.NotFound",
+		Overview: "A customer gateway represents the on-premises side of a VPN connection.",
+		States: []docs.StateDoc{
+			st("bgpAsn", "int", "the gateway's BGP autonomous system number"),
+			st("ipAddress", "str", "the gateway's public address"),
+			st("type", "str", "the VPN type"),
+			st("state", "str", "the lifecycle state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateCustomerGateway", "create", "Registers a customer gateway.",
+				ps(
+					p("bgpAsn", "int", "the BGP ASN, 1 to 4294967294"),
+					p("ipAddress", "str", "the public address"),
+				),
+				cs(
+					ck(`bgpAsn >= 1 && bgpAsn <= 4294967294`, "InvalidParameterValue", "the BGP ASN is out of range"),
+					w("bgpAsn", "bgpAsn"),
+					w("ipAddress", "ipAddress"),
+					w("type", `"ipsec.1"`),
+					w("state", `"available"`),
+				),
+				rs(ret("customerGatewayId", "id(self)", "the ID of the created gateway"))),
+			api("DeleteCustomerGateway", "destroy", "Deletes the gateway unless a VPN connection uses it.",
+				ps(rcv("customerGatewayId", "ref(CustomerGateway)", "the gateway to delete")),
+				cs(ck(`len(matching("VpnConnection", "customerGatewayId", self)) == 0`, "IncorrectState", "the gateway is in use by a VPN connection")),
+				okRet),
+			api("DescribeCustomerGateways", "describe", "Describes the account's customer gateways.",
+				nil, nil, rs(ret("customerGateways", `describeAll("CustomerGateway")`, "the gateways"))),
+		},
+	}
+}
+
+func ec2VpnGateway() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "VpnGateway", IDPrefix: "vgw",
+		NotFound: "InvalidVpnGatewayID.NotFound",
+		Overview: "A virtual private gateway terminates VPN connections on the VPC side. It attaches to at most one VPC.",
+		States: []docs.StateDoc{
+			st("type", "str", "the VPN type"),
+			st("state", "str", "the lifecycle state"),
+			st("attachedVpcId", "ref(Vpc)", "the VPC the gateway is attached to"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateVpnGateway", "create", "Creates a virtual private gateway.",
+				nil,
+				cs(
+					w("type", `"ipsec.1"`),
+					w("state", `"available"`),
+				),
+				rs(ret("vpnGatewayId", "id(self)", "the ID of the created gateway"))),
+			api("DeleteVpnGateway", "destroy", "Deletes the gateway. It must be detached and unused.",
+				ps(rcv("vpnGatewayId", "ref(VpnGateway)", "the gateway to delete")),
+				cs(
+					ck(`isnil(read(attachedVpcId))`, "IncorrectState", "the gateway is still attached to a VPC"),
+					ck(`len(matching("VpnConnection", "vpnGatewayId", self)) == 0`, "IncorrectState", "the gateway is in use by a VPN connection"),
+				),
+				okRet),
+			api("AttachVpnGateway", "modify", "Attaches the gateway to a VPC.",
+				ps(
+					rcv("vpnGatewayId", "ref(VpnGateway)", "the gateway"),
+					p("vpcId", "ref(Vpc)", "the VPC to attach to"),
+				),
+				cs(
+					ck(`isnil(read(attachedVpcId))`, "VpnGatewayAttachmentLimitExceeded", "the gateway is already attached"),
+					w("attachedVpcId", "vpcId"),
+				),
+				okRet),
+			api("DetachVpnGateway", "modify", "Detaches the gateway from the specified VPC.",
+				ps(
+					rcv("vpnGatewayId", "ref(VpnGateway)", "the gateway"),
+					p("vpcId", "str", "the VPC the gateway is attached to"),
+				),
+				cs(
+					ck(`!isnil(read(attachedVpcId)) && id(read(attachedVpcId)) == vpcId`, "Gateway.NotAttached", "the gateway is not attached to the specified VPC"),
+					w("attachedVpcId", "nil"),
+				),
+				okRet),
+			api("DescribeVpnGateways", "describe", "Describes the account's virtual private gateways.",
+				nil, nil, rs(ret("vpnGateways", `describeAll("VpnGateway")`, "the gateways"))),
+		},
+	}
+}
+
+func ec2VpnConnection() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "VpnConnection", IDPrefix: "vpn",
+		NotFound: "InvalidVpnConnectionID.NotFound",
+		Overview: "A VPN connection joins a customer gateway to a virtual private gateway.",
+		States: []docs.StateDoc{
+			st("customerGatewayId", "ref(CustomerGateway)", "the customer gateway"),
+			st("vpnGatewayId", "ref(VpnGateway)", "the virtual private gateway"),
+			st("type", "str", "the VPN type"),
+			st("state", "str", "the lifecycle state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateVpnConnection", "create", "Creates a VPN connection between a customer gateway and a virtual private gateway.",
+				ps(
+					p("customerGatewayId", "ref(CustomerGateway)", "the customer gateway"),
+					p("vpnGatewayId", "ref(VpnGateway)", "the virtual private gateway"),
+				),
+				cs(
+					w("customerGatewayId", "customerGatewayId"),
+					w("vpnGatewayId", "vpnGatewayId"),
+					w("type", `"ipsec.1"`),
+					w("state", `"available"`),
+				),
+				rs(ret("vpnConnectionId", "id(self)", "the ID of the created connection"))),
+			api("DeleteVpnConnection", "destroy", "Deletes the VPN connection.",
+				ps(rcv("vpnConnectionId", "ref(VpnConnection)", "the connection to delete")),
+				nil, okRet),
+			api("DescribeVpnConnections", "describe", "Describes the account's VPN connections.",
+				nil, nil, rs(ret("vpnConnections", `describeAll("VpnConnection")`, "the connections"))),
+		},
+	}
+}
+
+func ec2TransitGateway() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "TransitGateway", IDPrefix: "tgw",
+		NotFound:   "InvalidTransitGatewayID.NotFound",
+		Dependency: "IncorrectState",
+		Overview:   "A transit gateway interconnects VPCs. Gateways with attachments cannot be deleted.",
+		States: []docs.StateDoc{
+			st("description", "str", "a description"),
+			st("state", "str", "the lifecycle state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateTransitGateway", "create", "Creates a transit gateway.",
+				ps(opt("description", "str", "a description")),
+				cs(
+					w("state", `"available"`),
+					iff(`!isnil(description)`, w("description", "description")),
+				),
+				rs(ret("transitGatewayId", "id(self)", "the ID of the created gateway"))),
+			api("DeleteTransitGateway", "destroy", "Deletes the transit gateway. Its attachments must be deleted first.",
+				ps(rcv("transitGatewayId", "ref(TransitGateway)", "the gateway to delete")),
+				nil, okRet),
+			api("DescribeTransitGateways", "describe", "Describes the account's transit gateways.",
+				nil, nil, rs(ret("transitGateways", `describeAll("TransitGateway")`, "the gateways"))),
+		},
+	}
+}
+
+func ec2TransitGatewayAttachment() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "TransitGatewayAttachment", IDPrefix: "tgw-attach", Parent: "TransitGateway",
+		NotFound: "InvalidTransitGatewayAttachmentID.NotFound",
+		Overview: "An attachment joins a VPC to a transit gateway. Each VPC attaches to a gateway at most once.",
+		States: []docs.StateDoc{
+			st("transitGatewayId", "ref(TransitGateway)", "the transit gateway"),
+			st("vpcId", "ref(Vpc)", "the attached VPC"),
+			st("state", "str", "the lifecycle state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateTransitGatewayVpcAttachment", "create", "Attaches a VPC to the specified transit gateway.",
+				ps(
+					par("transitGatewayId", "ref(TransitGateway)", "the transit gateway"),
+					p("vpcId", "ref(Vpc)", "the VPC to attach"),
+				),
+				cs(
+					ck(`len(filterEq(matching("TransitGatewayAttachment", "transitGatewayId", transitGatewayId), "vpcId", vpcId)) == 0`, "DuplicateTransitGatewayAttachment", "the VPC is already attached to this gateway"),
+					w("transitGatewayId", "transitGatewayId"),
+					w("vpcId", "vpcId"),
+					w("state", `"available"`),
+				),
+				rs(ret("transitGatewayAttachmentId", "id(self)", "the ID of the created attachment"))),
+			api("DeleteTransitGatewayVpcAttachment", "destroy", "Deletes the attachment.",
+				ps(rcv("transitGatewayAttachmentId", "ref(TransitGatewayAttachment)", "the attachment to delete")),
+				nil, okRet),
+			api("DescribeTransitGatewayAttachments", "describe", "Describes the account's transit gateway attachments.",
+				nil, nil, rs(ret("transitGatewayAttachments", `describeAll("TransitGatewayAttachment")`, "the attachments"))),
+		},
+	}
+}
+
+func ec2PlacementGroup() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "PlacementGroup", IDPrefix: "pg",
+		NotFound: "InvalidPlacementGroup.Unknown",
+		Overview: "A placement group influences instance placement. Names are unique; groups in use by instances cannot be deleted.",
+		States: []docs.StateDoc{
+			st("groupName", "str", "the group name"),
+			st("strategy", `enum("cluster", "spread", "partition")`, "the placement strategy"),
+			st("state", "str", "the lifecycle state"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreatePlacementGroup", "create", "Creates a placement group with the given strategy.",
+				ps(
+					p("groupName", "str", "the group name"),
+					od("strategy", "str", sdef("cluster"), "cluster, spread or partition"),
+				),
+				cs(
+					ck(`len(matching("PlacementGroup", "groupName", groupName)) == 0`, "InvalidPlacementGroup.Duplicate", "a group with that name already exists"),
+					ck(`strategy == "cluster" || strategy == "spread" || strategy == "partition"`, "InvalidParameterValue", "the strategy is not valid"),
+					w("groupName", "groupName"),
+					w("strategy", "strategy"),
+					w("state", `"available"`),
+				),
+				rs(ret("placementGroupId", "id(self)", "the ID of the created group"))),
+			api("DeletePlacementGroup", "modify", "Deletes the named placement group. It must not be in use.",
+				ps(p("groupName", "str", "the group name")),
+				cs(
+					ck(`len(matching("PlacementGroup", "groupName", groupName)) > 0`, "InvalidPlacementGroup.Unknown", "the placement group is unknown"),
+					ck(`len(matching("Instance", "placementGroupName", groupName)) == 0`, "InvalidPlacementGroup.InUse", "the placement group is in use"),
+					fe("g", `matching("PlacementGroup", "groupName", groupName)`, xd("g")),
+				),
+				okRet),
+			api("DescribePlacementGroups", "describe", "Describes the account's placement groups.",
+				nil, nil, rs(ret("placementGroups", `describeAll("PlacementGroup")`, "the groups"))),
+		},
+	}
+}
+
+func ec2FlowLog() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "FlowLog", IDPrefix: "fl",
+		NotFound: "InvalidFlowLogId.NotFound",
+		Overview: "A flow log records traffic metadata for a VPC or subnet.",
+		States: []docs.StateDoc{
+			st("resourceId", "str", "the monitored VPC or subnet"),
+			st("trafficType", "str", "ACCEPT, REJECT or ALL"),
+			st("logDestination", "str", "where log records are delivered"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateFlowLogs", "create", "Creates a flow log on a VPC or subnet.",
+				ps(
+					p("resourceId", "str", "the VPC or subnet to monitor"),
+					p("logDestination", "str", "the delivery destination"),
+					od("trafficType", "str", sdef("ALL"), "ACCEPT, REJECT or ALL"),
+				),
+				cs(
+					ck(`!isnil(lookup("Vpc", resourceId)) || !isnil(lookup("Subnet", resourceId))`, "InvalidParameterValue", "the target is not a VPC or subnet"),
+					ck(`trafficType == "ACCEPT" || trafficType == "REJECT" || trafficType == "ALL"`, "InvalidParameterValue", "the traffic type is not valid"),
+					w("resourceId", "resourceId"),
+					w("trafficType", "trafficType"),
+					w("logDestination", "logDestination"),
+				),
+				rs(ret("flowLogId", "id(self)", "the ID of the created flow log"))),
+			api("DeleteFlowLogs", "destroy", "Deletes the flow log.",
+				ps(rcv("flowLogId", "ref(FlowLog)", "the flow log to delete")),
+				nil, okRet),
+			api("DescribeFlowLogs", "describe", "Describes the account's flow logs.",
+				nil, nil, rs(ret("flowLogs", `describeAll("FlowLog")`, "the flow logs"))),
+		},
+	}
+}

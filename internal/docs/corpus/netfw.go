@@ -1,0 +1,476 @@
+package corpus
+
+import "lce/internal/docs"
+
+// NetworkFirewall returns the authored documentation for the Network
+// Firewall oracle: 8 resources, 45 API actions — the service the paper
+// uses to demonstrate the coverage gap against manual emulators.
+func NetworkFirewall() *docs.ServiceDoc {
+	return &docs.ServiceDoc{
+		Service:  "network-firewall",
+		Provider: "aws",
+		Overview: "AWS Network Firewall is a managed firewall service for VPCs: firewalls reference a firewall policy, policies reference rule groups, and optional TLS inspection, logging, resource sharing and traffic analysis complete the surface.",
+		Resources: []*docs.ResourceDoc{
+			nfwFirewall(), nfwPolicy(), nfwRuleGroup(), nfwTLS(),
+			nfwLogging(), nfwResourcePolicy(), nfwVpcEndpointAssociation(),
+			nfwAnalysisReport(),
+		},
+	}
+}
+
+func nfwFirewall() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "Firewall", IDPrefix: "fw",
+		NotFound: "ResourceNotFoundException",
+		Overview: "A firewall applies a firewall policy to traffic in a VPC. Delete protection blocks deletion; change protections freeze policy and subnet associations.",
+		States: []docs.StateDoc{
+			st("firewallName", "str", "the firewall name, unique per account"),
+			st("firewallPolicyId", "ref(FirewallPolicy)", "the associated policy"),
+			st("vpcId", "str", "the VPC the firewall protects (an external reference)"),
+			st("subnetIds", "list(str)", "the subnets with firewall endpoints"),
+			st("deleteProtection", "bool", "whether deletion is blocked"),
+			st("firewallPolicyChangeProtection", "bool", "whether policy changes are blocked"),
+			st("subnetChangeProtection", "bool", "whether subnet changes are blocked"),
+			st("status", "str", "the firewall status"),
+			st("description", "str", "a description"),
+			st("encryptionType", "str", "the at-rest encryption configuration"),
+			st("tags", "map", "the firewall's tags"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateFirewall", "create", "Creates a firewall bound to a firewall policy in a VPC.",
+				ps(
+					p("firewallName", "str", "the firewall name"),
+					p("firewallPolicyId", "ref(FirewallPolicy)", "the policy to associate"),
+					p("vpcId", "str", "the VPC to protect"),
+					opt("subnetIds", "list(str)", "the subnets to place endpoints in"),
+					od("deleteProtection", "bool", bdef(false), "whether to enable delete protection"),
+				),
+				cs(
+					ck(`len(matching("Firewall", "firewallName", firewallName)) == 0`, "InvalidRequestException", "a firewall with that name already exists"),
+					w("firewallName", "firewallName"),
+					w("firewallPolicyId", "firewallPolicyId"),
+					w("vpcId", "vpcId"),
+					ife("isnil(subnetIds)",
+						[]docs.Clause{w("subnetIds", "emptyList()")},
+						[]docs.Clause{w("subnetIds", "subnetIds")}),
+					w("deleteProtection", "deleteProtection"),
+					w("firewallPolicyChangeProtection", "false"),
+					w("subnetChangeProtection", "false"),
+					w("status", `"READY"`),
+					w("tags", "emptyMap()"),
+				),
+				rs(ret("firewallId", "id(self)", "the ID of the created firewall"))),
+			api("DeleteFirewall", "destroy", "Deletes the firewall. Delete protection and VPC endpoint associations block deletion.",
+				ps(rcv("firewallId", "ref(Firewall)", "the firewall to delete")),
+				cs(
+					ck(`!read(deleteProtection)`, "InvalidOperationException", "the firewall has delete protection enabled"),
+					ck(`len(matching("VpcEndpointAssociation", "firewallId", self)) == 0`, "InvalidOperationException", "the firewall has VPC endpoint associations"),
+				),
+				okRet),
+			api("DescribeFirewall", "describe", "Describes the specified firewall.",
+				ps(rcv("firewallId", "ref(Firewall)", "the firewall")),
+				nil,
+				rs(ret("firewall", "describe(self)", "the firewall"))),
+			api("ListFirewalls", "describe", "Lists the account's firewalls.",
+				nil, nil, rs(ret("firewalls", `describeAll("Firewall")`, "the firewalls"))),
+			api("AssociateFirewallPolicy", "modify", "Associates a different policy with the firewall.",
+				ps(
+					rcv("firewallId", "ref(Firewall)", "the firewall"),
+					p("firewallPolicyId", "ref(FirewallPolicy)", "the policy to associate"),
+				),
+				cs(
+					ck(`!read(firewallPolicyChangeProtection)`, "InvalidOperationException", "the firewall has policy change protection enabled"),
+					w("firewallPolicyId", "firewallPolicyId"),
+				),
+				okRet),
+			api("AssociateSubnets", "modify", "Adds a subnet endpoint to the firewall.",
+				ps(
+					rcv("firewallId", "ref(Firewall)", "the firewall"),
+					p("subnetId", "str", "the subnet to add"),
+				),
+				cs(
+					ck(`!read(subnetChangeProtection)`, "InvalidOperationException", "the firewall has subnet change protection enabled"),
+					ck(`!contains(read(subnetIds), subnetId)`, "InvalidRequestException", "the subnet is already associated with the firewall"),
+					w("subnetIds", "append(read(subnetIds), subnetId)"),
+				),
+				okRet),
+			api("DisassociateSubnets", "modify", "Removes a subnet endpoint from the firewall.",
+				ps(
+					rcv("firewallId", "ref(Firewall)", "the firewall"),
+					p("subnetId", "str", "the subnet to remove"),
+				),
+				cs(
+					ck(`!read(subnetChangeProtection)`, "InvalidOperationException", "the firewall has subnet change protection enabled"),
+					ck(`contains(read(subnetIds), subnetId)`, "InvalidRequestException", "the subnet is not associated with the firewall"),
+					w("subnetIds", "remove(read(subnetIds), subnetId)"),
+				),
+				okRet),
+			nfwToggle("UpdateFirewallDeleteProtection", "deleteProtection", "delete protection"),
+			nfwToggle("UpdateFirewallPolicyChangeProtection", "firewallPolicyChangeProtection", "policy change protection"),
+			nfwToggle("UpdateSubnetChangeProtection", "subnetChangeProtection", "subnet change protection"),
+			api("UpdateFirewallDescription", "modify", "Replaces the firewall's description.",
+				ps(
+					rcv("firewallId", "ref(Firewall)", "the firewall"),
+					p("description", "str", "the new description"),
+				),
+				cs(w("description", "description")),
+				okRet),
+			api("UpdateFirewallEncryptionConfiguration", "modify", "Sets the firewall's at-rest encryption configuration.",
+				ps(
+					rcv("firewallId", "ref(Firewall)", "the firewall"),
+					od("encryptionType", "str", sdef("AWS_OWNED_KMS_KEY"), "AWS_OWNED_KMS_KEY or CUSTOMER_KMS"),
+				),
+				cs(
+					ck(`encryptionType == "AWS_OWNED_KMS_KEY" || encryptionType == "CUSTOMER_KMS"`, "InvalidRequestException", "the encryption type is not valid"),
+					w("encryptionType", "encryptionType"),
+				),
+				okRet),
+			api("TagResource", "modify", "Adds or replaces a tag on the firewall.",
+				ps(
+					rcv("firewallId", "ref(Firewall)", "the firewall"),
+					p("tagKey", "str", "the tag key"),
+					od("tagValue", "str", sdef(""), "the tag value"),
+				),
+				cs(w("tags", "mapSet(read(tags), tagKey, tagValue)")),
+				okRet),
+			api("UntagResource", "modify", "Removes a tag from the firewall.",
+				ps(
+					rcv("firewallId", "ref(Firewall)", "the firewall"),
+					p("tagKey", "str", "the tag key to remove"),
+				),
+				cs(w("tags", "mapDel(read(tags), tagKey)")),
+				okRet),
+			api("ListTagsForResource", "describe", "Lists the firewall's tags.",
+				ps(rcv("firewallId", "ref(Firewall)", "the firewall")),
+				nil,
+				rs(ret("tags", "read(tags)", "the firewall's tags"))),
+		},
+	}
+}
+
+func nfwToggle(name, state, what string) docs.APIDoc {
+	return api(name, "modify", "Enables or disables "+what+" on the firewall.",
+		ps(
+			rcv("firewallId", "ref(Firewall)", "the firewall"),
+			p("enabled", "bool", "the new setting"),
+		),
+		cs(w(state, "enabled")),
+		okRet)
+}
+
+func nfwPolicy() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "FirewallPolicy", IDPrefix: "fwp",
+		NotFound: "ResourceNotFoundException",
+		Overview: "A firewall policy defines traffic behaviour and references rule groups. Policies in use by firewalls cannot be deleted.",
+		States: []docs.StateDoc{
+			st("firewallPolicyName", "str", "the policy name, unique per account"),
+			st("statelessDefaultAction", "str", "the default action for stateless traffic"),
+			st("ruleGroupIds", "list(ref(RuleGroup))", "the referenced rule groups"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateFirewallPolicy", "create", "Creates a firewall policy.",
+				ps(
+					p("firewallPolicyName", "str", "the policy name"),
+					od("statelessDefaultAction", "str", sdef("aws:forward_to_sfe"), "the default stateless action"),
+				),
+				cs(
+					ck(`len(matching("FirewallPolicy", "firewallPolicyName", firewallPolicyName)) == 0`, "InvalidRequestException", "a policy with that name already exists"),
+					w("firewallPolicyName", "firewallPolicyName"),
+					w("statelessDefaultAction", "statelessDefaultAction"),
+					w("ruleGroupIds", "emptyList()"),
+				),
+				rs(ret("firewallPolicyId", "id(self)", "the ID of the created policy"))),
+			api("DeleteFirewallPolicy", "destroy", "Deletes the policy. It must not be referenced by any firewall.",
+				ps(rcv("firewallPolicyId", "ref(FirewallPolicy)", "the policy to delete")),
+				cs(ck(`len(matching("Firewall", "firewallPolicyId", self)) == 0`, "InvalidOperationException", "the policy is in use by a firewall")),
+				okRet),
+			api("DescribeFirewallPolicy", "describe", "Describes the specified policy.",
+				ps(rcv("firewallPolicyId", "ref(FirewallPolicy)", "the policy")),
+				nil,
+				rs(ret("firewallPolicy", "describe(self)", "the policy"))),
+			api("ListFirewallPolicies", "describe", "Lists the account's firewall policies.",
+				nil, nil, rs(ret("firewallPolicies", `describeAll("FirewallPolicy")`, "the policies"))),
+			api("UpdateFirewallPolicy", "modify", "Adds a rule group reference to the policy.",
+				ps(
+					rcv("firewallPolicyId", "ref(FirewallPolicy)", "the policy"),
+					p("ruleGroupId", "ref(RuleGroup)", "the rule group to reference"),
+				),
+				cs(
+					ck(`!contains(read(ruleGroupIds), ruleGroupId)`, "InvalidRequestException", "the rule group is already referenced by the policy"),
+					w("ruleGroupIds", "append(read(ruleGroupIds), ruleGroupId)"),
+				),
+				okRet),
+		},
+	}
+}
+
+func nfwRuleGroup() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "RuleGroup", IDPrefix: "rg",
+		NotFound: "ResourceNotFoundException",
+		Overview: "A rule group holds stateful or stateless rules within a fixed capacity. Groups referenced by policies cannot be deleted.",
+		States: []docs.StateDoc{
+			st("ruleGroupName", "str", "the group name, unique per account"),
+			st("type", `enum("STATEFUL", "STATELESS")`, "the rule group type"),
+			st("capacity", "int", "the capacity units reserved for the group"),
+			st("ruleCount", "int", "the number of rules currently in the group"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateRuleGroup", "create", "Creates a rule group with a fixed capacity of 1 to 30000 units.",
+				ps(
+					p("ruleGroupName", "str", "the group name"),
+					od("type", "str", sdef("STATEFUL"), "STATEFUL or STATELESS"),
+					od("capacity", "int", cint(100), "the capacity units"),
+				),
+				cs(
+					ck(`len(matching("RuleGroup", "ruleGroupName", ruleGroupName)) == 0`, "InvalidRequestException", "a rule group with that name already exists"),
+					ck(`type == "STATEFUL" || type == "STATELESS"`, "InvalidRequestException", "the rule group type is not valid"),
+					ck(`capacity >= 1 && capacity <= 30000`, "InvalidRequestException", "the capacity is out of range"),
+					w("ruleGroupName", "ruleGroupName"),
+					w("type", "type"),
+					w("capacity", "capacity"),
+					w("ruleCount", "0"),
+				),
+				rs(ret("ruleGroupId", "id(self)", "the ID of the created group"))),
+			api("DeleteRuleGroup", "destroy", "Deletes the rule group. It must not be referenced by any policy.",
+				ps(rcv("ruleGroupId", "ref(RuleGroup)", "the group to delete")),
+				cs(
+					fe("fp", `instances("FirewallPolicy")`,
+						ck(`!contains(fp.ruleGroupIds, self)`, "InvalidOperationException", "the rule group is referenced by a firewall policy"),
+					),
+				),
+				okRet),
+			api("DescribeRuleGroup", "describe", "Describes the specified rule group.",
+				ps(rcv("ruleGroupId", "ref(RuleGroup)", "the group")),
+				nil,
+				rs(ret("ruleGroup", "describe(self)", "the group"))),
+			api("DescribeRuleGroupMetadata", "describe", "Returns the name, type and capacity of the rule group.",
+				ps(rcv("ruleGroupId", "ref(RuleGroup)", "the group")),
+				nil,
+				rs(
+					ret("ruleGroupName", "read(ruleGroupName)", "the name"),
+					ret("type", "read(type)", "the type"),
+					ret("capacity", "read(capacity)", "the capacity"),
+				)),
+			api("ListRuleGroups", "describe", "Lists the account's rule groups.",
+				nil, nil, rs(ret("ruleGroups", `describeAll("RuleGroup")`, "the groups"))),
+			api("UpdateRuleGroup", "modify", "Replaces the group's rules; the rule count must fit the capacity.",
+				ps(
+					rcv("ruleGroupId", "ref(RuleGroup)", "the group"),
+					p("ruleCount", "int", "the new number of rules"),
+				),
+				cs(
+					ck(`ruleCount >= 0 && ruleCount <= read(capacity)`, "InsufficientCapacityException", "the rule count exceeds the group's capacity"),
+					w("ruleCount", "ruleCount"),
+				),
+				okRet),
+		},
+	}
+}
+
+func nfwTLS() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "TLSInspectionConfiguration", IDPrefix: "tls",
+		NotFound: "ResourceNotFoundException",
+		Overview: "A TLS inspection configuration decrypts traffic using a certificate authority. Configurations in use by firewalls cannot be deleted.",
+		States: []docs.StateDoc{
+			st("tlsInspectionConfigurationName", "str", "the configuration name, unique per account"),
+			st("certificateAuthorityArn", "str", "the CA used for re-encryption"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateTLSInspectionConfiguration", "create", "Creates a TLS inspection configuration.",
+				ps(
+					p("tlsInspectionConfigurationName", "str", "the configuration name"),
+					od("certificateAuthorityArn", "str", sdef(""), "the certificate authority ARN"),
+				),
+				cs(
+					ck(`len(matching("TLSInspectionConfiguration", "tlsInspectionConfigurationName", tlsInspectionConfigurationName)) == 0`, "InvalidRequestException", "a configuration with that name already exists"),
+					w("tlsInspectionConfigurationName", "tlsInspectionConfigurationName"),
+					w("certificateAuthorityArn", "certificateAuthorityArn"),
+				),
+				rs(ret("tlsInspectionConfigurationId", "id(self)", "the ID of the created configuration"))),
+			api("DeleteTLSInspectionConfiguration", "destroy", "Deletes the configuration. It must not be in use by any firewall.",
+				ps(rcv("tlsInspectionConfigurationId", "ref(TLSInspectionConfiguration)", "the configuration to delete")),
+				cs(ck(`len(matching("Firewall", "tlsInspectionConfigurationId", self)) == 0`, "InvalidOperationException", "the configuration is in use by a firewall")),
+				okRet),
+			api("DescribeTLSInspectionConfiguration", "describe", "Describes the specified configuration.",
+				ps(rcv("tlsInspectionConfigurationId", "ref(TLSInspectionConfiguration)", "the configuration")),
+				nil,
+				rs(ret("tlsInspectionConfiguration", "describe(self)", "the configuration"))),
+			api("ListTLSInspectionConfigurations", "describe", "Lists the account's TLS inspection configurations.",
+				nil, nil, rs(ret("tlsInspectionConfigurations", `describeAll("TLSInspectionConfiguration")`, "the configurations"))),
+			api("UpdateTLSInspectionConfiguration", "modify", "Replaces the configuration's certificate authority.",
+				ps(
+					rcv("tlsInspectionConfigurationId", "ref(TLSInspectionConfiguration)", "the configuration"),
+					p("certificateAuthorityArn", "str", "the new certificate authority ARN"),
+				),
+				cs(w("certificateAuthorityArn", "certificateAuthorityArn")),
+				okRet),
+		},
+	}
+}
+
+func nfwLogging() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "LoggingConfiguration", IDPrefix: "logcfg",
+		NotFound: "ResourceNotFoundException",
+		Overview: "A logging configuration delivers a firewall's flow, alert or TLS logs to a destination. Each firewall has at most one; replacing it requires deleting the old one first.",
+		States: []docs.StateDoc{
+			st("firewallId", "ref(Firewall)", "the firewall being logged"),
+			st("logType", `enum("FLOW", "ALERT", "TLS")`, "the log type"),
+			st("logDestination", "str", "the delivery destination"),
+		},
+		APIs: []docs.APIDoc{
+			api("UpdateLoggingConfiguration", "create", "Installs a logging configuration on a firewall that has none.",
+				ps(
+					p("firewallId", "ref(Firewall)", "the firewall to log"),
+					od("logType", "str", sdef("FLOW"), "FLOW, ALERT or TLS"),
+					p("logDestination", "str", "the delivery destination"),
+				),
+				cs(
+					ck(`len(matching("LoggingConfiguration", "firewallId", firewallId)) == 0`, "InvalidRequestException", "the firewall already has a logging configuration"),
+					ck(`logType == "FLOW" || logType == "ALERT" || logType == "TLS"`, "InvalidRequestException", "the log type is not valid"),
+					w("firewallId", "firewallId"),
+					w("logType", "logType"),
+					w("logDestination", "logDestination"),
+				),
+				rs(ret("loggingConfigurationId", "id(self)", "the ID of the created configuration"))),
+			api("DeleteLoggingConfiguration", "modify", "Removes the firewall's logging configuration.",
+				ps(p("firewallId", "ref(Firewall)", "the firewall")),
+				cs(
+					ck(`len(matching("LoggingConfiguration", "firewallId", firewallId)) > 0`, "ResourceNotFoundException", "the firewall has no logging configuration"),
+					fe("lc", `matching("LoggingConfiguration", "firewallId", firewallId)`, xd("lc")),
+				),
+				okRet),
+			api("DescribeLoggingConfiguration", "describe", "Describes the firewall's logging configuration, if any. The response is empty when none is installed.",
+				ps(p("firewallId", "ref(Firewall)", "the firewall")),
+				cs(
+					iff(`len(matching("LoggingConfiguration", "firewallId", firewallId)) > 0`,
+						docs.RetC("loggingConfiguration", `describe(first(matching("LoggingConfiguration", "firewallId", firewallId)))`),
+					),
+				),
+				nil),
+		},
+	}
+}
+
+func nfwResourcePolicy() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "ResourcePolicy", IDPrefix: "rpol",
+		NotFound: "ResourceNotFoundException",
+		Overview: "A resource policy shares a rule group or firewall policy with other accounts. Each shareable resource carries at most one policy.",
+		States: []docs.StateDoc{
+			st("resourceId", "str", "the shared rule group or firewall policy"),
+			st("policy", "str", "the policy document"),
+		},
+		APIs: []docs.APIDoc{
+			api("PutResourcePolicy", "create", "Attaches a sharing policy to a rule group or firewall policy that has none.",
+				ps(
+					p("resourceId", "str", "the resource to share"),
+					p("policy", "str", "the policy document"),
+				),
+				cs(
+					ck(`!isnil(lookup("RuleGroup", resourceId)) || !isnil(lookup("FirewallPolicy", resourceId))`, "ResourceNotFoundException", "the resource is not shareable or does not exist"),
+					ck(`len(matching("ResourcePolicy", "resourceId", resourceId)) == 0`, "InvalidRequestException", "the resource already has a policy"),
+					w("resourceId", "resourceId"),
+					w("policy", "policy"),
+				),
+				rs(ret("resourcePolicyId", "id(self)", "the ID of the created policy"))),
+			api("DeleteResourcePolicy", "modify", "Removes the sharing policy from a resource.",
+				ps(p("resourceId", "str", "the shared resource")),
+				cs(
+					ck(`len(matching("ResourcePolicy", "resourceId", resourceId)) > 0`, "ResourceNotFoundException", "the resource has no policy"),
+					fe("rp", `matching("ResourcePolicy", "resourceId", resourceId)`, xd("rp")),
+				),
+				okRet),
+			api("DescribeResourcePolicy", "describe", "Returns the sharing policy of a resource.",
+				ps(p("resourceId", "str", "the shared resource")),
+				cs(ck(`len(matching("ResourcePolicy", "resourceId", resourceId)) > 0`, "ResourceNotFoundException", "the resource has no policy")),
+				rs(ret("policy", `first(matching("ResourcePolicy", "resourceId", resourceId)).policy`, "the policy document"))),
+		},
+	}
+}
+
+func nfwVpcEndpointAssociation() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "VpcEndpointAssociation", IDPrefix: "fwva",
+		NotFound: "ResourceNotFoundException",
+		Overview: "A VPC endpoint association extends a firewall's endpoints into another VPC. Associations block firewall deletion.",
+		States: []docs.StateDoc{
+			st("firewallId", "ref(Firewall)", "the firewall"),
+			st("vpcId", "str", "the associated VPC"),
+			st("subnetId", "str", "the subnet hosting the endpoint"),
+			st("status", "str", "the association status"),
+		},
+		APIs: []docs.APIDoc{
+			api("CreateVpcEndpointAssociation", "create", "Creates a VPC endpoint association for the firewall.",
+				ps(
+					p("firewallId", "ref(Firewall)", "the firewall"),
+					p("vpcId", "str", "the VPC"),
+					p("subnetId", "str", "the subnet"),
+				),
+				cs(
+					w("firewallId", "firewallId"),
+					w("vpcId", "vpcId"),
+					w("subnetId", "subnetId"),
+					w("status", `"READY"`),
+				),
+				rs(ret("vpcEndpointAssociationId", "id(self)", "the ID of the created association"))),
+			api("DeleteVpcEndpointAssociation", "destroy", "Deletes the association.",
+				ps(rcv("vpcEndpointAssociationId", "ref(VpcEndpointAssociation)", "the association to delete")),
+				nil, okRet),
+			api("DescribeVpcEndpointAssociation", "describe", "Describes the specified association.",
+				ps(rcv("vpcEndpointAssociationId", "ref(VpcEndpointAssociation)", "the association")),
+				nil,
+				rs(ret("vpcEndpointAssociation", "describe(self)", "the association"))),
+			api("ListVpcEndpointAssociations", "describe", "Lists the account's associations.",
+				nil, nil, rs(ret("vpcEndpointAssociations", `describeAll("VpcEndpointAssociation")`, "the associations"))),
+		},
+	}
+}
+
+func nfwAnalysisReport() *docs.ResourceDoc {
+	return &docs.ResourceDoc{
+		Name: "AnalysisReport", IDPrefix: "arep",
+		NotFound: "ResourceNotFoundException",
+		Overview: "An analysis report captures traffic analytics for a firewall; flow captures are recorded the same way.",
+		States: []docs.StateDoc{
+			st("firewallId", "ref(Firewall)", "the analysed firewall"),
+			st("analysisType", "str", "TLS_SNI, HTTP_HOST or FLOW_CAPTURE"),
+			st("status", "str", "the report status"),
+		},
+		APIs: []docs.APIDoc{
+			api("StartAnalysisReport", "create", "Starts an analysis report for the firewall.",
+				ps(
+					p("firewallId", "ref(Firewall)", "the firewall to analyse"),
+					od("analysisType", "str", sdef("TLS_SNI"), "TLS_SNI or HTTP_HOST"),
+				),
+				cs(
+					ck(`analysisType == "TLS_SNI" || analysisType == "HTTP_HOST"`, "InvalidRequestException", "the analysis type is not valid"),
+					w("firewallId", "firewallId"),
+					w("analysisType", "analysisType"),
+					w("status", `"COMPLETED"`),
+				),
+				rs(ret("analysisReportId", "id(self)", "the ID of the started report"))),
+			api("GetAnalysisReportResults", "describe", "Returns the results of a completed report.",
+				ps(rcv("analysisReportId", "ref(AnalysisReport)", "the report")),
+				nil,
+				rs(
+					ret("status", "read(status)", "the report status"),
+					ret("analysisType", "read(analysisType)", "the analysis type"),
+					ret("results", "emptyList()", "the analysed flows (empty in this model)"),
+				)),
+			api("ListAnalysisReports", "describe", "Lists the account's analysis reports.",
+				nil, nil, rs(ret("analysisReports", `describeAll("AnalysisReport")`, "the reports"))),
+			api("StartFlowCapture", "create", "Captures the firewall's current flows into a report.",
+				ps(p("firewallId", "ref(Firewall)", "the firewall")),
+				cs(
+					w("firewallId", "firewallId"),
+					w("analysisType", `"FLOW_CAPTURE"`),
+					w("status", `"COMPLETED"`),
+				),
+				rs(ret("analysisReportId", "id(self)", "the ID of the capture report"))),
+		},
+	}
+}

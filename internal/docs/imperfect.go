@@ -1,0 +1,64 @@
+package docs
+
+import (
+	"math/rand"
+)
+
+// Imperfection models documentation drift (§4.3, §6): providers'
+// documentation "may contain slight errors or does not stay perfectly
+// in sync with the actual cloud behavior". Degrading a corpus with an
+// imperfection model produces specs that no amount of re-reading can
+// fix — only observation of the cloud can, which is what exercises the
+// alignment engine's adopt-cloud-code repair path.
+type Imperfection struct {
+	Seed int64
+	// StaleCode is the probability a documented error code is out of
+	// date (replaced with a plausible-but-wrong legacy code).
+	StaleCode float64
+	// DropClause is the probability a behaviour clause is simply
+	// missing from the documentation (underspecification, §6).
+	DropClause float64
+}
+
+// Degrade returns a deep-copied service doc with imperfections
+// injected deterministically.
+func Degrade(d *ServiceDoc, imp Imperfection) *ServiceDoc {
+	r := rand.New(rand.NewSource(imp.Seed))
+	out := &ServiceDoc{Service: d.Service, Provider: d.Provider, Overview: d.Overview}
+	for _, rd := range d.Resources {
+		nr := &ResourceDoc{
+			Name: rd.Name, IDPrefix: rd.IDPrefix, Parent: rd.Parent,
+			NotFound: rd.NotFound, Dependency: rd.Dependency, Overview: rd.Overview,
+		}
+		nr.States = append(nr.States, rd.States...)
+		for _, a := range rd.APIs {
+			na := APIDoc{Name: a.Name, Kind: a.Kind, Desc: a.Desc}
+			na.Params = append(na.Params, a.Params...)
+			na.Returns = append(na.Returns, a.Returns...)
+			na.Clauses = degradeClauses(a.Clauses, imp, r)
+			nr.APIs = append(nr.APIs, na)
+		}
+		out.Resources = append(out.Resources, nr)
+	}
+	return out
+}
+
+func degradeClauses(cs []Clause, imp Imperfection, r *rand.Rand) []Clause {
+	var out []Clause
+	for _, c := range cs {
+		switch c.Kind {
+		case KCheck:
+			if r.Float64() < imp.DropClause {
+				continue // underspecified: the constraint went undocumented
+			}
+			if r.Float64() < imp.StaleCode {
+				c.Error = "Legacy." + c.Error
+			}
+		case KIf, KForEach:
+			c.Then = degradeClauses(c.Then, imp, r)
+			c.Else = degradeClauses(c.Else, imp, r)
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package docs models cloud documentation: the structured content a
+// provider publishes about its services, the rendering of that content
+// into text pages (AWS-style consolidated manuals and Azure-style
+// scattered web pages), and a configurable imperfection model.
+//
+// The doc content for each oracle service is hand-authored in the
+// corpus subpackage, mirroring how a cloud provider documents the
+// service it implements. The semi-structured rendered text — resource
+// sections, parameter tables, templated behaviour sentences with
+// embedded expression snippets — is what the paper observes about real
+// cloud docs (§4.1) and what makes a symbolic wrangler feasible.
+package docs
+
+import (
+	"lce/internal/cloudapi"
+	"lce/internal/spec"
+)
+
+// ServiceDoc is the structured documentation of one service.
+type ServiceDoc struct {
+	Service   string
+	Provider  string // "aws" (consolidated PDF style) or "azure" (scattered pages)
+	Overview  string
+	Resources []*ResourceDoc
+}
+
+// ResourceDoc documents one resource type.
+type ResourceDoc struct {
+	Name       string
+	IDPrefix   string
+	Parent     string // containing resource type, "" for roots
+	NotFound   string // error code for a missing instance
+	Dependency string // error code when deletion is blocked by children
+	Overview   string
+	States     []StateDoc
+	APIs       []APIDoc
+}
+
+// StateDoc documents one state variable.
+type StateDoc struct {
+	Name string
+	Type spec.Type
+	Desc string
+}
+
+// APIDoc documents one API action.
+type APIDoc struct {
+	Name    string
+	Kind    spec.TransKind
+	Desc    string
+	Params  []ParamDoc
+	Clauses []Clause
+	Returns []ReturnDoc
+}
+
+// ParamDoc documents one request parameter.
+type ParamDoc struct {
+	Name       string
+	Type       spec.Type
+	Optional   bool
+	Default    cloudapi.Value
+	Receiver   bool // addresses the resource the API operates on
+	ParentLink bool // establishes the containment edge on creation
+	Desc       string
+}
+
+// ReturnDoc documents one response attribute; Value is the expression
+// (in spec syntax) that computes it.
+type ReturnDoc struct {
+	Name  string
+	Value string
+	Desc  string
+}
+
+// ClauseKind enumerates behaviour clause shapes.
+type ClauseKind int
+
+// Clause kinds.
+const (
+	// KCheck: the call fails with Error unless Pred holds.
+	KCheck ClauseKind = iota
+	// KWrite: sets state State of the resource to Value.
+	KWrite
+	// KXWrite: sets state State of the resource referenced by Target
+	// to Value (a cross-resource effect; linking lowers it to a call
+	// into a synthesized internal transition).
+	KXWrite
+	// KCall: invokes transition Trans on the resource referenced by
+	// Target with Args.
+	KCall
+	// KIf: conditional group — Then clauses apply when Cond holds,
+	// Else clauses otherwise.
+	KIf
+	// KForEach: iterate Over binding Var, applying Body.
+	KForEach
+	// KXDestroy: destroys the resource referenced by Target (linking
+	// lowers it to a call into a synthesized internal reclaim
+	// transition carrying the framework's destroy semantics).
+	KXDestroy
+	// KRetC: adds response attribute State computed as Value — the
+	// clause form of a response row, usable inside conditionals for
+	// responses that only appear in some situations.
+	KRetC
+)
+
+// Clause is one behaviour sentence. Pred/Value/Target/Cond/Over hold
+// expression source text in spec syntax; this is the semi-structured
+// payload embedded in rendered doc sentences.
+type Clause struct {
+	Kind   ClauseKind
+	Pred   string
+	Error  string
+	Msg    string
+	State  string
+	Value  string
+	Target string
+	Trans  string
+	Args   []string
+	Cond   string
+	Then   []Clause
+	Else   []Clause
+	Var    string
+	Over   string
+}
+
+// Terse constructors: doc corpora are large, so authoring must be
+// dense.
+
+// Check builds a failure clause: fails with code unless pred.
+func Check(pred, code, msg string) Clause {
+	return Clause{Kind: KCheck, Pred: pred, Error: code, Msg: msg}
+}
+
+// W builds a self-write effect clause.
+func W(state, value string) Clause {
+	return Clause{Kind: KWrite, State: state, Value: value}
+}
+
+// XW builds a cross-resource write effect clause.
+func XW(target, state, value string) Clause {
+	return Clause{Kind: KXWrite, Target: target, State: state, Value: value}
+}
+
+// Call builds an invocation clause.
+func Call(target, trans string, args ...string) Clause {
+	return Clause{Kind: KCall, Target: target, Trans: trans, Args: args}
+}
+
+// If builds a conditional clause group.
+func If(cond string, then ...Clause) Clause {
+	return Clause{Kind: KIf, Cond: cond, Then: then}
+}
+
+// IfElse builds a conditional clause group with an else branch.
+func IfElse(cond string, then, els []Clause) Clause {
+	return Clause{Kind: KIf, Cond: cond, Then: then, Else: els}
+}
+
+// ForEach builds an iteration clause group; the body is stored in
+// Then.
+func ForEach(v, over string, body ...Clause) Clause {
+	return Clause{Kind: KForEach, Var: v, Over: over, Then: body}
+}
+
+// RetC builds a conditional-response clause.
+func RetC(name, value string) Clause {
+	return Clause{Kind: KRetC, State: name, Value: value}
+}
+
+// XDel builds a cross-resource destroy clause.
+func XDel(target string) Clause {
+	return Clause{Kind: KXDestroy, Target: target}
+}
+
+// P builds a required parameter doc.
+func P(name, typ, desc string) ParamDoc {
+	return ParamDoc{Name: name, Type: mustType(typ), Desc: desc}
+}
+
+// Opt builds an optional parameter doc.
+func Opt(name, typ, desc string) ParamDoc {
+	return ParamDoc{Name: name, Type: mustType(typ), Optional: true, Desc: desc}
+}
+
+// OptDef builds an optional parameter doc with a default value.
+func OptDef(name, typ string, def cloudapi.Value, desc string) ParamDoc {
+	return ParamDoc{Name: name, Type: mustType(typ), Optional: true, Default: def, Desc: desc}
+}
+
+// Rcv builds the receiver parameter doc.
+func Rcv(name, typ, desc string) ParamDoc {
+	return ParamDoc{Name: name, Type: mustType(typ), Receiver: true, Desc: desc}
+}
+
+// Par builds the parent-link parameter doc.
+func Par(name, typ, desc string) ParamDoc {
+	return ParamDoc{Name: name, Type: mustType(typ), ParentLink: true, Desc: desc}
+}
+
+// St builds a state variable doc.
+func St(name, typ, desc string) StateDoc {
+	return StateDoc{Name: name, Type: mustType(typ), Desc: desc}
+}
+
+// Ret builds a response attribute doc.
+func Ret(name, value, desc string) ReturnDoc {
+	return ReturnDoc{Name: name, Value: value, Desc: desc}
+}
+
+func mustType(src string) spec.Type {
+	t, err := spec.ParseTypeString(src)
+	if err != nil {
+		panic("docs: bad type " + src + ": " + err.Error())
+	}
+	return t
+}
+
+// Resource finds a resource doc by name, or nil.
+func (d *ServiceDoc) Resource(name string) *ResourceDoc {
+	for _, r := range d.Resources {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// API finds an API doc by name across all resources.
+func (d *ServiceDoc) API(name string) (*ResourceDoc, *APIDoc) {
+	for _, r := range d.Resources {
+		for i := range r.APIs {
+			if r.APIs[i].Name == name {
+				return r, &r.APIs[i]
+			}
+		}
+	}
+	return nil, nil
+}
+
+// APICount returns the total number of documented APIs.
+func (d *ServiceDoc) APICount() int {
+	n := 0
+	for _, r := range d.Resources {
+		n += len(r.APIs)
+	}
+	return n
+}

@@ -1,0 +1,299 @@
+package docs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lce/internal/cloudapi"
+	"lce/internal/spec"
+)
+
+// Page is one rendered documentation page.
+type Page struct {
+	Number int
+	Title  string
+	Text   string
+}
+
+// Corpus is the rendered documentation for one service: what the
+// synthesizer is allowed to read. Nothing downstream of the wrangler
+// sees the structured ServiceDoc.
+type Corpus struct {
+	Service  string
+	Provider string
+	Pages    []Page
+}
+
+// Text concatenates all pages (used for token accounting and search).
+func (c Corpus) Text() string {
+	var b strings.Builder
+	for _, p := range c.Pages {
+		b.WriteString(p.Text)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Render renders a service doc into text pages in the provider's
+// house style. AWS-style docs are a consolidated manual: one page per
+// resource, APIs inline (the paper: "clear pagination with marked
+// sections indexed on resource names"). Azure-style docs are
+// scattered: a short overview page per resource plus one page per API
+// ("relevant information is scattered across websites").
+func Render(d *ServiceDoc) Corpus {
+	if d.Provider == "azure" {
+		return renderAzure(d)
+	}
+	return renderAWS(d)
+}
+
+func renderAWS(d *ServiceDoc) Corpus {
+	corpus := Corpus{Service: d.Service, Provider: d.Provider}
+	var front strings.Builder
+	fmt.Fprintf(&front, "# %s API Reference\n\n%s\n\nResources covered:\n", strings.ToUpper(d.Service), d.Overview)
+	for _, r := range d.Resources {
+		fmt.Fprintf(&front, "- %s\n", r.Name)
+	}
+	corpus.Pages = append(corpus.Pages, Page{Number: 1, Title: d.Service + " front matter", Text: front.String()})
+	for i, r := range d.Resources {
+		var b strings.Builder
+		renderResourceHeader(&b, r)
+		for j := range r.APIs {
+			renderAPI(&b, &r.APIs[j])
+		}
+		corpus.Pages = append(corpus.Pages, Page{
+			Number: i + 2,
+			Title:  "Resource " + r.Name,
+			Text:   b.String(),
+		})
+	}
+	return corpus
+}
+
+func renderAzure(d *ServiceDoc) Corpus {
+	corpus := Corpus{Service: d.Service, Provider: d.Provider}
+	n := 1
+	for _, r := range d.Resources {
+		var b strings.Builder
+		renderResourceHeader(&b, r)
+		corpus.Pages = append(corpus.Pages, Page{Number: n, Title: r.Name + " overview", Text: b.String()})
+		n++
+		for j := range r.APIs {
+			var ab strings.Builder
+			// Azure pages repeat which resource the operation belongs
+			// to, since there is no consolidated manual to scroll.
+			fmt.Fprintf(&ab, "# REST operation reference\nApplies to resource: %s\n\n", r.Name)
+			renderAPI(&ab, &r.APIs[j])
+			corpus.Pages = append(corpus.Pages, Page{Number: n, Title: r.APIs[j].Name, Text: ab.String()})
+			n++
+		}
+	}
+	return corpus
+}
+
+func renderResourceHeader(b *strings.Builder, r *ResourceDoc) {
+	fmt.Fprintf(b, "## Resource: %s\n", r.Name)
+	if r.IDPrefix != "" {
+		fmt.Fprintf(b, "ID prefix: %s\n", r.IDPrefix)
+	}
+	if r.Parent != "" {
+		fmt.Fprintf(b, "Contained in: %s\n", r.Parent)
+	}
+	if r.NotFound != "" {
+		fmt.Fprintf(b, "Not-found error code: %s\n", r.NotFound)
+	}
+	if r.Dependency != "" {
+		fmt.Fprintf(b, "Dependency error code: %s\n", r.Dependency)
+	}
+	if r.Overview != "" {
+		fmt.Fprintf(b, "\n%s\n", r.Overview)
+	}
+	if len(r.States) > 0 {
+		b.WriteString("\nStates:\n")
+		for _, sv := range r.States {
+			fmt.Fprintf(b, "- `%s` (`%s`): %s\n", sv.Name, sv.Type, sv.Desc)
+		}
+	}
+	b.WriteString("\n")
+}
+
+func renderAPI(b *strings.Builder, a *APIDoc) {
+	fmt.Fprintf(b, "### API: %s (%s)\n", a.Name, a.Kind)
+	if a.Desc != "" {
+		fmt.Fprintf(b, "%s\n", a.Desc)
+	}
+	if len(a.Params) > 0 {
+		b.WriteString("Parameters:\n")
+		for _, p := range a.Params {
+			fmt.Fprintf(b, "- `%s` (`%s`, %s", p.Name, p.Type, requiredWord(p))
+			if !p.Default.IsNil() {
+				fmt.Fprintf(b, ", default `%s`", litText(p.Default))
+			}
+			if p.Receiver {
+				b.WriteString(", receiver")
+			}
+			if p.ParentLink {
+				b.WriteString(", parent")
+			}
+			fmt.Fprintf(b, "): %s\n", p.Desc)
+		}
+	}
+	if len(a.Clauses) > 0 {
+		b.WriteString("Behavior:\n")
+		renderClauses(b, a.Clauses, 0)
+	}
+	if len(a.Returns) > 0 {
+		b.WriteString("Response:\n")
+		for _, r := range a.Returns {
+			fmt.Fprintf(b, "- `%s`: `%s` -- %s\n", r.Name, r.Value, r.Desc)
+		}
+	}
+	b.WriteString("\n")
+}
+
+func requiredWord(p ParamDoc) string {
+	if p.Optional {
+		return "optional"
+	}
+	return "required"
+}
+
+func renderClauses(b *strings.Builder, cs []Clause, depth int) {
+	pad := strings.Repeat("  ", depth)
+	for _, c := range cs {
+		switch c.Kind {
+		case KCheck:
+			fmt.Fprintf(b, "%s* Constraint: the call fails with error code `%s` unless `%s`.", pad, c.Error, c.Pred)
+			if c.Msg != "" {
+				fmt.Fprintf(b, " -- %s", c.Msg)
+			}
+			b.WriteString("\n")
+		case KWrite:
+			fmt.Fprintf(b, "%s* Effect: sets `%s` to `%s`.\n", pad, c.State, c.Value)
+		case KXWrite:
+			fmt.Fprintf(b, "%s* Effect: sets `%s` of the resource referenced by `%s` to `%s`.\n", pad, c.State, c.Target, c.Value)
+		case KCall:
+			fmt.Fprintf(b, "%s* Effect: invokes `%s` on the resource referenced by `%s` with arguments (", pad, c.Trans, c.Target)
+			for i, a := range c.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(b, "`%s`", a)
+			}
+			b.WriteString(").\n")
+		case KIf:
+			fmt.Fprintf(b, "%s* If `%s`, then:\n", pad, c.Cond)
+			renderClauses(b, c.Then, depth+1)
+			if len(c.Else) > 0 {
+				fmt.Fprintf(b, "%s* Otherwise:\n", pad)
+				renderClauses(b, c.Else, depth+1)
+			}
+		case KForEach:
+			fmt.Fprintf(b, "%s* For each `%s` in `%s`:\n", pad, c.Var, c.Over)
+			renderClauses(b, c.Then, depth+1)
+		case KXDestroy:
+			fmt.Fprintf(b, "%s* Effect: destroys the resource referenced by `%s`.\n", pad, c.Target)
+		case KRetC:
+			fmt.Fprintf(b, "%s* Effect: returns `%s` computed as `%s`.\n", pad, c.State, c.Value)
+		}
+	}
+}
+
+func litText(v cloudapi.Value) string {
+	switch v.Kind() {
+	case cloudapi.KindNil:
+		return "nil"
+	case cloudapi.KindString:
+		return strconv.Quote(v.AsString())
+	case cloudapi.KindInt:
+		return strconv.FormatInt(v.AsInt(), 10)
+	case cloudapi.KindBool:
+		return strconv.FormatBool(v.AsBool())
+	default:
+		return v.String()
+	}
+}
+
+// Validate sanity-checks the structured doc before rendering: every
+// embedded expression snippet must parse, parameter and state names
+// must be unique, and referenced kinds must be legal. A provider
+// shipping unparseable docs is a corpus-authoring bug, not an
+// experiment condition, so this fails loudly.
+func Validate(d *ServiceDoc) []error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("docs: %s: %s", d.Service, fmt.Sprintf(format, args...)))
+	}
+	for _, r := range d.Resources {
+		seenS := map[string]bool{}
+		for _, sv := range r.States {
+			if seenS[sv.Name] {
+				bad("resource %s: duplicate state %s", r.Name, sv.Name)
+			}
+			seenS[sv.Name] = true
+		}
+		for ai := range r.APIs {
+			a := &r.APIs[ai]
+			seenP := map[string]bool{}
+			for _, p := range a.Params {
+				if seenP[p.Name] {
+					bad("%s: duplicate parameter %s", a.Name, p.Name)
+				}
+				seenP[p.Name] = true
+			}
+			checkExprs(&errs, d.Service, a.Name, a.Clauses)
+			for _, ret := range a.Returns {
+				if _, err := spec.ParseExprString(ret.Value); err != nil {
+					bad("%s: response %s: %v", a.Name, ret.Name, err)
+				}
+			}
+		}
+	}
+	return errs
+}
+
+func checkExprs(errs *[]error, service, api string, cs []Clause) {
+	bad := func(format string, args ...any) {
+		*errs = append(*errs, fmt.Errorf("docs: %s: %s: %s", service, api, fmt.Sprintf(format, args...)))
+	}
+	parse := func(role, src string) {
+		if src == "" {
+			bad("%s: empty expression", role)
+			return
+		}
+		if _, err := spec.ParseExprString(src); err != nil {
+			bad("%s %q: %v", role, src, err)
+		}
+	}
+	for _, c := range cs {
+		switch c.Kind {
+		case KCheck:
+			parse("constraint predicate", c.Pred)
+			if c.Error == "" {
+				bad("constraint %q has no error code", c.Pred)
+			}
+		case KWrite:
+			parse("effect value", c.Value)
+		case KXWrite:
+			parse("effect target", c.Target)
+			parse("effect value", c.Value)
+		case KCall:
+			parse("call target", c.Target)
+			for _, a := range c.Args {
+				parse("call argument", a)
+			}
+		case KIf:
+			parse("condition", c.Cond)
+			checkExprs(errs, service, api, c.Then)
+			checkExprs(errs, service, api, c.Else)
+		case KForEach:
+			parse("iteration domain", c.Over)
+			checkExprs(errs, service, api, c.Then)
+		case KXDestroy:
+			parse("destroy target", c.Target)
+		case KRetC:
+			parse("response value", c.Value)
+		}
+	}
+}

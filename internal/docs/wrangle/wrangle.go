@@ -1,0 +1,434 @@
+// Package wrangle implements documentation wrangling (§4.1): a
+// symbolic parser that exploits the semi-structured layout of rendered
+// cloud documentation to recover per-resource briefs — resource
+// metadata, typed state tables, API signatures, behaviour clauses and
+// error codes — without a retrieval model. It handles both provider
+// pagination styles: AWS's consolidated per-resource manual and
+// Azure's scattered per-operation pages.
+package wrangle
+
+import (
+	"fmt"
+	"strings"
+
+	"lce/internal/docs"
+	"lce/internal/spec"
+)
+
+// Error is a wrangling failure with page context.
+type Error struct {
+	Page int
+	Line string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("wrangle: page %d: %s (at %q)", e.Page, e.Msg, e.Line)
+}
+
+// Wrangle parses a rendered corpus back into structured documentation.
+// The result is the "brief" the synthesizer consumes; it intentionally
+// has the same shape as the authored doc so tests can verify the
+// round trip loses nothing but prose.
+func Wrangle(c docs.Corpus) (*docs.ServiceDoc, error) {
+	out := &docs.ServiceDoc{Service: c.Service, Provider: c.Provider}
+	for _, page := range c.Pages {
+		if err := parsePage(out, page); err != nil {
+			return nil, err
+		}
+	}
+	if len(out.Resources) == 0 {
+		return nil, fmt.Errorf("wrangle: corpus for %s contains no resource sections", c.Service)
+	}
+	return out, nil
+}
+
+type lineReader struct {
+	lines []string
+	pos   int
+	page  int
+}
+
+func (r *lineReader) peek() (string, bool) {
+	if r.pos >= len(r.lines) {
+		return "", false
+	}
+	return r.lines[r.pos], true
+}
+
+func (r *lineReader) next() (string, bool) {
+	l, ok := r.peek()
+	if ok {
+		r.pos++
+	}
+	return l, ok
+}
+
+func (r *lineReader) errf(line, format string, args ...any) error {
+	return &Error{Page: r.page, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func parsePage(out *docs.ServiceDoc, page docs.Page) error {
+	r := &lineReader{lines: strings.Split(page.Text, "\n"), page: page.Number}
+	// Azure operation pages declare their owning resource up front.
+	var azureResource string
+	for {
+		line, ok := r.peek()
+		if !ok {
+			return nil
+		}
+		switch {
+		case strings.HasPrefix(line, "Applies to resource: "):
+			azureResource = strings.TrimPrefix(line, "Applies to resource: ")
+			r.next()
+		case strings.HasPrefix(line, "## Resource: "):
+			if err := parseResource(out, r); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "### API: "):
+			res := currentResource(out, azureResource)
+			if res == nil {
+				return r.errf(line, "API section outside any resource context")
+			}
+			api, err := parseAPI(r)
+			if err != nil {
+				return err
+			}
+			res.APIs = append(res.APIs, *api)
+		default:
+			r.next() // front matter, prose, blank lines
+		}
+	}
+}
+
+// currentResource resolves where an API section belongs: the named
+// Azure resource if declared, else the page's most recent resource.
+func currentResource(out *docs.ServiceDoc, azureResource string) *docs.ResourceDoc {
+	if azureResource != "" {
+		if res := out.Resource(azureResource); res != nil {
+			return res
+		}
+		// Scattered pages can mention a resource before its overview
+		// page; create the shell.
+		res := &docs.ResourceDoc{Name: azureResource}
+		out.Resources = append(out.Resources, res)
+		return res
+	}
+	if len(out.Resources) == 0 {
+		return nil
+	}
+	return out.Resources[len(out.Resources)-1]
+}
+
+func parseResource(out *docs.ServiceDoc, r *lineReader) error {
+	header, _ := r.next()
+	name := strings.TrimPrefix(header, "## Resource: ")
+	res := out.Resource(name)
+	if res == nil {
+		res = &docs.ResourceDoc{Name: name}
+		out.Resources = append(out.Resources, res)
+	}
+	for {
+		line, ok := r.peek()
+		if !ok {
+			return nil
+		}
+		switch {
+		case strings.HasPrefix(line, "ID prefix: "):
+			res.IDPrefix = strings.TrimPrefix(line, "ID prefix: ")
+			r.next()
+		case strings.HasPrefix(line, "Contained in: "):
+			res.Parent = strings.TrimPrefix(line, "Contained in: ")
+			r.next()
+		case strings.HasPrefix(line, "Not-found error code: "):
+			res.NotFound = strings.TrimPrefix(line, "Not-found error code: ")
+			r.next()
+		case strings.HasPrefix(line, "Dependency error code: "):
+			res.Dependency = strings.TrimPrefix(line, "Dependency error code: ")
+			r.next()
+		case line == "States:":
+			r.next()
+			for {
+				sl, ok := r.peek()
+				if !ok || !strings.HasPrefix(sl, "- ") {
+					break
+				}
+				r.next()
+				sv, err := parseState(r, sl)
+				if err != nil {
+					return err
+				}
+				res.States = append(res.States, sv)
+			}
+		case strings.HasPrefix(line, "### API: "), strings.HasPrefix(line, "## Resource: "):
+			return nil
+		default:
+			if res.Overview == "" && strings.TrimSpace(line) != "" {
+				res.Overview = strings.TrimSpace(line)
+			}
+			r.next()
+		}
+	}
+}
+
+// quoted extracts the backquoted segments of a line, in order.
+func quoted(line string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(line, '`')
+		if i < 0 {
+			return out
+		}
+		line = line[i+1:]
+		j := strings.IndexByte(line, '`')
+		if j < 0 {
+			return out
+		}
+		out = append(out, line[:j])
+		line = line[j+1:]
+	}
+}
+
+func parseState(r *lineReader, line string) (docs.StateDoc, error) {
+	q := quoted(line)
+	if len(q) < 2 {
+		return docs.StateDoc{}, r.errf(line, "malformed state line")
+	}
+	typ, err := spec.ParseTypeString(q[1])
+	if err != nil {
+		return docs.StateDoc{}, r.errf(line, "bad state type: %v", err)
+	}
+	desc := ""
+	if i := strings.Index(line, "): "); i >= 0 {
+		desc = line[i+3:]
+	}
+	return docs.StateDoc{Name: q[0], Type: typ, Desc: desc}, nil
+}
+
+func parseAPI(r *lineReader) (*docs.APIDoc, error) {
+	header, _ := r.next()
+	rest := strings.TrimPrefix(header, "### API: ")
+	open := strings.LastIndex(rest, " (")
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return nil, r.errf(header, "malformed API header")
+	}
+	name := rest[:open]
+	kindWord := rest[open+2 : len(rest)-1]
+	kind, ok := spec.ParseTransKind(kindWord)
+	if !ok {
+		return nil, r.errf(header, "unknown API category %q", kindWord)
+	}
+	api := &docs.APIDoc{Name: name, Kind: kind}
+	for {
+		line, ok := r.peek()
+		if !ok {
+			return api, nil
+		}
+		switch {
+		case line == "Parameters:":
+			r.next()
+			for {
+				pl, ok := r.peek()
+				if !ok || !strings.HasPrefix(pl, "- ") {
+					break
+				}
+				r.next()
+				p, err := parseParam(r, pl)
+				if err != nil {
+					return nil, err
+				}
+				api.Params = append(api.Params, p)
+			}
+		case line == "Behavior:":
+			r.next()
+			clauses, err := parseClauses(r, 0)
+			if err != nil {
+				return nil, err
+			}
+			api.Clauses = clauses
+		case line == "Response:":
+			r.next()
+			for {
+				rl, ok := r.peek()
+				if !ok || !strings.HasPrefix(rl, "- ") {
+					break
+				}
+				r.next()
+				ret, err := parseReturn(r, rl)
+				if err != nil {
+					return nil, err
+				}
+				api.Returns = append(api.Returns, ret)
+			}
+		case strings.HasPrefix(line, "### API: "), strings.HasPrefix(line, "## Resource: "):
+			return api, nil
+		default:
+			if api.Desc == "" && strings.TrimSpace(line) != "" {
+				api.Desc = strings.TrimSpace(line)
+			}
+			r.next()
+		}
+	}
+}
+
+func parseParam(r *lineReader, line string) (docs.ParamDoc, error) {
+	q := quoted(line)
+	if len(q) < 2 {
+		return docs.ParamDoc{}, r.errf(line, "malformed parameter line")
+	}
+	typ, err := spec.ParseTypeString(q[1])
+	if err != nil {
+		return docs.ParamDoc{}, r.errf(line, "bad parameter type: %v", err)
+	}
+	p := docs.ParamDoc{Name: q[0], Type: typ}
+	// The plain text between the type and "): " carries the modifiers.
+	meta := line
+	if i := strings.Index(meta, "`, "); i >= 0 {
+		meta = meta[i+3:]
+	}
+	if i := strings.Index(meta, "): "); i >= 0 {
+		p.Desc = meta[i+3:]
+		meta = meta[:i]
+	}
+	p.Optional = strings.Contains(meta, "optional")
+	p.Receiver = strings.Contains(meta, "receiver")
+	p.ParentLink = strings.Contains(meta, "parent")
+	if strings.Contains(meta, "default `") && len(q) >= 3 {
+		lit, err := spec.ParseExprString(q[2])
+		if err != nil {
+			return docs.ParamDoc{}, r.errf(line, "bad default: %v", err)
+		}
+		l, ok := lit.(*spec.Lit)
+		if !ok {
+			return docs.ParamDoc{}, r.errf(line, "default is not a literal")
+		}
+		p.Default = l.Value
+	}
+	return p, nil
+}
+
+func parseReturn(r *lineReader, line string) (docs.ReturnDoc, error) {
+	q := quoted(line)
+	if len(q) < 2 {
+		return docs.ReturnDoc{}, r.errf(line, "malformed response line")
+	}
+	desc := ""
+	if i := strings.Index(line, " -- "); i >= 0 {
+		desc = line[i+4:]
+	}
+	return docs.ReturnDoc{Name: q[0], Value: q[1], Desc: desc}, nil
+}
+
+// parseClauses parses the bullet list at the given depth; it returns
+// when it sees a shallower bullet or a non-bullet line.
+func parseClauses(r *lineReader, depth int) ([]docs.Clause, error) {
+	var out []docs.Clause
+	for {
+		line, ok := r.peek()
+		if !ok {
+			return out, nil
+		}
+		d, body, isBullet := bulletDepth(line)
+		if !isBullet || d < depth {
+			return out, nil
+		}
+		if d > depth {
+			return nil, r.errf(line, "unexpected bullet indentation")
+		}
+		r.next()
+		clause, err := parseClause(r, body, depth)
+		if err != nil {
+			return nil, err
+		}
+		// "Otherwise:" attaches to the preceding If.
+		if clause.Kind == docs.KIf && clause.Cond == "" {
+			if len(out) == 0 || out[len(out)-1].Kind != docs.KIf {
+				return nil, r.errf(line, "Otherwise without a preceding If")
+			}
+			out[len(out)-1].Else = clause.Then
+			continue
+		}
+		out = append(out, clause)
+	}
+}
+
+func bulletDepth(line string) (depth int, body string, ok bool) {
+	n := 0
+	for strings.HasPrefix(line, "  ") {
+		line = line[2:]
+		n++
+	}
+	if strings.HasPrefix(line, "* ") {
+		return n, line[2:], true
+	}
+	return 0, "", false
+}
+
+func parseClause(r *lineReader, body string, depth int) (docs.Clause, error) {
+	q := quoted(body)
+	switch {
+	case strings.HasPrefix(body, "Constraint: the call fails with error code "):
+		if len(q) < 2 {
+			return docs.Clause{}, r.errf(body, "malformed constraint")
+		}
+		c := docs.Clause{Kind: docs.KCheck, Error: q[0], Pred: q[1]}
+		if i := strings.Index(body, " -- "); i >= 0 {
+			c.Msg = body[i+4:]
+		}
+		return c, nil
+	case strings.HasPrefix(body, "Effect: sets "):
+		if strings.Contains(body, " of the resource referenced by ") {
+			if len(q) < 3 {
+				return docs.Clause{}, r.errf(body, "malformed cross-resource effect")
+			}
+			return docs.Clause{Kind: docs.KXWrite, State: q[0], Target: q[1], Value: q[2]}, nil
+		}
+		if len(q) < 2 {
+			return docs.Clause{}, r.errf(body, "malformed effect")
+		}
+		return docs.Clause{Kind: docs.KWrite, State: q[0], Value: q[1]}, nil
+	case strings.HasPrefix(body, "Effect: returns "):
+		if len(q) < 2 {
+			return docs.Clause{}, r.errf(body, "malformed response effect")
+		}
+		return docs.Clause{Kind: docs.KRetC, State: q[0], Value: q[1]}, nil
+	case strings.HasPrefix(body, "Effect: destroys "):
+		if len(q) < 1 {
+			return docs.Clause{}, r.errf(body, "malformed destroy effect")
+		}
+		return docs.Clause{Kind: docs.KXDestroy, Target: q[0]}, nil
+	case strings.HasPrefix(body, "Effect: invokes "):
+		if len(q) < 2 {
+			return docs.Clause{}, r.errf(body, "malformed invocation")
+		}
+		return docs.Clause{Kind: docs.KCall, Trans: q[0], Target: q[1], Args: q[2:]}, nil
+	case strings.HasPrefix(body, "If "):
+		if len(q) < 1 {
+			return docs.Clause{}, r.errf(body, "malformed conditional")
+		}
+		then, err := parseClauses(r, depth+1)
+		if err != nil {
+			return docs.Clause{}, err
+		}
+		return docs.Clause{Kind: docs.KIf, Cond: q[0], Then: then}, nil
+	case body == "Otherwise:":
+		then, err := parseClauses(r, depth+1)
+		if err != nil {
+			return docs.Clause{}, err
+		}
+		// Cond "" marks this as an else-attachment for the caller.
+		return docs.Clause{Kind: docs.KIf, Then: then}, nil
+	case strings.HasPrefix(body, "For each "):
+		if len(q) < 2 {
+			return docs.Clause{}, r.errf(body, "malformed iteration")
+		}
+		inner, err := parseClauses(r, depth+1)
+		if err != nil {
+			return docs.Clause{}, err
+		}
+		return docs.Clause{Kind: docs.KForEach, Var: q[0], Over: q[1], Then: inner}, nil
+	default:
+		return docs.Clause{}, r.errf(body, "unrecognized behaviour sentence")
+	}
+}

@@ -1,0 +1,145 @@
+package wrangle
+
+import (
+	"reflect"
+	"testing"
+
+	"lce/internal/docs"
+	"lce/internal/docs/corpus"
+)
+
+// TestRoundTrip renders each authored corpus to text and wrangles it
+// back: all machine-relevant structure (metadata, states, API
+// signatures, clauses, responses) must survive; only prose may be
+// lossy. This is the property that makes "learning from docs"
+// feasible at all.
+func TestRoundTrip(t *testing.T) {
+	for _, d := range []*docs.ServiceDoc{corpus.EC2(), corpus.NetworkFirewall(), corpus.DynamoDB(), corpus.Azure()} {
+		t.Run(d.Service, func(t *testing.T) {
+			c := docs.Render(d)
+			got, err := Wrangle(c)
+			if err != nil {
+				t.Fatalf("Wrangle: %v", err)
+			}
+			if got.Service != d.Service || got.Provider != d.Provider {
+				t.Errorf("service/provider = %s/%s", got.Service, got.Provider)
+			}
+			if len(got.Resources) != len(d.Resources) {
+				t.Fatalf("resource count = %d, want %d", len(got.Resources), len(d.Resources))
+			}
+			for i, want := range d.Resources {
+				gr := got.Resources[i]
+				if gr.Name != want.Name {
+					t.Fatalf("resource %d = %s, want %s", i, gr.Name, want.Name)
+				}
+				if gr.IDPrefix != want.IDPrefix || gr.Parent != want.Parent ||
+					gr.NotFound != want.NotFound || gr.Dependency != want.Dependency {
+					t.Errorf("%s: metadata mismatch: %+v", want.Name, gr)
+				}
+				compareStates(t, want.Name, gr.States, want.States)
+				if len(gr.APIs) != len(want.APIs) {
+					t.Fatalf("%s: api count = %d, want %d", want.Name, len(gr.APIs), len(want.APIs))
+				}
+				for j := range want.APIs {
+					compareAPI(t, &gr.APIs[j], &want.APIs[j])
+				}
+			}
+		})
+	}
+}
+
+func compareStates(t *testing.T, res string, got, want []docs.StateDoc) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: state count = %d, want %d", res, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || !got[i].Type.Equal(want[i].Type) {
+			t.Errorf("%s: state %d = %s %s, want %s %s", res, i, got[i].Name, got[i].Type, want[i].Name, want[i].Type)
+		}
+	}
+}
+
+func compareAPI(t *testing.T, got, want *docs.APIDoc) {
+	t.Helper()
+	if got.Name != want.Name || got.Kind != want.Kind {
+		t.Fatalf("api = %s(%v), want %s(%v)", got.Name, got.Kind, want.Name, want.Kind)
+	}
+	if len(got.Params) != len(want.Params) {
+		t.Fatalf("%s: param count = %d, want %d", want.Name, len(got.Params), len(want.Params))
+	}
+	for i := range want.Params {
+		g, w := got.Params[i], want.Params[i]
+		if g.Name != w.Name || !g.Type.Equal(w.Type) || g.Optional != w.Optional ||
+			g.Receiver != w.Receiver || g.ParentLink != w.ParentLink || !g.Default.Equal(w.Default) {
+			t.Errorf("%s: param %s mismatch: got %+v want %+v", want.Name, w.Name, g, w)
+		}
+	}
+	if !clausesEqual(got.Clauses, want.Clauses) {
+		t.Errorf("%s: clauses mismatch:\ngot  %+v\nwant %+v", want.Name, got.Clauses, want.Clauses)
+	}
+	if len(got.Returns) != len(want.Returns) {
+		t.Fatalf("%s: return count = %d, want %d", want.Name, len(got.Returns), len(want.Returns))
+	}
+	for i := range want.Returns {
+		if got.Returns[i].Name != want.Returns[i].Name || got.Returns[i].Value != want.Returns[i].Value {
+			t.Errorf("%s: return %d = %+v, want %+v", want.Name, i, got.Returns[i], want.Returns[i])
+		}
+	}
+}
+
+// clausesEqual compares clause trees ignoring prose (Msg is compared,
+// since the renderer carries it verbatim).
+func clausesEqual(a, b []docs.Clause) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Kind != y.Kind || x.Pred != y.Pred || x.Error != y.Error ||
+			x.State != y.State || x.Value != y.Value || x.Target != y.Target ||
+			x.Trans != y.Trans || x.Cond != y.Cond || x.Var != y.Var || x.Over != y.Over {
+			return false
+		}
+		if !reflect.DeepEqual(x.Args, y.Args) && !(len(x.Args) == 0 && len(y.Args) == 0) {
+			return false
+		}
+		if !clausesEqual(x.Then, y.Then) || !clausesEqual(x.Else, y.Else) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAzurePagination(t *testing.T) {
+	c := docs.Render(corpus.Azure())
+	// Scattered style: more pages than resources (one per API plus one
+	// overview per resource).
+	d := corpus.Azure()
+	want := len(d.Resources) + d.APICount()
+	if len(c.Pages) != want {
+		t.Errorf("azure pages = %d, want %d", len(c.Pages), want)
+	}
+}
+
+func TestAWSPagination(t *testing.T) {
+	c := docs.Render(corpus.EC2())
+	// Consolidated style: front matter + one page per resource.
+	if len(c.Pages) != 29 {
+		t.Errorf("ec2 pages = %d, want 29", len(c.Pages))
+	}
+}
+
+func TestWrangleRejectsGarbage(t *testing.T) {
+	_, err := Wrangle(docs.Corpus{Service: "x", Pages: []docs.Page{{Number: 1, Text: "nothing structured here"}}})
+	if err == nil {
+		t.Error("empty corpus accepted")
+	}
+	_, err = Wrangle(docs.Corpus{Service: "x", Pages: []docs.Page{{
+		Number: 1,
+		Text:   "## Resource: A\n\n### API: Foo (modify)\nBehavior:\n* Something unparseable.\n",
+	}}})
+	if err == nil {
+		t.Error("unparseable behaviour sentence accepted")
+	}
+}

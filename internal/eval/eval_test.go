@@ -1,0 +1,214 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	want := []struct {
+		service  string
+		apis     int
+		emulated int
+	}{
+		{"Compute (ec2)", 571, 177},
+		{"DB (dynamodb)", 57, 39},
+		{"Network Firewall", 45, 5},
+		{"Kubernetes (eks)", 58, 15},
+		{"Overall (subset)", 731, 236},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, w := range want {
+		if rows[i].Service != w.service || rows[i].APIs != w.apis || rows[i].Emulated != w.emulated {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+	text := FormatTable1(rows)
+	for _, frag := range []string{"31%", "68%", "11%", "26%", "32%"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("rendered table missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rows, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("systems = %d", len(rows))
+	}
+	d2cRow, noAlign, aligned := rows[0], rows[1], rows[2]
+	// The paper's D2C headline: 3 of 12 traces align.
+	if d2cRow.Aligned != 3 || d2cRow.Total != 12 {
+		t.Errorf("d2c = %d/%d, want 3/12", d2cRow.Aligned, d2cRow.Total)
+	}
+	// Shape: learned-without-alignment strictly better than D2C;
+	// alignment closes the gap completely.
+	if noAlign.Aligned <= d2cRow.Aligned {
+		t.Errorf("learned w/o alignment (%d) not better than d2c (%d)", noAlign.Aligned, d2cRow.Aligned)
+	}
+	if aligned.Aligned != aligned.Total {
+		t.Errorf("aligned system = %d/%d, want full alignment", aligned.Aligned, aligned.Total)
+	}
+	t.Logf("\n%s", FormatFig3(rows))
+}
+
+func TestFig4Shape(t *testing.T) {
+	series, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySvc := map[string]Fig4Series{}
+	for _, s := range series {
+		bySvc[s.Service] = s
+	}
+	if bySvc["ec2"].SMs != 28 || bySvc["network-firewall"].SMs != 8 || bySvc["dynamodb"].SMs != 7 {
+		t.Errorf("SM counts = ec2:%d nfw:%d ddb:%d, want 28/8/7",
+			bySvc["ec2"].SMs, bySvc["network-firewall"].SMs, bySvc["dynamodb"].SMs)
+	}
+	// Shape: EC2's SMs are more complex than the others on average and
+	// at the tail.
+	if bySvc["ec2"].Mean <= bySvc["network-firewall"].Mean || bySvc["ec2"].Mean <= bySvc["dynamodb"].Mean {
+		t.Errorf("ec2 mean %.1f not dominant (nfw %.1f, ddb %.1f)",
+			bySvc["ec2"].Mean, bySvc["network-firewall"].Mean, bySvc["dynamodb"].Mean)
+	}
+}
+
+func TestBasicFunctionality(t *testing.T) {
+	res, err := BasicFunctionality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aligned {
+		t.Error("basic functionality trace did not align")
+	}
+	if res.SynthesisTime <= 0 {
+		t.Error("synthesis time not measured")
+	}
+	t.Logf("synthesis took %v for the full EC2 spec", res.SynthesisTime)
+}
+
+func TestVersusManual(t *testing.T) {
+	rows, err := VersusManual()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Learned != r.Surface {
+			t.Errorf("%s: learned %d/%d, want full", r.Service, r.Learned, r.Surface)
+		}
+	}
+	byService := map[string]VersusManualRow{}
+	for _, r := range rows {
+		byService[r.Service] = r
+	}
+	// The paper's Network Firewall claim: 45/45 learned vs 5/45 manual.
+	nfw := byService["network-firewall"]
+	if nfw.Surface != 45 || nfw.Learned != 45 || nfw.Baseline != 5 {
+		t.Errorf("network firewall row = %+v", nfw)
+	}
+}
+
+func TestD2CTaxonomy(t *testing.T) {
+	rows, err := D2CTaxonomy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Count == 0 || rows[1].Count == 0 {
+		t.Errorf("taxonomy = %+v", rows)
+	}
+}
+
+func TestMultiCloudComparableAccuracy(t *testing.T) {
+	rows, err := MultiCloud()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned := rows[2]
+	if aligned.Aligned != aligned.Total {
+		t.Errorf("azure aligned system = %d/%d", aligned.Aligned, aligned.Total)
+	}
+	if rows[0].Aligned >= aligned.Aligned {
+		t.Errorf("azure d2c (%d) not worse than aligned (%d)", rows[0].Aligned, aligned.Aligned)
+	}
+}
+
+func TestAlignmentConvergenceMonotone(t *testing.T) {
+	rows, err := AlignmentConvergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("rounds = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Aligned < rows[i-1].Aligned {
+			t.Errorf("round %d aligned %d < previous %d", rows[i].Round, rows[i].Aligned, rows[i-1].Aligned)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.Aligned != last.Total {
+		t.Errorf("final round = %d/%d", last.Aligned, last.Total)
+	}
+}
+
+func TestDecodingAblation(t *testing.T) {
+	rows, err := DecodingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, r := range rows {
+		if r.ConstrainedRePrompts != 0 {
+			t.Errorf("constrained decoding re-prompted at noise %.2f", r.SyntaxNoise)
+		}
+		if r.FreeRePrompts < prev {
+			t.Errorf("re-prompts not increasing with noise: %+v", rows)
+		}
+		prev = r.FreeRePrompts
+	}
+	if rows[len(rows)-1].FreeRePrompts == 0 {
+		t.Error("free decoding never re-prompted at 75% syntax noise")
+	}
+}
+
+func TestGraphReport(t *testing.T) {
+	stats, anti, err := GraphReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	var ec2Stats, ddb metricsIdx
+	for i, s := range stats {
+		switch s.Service {
+		case "ec2":
+			ec2Stats = metricsIdx{i, true}
+		case "dynamodb":
+			ddb = metricsIdx{i, true}
+		}
+	}
+	if !ec2Stats.ok || !ddb.ok {
+		t.Fatal("missing services in graph report")
+	}
+	if stats[ec2Stats.i].Nodes != 28 || stats[ec2Stats.i].Edges == 0 {
+		t.Errorf("ec2 graph = %+v", stats[ec2Stats.i])
+	}
+	if stats[ec2Stats.i].Checks <= stats[ddb.i].Checks {
+		t.Errorf("ec2 checks (%d) not above dynamodb (%d)", stats[ec2Stats.i].Checks, stats[ddb.i].Checks)
+	}
+	if len(anti) == 0 {
+		t.Error("no anti-patterns detected anywhere — detector inert?")
+	}
+}
+
+type metricsIdx struct {
+	i  int
+	ok bool
+}

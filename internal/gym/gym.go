@@ -1,0 +1,121 @@
+// Package gym wraps any cloud backend in an episodic, goal-directed
+// environment — the §4.4 "cloud gym": a no-cost, zero-risk playground
+// for training DevOps agents. An episode starts from a fresh account,
+// the agent issues API actions, and the environment scores progress
+// toward a goal predicate over the backend's observable state.
+package gym
+
+import (
+	"fmt"
+
+	"lce/internal/cloudapi"
+)
+
+// Observation is what the agent sees after each step.
+type Observation struct {
+	// Result carries the API response of the last action (nil on
+	// failure).
+	Result cloudapi.Result
+	// ErrorCode carries the API error code of the last action ("" on
+	// success) — agents learn error handling from it.
+	ErrorCode string
+	// Done reports whether the goal has been reached.
+	Done bool
+	// Reward is the per-step reward.
+	Reward float64
+	// Steps is the number of actions taken this episode.
+	Steps int
+}
+
+// Goal scores an environment state; Done when satisfied.
+type Goal struct {
+	Name string
+	// Satisfied inspects the backend through its public API only.
+	Satisfied func(b cloudapi.Backend) bool
+}
+
+// Env is one episodic environment.
+type Env struct {
+	backend  cloudapi.Backend
+	goal     Goal
+	steps    int
+	maxSteps int
+	done     bool
+	// StepPenalty is subtracted per action; GoalReward granted once.
+	StepPenalty float64
+	GoalReward  float64
+}
+
+// New builds an environment over a backend with a goal.
+func New(b cloudapi.Backend, goal Goal, maxSteps int) *Env {
+	if maxSteps <= 0 {
+		maxSteps = 256
+	}
+	return &Env{
+		backend:     b,
+		goal:        goal,
+		maxSteps:    maxSteps,
+		StepPenalty: 0.01,
+		GoalReward:  1.0,
+	}
+}
+
+// Reset starts a fresh episode.
+func (e *Env) Reset() {
+	e.backend.Reset()
+	e.steps = 0
+	e.done = false
+}
+
+// Actions exposes the action space.
+func (e *Env) Actions() []string { return e.backend.Actions() }
+
+// Step executes one action.
+func (e *Env) Step(req cloudapi.Request) Observation {
+	if e.done {
+		return Observation{Done: true, Steps: e.steps}
+	}
+	e.steps++
+	obs := Observation{Steps: e.steps, Reward: -e.StepPenalty}
+	res, err := e.backend.Invoke(req)
+	if err != nil {
+		if ae, ok := cloudapi.AsAPIError(err); ok {
+			obs.ErrorCode = ae.Code
+		} else {
+			obs.ErrorCode = cloudapi.CodeInternalFailure
+		}
+	} else {
+		obs.Result = res
+	}
+	if e.goal.Satisfied != nil && e.goal.Satisfied(e.backend) {
+		obs.Done = true
+		obs.Reward += e.GoalReward
+		e.done = true
+	}
+	if e.steps >= e.maxSteps {
+		obs.Done = true
+		e.done = true
+	}
+	return obs
+}
+
+// DescribeGoal renders the goal for logs.
+func (e *Env) DescribeGoal() string {
+	return fmt.Sprintf("goal %q (max %d steps)", e.goal.Name, e.maxSteps)
+}
+
+// CountGoal builds a goal satisfied when a describe action reports at
+// least n entries under the given result key — a convenient goal shape
+// for provisioning tasks ("stand up two subnets").
+func CountGoal(name, describeAction, key string, n int) Goal {
+	return Goal{
+		Name: name,
+		Satisfied: func(b cloudapi.Backend) bool {
+			res, err := b.Invoke(cloudapi.Request{Action: describeAction})
+			if err != nil {
+				return false
+			}
+			return len(res.Get(key).AsList()) >= n
+		},
+	}
+}

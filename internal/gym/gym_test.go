@@ -1,0 +1,61 @@
+package gym
+
+import (
+	"testing"
+
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/cloudapi"
+)
+
+func TestEpisodeReachesGoal(t *testing.T) {
+	env := New(ec2.New(), CountGoal("one-vpc", "DescribeVpcs", "vpcs", 1), 8)
+	env.Reset()
+	obs := env.Step(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}})
+	if !obs.Done {
+		t.Fatalf("goal not reached: %+v", obs)
+	}
+	if obs.Reward <= 0 {
+		t.Errorf("goal reward = %f", obs.Reward)
+	}
+	// Stepping after done is inert.
+	obs2 := env.Step(cloudapi.Request{Action: "DescribeVpcs"})
+	if !obs2.Done || obs2.Steps != obs.Steps {
+		t.Errorf("post-done step = %+v", obs2)
+	}
+}
+
+func TestErrorCodesAreObservations(t *testing.T) {
+	env := New(ec2.New(), CountGoal("never", "DescribeVpcs", "vpcs", 99), 4)
+	env.Reset()
+	obs := env.Step(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("banana")}})
+	if obs.ErrorCode != cloudapi.CodeInvalidParameter {
+		t.Errorf("error code = %q", obs.ErrorCode)
+	}
+	if obs.Reward >= 0 {
+		t.Errorf("step penalty missing: %f", obs.Reward)
+	}
+}
+
+func TestMaxStepsTerminates(t *testing.T) {
+	env := New(ec2.New(), CountGoal("never", "DescribeVpcs", "vpcs", 99), 2)
+	env.Reset()
+	env.Step(cloudapi.Request{Action: "DescribeVpcs"})
+	obs := env.Step(cloudapi.Request{Action: "DescribeVpcs"})
+	if !obs.Done {
+		t.Errorf("episode not terminated at max steps: %+v", obs)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	env := New(ec2.New(), CountGoal("one-vpc", "DescribeVpcs", "vpcs", 1), 8)
+	env.Reset()
+	env.Step(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}})
+	env.Reset()
+	obs := env.Step(cloudapi.Request{Action: "DescribeVpcs"})
+	if obs.Done {
+		t.Error("goal satisfied after reset — state leaked")
+	}
+	if n := len(obs.Result.Get("vpcs").AsList()); n != 0 {
+		t.Errorf("vpcs after reset = %d", n)
+	}
+}

@@ -1,0 +1,200 @@
+// Package httpapi exposes any cloud backend over HTTP, LocalStack
+// style, so DevOps programs exercise the emulator exactly as they
+// would the cloud: POST a JSON request envelope, receive a result or a
+// structured API error. A matching client implements cloudapi.Backend
+// over the wire, which makes a remote emulator interchangeable with an
+// in-process one everywhere in this repository (differential tests
+// included).
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"lce/internal/advisor"
+	"lce/internal/cloudapi"
+	"lce/internal/interp"
+)
+
+// wireRequest is the POST body of an Invoke call.
+type wireRequest struct {
+	Action string                    `json:"action"`
+	Params map[string]cloudapi.Value `json:"params,omitempty"`
+}
+
+// wireResponse is the reply envelope.
+type wireResponse struct {
+	Result map[string]cloudapi.Value `json:"result,omitempty"`
+	Error  *wireError                `json:"error,omitempty"`
+}
+
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Advice carries the §4.3 enriched explanation (root cause and
+	// repair suggestions decoded from the learned specification) when
+	// the served backend is a learned emulator.
+	Advice *wireAdvice `json:"advice,omitempty"`
+}
+
+type wireAdvice struct {
+	RootCause string   `json:"rootCause"`
+	Repairs   []string `json:"repairs,omitempty"`
+}
+
+// Handler serves one backend:
+//
+//	POST /invoke       — execute an action
+//	POST /reset        — reset account state
+//	GET  /actions      — list supported actions
+//	GET  /healthz      — liveness
+func Handler(b cloudapi.Backend) http.Handler {
+	mux := http.NewServeMux()
+	var requests atomic.Int64
+	mux.HandleFunc("POST /invoke", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "cannot read body: %v", err)
+			return
+		}
+		var req wireRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "malformed request: %v", err)
+			return
+		}
+		if req.Action == "" {
+			httpError(w, http.StatusBadRequest, "missing action")
+			return
+		}
+		creq := cloudapi.Request{Action: req.Action, Params: cloudapi.Params(req.Params)}
+		res, err := b.Invoke(creq)
+		resp := wireResponse{}
+		if err != nil {
+			ae, ok := cloudapi.AsAPIError(err)
+			if !ok {
+				httpError(w, http.StatusInternalServerError, "backend failure: %v", err)
+				return
+			}
+			resp.Error = &wireError{Code: ae.Code, Message: ae.Message}
+			if emu, isLearned := b.(*interp.Emulator); isLearned {
+				adv := advisor.Explain(emu, creq, ae)
+				resp.Error.Advice = &wireAdvice{RootCause: adv.RootCause, Repairs: adv.Repairs}
+			}
+			writeJSON(w, http.StatusBadRequest, resp)
+			return
+		}
+		resp.Result = cloudapi.NormalizeResult(res)
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /reset", func(w http.ResponseWriter, r *http.Request) {
+		b.Reset()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /actions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"service": b.Service(),
+			"actions": b.Actions(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"service":  b.Service(),
+			"requests": requests.Load(),
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, wireResponse{Error: &wireError{
+		Code:    "MalformedRequest",
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// Client implements cloudapi.Backend over the HTTP protocol above.
+type Client struct {
+	base    string
+	service string
+	http    *http.Client
+}
+
+// NewClient connects to a served backend at baseURL (no trailing
+// slash required).
+func NewClient(baseURL string) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{base: baseURL, http: &http.Client{}}
+}
+
+// Service implements cloudapi.Backend (fetched lazily).
+func (c *Client) Service() string {
+	if c.service == "" {
+		c.service, _ = c.fetchMeta()
+	}
+	return c.service
+}
+
+// Actions implements cloudapi.Backend.
+func (c *Client) Actions() []string {
+	_, actions := c.fetchMeta()
+	return actions
+}
+
+func (c *Client) fetchMeta() (string, []string) {
+	resp, err := c.http.Get(c.base + "/actions")
+	if err != nil {
+		return "", nil
+	}
+	defer resp.Body.Close()
+	var meta struct {
+		Service string   `json:"service"`
+		Actions []string `json:"actions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return "", nil
+	}
+	c.service = meta.Service
+	return meta.Service, meta.Actions
+}
+
+// Reset implements cloudapi.Backend.
+func (c *Client) Reset() {
+	resp, err := c.http.Post(c.base+"/reset", "application/json", nil)
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// Invoke implements cloudapi.Backend.
+func (c *Client) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
+	payload, err := json.Marshal(wireRequest{Action: req.Action, Params: map[string]cloudapi.Value(req.Params)})
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: marshal: %w", err)
+	}
+	resp, err := c.http.Post(c.base+"/invoke", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	defer resp.Body.Close()
+	var wire wireResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("httpapi: decode: %w", err)
+	}
+	if wire.Error != nil {
+		return nil, &cloudapi.APIError{Code: wire.Error.Code, Message: wire.Error.Message}
+	}
+	return cloudapi.Result(wire.Result), nil
+}

@@ -1,0 +1,152 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/cloudapi"
+	"lce/internal/docs"
+	"lce/internal/docs/corpus"
+	"lce/internal/docs/wrangle"
+	"lce/internal/interp"
+	"lce/internal/scenarios"
+	"lce/internal/synth"
+	"lce/internal/trace"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := httptest.NewServer(Handler(ec2.New()))
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL + "/")
+}
+
+func TestInvokeOverHTTP(t *testing.T) {
+	_, client := newServer(t)
+	res, err := client.Invoke(cloudapi.Request{
+		Action: "CreateVpc",
+		Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Get("vpcId").AsString() == "" {
+		t.Errorf("result = %v", res)
+	}
+}
+
+func TestAPIErrorsCrossTheWire(t *testing.T) {
+	_, client := newServer(t)
+	_, err := client.Invoke(cloudapi.Request{
+		Action: "CreateVpc",
+		Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/8")},
+	})
+	ae, ok := cloudapi.AsAPIError(err)
+	if !ok || ae.Code != "InvalidVpc.Range" {
+		t.Fatalf("err = %v", err)
+	}
+	if ae.Message == "" {
+		t.Error("message lost on the wire")
+	}
+}
+
+func TestActionsAndService(t *testing.T) {
+	_, client := newServer(t)
+	if client.Service() != "ec2" {
+		t.Errorf("service = %q", client.Service())
+	}
+	if len(client.Actions()) < 90 {
+		t.Errorf("actions = %d", len(client.Actions()))
+	}
+}
+
+func TestResetOverHTTP(t *testing.T) {
+	_, client := newServer(t)
+	_, err := client.Invoke(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Reset()
+	res, err := client.Invoke(cloudapi.Request{Action: "DescribeVpcs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Get("vpcs").AsList()); n != 0 {
+		t.Errorf("vpcs after reset = %d", n)
+	}
+}
+
+// TestRemoteBackendIsTraceEquivalent runs the Fig. 3 workload through
+// the HTTP client against an in-process oracle: the transport must be
+// behaviourally invisible.
+func TestRemoteBackendIsTraceEquivalent(t *testing.T) {
+	_, client := newServer(t)
+	local := ec2.New()
+	for _, tr := range scenarios.EC2Fig3() {
+		rep := trace.Compare(client, local, tr)
+		if !rep.Aligned() {
+			t.Errorf("transport changed behaviour:\n%s", trace.FormatReport(rep))
+		}
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := srv.Client().Post(srv.URL+"/invoke", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("empty body status = %d", resp.StatusCode)
+	}
+}
+
+// TestAdviceInErrorEnvelope verifies that serving a learned emulator
+// enriches error responses with root causes and repairs (§4.3's
+// "richer than the cloud" error messages), while raw oracles stay
+// code+message only.
+func TestAdviceInErrorEnvelope(t *testing.T) {
+	brief, err := wrangle.Wrangle(docs.Render(corpus.EC2()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _, err := synth.SynthesizeFromBrief(brief, synth.Options{Noise: synth.Perfect, Decoding: synth.Constrained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu, err := interp.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(emu))
+	defer srv.Close()
+
+	body := `{"action":"CreateVpc","params":{"cidrBlock":"10.0.0.0/8"}}`
+	resp, err := srv.Client().Post(srv.URL+"/invoke", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Error *struct {
+			Code   string `json:"code"`
+			Advice *struct {
+				RootCause string   `json:"rootCause"`
+				Repairs   []string `json:"repairs"`
+			} `json:"advice"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error == nil || envelope.Error.Advice == nil {
+		t.Fatalf("no advice in learned-emulator error envelope: %+v", envelope)
+	}
+	if !strings.Contains(envelope.Error.Advice.RootCause, "prefixLen") || len(envelope.Error.Advice.Repairs) == 0 {
+		t.Errorf("advice = %+v", envelope.Error.Advice)
+	}
+}

@@ -1,0 +1,230 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+
+	"lce/internal/cloudapi"
+	"lce/internal/spec"
+)
+
+// Emulator executes a service specification as a cloud backend: it is
+// the learned emulator. It implements cloudapi.Backend.
+type Emulator struct {
+	mu    sync.Mutex
+	svc   *spec.Service
+	world *World
+}
+
+// New builds an emulator for the given service spec. The spec must
+// index cleanly (unique SM and action names); callers that want
+// well-formedness guarantees should run spec.Check first — the
+// synthesis pipeline always does.
+func New(svc *spec.Service) (*Emulator, error) {
+	if err := svc.Index(); err != nil {
+		return nil, err
+	}
+	return &Emulator{svc: svc, world: NewWorld(svc)}, nil
+}
+
+// Service implements cloudapi.Backend.
+func (e *Emulator) Service() string { return e.svc.Name }
+
+// Actions implements cloudapi.Backend.
+func (e *Emulator) Actions() []string { return e.svc.Actions() }
+
+// Reset implements cloudapi.Backend.
+func (e *Emulator) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.world.Reset()
+}
+
+// Spec returns the service specification the emulator interprets. The
+// alignment loop uses it to localize divergences to spec elements.
+func (e *Emulator) Spec() *spec.Service { return e.svc }
+
+// World exposes the resource store for white-box assertions in tests
+// and the gym's observation space.
+func (e *Emulator) World() *World { return e.world }
+
+// Invoke implements cloudapi.Backend. API-level failures (unknown
+// action, missing/invalid parameters, missing resources, failed
+// assertions, dependency violations) come back as *cloudapi.APIError;
+// other errors indicate a malfunctioning spec or framework bug.
+func (e *Emulator) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	sm, tr, ok := e.svc.Action(req.Action)
+	if !ok || tr.Internal {
+		return nil, cloudapi.Errf(cloudapi.CodeUnknownAction, "the action %s is not valid for this service", req.Action)
+	}
+
+	params, self, apiErr, err := e.bindParams(sm, tr, req.Params)
+	if err != nil {
+		return nil, err
+	}
+	if apiErr != nil {
+		return nil, apiErr
+	}
+
+	var created *Instance
+	if tr.Kind == spec.KCreate {
+		created = e.world.Create(sm)
+		if pp := tr.ParentParam(); pp != nil {
+			pv := params[pp.Name]
+			if pv.Kind() == cloudapi.KindRef {
+				created.Parent = pv.AsRef()
+			}
+		}
+		self = created
+	}
+
+	// Framework correctness check derived from the containment
+	// hierarchy (§1, §3): deletion must ensure all children have been
+	// reclaimed.
+	if tr.Kind == spec.KDestroy && self != nil {
+		if kids := e.world.LiveChildren(self.Ref); len(kids) > 0 {
+			code := sm.Dependency
+			if code == "" {
+				code = cloudapi.CodeDependencyViolation
+			}
+			return nil, cloudapi.Errf(code, "%s has dependent resources (%s) and cannot be deleted", self.Ref, kids[0].Ref)
+		}
+	}
+
+	activation := &env{
+		world:    e.world,
+		sm:       sm,
+		tr:       tr,
+		self:     self,
+		params:   params,
+		readonly: tr.Kind == spec.KDescribe,
+		resp:     cloudapi.Result{},
+	}
+	if err := activation.execStmts(tr.Body); err != nil {
+		if created != nil {
+			e.world.Discard(created.Ref)
+		}
+		if af, ok := err.(*assertFailure); ok {
+			return nil, af.err
+		}
+		return nil, err
+	}
+
+	if tr.Kind == spec.KDestroy && self != nil {
+		e.world.Destroy(self.Ref)
+	}
+	return cloudapi.NormalizeResult(activation.resp), nil
+}
+
+// bindParams resolves request parameters against the transition's
+// declared parameters. It returns (params, receiver, apiError,
+// internalError).
+func (e *Emulator) bindParams(sm *spec.SM, tr *spec.Transition, in cloudapi.Params) (map[string]cloudapi.Value, *Instance, *cloudapi.APIError, error) {
+	params := make(map[string]cloudapi.Value, len(tr.Params))
+	var self *Instance
+	for _, p := range tr.Params {
+		isRecv := p.Receiver || p.Name == "self"
+		raw, present := in[p.Name]
+		if !present || raw.IsNil() {
+			if isRecv || !p.Optional {
+				return nil, nil, cloudapi.Errf(cloudapi.CodeMissingParameter, "the request must contain the parameter %s", p.Name), nil
+			}
+			if !p.Default.IsNil() {
+				params[p.Name] = p.Default
+			} else {
+				params[p.Name] = cloudapi.Nil
+			}
+			continue
+		}
+		v, apiErr, err := e.coerce(p, raw)
+		if err != nil || apiErr != nil {
+			return nil, nil, apiErr, err
+		}
+		params[p.Name] = v
+		if isRecv {
+			inst, ok := e.world.Get(v.AsRef())
+			if !ok || !inst.Alive {
+				return nil, nil, notFoundError(sm, v.AsRef().ID), nil
+			}
+			self = inst
+		}
+	}
+	// Unknown parameters are rejected: real cloud APIs validate their
+	// request shapes, and silent acceptance would hide trace bugs.
+	for name := range in {
+		if tr.Param(name) == nil {
+			return nil, nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "unknown parameter %s for action %s", name, tr.Name), nil
+		}
+	}
+	return params, self, nil, nil
+}
+
+// coerce converts a wire value to the parameter's declared type.
+// String values are accepted for ref-typed parameters and resolved as
+// resource IDs, matching how cloud APIs pass references.
+func (e *Emulator) coerce(p *spec.Param, raw cloudapi.Value) (cloudapi.Value, *cloudapi.APIError, error) {
+	switch p.Type.Kind {
+	case spec.TRef:
+		targetSM := e.svc.SM(p.Type.Ref)
+		if targetSM == nil {
+			return cloudapi.Nil, nil, internalErrf("parameter %s references unknown SM %q", p.Name, p.Type.Ref)
+		}
+		switch raw.Kind() {
+		case cloudapi.KindRef:
+			ref := raw.AsRef()
+			if ref.Type != p.Type.Ref {
+				return cloudapi.Nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "parameter %s expects a %s, got a %s", p.Name, p.Type.Ref, ref.Type), nil
+			}
+			if _, ok := e.world.Lookup(ref.Type, ref.ID); !ok {
+				return cloudapi.Nil, notFoundError(targetSM, ref.ID), nil
+			}
+			return raw, nil, nil
+		case cloudapi.KindString:
+			inst, ok := e.world.Lookup(p.Type.Ref, raw.AsString())
+			if !ok {
+				return cloudapi.Nil, notFoundError(targetSM, raw.AsString()), nil
+			}
+			return cloudapi.RefOf(inst.Ref), nil, nil
+		default:
+			return cloudapi.Nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "parameter %s expects a resource reference", p.Name), nil
+		}
+	case spec.TString, spec.TEnum:
+		if raw.Kind() != cloudapi.KindString {
+			return cloudapi.Nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "parameter %s expects a string", p.Name), nil
+		}
+		return raw, nil, nil
+	case spec.TInt:
+		if raw.Kind() != cloudapi.KindInt {
+			return cloudapi.Nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "parameter %s expects an integer", p.Name), nil
+		}
+		return raw, nil, nil
+	case spec.TBool:
+		if raw.Kind() != cloudapi.KindBool {
+			return cloudapi.Nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "parameter %s expects a boolean", p.Name), nil
+		}
+		return raw, nil, nil
+	case spec.TList:
+		if raw.Kind() != cloudapi.KindList {
+			return cloudapi.Nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "parameter %s expects a list", p.Name), nil
+		}
+		return raw, nil, nil
+	case spec.TMap:
+		if raw.Kind() != cloudapi.KindMap {
+			return cloudapi.Nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "parameter %s expects a map", p.Name), nil
+		}
+		return raw, nil, nil
+	default:
+		return raw, nil, nil
+	}
+}
+
+func notFoundError(sm *spec.SM, id string) *cloudapi.APIError {
+	code := sm.NotFound
+	if code == "" {
+		code = fmt.Sprintf("Invalid%sID.NotFound", sm.Name)
+	}
+	return cloudapi.Errf(code, "the %s %q does not exist", sm.Name, id)
+}

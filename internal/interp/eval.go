@@ -1,0 +1,702 @@
+package interp
+
+import (
+	"strings"
+
+	"lce/internal/cidr"
+	"lce/internal/cloudapi"
+	"lce/internal/spec"
+)
+
+// DefaultAssertCode is the error code used when a failed assertion
+// carries no explicit code. Spec linking normally attaches a code to
+// every assertion; this default exists so unlinked specs still fail
+// closed.
+const DefaultAssertCode = "AssertionFailure"
+
+// maxCallDepth bounds cross-SM call chains so cyclic specs cannot hang
+// the emulator; the depth is generous compared to any real dependency
+// hierarchy.
+const maxCallDepth = 64
+
+// assertFailure is an internal control-flow signal carrying the API
+// error a failed assertion maps to.
+type assertFailure struct {
+	err *cloudapi.APIError
+}
+
+func (a *assertFailure) Error() string { return a.err.Error() }
+
+// env is one transition activation record.
+type env struct {
+	world  *World
+	sm     *spec.SM
+	tr     *spec.Transition
+	self   *Instance // nil for service-level transitions
+	params map[string]cloudapi.Value
+	locals []localVar // foreach bindings, innermost last
+	depth  int
+	// readonly is set while executing describe transitions: the
+	// framework guarantees by construction that describes cannot
+	// mutate state (§4.2's soundness requirement, enforced at runtime
+	// as defense in depth).
+	readonly bool
+	resp     cloudapi.Result
+}
+
+type localVar struct {
+	name string
+	val  cloudapi.Value
+}
+
+func (e *env) lookupLocal(name string) (cloudapi.Value, bool) {
+	for i := len(e.locals) - 1; i >= 0; i-- {
+		if e.locals[i].name == name {
+			return e.locals[i].val, true
+		}
+	}
+	return cloudapi.Nil, false
+}
+
+// execStmts runs a statement list. It returns an *assertFailure (as
+// error) when an assertion fails, or a plain error on framework
+// malfunction.
+func (e *env) execStmts(stmts []spec.Stmt) error {
+	for _, s := range stmts {
+		if err := e.execStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *env) execStmt(s spec.Stmt) error {
+	switch st := s.(type) {
+	case *spec.WriteStmt:
+		if e.readonly {
+			return internalErrf("describe transition %s attempted write(%s, …); the framework forbids mutation in describes", e.tr.Name, st.State)
+		}
+		if e.self == nil {
+			return internalErrf("transition %s: write(%s, …) with no receiver", e.tr.Name, st.State)
+		}
+		v, err := e.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		e.self.Attrs[st.State] = v
+		return nil
+	case *spec.AssertStmt:
+		v, err := e.eval(st.Pred)
+		if err != nil {
+			return err
+		}
+		if v.Truthy() {
+			return nil
+		}
+		code := st.Code
+		if code == "" {
+			code = DefaultAssertCode
+		}
+		msg := st.Message
+		if msg == "" {
+			msg = "constraint not satisfied: " + spec.ExprString(st.Pred)
+		}
+		return &assertFailure{err: &cloudapi.APIError{Code: code, Message: msg}}
+	case *spec.CallStmt:
+		return e.execCall(st)
+	case *spec.IfStmt:
+		v, err := e.eval(st.Cond)
+		if err != nil {
+			return err
+		}
+		if v.Truthy() {
+			return e.execStmts(st.Then)
+		}
+		return e.execStmts(st.Else)
+	case *spec.ReturnStmt:
+		v, err := e.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		if e.resp == nil {
+			return internalErrf("transition %s: return outside a top-level activation", e.tr.Name)
+		}
+		e.resp[st.Name] = v
+		return nil
+	case *spec.ForEachStmt:
+		v, err := e.eval(st.Over)
+		if err != nil {
+			return err
+		}
+		if v.IsNil() {
+			return nil
+		}
+		if v.Kind() != cloudapi.KindList {
+			return internalErrf("transition %s: foreach over %s", e.tr.Name, v.Kind())
+		}
+		for _, elem := range v.AsList() {
+			e.locals = append(e.locals, localVar{name: st.Var, val: elem})
+			err := e.execStmts(st.Body)
+			e.locals = e.locals[:len(e.locals)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return internalErrf("unknown statement %T", s)
+	}
+}
+
+// execCall triggers a transition on another SM instance. Internal
+// calls bind positionally to the callee's non-self parameters and do
+// not contribute to the API response.
+func (e *env) execCall(st *spec.CallStmt) error {
+	if e.readonly {
+		return internalErrf("describe transition %s attempted call(…); the framework forbids mutation in describes", e.tr.Name)
+	}
+	if e.depth >= maxCallDepth {
+		return internalErrf("call depth limit exceeded in transition %s (cyclic spec?)", e.tr.Name)
+	}
+	tv, err := e.eval(st.Target)
+	if err != nil {
+		return err
+	}
+	if tv.Kind() != cloudapi.KindRef {
+		return internalErrf("transition %s: call target is %s, want ref", e.tr.Name, tv.Kind())
+	}
+	ref := tv.AsRef()
+	targetSM := e.world.svc.SM(ref.Type)
+	if targetSM == nil {
+		return internalErrf("transition %s: call into unknown SM %q", e.tr.Name, ref.Type)
+	}
+	callee := targetSM.Transition(st.Trans)
+	if callee == nil {
+		return internalErrf("transition %s: SM %q has no transition %q", e.tr.Name, ref.Type, st.Trans)
+	}
+	inst, ok := e.world.Get(ref)
+	if !ok || !inst.Alive {
+		code := targetSM.NotFound
+		if code == "" {
+			code = "InvalidResourceID.NotFound"
+		}
+		return &assertFailure{err: cloudapi.Errf(code, "resource %s referenced by %s does not exist", ref, e.tr.Name)}
+	}
+	args := make([]cloudapi.Value, len(st.Args))
+	for i, a := range st.Args {
+		v, err := e.eval(a)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	params := make(map[string]cloudapi.Value)
+	idx := 0
+	for _, p := range callee.Params {
+		if p.Receiver || p.Name == "self" {
+			params[p.Name] = cloudapi.RefOf(ref)
+			continue
+		}
+		if idx < len(args) {
+			params[p.Name] = args[idx]
+			idx++
+		} else if !p.Default.IsNil() {
+			params[p.Name] = p.Default
+		} else {
+			params[p.Name] = cloudapi.Nil
+		}
+	}
+	callee2 := &env{
+		world:  e.world,
+		sm:     targetSM,
+		tr:     callee,
+		self:   inst,
+		params: params,
+		depth:  e.depth + 1,
+		resp:   e.resp, // nested returns surface on the same response
+	}
+	// Destroy transitions invoked through call carry the framework's
+	// destroy semantics, so specs can cascade reclamation of dependent
+	// resources (DeleteTable reclaiming its items, DeleteSecurityGroup
+	// its rules, …).
+	if callee.Kind == spec.KDestroy {
+		if kids := e.world.LiveChildren(ref); len(kids) > 0 {
+			code := targetSM.Dependency
+			if code == "" {
+				code = cloudapi.CodeDependencyViolation
+			}
+			return &assertFailure{err: cloudapi.Errf(code, "%s has dependent resources (%s) and cannot be deleted", ref, kids[0].Ref)}
+		}
+	}
+	if err := callee2.execStmts(callee.Body); err != nil {
+		return err
+	}
+	if callee.Kind == spec.KDestroy {
+		e.world.Destroy(ref)
+	}
+	return nil
+}
+
+// eval computes an expression value.
+func (e *env) eval(x spec.Expr) (cloudapi.Value, error) {
+	switch ex := x.(type) {
+	case *spec.Lit:
+		return ex.Value, nil
+	case *spec.Ident:
+		if v, ok := e.lookupLocal(ex.Name); ok {
+			return v, nil
+		}
+		if v, ok := e.params[ex.Name]; ok {
+			return v, nil
+		}
+		if e.self != nil {
+			if e.sm.State(ex.Name) != nil {
+				return e.self.attrOrNil(ex.Name), nil
+			}
+		}
+		return cloudapi.Nil, internalErrf("transition %s: unbound identifier %q", e.tr.Name, ex.Name)
+	case *spec.ReadExpr:
+		if e.self == nil {
+			return cloudapi.Nil, internalErrf("transition %s: read(%s) with no receiver", e.tr.Name, ex.State)
+		}
+		return e.self.attrOrNil(ex.State), nil
+	case *spec.SelfExpr:
+		if e.self == nil {
+			return cloudapi.Nil, internalErrf("transition %s: self with no receiver", e.tr.Name)
+		}
+		return cloudapi.RefOf(e.self.Ref), nil
+	case *spec.FieldExpr:
+		base, err := e.eval(ex.X)
+		if err != nil {
+			return cloudapi.Nil, err
+		}
+		if base.IsNil() {
+			return cloudapi.Nil, nil
+		}
+		if base.Kind() != cloudapi.KindRef {
+			return cloudapi.Nil, internalErrf("transition %s: field access on %s", e.tr.Name, base.Kind())
+		}
+		inst, ok := e.world.Get(base.AsRef())
+		if !ok {
+			return cloudapi.Nil, nil
+		}
+		return inst.attrOrNil(ex.Name), nil
+	case *spec.BuiltinExpr:
+		return e.evalBuiltin(ex)
+	case *spec.UnaryExpr:
+		v, err := e.eval(ex.X)
+		if err != nil {
+			return cloudapi.Nil, err
+		}
+		if ex.Op == spec.TokBang {
+			return cloudapi.Bool(!v.Truthy()), nil
+		}
+		return cloudapi.Int(-v.AsInt()), nil
+	case *spec.BinaryExpr:
+		return e.evalBinary(ex)
+	default:
+		return cloudapi.Nil, internalErrf("unknown expression %T", x)
+	}
+}
+
+func (e *env) evalBinary(ex *spec.BinaryExpr) (cloudapi.Value, error) {
+	// Short-circuit logical operators.
+	switch ex.Op {
+	case spec.TokAnd:
+		l, err := e.eval(ex.X)
+		if err != nil {
+			return cloudapi.Nil, err
+		}
+		if !l.Truthy() {
+			return cloudapi.False, nil
+		}
+		r, err := e.eval(ex.Y)
+		if err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Bool(r.Truthy()), nil
+	case spec.TokOr:
+		l, err := e.eval(ex.X)
+		if err != nil {
+			return cloudapi.Nil, err
+		}
+		if l.Truthy() {
+			return cloudapi.True, nil
+		}
+		r, err := e.eval(ex.Y)
+		if err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Bool(r.Truthy()), nil
+	}
+	l, err := e.eval(ex.X)
+	if err != nil {
+		return cloudapi.Nil, err
+	}
+	r, err := e.eval(ex.Y)
+	if err != nil {
+		return cloudapi.Nil, err
+	}
+	switch ex.Op {
+	case spec.TokEq:
+		return cloudapi.Bool(l.Equal(r)), nil
+	case spec.TokNeq:
+		return cloudapi.Bool(!l.Equal(r)), nil
+	case spec.TokLt, spec.TokLe, spec.TokGt, spec.TokGe:
+		cmp, err := compareValues(l, r)
+		if err != nil {
+			return cloudapi.Nil, internalErrf("transition %s: %v", e.tr.Name, err)
+		}
+		switch ex.Op {
+		case spec.TokLt:
+			return cloudapi.Bool(cmp < 0), nil
+		case spec.TokLe:
+			return cloudapi.Bool(cmp <= 0), nil
+		case spec.TokGt:
+			return cloudapi.Bool(cmp > 0), nil
+		default:
+			return cloudapi.Bool(cmp >= 0), nil
+		}
+	case spec.TokPlus:
+		return cloudapi.Int(l.AsInt() + r.AsInt()), nil
+	case spec.TokMinus:
+		return cloudapi.Int(l.AsInt() - r.AsInt()), nil
+	default:
+		return cloudapi.Nil, internalErrf("unknown binary operator")
+	}
+}
+
+func compareValues(l, r cloudapi.Value) (int, error) {
+	if l.Kind() == cloudapi.KindInt && r.Kind() == cloudapi.KindInt {
+		switch {
+		case l.AsInt() < r.AsInt():
+			return -1, nil
+		case l.AsInt() > r.AsInt():
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if l.Kind() == cloudapi.KindString && r.Kind() == cloudapi.KindString {
+		return strings.Compare(l.AsString(), r.AsString()), nil
+	}
+	return 0, internalErrf("ordered comparison between %s and %s", l.Kind(), r.Kind())
+}
+
+func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
+	args := make([]cloudapi.Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := e.eval(a)
+		if err != nil {
+			return cloudapi.Nil, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return internalErrf("builtin %s: %d args, want %d", ex.Name, len(args), n)
+		}
+		return nil
+	}
+	switch ex.Name {
+	case "len":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		switch args[0].Kind() {
+		case cloudapi.KindList:
+			return cloudapi.Int(int64(len(args[0].AsList()))), nil
+		case cloudapi.KindString:
+			return cloudapi.Int(int64(len(args[0].AsString()))), nil
+		case cloudapi.KindMap:
+			return cloudapi.Int(int64(len(args[0].AsMap()))), nil
+		case cloudapi.KindNil:
+			return cloudapi.Int(0), nil
+		default:
+			return cloudapi.Nil, internalErrf("builtin len: unsupported kind %s", args[0].Kind())
+		}
+	case "isnil":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Bool(args[0].IsNil()), nil
+	case "id":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		if args[0].Kind() != cloudapi.KindRef {
+			return cloudapi.Nil, internalErrf("builtin id: argument is %s, want ref", args[0].Kind())
+		}
+		return cloudapi.Str(args[0].AsRef().ID), nil
+	case "children":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		if e.self == nil {
+			return cloudapi.Nil, internalErrf("builtin children with no receiver")
+		}
+		insts := e.world.Children(e.self.Ref, args[0].AsString())
+		return refList(insts), nil
+	case "instances":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		insts := e.world.Instances(args[0].AsString())
+		return refList(insts), nil
+	case "append":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		var base []cloudapi.Value
+		if !args[0].IsNil() {
+			base = args[0].AsList()
+		}
+		out := make([]cloudapi.Value, 0, len(base)+1)
+		out = append(out, base...)
+		out = append(out, args[1])
+		return cloudapi.List(out...), nil
+	case "remove":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		var out []cloudapi.Value
+		for _, v := range args[0].AsList() {
+			if !v.Equal(args[1]) {
+				out = append(out, v)
+			}
+		}
+		return cloudapi.List(out...), nil
+	case "contains":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		for _, v := range args[0].AsList() {
+			if v.Equal(args[1]) {
+				return cloudapi.True, nil
+			}
+		}
+		return cloudapi.False, nil
+	case "concat":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Str(args[0].AsString() + args[1].AsString()), nil
+	case "emptyList":
+		if err := need(0); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.List(), nil
+	case "emptyMap":
+		if err := need(0); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Map(nil), nil
+	case "pluck":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		out := []cloudapi.Value{}
+		for _, v := range args[0].AsList() {
+			if v.Kind() != cloudapi.KindRef {
+				continue
+			}
+			if inst, ok := e.world.Get(v.AsRef()); ok {
+				out = append(out, inst.attrOrNil(args[1].AsString()))
+			}
+		}
+		return cloudapi.List(out...), nil
+	case "describeEach":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		out := []cloudapi.Value{}
+		for _, v := range args[0].AsList() {
+			if v.Kind() != cloudapi.KindRef {
+				continue
+			}
+			if inst, ok := e.world.Get(v.AsRef()); ok {
+				out = append(out, describeInstance(inst))
+			}
+		}
+		return cloudapi.List(out...), nil
+	case "mapMerge":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		a, b := args[0].AsMap(), args[1].AsMap()
+		out := make(map[string]cloudapi.Value, len(a)+len(b))
+		for k, v := range a {
+			out[k] = v
+		}
+		for k, v := range b {
+			out[k] = v
+		}
+		return cloudapi.Map(out), nil
+	case "first":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		l := args[0].AsList()
+		if len(l) == 0 {
+			return cloudapi.Nil, nil
+		}
+		return l[0], nil
+	case "hasPrefix":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Bool(strings.HasPrefix(args[0].AsString(), args[1].AsString())), nil
+	case "mapSet":
+		if err := need(3); err != nil {
+			return cloudapi.Nil, err
+		}
+		src := args[0].AsMap()
+		out := make(map[string]cloudapi.Value, len(src)+1)
+		for k, v := range src {
+			out[k] = v
+		}
+		out[args[1].AsString()] = args[2]
+		return cloudapi.Map(out), nil
+	case "mapDel":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		src := args[0].AsMap()
+		out := make(map[string]cloudapi.Value, len(src))
+		for k, v := range src {
+			if k != args[1].AsString() {
+				out[k] = v
+			}
+		}
+		return cloudapi.Map(out), nil
+	case "lookup":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		if args[1].Kind() != cloudapi.KindString {
+			return cloudapi.Nil, nil
+		}
+		inst, ok := e.world.Lookup(args[0].AsString(), args[1].AsString())
+		if !ok {
+			return cloudapi.Nil, nil
+		}
+		return cloudapi.RefOf(inst.Ref), nil
+	case "matching":
+		if err := need(3); err != nil {
+			return cloudapi.Nil, err
+		}
+		var out []cloudapi.Value
+		for _, inst := range e.world.Instances(args[0].AsString()) {
+			if inst.attrOrNil(args[1].AsString()).Equal(args[2]) {
+				out = append(out, cloudapi.RefOf(inst.Ref))
+			}
+		}
+		return cloudapi.List(out...), nil
+	case "filterEq":
+		if err := need(3); err != nil {
+			return cloudapi.Nil, err
+		}
+		var out []cloudapi.Value
+		for _, v := range args[0].AsList() {
+			if v.Kind() != cloudapi.KindRef {
+				continue
+			}
+			inst, ok := e.world.Get(v.AsRef())
+			if !ok {
+				continue
+			}
+			if inst.attrOrNil(args[1].AsString()).Equal(args[2]) {
+				out = append(out, v)
+			}
+		}
+		return cloudapi.List(out...), nil
+	case "cidrCapacity":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Int(cidr.HostCapacity(args[0].AsString())), nil
+	case "cidrValid":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Bool(cidr.Valid(args[0].AsString())), nil
+	case "prefixLen":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Int(int64(cidr.PrefixLen(args[0].AsString()))), nil
+	case "cidrWithin":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Bool(cidr.Within(args[0].AsString(), args[1].AsString())), nil
+	case "cidrOverlaps":
+		if err := need(2); err != nil {
+			return cloudapi.Nil, err
+		}
+		return cloudapi.Bool(cidr.Overlaps(args[0].AsString(), args[1].AsString())), nil
+	case "attrs":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		if args[0].Kind() != cloudapi.KindRef {
+			return cloudapi.Nil, internalErrf("builtin attrs: argument is %s, want ref", args[0].Kind())
+		}
+		inst, ok := e.world.Get(args[0].AsRef())
+		if !ok {
+			return cloudapi.Nil, nil
+		}
+		m := make(map[string]cloudapi.Value, len(inst.Attrs))
+		for k, v := range inst.Attrs {
+			m[k] = v
+		}
+		return cloudapi.Map(m), nil
+	case "describe":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		if args[0].Kind() != cloudapi.KindRef {
+			return cloudapi.Nil, internalErrf("builtin describe: argument is %s, want ref", args[0].Kind())
+		}
+		inst, ok := e.world.Get(args[0].AsRef())
+		if !ok {
+			return cloudapi.Nil, nil
+		}
+		return describeInstance(inst), nil
+	case "describeAll":
+		if err := need(1); err != nil {
+			return cloudapi.Nil, err
+		}
+		insts := e.world.Instances(args[0].AsString())
+		out := make([]cloudapi.Value, len(insts))
+		for i, inst := range insts {
+			out[i] = describeInstance(inst)
+		}
+		return cloudapi.List(out...), nil
+	default:
+		return cloudapi.Nil, internalErrf("unknown builtin %q", ex.Name)
+	}
+}
+
+// describeInstance renders an instance as the canonical describe
+// payload: every state attribute plus an "id" key. Nil attributes are
+// omitted, matching how cloud APIs omit unset fields.
+func describeInstance(inst *Instance) cloudapi.Value {
+	m := make(map[string]cloudapi.Value, len(inst.Attrs)+1)
+	for k, v := range inst.Attrs {
+		if v.IsNil() {
+			continue
+		}
+		m[k] = v
+	}
+	m["id"] = cloudapi.Str(inst.Ref.ID)
+	return cloudapi.Map(m)
+}
+
+func refList(insts []*Instance) cloudapi.Value {
+	out := make([]cloudapi.Value, len(insts))
+	for i, inst := range insts {
+		out[i] = cloudapi.RefOf(inst.Ref)
+	}
+	return cloudapi.List(out...)
+}

@@ -1,0 +1,229 @@
+// Package interp is the emulator framework the paper engineers once by
+// hand (§4.2): an interpreter that executes SM specifications against a
+// resource store. The specs act as an "executable specification";
+// the framework supplies everything the grammar leaves implicit —
+// instance lifecycle, the containment hierarchy and its correctness
+// checks, parameter binding, error-code mapping for failed assertions,
+// and the pure builtin functions.
+package interp
+
+import (
+	"fmt"
+
+	"lce/internal/cloudapi"
+	"lce/internal/spec"
+)
+
+// Instance is one live (or destroyed) resource.
+type Instance struct {
+	Ref    cloudapi.Ref
+	Attrs  map[string]cloudapi.Value
+	Parent cloudapi.Ref
+	Alive  bool
+	// Seq is the global creation sequence number; listings are ordered
+	// by it so two backends that process the same trace enumerate
+	// resources identically.
+	Seq int
+}
+
+// World is the resource store: every instance of every SM type,
+// indexed by type and ID, plus deterministic ID allocation.
+type World struct {
+	svc    *spec.Service
+	ids    *cloudapi.IDGen
+	byType map[string]map[string]*Instance
+	seq    int
+}
+
+// NewWorld returns an empty store for the given service.
+func NewWorld(svc *spec.Service) *World {
+	return &World{
+		svc:    svc,
+		ids:    cloudapi.NewIDGen(),
+		byType: make(map[string]map[string]*Instance),
+	}
+}
+
+// Reset drops every instance and restarts ID allocation.
+func (w *World) Reset() {
+	w.byType = make(map[string]map[string]*Instance)
+	w.ids.Reset()
+	w.seq = 0
+}
+
+// Create allocates a new live instance of the given SM.
+func (w *World) Create(sm *spec.SM) *Instance {
+	prefix := sm.IDPrefix
+	if prefix == "" {
+		prefix = lowerFirst(sm.Name)
+	}
+	id := w.ids.Next(prefix)
+	w.seq++
+	inst := &Instance{
+		Ref:   cloudapi.Ref{Type: sm.Name, ID: id},
+		Attrs: make(map[string]cloudapi.Value),
+		Alive: true,
+		Seq:   w.seq,
+	}
+	m := w.byType[sm.Name]
+	if m == nil {
+		m = make(map[string]*Instance)
+		w.byType[sm.Name] = m
+	}
+	m[id] = inst
+	return inst
+}
+
+// Get returns the instance for ref if it exists (alive or not).
+func (w *World) Get(ref cloudapi.Ref) (*Instance, bool) {
+	m, ok := w.byType[ref.Type]
+	if !ok {
+		return nil, false
+	}
+	inst, ok := m[ref.ID]
+	return inst, ok
+}
+
+// Lookup finds a live instance of the given type by ID.
+func (w *World) Lookup(typ, id string) (*Instance, bool) {
+	inst, ok := w.Get(cloudapi.Ref{Type: typ, ID: id})
+	if !ok || !inst.Alive {
+		return nil, false
+	}
+	return inst, true
+}
+
+// Discard removes an instance entirely and returns its ID and
+// sequence number to the pool; used to roll back a create whose
+// transition body failed an assertion, keeping ID allocation aligned
+// with a cloud that validates before allocating.
+func (w *World) Discard(ref cloudapi.Ref) {
+	m, ok := w.byType[ref.Type]
+	if !ok {
+		return
+	}
+	inst, ok := m[ref.ID]
+	if !ok {
+		return
+	}
+	delete(m, ref.ID)
+	if inst.Seq == w.seq {
+		w.seq--
+	}
+	sm := w.svc.SM(ref.Type)
+	prefix := ""
+	if sm != nil {
+		prefix = sm.IDPrefix
+	}
+	if prefix == "" {
+		prefix = lowerFirst(ref.Type)
+	}
+	w.ids.Rollback(prefix)
+}
+
+// Destroy marks an instance dead.
+func (w *World) Destroy(ref cloudapi.Ref) {
+	if inst, ok := w.Get(ref); ok {
+		inst.Alive = false
+	}
+}
+
+// Instances returns the live instances of one type in creation order.
+func (w *World) Instances(typ string) []*Instance {
+	var out []*Instance
+	for _, inst := range w.byType[typ] {
+		if inst.Alive {
+			out = append(out, inst)
+		}
+	}
+	sortBySeq(out)
+	return out
+}
+
+// Children returns the live instances of childType whose parent is ref,
+// in creation order.
+func (w *World) Children(ref cloudapi.Ref, childType string) []*Instance {
+	var out []*Instance
+	for _, inst := range w.byType[childType] {
+		if inst.Alive && inst.Parent == ref {
+			out = append(out, inst)
+		}
+	}
+	sortBySeq(out)
+	return out
+}
+
+// LiveChildren reports whether any live instance of any type has ref as
+// its parent, returning the first such instance found (in creation
+// order across types as declared in the service).
+func (w *World) LiveChildren(ref cloudapi.Ref) []*Instance {
+	var out []*Instance
+	for _, sm := range w.svc.SMs {
+		if sm.Parent == ref.Type {
+			out = append(out, w.Children(ref, sm.Name)...)
+		}
+	}
+	return out
+}
+
+// CountLive returns the number of live instances of the given type.
+func (w *World) CountLive(typ string) int {
+	n := 0
+	for _, inst := range w.byType[typ] {
+		if inst.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a deep copy of every live instance's attributes,
+// keyed by "Type/ID". Tests and the gym use it to assert invariants
+// without reaching into the store.
+func (w *World) Snapshot() map[string]map[string]cloudapi.Value {
+	out := make(map[string]map[string]cloudapi.Value)
+	for typ, m := range w.byType {
+		for id, inst := range m {
+			if !inst.Alive {
+				continue
+			}
+			attrs := make(map[string]cloudapi.Value, len(inst.Attrs))
+			for k, v := range inst.Attrs {
+				attrs[k] = v
+			}
+			out[typ+"/"+id] = attrs
+		}
+	}
+	return out
+}
+
+func sortBySeq(insts []*Instance) {
+	for i := 1; i < len(insts); i++ {
+		for j := i; j > 0 && insts[j].Seq < insts[j-1].Seq; j-- {
+			insts[j], insts[j-1] = insts[j-1], insts[j]
+		}
+	}
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'A' && b[0] <= 'Z' {
+		b[0] += 'a' - 'A'
+	}
+	return string(b)
+}
+
+// attrOrNil returns the instance attribute, or Nil when unset.
+func (inst *Instance) attrOrNil(name string) cloudapi.Value {
+	if v, ok := inst.Attrs[name]; ok {
+		return v
+	}
+	return cloudapi.Nil
+}
+
+func internalErrf(format string, args ...any) error {
+	return fmt.Errorf("interp: %s", fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,389 @@
+// Package scenarios holds the DevOps API traces the evaluation runs:
+// the 12 traces (4 per scenario — provisioning, state updates, edge
+// cases) behind Fig. 3, the paper's §5 "basic functionality" program,
+// and extended parity suites that sweep every modeled resource for the
+// differential tests.
+package scenarios
+
+import (
+	"lce/internal/cloudapi"
+	"lce/internal/trace"
+)
+
+func step(action string, kv ...any) trace.Step {
+	s := trace.Step{Action: action, Params: map[string]trace.Arg{}}
+	for i := 0; i+1 < len(kv); i += 2 {
+		name := kv[i].(string)
+		switch v := kv[i+1].(type) {
+		case string:
+			s.Params[name] = trace.S(v)
+		case int:
+			s.Params[name] = trace.I(int64(v))
+		case bool:
+			s.Params[name] = trace.B(v)
+		case trace.Arg:
+			s.Params[name] = v
+		case cloudapi.Value:
+			s.Params[name] = trace.Val(v)
+		default:
+			panic("scenarios: unsupported param type")
+		}
+	}
+	return s
+}
+
+func save(s trace.Step, attr, binding string) trace.Step {
+	if s.Save == nil {
+		s.Save = map[string]string{}
+	}
+	s.Save[attr] = binding
+	return s
+}
+
+func ref(b string) trace.Arg { return trace.Ref(b) }
+
+// BasicFunctionality is the paper's §5 demonstration program: create a
+// VPC, attach a subnet, enable MapPublicIpOnLaunch, and confirm the
+// emulator maintained the state.
+func BasicFunctionality() trace.Trace {
+	return trace.Trace{
+		Name:     "basic-functionality",
+		Scenario: "provisioning",
+		Steps: []trace.Step{
+			save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+			save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+			step("ModifySubnetAttribute", "subnetId", ref("subnet"), "mapPublicIpOnLaunch", true),
+			step("DescribeSubnets"),
+			step("DescribeVpcs"),
+		},
+	}
+}
+
+// EC2Fig3 returns the 12 traces of Fig. 3: 4 traces in each of the 3
+// scenarios the paper evaluates (provisioning, state updates, edge
+// cases targeting subtle underspecified checks).
+func EC2Fig3() []trace.Trace {
+	return []trace.Trace{
+		// --- provisioning ---
+		BasicFunctionality(),
+		{
+			Name: "provision-network-stack", Scenario: "provisioning",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateInternetGateway"), "internetGatewayId", "igw"),
+				step("AttachInternetGateway", "internetGatewayId", ref("igw"), "vpcId", ref("vpc")),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateRouteTable", "vpcId", ref("vpc")), "routeTableId", "rt"),
+				step("CreateRoute", "routeTableId", ref("rt"), "destinationCidrBlock", "0.0.0.0/0", "gatewayId", ref("igw")),
+				step("AssociateRouteTable", "routeTableId", ref("rt"), "subnetId", ref("subnet")),
+				step("DescribeRouteTables"),
+				step("DescribeInternetGateways"),
+			},
+		},
+		{
+			Name: "provision-compute-stack", Scenario: "provisioning",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				step("CreateKeyPair", "keyName", "deploy"),
+				save(step("RunInstances", "subnetId", ref("subnet"), "instanceType", "t3.micro", "keyName", "deploy"), "instanceId", "inst"),
+				save(step("CreateVolume", "size", 64, "availabilityZone", "us-east-1a"), "volumeId", "vol"),
+				step("AttachVolume", "volumeId", ref("vol"), "instanceId", ref("inst")),
+				step("DescribeInstances"),
+				step("DescribeVolumes"),
+			},
+		},
+		{
+			Name: "provision-nat-gateway", Scenario: "provisioning",
+			Steps: []trace.Step{
+				save(step("AllocateAddress"), "allocationId", "eip"),
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateNatGateway", "subnetId", ref("subnet"), "allocationId", ref("eip")), "natGatewayId", "nat"),
+				step("DescribeNatGateways"),
+				step("DescribeAddresses"),
+			},
+		},
+		// --- state updates ---
+		{
+			Name: "update-vpc-dns-attributes", Scenario: "state-updates",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16", "instanceTenancy", "dedicated"), "vpcId", "vpc"),
+				step("ModifyVpcAttribute", "vpcId", ref("vpc"), "enableDnsHostnames", true),
+				step("DescribeVpcs"),
+			},
+		},
+		{
+			Name: "update-instance-lifecycle", Scenario: "state-updates",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("RunInstances", "subnetId", ref("subnet")), "instanceId", "inst"),
+				step("StopInstances", "instanceId", ref("inst")),
+				step("StartInstances", "instanceId", ref("inst")),
+				step("StopInstances", "instanceId", ref("inst")),
+				step("ModifyInstanceAttribute", "instanceId", ref("inst"), "instanceType", "m5.xlarge"),
+				step("DescribeInstances"),
+			},
+		},
+		{
+			Name: "update-credit-specification", Scenario: "state-updates",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("RunInstances", "subnetId", ref("subnet"), "instanceType", "t3.micro"), "instanceId", "inst"),
+				step("ModifyInstanceAttribute", "instanceId", ref("inst"), "creditSpecification", "unlimited"),
+				step("DescribeInstances"),
+			},
+		},
+		{
+			Name: "update-security-group-rules", Scenario: "state-updates",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSecurityGroup", "vpcId", ref("vpc"), "groupName", "web", "description", "web tier"), "groupId", "sg"),
+				save(step("AuthorizeSecurityGroupIngress", "groupId", ref("sg"), "ipProtocol", "tcp", "fromPort", 443, "toPort", 443, "cidrIpv4", "0.0.0.0/0"), "securityGroupRuleId", "rule"),
+				step("AuthorizeSecurityGroupEgress", "groupId", ref("sg"), "ipProtocol", "-1", "cidrIpv4", "0.0.0.0/0"),
+				step("RevokeSecurityGroupRule", "securityGroupRuleId", ref("rule")),
+				step("DescribeSecurityGroupRules"),
+			},
+		},
+		// --- edge cases ---
+		{
+			Name: "edge-delete-vpc-with-gateway", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateInternetGateway"), "internetGatewayId", "igw"),
+				step("AttachInternetGateway", "internetGatewayId", ref("igw"), "vpcId", ref("vpc")),
+				step("DeleteVpc", "vpcId", ref("vpc")), // must fail: DependencyViolation
+				step("DetachInternetGateway", "internetGatewayId", ref("igw"), "vpcId", ref("vpc")),
+				step("DeleteVpc", "vpcId", ref("vpc")),
+			},
+		},
+		{
+			Name: "edge-start-running-instance", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("RunInstances", "subnetId", ref("subnet")), "instanceId", "inst"),
+				step("StartInstances", "instanceId", ref("inst")), // must fail: IncorrectInstanceState
+				step("DescribeInstances"),
+			},
+		},
+		{
+			Name: "edge-subnet-prefix-and-conflict", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/29"), // must fail: InvalidSubnet.Range
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.128/25"), // must fail: InvalidSubnet.Conflict
+				step("DescribeSubnets"),
+			},
+		},
+		{
+			Name: "edge-dns-attribute-coupling", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				step("ModifyVpcAttribute", "vpcId", ref("vpc"), "enableDnsSupport", false),
+				step("ModifyVpcAttribute", "vpcId", ref("vpc"), "enableDnsHostnames", true), // must fail: InvalidParameterCombination
+				step("DescribeVpcs"),
+			},
+		},
+	}
+}
+
+// EC2Extended sweeps the resources Fig. 3 does not touch, with both
+// golden paths and failure paths; the differential tests use it to
+// verify a noise-free learned emulator aligns with the oracle across
+// the full service.
+func EC2Extended() []trace.Trace {
+	return []trace.Trace{
+		{
+			Name: "ext-peering", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "a"),
+				save(step("CreateVpc", "cidrBlock", "10.1.0.0/16"), "vpcId", "b"),
+				step("CreateVpcPeeringConnection", "vpcId", ref("a"), "peerVpcId", ref("a")), // fail: self-peer
+				save(step("CreateVpcPeeringConnection", "vpcId", ref("a"), "peerVpcId", ref("b")), "vpcPeeringConnectionId", "pcx"),
+				step("AcceptVpcPeeringConnection", "vpcPeeringConnectionId", ref("pcx")),
+				step("AcceptVpcPeeringConnection", "vpcPeeringConnectionId", ref("pcx")), // fail: not pending
+				step("DescribeVpcPeeringConnections"),
+				step("DeleteVpcPeeringConnection", "vpcPeeringConnectionId", ref("pcx")),
+			},
+		},
+		{
+			Name: "ext-vpn-stack", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateCustomerGateway", "bgpAsn", 65000, "ipAddress", "203.0.113.10"), "customerGatewayId", "cgw"),
+				save(step("CreateVpnGateway"), "vpnGatewayId", "vgw"),
+				step("AttachVpnGateway", "vpnGatewayId", ref("vgw"), "vpcId", ref("vpc")),
+				step("AttachVpnGateway", "vpnGatewayId", ref("vgw"), "vpcId", ref("vpc")), // fail: already attached
+				save(step("CreateVpnConnection", "customerGatewayId", ref("cgw"), "vpnGatewayId", ref("vgw")), "vpnConnectionId", "vpn"),
+				step("DeleteCustomerGateway", "customerGatewayId", ref("cgw")), // fail: in use
+				step("DeleteVpnGateway", "vpnGatewayId", ref("vgw")),           // fail: attached + in use
+				step("DeleteVpc", "vpcId", ref("vpc")),                         // fail: vgw attached
+				step("DeleteVpnConnection", "vpnConnectionId", ref("vpn")),
+				step("DetachVpnGateway", "vpnGatewayId", ref("vgw"), "vpcId", ref("vpc")),
+				step("DeleteVpnGateway", "vpnGatewayId", ref("vgw")),
+				step("DeleteCustomerGateway", "customerGatewayId", ref("cgw")),
+				step("DescribeVpnConnections"),
+			},
+		},
+		{
+			Name: "ext-transit-gateway", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateTransitGateway", "description", "hub"), "transitGatewayId", "tgw"),
+				save(step("CreateTransitGatewayVpcAttachment", "transitGatewayId", ref("tgw"), "vpcId", ref("vpc")), "transitGatewayAttachmentId", "att"),
+				step("CreateTransitGatewayVpcAttachment", "transitGatewayId", ref("tgw"), "vpcId", ref("vpc")), // fail: dup
+				step("DeleteTransitGateway", "transitGatewayId", ref("tgw")),                                   // fail: attachments
+				step("DescribeTransitGatewayAttachments"),
+				step("DeleteTransitGatewayVpcAttachment", "transitGatewayAttachmentId", ref("att")),
+				step("DeleteTransitGateway", "transitGatewayId", ref("tgw")),
+				step("DescribeTransitGateways"),
+			},
+		},
+		{
+			Name: "ext-network-acl", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateNetworkAcl", "vpcId", ref("vpc")), "networkAclId", "acl"),
+				step("CreateNetworkAclEntry", "networkAclId", ref("acl"), "ruleNumber", 100, "cidrBlock", "0.0.0.0/0"),
+				step("CreateNetworkAclEntry", "networkAclId", ref("acl"), "ruleNumber", 100, "cidrBlock", "0.0.0.0/0"), // fail: dup
+				step("CreateNetworkAclEntry", "networkAclId", ref("acl"), "ruleNumber", 100, "egress", true, "cidrBlock", "0.0.0.0/0"),
+				step("ReplaceNetworkAclEntry", "networkAclId", ref("acl"), "ruleNumber", 100, "ruleAction", "deny"),
+				step("DeleteNetworkAclEntry", "networkAclId", ref("acl"), "ruleNumber", 200), // fail: not found
+				step("DescribeNetworkAcls"),
+				step("DeleteNetworkAcl", "networkAclId", ref("acl")),
+				step("DeleteVpc", "vpcId", ref("vpc")),
+			},
+		},
+		{
+			Name: "ext-dhcp-endpoint-flowlog", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateDhcpOptions", "domainName", "corp.internal"), "dhcpOptionsId", "dopt"),
+				step("AssociateDhcpOptions", "dhcpOptionsId", ref("dopt"), "vpcId", ref("vpc")),
+				step("DeleteDhcpOptions", "dhcpOptionsId", ref("dopt")), // fail: associated
+				save(step("CreateVpcEndpoint", "vpcId", ref("vpc"), "serviceName", "com.amazonaws.us-east-1.s3"), "vpcEndpointId", "vpce"),
+				step("ModifyVpcEndpoint", "vpcEndpointId", ref("vpce"), "policyDocument", "allow-all"),
+				save(step("CreateFlowLogs", "resourceId", ref("vpc"), "logDestination", "s3://logs"), "flowLogId", "fl"),
+				step("DescribeVpcEndpoints"),
+				step("DescribeDhcpOptions"),
+				step("DescribeFlowLogs"),
+				step("DeleteFlowLogs", "flowLogId", ref("fl")),
+				step("DeleteVpcEndpoint", "vpcEndpointId", ref("vpce")),
+			},
+		},
+		{
+			Name: "ext-storage", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVolume", "size", 100, "availabilityZone", "us-east-1a"), "volumeId", "vol"),
+				step("CreateVolume", "size", 0, "availabilityZone", "us-east-1a"),                       // fail: size
+				step("CreateVolume", "size", 10, "availabilityZone", "us-east-1a", "volumeType", "bad"), // fail: type
+				save(step("CreateSnapshot", "volumeId", ref("vol")), "snapshotId", "snap"),
+				save(step("CopySnapshot", "snapshotId", ref("snap")), "snapshotId", "copy"),
+				step("ModifyVolume", "volumeId", ref("vol"), "size", 50), // fail: shrink
+				step("ModifyVolume", "volumeId", ref("vol"), "size", 200),
+				step("DescribeSnapshots"),
+				step("DescribeVolumes"),
+				step("DeleteSnapshot", "snapshotId", ref("copy")),
+				step("DeleteVolume", "volumeId", ref("vol")),
+			},
+		},
+		{
+			Name: "ext-images-templates-placement", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				step("CreatePlacementGroup", "groupName", "hpc", "strategy", "cluster"),
+				step("CreatePlacementGroup", "groupName", "hpc"), // fail: dup
+				save(step("RunInstances", "subnetId", ref("subnet"), "placementGroupName", "hpc"), "instanceId", "inst"),
+				step("DeletePlacementGroup", "groupName", "hpc"), // fail: in use
+				save(step("CreateImage", "instanceId", ref("inst"), "name", "golden"), "imageId", "ami"),
+				save(step("CreateLaunchTemplate", "launchTemplateName", "web"), "launchTemplateId", "lt"),
+				step("CreateLaunchTemplate", "launchTemplateName", "web"), // fail: dup
+				step("DescribeImages"),
+				step("DescribePlacementGroups"),
+				step("DeregisterImage", "imageId", ref("ami")),
+				step("DeleteLaunchTemplate", "launchTemplateId", ref("lt")),
+				step("TerminateInstances", "instanceId", ref("inst")),
+				step("DeletePlacementGroup", "groupName", "hpc"),
+			},
+		},
+		{
+			Name: "ext-eni-eip", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateNetworkInterface", "subnetId", ref("subnet"), "description", "app"), "networkInterfaceId", "eni"),
+				save(step("RunInstances", "subnetId", ref("subnet")), "instanceId", "inst"),
+				step("AttachNetworkInterface", "networkInterfaceId", ref("eni"), "instanceId", ref("inst")),
+				step("DeleteNetworkInterface", "networkInterfaceId", ref("eni")), // fail: in use
+				save(step("AllocateAddress"), "allocationId", "eip"),
+				step("AssociateAddress", "allocationId", ref("eip"), "instanceId", ref("inst")),
+				step("ReleaseAddress", "allocationId", ref("eip")), // fail: in use
+				step("DisassociateAddress", "allocationId", ref("eip")),
+				step("ReleaseAddress", "allocationId", ref("eip")),
+				step("DetachNetworkInterface", "networkInterfaceId", ref("eni")),
+				step("DeleteNetworkInterface", "networkInterfaceId", ref("eni")),
+				step("DescribeNetworkInterfaces"),
+			},
+		},
+		{
+			Name: "ext-routing-mutations", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateRouteTable", "vpcId", ref("vpc")), "routeTableId", "rt"),
+				step("CreateRoute", "routeTableId", ref("rt"), "destinationCidrBlock", "10.9.0.0/16", "gatewayId", "local"),
+				step("CreateRoute", "routeTableId", ref("rt"), "destinationCidrBlock", "10.9.0.0/16", "gatewayId", "local"),     // fail: dup
+				step("CreateRoute", "routeTableId", ref("rt"), "destinationCidrBlock", "10.8.0.0/16", "gatewayId", "igw-bogus"), // fail: gateway
+				step("ReplaceRoute", "routeTableId", ref("rt"), "destinationCidrBlock", "10.9.0.0/16", "gatewayId", "local"),
+				step("AssociateRouteTable", "routeTableId", ref("rt"), "subnetId", ref("subnet")),
+				step("DeleteSubnet", "subnetId", ref("subnet")),     // fail: associated
+				step("DeleteRouteTable", "routeTableId", ref("rt")), // fail: routes + association
+				step("DisassociateRouteTable", "routeTableId", ref("rt"), "subnetId", ref("subnet")),
+				step("DeleteRoute", "routeTableId", ref("rt"), "destinationCidrBlock", "10.9.0.0/16"),
+				step("DeleteRoute", "routeTableId", ref("rt"), "destinationCidrBlock", "10.9.0.0/16"), // fail: gone
+				step("DeleteRouteTable", "routeTableId", ref("rt")),
+			},
+		},
+		{
+			Name: "ext-keypairs-default-vpc", Scenario: "extended",
+			Steps: []trace.Step{
+				step("CreateKeyPair", "keyName", "k1"),
+				step("CreateKeyPair", "keyName", "k1"), // fail: dup
+				step("DeleteKeyPair", "keyName", "k1"),
+				step("DeleteKeyPair", "keyName", "k1"), // idempotent success
+				step("CreateDefaultVpc"),
+				step("CreateDefaultVpc"), // fail: exists
+				step("DescribeKeyPairs"),
+				step("DescribeVpcs"),
+			},
+		},
+		{
+			Name: "ext-failed-create-id-alignment", Scenario: "extended",
+			Steps: []trace.Step{
+				step("CreateVpc", "cidrBlock", "banana"),     // fail: invalid
+				step("CreateVpc", "cidrBlock", "10.0.0.0/8"), // fail: range
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				step("DescribeVpcs"),
+				step("DeleteVpc", "vpcId", ref("vpc")),
+				step("DeleteVpc", "vpcId", ref("vpc")), // fail: gone
+			},
+		},
+		{
+			Name: "ext-volume-zone-mismatch", Scenario: "extended",
+			Steps: []trace.Step{
+				save(step("CreateVpc", "cidrBlock", "10.0.0.0/16"), "vpcId", "vpc"),
+				save(step("CreateSubnet", "vpcId", ref("vpc"), "cidrBlock", "10.0.1.0/24", "availabilityZone", "us-east-1a"), "subnetId", "subnet"),
+				save(step("RunInstances", "subnetId", ref("subnet")), "instanceId", "inst"),
+				save(step("CreateVolume", "size", 8, "availabilityZone", "us-west-2a"), "volumeId", "vol"),
+				step("AttachVolume", "volumeId", ref("vol"), "instanceId", ref("inst")), // fail: zone mismatch
+				step("TerminateInstances", "instanceId", ref("inst")),
+				step("StartInstances", "instanceId", ref("inst")), // fail: not found
+			},
+		},
+	}
+}

@@ -1,0 +1,290 @@
+package scenarios
+
+import "lce/internal/trace"
+
+// NetworkFirewall returns parity traces sweeping all 45 Network
+// Firewall actions — the basis for the "versus manual engineering"
+// comparison (the learned emulator handles every one of these; the
+// Moto-style baseline rejects 40 of 45 as unimplemented).
+func NetworkFirewall() []trace.Trace {
+	return []trace.Trace{
+		{
+			Name: "nfw-lifecycle", Scenario: "provisioning",
+			Steps: []trace.Step{
+				save(step("CreateFirewallPolicy", "firewallPolicyName", "base"), "firewallPolicyId", "fp"),
+				save(step("CreateFirewall", "firewallName", "edge", "firewallPolicyId", ref("fp"), "vpcId", "vpc-external"), "firewallId", "fw"),
+				step("CreateFirewall", "firewallName", "edge", "firewallPolicyId", ref("fp"), "vpcId", "vpc-x"), // fail: dup
+				step("DescribeFirewall", "firewallId", ref("fw")),
+				step("ListFirewalls"),
+				step("DeleteFirewallPolicy", "firewallPolicyId", ref("fp")), // fail: in use
+				step("UpdateFirewallDescription", "firewallId", ref("fw"), "description", "edge firewall"),
+				step("UpdateFirewallEncryptionConfiguration", "firewallId", ref("fw"), "encryptionType", "CUSTOMER_KMS"),
+				step("DeleteFirewall", "firewallId", ref("fw")),
+				step("DeleteFirewallPolicy", "firewallPolicyId", ref("fp")),
+			},
+		},
+		{
+			Name: "nfw-protections", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateFirewallPolicy", "firewallPolicyName", "p1"), "firewallPolicyId", "p1"),
+				save(step("CreateFirewallPolicy", "firewallPolicyName", "p2"), "firewallPolicyId", "p2"),
+				save(step("CreateFirewall", "firewallName", "fw", "firewallPolicyId", ref("p1"), "vpcId", "vpc-1"), "firewallId", "fw"),
+				step("UpdateFirewallDeleteProtection", "firewallId", ref("fw"), "enabled", true),
+				step("DeleteFirewall", "firewallId", ref("fw")), // fail: protected
+				step("UpdateFirewallPolicyChangeProtection", "firewallId", ref("fw"), "enabled", true),
+				step("AssociateFirewallPolicy", "firewallId", ref("fw"), "firewallPolicyId", ref("p2")), // fail: protected
+				step("UpdateSubnetChangeProtection", "firewallId", ref("fw"), "enabled", true),
+				step("AssociateSubnets", "firewallId", ref("fw"), "subnetId", "subnet-1"), // fail: protected
+				step("UpdateSubnetChangeProtection", "firewallId", ref("fw"), "enabled", false),
+				step("AssociateSubnets", "firewallId", ref("fw"), "subnetId", "subnet-1"),
+				step("AssociateSubnets", "firewallId", ref("fw"), "subnetId", "subnet-1"), // fail: dup
+				step("DisassociateSubnets", "firewallId", ref("fw"), "subnetId", "subnet-1"),
+				step("DisassociateSubnets", "firewallId", ref("fw"), "subnetId", "subnet-1"), // fail: absent
+				step("UpdateFirewallPolicyChangeProtection", "firewallId", ref("fw"), "enabled", false),
+				step("AssociateFirewallPolicy", "firewallId", ref("fw"), "firewallPolicyId", ref("p2")),
+				step("UpdateFirewallDeleteProtection", "firewallId", ref("fw"), "enabled", false),
+				step("DeleteFirewall", "firewallId", ref("fw")),
+			},
+		},
+		{
+			Name: "nfw-rule-groups", Scenario: "state-updates",
+			Steps: []trace.Step{
+				save(step("CreateRuleGroup", "ruleGroupName", "allow-web", "type", "STATEFUL", "capacity", 100), "ruleGroupId", "rg"),
+				step("CreateRuleGroup", "ruleGroupName", "x", "capacity", 99999), // fail: capacity
+				step("UpdateRuleGroup", "ruleGroupId", ref("rg"), "ruleCount", 50),
+				step("UpdateRuleGroup", "ruleGroupId", ref("rg"), "ruleCount", 101), // fail: capacity
+				step("DescribeRuleGroup", "ruleGroupId", ref("rg")),
+				step("DescribeRuleGroupMetadata", "ruleGroupId", ref("rg")),
+				step("ListRuleGroups"),
+				save(step("CreateFirewallPolicy", "firewallPolicyName", "p"), "firewallPolicyId", "fp"),
+				step("UpdateFirewallPolicy", "firewallPolicyId", ref("fp"), "ruleGroupId", ref("rg")),
+				step("DeleteRuleGroup", "ruleGroupId", ref("rg")), // fail: referenced
+				step("DescribeFirewallPolicy", "firewallPolicyId", ref("fp")),
+				step("ListFirewallPolicies"),
+			},
+		},
+		{
+			Name: "nfw-tls-logging", Scenario: "state-updates",
+			Steps: []trace.Step{
+				save(step("CreateTLSInspectionConfiguration", "tlsInspectionConfigurationName", "tls1"), "tlsInspectionConfigurationId", "tls"),
+				step("UpdateTLSInspectionConfiguration", "tlsInspectionConfigurationId", ref("tls"), "certificateAuthorityArn", "arn:ca"),
+				step("DescribeTLSInspectionConfiguration", "tlsInspectionConfigurationId", ref("tls")),
+				step("ListTLSInspectionConfigurations"),
+				save(step("CreateFirewallPolicy", "firewallPolicyName", "p"), "firewallPolicyId", "fp"),
+				save(step("CreateFirewall", "firewallName", "fw", "firewallPolicyId", ref("fp"), "vpcId", "vpc-1"), "firewallId", "fw"),
+				step("DescribeLoggingConfiguration", "firewallId", ref("fw")), // empty
+				step("UpdateLoggingConfiguration", "firewallId", ref("fw"), "logType", "FLOW", "logDestination", "s3://fw-logs"),
+				step("UpdateLoggingConfiguration", "firewallId", ref("fw"), "logType", "ALERT", "logDestination", "s3://x"), // fail: exists
+				step("DescribeLoggingConfiguration", "firewallId", ref("fw")),
+				step("DeleteLoggingConfiguration", "firewallId", ref("fw")),
+				step("DeleteLoggingConfiguration", "firewallId", ref("fw")), // fail: gone
+				step("DeleteTLSInspectionConfiguration", "tlsInspectionConfigurationId", ref("tls")),
+			},
+		},
+		{
+			Name: "nfw-sharing-tags-analysis", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateRuleGroup", "ruleGroupName", "rg"), "ruleGroupId", "rg"),
+				step("PutResourcePolicy", "resourceId", ref("rg"), "policy", "{share}"),
+				step("PutResourcePolicy", "resourceId", ref("rg"), "policy", "{other}"), // fail: exists
+				step("DescribeResourcePolicy", "resourceId", ref("rg")),
+				step("DeleteResourcePolicy", "resourceId", ref("rg")),
+				step("DescribeResourcePolicy", "resourceId", ref("rg")), // fail: gone
+				save(step("CreateFirewallPolicy", "firewallPolicyName", "p"), "firewallPolicyId", "fp"),
+				save(step("CreateFirewall", "firewallName", "fw", "firewallPolicyId", ref("fp"), "vpcId", "vpc-1"), "firewallId", "fw"),
+				step("TagResource", "firewallId", ref("fw"), "tagKey", "env", "tagValue", "prod"),
+				step("ListTagsForResource", "firewallId", ref("fw")),
+				step("UntagResource", "firewallId", ref("fw"), "tagKey", "env"),
+				step("ListTagsForResource", "firewallId", ref("fw")),
+				save(step("StartAnalysisReport", "firewallId", ref("fw"), "analysisType", "TLS_SNI"), "analysisReportId", "rep"),
+				step("GetAnalysisReportResults", "analysisReportId", ref("rep")),
+				step("StartFlowCapture", "firewallId", ref("fw")),
+				step("ListAnalysisReports"),
+				save(step("CreateVpcEndpointAssociation", "firewallId", ref("fw"), "vpcId", "vpc-2", "subnetId", "subnet-9"), "vpcEndpointAssociationId", "assoc"),
+				step("DescribeVpcEndpointAssociation", "vpcEndpointAssociationId", ref("assoc")),
+				step("ListVpcEndpointAssociations"),
+				step("DeleteFirewall", "firewallId", ref("fw")), // fail: association
+				step("DeleteVpcEndpointAssociation", "vpcEndpointAssociationId", ref("assoc")),
+				step("DeleteFirewall", "firewallId", ref("fw")),
+			},
+		},
+	}
+}
+
+// DynamoDB returns parity traces over the DynamoDB surface.
+func DynamoDB() []trace.Trace {
+	return []trace.Trace{
+		{
+			Name: "ddb-tables-items", Scenario: "provisioning",
+			Steps: []trace.Step{
+				step("CreateTable", "tableName", "users", "keyAttribute", "pk"),
+				step("CreateTable", "tableName", "users", "keyAttribute", "pk"), // fail: dup
+				step("PutItem", "tableName", "users", "key", "u1"),
+				step("PutItem", "tableName", "users", "key", "u2"),
+				step("PutItem", "tableName", "users", "key", "u1"), // overwrite
+				step("GetItem", "tableName", "users", "key", "u1"),
+				step("GetItem", "tableName", "users", "key", "missing"), // empty
+				step("Scan", "tableName", "users"),
+				step("DeleteItem", "tableName", "users", "key", "u1"),
+				step("DeleteItem", "tableName", "users", "key", "u1"), // idempotent
+				step("DescribeTable", "tableName", "users"),
+				step("ListTables"),
+				step("DeleteTable", "tableName", "users"),
+				step("DescribeTable", "tableName", "users"), // fail: gone
+			},
+		},
+		{
+			Name: "ddb-capacity-ttl", Scenario: "state-updates",
+			Steps: []trace.Step{
+				step("CreateTable", "tableName", "t", "keyAttribute", "pk", "billingMode", "PROVISIONED"), // fail: no capacity
+				step("CreateTable", "tableName", "t", "keyAttribute", "pk", "billingMode", "PROVISIONED", "readCapacityUnits", 5, "writeCapacityUnits", 5),
+				step("UpdateTable", "tableName", "t", "readCapacityUnits", 10),
+				step("UpdateTable", "tableName", "t", "billingMode", "PAY_PER_REQUEST"),
+				step("UpdateTable", "tableName", "t", "readCapacityUnits", 10, "writeCapacityUnits", 10), // fail: on-demand
+				step("UpdateTimeToLive", "tableName", "t", "ttlEnabled", false),                          // fail: no-op
+				step("UpdateTimeToLive", "tableName", "t", "ttlEnabled", true),
+				step("DescribeTimeToLive", "tableName", "t"),
+				step("DescribeTable", "tableName", "t"),
+			},
+		},
+		{
+			Name: "ddb-indexes-backups", Scenario: "extended",
+			Steps: []trace.Step{
+				step("CreateTable", "tableName", "users", "keyAttribute", "pk"),
+				step("PutItem", "tableName", "users", "key", "u1"),
+				step("CreateGlobalSecondaryIndex", "tableName", "users", "indexName", "byEmail", "keyAttribute", "email"),
+				step("CreateGlobalSecondaryIndex", "tableName", "users", "indexName", "byEmail", "keyAttribute", "email"), // fail: dup
+				step("DescribeGlobalSecondaryIndexes", "tableName", "users"),
+				save(step("CreateBackup", "tableName", "users", "backupName", "b1"), "backupId", "backup"),
+				step("DescribeBackup", "backupId", ref("backup")),
+				step("ListBackups"),
+				step("RestoreTableFromBackup", "backupId", ref("backup"), "targetTableName", "users"), // fail: exists
+				step("RestoreTableFromBackup", "backupId", ref("backup"), "targetTableName", "users2"),
+				step("DescribeTable", "tableName", "users2"),
+				step("DeleteGlobalSecondaryIndex", "tableName", "users", "indexName", "byEmail"),
+				step("DeleteBackup", "backupId", ref("backup")),
+			},
+		},
+		{
+			Name: "ddb-global-export-import", Scenario: "extended",
+			Steps: []trace.Step{
+				step("CreateGlobalTable", "globalTableName", "gt"), // fail: no local table
+				step("CreateTable", "tableName", "gt", "keyAttribute", "pk"),
+				step("CreateGlobalTable", "globalTableName", "gt"),
+				step("DeleteTable", "tableName", "gt"), // fail: replica
+				step("CreateTable", "tableName", "gt-eu", "keyAttribute", "pk"),
+				step("UpdateGlobalTable", "globalTableName", "gt", "replicaTableName", "gt-eu"),
+				step("UpdateGlobalTable", "globalTableName", "gt", "replicaTableName", "gt-eu"), // fail: already
+				step("DescribeGlobalTable", "globalTableName", "gt"),
+				save(step("ExportTableToPointInTime", "tableName", "gt", "s3Bucket", "backups"), "exportId", "exp"),
+				step("DescribeExport", "exportId", ref("exp")),
+				step("ListExports"),
+				save(step("ImportTable", "tableName", "fresh", "s3Bucket", "src"), "importId", "imp"),
+				step("ImportTable", "tableName", "gt", "s3Bucket", "src"), // fail: table exists
+				step("DescribeImport", "importId", ref("imp")),
+				step("ListImports"),
+			},
+		},
+	}
+}
+
+// AzureFig3 mirrors the Fig. 3 structure on the Azure backend for the
+// multi-cloud experiment: provisioning, state updates, and edge cases
+// in Azure's vocabulary.
+func AzureFig3() []trace.Trace {
+	return []trace.Trace{
+		{
+			Name: "az-provision-network", Scenario: "provisioning",
+			Steps: []trace.Step{
+				save(step("CreateVirtualNetwork", "name", "vnet1", "addressPrefix", "10.0.0.0/16"), "virtualNetworkId", "vnet"),
+				save(step("CreateSubnet", "virtualNetworkId", ref("vnet"), "name", "default", "addressPrefix", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateNetworkInterface", "subnetId", ref("subnet"), "name", "nic1"), "networkInterfaceId", "nic"),
+				step("ListVirtualNetworks"),
+				step("ListSubnets"),
+			},
+		},
+		{
+			Name: "az-provision-vm", Scenario: "provisioning",
+			Steps: []trace.Step{
+				save(step("CreateVirtualNetwork", "name", "v", "addressPrefix", "10.0.0.0/16"), "virtualNetworkId", "vnet"),
+				save(step("CreateSubnet", "virtualNetworkId", ref("vnet"), "name", "s", "addressPrefix", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateNetworkInterface", "subnetId", ref("subnet"), "name", "nic1"), "networkInterfaceId", "nic"),
+				save(step("CreateVirtualMachine", "networkInterfaceId", ref("nic"), "name", "vm1"), "virtualMachineId", "vm"),
+				step("ListVirtualMachines"),
+			},
+		},
+		{
+			Name: "az-update-public-ip", Scenario: "state-updates",
+			Steps: []trace.Step{
+				save(step("CreateVirtualNetwork", "name", "v", "addressPrefix", "10.0.0.0/16"), "virtualNetworkId", "vnet"),
+				save(step("CreateSubnet", "virtualNetworkId", ref("vnet"), "name", "s", "addressPrefix", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateNetworkInterface", "subnetId", ref("subnet"), "name", "nic1"), "networkInterfaceId", "nic"),
+				save(step("CreatePublicIpAddress", "name", "ip1", "location", "eastus"), "publicIpAddressId", "pip"),
+				step("AssociatePublicIpAddress", "networkInterfaceId", ref("nic"), "publicIpAddressId", ref("pip")),
+				step("ListNetworkInterfaces"),
+				step("DissociatePublicIpAddress", "networkInterfaceId", ref("nic")),
+				step("DeletePublicIpAddress", "publicIpAddressId", ref("pip")),
+			},
+		},
+		{
+			Name: "az-update-vm-power", Scenario: "state-updates",
+			Steps: []trace.Step{
+				save(step("CreateVirtualNetwork", "name", "v", "addressPrefix", "10.0.0.0/16"), "virtualNetworkId", "vnet"),
+				save(step("CreateSubnet", "virtualNetworkId", ref("vnet"), "name", "s", "addressPrefix", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateNetworkInterface", "subnetId", ref("subnet"), "name", "nic1"), "networkInterfaceId", "nic"),
+				save(step("CreateVirtualMachine", "networkInterfaceId", ref("nic"), "name", "vm1"), "virtualMachineId", "vm"),
+				step("DeallocateVirtualMachine", "virtualMachineId", ref("vm")),
+				step("StartVirtualMachine", "virtualMachineId", ref("vm")),
+				step("ListVirtualMachines"),
+			},
+		},
+		{
+			Name: "az-edge-location-coupling", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateVirtualNetwork", "name", "v", "addressPrefix", "10.0.0.0/16"), "virtualNetworkId", "vnet"),
+				save(step("CreateSubnet", "virtualNetworkId", ref("vnet"), "name", "s", "addressPrefix", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateNetworkInterface", "subnetId", ref("subnet"), "name", "nic1"), "networkInterfaceId", "nic"),
+				save(step("CreatePublicIpAddress", "name", "ipw", "location", "westus"), "publicIpAddressId", "pipw"),
+				step("AssociatePublicIpAddress", "networkInterfaceId", ref("nic"), "publicIpAddressId", ref("pipw")), // fail: location
+				save(step("CreatePublicIpAddress", "name", "ipe", "location", "eastus"), "publicIpAddressId", "pipe"),
+				step("AssociatePublicIpAddress", "networkInterfaceId", ref("nic"), "publicIpAddressId", ref("pipe")),
+				step("DeletePublicIpAddress", "publicIpAddressId", ref("pipe")), // fail: attached
+			},
+		},
+		{
+			Name: "az-edge-subnet-bounds", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateVirtualNetwork", "name", "v", "addressPrefix", "10.0.0.0/16"), "virtualNetworkId", "vnet"),
+				step("CreateSubnet", "virtualNetworkId", ref("vnet"), "name", "tiny", "addressPrefix", "10.0.2.0/29"), // ok in Azure
+				step("CreateSubnet", "virtualNetworkId", ref("vnet"), "name", "nano", "addressPrefix", "10.0.3.0/30"), // fail
+				step("CreateSubnet", "virtualNetworkId", ref("vnet"), "name", "dup", "addressPrefix", "10.0.2.0/29"),  // fail: overlap
+				step("DeleteVirtualNetwork", "virtualNetworkId", ref("vnet")),                                         // fail: subnets
+				step("ListSubnets"),
+			},
+		},
+		{
+			Name: "az-edge-power-state", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateVirtualNetwork", "name", "v", "addressPrefix", "10.0.0.0/16"), "virtualNetworkId", "vnet"),
+				save(step("CreateSubnet", "virtualNetworkId", ref("vnet"), "name", "s", "addressPrefix", "10.0.1.0/24"), "subnetId", "subnet"),
+				save(step("CreateNetworkInterface", "subnetId", ref("subnet"), "name", "nic1"), "networkInterfaceId", "nic"),
+				save(step("CreateVirtualMachine", "networkInterfaceId", ref("nic"), "name", "vm1"), "virtualMachineId", "vm"),
+				step("StartVirtualMachine", "virtualMachineId", ref("vm")),                    // fail: already running
+				step("DeleteNetworkInterface", "networkInterfaceId", ref("nic")),              // fail: attached
+				step("CreateVirtualMachine", "networkInterfaceId", ref("nic"), "name", "vm2"), // fail: nic attached
+				step("DeleteVirtualMachine", "virtualMachineId", ref("vm")),
+				step("DeleteNetworkInterface", "networkInterfaceId", ref("nic")),
+			},
+		},
+		{
+			Name: "az-edge-nsg", Scenario: "edge-cases",
+			Steps: []trace.Step{
+				save(step("CreateNetworkSecurityGroup", "name", "web"), "networkSecurityGroupId", "nsg"),
+				step("CreateNetworkSecurityGroup", "name", "web"), // fail: dup
+				step("ListNetworkSecurityGroups"),
+				step("DeleteNetworkSecurityGroup", "networkSecurityGroupId", ref("nsg")),
+				step("DeleteNetworkSecurityGroup", "networkSecurityGroupId", ref("nsg")), // fail: gone
+			},
+		},
+	}
+}

@@ -1,0 +1,51 @@
+package spec
+
+// ToySource is the paper's §3 worked example — a PublicIp that can be
+// associated with a NetworkInterface in the same zone — transcribed
+// into the concrete syntax. It doubles as living documentation of the
+// language and as a fixture for tests across packages.
+const ToySource = `
+service toy {
+  sm NetworkInterface {
+    idprefix "eni"
+    notfound "InvalidNetworkInterfaceID.NotFound"
+    states {
+      zone: str
+      publicIp: ref(PublicIp)
+    }
+    transition CreateNic(zone: str) create {
+      write(zone, zone)
+      return(networkInterfaceId, id(self))
+    }
+    transition AttachPublicIp(self: ref(NetworkInterface), ip: ref(PublicIp)) modify {
+      write(publicIp, ip)
+    }
+  }
+
+  sm PublicIp {
+    doc "A Public IP address allows Internet resources to communicate inbound."
+    idprefix "eipalloc"
+    notfound "InvalidAllocationID.NotFound"
+    states {
+      status: enum("assigned", "idle")
+      zone: str
+      nic: ref(NetworkInterface)
+    }
+    transition CreatePublicIp(region: str) create {
+      assert(region == "us-east" || region == "us-west") error "InvalidParameterValue"
+      write(status, "assigned")
+      write(zone, region)
+      return(allocationId, id(self))
+    }
+    transition AssociateNic(self: ref(PublicIp), nicRef: ref(NetworkInterface)) modify {
+      assert(read(zone) == nicRef.zone) error "InvalidZone.Mismatch"
+      call(nicRef.AttachPublicIp(self))
+      write(nic, nicRef)
+    }
+    transition DestroyPublicIp(self: ref(PublicIp)) destroy {
+      assert(isnil(read(nic))) error "InUse"
+      write(status, "idle")
+    }
+  }
+}
+`

@@ -1,0 +1,113 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`sm Vpc { states { a: str } }`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokenKind{TokIdent, TokIdent, TokLBrace, TokIdent, TokLBrace, TokIdent, TokColon, TokIdent, TokRBrace, TokRBrace, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize(`== != <= >= < > && || ! + - = . , : ( ) { }`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokenKind{
+		TokEq, TokNeq, TokLe, TokGe, TokLt, TokGt, TokAnd, TokOr,
+		TokBang, TokPlus, TokMinus, TokAssign, TokDot, TokComma,
+		TokColon, TokLParen, TokRParen, TokLBrace, TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeStringEscapes(t *testing.T) {
+	toks, err := Tokenize(`"a\"b\\c\nd\te"`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[0].Kind != TokString {
+		t.Fatalf("kind = %v, want string", toks[0].Kind)
+	}
+	if got, want := toks[0].Text, "a\"b\\c\nd\te"; got != want {
+		t.Errorf("decoded = %q, want %q", got, want)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("a // line comment\n/* block\ncomment */ b")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("ab\n  cd")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("first pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("second pos = %v", toks[1].Pos)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`"unterminated`, "unterminated string"},
+		{"\"bad\\qescape\"", "unknown escape"},
+		{"/* never closed", "unterminated block comment"},
+		{"@", "unexpected character"},
+		{"\"line\nbreak\"", "newline in string"},
+	}
+	for _, tc := range cases {
+		_, err := Tokenize(tc.src)
+		if err == nil {
+			t.Errorf("Tokenize(%q): want error containing %q, got nil", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Tokenize(%q) error = %v, want substring %q", tc.src, err, tc.want)
+		}
+		if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("Tokenize(%q) error type = %T, want *SyntaxError", tc.src, err)
+		}
+	}
+}

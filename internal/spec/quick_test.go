@@ -1,0 +1,158 @@
+package spec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"lce/internal/cloudapi"
+)
+
+// Property-based testing of the language core: randomly generated
+// well-formed services must round-trip through Print/Parse to a
+// fixpoint, pass the checker, and keep their action index consistent.
+
+type genService struct{ Svc *Service }
+
+// Generate implements quick.Generator: a random but well-formed
+// service of 1-4 SMs.
+func (genService) Generate(r *rand.Rand, _ int) reflect.Value {
+	nSM := 1 + r.Intn(4)
+	svc := &Service{Name: "svc"}
+	names := make([]string, nSM)
+	for i := range names {
+		names[i] = "R" + string(rune('A'+i))
+	}
+	for i, name := range names {
+		sm := &SM{Name: name, IDPrefix: "r" + string(rune('a'+i))}
+		if r.Intn(3) == 0 && i > 0 {
+			sm.Parent = names[r.Intn(i)]
+			sm.Dependency = "DependencyViolation"
+		}
+		sm.NotFound = "Invalid" + name + ".NotFound"
+		nStates := 1 + r.Intn(5)
+		for s := 0; s < nStates; s++ {
+			sm.States = append(sm.States, &StateVar{
+				Name: "s" + string(rune('a'+s)),
+				Type: randomType(r, names[:i+1]),
+			})
+		}
+		create := &Transition{Name: "Create" + name, Kind: KCreate}
+		if sm.Parent != "" {
+			create.Params = append(create.Params, &Param{
+				Name: "parentRef", Type: RefT(sm.Parent), ParentLink: true,
+			})
+		}
+		create.Params = append(create.Params, &Param{Name: "v", Type: StrT})
+		// Write each string state from the parameter; guard one with an
+		// assert sometimes.
+		if r.Intn(2) == 0 {
+			create.Body = append(create.Body, &AssertStmt{
+				Pred: &BinaryExpr{Op: TokNeq, X: &Ident{Name: "v"}, Y: &Lit{Value: cloudapi.Str("")}},
+				Code: "InvalidParameterValue",
+			})
+		}
+		for _, sv := range sm.States {
+			if sv.Type.Kind == TString {
+				create.Body = append(create.Body, &WriteStmt{State: sv.Name, Value: &Ident{Name: "v"}})
+			}
+		}
+		create.Body = append(create.Body, &ReturnStmt{
+			Name:  "id",
+			Value: &BuiltinExpr{Name: "id", Args: []Expr{&SelfExpr{}}},
+		})
+		sm.Transitions = append(sm.Transitions, create)
+		sm.Transitions = append(sm.Transitions, &Transition{
+			Name: "Delete" + name, Kind: KDestroy,
+			Params: []*Param{{Name: "self", Type: RefT(name)}},
+		})
+		sm.Transitions = append(sm.Transitions, &Transition{
+			Name: "Describe" + name + "s", Kind: KDescribe,
+			Body: []Stmt{&ReturnStmt{
+				Name:  "items",
+				Value: &BuiltinExpr{Name: "describeAll", Args: []Expr{&Lit{Value: cloudapi.Str(name)}}},
+			}},
+		})
+		svc.SMs = append(svc.SMs, sm)
+	}
+	if err := svc.Index(); err != nil {
+		panic(err)
+	}
+	return reflect.ValueOf(genService{Svc: svc})
+}
+
+func randomType(r *rand.Rand, smNames []string) Type {
+	switch r.Intn(6) {
+	case 0:
+		return IntT
+	case 1:
+		return BoolT
+	case 2:
+		return EnumT("on", "off")
+	case 3:
+		return RefT(smNames[r.Intn(len(smNames))])
+	case 4:
+		return ListT(StrT)
+	default:
+		return StrT
+	}
+}
+
+func TestQuickPrintParseFixpoint(t *testing.T) {
+	f := func(g genService) bool {
+		text1 := Print(g.Svc)
+		parsed, err := Parse(text1)
+		if err != nil {
+			t.Logf("parse failed: %v\n%s", err, text1)
+			return false
+		}
+		text2 := Print(parsed)
+		if text1 != text2 {
+			t.Logf("not a fixpoint:\n%s\nvs\n%s", text1, text2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGeneratedServicesPassCheck(t *testing.T) {
+	f := func(g genService) bool {
+		return len(Check(g.Svc, Strict)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickActionIndexConsistent(t *testing.T) {
+	f := func(g genService) bool {
+		for _, name := range g.Svc.Actions() {
+			sm, tr, ok := g.Svc.Action(name)
+			if !ok || tr.Name != name || sm.Transition(name) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplexityMatchesCounts(t *testing.T) {
+	f := func(g genService) bool {
+		for _, sm := range g.Svc.SMs {
+			if sm.Complexity() != len(sm.States)+len(sm.Transitions) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

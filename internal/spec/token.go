@@ -1,0 +1,132 @@
+// Package spec implements the paper's state-machine specification
+// language (Fig. 1): the abstraction a "learned emulator" is generated
+// into. Each cloud resource is a state machine (SM) with typed state
+// variables; transitions correspond to API actions and are built from
+// the primitives read / write / assert / call plus conditionals. The
+// package provides the AST, a lexer and recursive-descent parser for
+// the concrete syntax, a canonical printer (used by constrained
+// decoding and specification linking), and a type checker.
+//
+// The concrete grammar extends Fig. 1 only with what §3's worked
+// example already requires: typed transition parameters, `self`, field
+// access on SM references, and error codes attached to assertions (the
+// paper maps failed assertions to error codes during spec linking).
+package spec
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokString
+	TokInt
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokColon  // :
+	TokComma  // ,
+	TokDot    // .
+	TokBang   // !
+	TokEq     // ==
+	TokNeq    // !=
+	TokLt     // <
+	TokLe     // <=
+	TokGt     // >
+	TokGe     // >=
+	TokAnd    // &&
+	TokOr     // ||
+	TokPlus   // +
+	TokMinus  // -
+	TokAssign // =
+)
+
+// String renders the token kind for diagnostics.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokString:
+		return "string literal"
+	case TokInt:
+		return "integer literal"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokColon:
+		return "':'"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokBang:
+		return "'!'"
+	case TokEq:
+		return "'=='"
+	case TokNeq:
+		return "'!='"
+	case TokLt:
+		return "'<'"
+	case TokLe:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGe:
+		return "'>='"
+	case TokAnd:
+		return "'&&'"
+	case TokOr:
+		return "'||'"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokAssign:
+		return "'='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // identifier name, decoded string payload, or digits
+	Pos  Pos
+}
+
+// SyntaxError is a lexing or parsing failure with a position. The
+// synthesizer's free-decoding mode relies on these being detectable so
+// it can re-prompt (§5 "enforce syntactic checks in the interpreter and
+// re-prompt in case of issues").
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string { return fmt.Sprintf("spec: %s: %s", e.Pos, e.Msg) }
+
+func syntaxErrf(pos Pos, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

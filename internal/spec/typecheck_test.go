@@ -1,0 +1,174 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkErrs(t *testing.T, src string, mode CheckMode) []error {
+	t.Helper()
+	svc, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return Check(svc, mode)
+}
+
+func wantCheckError(t *testing.T, errs []error, substr string) {
+	t.Helper()
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Errorf("no check error containing %q; got %v", substr, errs)
+}
+
+func TestCheckCleanSpec(t *testing.T) {
+	if errs := checkErrs(t, publicIPSpec, Strict); len(errs) != 0 {
+		t.Errorf("clean spec produced errors: %v", errs)
+	}
+}
+
+func TestCheckUnknownIdentifier(t *testing.T) {
+	src := `service s { sm A { states { x: int } transition T(self: ref(A)) modify { write(x, bogus) } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), `unknown identifier "bogus"`)
+}
+
+func TestCheckWriteUndeclaredState(t *testing.T) {
+	src := `service s { sm A { transition T(self: ref(A)) modify { write(nope, 1) } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), `write to undeclared state "nope"`)
+}
+
+func TestCheckWriteTypeMismatch(t *testing.T) {
+	src := `service s { sm A { states { x: int } transition T(self: ref(A), v: str) modify { write(x, v) } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), "cannot assign str to int")
+}
+
+func TestCheckEnumMembership(t *testing.T) {
+	src := `service s { sm A { states { st: enum("on", "off") } transition T(self: ref(A)) modify { write(st, "banana") } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), "value not in enum")
+}
+
+func TestCheckAssertNotBool(t *testing.T) {
+	src := `service s { sm A { states { x: int } transition T(self: ref(A)) modify { assert(read(x)) error "E" } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), "assert predicate has type int")
+}
+
+func TestCheckSelfTypeWrong(t *testing.T) {
+	src := `service s { sm A { transition T(self: str) modify { } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), "self must have type ref(A)")
+}
+
+func TestCheckCreateWithSelf(t *testing.T) {
+	src := `service s { sm A { transition T(self: ref(A)) create { } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), "create transitions must not take an explicit self")
+}
+
+func TestCheckDestroyNeedsSelf(t *testing.T) {
+	src := `service s { sm A { transition T() destroy { } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), "destroy transitions require a self parameter")
+}
+
+func TestCheckDanglingRefStrictVsPartial(t *testing.T) {
+	src := `service s { sm A { states { other: ref(Missing) } transition Mk() create {} } }`
+	wantCheckError(t, checkErrs(t, src, Strict), `reference to unknown SM "Missing"`)
+	if errs := checkErrs(t, src, Partial); len(errs) != 0 {
+		t.Errorf("Partial mode rejected dangling ref: %v", errs)
+	}
+}
+
+func TestCheckDanglingCallStrictVsPartial(t *testing.T) {
+	src := `service s { sm A {
+	  states { other: ref(B) }
+	  transition T(self: ref(A)) modify { call(read(other).Poke()) }
+	} }`
+	wantCheckError(t, checkErrs(t, src, Strict), `reference to unknown SM "B"`)
+	if errs := checkErrs(t, src, Partial); len(errs) != 0 {
+		t.Errorf("Partial mode rejected dangling call: %v", errs)
+	}
+}
+
+func TestCheckCallArity(t *testing.T) {
+	src := `service s {
+	  sm B { states { n: int } transition Poke(self: ref(B), a: int, b: int) modify { write(n, a + b) } transition MkB() create {} }
+	  sm A { states { other: ref(B) } transition T(self: ref(A)) modify { call(read(other).Poke(1)) } transition MkA() create {} }
+	}`
+	wantCheckError(t, checkErrs(t, src, Strict), "1 args, want 2..2")
+}
+
+func TestCheckCallUnknownTransition(t *testing.T) {
+	src := `service s {
+	  sm B { states { n: int } transition MkB() create {} }
+	  sm A { states { other: ref(B) } transition T(self: ref(A)) modify { call(read(other).Nope()) } transition MkA() create {} }
+	}`
+	wantCheckError(t, checkErrs(t, src, Strict), `SM "B" has no transition "Nope"`)
+}
+
+func TestCheckFieldAccess(t *testing.T) {
+	src := `service s {
+	  sm B { states { zone: str } transition MkB() create {} }
+	  sm A { states { b: ref(B) } transition T(self: ref(A)) modify { assert(read(b).nope == "x") error "E" } transition MkA() create {} }
+	}`
+	wantCheckError(t, checkErrs(t, src, Strict), `SM "B" has no state "nope"`)
+}
+
+func TestCheckUnknownBuiltin(t *testing.T) {
+	src := `service s { sm A { states { x: int } transition T(self: ref(A)) modify { write(x, frob(1)) } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), `unknown builtin "frob"`)
+}
+
+func TestCheckBuiltinArity(t *testing.T) {
+	src := `service s { sm A { states { x: int } transition T(self: ref(A)) modify { write(x, len(1, 2)) } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), "builtin len takes 1 argument(s), got 2")
+}
+
+func TestCheckChildrenArgs(t *testing.T) {
+	src := `service s { sm A { states { x: int } transition T(self: ref(A)) modify { write(x, len(children("Missing"))) } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), `children("Missing"): unknown SM`)
+}
+
+func TestCheckParentLink(t *testing.T) {
+	src := `service s {
+	  sm A { transition MkA() create {} }
+	  sm B { parent A transition MkB(parent a: ref(A)) create {} }
+	}`
+	if errs := checkErrs(t, src, Strict); len(errs) != 0 {
+		t.Errorf("valid parent link rejected: %v", errs)
+	}
+	bad := `service s {
+	  sm A { transition MkA() create {} }
+	  sm B { parent A transition MkB(parent a: str) create {} }
+	}`
+	wantCheckError(t, checkErrs(t, bad, Strict), "parent-link parameter must have type ref(A)")
+	orphan := `service s { sm B { transition MkB(parent a: ref(B)) create {} } }`
+	wantCheckError(t, checkErrs(t, orphan, Strict), "parent-link parameter on an SM with no declared parent")
+}
+
+func TestCheckForeachOverNonList(t *testing.T) {
+	src := `service s { sm A { states { x: int } transition T(self: ref(A)) modify { foreach k in read(x) { write(x, 1) } } } }`
+	wantCheckError(t, checkErrs(t, src, Strict), "foreach over int, want a list")
+}
+
+func TestCheckForeachVarBinds(t *testing.T) {
+	src := `service s {
+	  sm B { states { n: int } transition Poke(self: ref(B)) modify { write(n, 1) } transition MkB() create {} }
+	  sm A { states { kids: list(ref(B)) } transition T(self: ref(A)) modify {
+	    foreach k in read(kids) { call(k.Poke()) }
+	  } transition MkA() create {} }
+	}`
+	if errs := checkErrs(t, src, Strict); len(errs) != 0 {
+		t.Errorf("foreach var failed to bind: %v", errs)
+	}
+}
+
+func TestCheckBangOnRefAllowed(t *testing.T) {
+	// The paper's §3 example asserts !NIC ("no NIC attached").
+	src := `service s {
+	  sm B { transition MkB() create {} }
+	  sm A { states { nic: ref(B) } transition T(self: ref(A)) modify { assert(!read(nic)) error "InUse" } transition MkA() create {} }
+	}`
+	if errs := checkErrs(t, src, Strict); len(errs) != 0 {
+		t.Errorf("!ref rejected: %v", errs)
+	}
+}

@@ -1,0 +1,245 @@
+// Package symexec performs symbolic passes over SM specifications
+// (§4.3): it enumerates each transition's guard structure into
+// symbolically equivalent classes, and derives single-violation test
+// traces — mutations of golden traces engineered so exactly one check
+// fails — which is what lets the alignment engine pinpoint a
+// divergence's root cause instead of fuzzing blindly.
+package symexec
+
+import (
+	"fmt"
+
+	"lce/internal/cloudapi"
+	"lce/internal/spec"
+	"lce/internal/trace"
+)
+
+// Check is one guard extracted from a transition, with the conditional
+// context (path condition) it sits under.
+type Check struct {
+	SM     string
+	Action string
+	Pred   spec.Expr
+	Code   string
+	// PathCond lists the if-conditions enclosing the check ("" entries
+	// mark else-branches).
+	PathCond []string
+}
+
+// Class is one symbolic equivalence class of a transition's behaviour:
+// the inputs that violate a specific check first (or none).
+type Class struct {
+	Action string
+	// Violates is the index into Checks(svc) of the first check this
+	// class trips, or -1 for the golden class.
+	Violates int
+	Checks   []Check
+}
+
+// Checks enumerates every guard in the service, in deterministic
+// order (SM declaration order, transition order, body order).
+func Checks(svc *spec.Service) []Check {
+	var out []Check
+	for _, sm := range svc.SMs {
+		for _, tr := range sm.Transitions {
+			if tr.Internal {
+				continue
+			}
+			collect(sm.Name, tr.Name, tr.Body, nil, &out)
+		}
+	}
+	return out
+}
+
+func collect(sm, action string, stmts []spec.Stmt, path []string, out *[]Check) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *spec.AssertStmt:
+			pc := make([]string, len(path))
+			copy(pc, path)
+			*out = append(*out, Check{SM: sm, Action: action, Pred: st.Pred, Code: st.Code, PathCond: pc})
+		case *spec.IfStmt:
+			cond := spec.ExprString(st.Cond)
+			collect(sm, action, st.Then, append(path, cond), out)
+			collect(sm, action, st.Else, append(path, "!("+cond+")"), out)
+		case *spec.ForEachStmt:
+			collect(sm, action, st.Body, append(path, "in "+spec.ExprString(st.Over)), out)
+		}
+	}
+}
+
+// Classes partitions each transition's behaviour into symbolic
+// equivalence classes: one golden class plus one class per guard. The
+// paper uses the class count as a proxy for how much guided testing a
+// service needs.
+func Classes(svc *spec.Service) []Class {
+	checks := Checks(svc)
+	perAction := map[string][]Check{}
+	for _, c := range checks {
+		perAction[c.Action] = append(perAction[c.Action], c)
+	}
+	var out []Class
+	for _, action := range svc.Actions() {
+		cs := perAction[action]
+		out = append(out, Class{Action: action, Violates: -1, Checks: cs})
+		for i := range cs {
+			out = append(out, Class{Action: action, Violates: i, Checks: cs})
+		}
+	}
+	return out
+}
+
+// ViolationTraces derives single-violation traces from golden seeds:
+// for every step of every seed and every guard of that step's action,
+// it attempts to construct a variant trace whose mutated step trips
+// exactly that guard. Guards whose violating input cannot be derived
+// symbolically (existence checks over live state) are exercised by the
+// seeds' own failure steps instead.
+func ViolationTraces(svc *spec.Service, seeds []trace.Trace) []trace.Trace {
+	var out []trace.Trace
+	for _, seed := range seeds {
+		for i, st := range seed.Steps {
+			_, tr, ok := svc.Action(st.Action)
+			if !ok {
+				continue
+			}
+			guards := []Check{}
+			collect("", st.Action, tr.Body, nil, &guards)
+			for gi, g := range guards {
+				mut, ok := violate(tr, st, g)
+				if !ok {
+					continue
+				}
+				variant := trace.Trace{
+					Name:     fmt.Sprintf("%s@%d!%s#%d", seed.Name, i, st.Action, gi),
+					Scenario: "symexec",
+					Steps:    append(append([]trace.Step{}, seed.Steps[:i]...), mut),
+				}
+				out = append(out, variant)
+			}
+		}
+	}
+	return out
+}
+
+// violate tries to mutate one step so that guard g fails. It handles
+// the guard shapes the grammar favours: membership disjunctions over a
+// parameter, CIDR validity/range predicates, and integer range
+// comparisons.
+func violate(tr *spec.Transition, st trace.Step, g Check) (trace.Step, bool) {
+	// Guards under a path condition would need the condition steered
+	// too; keep to top-level guards.
+	if len(g.PathCond) > 0 {
+		return trace.Step{}, false
+	}
+	param, kind := violationTarget(g.Pred, tr)
+	if param == "" {
+		return trace.Step{}, false
+	}
+	mut := trace.Step{Action: st.Action, Params: map[string]trace.Arg{}, Save: nil,
+		Note: "symexec: violate " + g.Code}
+	for k, v := range st.Params {
+		mut.Params[k] = v
+	}
+	switch kind {
+	case "enum":
+		mut.Params[param] = trace.S("~symexec-invalid~")
+	case "cidr":
+		mut.Params[param] = trace.S("not-a-cidr")
+	case "cidr-range":
+		mut.Params[param] = trace.S("10.255.255.240/30")
+	case "int":
+		mut.Params[param] = trace.I(-1000000)
+	default:
+		return trace.Step{}, false
+	}
+	return mut, true
+}
+
+// violationTarget classifies a guard and names the parameter to mutate.
+func violationTarget(pred spec.Expr, tr *spec.Transition) (string, string) {
+	switch x := pred.(type) {
+	case *spec.BinaryExpr:
+		if x.Op == spec.TokOr {
+			// Membership disjunction: param == "a" || param == "b" ...
+			if p := enumParam(pred, tr); p != "" {
+				return p, "enum"
+			}
+			return "", ""
+		}
+		if x.Op == spec.TokAnd {
+			// Range conjunction over prefixLen or an int param.
+			if p, k := rangeParam(x, tr); p != "" {
+				return p, k
+			}
+			return "", ""
+		}
+		return "", ""
+	case *spec.BuiltinExpr:
+		if x.Name == "cidrValid" && len(x.Args) == 1 {
+			if id, ok := x.Args[0].(*spec.Ident); ok && tr.Param(id.Name) != nil && !tr.Param(id.Name).Optional {
+				return id.Name, "cidr"
+			}
+		}
+		return "", ""
+	default:
+		return "", ""
+	}
+}
+
+func enumParam(pred spec.Expr, tr *spec.Transition) string {
+	switch x := pred.(type) {
+	case *spec.BinaryExpr:
+		switch x.Op {
+		case spec.TokOr:
+			l := enumParam(x.X, tr)
+			r := enumParam(x.Y, tr)
+			if l != "" && (r == l || r == "") {
+				return l
+			}
+			if l == "" && r != "" {
+				return r
+			}
+			return ""
+		case spec.TokEq:
+			if id, ok := x.X.(*spec.Ident); ok {
+				if p := tr.Param(id.Name); p != nil && !p.Optional && p.Type.Kind == spec.TString {
+					if _, isLit := x.Y.(*spec.Lit); isLit {
+						return id.Name
+					}
+				}
+			}
+			return ""
+		}
+	}
+	return ""
+}
+
+func rangeParam(x *spec.BinaryExpr, tr *spec.Transition) (string, string) {
+	// prefixLen(param) >= a && prefixLen(param) <= b
+	if cmp, ok := x.X.(*spec.BinaryExpr); ok {
+		if b, ok2 := cmp.X.(*spec.BuiltinExpr); ok2 && b.Name == "prefixLen" && len(b.Args) == 1 {
+			if id, ok3 := b.Args[0].(*spec.Ident); ok3 {
+				if p := tr.Param(id.Name); p != nil && !p.Optional {
+					return id.Name, "cidr-range"
+				}
+			}
+		}
+		if id, ok2 := cmp.X.(*spec.Ident); ok2 {
+			if p := tr.Param(id.Name); p != nil && !p.Optional && p.Type.Kind == spec.TInt {
+				return id.Name, "int"
+			}
+		}
+	}
+	return "", ""
+}
+
+// ComplexityOf reports the symbolic footprint of a service: guard and
+// class counts, used by the §4.4 "quantifying cloud complexity"
+// analysis alongside the SM-size metrics.
+func ComplexityOf(svc *spec.Service) (checks, classes int) {
+	cs := Checks(svc)
+	return len(cs), len(Classes(svc))
+}
+
+var _ = cloudapi.Nil

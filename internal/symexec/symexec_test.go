@@ -1,0 +1,112 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/docs"
+	"lce/internal/docs/corpus"
+	"lce/internal/interp"
+	"lce/internal/scenarios"
+	"lce/internal/synth"
+	"lce/internal/trace"
+)
+
+func ec2Spec(t *testing.T) *interp.Emulator {
+	t.Helper()
+	svc, _, err := synth.Synthesize(docs.Render(corpus.EC2()), synth.Options{Noise: synth.Perfect, Decoding: synth.Constrained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu, err := interp.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return emu
+}
+
+func TestChecksEnumeration(t *testing.T) {
+	emu := ec2Spec(t)
+	cs := Checks(emu.Spec())
+	if len(cs) < 40 {
+		t.Errorf("EC2 spec has %d guards, expected dozens", len(cs))
+	}
+	// Every guard carries an error code (spec linking attached them).
+	for _, c := range cs {
+		if c.Code == "" {
+			t.Errorf("guard without code in %s.%s: %s", c.SM, c.Action, trimExpr(c))
+		}
+	}
+}
+
+func trimExpr(c Check) string {
+	s := c.Action
+	if len(s) > 60 {
+		s = s[:60]
+	}
+	return s
+}
+
+func TestClassesIncludeGoldenClass(t *testing.T) {
+	emu := ec2Spec(t)
+	classes := Classes(emu.Spec())
+	perAction := map[string]int{}
+	golden := map[string]bool{}
+	for _, c := range classes {
+		perAction[c.Action]++
+		if c.Violates == -1 {
+			golden[c.Action] = true
+		}
+	}
+	for _, a := range emu.Spec().Actions() {
+		if !golden[a] {
+			t.Errorf("action %s has no golden class", a)
+		}
+	}
+	if perAction["CreateVpc"] != 1+3 {
+		t.Errorf("CreateVpc classes = %d, want golden + 3 guards", perAction["CreateVpc"])
+	}
+}
+
+func TestViolationTracesTripExactlyTheirGuard(t *testing.T) {
+	emu := ec2Spec(t)
+	seeds := scenarios.EC2Fig3()
+	variants := ViolationTraces(emu.Spec(), seeds)
+	if len(variants) == 0 {
+		t.Fatal("no violation traces derived")
+	}
+	oracle := ec2.New()
+	for _, v := range variants {
+		rep := trace.Compare(emu, oracle, v)
+		if !rep.Aligned() {
+			t.Errorf("violation trace %s diverges between faithful emulator and oracle:\n%s", v.Name, trace.FormatReport(rep))
+		}
+		// The mutated final step must fail on the oracle (a violation
+		// was injected).
+		out := trace.Run(oracle, v)
+		last := out[len(out)-1]
+		if last.OK {
+			t.Errorf("violation trace %s did not trip any guard on the oracle", v.Name)
+		}
+	}
+	t.Logf("derived %d single-violation traces from %d seeds", len(variants), len(seeds))
+}
+
+func TestViolationTraceNaming(t *testing.T) {
+	emu := ec2Spec(t)
+	variants := ViolationTraces(emu.Spec(), scenarios.EC2Fig3()[:1])
+	for _, v := range variants {
+		if !strings.Contains(v.Name, "!") || v.Scenario != "symexec" {
+			t.Errorf("variant naming = %q/%q", v.Name, v.Scenario)
+		}
+	}
+}
+
+func TestComplexityOf(t *testing.T) {
+	emu := ec2Spec(t)
+	checks, classes := ComplexityOf(emu.Spec())
+	if checks == 0 || classes <= checks {
+		t.Errorf("complexity = %d checks, %d classes", checks, classes)
+	}
+}

@@ -1,0 +1,144 @@
+package d2c
+
+import (
+	"testing"
+
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/cloudapi"
+	"lce/internal/docs"
+	"lce/internal/docs/corpus"
+	"lce/internal/scenarios"
+	"lce/internal/trace"
+)
+
+func newD2C(t *testing.T) cloudapi.Backend {
+	t.Helper()
+	b, err := New(docs.Render(corpus.EC2()))
+	if err != nil {
+		t.Fatalf("d2c.New: %v", err)
+	}
+	return b
+}
+
+// TestFig3D2CAccuracy reproduces the paper's headline D2C number: the
+// direct-to-code emulator aligns on only 3 of the 12 traces.
+func TestFig3D2CAccuracy(t *testing.T) {
+	b := newD2C(t)
+	oracle := ec2.New()
+	aligned := 0
+	for _, tr := range scenarios.EC2Fig3() {
+		rep := trace.Compare(b, oracle, tr)
+		if rep.Aligned() {
+			aligned++
+			t.Logf("aligned: %s", tr.Name)
+		} else {
+			d := rep.FirstDiff()
+			t.Logf("diverged: %s at %s (%s)", tr.Name, d.Action, d.Kind)
+		}
+	}
+	if aligned != 3 {
+		t.Errorf("D2C aligned %d/12 traces, paper reports 3/12", aligned)
+	}
+}
+
+// TestD2CSilentStartSuccess is the paper's canonical transition error:
+// StartInstances on a running instance returns success instead of
+// IncorrectInstanceState.
+func TestD2CSilentStartSuccess(t *testing.T) {
+	b := newD2C(t)
+	inv := func(action string, p cloudapi.Params) cloudapi.Result {
+		res, err := b.Invoke(cloudapi.Request{Action: action, Params: p})
+		if err != nil {
+			t.Fatalf("%s: %v", action, err)
+		}
+		return res
+	}
+	vpcID := inv("CreateVpc", cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}).Get("vpcId").AsString()
+	subID := inv("CreateSubnet", cloudapi.Params{"vpcId": cloudapi.Str(vpcID), "cidrBlock": cloudapi.Str("10.0.1.0/24")}).Get("subnetId").AsString()
+	instID := inv("RunInstances", cloudapi.Params{"subnetId": cloudapi.Str(subID)}).Get("instanceId").AsString()
+	// The dangerous part: no error.
+	inv("StartInstances", cloudapi.Params{"instanceId": cloudapi.Str(instID)})
+}
+
+// TestD2CAllowsInvalidPrefix is the paper's shallow-validation error:
+// a /29 subnet is accepted although AWS rejects it.
+func TestD2CAllowsInvalidPrefix(t *testing.T) {
+	b := newD2C(t)
+	res, err := b.Invoke(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpcID := res.Get("vpcId").AsString()
+	_, err = b.Invoke(cloudapi.Request{Action: "CreateSubnet", Params: cloudapi.Params{
+		"vpcId": cloudapi.Str(vpcID), "cidrBlock": cloudapi.Str("10.0.1.0/29")}})
+	if err != nil {
+		t.Errorf("D2C rejected the /29 subnet: %v", err)
+	}
+	// But outright garbage is still caught (simple validity survives).
+	_, err = b.Invoke(cloudapi.Request{Action: "CreateSubnet", Params: cloudapi.Params{
+		"vpcId": cloudapi.Str(vpcID), "cidrBlock": cloudapi.Str("banana")}})
+	if err == nil {
+		t.Error("D2C accepted a garbage CIDR")
+	}
+}
+
+// TestD2CDeleteVpcWithGateway is the missing dependency check.
+func TestD2CDeleteVpcWithGateway(t *testing.T) {
+	b := newD2C(t)
+	inv := func(action string, p cloudapi.Params) cloudapi.Result {
+		res, err := b.Invoke(cloudapi.Request{Action: action, Params: p})
+		if err != nil {
+			t.Fatalf("%s: %v", action, err)
+		}
+		return res
+	}
+	vpcID := inv("CreateVpc", cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}).Get("vpcId").AsString()
+	igwID := inv("CreateInternetGateway", nil).Get("internetGatewayId").AsString()
+	inv("AttachInternetGateway", cloudapi.Params{"internetGatewayId": cloudapi.Str(igwID), "vpcId": cloudapi.Str(vpcID)})
+	inv("DeleteVpc", cloudapi.Params{"vpcId": cloudapi.Str(vpcID)}) // succeeds — the bug
+}
+
+// TestD2CMissingStateVariables: InstanceTenancy and
+// CreditSpecification are absent from describe payloads.
+func TestD2CMissingStateVariables(t *testing.T) {
+	b := newD2C(t)
+	inv := func(action string, p cloudapi.Params) cloudapi.Result {
+		res, err := b.Invoke(cloudapi.Request{Action: action, Params: p})
+		if err != nil {
+			t.Fatalf("%s: %v", action, err)
+		}
+		return res
+	}
+	vpcID := inv("CreateVpc", cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}).Get("vpcId").AsString()
+	subID := inv("CreateSubnet", cloudapi.Params{"vpcId": cloudapi.Str(vpcID), "cidrBlock": cloudapi.Str("10.0.1.0/24")}).Get("subnetId").AsString()
+	inv("RunInstances", cloudapi.Params{"subnetId": cloudapi.Str(subID), "instanceType": cloudapi.Str("t3.micro")})
+	insts := inv("DescribeInstances", nil).Get("instances").AsList()
+	m := insts[0].AsMap()
+	if _, has := m["instanceTenancy"]; has {
+		t.Error("D2C unexpectedly captured instanceTenancy")
+	}
+	if _, has := m["creditSpecification"]; has {
+		t.Error("D2C unexpectedly captured creditSpecification")
+	}
+}
+
+// TestD2CTaxonomy sanity-checks the error-category split over Fig. 3:
+// both state errors and transition errors must occur (E3's quantitative
+// breakdown).
+func TestD2CTaxonomy(t *testing.T) {
+	b := newD2C(t)
+	oracle := ec2.New()
+	kinds := map[trace.DiffKind]int{}
+	for _, tr := range scenarios.EC2Fig3() {
+		rep := trace.Compare(b, oracle, tr)
+		for _, d := range rep.Diffs {
+			kinds[d.Kind]++
+		}
+	}
+	if kinds[trace.DiffResult] == 0 {
+		t.Error("no state errors (result mismatches) observed")
+	}
+	if kinds[trace.DiffMissedFailure] == 0 {
+		t.Error("no transition errors (missed failures) observed")
+	}
+}

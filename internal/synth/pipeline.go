@@ -1,0 +1,264 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lce/internal/docs"
+	"lce/internal/docs/wrangle"
+	"lce/internal/spec"
+)
+
+// Decoding selects how the simulated model's output is kept inside the
+// grammar (§4.2).
+type Decoding int
+
+const (
+	// Constrained decoding builds the AST under the grammar directly —
+	// syntactically invalid output is impossible by construction.
+	Constrained Decoding = iota
+	// Free decoding emits raw spec text which may be syntactically
+	// mangled; the pipeline detects parse failures and re-prompts,
+	// which is the paper's prototype configuration ("we enforce
+	// syntactic checks in the interpreter and re-prompt in case of
+	// issues").
+	Free
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	Noise    Noise
+	Decoding Decoding
+	// MaxRePrompts bounds the free-decoding retry loop per resource.
+	MaxRePrompts int
+}
+
+// DefaultOptions is the configuration used throughout the evaluation:
+// the preliminary noise model with free decoding, as in the paper's
+// prototype.
+func DefaultOptions() Options {
+	return Options{Noise: Preliminary, Decoding: Free, MaxRePrompts: 8}
+}
+
+// Report records what happened during synthesis; the evaluation
+// harness turns these into the decoding-ablation numbers.
+type Report struct {
+	Service string
+	// SMs generated, and the total extracted grammar elements.
+	SMCount int
+	// RePrompts counts syntax-failure retries (free decoding only).
+	RePrompts int
+	// StubsPatched counts linker-synthesized internal transitions.
+	StubsPatched int
+	// StubsPruned counts cross-resource effects that could not be
+	// linked (their target state was hallucinated away).
+	StubsPruned int
+	// Order is the dependency-ordered generation sequence.
+	Order []string
+}
+
+// Synthesize runs the full §4.2 workflow over a rendered corpus:
+// wrangle → dependency-ordered incremental extraction → specification
+// linking → well-formedness check. The result is an executable
+// service spec for interp.New.
+func Synthesize(c docs.Corpus, opts Options) (*spec.Service, *Report, error) {
+	brief, err := wrangle.Wrangle(c)
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: documentation wrangling failed: %w", err)
+	}
+	return SynthesizeFromBrief(brief, opts)
+}
+
+// SynthesizeFromBrief runs extraction and linking over an
+// already-wrangled brief. The alignment engine uses this entry point
+// when re-reading documentation during repair.
+func SynthesizeFromBrief(brief *docs.ServiceDoc, opts Options) (*spec.Service, *Report, error) {
+	if opts.MaxRePrompts <= 0 {
+		opts.MaxRePrompts = 8
+	}
+	rep := &Report{Service: brief.Service}
+
+	// Resource-level dependency graph from ref-typed states and params.
+	names := make([]string, 0, len(brief.Resources))
+	deps := map[string][]string{}
+	for _, rd := range brief.Resources {
+		names = append(names, rd.Name)
+		deps[rd.Name] = resourceDeps(rd)
+	}
+	rep.Order = dependencyOrder(names, deps)
+
+	x := &extractor{doc: brief, noise: opts.Noise, service: brief.Service}
+	svc := &spec.Service{Name: brief.Service}
+	for _, name := range rep.Order {
+		rd := brief.Resource(name)
+		sm, rePrompts, err := generateSM(x, rd, opts)
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.RePrompts += rePrompts
+		svc.SMs = append(svc.SMs, sm)
+	}
+	rep.SMCount = len(svc.SMs)
+
+	patched, pruned, err := link(svc)
+	if err != nil {
+		return nil, rep, fmt.Errorf("synth: linking failed: %w", err)
+	}
+	rep.StubsPatched = patched
+	rep.StubsPruned = pruned
+
+	// Targeted correction (§4.2): cascade hallucinated-away state
+	// variables through the statements built on them until the spec
+	// passes the well-formedness check.
+	rep.StubsPruned += scrub(svc)
+
+	if errs := spec.Check(svc, spec.Strict); len(errs) > 0 {
+		return nil, rep, fmt.Errorf("synth: linked spec is not well-formed: %v (and %d more)", errs[0], len(errs)-1)
+	}
+	return svc, rep, nil
+}
+
+// generateSM produces one SM under the selected decoding regime.
+func generateSM(x *extractor, rd *docs.ResourceDoc, opts Options) (*spec.SM, int, error) {
+	rePrompts := 0
+	for attempt := 0; ; attempt++ {
+		sm := x.extractSM(rd, attempt)
+		if opts.Decoding == Constrained {
+			// The AST is the output: grammar conformance by
+			// construction.
+			return sm, rePrompts, nil
+		}
+		// Free decoding: the model emits text, which may be mangled.
+		text := spec.PrintSM(sm)
+		r := opts.Noise.rng(rd.Name+"/syntax", attempt)
+		if decide(r, opts.Noise.SyntaxErr) {
+			text = mangle(text, r)
+		}
+		parsed, err := spec.ParseSM(text)
+		if err == nil {
+			return parsed, rePrompts, nil
+		}
+		rePrompts++
+		if rePrompts > opts.MaxRePrompts {
+			return nil, rePrompts, fmt.Errorf("synth: %s: free decoding failed after %d re-prompts: %w", rd.Name, rePrompts, err)
+		}
+	}
+}
+
+// mangle injects a realistic syntax error into emitted spec text:
+// a dropped delimiter.
+func mangle(text string, r *rand.Rand) string {
+	candidates := []byte{')', '}', '('}
+	c := candidates[r.Intn(len(candidates))]
+	positions := []int{}
+	for i := 0; i < len(text); i++ {
+		if text[i] == c {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) == 0 {
+		return "~" + text
+	}
+	p := positions[r.Intn(len(positions))]
+	return text[:p] + text[p+1:]
+}
+
+// resourceDeps lists the SMs a resource's brief references.
+func resourceDeps(rd *docs.ResourceDoc) []string {
+	seen := map[string]bool{}
+	add := func(t spec.Type) {
+		if t.Kind == spec.TRef && t.Ref != rd.Name {
+			seen[t.Ref] = true
+		}
+		if t.Kind == spec.TList && t.Elem != nil && t.Elem.Kind == spec.TRef && t.Elem.Ref != rd.Name {
+			seen[t.Elem.Ref] = true
+		}
+	}
+	for _, sv := range rd.States {
+		add(sv.Type)
+	}
+	for _, a := range rd.APIs {
+		for _, p := range a.Params {
+			add(p.Type)
+		}
+	}
+	if rd.Parent != "" && rd.Parent != rd.Name {
+		seen[rd.Parent] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RepairSM re-extracts one SM noise-free from the brief and splices it
+// into the service, then re-links. This is the alignment engine's
+// repair primitive: "re-reading the documentation" for the implicated
+// resource (§4.3).
+func RepairSM(svc *spec.Service, brief *docs.ServiceDoc, smName string) error {
+	rd := brief.Resource(smName)
+	if rd == nil {
+		return fmt.Errorf("synth: no documentation for SM %q", smName)
+	}
+	x := &extractor{doc: brief, noise: Perfect, service: brief.Service}
+	fresh := x.extractSM(rd, 0)
+	replaced := false
+	for i, sm := range svc.SMs {
+		if sm.Name == smName {
+			svc.SMs[i] = fresh
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		svc.SMs = append(svc.SMs, fresh)
+	}
+	// Drop previously linker-synthesized internal transitions that
+	// target the replaced SM: they will be regenerated as needed, and
+	// stale setters for renamed states must not linger.
+	for _, sm := range svc.SMs {
+		kept := sm.Transitions[:0]
+		for _, tr := range sm.Transitions {
+			if tr.Internal && strings.Contains(tr.Name, "_"+smName+"_") {
+				continue
+			}
+			kept = append(kept, tr)
+		}
+		sm.Transitions = kept
+	}
+	if _, _, err := link(svc); err != nil {
+		return err
+	}
+	if errs := spec.Check(svc, spec.Strict); len(errs) > 0 {
+		return fmt.Errorf("synth: repaired spec is not well-formed: %v", errs[0])
+	}
+	return nil
+}
+
+// SetAssertCode patches the error code of the assert in the given
+// transition whose current code is oldCode. The alignment engine uses
+// it when a divergence is attributed to the documentation itself: the
+// observed cloud code overrides the documented one (§4.3 "learn how
+// the cloud produces error logs").
+func SetAssertCode(svc *spec.Service, action, oldCode, newCode string) bool {
+	_, tr, ok := svc.Action(action)
+	if !ok {
+		return false
+	}
+	found := false
+	walkStmts(tr.Body, func(s spec.Stmt) {
+		if a, ok := s.(*spec.AssertStmt); ok && a.Code == oldCode && !found {
+			a.Code = newCode
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,185 @@
+package synth
+
+import (
+	"lce/internal/spec"
+)
+
+// scrub removes statements whose expressions reference state variables
+// the model failed to capture. This is the cascade a grammar-aware
+// generator performs: hallucinating away a state variable necessarily
+// takes the checks and effects built on it along (the paper's §4.2
+// "erroneous components trigger another round of targeted correction
+// until the spec passes our checks"). Each scrubbed statement is a
+// latent divergence for the alignment phase to find.
+func scrub(svc *spec.Service) int {
+	removed := 0
+	for _, sm := range svc.SMs {
+		for _, tr := range sm.Transitions {
+			ctx := &scrubCtx{svc: svc, sm: sm, tr: tr, vars: map[string]string{}}
+			tr.Body = ctx.scrubStmts(tr.Body, &removed)
+		}
+	}
+	return removed
+}
+
+type scrubCtx struct {
+	svc  *spec.Service
+	sm   *spec.SM
+	tr   *spec.Transition
+	vars map[string]string // foreach var -> SM name ("" unknown)
+}
+
+func (c *scrubCtx) child(varName, smName string) *scrubCtx {
+	out := &scrubCtx{svc: c.svc, sm: c.sm, tr: c.tr, vars: make(map[string]string, len(c.vars)+1)}
+	for k, v := range c.vars {
+		out.vars[k] = v
+	}
+	out.vars[varName] = smName
+	return out
+}
+
+func (c *scrubCtx) scrubStmts(stmts []spec.Stmt, removed *int) []spec.Stmt {
+	var out []spec.Stmt
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *spec.WriteStmt:
+			if c.sm.State(st.State) == nil || c.bad(st.Value) {
+				*removed++
+				continue
+			}
+		case *spec.AssertStmt:
+			if c.bad(st.Pred) {
+				*removed++
+				continue
+			}
+		case *spec.ReturnStmt:
+			if c.bad(st.Value) {
+				*removed++
+				continue
+			}
+		case *spec.CallStmt:
+			drop := c.bad(st.Target)
+			for _, a := range st.Args {
+				drop = drop || c.bad(a)
+			}
+			if drop {
+				*removed++
+				continue
+			}
+		case *spec.IfStmt:
+			if c.bad(st.Cond) {
+				*removed++
+				continue
+			}
+			st.Then = c.scrubStmts(st.Then, removed)
+			st.Else = c.scrubStmts(st.Else, removed)
+		case *spec.ForEachStmt:
+			if c.bad(st.Over) {
+				*removed++
+				continue
+			}
+			inner := c.child(st.Var, c.refSMOf(st.Over))
+			st.Body = inner.scrubStmts(st.Body, removed)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// bad reports whether the expression references a state variable that
+// does not exist (on this SM or, through field access, on another).
+func (c *scrubCtx) bad(e spec.Expr) bool {
+	switch x := e.(type) {
+	case *spec.Lit, *spec.SelfExpr:
+		return false
+	case *spec.Ident:
+		if _, isVar := c.vars[x.Name]; isVar {
+			return false
+		}
+		if c.tr.Param(x.Name) != nil {
+			return false
+		}
+		return c.sm.State(x.Name) == nil
+	case *spec.ReadExpr:
+		return c.sm.State(x.State) == nil
+	case *spec.FieldExpr:
+		if c.bad(x.X) {
+			return true
+		}
+		smName := c.refSMOf(x.X)
+		if smName == "" {
+			return false // unknowable; leave to runtime (reads of unset attrs yield nil)
+		}
+		target := c.svc.SM(smName)
+		if target == nil {
+			return true
+		}
+		return target.State(x.Name) == nil
+	case *spec.BuiltinExpr:
+		for _, a := range x.Args {
+			if c.bad(a) {
+				return true
+			}
+		}
+		return false
+	case *spec.UnaryExpr:
+		return c.bad(x.X)
+	case *spec.BinaryExpr:
+		return c.bad(x.X) || c.bad(x.Y)
+	default:
+		return false
+	}
+}
+
+// refSMOf resolves the SM an expression refers to, for field lookups.
+func (c *scrubCtx) refSMOf(e spec.Expr) string {
+	switch x := e.(type) {
+	case *spec.Ident:
+		if smName, ok := c.vars[x.Name]; ok {
+			return smName
+		}
+		if p := c.tr.Param(x.Name); p != nil && p.Type.Kind == spec.TRef {
+			return p.Type.Ref
+		}
+		if sv := c.sm.State(x.Name); sv != nil && sv.Type.Kind == spec.TRef {
+			return sv.Type.Ref
+		}
+		return ""
+	case *spec.SelfExpr:
+		return c.sm.Name
+	case *spec.ReadExpr:
+		if sv := c.sm.State(x.State); sv != nil && sv.Type.Kind == spec.TRef {
+			return sv.Type.Ref
+		}
+		return ""
+	case *spec.FieldExpr:
+		base := c.refSMOf(x.X)
+		if base == "" {
+			return ""
+		}
+		target := c.svc.SM(base)
+		if target == nil {
+			return ""
+		}
+		if sv := target.State(x.Name); sv != nil && sv.Type.Kind == spec.TRef {
+			return sv.Type.Ref
+		}
+		return ""
+	case *spec.BuiltinExpr:
+		switch x.Name {
+		case "matching", "lookup", "instances", "children":
+			if len(x.Args) > 0 {
+				if lit, ok := x.Args[0].(*spec.Lit); ok {
+					return lit.Value.AsString()
+				}
+			}
+		case "first", "filterEq":
+			if len(x.Args) > 0 {
+				return c.refSMOf(x.Args[0])
+			}
+		}
+		return ""
+	default:
+		return ""
+	}
+}

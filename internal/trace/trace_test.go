@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/cloudapi"
+	"lce/internal/manual"
+)
+
+func vpcIgwTrace() Trace {
+	return Trace{
+		Name:     "vpc-igw-delete",
+		Scenario: "edge-cases",
+		Steps: []Step{
+			{Action: "CreateVpc", Params: map[string]Arg{"cidrBlock": S("10.0.0.0/16")}, Save: map[string]string{"vpcId": "vpc"}},
+			{Action: "CreateInternetGateway", Save: map[string]string{"internetGatewayId": "igw"}},
+			{Action: "AttachInternetGateway", Params: map[string]Arg{"internetGatewayId": Ref("igw"), "vpcId": Ref("vpc")}},
+			{Action: "DeleteVpc", Params: map[string]Arg{"vpcId": Ref("vpc")}, Note: "must fail with DependencyViolation"},
+		},
+	}
+}
+
+func TestRunBindings(t *testing.T) {
+	oracle := ec2.New()
+	out := Run(oracle, vpcIgwTrace())
+	if !out[0].OK || !out[1].OK || !out[2].OK {
+		t.Fatalf("setup steps failed: %+v", out)
+	}
+	if out[3].OK || out[3].Code != "DependencyViolation" {
+		t.Errorf("final step = %+v", out[3])
+	}
+}
+
+func TestRunUnresolvedBinding(t *testing.T) {
+	oracle := ec2.New()
+	out := Run(oracle, Trace{Steps: []Step{{Action: "DeleteVpc", Params: map[string]Arg{"vpcId": Ref("nope")}}}})
+	if !out[0].Broken {
+		t.Errorf("outcome = %+v", out[0])
+	}
+}
+
+func TestCompareSelfAligned(t *testing.T) {
+	rep := Compare(ec2.New(), ec2.New(), vpcIgwTrace())
+	if !rep.Aligned() {
+		t.Errorf("oracle not aligned with itself:\n%s", FormatReport(rep))
+	}
+}
+
+func TestCompareDetectsMissedFailure(t *testing.T) {
+	// The Moto-style baseline accepts DeleteVpc where the oracle
+	// rejects it → missed-failure at step 3.
+	rep := Compare(manual.NewEC2(), ec2.New(), vpcIgwTrace())
+	if rep.Aligned() {
+		t.Fatal("baseline unexpectedly aligned")
+	}
+	d := rep.FirstDiff()
+	if d.Kind != DiffMissedFailure || d.Action != "DeleteVpc" {
+		t.Errorf("first diff = %+v", d)
+	}
+	if !strings.Contains(FormatReport(rep), "missed-failure") {
+		t.Error("report text missing kind")
+	}
+}
+
+func TestDiffKinds(t *testing.T) {
+	okA := &Outcome{OK: true, Result: cloudapi.Result{"x": cloudapi.Int(1)}}
+	okB := &Outcome{OK: true, Result: cloudapi.Result{"x": cloudapi.Int(2)}}
+	failA := &Outcome{Code: "A"}
+	failB := &Outcome{Code: "B"}
+	broken := &Outcome{Broken: true}
+
+	if d := diffStep(0, "T", okA, okA); d.Kind != DiffNone {
+		t.Errorf("same ok = %v", d.Kind)
+	}
+	if d := diffStep(0, "T", okA, okB); d.Kind != DiffResult {
+		t.Errorf("result mismatch = %v", d.Kind)
+	}
+	if d := diffStep(0, "T", okA, failA); d.Kind != DiffMissedFailure {
+		t.Errorf("missed failure = %v", d.Kind)
+	}
+	if d := diffStep(0, "T", failA, okA); d.Kind != DiffSpuriousFailure {
+		t.Errorf("spurious = %v", d.Kind)
+	}
+	if d := diffStep(0, "T", failA, failB); d.Kind != DiffWrongCode {
+		t.Errorf("wrong code = %v", d.Kind)
+	}
+	if d := diffStep(0, "T", failA, failA); d.Kind != DiffNone {
+		t.Errorf("same failure = %v", d.Kind)
+	}
+	if d := diffStep(0, "T", okA, broken); d.Kind != DiffBroken {
+		t.Errorf("broken = %v", d.Kind)
+	}
+}
+
+func TestResultDiffNormalizesRefs(t *testing.T) {
+	a := cloudapi.Result{"id": cloudapi.RefVal("Vpc", "vpc-1")}
+	b := cloudapi.Result{"id": cloudapi.Str("vpc-1")}
+	if _, _, ok := resultDiff(a, b); !ok {
+		t.Error("ref vs id string should compare equal after normalization")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	reports := []Report{{}, {Diffs: []StepDiff{{}}}, {}}
+	if Summary(reports) != "2/3" {
+		t.Errorf("summary = %s", Summary(reports))
+	}
+	if AlignedCount(reports) != 2 {
+		t.Error("aligned count")
+	}
+}

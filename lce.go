@@ -1,0 +1,212 @@
+// Package lce — learned cloud emulators — is the public facade of this
+// repository: a from-scratch implementation of "A Case for Learned
+// Cloud Emulators" (HotNets 2025).
+//
+// The package wires together the full workflow the paper describes:
+//
+//	corpus := lce.Documentation("ec2")       // provider documentation (rendered text)
+//	emu, report, err := lce.Learn(corpus, lce.DefaultOptions()) // docs → SM spec → emulator
+//	res, err := lce.AlignWithCloud(emu, ...) // close the loop against the cloud
+//	http.ListenAndServe(addr, lce.Serve(emu))
+//
+// Everything underneath lives in internal/ packages: the SM spec
+// language and interpreter, the hand-written cloud oracles, the
+// documentation model and wrangler, the synthesis pipeline with its
+// hallucination model, the symbolic-execution trace generator, the
+// alignment engine, and the evaluation harness that regenerates every
+// table and figure of the paper. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package lce
+
+import (
+	"fmt"
+	"net/http"
+
+	"lce/internal/align"
+	"lce/internal/cloud/aws/dynamodb"
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/cloud/aws/eks"
+	"lce/internal/cloud/aws/netfw"
+	"lce/internal/cloud/azure"
+	"lce/internal/cloudapi"
+	"lce/internal/docs"
+	"lce/internal/docs/corpus"
+	"lce/internal/httpapi"
+	"lce/internal/interp"
+	"lce/internal/scenarios"
+	"lce/internal/synth"
+	"lce/internal/synth/d2c"
+	"lce/internal/trace"
+)
+
+// Backend is any cloud-shaped API surface: a ground-truth oracle, a
+// learned emulator, or a baseline.
+type Backend = cloudapi.Backend
+
+// Request and Result are the API call shapes.
+type (
+	Request = cloudapi.Request
+	Result  = cloudapi.Result
+	Params  = cloudapi.Params
+	Value   = cloudapi.Value
+)
+
+// Re-exported value constructors.
+var (
+	Str  = cloudapi.Str
+	Int  = cloudapi.Int
+	Bool = cloudapi.Bool
+)
+
+// Emulator is a learned emulator: an interpreted SM specification.
+type Emulator = interp.Emulator
+
+// Options configures synthesis.
+type Options = synth.Options
+
+// DefaultOptions is the paper-prototype configuration: the preliminary
+// hallucination model with free decoding and re-prompting.
+func DefaultOptions() Options { return synth.DefaultOptions() }
+
+// PerfectOptions is the zero-noise configuration: a faithful
+// extraction used to validate the abstraction end to end.
+func PerfectOptions() Options {
+	return Options{Noise: synth.Perfect, Decoding: synth.Constrained}
+}
+
+// Cloud returns the ground-truth oracle for a service: "ec2",
+// "dynamodb", "network-firewall", "eks", or "azure-network".
+func Cloud(service string) (Backend, error) {
+	switch service {
+	case "ec2":
+		return ec2.New(), nil
+	case "dynamodb":
+		return dynamodb.New(), nil
+	case "network-firewall":
+		return netfw.New(), nil
+	case "eks":
+		return eks.New(), nil
+	case "azure-network":
+		return azure.New(), nil
+	default:
+		return nil, fmt.Errorf("lce: unknown service %q", service)
+	}
+}
+
+// Documentation returns the rendered documentation corpus for a
+// service with learnable docs: "ec2", "dynamodb", "network-firewall",
+// or "azure-network".
+func Documentation(service string) (docs.Corpus, error) {
+	switch service {
+	case "ec2":
+		return docs.Render(corpus.EC2()), nil
+	case "dynamodb":
+		return docs.Render(corpus.DynamoDB()), nil
+	case "network-firewall":
+		return docs.Render(corpus.NetworkFirewall()), nil
+	case "azure-network":
+		return docs.Render(corpus.Azure()), nil
+	default:
+		return docs.Corpus{}, fmt.Errorf("lce: no documentation corpus for %q", service)
+	}
+}
+
+// LearnReport summarizes a synthesis run.
+type LearnReport = synth.Report
+
+// Learn synthesizes a learned emulator from rendered documentation:
+// wrangling, dependency-ordered incremental extraction, specification
+// linking, consistency checking, interpretation.
+func Learn(c docs.Corpus, opts Options) (*Emulator, *LearnReport, error) {
+	svc, rep, err := synth.Synthesize(c, opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	emu, err := interp.New(svc)
+	return emu, rep, err
+}
+
+// DirectToCode builds the paper's direct-to-code baseline from the
+// same documentation: a flat handler table without the SM abstraction.
+func DirectToCode(c docs.Corpus) (Backend, error) {
+	return d2c.New(c)
+}
+
+// AlignResult is the outcome of the alignment loop.
+type AlignResult = align.Result
+
+// AlignWithCloud runs the automated alignment loop (§4.3) for a
+// service: synthesize under opts, then iteratively repair against the
+// oracle using the standard trace suites plus symbolically derived
+// single-violation traces. It returns the aligned emulator.
+func AlignWithCloud(service string, opts Options) (*AlignResult, error) {
+	c, err := Documentation(service)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := Cloud(service)
+	if err != nil {
+		return nil, err
+	}
+	brief, briefDoc := corpusBrief(service)
+	if brief == nil {
+		return nil, fmt.Errorf("lce: no brief for %q", service)
+	}
+	_ = c
+	svc, _, err := synth.SynthesizeFromBrief(brief, opts)
+	if err != nil {
+		return nil, err
+	}
+	return align.Run(svc, briefDoc, oracle, Scenarios(service), align.Options{GenerateViolations: true})
+}
+
+func corpusBrief(service string) (*docs.ServiceDoc, *docs.ServiceDoc) {
+	var d *docs.ServiceDoc
+	switch service {
+	case "ec2":
+		d = corpus.EC2()
+	case "dynamodb":
+		d = corpus.DynamoDB()
+	case "network-firewall":
+		d = corpus.NetworkFirewall()
+	case "azure-network":
+		d = corpus.Azure()
+	default:
+		return nil, nil
+	}
+	return d, d
+}
+
+// Scenarios returns the standard trace suite for a service (the Fig. 3
+// workload plus the extended parity sweeps).
+func Scenarios(service string) []trace.Trace {
+	switch service {
+	case "ec2":
+		return append(scenarios.EC2Fig3(), scenarios.EC2Extended()...)
+	case "dynamodb":
+		return scenarios.DynamoDB()
+	case "network-firewall":
+		return scenarios.NetworkFirewall()
+	case "azure-network":
+		return scenarios.AzureFig3()
+	default:
+		return nil
+	}
+}
+
+// Compare runs one trace differentially and reports whether the
+// subject aligned with the oracle.
+func Compare(subject, oracle Backend, tr trace.Trace) trace.Report {
+	return trace.Compare(subject, oracle, tr)
+}
+
+// Serve exposes any backend over HTTP in the LocalStack style
+// (POST /invoke, POST /reset, GET /actions, GET /healthz).
+func Serve(b Backend) http.Handler {
+	return httpapi.Handler(b)
+}
+
+// Connect returns a Backend speaking to a served emulator over HTTP.
+func Connect(baseURL string) Backend {
+	return httpapi.NewClient(baseURL)
+}

@@ -1,0 +1,71 @@
+package lce
+
+import (
+	"testing"
+)
+
+func TestPublicAPILearnAndInvoke(t *testing.T) {
+	for _, service := range []string{"ec2", "dynamodb", "network-firewall", "azure-network"} {
+		c, err := Documentation(service)
+		if err != nil {
+			t.Fatalf("%s: %v", service, err)
+		}
+		emu, rep, err := Learn(c, PerfectOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", service, err)
+		}
+		if rep.SMCount == 0 || len(emu.Actions()) == 0 {
+			t.Errorf("%s: SMs=%d actions=%d", service, rep.SMCount, len(emu.Actions()))
+		}
+	}
+}
+
+func TestPublicAPICloudAndCompare(t *testing.T) {
+	oracle, err := Cloud("ec2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := Documentation("ec2")
+	emu, _, err := Learn(c, PerfectOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range Scenarios("ec2") {
+		if rep := Compare(emu, oracle, tr); !rep.Aligned() {
+			t.Errorf("trace %s diverged", tr.Name)
+		}
+	}
+}
+
+func TestPublicAPIAlignWithCloud(t *testing.T) {
+	res, err := AlignWithCloud("azure-network", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("alignment did not converge")
+	}
+}
+
+func TestPublicAPIUnknownService(t *testing.T) {
+	if _, err := Cloud("s3"); err == nil {
+		t.Error("unknown service accepted")
+	}
+	if _, err := Documentation("s3"); err == nil {
+		t.Error("unknown corpus accepted")
+	}
+	if Scenarios("s3") != nil {
+		t.Error("unknown scenarios non-nil")
+	}
+}
+
+func TestPublicAPIDirectToCode(t *testing.T) {
+	c, _ := Documentation("ec2")
+	b, err := DirectToCode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Actions()) == 0 {
+		t.Error("d2c has no actions")
+	}
+}

@@ -1,0 +1,30 @@
+# Mirrors .github/workflows/ci.yml — `make ci` runs exactly what the
+# CI gate runs, so a green local run means a green PR.
+
+GO ?= go
+
+.PHONY: build test race lint bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/lce-bench -alignspeed -short -workers 8 -json bench.json
+
+ci: build lint race bench

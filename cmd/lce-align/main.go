@@ -4,6 +4,10 @@
 // repair the divergences:
 //
 //	lce-align -service ec2
+//	lce-align -service ec2 -workers 8   # comparison-phase pool size
+//
+// The comparison phase fans out across -workers goroutines (default:
+// GOMAXPROCS); the result is identical at any worker count.
 package main
 
 import (
@@ -16,9 +20,10 @@ import (
 
 func main() {
 	service := flag.String("service", "ec2", "service to align: ec2 | dynamodb | network-firewall | azure-network")
+	workers := flag.Int("workers", 0, "comparison worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	res, err := lce.AlignWithCloud(*service, lce.DefaultOptions())
+	res, err := lce.AlignWithCloudWorkers(*service, lce.DefaultOptions(), *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lce-align:", err)
 		os.Exit(1)
@@ -37,6 +42,8 @@ func main() {
 			fmt.Printf("    divergence: %s (%s): %s\n", d.Action, d.Kind, d.Detail)
 		}
 	}
+	fmt.Printf("stats: %d comparisons, %d divergent, %d repairs over %d rounds\n",
+		res.Stats.TracesCompared, res.Stats.Divergent, res.Stats.Repairs, res.Stats.Rounds)
 	if res.Converged {
 		fmt.Println("converged: the emulator is behaviourally aligned with the cloud")
 	} else {

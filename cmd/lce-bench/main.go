@@ -3,15 +3,46 @@
 //
 //	lce-bench            # everything
 //	lce-bench -table1 -fig3
+//	lce-bench -alignspeed -workers 8        # parallel alignment speedup
+//	lce-bench -alignspeed -short -json out.json  # CI bench-smoke artifact
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"lce/internal/eval"
 )
+
+// benchArtifact is the JSON blob -json writes; CI uploads it so every
+// PR leaves a perf trajectory behind.
+type benchArtifact struct {
+	GoVersion  string         `json:"goVersion,omitempty"`
+	Timestamp  time.Time      `json:"timestamp"`
+	AlignSpeed []speedupJSON  `json:"alignSpeedup,omitempty"`
+	Converge   []convergeJSON `json:"alignmentConvergence,omitempty"`
+}
+
+type speedupJSON struct {
+	Service     string  `json:"service"`
+	Traces      int     `json:"traces"`
+	Workers     int     `json:"workers"`
+	OracleRTTNs int64   `json:"oracleRttNs"`
+	SerialNs    int64   `json:"serialNs"`
+	ParallelNs  int64   `json:"parallelNs"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type convergeJSON struct {
+	Round   int `json:"round"`
+	Aligned int `json:"aligned"`
+	Total   int `json:"total"`
+	Repairs int `json:"repairs"`
+}
 
 func main() {
 	var (
@@ -25,9 +56,15 @@ func main() {
 		converge   = flag.Bool("converge", false, "A1: alignment convergence")
 		decoding   = flag.Bool("decoding", false, "A2: decoding ablation")
 		graphs     = flag.Bool("graphs", false, "A3: complexity graphs and anti-patterns")
+		alignspeed = flag.Bool("alignspeed", false, "parallel-vs-serial alignment speedup (multi-service)")
+		workers    = flag.Int("workers", 8, "worker-pool size for -alignspeed")
+		rtt        = flag.Duration("rtt", 200*time.Microsecond, "simulated cloud-oracle round trip per API call for -alignspeed (0 = in-process, pure CPU)")
+		short      = flag.Bool("short", false, "shrink -alignspeed workload (CI smoke mode)")
+		jsonOut    = flag.String("json", "", "write machine-readable results to this file")
 	)
 	flag.Parse()
-	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs)
+	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed)
+	artifact := benchArtifact{GoVersion: runtime.Version(), Timestamp: time.Now().UTC()}
 
 	if all || *table1 {
 		fmt.Println(eval.FormatTable1(eval.Table1()))
@@ -80,6 +117,7 @@ func main() {
 		fmt.Println("Alignment convergence (EC2, preliminary noise):")
 		for _, r := range rows {
 			fmt.Printf("  round %d: %d/%d aligned (%d repairs)\n", r.Round, r.Aligned, r.Total, r.Repairs)
+			artifact.Converge = append(artifact.Converge, convergeJSON{Round: r.Round, Aligned: r.Aligned, Total: r.Total, Repairs: r.Repairs})
 		}
 		fmt.Println()
 	}
@@ -93,6 +131,23 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *alignspeed {
+		replicas, reps := 40, 3
+		if *short {
+			replicas, reps = 8, 2
+		}
+		rows, err := eval.AlignSpeedup(*workers, replicas, reps, *rtt)
+		check(err)
+		fmt.Println(eval.FormatSpeedup(rows))
+		for _, r := range rows {
+			artifact.AlignSpeed = append(artifact.AlignSpeed, speedupJSON{
+				Service: r.Service, Traces: r.Traces, Workers: r.Workers,
+				OracleRTTNs: r.OracleRTT.Nanoseconds(),
+				SerialNs:    r.Serial.Nanoseconds(), ParallelNs: r.Parallel.Nanoseconds(),
+				Speedup: r.Speedup(),
+			})
+		}
+	}
 	if all || *graphs {
 		stats, anti, err := eval.GraphReport()
 		check(err)
@@ -105,6 +160,13 @@ func main() {
 		for _, ap := range anti {
 			fmt.Printf("    [%s] %s.%s: %s\n", ap.Kind, ap.SM, ap.Action, ap.Detail)
 		}
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(artifact, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, append(blob, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }
 

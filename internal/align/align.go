@@ -6,15 +6,29 @@
 // sync with the cloud, by adopting the error code the cloud was
 // observed to return. The loop iterates until the emulator aligns or
 // the round budget is spent.
+//
+// The comparison phase of each round — one differential trace replay
+// per seed — is embarrassingly parallel and dominates wall-clock time,
+// so it fans out over a bounded worker pool (Options.Workers). Each
+// worker owns a private emulator instance (rebuilt from the shared
+// spec, which is read-only during comparison) and a private oracle
+// instance (stamped out by a cloudapi.BackendFactory), so no mutable
+// state crosses goroutines; per-trace reports are merged back in trace
+// order, which makes a parallel round's Result byte-identical to a
+// serial one's. The repair phase stays single-goroutine: it mutates
+// the spec.
 package align
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"lce/internal/cloudapi"
 	"lce/internal/docs"
 	"lce/internal/interp"
+	"lce/internal/metrics"
 	"lce/internal/spec"
 	"lce/internal/symexec"
 	"lce/internal/synth"
@@ -44,6 +58,9 @@ type Result struct {
 	Converged bool
 	// Final is the aligned (or best-effort) emulator.
 	Final *interp.Emulator
+	// Stats aggregates run-wide counters (comparisons, divergences,
+	// repairs). Deterministic for a given workload at any worker count.
+	Stats metrics.AlignStats
 }
 
 // Options tunes the loop.
@@ -52,10 +69,33 @@ type Options struct {
 	// GenerateViolations adds symexec-derived single-violation traces
 	// to the seed suite.
 	GenerateViolations bool
+	// Workers bounds the comparison-phase worker pool. 0 (the default)
+	// means GOMAXPROCS; 1 forces the serial path. Any setting yields an
+	// identical Result — parallelism only changes wall-clock time. When
+	// the oracle cannot be instantiated per worker (no factory and no
+	// cloudapi.Forker support), the engine falls back to serial
+	// regardless of this setting.
+	Workers int
 }
 
-// Run executes the alignment loop over svc, mutating it in place.
+// Run executes the alignment loop over svc, mutating it in place. The
+// oracle is forked per worker when it supports cloudapi.Forker (every
+// hand-written cloud model does); otherwise the loop runs serially on
+// the single shared instance.
 func Run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, seeds []trace.Trace, opts Options) (*Result, error) {
+	return run(svc, brief, oracle, cloudapi.FactoryOf(oracle), seeds, opts)
+}
+
+// RunFactory is Run for callers that construct oracles explicitly: each
+// comparison worker draws its own instance from the factory.
+func RunFactory(svc *spec.Service, brief *docs.ServiceDoc, factory cloudapi.BackendFactory, seeds []trace.Trace, opts Options) (*Result, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("align: nil backend factory")
+	}
+	return run(svc, brief, factory(), factory, seeds, opts)
+}
+
+func run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, factory cloudapi.BackendFactory, seeds []trace.Trace, opts Options) (*Result, error) {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = len(svc.SMs) + 2
 	}
@@ -63,7 +103,10 @@ func Run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, see
 	if opts.GenerateViolations {
 		traces = append(traces, symexec.ViolationTraces(svc, seeds)...)
 	}
+	workers := poolSize(opts.Workers, len(traces), factory != nil)
+
 	res := &Result{}
+	counters := &metrics.AlignCounters{}
 	// adopted records cloud error codes already grafted onto actions so
 	// a stale-doc divergence is only "fixed from observation" once.
 	adopted := map[string]bool{}
@@ -73,16 +116,17 @@ func Run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, see
 	redocumented := map[string]bool{}
 
 	for round := 1; round <= opts.MaxRounds; round++ {
-		emu, err := interp.New(svc)
+		reports, emu, err := compareRound(svc, oracle, factory, traces, workers, counters)
 		if err != nil {
-			return res, fmt.Errorf("align: emulator rebuild failed: %w", err)
+			return res, err
 		}
 		res.Final = emu
 		r := Round{Round: round, Total: len(traces)}
 		implicated := map[string]trace.StepDiff{}
 		var wrongCodes []trace.StepDiff
-		for _, tr := range traces {
-			rep := trace.Compare(emu, oracle, tr)
+		// reports is ordered by trace index, so this loop observes the
+		// suite exactly as the serial engine did.
+		for _, rep := range reports {
 			if rep.Aligned() {
 				r.Aligned++
 				continue
@@ -99,14 +143,17 @@ func Run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, see
 				wrongCodes = append(wrongCodes, d)
 			}
 		}
+		counters.RoundFinished()
 		if r.Aligned == r.Total {
 			res.Rounds = append(res.Rounds, r)
 			res.Converged = true
+			res.Stats = counters.Snapshot()
 			return res, nil
 		}
 
-		// Repair phase. First preference: re-read the docs for each
-		// implicated SM (deterministic order).
+		// Repair phase (single-goroutine: mutates the spec). First
+		// preference: re-read the docs for each implicated SM
+		// (deterministic order).
 		names := make([]string, 0, len(implicated))
 		for n := range implicated {
 			names = append(names, n)
@@ -149,12 +196,98 @@ func Run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, see
 				}
 			}
 		}
+		counters.RepairsApplied(len(r.Repairs))
 		res.Rounds = append(res.Rounds, r)
 		if !progressed {
+			res.Stats = counters.Snapshot()
 			return res, nil // stuck: report best effort
 		}
 	}
+	res.Stats = counters.Snapshot()
 	return res, nil
+}
+
+// poolSize resolves the effective worker count: requested (or
+// GOMAXPROCS when unset), clamped to the number of traces, and forced
+// to 1 when per-worker oracle instances are unavailable.
+func poolSize(requested, traces int, haveFactory bool) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > traces {
+		w = traces
+	}
+	if w < 1 || !haveFactory {
+		w = 1
+	}
+	return w
+}
+
+// CompareSuite replays every trace differentially — a spec-built
+// emulator versus a factory-drawn oracle — across a pool of `workers`
+// goroutines, returning reports in suite order. It is one alignment
+// round's comparison phase, exported for the speedup benchmark and for
+// callers that want bulk differential replay without the repair loop.
+func CompareSuite(svc *spec.Service, factory cloudapi.BackendFactory, traces []trace.Trace, workers int) ([]trace.Report, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("align: nil backend factory")
+	}
+	workers = poolSize(workers, len(traces), true)
+	reports, _, err := compareRound(svc, nil, factory, traces, workers, &metrics.AlignCounters{})
+	return reports, err
+}
+
+// compareRound runs the comparison phase of one round and returns the
+// per-trace reports in trace order plus the first worker's emulator
+// (the round's representative Final). Worker w owns emus[w] and its
+// own oracle for the whole phase; the spec is shared read-only. The
+// emulators are built serially up front because spec indexing mutates
+// the service's lookup maps.
+func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.BackendFactory, traces []trace.Trace, workers int, counters *metrics.AlignCounters) ([]trace.Report, *interp.Emulator, error) {
+	emus := make([]*interp.Emulator, workers)
+	oracles := make([]cloudapi.Backend, workers)
+	for w := 0; w < workers; w++ {
+		emu, err := interp.New(svc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("align: emulator rebuild failed: %w", err)
+		}
+		emus[w] = emu
+		if factory != nil {
+			oracles[w] = factory()
+		} else {
+			oracles[w] = oracle
+		}
+	}
+
+	reports := make([]trace.Report, len(traces))
+	if workers == 1 {
+		for i, tr := range traces {
+			reports[i] = trace.CompareIndexed(emus[0], oracles[0], i, tr)
+			counters.TraceCompared(!reports[i].Aligned())
+		}
+		return reports, emus[0], nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(emu *interp.Emulator, ora cloudapi.Backend) {
+			defer wg.Done()
+			for i := range jobs {
+				// Disjoint index writes: no lock needed on the slice.
+				reports[i] = trace.CompareIndexed(emu, ora, i, traces[i])
+				counters.TraceCompared(!reports[i].Aligned())
+			}
+		}(emus[w], oracles[w])
+	}
+	for i := range traces {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return reports, emus[0], nil
 }
 
 // localize maps a diverging action to the SM that owns it — the

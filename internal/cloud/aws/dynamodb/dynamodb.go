@@ -607,3 +607,11 @@ func describeImport(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
 func listImports(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
 	return cloudapi.Result{"imports": base.DescribeAll(s.ListLive(TImportTask))}, nil
 }
+
+// Factory returns a cloudapi.BackendFactory stamping out independent
+// DynamoDB oracle instances, one per alignment worker
+// (factory-per-worker ownership; handlers are pure over the store, so
+// instances share nothing mutable).
+func Factory() cloudapi.BackendFactory {
+	return func() cloudapi.Backend { return New() }
+}

@@ -1,0 +1,124 @@
+package ec2
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lce/internal/cloudapi"
+)
+
+// TestSharedBackendHammer drives one shared oracle instance from 16
+// goroutines under -race: base.Service serializes Invoke/Reset with a
+// mutex, so concurrent use must be free of data races and must only
+// ever fail with well-formed API errors. Each goroutine works in its
+// own 10.g.0.0/16 slice so the interleavings stay logically valid.
+func TestSharedBackendHammer(t *testing.T) {
+	oracle := New()
+	const goroutines = 16
+	const iters = 50
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cidr := fmt.Sprintf("10.%d.0.0/16", g)
+			subnetCidr := fmt.Sprintf("10.%d.1.0/24", g)
+			for i := 0; i < iters; i++ {
+				vpcRes, err := oracle.Invoke(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str(cidr)}})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: CreateVpc: %w", g, err)
+					return
+				}
+				vpcID := vpcRes.Get("vpcId").AsString()
+				subRes, err := oracle.Invoke(cloudapi.Request{Action: "CreateSubnet", Params: cloudapi.Params{
+					"vpcId": cloudapi.Str(vpcID), "cidrBlock": cloudapi.Str(subnetCidr),
+				}})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: CreateSubnet: %w", g, err)
+					return
+				}
+				if _, err := oracle.Invoke(cloudapi.Request{Action: "DescribeVpcs"}); err != nil {
+					errs <- fmt.Errorf("goroutine %d: DescribeVpcs: %w", g, err)
+					return
+				}
+				// Deleting a VPC with a live subnet must fail with a
+				// DependencyViolation API error, never a malfunction.
+				if _, err := oracle.Invoke(cloudapi.Request{Action: "DeleteVpc", Params: cloudapi.Params{"vpcId": cloudapi.Str(vpcID)}}); err == nil {
+					errs <- fmt.Errorf("goroutine %d: DeleteVpc with dependents succeeded", g)
+					return
+				} else if _, ok := cloudapi.AsAPIError(err); !ok {
+					errs <- fmt.Errorf("goroutine %d: DeleteVpc returned non-API error: %w", g, err)
+					return
+				}
+				subID := subRes.Get("subnetId").AsString()
+				if _, err := oracle.Invoke(cloudapi.Request{Action: "DeleteSubnet", Params: cloudapi.Params{"subnetId": cloudapi.Str(subID)}}); err != nil {
+					errs <- fmt.Errorf("goroutine %d: DeleteSubnet: %w", g, err)
+					return
+				}
+				if _, err := oracle.Invoke(cloudapi.Request{Action: "DeleteVpc", Params: cloudapi.Params{"vpcId": cloudapi.Str(vpcID)}}); err != nil {
+					errs <- fmt.Errorf("goroutine %d: DeleteVpc: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestForkIndependence verifies the factory-per-worker contract: a
+// forked backend shares the action table but none of the state, and
+// instances may be driven concurrently without coordination.
+func TestForkIndependence(t *testing.T) {
+	original := New()
+	forked := original.Fork()
+
+	origActions := original.Actions()
+	forkActions := forked.Actions()
+	if len(origActions) != len(forkActions) {
+		t.Fatalf("fork has %d actions, original %d", len(forkActions), len(origActions))
+	}
+	for i := range origActions {
+		if origActions[i] != forkActions[i] {
+			t.Fatalf("action table diverged at %d: %s vs %s", i, origActions[i], forkActions[i])
+		}
+	}
+
+	// State written to the original must be invisible to the fork.
+	if _, err := original.Invoke(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}}); err != nil {
+		t.Fatal(err)
+	}
+	origVpcs, err := original.Invoke(cloudapi.Request{Action: "DescribeVpcs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkVpcs, err := forked.Invoke(cloudapi.Request{Action: "DescribeVpcs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if no, nf := len(origVpcs.Get("vpcs").AsList()), len(forkVpcs.Get("vpcs").AsList()); no != nf+1 {
+		t.Fatalf("expected fork to have one fewer VPC: original %d, fork %d", no, nf)
+	}
+
+	// Both must allocate the same deterministic ID sequence from a
+	// fresh account — the property parallel alignment relies on.
+	forked.Reset()
+	res, err := forked.Invoke(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := New()
+	res2, err := fresh.Invoke(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := res.Get("vpcId").AsString(), res2.Get("vpcId").AsString(); a != b {
+		t.Fatalf("fork and fresh instance allocate different IDs: %s vs %s", a, b)
+	}
+}

@@ -66,6 +66,15 @@ func New() *base.Service {
 	return svc
 }
 
+// Factory returns a cloudapi.BackendFactory stamping out independent
+// EC2 oracle instances. The parallel alignment engine draws one per
+// worker goroutine (factory-per-worker ownership): every handler in
+// this package is pure over (store, params), so instances share no
+// mutable state and concurrent workers cannot race.
+func Factory() cloudapi.BackendFactory {
+	return func() cloudapi.Backend { return New() }
+}
+
 // stamp sets the account-level attributes every EC2 resource carries:
 // owner, region, ARN, and an empty tag map. The documentation states
 // these for every resource, so the learned emulator reproduces them.

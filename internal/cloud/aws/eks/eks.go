@@ -380,3 +380,11 @@ func listChildren(typ, key string) base.Handler {
 		return cloudapi.Result{key: base.DescribeAll(s.Children(c.ID, typ))}, nil
 	}
 }
+
+// Factory returns a cloudapi.BackendFactory stamping out independent
+// EKS oracle instances, one per alignment worker (factory-per-worker
+// ownership; handlers are pure over the store, so instances share
+// nothing mutable).
+func Factory() cloudapi.BackendFactory {
+	return func() cloudapi.Backend { return New() }
+}

@@ -659,3 +659,11 @@ func startFlowOp(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
 	op.Set("status", cloudapi.Str("COMPLETED"))
 	return cloudapi.Result{"analysisReportId": cloudapi.Str(op.ID)}, nil
 }
+
+// Factory returns a cloudapi.BackendFactory stamping out independent
+// Network Firewall oracle instances, one per alignment worker
+// (factory-per-worker ownership; handlers are pure over the store, so
+// instances share nothing mutable).
+func Factory() cloudapi.BackendFactory {
+	return func() cloudapi.Backend { return New() }
+}

@@ -360,3 +360,11 @@ func deallocateVM(s *base.Store, p cloudapi.Params) (cloudapi.Result, error) {
 	vm.Set("powerState", cloudapi.Str("deallocated"))
 	return base.OKResult(), nil
 }
+
+// Factory returns a cloudapi.BackendFactory stamping out independent
+// Azure oracle instances, one per alignment worker (factory-per-worker
+// ownership; handlers are pure over the store, so instances share
+// nothing mutable).
+func Factory() cloudapi.BackendFactory {
+	return func() cloudapi.Backend { return New() }
+}

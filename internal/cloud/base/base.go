@@ -184,11 +184,21 @@ func (s *Store) FindLive(typ string, pred func(*Resource) bool) *Resource {
 	return nil
 }
 
-// Handler executes one API action against the store.
+// Handler executes one API action against the store. Handlers must be
+// pure over (store, params): they may not capture mutable state outside
+// the store, or forked service instances (see Fork) would share it.
 type Handler func(s *Store, p cloudapi.Params) (cloudapi.Result, error)
 
 // Service is a hand-written cloud service: a named dispatch table over
 // a store. It implements cloudapi.Backend.
+//
+// Concurrency model: the dispatch table (handlers, actions, setup) is
+// immutable once construction finishes — Register and SetSetup must
+// not be called after the service is shared. Invoke and Reset are
+// serialized by an internal mutex, so one Service instance may be
+// hammered from many goroutines without data races; callers that need
+// *logical* isolation (independent traces running concurrently) should
+// instead give each goroutine its own instance via Fork.
 type Service struct {
 	mu       sync.Mutex
 	name     string
@@ -228,8 +238,25 @@ func (s *Service) SetSetup(f func(*Store)) {
 	}
 }
 
-// Store exposes the raw store for white-box tests.
+// Store exposes the raw store for white-box tests. It must not be used
+// while other goroutines are invoking the service: the store is only
+// protected by the Invoke/Reset mutex.
 func (s *Service) Store() *Store { return s.store }
+
+// Fork returns a fresh, independent instance of this service: same
+// action table and account-setup hook, brand-new store with ID
+// allocation restarted. It implements cloudapi.Forker, which lets the
+// parallel alignment engine stamp out one oracle per worker. The
+// dispatch table is immutable after construction, so Fork is safe to
+// call even while the original instance is serving requests.
+func (s *Service) Fork() cloudapi.Backend {
+	ns := NewService(s.name)
+	for _, action := range s.actions {
+		ns.Register(action, s.handlers[action])
+	}
+	ns.SetSetup(s.setup)
+	return ns
+}
 
 // Service implements cloudapi.Backend.
 func (s *Service) Service() string { return s.name }

@@ -1,0 +1,38 @@
+package cloudapi
+
+// BackendFactory constructs fresh, mutually independent Backend
+// instances. The parallel alignment engine hands one instance to each
+// worker goroutine so that no mutable backend state is ever shared
+// across workers: a factory-made backend is owned by exactly one
+// goroutine for its whole life (the "factory-per-worker" ownership
+// rule, see DESIGN.md §Concurrency model).
+//
+// Instances returned by successive calls must be behaviourally
+// identical — same action table, same fresh-account setup, same
+// deterministic ID sequence after Reset — or parallel alignment rounds
+// would not be byte-identical to serial ones.
+type BackendFactory func() Backend
+
+// Forker is implemented by backends that can stamp out a fresh,
+// independent instance of themselves: same action table and setup,
+// empty state. The hand-written oracle shell (cloud/base.Service)
+// implements it, which makes every ground-truth cloud model forkable
+// without per-service code.
+type Forker interface {
+	Fork() Backend
+}
+
+// FactoryOf derives a BackendFactory from an existing backend when it
+// supports forking, and returns nil otherwise. Callers that receive a
+// nil factory must fall back to single-goroutine use of the original
+// backend — sharing one backend across workers would interleave
+// Reset/Invoke sequences from different traces and corrupt the
+// differential comparison even where the backend itself is
+// mutex-guarded.
+func FactoryOf(b Backend) BackendFactory {
+	f, ok := b.(Forker)
+	if !ok {
+		return nil
+	}
+	return func() Backend { return f.Fork() }
+}

@@ -10,6 +10,14 @@ import (
 // the whole evaluation pipeline is seeded so paper figures regenerate
 // bit-identically, and differential traces can match resources created
 // on two independent backends by creation order.
+//
+// All methods are safe for concurrent use: the per-prefix counters are
+// guarded by a single mutex (a plain atomic would not do — Next must
+// read-modify-write a map entry, and Rollback must observe the counter
+// Next just advanced). Concurrent Next calls on one generator never
+// issue a duplicate ID; what stays single-goroutine-only is the
+// *determinism* of who gets which ID, which is why each alignment
+// worker owns a private backend (and hence a private IDGen).
 type IDGen struct {
 	mu   sync.Mutex
 	next map[string]int

@@ -1,0 +1,61 @@
+package cloudapi
+
+import "time"
+
+// latencyBackend decorates a Backend with a fixed per-call delay. In
+// the paper's deployment the alignment oracle is the real cloud, so
+// every differential replay pays a network round trip per API call;
+// the in-process oracles used in this reproduction answer in
+// microseconds. Wrapping them with a simulated RTT restores the
+// latency profile the parallel alignment engine exists to hide — with
+// a latency-bearing oracle, worker-pool speedup comes from overlapping
+// waits, and shows up even on a single core.
+type latencyBackend struct {
+	inner Backend
+	rtt   time.Duration
+}
+
+// WithLatency returns b with a simulated round-trip latency added to
+// every Invoke. A non-positive rtt returns b unchanged. The wrapper
+// preserves forkability: when b implements Forker, so does the wrapper
+// (forking the inner backend and re-wrapping it with the same rtt);
+// when b does not, neither does the wrapper.
+func WithLatency(b Backend, rtt time.Duration) Backend {
+	if rtt <= 0 {
+		return b
+	}
+	lb := &latencyBackend{inner: b, rtt: rtt}
+	if _, ok := b.(Forker); ok {
+		return &forkableLatencyBackend{latencyBackend: lb}
+	}
+	return lb
+}
+
+// LatencyFactory wraps every backend a factory produces via
+// WithLatency.
+func LatencyFactory(f BackendFactory, rtt time.Duration) BackendFactory {
+	if f == nil || rtt <= 0 {
+		return f
+	}
+	return func() Backend { return WithLatency(f(), rtt) }
+}
+
+func (l *latencyBackend) Service() string   { return l.inner.Service() }
+func (l *latencyBackend) Actions() []string { return l.inner.Actions() }
+func (l *latencyBackend) Reset()            { l.inner.Reset() }
+
+func (l *latencyBackend) Invoke(req Request) (Result, error) {
+	time.Sleep(l.rtt)
+	return l.inner.Invoke(req)
+}
+
+// forkableLatencyBackend adds Forker to the wrapper only when the
+// inner backend supports it, so FactoryOf never sees a Fork that
+// cannot deliver.
+type forkableLatencyBackend struct {
+	*latencyBackend
+}
+
+func (l *forkableLatencyBackend) Fork() Backend {
+	return WithLatency(l.inner.(Forker).Fork(), l.rtt)
+}

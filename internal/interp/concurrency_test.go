@@ -1,0 +1,72 @@
+package interp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lce/internal/cloudapi"
+	"lce/internal/docs/corpus"
+	"lce/internal/interp"
+	"lce/internal/synth"
+)
+
+// TestSharedEmulatorHammer drives one learned emulator from 16
+// goroutines under -race. The interpreter's Invoke/Reset are
+// serialized by the emulator's mutex and all mutation lands in the
+// per-emulator world, so shared use must produce no data races and
+// only well-formed API errors. (Logical per-trace isolation is a
+// different contract — the alignment engine gets it by giving each
+// worker its own emulator.)
+func TestSharedEmulatorHammer(t *testing.T) {
+	svc, _, err := synth.SynthesizeFromBrief(corpus.EC2(), synth.Options{Noise: synth.Perfect, Decoding: synth.Constrained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu, err := interp.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const iters = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cidr := fmt.Sprintf("10.%d.0.0/16", g)
+			for i := 0; i < iters; i++ {
+				res, err := emu.Invoke(cloudapi.Request{Action: "CreateVpc", Params: cloudapi.Params{"cidrBlock": cloudapi.Str(cidr)}})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: CreateVpc: %w", g, err)
+					return
+				}
+				vpcID := res.Get("vpcId").AsString()
+				if _, err := emu.Invoke(cloudapi.Request{Action: "DescribeVpcs"}); err != nil {
+					errs <- fmt.Errorf("goroutine %d: DescribeVpcs: %w", g, err)
+					return
+				}
+				if _, err := emu.Invoke(cloudapi.Request{Action: "DeleteVpc", Params: cloudapi.Params{"vpcId": cloudapi.Str(vpcID)}}); err != nil {
+					errs <- fmt.Errorf("goroutine %d: DeleteVpc: %w", g, err)
+					return
+				}
+				// Invalid calls must come back as API errors, not
+				// interpreter malfunctions, even under contention.
+				if _, err := emu.Invoke(cloudapi.Request{Action: "DeleteVpc", Params: cloudapi.Params{"vpcId": cloudapi.Str("vpc-ffffffff")}}); err == nil {
+					errs <- fmt.Errorf("goroutine %d: deleting a missing VPC succeeded", g)
+					return
+				} else if _, ok := cloudapi.AsAPIError(err); !ok {
+					errs <- fmt.Errorf("goroutine %d: non-API error: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

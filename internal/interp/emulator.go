@@ -10,6 +10,17 @@ import (
 
 // Emulator executes a service specification as a cloud backend: it is
 // the learned emulator. It implements cloudapi.Backend.
+//
+// Concurrency model: Invoke and Reset are serialized by an internal
+// mutex, so one Emulator may be shared across goroutines without data
+// races. The interpreter itself keeps no global mutable state — all
+// mutation lands in the per-emulator World — but the spec the emulator
+// executes is shared and must be treated as read-only while any
+// emulator built from it is live; the alignment engine therefore
+// confines spec repairs to its single-goroutine repair phase and
+// rebuilds per-worker emulators afterwards. New (which re-indexes the
+// spec's lookup maps) must likewise not run concurrently with other
+// New calls or invocations on the same spec.
 type Emulator struct {
 	mu    sync.Mutex
 	svc   *spec.Service
@@ -45,7 +56,9 @@ func (e *Emulator) Reset() {
 func (e *Emulator) Spec() *spec.Service { return e.svc }
 
 // World exposes the resource store for white-box assertions in tests
-// and the gym's observation space.
+// and the gym's observation space. The store is only protected by the
+// Invoke/Reset mutex, so it must not be read while other goroutines
+// are invoking this emulator.
 func (e *Emulator) World() *World { return e.world }
 
 // Invoke implements cloudapi.Backend. API-level failures (unknown

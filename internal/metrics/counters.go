@@ -1,0 +1,55 @@
+package metrics
+
+import "sync/atomic"
+
+// AlignCounters aggregates per-run alignment statistics. The parallel
+// alignment engine's worker goroutines bump TracesCompared/Divergent
+// concurrently, so the counters are atomic; the repair phase (which is
+// single-goroutine) bumps Rounds/Repairs through the same interface
+// for uniformity. A zero AlignCounters is ready to use.
+type AlignCounters struct {
+	tracesCompared atomic.Int64
+	divergent      atomic.Int64
+	repairs        atomic.Int64
+	rounds         atomic.Int64
+}
+
+// TraceCompared records one differential trace comparison and whether
+// it diverged. Safe for concurrent use.
+func (c *AlignCounters) TraceCompared(diverged bool) {
+	c.tracesCompared.Add(1)
+	if diverged {
+		c.divergent.Add(1)
+	}
+}
+
+// RepairsApplied records n repairs applied in the current round.
+func (c *AlignCounters) RepairsApplied(n int) { c.repairs.Add(int64(n)) }
+
+// RoundFinished records one completed alignment round.
+func (c *AlignCounters) RoundFinished() { c.rounds.Add(1) }
+
+// Snapshot returns the current totals as a plain value. Totals are
+// deterministic for a given workload regardless of worker count or
+// interleaving: every comparison is counted exactly once.
+func (c *AlignCounters) Snapshot() AlignStats {
+	return AlignStats{
+		TracesCompared: c.tracesCompared.Load(),
+		Divergent:      c.divergent.Load(),
+		Repairs:        c.repairs.Load(),
+		Rounds:         c.rounds.Load(),
+	}
+}
+
+// AlignStats is a point-in-time snapshot of AlignCounters.
+type AlignStats struct {
+	// TracesCompared counts differential trace comparisons across all
+	// rounds (each trace is re-compared every round).
+	TracesCompared int64
+	// Divergent counts comparisons that found at least one step diff.
+	Divergent int64
+	// Repairs counts spec repairs applied across all rounds.
+	Repairs int64
+	// Rounds counts completed alignment rounds.
+	Rounds int64
+}

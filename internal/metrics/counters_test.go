@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAlignCountersConcurrent(t *testing.T) {
+	var c AlignCounters
+	const goroutines = 16
+	const perG = 1000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.TraceCompared(i%4 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.RepairsApplied(3)
+	c.RoundFinished()
+
+	got := c.Snapshot()
+	want := AlignStats{
+		TracesCompared: goroutines * perG,
+		Divergent:      goroutines * perG / 4,
+		Repairs:        3,
+		Rounds:         1,
+	}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}

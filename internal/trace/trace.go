@@ -165,10 +165,16 @@ func (k DiffKind) String() string {
 
 // Report summarizes a differential run of one trace.
 type Report struct {
-	Trace   Trace
-	Subject []Outcome
-	Oracle  []Outcome
-	Diffs   []StepDiff
+	// TraceIndex is the trace's position in the suite it was compared
+	// as part of (0 when compared standalone). The parallel alignment
+	// engine keys its deterministic merge on it: reports arrive from
+	// worker goroutines in arbitrary order and are re-sequenced by
+	// TraceIndex so parallel rounds reproduce serial ones exactly.
+	TraceIndex int
+	Trace      Trace
+	Subject    []Outcome
+	Oracle     []Outcome
+	Diffs      []StepDiff
 }
 
 // Aligned reports whether every step matched.
@@ -187,9 +193,16 @@ func (r Report) FirstDiff() *StepDiff {
 // payloads are compared structurally (messages only need non-emptiness
 // on both sides).
 func Compare(subject, oracle cloudapi.Backend, tr Trace) Report {
+	return CompareIndexed(subject, oracle, 0, tr)
+}
+
+// CompareIndexed is Compare for a trace that sits at position idx in a
+// suite; the index is carried on the report so out-of-order (parallel)
+// comparison results can be merged back into suite order.
+func CompareIndexed(subject, oracle cloudapi.Backend, idx int, tr Trace) Report {
 	sub := Run(subject, tr)
 	ora := Run(oracle, tr)
-	rep := Report{Trace: tr, Subject: sub, Oracle: ora}
+	rep := Report{TraceIndex: idx, Trace: tr, Subject: sub, Oracle: ora}
 	for i := range tr.Steps {
 		d := diffStep(i, tr.Steps[i].Action, &sub[i], &ora[i])
 		if d.Kind != DiffNone {

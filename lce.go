@@ -93,6 +93,27 @@ func Cloud(service string) (Backend, error) {
 	}
 }
 
+// CloudFactory returns a factory of independent ground-truth oracle
+// instances for a service. The parallel alignment engine hands one
+// instance to each comparison worker so no mutable backend state is
+// shared across goroutines.
+func CloudFactory(service string) (cloudapi.BackendFactory, error) {
+	switch service {
+	case "ec2":
+		return ec2.Factory(), nil
+	case "dynamodb":
+		return dynamodb.Factory(), nil
+	case "network-firewall":
+		return netfw.Factory(), nil
+	case "eks":
+		return eks.Factory(), nil
+	case "azure-network":
+		return azure.Factory(), nil
+	default:
+		return nil, fmt.Errorf("lce: unknown service %q", service)
+	}
+}
+
 // Documentation returns the rendered documentation corpus for a
 // service with learnable docs: "ec2", "dynamodb", "network-firewall",
 // or "azure-network".
@@ -140,11 +161,19 @@ type AlignResult = align.Result
 // oracle using the standard trace suites plus symbolically derived
 // single-violation traces. It returns the aligned emulator.
 func AlignWithCloud(service string, opts Options) (*AlignResult, error) {
+	return AlignWithCloudWorkers(service, opts, 0)
+}
+
+// AlignWithCloudWorkers is AlignWithCloud with an explicit comparison
+// worker-pool size: 1 forces the serial engine, 0 uses GOMAXPROCS.
+// Every setting produces an identical AlignResult; workers only change
+// wall-clock time.
+func AlignWithCloudWorkers(service string, opts Options, workers int) (*AlignResult, error) {
 	c, err := Documentation(service)
 	if err != nil {
 		return nil, err
 	}
-	oracle, err := Cloud(service)
+	factory, err := CloudFactory(service)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +186,7 @@ func AlignWithCloud(service string, opts Options) (*AlignResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return align.Run(svc, briefDoc, oracle, Scenarios(service), align.Options{GenerateViolations: true})
+	return align.RunFactory(svc, briefDoc, factory, Scenarios(service), align.Options{GenerateViolations: true, Workers: workers})
 }
 
 func corpusBrief(service string) (*docs.ServiceDoc, *docs.ServiceDoc) {

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench ci
+.PHONY: build test race lint bench chaos ci
 
 build:
 	$(GO) build ./...
@@ -27,4 +27,14 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/lce-bench -alignspeed -short -workers 8 -json bench.json
 
-ci: build lint race bench
+# Chaos soak: fault/retry packages under the race detector, then
+# seeded end-to-end alignments against a 10%-flaky oracle. lce-align
+# exits non-zero on any semantic divergence.
+chaos:
+	$(GO) test -race -count=2 ./internal/fault/... ./internal/retry/...
+	$(GO) test -race -run 'Chaos' ./internal/align/... ./internal/httpapi/... ./internal/eval/...
+	$(GO) run ./cmd/lce-align -service ec2 -perfect -chaos -fault-rate 0.1 -chaos-seed 7
+	$(GO) run ./cmd/lce-align -service dynamodb -perfect -chaos -fault-rate 0.1 -chaos-seed 7
+	$(GO) run ./cmd/lce-align -service ec2 -chaos -fault-rate 0.1 -chaos-seed 7
+
+ci: build lint race chaos bench

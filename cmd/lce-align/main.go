@@ -4,10 +4,19 @@
 // repair the divergences:
 //
 //	lce-align -service ec2
-//	lce-align -service ec2 -workers 8   # comparison-phase pool size
+//	lce-align -service ec2 -workers 8       # comparison-phase pool size
+//	lce-align -service ec2 -chaos -fault-rate 0.1 -chaos-seed 7
 //
 // The comparison phase fans out across -workers goroutines (default:
 // GOMAXPROCS); the result is identical at any worker count.
+//
+// With -chaos the oracle is wrapped in the deterministic fault
+// injector and (unless -no-retry) each worker talks to it through the
+// resilient retry client: injected throttling/5xx/timeout faults are
+// retried away and the run must converge exactly as the fault-free
+// one does — any *semantic* divergence under chaos is a real bug and
+// fails the run. With -no-retry the injected faults surface in the
+// report, classified as exhausted-transient, and never drive repairs.
 package main
 
 import (
@@ -21,16 +30,42 @@ import (
 func main() {
 	service := flag.String("service", "ec2", "service to align: ec2 | dynamodb | network-firewall | azure-network")
 	workers := flag.Int("workers", 0, "comparison worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	chaos := flag.Bool("chaos", false, "inject transient faults into the oracle")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the fault-injection stream")
+	faultRate := flag.Float64("fault-rate", 0.1, "total per-call fault probability when -chaos is set")
+	noRetry := flag.Bool("no-retry", false, "disable the resilient oracle client (chaos faults surface as exhausted-transient divergences)")
+	perfect := flag.Bool("perfect", false, "synthesize without the noise model (faithful extraction); any divergence is then a real bug")
 	flag.Parse()
 
-	res, err := lce.AlignWithCloudWorkers(*service, lce.DefaultOptions(), *workers)
+	opts := lce.DefaultOptions()
+	if *perfect {
+		opts = lce.PerfectOptions()
+	}
+	var res *lce.AlignResult
+	var err error
+	if *chaos {
+		var policy *lce.RetryPolicy
+		if !*noRetry {
+			p := lce.DefaultRetryPolicy()
+			p.Seed = *chaosSeed
+			policy = &p
+		}
+		res, err = lce.AlignWithFlakyCloud(*service, opts, *workers,
+			lce.UniformFaults(*faultRate, *chaosSeed), policy)
+	} else {
+		res, err = lce.AlignWithCloudWorkers(*service, opts, *workers)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lce-align:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("alignment of %s:\n", *service)
+	semantic := 0
 	for _, r := range res.Rounds {
 		fmt.Printf("  round %d: %d/%d traces aligned", r.Round, r.Aligned, r.Total)
+		if len(r.Divergence) > 0 {
+			fmt.Printf(" (%d semantic, %d exhausted-transient)", r.Semantic, r.ExhaustedTransient)
+		}
 		if len(r.Repairs) > 0 {
 			fmt.Printf("; repairs:")
 			for _, rep := range r.Repairs {
@@ -38,16 +73,23 @@ func main() {
 			}
 		}
 		fmt.Println()
+		semantic += r.Semantic
 		for _, d := range r.Divergence {
 			fmt.Printf("    divergence: %s (%s): %s\n", d.Action, d.Kind, d.Detail)
 		}
 	}
-	fmt.Printf("stats: %d comparisons, %d divergent, %d repairs over %d rounds\n",
-		res.Stats.TracesCompared, res.Stats.Divergent, res.Stats.Repairs, res.Stats.Rounds)
+	fmt.Printf("stats: %s\n", res.Stats)
 	if res.Converged {
 		fmt.Println("converged: the emulator is behaviourally aligned with the cloud")
-	} else {
-		fmt.Println("did NOT converge; residual divergences remain")
-		os.Exit(2)
+		return
 	}
+	if *chaos && semantic == 0 {
+		// Residual divergences exist but every one is an injected fault
+		// that outlasted its retries — the emulator itself never
+		// disagreed with the cloud.
+		fmt.Println("did NOT converge, but all residual divergences are exhausted-transient (injected faults)")
+		return
+	}
+	fmt.Println("did NOT converge; residual divergences remain")
+	os.Exit(2)
 }

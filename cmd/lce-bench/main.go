@@ -5,6 +5,7 @@
 //	lce-bench -table1 -fig3
 //	lce-bench -alignspeed -workers 8        # parallel alignment speedup
 //	lce-bench -alignspeed -short -json out.json  # CI bench-smoke artifact
+//	lce-bench -chaos -short                 # alignment vs a flaky oracle, across fault rates
 package main
 
 import (
@@ -25,6 +26,26 @@ type benchArtifact struct {
 	Timestamp  time.Time      `json:"timestamp"`
 	AlignSpeed []speedupJSON  `json:"alignSpeedup,omitempty"`
 	Converge   []convergeJSON `json:"alignmentConvergence,omitempty"`
+	Chaos      []chaosJSON    `json:"chaosAlignment,omitempty"`
+}
+
+// chaosJSON is one -chaos cell: alignment throughput and retry
+// overhead at one fault rate, with effective call-latency
+// percentiles.
+type chaosJSON struct {
+	Service            string  `json:"service"`
+	FaultRate          float64 `json:"faultRate"`
+	Traces             int     `json:"traces"`
+	OracleCalls        int     `json:"oracleCalls"`
+	InjectedFaults     int     `json:"injectedFaults"`
+	Retries            int64   `json:"retries"`
+	TransientFaults    int64   `json:"transientFaults"`
+	SemanticDiverged   int     `json:"semanticDiverged"`
+	ExhaustedTransient int     `json:"exhaustedTransient"`
+	P50CallNs          int64   `json:"p50CallNs"`
+	P99CallNs          int64   `json:"p99CallNs"`
+	ElapsedNs          int64   `json:"elapsedNs"`
+	CallsPerSec        float64 `json:"callsPerSec"`
 }
 
 type speedupJSON struct {
@@ -57,13 +78,15 @@ func main() {
 		decoding   = flag.Bool("decoding", false, "A2: decoding ablation")
 		graphs     = flag.Bool("graphs", false, "A3: complexity graphs and anti-patterns")
 		alignspeed = flag.Bool("alignspeed", false, "parallel-vs-serial alignment speedup (multi-service)")
-		workers    = flag.Int("workers", 8, "worker-pool size for -alignspeed")
+		chaos      = flag.Bool("chaos", false, "alignment throughput and retry overhead against a flaky oracle, across fault rates")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos fault/jitter streams")
+		workers    = flag.Int("workers", 8, "worker-pool size for -alignspeed and -chaos")
 		rtt        = flag.Duration("rtt", 200*time.Microsecond, "simulated cloud-oracle round trip per API call for -alignspeed (0 = in-process, pure CPU)")
-		short      = flag.Bool("short", false, "shrink -alignspeed workload (CI smoke mode)")
+		short      = flag.Bool("short", false, "shrink -alignspeed/-chaos workload (CI smoke mode)")
 		jsonOut    = flag.String("json", "", "write machine-readable results to this file")
 	)
 	flag.Parse()
-	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed)
+	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos)
 	artifact := benchArtifact{GoVersion: runtime.Version(), Timestamp: time.Now().UTC()}
 
 	if all || *table1 {
@@ -145,6 +168,26 @@ func main() {
 				OracleRTTNs: r.OracleRTT.Nanoseconds(),
 				SerialNs:    r.Serial.Nanoseconds(), ParallelNs: r.Parallel.Nanoseconds(),
 				Speedup: r.Speedup(),
+			})
+		}
+	}
+	if *chaos {
+		replicas := 8
+		if *short {
+			replicas = 2
+		}
+		rates := []float64{0, 0.05, 0.1, 0.2}
+		rows, err := eval.ChaosBench(*workers, replicas, *chaosSeed, rates)
+		check(err)
+		fmt.Println(eval.FormatChaos(rows))
+		for _, r := range rows {
+			artifact.Chaos = append(artifact.Chaos, chaosJSON{
+				Service: r.Service, FaultRate: r.FaultRate, Traces: r.Traces,
+				OracleCalls: r.Calls, InjectedFaults: r.Faults,
+				Retries: r.Retries, TransientFaults: r.TransientFaults,
+				SemanticDiverged: r.Semantic, ExhaustedTransient: r.ExhaustedTransient,
+				P50CallNs: r.P50.Nanoseconds(), P99CallNs: r.P99.Nanoseconds(),
+				ElapsedNs: r.Elapsed.Nanoseconds(), CallsPerSec: r.Throughput(),
 			})
 		}
 	}

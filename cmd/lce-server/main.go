@@ -8,6 +8,14 @@
 // "oracle" (the hand-written ground-truth model), "d2c" (the
 // direct-to-code baseline), "manual" (the Moto-style partial
 // baseline).
+//
+// With -chaos the server fronts the backend with the deterministic
+// fault injector (internal/fault): a -fault-rate fraction of calls is
+// rejected with throttling codes (HTTP 400), transient server faults
+// (500/503) or timeouts (408) before reaching the backend — a flaky
+// cloud to harden clients against:
+//
+//	lce-server -service ec2 -backend oracle -chaos -fault-rate 0.1 -chaos-seed 7
 package main
 
 import (
@@ -23,10 +31,13 @@ import (
 
 func main() {
 	var (
-		service = flag.String("service", "ec2", "service to emulate: ec2 | dynamodb | network-firewall | eks | azure-network")
-		backend = flag.String("backend", "learned", "backend kind: learned | oracle | d2c | manual")
-		addr    = flag.String("addr", ":4566", "listen address")
-		noisy   = flag.Bool("noisy", false, "synthesize the learned backend with the preliminary noise model instead of a faithful extraction")
+		service   = flag.String("service", "ec2", "service to emulate: ec2 | dynamodb | network-firewall | eks | azure-network")
+		backend   = flag.String("backend", "learned", "backend kind: learned | oracle | d2c | manual")
+		addr      = flag.String("addr", ":4566", "listen address")
+		noisy     = flag.Bool("noisy", false, "synthesize the learned backend with the preliminary noise model instead of a faithful extraction")
+		chaos     = flag.Bool("chaos", false, "inject transient faults (throttling, 5xx, drops) in front of the backend")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault-injection stream (same seed = same faults)")
+		faultRate = flag.Float64("fault-rate", 0.1, "total per-call fault probability when -chaos is set")
 	)
 	flag.Parse()
 
@@ -35,8 +46,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *chaos {
+		b = lce.Chaos(b, lce.UniformFaults(*faultRate, *chaosSeed))
+		log.Printf("chaos on: %.0f%% fault rate, seed %d (throttling → 400, unavailable → 503, internal → 500, drops → 408)",
+			100**faultRate, *chaosSeed)
+	}
+	hint := *addr
+	if len(hint) > 0 && hint[0] == ':' {
+		hint = "localhost" + hint
+	}
 	log.Printf("serving %s (%s backend, %d actions) on %s", *service, *backend, len(b.Actions()), *addr)
-	log.Printf("try: curl -s -XPOST localhost%s/invoke -d '{\"action\":\"CreateVpc\",\"params\":{\"cidrBlock\":\"10.0.0.0/16\"}}'", *addr)
+	log.Printf("try: curl -s -XPOST %s/invoke -d '{\"action\":\"CreateVpc\",\"params\":{\"cidrBlock\":\"10.0.0.0/16\"}}'", hint)
 	if err := http.ListenAndServe(*addr, lce.Serve(b)); err != nil {
 		log.Fatal(err)
 	}

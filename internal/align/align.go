@@ -29,11 +29,37 @@ import (
 	"lce/internal/docs"
 	"lce/internal/interp"
 	"lce/internal/metrics"
+	"lce/internal/retry"
 	"lce/internal/spec"
 	"lce/internal/symexec"
 	"lce/internal/synth"
 	"lce/internal/trace"
 )
+
+// Divergence causes: a divergence is *semantic* when emulator and
+// oracle genuinely disagree about the request, and
+// *exhausted-transient* when the failing side carries a transient
+// infrastructure code — an injected (or real-cloud) fault that
+// survived the retry budget, which says nothing about behavioural
+// alignment and must not drive spec repairs.
+const (
+	CauseSemantic           = "semantic"
+	CauseExhaustedTransient = "exhausted-transient"
+)
+
+// Cause classifies one divergence as CauseSemantic or
+// CauseExhaustedTransient, keyed on the same transient-code set the
+// retry layer uses (cloudapi.IsTransientCode).
+func Cause(d trace.StepDiff) string {
+	if outcomeTransient(d.Subject) || outcomeTransient(d.Against) {
+		return CauseExhaustedTransient
+	}
+	return CauseSemantic
+}
+
+func outcomeTransient(o *trace.Outcome) bool {
+	return o != nil && !o.OK && !o.Broken && cloudapi.IsTransientCode(o.Code)
+}
 
 // Repair describes one fix the engine applied.
 type Repair struct {
@@ -49,6 +75,13 @@ type Round struct {
 	Total      int
 	Divergence []trace.StepDiff
 	Repairs    []Repair
+	// Semantic counts divergences caused by genuine emulator/cloud
+	// disagreement; ExhaustedTransient counts divergences caused by
+	// transient oracle faults that outlasted the retry budget (zero
+	// whenever the retry policy covers the fault injector's worst
+	// case). Semantic + ExhaustedTransient == len(Divergence).
+	Semantic           int
+	ExhaustedTransient int
 }
 
 // Result is the outcome of an alignment run.
@@ -76,6 +109,13 @@ type Options struct {
 	// cloudapi.Forker support), the engine falls back to serial
 	// regardless of this setting.
 	Workers int
+	// Retry, when non-nil, wraps every worker's oracle in a resilient
+	// client with this policy: transient oracle faults (throttling,
+	// 5xx, timeouts) are retried — counted in the run's
+	// metrics.AlignStats — instead of surfacing as spurious
+	// divergences. Each worker's wrapper draws a derived jitter seed
+	// so backoff schedules stay deterministic per worker.
+	Retry *retry.Policy
 }
 
 // Run executes the alignment loop over svc, mutating it in place. The
@@ -116,7 +156,7 @@ func run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, fac
 	redocumented := map[string]bool{}
 
 	for round := 1; round <= opts.MaxRounds; round++ {
-		reports, emu, err := compareRound(svc, oracle, factory, traces, workers, counters)
+		reports, emu, err := compareRound(svc, oracle, factory, traces, workers, opts.Retry, counters)
 		if err != nil {
 			return res, err
 		}
@@ -133,6 +173,16 @@ func run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, fac
 			}
 			d := *rep.FirstDiff()
 			r.Divergence = append(r.Divergence, d)
+			// An exhausted-transient divergence is an oracle fault that
+			// outlasted the retry budget, not a spec bug: report it but
+			// never let it drive a repair — redocumenting an SM or
+			// adopting "Throttling" as the documented error code would
+			// corrupt the spec.
+			if Cause(d) == CauseExhaustedTransient {
+				r.ExhaustedTransient++
+				continue
+			}
+			r.Semantic++
 			smName := localize(svc, d.Action)
 			if smName != "" {
 				if _, seen := implicated[smName]; !seen {
@@ -230,11 +280,22 @@ func poolSize(requested, traces int, haveFactory bool) int {
 // round's comparison phase, exported for the speedup benchmark and for
 // callers that want bulk differential replay without the repair loop.
 func CompareSuite(svc *spec.Service, factory cloudapi.BackendFactory, traces []trace.Trace, workers int) ([]trace.Report, error) {
+	return CompareSuiteResilient(svc, factory, traces, workers, nil, nil)
+}
+
+// CompareSuiteResilient is CompareSuite with a retry policy applied
+// to every worker's oracle (nil policy = no retries) and an optional
+// counters sink for retry/fault totals. The chaos benchmark and the
+// degraded-mode tests use it to replay suites against flaky oracles.
+func CompareSuiteResilient(svc *spec.Service, factory cloudapi.BackendFactory, traces []trace.Trace, workers int, policy *retry.Policy, counters *metrics.AlignCounters) ([]trace.Report, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("align: nil backend factory")
 	}
+	if counters == nil {
+		counters = &metrics.AlignCounters{}
+	}
 	workers = poolSize(workers, len(traces), true)
-	reports, _, err := compareRound(svc, nil, factory, traces, workers, &metrics.AlignCounters{})
+	reports, _, err := compareRound(svc, nil, factory, traces, workers, policy, counters)
 	return reports, err
 }
 
@@ -243,8 +304,11 @@ func CompareSuite(svc *spec.Service, factory cloudapi.BackendFactory, traces []t
 // (the round's representative Final). Worker w owns emus[w] and its
 // own oracle for the whole phase; the spec is shared read-only. The
 // emulators are built serially up front because spec indexing mutates
-// the service's lookup maps.
-func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.BackendFactory, traces []trace.Trace, workers int, counters *metrics.AlignCounters) ([]trace.Report, *interp.Emulator, error) {
+// the service's lookup maps. A non-nil retry policy wraps each
+// worker's oracle in a resilient client (derived jitter seed per
+// worker) so transient oracle faults are retried inside the worker
+// instead of surfacing as divergences.
+func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.BackendFactory, traces []trace.Trace, workers int, policy *retry.Policy, counters *metrics.AlignCounters) ([]trace.Report, *interp.Emulator, error) {
 	emus := make([]*interp.Emulator, workers)
 	oracles := make([]cloudapi.Backend, workers)
 	for w := 0; w < workers; w++ {
@@ -257,6 +321,11 @@ func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.B
 			oracles[w] = factory()
 		} else {
 			oracles[w] = oracle
+		}
+		if policy != nil {
+			p := *policy
+			p.Seed = policy.Seed ^ int64(w+1)*0x9E3779B9
+			oracles[w] = retry.Wrap(oracles[w], p, counters)
 		}
 	}
 

@@ -97,6 +97,52 @@ const (
 	CodeInternalFailure     = "InternalFailure"
 )
 
+// Transient infrastructure fault codes: the throttling, availability
+// and timeout failures real cloud control planes return under load.
+// They describe the state of the service, not of the request, so a
+// resilient client retries them (internal/retry) and the chaos layer
+// injects them (internal/fault). Semantic error codes — everything
+// else — describe the request and must never be retried: the cloud
+// would reject the call again.
+const (
+	CodeThrottling           = "Throttling"
+	CodeRequestLimitExceeded = "RequestLimitExceeded"
+	CodeThrottlingException  = "ThrottlingException"
+	CodeThroughputExceeded   = "ProvisionedThroughputExceededException"
+	CodeInternalError        = "InternalError"
+	CodeServiceUnavailable   = "ServiceUnavailable"
+	CodeRequestTimeout       = "RequestTimeout"
+)
+
+// transientCodes is the classifier's transient set. InternalFailure is
+// included: AWS documents all 5xx families as retryable, and no oracle
+// in this repository uses it for a semantic (request-shaped) error.
+var transientCodes = map[string]bool{
+	CodeThrottling:           true,
+	CodeRequestLimitExceeded: true,
+	CodeThrottlingException:  true,
+	CodeThroughputExceeded:   true,
+	CodeInternalError:        true,
+	CodeServiceUnavailable:   true,
+	CodeRequestTimeout:       true,
+	CodeInternalFailure:      true,
+}
+
+// IsTransientCode reports whether code names a transient
+// infrastructure fault (retryable) rather than a semantic API error.
+func IsTransientCode(code string) bool { return transientCodes[code] }
+
+// IsThrottlingCode reports whether code is in the throttling family —
+// transient faults that wire-map to HTTP 400 (as AWS query APIs do)
+// rather than to a 5xx.
+func IsThrottlingCode(code string) bool {
+	switch code {
+	case CodeThrottling, CodeRequestLimitExceeded, CodeThrottlingException, CodeThroughputExceeded:
+		return true
+	}
+	return false
+}
+
 // Backend is a cloud-shaped thing that can execute API requests: the
 // ground-truth cloud models, the learned (spec-interpreted) emulator,
 // the manual baseline, and the direct-to-code baseline all implement

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestChaosBenchSmoke runs one small chaos cell per service and
+// checks the invariants the bench table is built on: with the default
+// retry policy defending the replay, no injected fault may surface as
+// a divergence of either cause, and the stats must be internally
+// consistent.
+func TestChaosBenchSmoke(t *testing.T) {
+	rows, err := ChaosBench(4, 1, 11, []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 services x 2 rates
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Semantic != 0 {
+			t.Errorf("%s@%.0f%%: %d semantic divergences under retry", r.Service, 100*r.FaultRate, r.Semantic)
+		}
+		if r.ExhaustedTransient != 0 {
+			t.Errorf("%s@%.0f%%: %d faults leaked past the retry policy", r.Service, 100*r.FaultRate, r.ExhaustedTransient)
+		}
+		if r.FaultRate == 0 {
+			if r.Faults != 0 || r.Retries != 0 {
+				t.Errorf("%s@0%%: faults=%d retries=%d", r.Service, r.Faults, r.Retries)
+			}
+			continue
+		}
+		if r.Faults == 0 || r.Retries == 0 || r.TransientFaults == 0 {
+			t.Errorf("%s@%.0f%%: chaos injected nothing (faults=%d retries=%d)", r.Service, 100*r.FaultRate, r.Faults, r.Retries)
+		}
+		if r.Calls == 0 || r.P99 < r.P50 {
+			t.Errorf("%s@%.0f%%: calls=%d p50=%v p99=%v", r.Service, 100*r.FaultRate, r.Calls, r.P50, r.P99)
+		}
+	}
+	if FormatChaos(rows) == "" {
+		t.Error("empty table")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"lce/internal/advisor"
 	"lce/internal/cloudapi"
 	"lce/internal/interp"
+	"lce/internal/retry"
 )
 
 // wireRequest is the POST body of an Invoke call.
@@ -77,7 +78,13 @@ func Handler(b cloudapi.Backend) http.Handler {
 		if err != nil {
 			ae, ok := cloudapi.AsAPIError(err)
 			if !ok {
-				httpError(w, http.StatusInternalServerError, "backend failure: %v", err)
+				// A non-API error is a backend malfunction: report it as
+				// InternalFailure rather than letting it masquerade as a
+				// client-side MalformedRequest.
+				writeJSON(w, http.StatusInternalServerError, wireResponse{Error: &wireError{
+					Code:    cloudapi.CodeInternalFailure,
+					Message: fmt.Sprintf("backend failure: %v", err),
+				}})
 				return
 			}
 			resp.Error = &wireError{Code: ae.Code, Message: ae.Message}
@@ -85,7 +92,7 @@ func Handler(b cloudapi.Backend) http.Handler {
 				adv := advisor.Explain(emu, creq, ae)
 				resp.Error.Advice = &wireAdvice{RootCause: adv.RootCause, Repairs: adv.Repairs}
 			}
-			writeJSON(w, http.StatusBadRequest, resp)
+			writeJSON(w, statusFor(ae.Code), resp)
 			return
 		}
 		resp.Result = cloudapi.NormalizeResult(res)
@@ -110,6 +117,26 @@ func Handler(b cloudapi.Backend) http.Handler {
 	return mux
 }
 
+// statusFor maps an API error code to its wire status the way AWS
+// query APIs do: semantic client errors *and* throttling are 400 (the
+// throttling code, not the status, tells the client to back off),
+// timeouts are 408, internal faults 500, and availability faults 503.
+// Without this table every injected fault would fall through to the
+// semantic-error 400 and a wire client could not distinguish "your
+// request is wrong" from "the service is degraded".
+func statusFor(code string) int {
+	switch code {
+	case cloudapi.CodeServiceUnavailable:
+		return http.StatusServiceUnavailable
+	case cloudapi.CodeInternalError, cloudapi.CodeInternalFailure:
+		return http.StatusInternalServerError
+	case cloudapi.CodeRequestTimeout:
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -128,6 +155,14 @@ type Client struct {
 	base    string
 	service string
 	http    *http.Client
+}
+
+// NewResilientClient connects to a served backend and retries
+// transient wire faults (throttling, 5xx, timeouts) under the given
+// policy — the client to use against a server running with -chaos, or
+// against any real cloud-shaped endpoint.
+func NewResilientClient(baseURL string, p retry.Policy) cloudapi.Backend {
+	return retry.Wrap(NewClient(baseURL), p, nil)
 }
 
 // NewClient connects to a served backend at baseURL (no trailing

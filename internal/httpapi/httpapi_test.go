@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -11,7 +12,9 @@ import (
 	"lce/internal/docs"
 	"lce/internal/docs/corpus"
 	"lce/internal/docs/wrangle"
+	"lce/internal/fault"
 	"lce/internal/interp"
+	"lce/internal/retry"
 	"lce/internal/scenarios"
 	"lce/internal/synth"
 	"lce/internal/trace"
@@ -102,6 +105,112 @@ func TestMalformedRequests(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 400 {
 		t.Errorf("empty body status = %d", resp.StatusCode)
+	}
+}
+
+// errBackend returns a scripted error from every Invoke: an APIError
+// with the given code, or a plain (non-API) error when code is "".
+type errBackend struct{ code string }
+
+func (e errBackend) Service() string   { return "errsvc" }
+func (e errBackend) Actions() []string { return []string{"Ping"} }
+func (e errBackend) Reset()            {}
+func (e errBackend) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
+	if e.code == "" {
+		return nil, fmt.Errorf("disk on fire")
+	}
+	return nil, cloudapi.Errf(e.code, "scripted %s", e.code)
+}
+
+// TestErrorStatusMapping audits the error→HTTP mapping: throttling
+// stays 400 with the service's throttling code (as AWS query APIs
+// do), availability faults are 503, internal faults 500, timeouts
+// 408, semantic client errors 400 — and a non-API backend
+// malfunction is a 500 carrying InternalFailure, never a generic
+// client-fault envelope.
+func TestErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		code       string // "" = non-API error
+		wantStatus int
+		wantCode   string
+	}{
+		{cloudapi.CodeThrottling, 400, "Throttling"},
+		{cloudapi.CodeRequestLimitExceeded, 400, "RequestLimitExceeded"},
+		{cloudapi.CodeThrottlingException, 400, "ThrottlingException"},
+		{cloudapi.CodeThroughputExceeded, 400, "ProvisionedThroughputExceededException"},
+		{cloudapi.CodeServiceUnavailable, 503, "ServiceUnavailable"},
+		{cloudapi.CodeInternalError, 500, "InternalError"},
+		{cloudapi.CodeInternalFailure, 500, "InternalFailure"},
+		{cloudapi.CodeRequestTimeout, 408, "RequestTimeout"},
+		{cloudapi.CodeInvalidParameter, 400, "InvalidParameterValue"},
+		{cloudapi.CodeMissingParameter, 400, "MissingParameter"},
+		{"InvalidVpc.Range", 400, "InvalidVpc.Range"},
+		{"", 500, "InternalFailure"}, // backend malfunction
+	}
+	for _, c := range cases {
+		name := c.code
+		if name == "" {
+			name = "non-API error"
+		}
+		t.Run(name, func(t *testing.T) {
+			srv := httptest.NewServer(Handler(errBackend{code: c.code}))
+			defer srv.Close()
+			resp, err := srv.Client().Post(srv.URL+"/invoke", "application/json", strings.NewReader(`{"action":"Ping"}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Errorf("status = %d, want %d", resp.StatusCode, c.wantStatus)
+			}
+			var wire wireResponse
+			if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+				t.Fatal(err)
+			}
+			if wire.Error == nil || wire.Error.Code != c.wantCode {
+				t.Errorf("wire error = %+v, want code %q", wire.Error, c.wantCode)
+			}
+			if wire.Error != nil && wire.Error.Message == "" {
+				t.Error("error message lost")
+			}
+		})
+	}
+}
+
+// TestResilientClientSurvivesChaosServer points the retrying client
+// at a server fronted by the fault injector: every logical call must
+// succeed even though a third of the wire calls are faulted.
+func TestResilientClientSurvivesChaosServer(t *testing.T) {
+	flaky := fault.Wrap(ec2.New(), fault.Uniform(0.3, 77))
+	srv := httptest.NewServer(Handler(flaky))
+	defer srv.Close()
+	policy := retry.Policy{MaxAttempts: fault.DefaultMaxConsecutive + 2, Seed: 1}
+	client := NewResilientClient(srv.URL, policy)
+	for i := 0; i < 50; i++ {
+		res, err := client.Invoke(cloudapi.Request{
+			Action: "CreateVpc",
+			Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")},
+		})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if res.Get("vpcId").AsString() == "" {
+			t.Fatalf("call %d: empty result %v", i, res)
+		}
+		client.Reset()
+	}
+	// The plain client against the same server does observe faults —
+	// the resilience lives in the wrapper, not in luck.
+	plain := NewClient(srv.URL)
+	faulted := false
+	for i := 0; i < 100 && !faulted; i++ {
+		_, err := plain.Invoke(cloudapi.Request{Action: "DescribeVpcs"})
+		if ae, ok := cloudapi.AsAPIError(err); ok && cloudapi.IsTransientCode(ae.Code) {
+			faulted = true
+		}
+	}
+	if !faulted {
+		t.Error("chaos server never faulted the plain client — the test is vacuous")
 	}
 }
 

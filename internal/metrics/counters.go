@@ -1,17 +1,24 @@
 package metrics
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // AlignCounters aggregates per-run alignment statistics. The parallel
 // alignment engine's worker goroutines bump TracesCompared/Divergent
-// concurrently, so the counters are atomic; the repair phase (which is
-// single-goroutine) bumps Rounds/Repairs through the same interface
-// for uniformity. A zero AlignCounters is ready to use.
+// concurrently — and, when the oracle is wrapped in a retry layer,
+// Retries/TransientFaults too — so the counters are atomic; the
+// repair phase (which is single-goroutine) bumps Rounds/Repairs
+// through the same interface for uniformity. A zero AlignCounters is
+// ready to use. It implements retry.Observer.
 type AlignCounters struct {
-	tracesCompared atomic.Int64
-	divergent      atomic.Int64
-	repairs        atomic.Int64
-	rounds         atomic.Int64
+	tracesCompared  atomic.Int64
+	divergent       atomic.Int64
+	repairs         atomic.Int64
+	rounds          atomic.Int64
+	retries         atomic.Int64
+	transientFaults atomic.Int64
 }
 
 // TraceCompared records one differential trace comparison and whether
@@ -29,17 +36,33 @@ func (c *AlignCounters) RepairsApplied(n int) { c.repairs.Add(int64(n)) }
 // RoundFinished records one completed alignment round.
 func (c *AlignCounters) RoundFinished() { c.rounds.Add(1) }
 
-// Snapshot returns the current totals as a plain value. Totals are
-// deterministic for a given workload regardless of worker count or
-// interleaving: every comparison is counted exactly once.
+// RecordRetry records one retry attempt against a flaky oracle
+// (retry.Observer). Safe for concurrent use.
+func (c *AlignCounters) RecordRetry() { c.retries.Add(1) }
+
+// RecordTransientFault records one transient infrastructure fault
+// observed from the oracle, retried or not (retry.Observer). Safe for
+// concurrent use.
+func (c *AlignCounters) RecordTransientFault() { c.transientFaults.Add(1) }
+
+// Snapshot returns the current totals as a plain value. Comparison
+// totals are deterministic for a given workload regardless of worker
+// count or interleaving: every comparison is counted exactly once.
+// (Retries/TransientFaults depend on the chaos seed in play, not on
+// worker count per se, but vary with the fault stream.)
 func (c *AlignCounters) Snapshot() AlignStats {
 	return AlignStats{
-		TracesCompared: c.tracesCompared.Load(),
-		Divergent:      c.divergent.Load(),
-		Repairs:        c.repairs.Load(),
-		Rounds:         c.rounds.Load(),
+		TracesCompared:  c.tracesCompared.Load(),
+		Divergent:       c.divergent.Load(),
+		Repairs:         c.repairs.Load(),
+		Rounds:          c.rounds.Load(),
+		Retries:         c.retries.Load(),
+		TransientFaults: c.transientFaults.Load(),
 	}
 }
+
+// String renders a one-line summary of the current totals.
+func (c *AlignCounters) String() string { return c.Snapshot().String() }
 
 // AlignStats is a point-in-time snapshot of AlignCounters.
 type AlignStats struct {
@@ -52,4 +75,18 @@ type AlignStats struct {
 	Repairs int64
 	// Rounds counts completed alignment rounds.
 	Rounds int64
+	// Retries counts retry attempts the resilient oracle client made
+	// against transient faults.
+	Retries int64
+	// TransientFaults counts transient infrastructure faults observed
+	// from the oracle (each is either retried or, on exhaustion,
+	// surfaced as an exhausted-transient divergence).
+	TransientFaults int64
+}
+
+// String renders a one-line summary, e.g.
+// "120 comparisons (3 divergent), 2 repairs over 4 rounds, 17 retries on 19 transient faults".
+func (s AlignStats) String() string {
+	return fmt.Sprintf("%d comparisons (%d divergent), %d repairs over %d rounds, %d retries on %d transient faults",
+		s.TracesCompared, s.Divergent, s.Repairs, s.Rounds, s.Retries, s.TransientFaults)
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strings"
 	"sync"
 	"testing"
 )
@@ -17,6 +18,12 @@ func TestAlignCountersConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				c.TraceCompared(i%4 == 0)
+				if i%8 == 0 {
+					c.RecordTransientFault()
+				}
+				if i%16 == 0 {
+					c.RecordRetry()
+				}
 			}
 		}(g)
 	}
@@ -26,12 +33,33 @@ func TestAlignCountersConcurrent(t *testing.T) {
 
 	got := c.Snapshot()
 	want := AlignStats{
-		TracesCompared: goroutines * perG,
-		Divergent:      goroutines * perG / 4,
-		Repairs:        3,
-		Rounds:         1,
+		TracesCompared:  goroutines * perG,
+		Divergent:       goroutines * perG / 4,
+		Repairs:         3,
+		Rounds:          1,
+		Retries:         goroutines * ((perG + 15) / 16),
+		TransientFaults: goroutines * ((perG + 7) / 8),
 	}
 	if got != want {
 		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestAlignStatsString(t *testing.T) {
+	var c AlignCounters
+	c.TraceCompared(true)
+	c.TraceCompared(false)
+	c.RecordTransientFault()
+	c.RecordRetry()
+	c.RepairsApplied(1)
+	c.RoundFinished()
+	s := c.String()
+	for _, want := range []string{"2 comparisons", "1 divergent", "1 repairs", "1 rounds", "1 retries", "1 transient faults"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if c.Snapshot().String() != s {
+		t.Error("counter and snapshot summaries disagree")
 	}
 }

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder collects per-call latency samples from concurrent
+// workers and answers percentile queries. The chaos benchmark uses it
+// to report the *effective* oracle call latency — wall-clock per
+// logical call including injected delays and retry backoff — at each
+// fault rate. A zero LatencyRecorder is ready to use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one sample. Safe for concurrent use.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples recorded.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using
+// nearest-rank on a sorted copy, or 0 with no samples.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	sorted := make([]time.Duration, len(r.samples))
+	copy(sorted, r.samples)
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

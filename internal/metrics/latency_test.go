@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	var r LatencyRecorder
+	if r.Count() != 0 || r.Percentile(50) != 0 {
+		t.Error("zero recorder should answer 0")
+	}
+}
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	var r LatencyRecorder
+	// 1..100ms, shuffled order must not matter.
+	for i := 100; i >= 1; i-- {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{50, 50 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("p%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if r.Count() != 100 {
+		t.Errorf("count = %d", r.Count())
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	var r LatencyRecorder
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", r.Count())
+	}
+}

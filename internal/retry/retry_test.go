@@ -1,0 +1,229 @@
+package retry
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"lce/internal/cloudapi"
+)
+
+// scriptedBackend fails with the scripted errors in order, then
+// succeeds forever.
+type scriptedBackend struct {
+	errs  []error
+	calls int
+}
+
+func (s *scriptedBackend) Service() string   { return "scripted" }
+func (s *scriptedBackend) Actions() []string { return []string{"Ping"} }
+func (s *scriptedBackend) Reset()            {}
+func (s *scriptedBackend) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
+	s.calls++
+	if s.calls <= len(s.errs) {
+		return nil, s.errs[s.calls-1]
+	}
+	return cloudapi.Result{"ok": cloudapi.Bool(true)}, nil
+}
+
+func throttle() error { return cloudapi.Errf(cloudapi.CodeThrottling, "slow down") }
+
+// tally implements Observer.
+type tally struct{ retries, faults int }
+
+func (t *tally) RecordRetry()          { t.retries++ }
+func (t *tally) RecordTransientFault() { t.faults++ }
+
+func TestClassifierEveryCodeFamily(t *testing.T) {
+	transient := []string{
+		cloudapi.CodeThrottling,           // throttling family
+		cloudapi.CodeRequestLimitExceeded, // throttling family (EC2)
+		cloudapi.CodeThrottlingException,  // throttling family (json protocols)
+		cloudapi.CodeThroughputExceeded,   // throttling family (DynamoDB)
+		cloudapi.CodeInternalError,        // 5xx family
+		cloudapi.CodeInternalFailure,      // 5xx family
+		cloudapi.CodeServiceUnavailable,   // availability family
+		cloudapi.CodeRequestTimeout,       // timeout family
+	}
+	for _, code := range transient {
+		if Classify(cloudapi.Errf(code, "x")) != Transient {
+			t.Errorf("code %s classified semantic, want transient", code)
+		}
+		if !cloudapi.IsTransientCode(code) {
+			t.Errorf("IsTransientCode(%s) = false", code)
+		}
+	}
+	semantic := []string{
+		cloudapi.CodeUnknownAction,
+		cloudapi.CodeMissingParameter,
+		cloudapi.CodeInvalidParameter,
+		cloudapi.CodeDependencyViolation,
+		"InvalidVpc.Range",
+		"ResourceNotFoundException",
+	}
+	for _, code := range semantic {
+		if Classify(cloudapi.Errf(code, "x")) != Semantic {
+			t.Errorf("code %s classified transient, want semantic", code)
+		}
+	}
+	// Non-API errors are backend malfunctions, never retried.
+	if Classify(errors.New("plain failure")) != Semantic {
+		t.Error("non-API error classified transient")
+	}
+	if Classify(nil) != Semantic {
+		t.Error("nil error classified transient")
+	}
+	if Transient.String() != "transient" || Semantic.String() != "semantic" {
+		t.Error("Class.String broken")
+	}
+}
+
+func TestScheduleDeterministicUnderFixedSeed(t *testing.T) {
+	p := DefaultPolicy()
+	p.Seed = 17
+	a, b := p.Schedule(6), p.Schedule(6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	p2 := p
+	p2.Seed = 18
+	if reflect.DeepEqual(a, p2.Schedule(6)) {
+		t.Error("different seeds produced identical schedules")
+	}
+	// The wrapper draws the same stream: a fresh wrapper's first
+	// failing call must sleep exactly the scheduled delays.
+	var slept []time.Duration
+	bk := &scriptedBackend{errs: []error{throttle(), throttle(), throttle()}}
+	rb := wrap(bk, p, nil, func(d time.Duration) { slept = append(slept, d) })
+	if _, err := rb.Invoke(cloudapi.Request{Action: "Ping"}); err != nil {
+		t.Fatalf("retries should have recovered: %v", err)
+	}
+	want := p.Schedule(3)
+	// Zero-length draws are skipped by the sleeper but still consumed
+	// from the stream; compare against the non-zero prefix entries.
+	var nonzero []time.Duration
+	for _, d := range want {
+		if d > 0 {
+			nonzero = append(nonzero, d)
+		}
+	}
+	if !reflect.DeepEqual(slept, nonzero) {
+		t.Errorf("slept %v, want %v", slept, nonzero)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: 2 * time.Millisecond, MaxDelay: 16 * time.Millisecond, Seed: 4}
+	for seed := int64(0); seed < 50; seed++ {
+		p.Seed = seed
+		for k, d := range p.Schedule(8) {
+			ceiling := p.ceiling(k + 1)
+			if d < 0 || d > ceiling {
+				t.Fatalf("seed %d attempt %d: delay %v outside [0, %v]", seed, k+1, d, ceiling)
+			}
+		}
+	}
+	// Ceiling doubles from BaseDelay and saturates at MaxDelay.
+	wantCeil := []time.Duration{2, 4, 8, 16, 16, 16}
+	for k, w := range wantCeil {
+		if got := p.ceiling(k + 1); got != w*time.Millisecond {
+			t.Errorf("ceiling(%d) = %v, want %v", k+1, got, w*time.Millisecond)
+		}
+	}
+	// Uncapped policy keeps doubling.
+	u := Policy{BaseDelay: time.Millisecond}
+	if got := u.ceiling(5); got != 16*time.Millisecond {
+		t.Errorf("uncapped ceiling(5) = %v", got)
+	}
+}
+
+func TestRetriesRecoverTransientFaults(t *testing.T) {
+	bk := &scriptedBackend{errs: []error{throttle(), cloudapi.Errf(cloudapi.CodeServiceUnavailable, "down")}}
+	obs := &tally{}
+	rb := wrap(bk, Policy{MaxAttempts: 5}, obs, func(time.Duration) {})
+	res, err := rb.Invoke(cloudapi.Request{Action: "Ping"})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if !res.Get("ok").AsBool() {
+		t.Errorf("res = %v", res)
+	}
+	if bk.calls != 3 || obs.retries != 2 || obs.faults != 2 {
+		t.Errorf("calls=%d retries=%d faults=%d, want 3/2/2", bk.calls, obs.retries, obs.faults)
+	}
+}
+
+func TestAttemptExhaustionReturnsLastTransientError(t *testing.T) {
+	errs := make([]error, 10)
+	for i := range errs {
+		errs[i] = throttle()
+	}
+	bk := &scriptedBackend{errs: errs}
+	obs := &tally{}
+	rb := wrap(bk, Policy{MaxAttempts: 3}, obs, func(time.Duration) {})
+	_, err := rb.Invoke(cloudapi.Request{Action: "Ping"})
+	ae, ok := cloudapi.AsAPIError(err)
+	if !ok || ae.Code != cloudapi.CodeThrottling {
+		t.Fatalf("exhaustion must surface the transient code, got %v", err)
+	}
+	if bk.calls != 3 {
+		t.Errorf("calls = %d, want exactly MaxAttempts", bk.calls)
+	}
+	if obs.retries != 2 || obs.faults != 3 {
+		t.Errorf("retries=%d faults=%d, want 2/3", obs.retries, obs.faults)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	errs := make([]error, 10)
+	for i := range errs {
+		errs[i] = throttle()
+	}
+	bk := &scriptedBackend{errs: errs}
+	var slept time.Duration
+	// Deterministic jitter draw: BaseDelay == MaxDelay makes every
+	// ceiling 4ms; with a 6ms budget at most two retries can fit, and
+	// fewer when the draws land high.
+	p := Policy{MaxAttempts: 10, BaseDelay: 4 * time.Millisecond, MaxDelay: 4 * time.Millisecond, Budget: 6 * time.Millisecond, Seed: 2}
+	rb := wrap(bk, p, nil, func(d time.Duration) { slept += d })
+	_, err := rb.Invoke(cloudapi.Request{Action: "Ping"})
+	if Classify(err) != Transient {
+		t.Fatalf("budget exhaustion must surface the transient error, got %v", err)
+	}
+	if slept > p.Budget {
+		t.Errorf("slept %v, over the %v budget", slept, p.Budget)
+	}
+	if bk.calls >= 10 {
+		t.Errorf("budget did not cut the retry loop (calls=%d)", bk.calls)
+	}
+}
+
+func TestSemanticErrorsAreNeverRetried(t *testing.T) {
+	bk := &scriptedBackend{errs: []error{cloudapi.Errf("InvalidVpc.Range", "bad cidr")}}
+	obs := &tally{}
+	rb := wrap(bk, Policy{MaxAttempts: 5}, obs, func(time.Duration) {})
+	_, err := rb.Invoke(cloudapi.Request{Action: "Ping"})
+	if ae, ok := cloudapi.AsAPIError(err); !ok || ae.Code != "InvalidVpc.Range" {
+		t.Fatalf("err = %v", err)
+	}
+	if bk.calls != 1 || obs.retries != 0 || obs.faults != 0 {
+		t.Errorf("semantic error drove retries: calls=%d retries=%d faults=%d", bk.calls, obs.retries, obs.faults)
+	}
+}
+
+func TestDisabledPolicyReturnsBackendUnchanged(t *testing.T) {
+	bk := &scriptedBackend{}
+	if got := Wrap(bk, Policy{}, nil); got != cloudapi.Backend(bk) {
+		t.Error("zero policy should be the identity wrap")
+	}
+	if got := Wrap(bk, Policy{MaxAttempts: 1}, nil); got != cloudapi.Backend(bk) {
+		t.Error("MaxAttempts=1 should be the identity wrap")
+	}
+}
+
+func TestForkabilityMirrorsInner(t *testing.T) {
+	if _, ok := Wrap(&scriptedBackend{}, DefaultPolicy(), nil).(cloudapi.Forker); ok {
+		t.Error("wrapper over non-forkable backend claims to fork")
+	}
+}

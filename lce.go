@@ -31,8 +31,10 @@ import (
 	"lce/internal/cloudapi"
 	"lce/internal/docs"
 	"lce/internal/docs/corpus"
+	"lce/internal/fault"
 	"lce/internal/httpapi"
 	"lce/internal/interp"
+	"lce/internal/retry"
 	"lce/internal/scenarios"
 	"lce/internal/synth"
 	"lce/internal/synth/d2c"
@@ -153,6 +155,33 @@ func DirectToCode(c docs.Corpus) (Backend, error) {
 	return d2c.New(c)
 }
 
+// FaultConfig tunes the chaos layer: seed-driven injection of
+// throttling, transient server faults, dropped calls and extra
+// latency in front of any backend.
+type FaultConfig = fault.Config
+
+// RetryPolicy tunes the resilient client: capped exponential backoff
+// with full jitter, attempt and sleep budgets, and the
+// transient-vs-semantic error classifier.
+type RetryPolicy = retry.Policy
+
+// UniformFaults returns a FaultConfig injecting faults at the given
+// total per-call rate (half throttling, a quarter transient server
+// faults, a quarter drops), driven by seed.
+func UniformFaults(rate float64, seed int64) FaultConfig { return fault.Uniform(rate, seed) }
+
+// DefaultRetryPolicy mirrors the AWS SDK standard retryer shape.
+func DefaultRetryPolicy() RetryPolicy { return retry.DefaultPolicy() }
+
+// Chaos wraps any backend with deterministic fault injection — the
+// flaky-cloud simulator. Compose with Serve to run a server that
+// throttles and fails like the real thing.
+func Chaos(b Backend, cfg FaultConfig) Backend { return fault.Wrap(b, cfg) }
+
+// Resilient wraps any backend with the retry policy, turning
+// transient faults into retries instead of caller-visible errors.
+func Resilient(b Backend, p RetryPolicy) Backend { return retry.Wrap(b, p, nil) }
+
 // AlignResult is the outcome of the alignment loop.
 type AlignResult = align.Result
 
@@ -169,6 +198,22 @@ func AlignWithCloud(service string, opts Options) (*AlignResult, error) {
 // Every setting produces an identical AlignResult; workers only change
 // wall-clock time.
 func AlignWithCloudWorkers(service string, opts Options, workers int) (*AlignResult, error) {
+	return alignWithCloud(service, opts, workers, nil, nil)
+}
+
+// AlignWithFlakyCloud is AlignWithCloudWorkers against a degraded
+// cloud: the oracle is wrapped in the chaos layer (cfg) and, when
+// policy is non-nil, every comparison worker talks to it through the
+// resilient client. With a policy whose MaxAttempts exceeds the
+// injector's consecutive-fault cap, the result is identical to the
+// fault-free run — retries absorb every injected fault; without a
+// policy, injected faults surface as exhausted-transient divergences
+// (never semantic ones, and never spec repairs).
+func AlignWithFlakyCloud(service string, opts Options, workers int, cfg FaultConfig, policy *RetryPolicy) (*AlignResult, error) {
+	return alignWithCloud(service, opts, workers, &cfg, policy)
+}
+
+func alignWithCloud(service string, opts Options, workers int, cfg *FaultConfig, policy *RetryPolicy) (*AlignResult, error) {
 	c, err := Documentation(service)
 	if err != nil {
 		return nil, err
@@ -176,6 +221,9 @@ func AlignWithCloudWorkers(service string, opts Options, workers int) (*AlignRes
 	factory, err := CloudFactory(service)
 	if err != nil {
 		return nil, err
+	}
+	if cfg != nil {
+		factory = fault.Factory(factory, *cfg)
 	}
 	brief, briefDoc := corpusBrief(service)
 	if brief == nil {
@@ -186,7 +234,7 @@ func AlignWithCloudWorkers(service string, opts Options, workers int) (*AlignRes
 	if err != nil {
 		return nil, err
 	}
-	return align.RunFactory(svc, briefDoc, factory, Scenarios(service), align.Options{GenerateViolations: true, Workers: workers})
+	return align.RunFactory(svc, briefDoc, factory, Scenarios(service), align.Options{GenerateViolations: true, Workers: workers, Retry: policy})
 }
 
 func corpusBrief(service string) (*docs.ServiceDoc, *docs.ServiceDoc) {
@@ -238,4 +286,11 @@ func Serve(b Backend) http.Handler {
 // Connect returns a Backend speaking to a served emulator over HTTP.
 func Connect(baseURL string) Backend {
 	return httpapi.NewClient(baseURL)
+}
+
+// ConnectResilient is Connect with the default retry policy wrapped
+// around the wire client: transient faults from a chaos-enabled (or
+// genuinely degraded) server are retried instead of surfacing.
+func ConnectResilient(baseURL string) Backend {
+	return httpapi.NewResilientClient(baseURL, retry.DefaultPolicy())
 }

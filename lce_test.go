@@ -69,3 +69,52 @@ func TestPublicAPIDirectToCode(t *testing.T) {
 		t.Error("d2c has no actions")
 	}
 }
+
+// TestPublicAPIFlakyCloud exercises the chaos + resilience facade:
+// alignment against a fault-injecting oracle with the retry policy on
+// must match the fault-free run round for round.
+func TestPublicAPIFlakyCloud(t *testing.T) {
+	clean, err := AlignWithCloudWorkers("azure-network", DefaultOptions(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := DefaultRetryPolicy()
+	policy.BaseDelay, policy.Seed = 0, 42 // zero-delay retries keep the test fast
+	flaky, err := AlignWithFlakyCloud("azure-network", DefaultOptions(), 4, UniformFaults(0.1, 42), &policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flaky.Converged {
+		t.Error("alignment under chaos+retry did not converge")
+	}
+	if len(clean.Rounds) != len(flaky.Rounds) {
+		t.Fatalf("rounds: clean=%d flaky=%d", len(clean.Rounds), len(flaky.Rounds))
+	}
+	for i := range clean.Rounds {
+		if clean.Rounds[i].Aligned != flaky.Rounds[i].Aligned || flaky.Rounds[i].ExhaustedTransient != 0 {
+			t.Errorf("round %d differs under chaos: clean=%+v flaky=%+v", i+1, clean.Rounds[i], flaky.Rounds[i])
+		}
+	}
+}
+
+// TestPublicAPIChaosAndResilientWrappers composes Chaos and Resilient
+// around an oracle directly: the pair must be behaviourally invisible.
+func TestPublicAPIChaosAndResilientWrappers(t *testing.T) {
+	oracle, err := Cloud("ec2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := DefaultRetryPolicy()
+	policy.BaseDelay = 0
+	b := Resilient(Chaos(oracle, UniformFaults(0.3, 9)), policy)
+	for i := 0; i < 30; i++ {
+		res, err := b.Invoke(Request{Action: "CreateVpc", Params: Params{"cidrBlock": Str("10.0.0.0/16")}})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if res.Get("vpcId").AsString() == "" {
+			t.Fatalf("call %d: %v", i, res)
+		}
+		b.Reset()
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench chaos ci
+.PHONY: build test race lint bench chaos obsv-smoke ci
 
 build:
 	$(GO) build ./...
@@ -37,4 +37,16 @@ chaos:
 	$(GO) run ./cmd/lce-align -service dynamodb -perfect -chaos -fault-rate 0.1 -chaos-seed 7
 	$(GO) run ./cmd/lce-align -service ec2 -chaos -fault-rate 0.1 -chaos-seed 7
 
-ci: build lint race chaos bench
+# Observability smoke: a seeded traced alignment run exports its spans
+# as JSONL, and lce-tracecheck re-validates the trace from the outside
+# (parents resolve within their trace, every trace has a root, no
+# duplicate span IDs). A chaos run rides along so fault/retry events
+# land in the artifact too.
+obsv-smoke:
+	$(GO) run ./cmd/lce-align -service ec2 -perfect -workers 4 -trace-out trace.jsonl > /dev/null
+	$(GO) run ./cmd/lce-tracecheck trace.jsonl
+	@$(GO) run ./cmd/lce-align -service ec2 -perfect -chaos -no-retry -fault-rate 0.1 -chaos-seed 7 -trace-out trace-chaos.jsonl > /dev/null; \
+	rc=$$?; [ $$rc -eq 0 ] || [ $$rc -eq 2 ] || exit $$rc # exit 2 = residual exhausted-transient divergences, expected without retries
+	$(GO) run ./cmd/lce-tracecheck trace-chaos.jsonl
+
+ci: build lint race chaos bench obsv-smoke

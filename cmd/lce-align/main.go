@@ -17,6 +17,16 @@
 // one does — any *semantic* divergence under chaos is a real bug and
 // fails the run. With -no-retry the injected faults surface in the
 // report, classified as exhausted-transient, and never drive repairs.
+//
+// With -trace-out the run records a full hierarchical trace — one root
+// span per comparison, nested replay and per-call spans, fault and
+// retry events — and exports it as JSONL:
+//
+//	lce-align -service ec2 -chaos -no-retry -trace-out trace.jsonl
+//
+// Every divergence is then printed with its trace ID, so the replay
+// that produced it (both sides' calls, every injected fault, every
+// retry) is one grep away. Tracing never changes the result.
 package main
 
 import (
@@ -35,11 +45,17 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0.1, "total per-call fault probability when -chaos is set")
 	noRetry := flag.Bool("no-retry", false, "disable the resilient oracle client (chaos faults surface as exhausted-transient divergences)")
 	perfect := flag.Bool("perfect", false, "synthesize without the noise model (faithful extraction); any divergence is then a real bug")
+	traceOut := flag.String("trace-out", "", "record the run's spans and write them to this file as JSONL (empty = tracing off)")
+	traceSeed := flag.Int64("trace-seed", 1, "seed for span/trace IDs when -trace-out is set (same seed = same IDs)")
 	flag.Parse()
 
 	opts := lce.DefaultOptions()
 	if *perfect {
 		opts = lce.PerfectOptions()
+	}
+	var ob *lce.Obs
+	if *traceOut != "" {
+		ob = lce.NewObs(*traceSeed)
 	}
 	var res *lce.AlignResult
 	var err error
@@ -50,14 +66,24 @@ func main() {
 			p.Seed = *chaosSeed
 			policy = &p
 		}
-		res, err = lce.AlignWithFlakyCloud(*service, opts, *workers,
-			lce.UniformFaults(*faultRate, *chaosSeed), policy)
+		res, err = lce.AlignWithFlakyCloudObserved(*service, opts, *workers,
+			lce.UniformFaults(*faultRate, *chaosSeed), policy, ob)
 	} else {
-		res, err = lce.AlignWithCloudWorkers(*service, opts, *workers)
+		res, err = lce.AlignWithCloudObserved(*service, opts, *workers, ob)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lce-align:", err)
 		os.Exit(1)
+	}
+	if ob != nil {
+		writeTrace(*traceOut, ob)
+	}
+	// Divergences print with their trace IDs when tracing is on: refs
+	// are ordered by (round, index), matching each round's Divergence
+	// slice order, so position joins the two.
+	refsByRound := map[int][]lce.DivergenceRef{}
+	for _, ref := range lce.DivergenceTraces(ob) {
+		refsByRound[ref.Round] = append(refsByRound[ref.Round], ref)
 	}
 	fmt.Printf("alignment of %s:\n", *service)
 	semantic := 0
@@ -74,11 +100,18 @@ func main() {
 		}
 		fmt.Println()
 		semantic += r.Semantic
-		for _, d := range r.Divergence {
-			fmt.Printf("    divergence: %s (%s): %s\n", d.Action, d.Kind, d.Detail)
+		for i, d := range r.Divergence {
+			fmt.Printf("    divergence: %s (%s): %s", d.Action, d.Kind, d.Detail)
+			if refs := refsByRound[r.Round]; i < len(refs) {
+				fmt.Printf(" [trace %s]", refs[i].TraceID)
+			}
+			fmt.Println()
 		}
 	}
 	fmt.Printf("stats: %s\n", res.Stats)
+	if s := ob.Summary(); s != "" {
+		fmt.Println(s)
+	}
 	if res.Converged {
 		fmt.Println("converged: the emulator is behaviourally aligned with the cloud")
 		return
@@ -92,4 +125,21 @@ func main() {
 	}
 	fmt.Println("did NOT converge; residual divergences remain")
 	os.Exit(2)
+}
+
+// writeTrace exports the run's spans as JSONL (one span per line).
+func writeTrace(path string, ob *lce.Obs) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = ob.Tracer.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lce-align: writing trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: %d spans written to %s (%d recorded)\n",
+		len(ob.Tracer.Snapshot()), path, ob.Tracer.Recorded())
 }

@@ -14,19 +14,51 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"lce/internal/eval"
+	"lce/internal/obsv"
 )
 
+// artifactSchemaVersion identifies the benchArtifact layout; bump it
+// when a field changes meaning so trajectory tooling can dispatch on
+// shape instead of guessing from key presence.
+const artifactSchemaVersion = 2
+
 // benchArtifact is the JSON blob -json writes; CI uploads it so every
-// PR leaves a perf trajectory behind.
+// PR leaves a perf trajectory behind. GitSHA and GoMaxProcs pin each
+// data point to the commit and the parallelism it ran with — without
+// them a trajectory spanning PRs or runner shapes is uninterpretable.
 type benchArtifact struct {
-	GoVersion  string         `json:"goVersion,omitempty"`
-	Timestamp  time.Time      `json:"timestamp"`
-	AlignSpeed []speedupJSON  `json:"alignSpeedup,omitempty"`
-	Converge   []convergeJSON `json:"alignmentConvergence,omitempty"`
-	Chaos      []chaosJSON    `json:"chaosAlignment,omitempty"`
+	SchemaVersion int            `json:"schemaVersion"`
+	GoVersion     string         `json:"goVersion,omitempty"`
+	GitSHA        string         `json:"gitSha,omitempty"`
+	GitDirty      bool           `json:"gitDirty,omitempty"`
+	GoMaxProcs    int            `json:"goMaxProcs"`
+	Timestamp     time.Time      `json:"timestamp"`
+	AlignSpeed    []speedupJSON  `json:"alignSpeedup,omitempty"`
+	Converge      []convergeJSON `json:"alignmentConvergence,omitempty"`
+	Chaos         []chaosJSON    `json:"chaosAlignment,omitempty"`
+}
+
+// buildVCS reads the commit this binary was built from out of the
+// embedded build info (set for `go build` inside a git checkout; empty
+// for `go run` and test binaries).
+func buildVCS() (sha string, dirty bool) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			sha = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return sha, dirty
 }
 
 // chaosJSON is one -chaos cell: alignment throughput and retry
@@ -84,10 +116,20 @@ func main() {
 		rtt        = flag.Duration("rtt", 200*time.Microsecond, "simulated cloud-oracle round trip per API call for -alignspeed (0 = in-process, pure CPU)")
 		short      = flag.Bool("short", false, "shrink -alignspeed/-chaos workload (CI smoke mode)")
 		jsonOut    = flag.String("json", "", "write machine-readable results to this file")
+		traceOut   = flag.String("trace-out", "", "record -chaos runs' spans and write them to this file as JSONL (empty = tracing off)")
+		traceSeed  = flag.Int64("trace-seed", 1, "seed for span/trace IDs when -trace-out is set")
 	)
 	flag.Parse()
 	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos)
-	artifact := benchArtifact{GoVersion: runtime.Version(), Timestamp: time.Now().UTC()}
+	sha, dirty := buildVCS()
+	artifact := benchArtifact{
+		SchemaVersion: artifactSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GitSHA:        sha,
+		GitDirty:      dirty,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Timestamp:     time.Now().UTC(),
+	}
 
 	if all || *table1 {
 		fmt.Println(eval.FormatTable1(eval.Table1()))
@@ -176,10 +218,25 @@ func main() {
 		if *short {
 			replicas = 2
 		}
+		var obs *obsv.Obs
+		if *traceOut != "" {
+			obs = obsv.New(*traceSeed, 0)
+		}
 		rates := []float64{0, 0.05, 0.1, 0.2}
-		rows, err := eval.ChaosBench(*workers, replicas, *chaosSeed, rates)
+		rows, err := eval.ChaosBenchObserved(*workers, replicas, *chaosSeed, rates, obs)
 		check(err)
 		fmt.Println(eval.FormatChaos(rows))
+		if obs != nil {
+			if s := obs.Summary(); s != "" {
+				fmt.Println(s)
+			}
+			f, err := os.Create(*traceOut)
+			check(err)
+			check(obs.Tracer.WriteJSONL(f))
+			check(f.Close())
+			fmt.Printf("wrote %s (%d spans retained of %d recorded)\n",
+				*traceOut, len(obs.Tracer.Snapshot()), obs.Tracer.Recorded())
+		}
 		for _, r := range rows {
 			artifact.Chaos = append(artifact.Chaos, chaosJSON{
 				Service: r.Service, FaultRate: r.FaultRate, Traces: r.Traces,

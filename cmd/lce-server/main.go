@@ -16,17 +16,31 @@
 // cloud to harden clients against:
 //
 //	lce-server -service ec2 -backend oracle -chaos -fault-rate 0.1 -chaos-seed 7
+//
+// The server is observable by default: GET /metrics serves the typed
+// metrics registry in Prometheus text (per-route request/error
+// counters, latency histograms, per-op backend latencies), and
+// GET /debug/traces serves the recorded request spans grouped by
+// trace. With -debug-addr a side listener additionally exposes the
+// pprof profiling endpoints (kept off the main listener so a served
+// emulator never leaks profiles to its API clients):
+//
+//	lce-server -service ec2 -debug-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"lce"
 	"lce/internal/manual"
+	"lce/internal/obsv"
 )
 
 func main() {
@@ -34,6 +48,8 @@ func main() {
 		service   = flag.String("service", "ec2", "service to emulate: ec2 | dynamodb | network-firewall | eks | azure-network")
 		backend   = flag.String("backend", "learned", "backend kind: learned | oracle | d2c | manual")
 		addr      = flag.String("addr", ":4566", "listen address")
+		debugAddr = flag.String("debug-addr", "", "also serve pprof, /metrics and /debug/traces on this side listener (empty = no side listener)")
+		traceSeed = flag.Int64("trace-seed", 1, "seed for span/trace IDs (same seed + same request sequence = same IDs)")
 		noisy     = flag.Bool("noisy", false, "synthesize the learned backend with the preliminary noise model instead of a faithful extraction")
 		chaos     = flag.Bool("chaos", false, "inject transient faults (throttling, 5xx, drops) in front of the backend")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault-injection stream (same seed = same faults)")
@@ -51,14 +67,40 @@ func main() {
 		log.Printf("chaos on: %.0f%% fault rate, seed %d (throttling → 400, unavailable → 503, internal → 500, drops → 408)",
 			100**faultRate, *chaosSeed)
 	}
+	ob := lce.NewObs(*traceSeed)
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, ob)
+	}
 	hint := *addr
 	if len(hint) > 0 && hint[0] == ':' {
 		hint = "localhost" + hint
 	}
 	log.Printf("serving %s (%s backend, %d actions) on %s", *service, *backend, len(b.Actions()), *addr)
+	log.Printf("observability: %s/metrics (Prometheus text), %s/debug/traces (span JSON)", hint, hint)
 	log.Printf("try: curl -s -XPOST %s/invoke -d '{\"action\":\"CreateVpc\",\"params\":{\"cidrBlock\":\"10.0.0.0/16\"}}'", hint)
-	if err := http.ListenAndServe(*addr, lce.Serve(b)); err != nil {
+	if err := http.ListenAndServe(*addr, lce.ServeObserved(b, ob)); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// serveDebug runs the pprof side listener. pprof is deliberately not
+// registered on the main mux: profiles stay on an operator-chosen
+// (typically loopback) address.
+func serveDebug(addr string, ob *lce.Obs) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", ob.Registry)
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(obsv.GroupTraces(ob.Tracer.Snapshot()))
+	})
+	log.Printf("debug listener (pprof, /metrics, /debug/traces) on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("debug listener: %v", err)
 	}
 }
 

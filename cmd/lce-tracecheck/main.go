@@ -1,0 +1,64 @@
+// Command lce-tracecheck validates a JSONL trace export (lce-align
+// -trace-out, lce-bench -trace-out):
+//
+//	lce-tracecheck trace.jsonl
+//
+// It fails (exit 1) when any span is malformed, references a parent
+// that is not in its trace, duplicates a span ID, belongs to a trace
+// with no root, or ends before it starts — the invariants the span
+// taxonomy guarantees, checked from the outside so CI catches a
+// regression in the exporter as well as in the tracer. On success it
+// prints a one-line digest (spans, traces, divergences, fault events).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lce/internal/obsv"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: lce-tracecheck <trace.jsonl>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lce-tracecheck:", err)
+		os.Exit(1)
+	}
+	spans, err := obsv.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lce-tracecheck:", err)
+		os.Exit(1)
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(os.Stderr, "lce-tracecheck: no spans in", path)
+		os.Exit(1)
+	}
+	if err := obsv.Validate(spans); err != nil {
+		fmt.Fprintf(os.Stderr, "lce-tracecheck: %s invalid: %v\n", path, err)
+		os.Exit(1)
+	}
+	traces := map[string]bool{}
+	var divergences, faults, retries int
+	for _, sp := range spans {
+		traces[sp.TraceID] = true
+		if sp.Root() && sp.Name == obsv.SpanAlignTrace && sp.Attrs["aligned"] == "false" {
+			divergences++
+		}
+		for _, e := range sp.Events {
+			switch e.Name {
+			case obsv.EventFault:
+				faults++
+			case obsv.EventRetry:
+				retries++
+			}
+		}
+	}
+	fmt.Printf("%s: valid — %d spans, %d traces, %d divergences, %d injected faults, %d retries\n",
+		path, len(spans), len(traces), divergences, faults, retries)
+}

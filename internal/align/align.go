@@ -20,6 +20,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -29,6 +30,7 @@ import (
 	"lce/internal/docs"
 	"lce/internal/interp"
 	"lce/internal/metrics"
+	"lce/internal/obsv"
 	"lce/internal/retry"
 	"lce/internal/spec"
 	"lce/internal/symexec"
@@ -116,6 +118,14 @@ type Options struct {
 	// divergences. Each worker's wrapper draws a derived jitter seed
 	// so backoff schedules stay deterministic per worker.
 	Retry *retry.Policy
+	// Obs, when non-nil, records the run's observability: one root
+	// span per trace comparison (keyed by round and trace index, so
+	// trace IDs are identical across runs and worker counts), nested
+	// replay and per-call spans, fault/retry span events, per-op
+	// latency histograms, and the run counters published into the
+	// registry. Tracing never changes the Result — a traced run is
+	// byte-identical to an untraced one.
+	Obs *obsv.Obs
 }
 
 // Run executes the alignment loop over svc, mutating it in place. The
@@ -147,6 +157,16 @@ func run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, fac
 
 	res := &Result{}
 	counters := &metrics.AlignCounters{}
+	// One keyed-ID epoch per run: reusing an Obs across runs keeps
+	// trace IDs unique without losing run-to-run determinism.
+	epoch := opts.Obs.TracerOrNil().NextEpoch()
+	// Publish whatever the run counted — converged, stuck, or errored —
+	// into the registry on the way out.
+	defer func() {
+		if opts.Obs != nil {
+			res.Stats.PublishTo(opts.Obs.Registry)
+		}
+	}()
 	// adopted records cloud error codes already grafted onto actions so
 	// a stale-doc divergence is only "fixed from observation" once.
 	adopted := map[string]bool{}
@@ -156,7 +176,7 @@ func run(svc *spec.Service, brief *docs.ServiceDoc, oracle cloudapi.Backend, fac
 	redocumented := map[string]bool{}
 
 	for round := 1; round <= opts.MaxRounds; round++ {
-		reports, emu, err := compareRound(svc, oracle, factory, traces, workers, opts.Retry, counters)
+		reports, emu, err := compareRound(svc, oracle, factory, traces, workers, opts.Retry, counters, epoch, round, opts.Obs)
 		if err != nil {
 			return res, err
 		}
@@ -288,6 +308,15 @@ func CompareSuite(svc *spec.Service, factory cloudapi.BackendFactory, traces []t
 // counters sink for retry/fault totals. The chaos benchmark and the
 // degraded-mode tests use it to replay suites against flaky oracles.
 func CompareSuiteResilient(svc *spec.Service, factory cloudapi.BackendFactory, traces []trace.Trace, workers int, policy *retry.Policy, counters *metrics.AlignCounters) ([]trace.Report, error) {
+	return CompareSuiteObserved(svc, factory, traces, workers, policy, counters, nil)
+}
+
+// CompareSuiteObserved is CompareSuiteResilient under an
+// observability stack: each comparison gets a root span keyed by its
+// trace index, with per-call child spans and fault/retry events, and
+// per-op latencies land in the registry. A nil obs is exactly
+// CompareSuiteResilient.
+func CompareSuiteObserved(svc *spec.Service, factory cloudapi.BackendFactory, traces []trace.Trace, workers int, policy *retry.Policy, counters *metrics.AlignCounters, obs *obsv.Obs) ([]trace.Report, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("align: nil backend factory")
 	}
@@ -295,7 +324,8 @@ func CompareSuiteResilient(svc *spec.Service, factory cloudapi.BackendFactory, t
 		counters = &metrics.AlignCounters{}
 	}
 	workers = poolSize(workers, len(traces), true)
-	reports, _, err := compareRound(svc, nil, factory, traces, workers, policy, counters)
+	epoch := obs.TracerOrNil().NextEpoch()
+	reports, _, err := compareRound(svc, nil, factory, traces, workers, policy, counters, epoch, 0, obs)
 	return reports, err
 }
 
@@ -307,8 +337,10 @@ func CompareSuiteResilient(svc *spec.Service, factory cloudapi.BackendFactory, t
 // the service's lookup maps. A non-nil retry policy wraps each
 // worker's oracle in a resilient client (derived jitter seed per
 // worker) so transient oracle faults are retried inside the worker
-// instead of surfacing as divergences.
-func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.BackendFactory, traces []trace.Trace, workers int, policy *retry.Policy, counters *metrics.AlignCounters) ([]trace.Report, *interp.Emulator, error) {
+// instead of surfacing as divergences. A non-nil obs roots one span
+// per comparison, keyed by (epoch, round, index) so trace IDs never
+// depend on which worker drew which trace.
+func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.BackendFactory, traces []trace.Trace, workers int, policy *retry.Policy, counters *metrics.AlignCounters, epoch int64, round int, obs *obsv.Obs) ([]trace.Report, *interp.Emulator, error) {
 	emus := make([]*interp.Emulator, workers)
 	oracles := make([]cloudapi.Backend, workers)
 	for w := 0; w < workers; w++ {
@@ -329,11 +361,38 @@ func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.B
 		}
 	}
 
+	compare := func(emu *interp.Emulator, ora cloudapi.Backend, i int) trace.Report {
+		tracer := obs.TracerOrNil()
+		if tracer == nil {
+			// Nil-tracer fast path: exactly the untraced comparison.
+			rep := trace.CompareIndexed(emu, ora, i, traces[i])
+			counters.TraceCompared(!rep.Aligned())
+			return rep
+		}
+		ctx := obs.Context(context.Background())
+		ctx, root := tracer.StartRootKeyed(ctx, obsv.SpanAlignTrace, rootKey(epoch, round, i))
+		root.SetAttr("trace", traces[i].Name)
+		root.SetAttrInt("index", int64(i))
+		root.SetAttrInt("round", int64(round))
+		rep := trace.CompareIndexedTraced(ctx, emu, ora, i, traces[i])
+		counters.TraceCompared(!rep.Aligned())
+		if d := rep.FirstDiff(); d != nil {
+			root.SetAttr("aligned", "false")
+			root.SetAttr("diff.action", d.Action)
+			root.SetAttr("diff.kind", d.Kind.String())
+			root.SetAttr("diff.cause", Cause(*d))
+			root.SetError(d.Kind.String())
+		} else {
+			root.SetAttr("aligned", "true")
+		}
+		root.End()
+		return rep
+	}
+
 	reports := make([]trace.Report, len(traces))
 	if workers == 1 {
-		for i, tr := range traces {
-			reports[i] = trace.CompareIndexed(emus[0], oracles[0], i, tr)
-			counters.TraceCompared(!reports[i].Aligned())
+		for i := range traces {
+			reports[i] = compare(emus[0], oracles[0], i)
 		}
 		return reports, emus[0], nil
 	}
@@ -346,8 +405,7 @@ func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.B
 			defer wg.Done()
 			for i := range jobs {
 				// Disjoint index writes: no lock needed on the slice.
-				reports[i] = trace.CompareIndexed(emu, ora, i, traces[i])
-				counters.TraceCompared(!reports[i].Aligned())
+				reports[i] = compare(emu, ora, i)
 			}
 		}(emus[w], oracles[w])
 	}
@@ -357,6 +415,13 @@ func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.B
 	close(jobs)
 	wg.Wait()
 	return reports, emus[0], nil
+}
+
+// rootKey packs (epoch, round, trace index) into the deterministic key
+// the per-comparison root span's trace ID derives from: 16 bits of
+// epoch, 16 of round, 32 of index.
+func rootKey(epoch int64, round, index int) int64 {
+	return epoch<<48 | int64(uint16(round))<<32 | int64(uint32(index))
 }
 
 // localize maps a diverging action to the SM that owns it — the

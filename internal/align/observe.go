@@ -1,0 +1,86 @@
+package align
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"lce/internal/obsv"
+)
+
+// DivergenceRef points from one divergence to the trace that recorded
+// it — the handle a debugging session starts from: grep the JSONL
+// export for TraceID and the full replay (both sides' calls, injected
+// faults, retries taken) is in front of you.
+type DivergenceRef struct {
+	// TraceID is the root span's trace ID.
+	TraceID string
+	// Trace is the diverging trace's name; Index its suite position;
+	// Round the alignment round that observed it.
+	Trace string
+	Index int
+	Round int
+	// Action/Kind/Cause mirror the root span's diff.* attributes.
+	Action string
+	Kind   string
+	Cause  string
+}
+
+// String renders one grep-ready line.
+func (r DivergenceRef) String() string {
+	return fmt.Sprintf("trace=%s round=%d index=%d name=%s action=%s kind=%s cause=%s",
+		r.TraceID, r.Round, r.Index, r.Trace, r.Action, r.Kind, r.Cause)
+}
+
+// DivergenceTraces scans a span snapshot for align.trace roots that
+// recorded a divergence and returns one ref per divergence, ordered by
+// (round, index). Results are never stored on align.Result — that
+// would make traced and untraced runs differ — so this is how a caller
+// joins "which traces diverged" with "where is the evidence".
+func DivergenceTraces(spans []obsv.SpanData) []DivergenceRef {
+	var out []DivergenceRef
+	for _, sp := range spans {
+		if !sp.Root() || sp.Name != obsv.SpanAlignTrace || sp.Attrs["aligned"] != "false" {
+			continue
+		}
+		idx, _ := strconv.Atoi(sp.Attrs["index"])
+		round, _ := strconv.Atoi(sp.Attrs["round"])
+		out = append(out, DivergenceRef{
+			TraceID: sp.TraceID,
+			Trace:   sp.Attrs["trace"],
+			Index:   idx,
+			Round:   round,
+			Action:  sp.Attrs["diff.action"],
+			Kind:    sp.Attrs["diff.kind"],
+			Cause:   sp.Attrs["diff.cause"],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// FaultTraces returns the trace IDs (sorted, deduplicated) whose spans
+// carry at least one fault.injected event — every comparison the chaos
+// layer touched, whether or not the retries masked it.
+func FaultTraces(spans []obsv.SpanData) []string {
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		for _, e := range sp.Events {
+			if e.Name == obsv.EventFault {
+				seen[sp.TraceID] = true
+				break
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

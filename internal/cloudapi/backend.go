@@ -1,6 +1,7 @@
 package cloudapi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -37,6 +38,14 @@ func (p Params) Clone() Params {
 type Request struct {
 	Action string
 	Params Params
+	// Ctx optionally carries request-scoped observability context (the
+	// current tracing span, see internal/obsv) through the backend
+	// wrapper layers — retry, fault injection, latency — so each layer
+	// can annotate the span for the call it is serving. It is never
+	// serialized on the wire and never participates in behavioural
+	// comparison: two requests differing only in Ctx are the same API
+	// call. A nil Ctx is always valid and means "untraced".
+	Ctx context.Context `json:"-"`
 }
 
 // Result is the attribute map a successful API invocation returns.

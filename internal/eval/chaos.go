@@ -12,6 +12,7 @@ import (
 	"lce/internal/cloudapi"
 	"lce/internal/fault"
 	"lce/internal/metrics"
+	"lce/internal/obsv"
 	"lce/internal/retry"
 	"lce/internal/scenarios"
 	"lce/internal/spec"
@@ -59,6 +60,14 @@ func (r ChaosRow) Throughput() float64 {
 // effective per-call latency, and whether any injected fault leaked
 // through as a divergence.
 func ChaosBench(workers, replicas int, seed int64, rates []float64) ([]ChaosRow, error) {
+	return ChaosBenchObserved(workers, replicas, seed, rates, nil)
+}
+
+// ChaosBenchObserved is ChaosBench under an observability stack: each
+// comparison records a root span whose events carry every injected
+// fault and retry, and per-op latencies land in the registry. A nil
+// obs is exactly ChaosBench.
+func ChaosBenchObserved(workers, replicas int, seed int64, rates []float64, obs *obsv.Obs) ([]ChaosRow, error) {
 	if workers <= 1 {
 		workers = 8
 	}
@@ -81,7 +90,7 @@ func ChaosBench(workers, replicas int, seed int64, rates []float64) ([]ChaosRow,
 		}
 		traces := replicate(c.suite, replicas)
 		for _, rate := range rates {
-			row, err := chaosCell(svc, c.factory, traces, workers, rate, seed)
+			row, err := chaosCell(svc, c.factory, traces, workers, rate, seed, obs)
 			if err != nil {
 				return nil, fmt.Errorf("eval: chaos bench %s@%.0f%%: %w", c.service, 100*rate, err)
 			}
@@ -92,7 +101,7 @@ func ChaosBench(workers, replicas int, seed int64, rates []float64) ([]ChaosRow,
 	return rows, nil
 }
 
-func chaosCell(svc *spec.Service, base cloudapi.BackendFactory, traces []trace.Trace, workers int, rate float64, seed int64) (ChaosRow, error) {
+func chaosCell(svc *spec.Service, base cloudapi.BackendFactory, traces []trace.Trace, workers int, rate float64, seed int64, obs *obsv.Obs) (ChaosRow, error) {
 	counters := &metrics.AlignCounters{}
 	recorder := &metrics.LatencyRecorder{}
 	policy := retry.DefaultPolicy()
@@ -116,7 +125,7 @@ func chaosCell(svc *spec.Service, base cloudapi.BackendFactory, traces []trace.T
 	}
 
 	start := time.Now()
-	reports, err := align.CompareSuite(svc, factory, traces, workers)
+	reports, err := align.CompareSuiteObserved(svc, factory, traces, workers, nil, nil, obs)
 	if err != nil {
 		return ChaosRow{}, err
 	}

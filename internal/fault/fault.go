@@ -25,10 +25,12 @@ package fault
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"lce/internal/cloudapi"
+	"lce/internal/obsv"
 )
 
 // Config tunes the injector. Rates are per-call probabilities in
@@ -216,9 +218,21 @@ func (in *Injector) Reset() { in.inner.Reset() }
 
 // Invoke implements cloudapi.Backend: draw a decision, pay the
 // injected latency, then either fail without touching the backend or
-// pass the call through.
+// pass the call through. When the request carries a tracing span
+// (Request.Ctx), the injection decision is recorded on it as a span
+// event — chaos runs become self-explaining: every fault a trace
+// suffered is in the trace, alongside the retries it triggered.
 func (in *Injector) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 	d := in.decide(req.Action)
+	if sp := obsv.SpanFrom(req.Ctx); sp != nil {
+		switch {
+		case d.Injected():
+			sp.Event(obsv.EventFault, "code", d.Code,
+				"call", strconv.Itoa(d.Call), "seed", strconv.FormatInt(in.cfg.Seed, 10))
+		case d.Forced:
+			sp.Event(obsv.EventFaultForce, "call", strconv.Itoa(d.Call))
+		}
+	}
 	if d.Delay > 0 {
 		time.Sleep(d.Delay)
 	}

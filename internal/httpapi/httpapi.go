@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 
 	"lce/internal/advisor"
 	"lce/internal/cloudapi"
 	"lce/internal/interp"
+	"lce/internal/obsv"
 	"lce/internal/retry"
 )
 
@@ -53,10 +55,28 @@ type wireAdvice struct {
 //	POST /reset        — reset account state
 //	GET  /actions      — list supported actions
 //	GET  /healthz      — liveness
-func Handler(b cloudapi.Backend) http.Handler {
+func Handler(b cloudapi.Backend) http.Handler { return Observed(b, nil) }
+
+// Observed is Handler under an observability stack: every handled
+// request increments lce_http_requests_total{route}, errored requests
+// (status >= 400) bump lce_http_errors_total{route} and carry span
+// error status, latencies land in lce_http_request_seconds{route}, and
+// each request runs under an http.<route> root span that /invoke
+// threads into the backend call (so a traced server records the same
+// call.<Action> spans and fault/retry events an in-process run does).
+// Two extra routes appear when the respective half is live:
+//
+//	GET /metrics       — Prometheus text exposition (registry half)
+//	GET /debug/traces  — recorded spans grouped by trace (tracer half)
+//
+// A nil obs is exactly Handler.
+func Observed(b cloudapi.Backend, obs *obsv.Obs) http.Handler {
 	mux := http.NewServeMux()
 	var requests atomic.Int64
-	mux.HandleFunc("POST /invoke", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, route string, fn http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(obs, route, fn))
+	}
+	handle("POST /invoke", "invoke", func(w http.ResponseWriter, r *http.Request) {
 		requests.Add(1)
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		if err != nil {
@@ -72,7 +92,10 @@ func Handler(b cloudapi.Backend) http.Handler {
 			httpError(w, http.StatusBadRequest, "missing action")
 			return
 		}
-		creq := cloudapi.Request{Action: req.Action, Params: cloudapi.Params(req.Params)}
+		creq := cloudapi.Request{Action: req.Action, Params: cloudapi.Params(req.Params), Ctx: r.Context()}
+		if sp := obsv.SpanFrom(r.Context()); sp != nil {
+			sp.SetAttr("action", req.Action)
+		}
 		res, err := b.Invoke(creq)
 		resp := wireResponse{}
 		if err != nil {
@@ -98,23 +121,89 @@ func Handler(b cloudapi.Backend) http.Handler {
 		resp.Result = cloudapi.NormalizeResult(res)
 		writeJSON(w, http.StatusOK, resp)
 	})
-	mux.HandleFunc("POST /reset", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /reset", "reset", func(w http.ResponseWriter, r *http.Request) {
 		b.Reset()
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("GET /actions", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /actions", "actions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"service": b.Service(),
 			"actions": b.Actions(),
 		})
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"service":  b.Service(),
 			"requests": requests.Load(),
 		})
 	})
+	if obs != nil && obs.Registry != nil {
+		mux.Handle("GET /metrics", obs.Registry)
+	}
+	if t := obs.TracerOrNil(); t != nil {
+		mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, obsv.GroupTraces(t.Snapshot()))
+		})
+	}
 	return mux
+}
+
+// statusWriter captures the response status for the instrumentation
+// layer; an unset status means an implicit 200 from the first Write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) statusOrOK() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// instrument wraps one route's handler with the request-scoped
+// observability: root span, request/error counters, latency histogram.
+// With a disabled obs it returns fn untouched — the instrumented and
+// plain servers run the same code path.
+func instrument(obs *obsv.Obs, route string, fn http.HandlerFunc) http.HandlerFunc {
+	if !obs.Enabled() {
+		return fn
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		tracer := obs.TracerOrNil()
+		clock := tracer.Clock()
+		start := clock.Now()
+		ctx := obs.Context(r.Context())
+		var sp *obsv.Span
+		if tracer != nil {
+			ctx, sp = tracer.StartRoot(ctx, obsv.SpanHTTPPfx+route)
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("route", route)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		fn(sw, r.WithContext(ctx))
+		status := sw.statusOrOK()
+		sp.SetAttrInt("status", int64(status))
+		if status >= 400 {
+			sp.SetError("status " + strconv.Itoa(status))
+		}
+		sp.End()
+		if reg := obs.Registry; reg != nil {
+			reg.Counter(obsv.MetricHTTPRequests, "route", route).Inc()
+			if status >= 400 {
+				reg.Counter(obsv.MetricHTTPErrors, "route", route).Inc()
+			}
+			reg.Histogram(obsv.MetricHTTPSeconds, "route", route).ObserveDuration(clock.Now().Sub(start))
+		}
+	}
 }
 
 // statusFor maps an API error code to its wire status the way AWS

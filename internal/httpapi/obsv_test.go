@@ -1,0 +1,179 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/cloudapi"
+	"lce/internal/obsv"
+)
+
+func newObservedServer(t *testing.T) (*httptest.Server, *Client, *obsv.Obs) {
+	t.Helper()
+	obs := obsv.New(11, 0)
+	srv := httptest.NewServer(Observed(ec2.New(), obs))
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL), obs
+}
+
+// TestEveryRequestIncrementsRegistry: each handled request bumps
+// lce_http_requests_total for its route, errors bump
+// lce_http_errors_total, and every request lands a latency observation.
+func TestEveryRequestIncrementsRegistry(t *testing.T) {
+	srv, client, obs := newObservedServer(t)
+
+	if _, err := client.Invoke(cloudapi.Request{
+		Action: "CreateVpc",
+		Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A semantic API error: still a handled request, counted as an error.
+	if _, err := client.Invoke(cloudapi.Request{Action: "CreateVpc"}); err == nil {
+		t.Fatal("missing-parameter invoke should error")
+	}
+	client.Reset()
+	client.Actions()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	reg := obs.Registry
+	wantRequests := map[string]int64{"invoke": 2, "reset": 1, "actions": 1, "healthz": 1}
+	for route, want := range wantRequests {
+		if got := reg.Counter(obsv.MetricHTTPRequests, "route", route).Value(); got != want {
+			t.Errorf("requests_total{route=%q} = %d, want %d", route, got, want)
+		}
+		if got := reg.Histogram(obsv.MetricHTTPSeconds, "route", route).Count(); got != want {
+			t.Errorf("request_seconds{route=%q} count = %d, want %d", route, got, want)
+		}
+	}
+	if got := reg.Counter(obsv.MetricHTTPErrors, "route", "invoke").Value(); got != 1 {
+		t.Errorf("errors_total{route=invoke} = %d, want 1", got)
+	}
+	if got := reg.Counter(obsv.MetricHTTPErrors, "route", "healthz").Value(); got != 0 {
+		t.Errorf("errors_total{route=healthz} = %d, want 0", got)
+	}
+}
+
+// TestErroredRequestsCarrySpanErrorStatus: the root span of a failed
+// request records error status and the wire status code; successful
+// requests stay clean. The invoke span parents the backend call span.
+func TestErroredRequestsCarrySpanErrorStatus(t *testing.T) {
+	_, client, obs := newObservedServer(t)
+
+	if _, err := client.Invoke(cloudapi.Request{
+		Action: "CreateVpc",
+		Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Invoke(cloudapi.Request{Action: "CreateVpc"}); err == nil {
+		t.Fatal("missing-parameter invoke should error")
+	}
+
+	spans := obs.Tracer.Snapshot()
+	if err := obsv.Validate(spans); err != nil {
+		t.Fatalf("server spans invalid: %v", err)
+	}
+	var okRoot, errRoot *obsv.SpanData
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Name != obsv.SpanHTTPPfx+"invoke" {
+			continue
+		}
+		if sp.Error == "" {
+			okRoot = sp
+		} else {
+			errRoot = sp
+		}
+	}
+	if okRoot == nil || errRoot == nil {
+		t.Fatalf("want one clean and one errored invoke root, got %+v", spans)
+	}
+	if okRoot.Attrs["status"] != "200" {
+		t.Errorf("clean root status attr = %q", okRoot.Attrs["status"])
+	}
+	if errRoot.Attrs["status"] != "400" || !strings.Contains(errRoot.Error, "400") {
+		t.Errorf("errored root: status attr %q, error %q", errRoot.Attrs["status"], errRoot.Error)
+	}
+	if errRoot.Attrs["action"] != "CreateVpc" {
+		t.Errorf("errored root action attr = %q", errRoot.Attrs["action"])
+	}
+}
+
+// TestMetricsAndTraceEndpoints: the two debug routes serve Prometheus
+// text and grouped spans.
+func TestMetricsAndTraceEndpoints(t *testing.T) {
+	srv, client, _ := newObservedServer(t)
+	if _, err := client.Invoke(cloudapi.Request{
+		Action: "CreateVpc",
+		Params: cloudapi.Params{"cidrBlock": cloudapi.Str("10.0.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if !strings.Contains(body, obsv.MetricHTTPRequests) || !strings.Contains(body, `route="invoke"`) {
+		t.Errorf("/metrics missing request counter:\n%s", body)
+	}
+	if !strings.Contains(body, obsv.MetricHTTPSeconds+"_bucket") {
+		t.Errorf("/metrics missing latency histogram:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []obsv.TraceGroup
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &groups); err != nil {
+		t.Fatalf("/debug/traces not JSON: %v", err)
+	}
+	if len(groups) == 0 || len(groups[0].Spans) == 0 {
+		t.Fatalf("/debug/traces empty: %+v", groups)
+	}
+}
+
+// TestObservedNilIsHandler: a nil obs serves the plain routes and no
+// debug endpoints.
+func TestObservedNilIsHandler(t *testing.T) {
+	srv := httptest.NewServer(Observed(ec2.New(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics on unobserved server = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d", resp.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

@@ -3,6 +3,8 @@ package metrics
 import (
 	"fmt"
 	"sync/atomic"
+
+	"lce/internal/obsv"
 )
 
 // AlignCounters aggregates per-run alignment statistics. The parallel
@@ -82,6 +84,29 @@ type AlignStats struct {
 	// from the oracle (each is either retried or, on exhaustion,
 	// surfaced as an exhausted-transient divergence).
 	TransientFaults int64
+}
+
+// PublishTo mirrors the snapshot into an obsv.Registry as monotonic
+// lce_align_* counters, bridging the run-scoped counters into the
+// Prometheus-exposed registry. Counters only go up, so publishing a
+// snapshot adds the delta since the last publish would — callers
+// publish once per run (a nil registry is a no-op).
+func (s AlignStats) PublishTo(r *obsv.Registry) {
+	if r == nil {
+		return
+	}
+	set := func(name string, v int64) {
+		c := r.Counter(name)
+		if d := v - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	set("lce_align_comparisons_total", s.TracesCompared)
+	set("lce_align_divergent_total", s.Divergent)
+	set("lce_align_repairs_total", s.Repairs)
+	set("lce_align_rounds_total", s.Rounds)
+	set("lce_align_retries_total", s.Retries)
+	set("lce_align_transient_faults_total", s.TransientFaults)
 }
 
 // String renders a one-line summary, e.g.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -30,14 +31,21 @@ func (r *LatencyRecorder) Count() int {
 	return len(r.samples)
 }
 
-// Percentile returns the p-th percentile (p in [0, 100]) using
-// nearest-rank on a sorted copy, or 0 with no samples.
+// Percentile returns the p-th percentile (p in [0, 100], clamped) of
+// the recorded samples by the nearest-rank method on a sorted copy:
+// the ceil(p/100 · n)-th smallest sample. The answer is always an
+// actual sample, never an interpolation, so the estimation error is
+// bounded by the gap between two adjacent sorted samples — exact for
+// any p that lands on a rank (e.g. p50/p99 over 100 samples), and at
+// most one rank high otherwise (nearest-rank rounds up by definition).
+// Returns 0 with no samples.
 func (r *LatencyRecorder) Percentile(p float64) time.Duration {
 	r.mu.Lock()
 	sorted := make([]time.Duration, len(r.samples))
 	copy(sorted, r.samples)
 	r.mu.Unlock()
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -45,14 +53,17 @@ func (r *LatencyRecorder) Percentile(p float64) time.Duration {
 		return sorted[0]
 	}
 	if p >= 100 {
-		return sorted[len(sorted)-1]
+		return sorted[n-1]
 	}
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
+	// Nearest rank, with an epsilon guard before Ceil: p/100·n is
+	// computed in float64, where e.g. 99/100·100 comes out a hair above
+	// 99.0 and a bare Ceil would skip to the next rank.
+	rank := int(math.Ceil(p/100*float64(n) - 1e-9))
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank > n {
+		rank = n
 	}
-	return sorted[rank]
+	return sorted[rank-1]
 }

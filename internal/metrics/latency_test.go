@@ -38,6 +38,60 @@ func TestLatencyRecorderPercentiles(t *testing.T) {
 	}
 }
 
+// TestLatencyRecorderNearestRankEdges pins the nearest-rank
+// definition across the edge cases that broke the previous rounded
+// implementation: percentiles that fall between ranks must round *up*
+// (nearest rank is the smallest sample covering p% of the data), a
+// single sample answers every percentile, and out-of-range p clamps.
+func TestLatencyRecorderNearestRankEdges(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	record := func(ds ...int) *LatencyRecorder {
+		var r LatencyRecorder
+		for _, d := range ds {
+			r.Record(ms(d))
+		}
+		return &r
+	}
+	cases := []struct {
+		name    string
+		samples []int
+		p       float64
+		want    time.Duration
+	}{
+		{"single sample p0", []int{7}, 0, ms(7)},
+		{"single sample p50", []int{7}, 50, ms(7)},
+		{"single sample p100", []int{7}, 100, ms(7)},
+		{"clamp below", []int{1, 2, 3}, -5, ms(1)},
+		{"clamp above", []int{1, 2, 3}, 200, ms(3)},
+		// n=5, p=62: rank ceil(3.1) = 4 → 4th smallest. The rounded
+		// implementation answered the 3rd, under-covering p.
+		{"between ranks rounds up", []int{1, 2, 3, 4, 5}, 62, ms(4)},
+		// n=2, p=50: exactly the 1st sample covers half the data.
+		{"two samples median", []int{10, 20}, 50, ms(10)},
+		{"two samples p51", []int{10, 20}, 51, ms(20)},
+		// n=4, p=25/75 land exactly on ranks 1 and 3.
+		{"exact quartile", []int{1, 2, 3, 4}, 25, ms(1)},
+		{"exact three-quartile", []int{1, 2, 3, 4}, 75, ms(3)},
+		// Float-precision guard: 99/100·100 must not skip to rank 100.
+		{"p99 of 100 stays on rank", rangeInts(1, 100), 99, ms(99)},
+		{"duplicates", []int{5, 5, 5, 9}, 75, ms(5)},
+		{"unsorted input", []int{30, 10, 20}, 67, ms(30)},
+	}
+	for _, c := range cases {
+		if got := record(c.samples...).Percentile(c.p); got != c.want {
+			t.Errorf("%s: p%v over %v = %v, want %v", c.name, c.p, c.samples, got, c.want)
+		}
+	}
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
 func TestLatencyRecorderConcurrent(t *testing.T) {
 	var r LatencyRecorder
 	var wg sync.WaitGroup

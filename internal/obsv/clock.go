@@ -1,0 +1,63 @@
+package obsv
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock reads and sleeps. Every time-bearing
+// observability primitive (span start/end, histogram timing) and the
+// retry layer's backoff sleeper route through a Clock so tests can
+// substitute a deterministic one: span durations and backoff schedules
+// then replay exactly, with no flaky dependence on scheduler timing.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// System returns the real clock (time.Now / time.Sleep).
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time        { return time.Now() }
+func (systemClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a manually advanced clock for deterministic tests:
+// Now() returns the current fake instant, Sleep(d) advances it by d
+// instantly (so retry backoffs consume no real time), and Advance
+// moves it explicitly. Safe for concurrent use.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock returns a fake clock starting at start. A zero start
+// begins at the Unix epoch so durations stay positive and readable.
+func NewFakeClock(start time.Time) *FakeClock {
+	if start.IsZero() {
+		start = time.Unix(0, 0).UTC()
+	}
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing the fake instant without
+// blocking.
+func (c *FakeClock) Sleep(d time.Duration) { c.Advance(d) }
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *FakeClock) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

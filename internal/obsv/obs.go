@@ -1,0 +1,144 @@
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Canonical span names — the span taxonomy (DESIGN.md §7). A trace is
+//
+//	align.trace                      one differential trace comparison
+//	├─ replay.emulator               the subject's replay
+//	│  └─ call.<Action> ...          one span per API call
+//	└─ replay.oracle                 the oracle's replay
+//	   └─ call.<Action> ...          events: fault.injected, retry.backoff
+//
+// HTTP servers root their traces at http.<route> instead.
+const (
+	SpanAlignTrace  = "align.trace"
+	SpanReplayPfx   = "replay."
+	SpanCallPfx     = "call."
+	SpanHTTPPfx     = "http."
+	EventFault      = "fault.injected"
+	EventFaultForce = "fault.forced-clean"
+	EventRetry      = "retry.backoff"
+	EventTransient  = "retry.transient-fault"
+	EventExhausted  = "retry.exhausted"
+)
+
+// Canonical metric names.
+const (
+	MetricBackendOpSeconds = "lce_backend_op_seconds"
+	MetricHTTPRequests     = "lce_http_requests_total"
+	MetricHTTPErrors       = "lce_http_errors_total"
+	MetricHTTPSeconds      = "lce_http_request_seconds"
+)
+
+// Obs bundles a tracer and a registry — the two halves of the
+// observability stack — so call sites thread one pointer. A nil *Obs
+// (and an Obs with nil halves) is fully disabled and free to pass
+// around.
+type Obs struct {
+	Tracer   *Tracer
+	Registry *Registry
+}
+
+// New returns an enabled Obs: a tracer seeded with seed holding up to
+// spanCapacity spans, plus a fresh registry.
+func New(seed int64, spanCapacity int) *Obs {
+	return &Obs{Tracer: NewTracer(seed, spanCapacity), Registry: NewRegistry()}
+}
+
+// Enabled reports whether any half is live.
+func (o *Obs) Enabled() bool {
+	return o != nil && (o.Tracer != nil || o.Registry != nil)
+}
+
+// TracerOrNil returns the tracer (nil on a nil Obs).
+func (o *Obs) TracerOrNil() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Context attaches the registry to ctx so deep call layers can record
+// metrics; the span half travels via StartRoot*/StartSpan.
+func (o *Obs) Context(ctx context.Context) context.Context {
+	if o == nil || o.Registry == nil {
+		return ctx
+	}
+	return WithRegistry(ctx, o.Registry)
+}
+
+// Summary renders the per-run observability digest: span counts per
+// phase (span name), and p50/p99 of every backend op histogram. Empty
+// string when nothing was recorded.
+func (o *Obs) Summary() string {
+	if !o.Enabled() {
+		return ""
+	}
+	var b strings.Builder
+	if t := o.Tracer; t != nil {
+		spans := t.Snapshot()
+		if len(spans) > 0 {
+			byName := map[string]int{}
+			traces := map[string]bool{}
+			for _, sp := range spans {
+				byName[phaseOf(sp.Name)]++
+				traces[sp.TraceID] = true
+			}
+			names := make([]string, 0, len(byName))
+			for n := range byName {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(&b, "observability: %d spans across %d traces (%d recorded in total)\n",
+				len(spans), len(traces), t.Recorded())
+			for _, n := range names {
+				fmt.Fprintf(&b, "  spans %-18s %d\n", n, byName[n])
+			}
+		}
+	}
+	if r := o.Registry; r != nil {
+		type opRow struct {
+			labels   string
+			p50, p99 time.Duration
+			count    int64
+		}
+		var rows []opRow
+		for _, in := range r.snapshotItems() {
+			if in.kind != "histogram" || in.name != MetricBackendOpSeconds || in.hist.count.Load() == 0 {
+				continue
+			}
+			h := &Histogram{h: in.hist}
+			rows = append(rows, opRow{
+				labels: in.labels,
+				p50:    h.QuantileDuration(0.50),
+				p99:    h.QuantileDuration(0.99),
+				count:  h.Count(),
+			})
+		}
+		if len(rows) > 0 {
+			fmt.Fprintf(&b, "backend ops (p50/p99 estimated to bucket width):\n")
+			for _, row := range rows {
+				fmt.Fprintf(&b, "  %-52s n=%-6d p50=%-10s p99=%s\n",
+					row.labels, row.count, row.p50.Round(time.Microsecond), row.p99.Round(time.Microsecond))
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// phaseOf buckets a span name into its taxonomy phase: call.* spans
+// collapse into "call.*" so the summary stays one line per phase
+// rather than one per action.
+func phaseOf(name string) string {
+	if strings.HasPrefix(name, SpanCallPfx) {
+		return SpanCallPfx + "*"
+	}
+	return name
+}

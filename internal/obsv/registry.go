@@ -1,0 +1,352 @@
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a typed metrics registry: counters, gauges, and
+// fixed-bucket histograms, identified by name plus label pairs, and
+// exposed in Prometheus text format. It supersedes the ad-hoc
+// counter structs that predate it (metrics.AlignCounters publishes
+// its snapshot into a Registry; see metrics.AlignStats.PublishTo).
+//
+// Instruments are created on first use and memoized, so hot paths
+// should hold the returned instrument rather than re-looking it up
+// per event. A nil *Registry is the disabled registry: lookups return
+// nil instruments whose methods no-op.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: map[string]*instrument{}}
+}
+
+type instrument struct {
+	name   string
+	labels string // canonical rendered {k="v",...} or ""
+	kind   string // "counter" | "gauge" | "histogram"
+
+	val  atomic.Int64 // counter/gauge
+	hist *histogram
+}
+
+// renderLabels canonicalizes alternating key,value pairs into
+// Prometheus label syntax, sorted by key. A trailing odd key is
+// dropped.
+func renderLabels(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup finds or creates the instrument for (name, labels). A kind
+// clash (the same series requested as two different types) panics:
+// that is a programming error worth failing loudly on.
+func (r *Registry) lookup(kind, name string, labels []string) *instrument {
+	if r == nil {
+		return nil
+	}
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.items[key]; ok {
+		if in.kind != kind {
+			panic(fmt.Sprintf("obsv: metric %s registered as %s, requested as %s", key, in.kind, kind))
+		}
+		return in
+	}
+	in := &instrument{name: name, labels: renderLabels(labels), kind: kind}
+	if kind == "histogram" {
+		in.hist = newHistogram(DefaultDurationBuckets)
+	}
+	r.items[key] = in
+	return in
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct{ in *instrument }
+
+// Counter returns the counter for name and label pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	in := r.lookup("counter", name, labels)
+	if in == nil {
+		return nil
+	}
+	return &Counter{in: in}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || c.in == nil || n < 0 {
+		return
+	}
+	c.in.val.Add(n)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	if c == nil || c.in == nil {
+		return 0
+	}
+	return c.in.val.Load()
+}
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ in *instrument }
+
+// Gauge returns the gauge for name and label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	in := r.lookup("gauge", name, labels)
+	if in == nil {
+		return nil
+	}
+	return &Gauge{in: in}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil || g.in == nil {
+		return
+	}
+	g.in.val.Store(v)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil || g.in == nil {
+		return
+	}
+	g.in.val.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil || g.in == nil {
+		return 0
+	}
+	return g.in.val.Load()
+}
+
+// DefaultDurationBuckets are the fixed histogram bounds, in seconds:
+// exponential from 10µs to 10s, sized for in-process backend calls at
+// the low end and retry-inflated chaos calls at the high end.
+var DefaultDurationBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Histogram is a fixed-bucket distribution series.
+type Histogram struct{ h *histogram }
+
+// Histogram returns the histogram for name and label pairs, with
+// DefaultDurationBuckets.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	in := r.lookup("histogram", name, labels)
+	if in == nil {
+		return nil
+	}
+	return &Histogram{h: in.hist}
+}
+
+// Observe records one sample. Safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.h == nil || math.IsNaN(v) {
+		return
+	}
+	d := h.h
+	i := sort.SearchFloat64s(d.bounds, v)
+	d.counts[i].Add(1)
+	d.count.Add(1)
+	for {
+		old := d.sumBits.Load()
+		if d.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil || h.h == nil {
+		return 0
+	}
+	return h.h.count.Load()
+}
+
+// Sum returns the sum of samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil || h.h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.h.sumBits.Load())
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by linear
+// interpolation within the owning bucket — the standard
+// Prometheus-style estimate, accurate to the bucket width. Samples
+// above the last bound report the last bound. Returns 0 with no
+// samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.h == nil {
+		return 0
+	}
+	d := h.h
+	total := d.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range d.counts {
+		c := d.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(d.bounds) {
+				return d.bounds[len(d.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = d.bounds[i-1]
+			}
+			hi := d.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return d.bounds[len(d.bounds)-1]
+}
+
+// QuantileDuration is Quantile converted to a duration.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Second))
+}
+
+// snapshotItems returns the instruments sorted by (name, labels).
+func (r *Registry) snapshotItems() []*instrument {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	items := make([]*instrument, 0, len(r.items))
+	for _, in := range r.items {
+		items = append(items, in)
+	}
+	r.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].name != items[j].name {
+			return items[i].name < items[j].name
+		}
+		return items[i].labels < items[j].labels
+	})
+	return items
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), instruments sorted by name then
+// labels so the output is diffable.
+func (r *Registry) WritePrometheus(w *strings.Builder) {
+	lastName := ""
+	for _, in := range r.snapshotItems() {
+		if in.name != lastName {
+			fmt.Fprintf(w, "# TYPE %s %s\n", in.name, in.kind)
+			lastName = in.name
+		}
+		switch in.kind {
+		case "counter", "gauge":
+			fmt.Fprintf(w, "%s%s %d\n", in.name, in.labels, in.val.Load())
+		case "histogram":
+			d := in.hist
+			inner := strings.TrimSuffix(strings.TrimPrefix(in.labels, "{"), "}")
+			var cum int64
+			for i, b := range d.bounds {
+				cum += d.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, joinLabels(inner, fmt.Sprintf("le=%q", formatFloat(b))), cum)
+			}
+			cum += d.counts[len(d.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, joinLabels(inner, `le="+Inf"`), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", in.name, in.labels, formatFloat(math.Float64frombits(d.sumBits.Load())))
+			fmt.Fprintf(w, "%s_count%s %d\n", in.name, in.labels, d.count.Load())
+		}
+	}
+}
+
+func joinLabels(inner, extra string) string {
+	if inner == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + inner + "," + extra + "}"
+}
+
+func formatFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// ServeHTTP implements http.Handler: GET /metrics in Prometheus text
+// format.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,193 @@
+package obsv
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must stay 0")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must stay 0")
+	}
+	h := r.Histogram("z")
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must stay empty")
+	}
+	if r.snapshotItems() != nil {
+		t.Fatal("nil registry must have no items")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lce_http_requests_total", "route", "invoke")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	// Same name+labels resolves to the same series regardless of pair order.
+	c2 := r.Counter("lce_http_requests_total", "route", "invoke")
+	if c2.Value() != 3 {
+		t.Fatal("memoization broken")
+	}
+	g := r.Gauge("lce_workers")
+	g.Set(8)
+	g.Add(-3)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "b", "2", "a", "1").Inc()
+	r.Counter("m", "a", "1", "b", "2").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `m{a="1",b="2"} 2`) {
+		t.Fatalf("label order must canonicalize:\n%s", out)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("requesting a counter series as a gauge must panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lce_backend_op_seconds", "action", "CreateVpc")
+	// 100 samples at 1ms, 100 at 100ms: p50 must land in the 1ms
+	// bucket, p99 in the 100ms one (bucket-width accuracy).
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+		h.Observe(0.1)
+	}
+	if h.Count() != 200 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got > 0.0025 {
+		t.Fatalf("p50 = %v, want <= 2.5ms bucket", got)
+	}
+	if got := h.Quantile(0.99); got < 0.05 || got > 0.1 {
+		t.Fatalf("p99 = %v, want within the 100ms bucket", got)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles must be monotone")
+	}
+	// Overflow samples clamp to the last bound.
+	h2 := r.Histogram("overflow")
+	h2.Observe(1e9)
+	if got := h2.Quantile(0.5); got != DefaultDurationBuckets[len(DefaultDurationBuckets)-1] {
+		t.Fatalf("overflow quantile = %v", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lce_http_requests_total", "route", "invoke").Add(7)
+	r.Gauge("lce_up").Set(1)
+	h := r.Histogram("lce_backend_op_seconds", "action", "X")
+	h.Observe(0.003)
+
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	out := string(buf[:n])
+
+	for _, want := range []string{
+		"# TYPE lce_http_requests_total counter",
+		`lce_http_requests_total{route="invoke"} 7`,
+		"# TYPE lce_up gauge",
+		"lce_up 1",
+		"# TYPE lce_backend_op_seconds histogram",
+		`lce_backend_op_seconds_bucket{action="X",le="+Inf"} 1`,
+		`lce_backend_op_seconds_count{action="X"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if got, want := h.Sum(), 8.0; got < want-0.01 || got > want+0.01 {
+		t.Fatalf("sum = %v, want ~%v", got, want)
+	}
+}
+
+func TestObsSummaryAndFakeClock(t *testing.T) {
+	o := New(11, 0)
+	clock := NewFakeClock(time.Time{})
+	o.Tracer.SetClock(clock)
+	ctx := o.Context(nil)
+	ctx, root := o.Tracer.StartRootKeyed(ctx, SpanAlignTrace, 0)
+	_, c := StartSpan(ctx, SpanCallPfx+"CreateVpc")
+	clock.Advance(2 * time.Millisecond)
+	c.End()
+	root.End()
+	RegistryFrom(ctx).Histogram(MetricBackendOpSeconds, "action", "CreateVpc").ObserveDuration(2 * time.Millisecond)
+
+	sum := o.Summary()
+	for _, want := range []string{"align.trace", "call.*", "backend ops", "CreateVpc"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	var disabled *Obs
+	if disabled.Summary() != "" || disabled.Enabled() {
+		t.Fatal("nil Obs must be silent")
+	}
+	if (&Obs{}).Summary() != "" {
+		t.Fatal("empty Obs must be silent")
+	}
+}

@@ -20,10 +20,12 @@ package retry
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"lce/internal/cloudapi"
+	"lce/internal/obsv"
 )
 
 // Class partitions errors for the retry decision.
@@ -145,7 +147,7 @@ type backend struct {
 	inner  cloudapi.Backend
 	policy Policy
 	obs    Observer
-	sleep  func(time.Duration)
+	clock  obsv.Clock
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -157,17 +159,24 @@ type backend struct {
 // derived jitter streams, so each fork's schedule is independently
 // deterministic.
 func Wrap(b cloudapi.Backend, p Policy, obs Observer) cloudapi.Backend {
-	return wrap(b, p, obs, time.Sleep)
+	return WrapClock(b, p, obs, obsv.System())
 }
 
-func wrap(b cloudapi.Backend, p Policy, obs Observer, sleep func(time.Duration)) cloudapi.Backend {
+// WrapClock is Wrap with an injectable clock: backoff sleeps route
+// through clock.Sleep, so tests (and trace-determinism harnesses)
+// substitute an obsv.FakeClock and retry schedules replay instantly
+// with exact durations.
+func WrapClock(b cloudapi.Backend, p Policy, obs Observer, clock obsv.Clock) cloudapi.Backend {
 	if p.MaxAttempts <= 1 {
 		return b
 	}
 	if obs == nil {
 		obs = noopObserver{}
 	}
-	rb := &backend{inner: b, policy: p, obs: obs, sleep: sleep, rng: rand.New(rand.NewSource(p.Seed))}
+	if clock == nil {
+		clock = obsv.System()
+	}
+	rb := &backend{inner: b, policy: p, obs: obs, clock: clock, rng: rand.New(rand.NewSource(p.Seed))}
 	if _, ok := b.(cloudapi.Forker); ok {
 		return &forkableBackend{backend: rb}
 	}
@@ -182,8 +191,11 @@ func (r *backend) Reset()            { r.inner.Reset() }
 // attempt exhaustion, or budget exhaustion — whichever comes first.
 // On exhaustion the last transient error is returned unchanged, so
 // callers (and the alignment engine's cause classifier) still see the
-// infrastructure code.
+// infrastructure code. When the request carries a tracing span
+// (Request.Ctx), every transient fault and every backoff taken is
+// recorded as a span event, so a chaos run's trace is self-explaining.
 func (r *backend) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
+	sp := obsv.SpanFrom(req.Ctx)
 	var slept time.Duration
 	for attempt := 1; ; attempt++ {
 		res, err := r.inner.Invoke(req)
@@ -191,17 +203,23 @@ func (r *backend) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 			return res, err
 		}
 		r.obs.RecordTransientFault()
+		if ae, ok := cloudapi.AsAPIError(err); ok {
+			sp.Event(obsv.EventTransient, "code", ae.Code, "attempt", strconv.Itoa(attempt))
+		}
 		if attempt >= r.policy.MaxAttempts {
+			sp.Event(obsv.EventExhausted, "reason", "attempts")
 			return res, err
 		}
 		d := r.drawBackoff(attempt)
 		if r.policy.Budget > 0 && slept+d > r.policy.Budget {
+			sp.Event(obsv.EventExhausted, "reason", "budget")
 			return res, err
 		}
 		slept += d
 		r.obs.RecordRetry()
+		sp.Event(obsv.EventRetry, "delay", d.String(), "attempt", strconv.Itoa(attempt))
 		if d > 0 {
-			r.sleep(d)
+			r.clock.Sleep(d)
 		}
 	}
 }
@@ -226,5 +244,5 @@ func (f *forkableBackend) Fork() cloudapi.Backend {
 	// Decorrelate the child's jitter stream deterministically.
 	p.Seed = f.policy.Seed ^ (f.forks * 0x5DEECE66D)
 	f.mu.Unlock()
-	return wrap(f.inner.(cloudapi.Forker).Fork(), p, f.obs, f.sleep)
+	return WrapClock(f.inner.(cloudapi.Forker).Fork(), p, f.obs, f.clock)
 }

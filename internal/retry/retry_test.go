@@ -1,13 +1,30 @@
 package retry
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
 	"time"
 
 	"lce/internal/cloudapi"
+	"lce/internal/obsv"
 )
+
+// sleepClock implements obsv.Clock, recording each sleep without
+// blocking.
+type sleepClock struct{ slept []time.Duration }
+
+func (c *sleepClock) Now() time.Time        { return time.Unix(0, 0) }
+func (c *sleepClock) Sleep(d time.Duration) { c.slept = append(c.slept, d) }
+
+func (c *sleepClock) total() time.Duration {
+	var sum time.Duration
+	for _, d := range c.slept {
+		sum += d
+	}
+	return sum
+}
 
 // scriptedBackend fails with the scripted errors in order, then
 // succeeds forever.
@@ -93,9 +110,9 @@ func TestScheduleDeterministicUnderFixedSeed(t *testing.T) {
 	}
 	// The wrapper draws the same stream: a fresh wrapper's first
 	// failing call must sleep exactly the scheduled delays.
-	var slept []time.Duration
+	clock := &sleepClock{}
 	bk := &scriptedBackend{errs: []error{throttle(), throttle(), throttle()}}
-	rb := wrap(bk, p, nil, func(d time.Duration) { slept = append(slept, d) })
+	rb := WrapClock(bk, p, nil, clock)
 	if _, err := rb.Invoke(cloudapi.Request{Action: "Ping"}); err != nil {
 		t.Fatalf("retries should have recovered: %v", err)
 	}
@@ -108,8 +125,8 @@ func TestScheduleDeterministicUnderFixedSeed(t *testing.T) {
 			nonzero = append(nonzero, d)
 		}
 	}
-	if !reflect.DeepEqual(slept, nonzero) {
-		t.Errorf("slept %v, want %v", slept, nonzero)
+	if !reflect.DeepEqual(clock.slept, nonzero) {
+		t.Errorf("slept %v, want %v", clock.slept, nonzero)
 	}
 }
 
@@ -141,7 +158,7 @@ func TestJitterBounds(t *testing.T) {
 func TestRetriesRecoverTransientFaults(t *testing.T) {
 	bk := &scriptedBackend{errs: []error{throttle(), cloudapi.Errf(cloudapi.CodeServiceUnavailable, "down")}}
 	obs := &tally{}
-	rb := wrap(bk, Policy{MaxAttempts: 5}, obs, func(time.Duration) {})
+	rb := WrapClock(bk, Policy{MaxAttempts: 5}, obs, &sleepClock{})
 	res, err := rb.Invoke(cloudapi.Request{Action: "Ping"})
 	if err != nil {
 		t.Fatalf("err = %v", err)
@@ -161,7 +178,7 @@ func TestAttemptExhaustionReturnsLastTransientError(t *testing.T) {
 	}
 	bk := &scriptedBackend{errs: errs}
 	obs := &tally{}
-	rb := wrap(bk, Policy{MaxAttempts: 3}, obs, func(time.Duration) {})
+	rb := WrapClock(bk, Policy{MaxAttempts: 3}, obs, &sleepClock{})
 	_, err := rb.Invoke(cloudapi.Request{Action: "Ping"})
 	ae, ok := cloudapi.AsAPIError(err)
 	if !ok || ae.Code != cloudapi.CodeThrottling {
@@ -181,18 +198,18 @@ func TestBudgetExhaustion(t *testing.T) {
 		errs[i] = throttle()
 	}
 	bk := &scriptedBackend{errs: errs}
-	var slept time.Duration
+	clock := &sleepClock{}
 	// Deterministic jitter draw: BaseDelay == MaxDelay makes every
 	// ceiling 4ms; with a 6ms budget at most two retries can fit, and
 	// fewer when the draws land high.
 	p := Policy{MaxAttempts: 10, BaseDelay: 4 * time.Millisecond, MaxDelay: 4 * time.Millisecond, Budget: 6 * time.Millisecond, Seed: 2}
-	rb := wrap(bk, p, nil, func(d time.Duration) { slept += d })
+	rb := WrapClock(bk, p, nil, clock)
 	_, err := rb.Invoke(cloudapi.Request{Action: "Ping"})
 	if Classify(err) != Transient {
 		t.Fatalf("budget exhaustion must surface the transient error, got %v", err)
 	}
-	if slept > p.Budget {
-		t.Errorf("slept %v, over the %v budget", slept, p.Budget)
+	if clock.total() > p.Budget {
+		t.Errorf("slept %v, over the %v budget", clock.total(), p.Budget)
 	}
 	if bk.calls >= 10 {
 		t.Errorf("budget did not cut the retry loop (calls=%d)", bk.calls)
@@ -202,7 +219,7 @@ func TestBudgetExhaustion(t *testing.T) {
 func TestSemanticErrorsAreNeverRetried(t *testing.T) {
 	bk := &scriptedBackend{errs: []error{cloudapi.Errf("InvalidVpc.Range", "bad cidr")}}
 	obs := &tally{}
-	rb := wrap(bk, Policy{MaxAttempts: 5}, obs, func(time.Duration) {})
+	rb := WrapClock(bk, Policy{MaxAttempts: 5}, obs, &sleepClock{})
 	_, err := rb.Invoke(cloudapi.Request{Action: "Ping"})
 	if ae, ok := cloudapi.AsAPIError(err); !ok || ae.Code != "InvalidVpc.Range" {
 		t.Fatalf("err = %v", err)
@@ -225,5 +242,45 @@ func TestDisabledPolicyReturnsBackendUnchanged(t *testing.T) {
 func TestForkabilityMirrorsInner(t *testing.T) {
 	if _, ok := Wrap(&scriptedBackend{}, DefaultPolicy(), nil).(cloudapi.Forker); ok {
 		t.Error("wrapper over non-forkable backend claims to fork")
+	}
+}
+
+func TestRetryRecordsSpanEvents(t *testing.T) {
+	tracer := obsv.NewTracer(1, 0)
+	fake := obsv.NewFakeClock(time.Time{})
+	tracer.SetClock(fake)
+	ctx, sp := tracer.StartRoot(context.Background(), "call.Ping")
+
+	bk := &scriptedBackend{errs: []error{throttle(), throttle()}}
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 3}
+	rb := WrapClock(bk, p, nil, fake)
+	if _, err := rb.Invoke(cloudapi.Request{Action: "Ping", Ctx: ctx}); err != nil {
+		t.Fatalf("retries should have recovered: %v", err)
+	}
+	sp.End()
+
+	spans := tracer.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("want 1 span, got %d", len(spans))
+	}
+	var transients, backoffs int
+	for _, e := range spans[0].Events {
+		switch e.Name {
+		case obsv.EventTransient:
+			transients++
+			if e.Attrs["code"] != cloudapi.CodeThrottling {
+				t.Errorf("transient event missing code: %+v", e)
+			}
+		case obsv.EventRetry:
+			backoffs++
+		}
+	}
+	if transients != 2 || backoffs != 2 {
+		t.Errorf("events: %d transient, %d backoff, want 2/2", transients, backoffs)
+	}
+	// An untraced request (nil Ctx) takes the nil-span fast path.
+	bk2 := &scriptedBackend{errs: []error{throttle()}}
+	if _, err := WrapClock(bk2, p, nil, fake).Invoke(cloudapi.Request{Action: "Ping"}); err != nil {
+		t.Fatalf("untraced retry broke: %v", err)
 	}
 }

@@ -7,10 +7,12 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"lce/internal/cloudapi"
+	"lce/internal/obsv"
 )
 
 // Step is one API invocation in a trace. Parameters may reference the
@@ -71,6 +73,26 @@ type Outcome struct {
 // returns per-step outcomes. Binding resolution failures surface as
 // Broken outcomes.
 func Run(b cloudapi.Backend, tr Trace) []Outcome {
+	return RunTraced(context.Background(), b, tr, "")
+}
+
+// RunTraced is Run with observability: when ctx carries a span
+// (obsv.SpanFrom), the replay opens a "replay.<role>" phase span and
+// one "call.<Action>" span per step — error status set from the
+// outcome — and records per-op durations into the registry carried by
+// ctx (obsv.RegistryFrom). The per-call context rides to the backend
+// on Request.Ctx so wrapper layers (retry, fault) can annotate the
+// call span. With no span in ctx this is exactly Run: a nil-check per
+// step and nothing else, so outcomes are identical either way.
+func RunTraced(ctx context.Context, b cloudapi.Backend, tr Trace, role string) []Outcome {
+	traced := obsv.SpanFrom(ctx) != nil
+	var reg *obsv.Registry
+	var phase *obsv.Span
+	if traced {
+		ctx, phase = obsv.StartSpan(ctx, obsv.SpanReplayPfx+role)
+		phase.SetAttr("trace", tr.Name)
+		reg = obsv.RegistryFrom(ctx)
+	}
 	b.Reset()
 	outcomes := make([]Outcome, len(tr.Steps))
 	bindings := map[string]cloudapi.Value{}
@@ -93,7 +115,14 @@ func Run(b cloudapi.Backend, tr Trace) []Outcome {
 		if bad {
 			continue
 		}
-		res, err := b.Invoke(cloudapi.Request{Action: step.Action, Params: params})
+		req := cloudapi.Request{Action: step.Action, Params: params}
+		var sp *obsv.Span
+		if traced {
+			req.Ctx, sp = obsv.StartSpan(ctx, obsv.SpanCallPfx+step.Action)
+			sp.SetAttr("role", role)
+			sp.SetAttrInt("step", int64(i))
+		}
+		res, err := b.Invoke(req)
 		switch {
 		case err == nil:
 			outcomes[i] = Outcome{OK: true, Result: res}
@@ -103,11 +132,19 @@ func Run(b cloudapi.Backend, tr Trace) []Outcome {
 		default:
 			if ae, ok := cloudapi.AsAPIError(err); ok {
 				outcomes[i] = Outcome{Code: ae.Code, Message: ae.Message}
+				sp.SetError(ae.Code)
 			} else {
 				outcomes[i] = Outcome{Broken: true, Message: err.Error()}
+				sp.SetError("broken: " + err.Error())
 			}
 		}
+		if traced {
+			sp.End()
+			reg.Histogram(obsv.MetricBackendOpSeconds, "role", role, "action", step.Action).
+				ObserveDuration(sp.Duration())
+		}
 	}
+	phase.End()
 	return outcomes
 }
 
@@ -200,8 +237,17 @@ func Compare(subject, oracle cloudapi.Backend, tr Trace) Report {
 // suite; the index is carried on the report so out-of-order (parallel)
 // comparison results can be merged back into suite order.
 func CompareIndexed(subject, oracle cloudapi.Backend, idx int, tr Trace) Report {
-	sub := Run(subject, tr)
-	ora := Run(oracle, tr)
+	return CompareIndexedTraced(context.Background(), subject, oracle, idx, tr)
+}
+
+// CompareIndexedTraced is CompareIndexed under an observability
+// context: both replays nest under the span carried by ctx (the
+// alignment engine's per-trace root), giving the full taxonomy
+// align.trace → replay.{emulator,oracle} → call.<Action>. The report
+// is identical to an untraced comparison's — tracing only records.
+func CompareIndexedTraced(ctx context.Context, subject, oracle cloudapi.Backend, idx int, tr Trace) Report {
+	sub := RunTraced(ctx, subject, tr, "emulator")
+	ora := RunTraced(ctx, oracle, tr, "oracle")
 	rep := Report{TraceIndex: idx, Trace: tr, Subject: sub, Oracle: ora}
 	for i := range tr.Steps {
 		d := diffStep(i, tr.Steps[i].Action, &sub[i], &ora[i])

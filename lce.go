@@ -34,6 +34,7 @@ import (
 	"lce/internal/fault"
 	"lce/internal/httpapi"
 	"lce/internal/interp"
+	"lce/internal/obsv"
 	"lce/internal/retry"
 	"lce/internal/scenarios"
 	"lce/internal/synth"
@@ -182,6 +183,31 @@ func Chaos(b Backend, cfg FaultConfig) Backend { return fault.Wrap(b, cfg) }
 // transient faults into retries instead of caller-visible errors.
 func Resilient(b Backend, p RetryPolicy) Backend { return retry.Wrap(b, p, nil) }
 
+// Obs bundles the observability stack — a seeded hierarchical tracer
+// plus a typed metrics registry (Prometheus text on /metrics). A nil
+// *Obs disables everything at the cost of one nil check per layer.
+type Obs = obsv.Obs
+
+// NewObs returns an enabled observability stack. The same seed yields
+// the same trace IDs for the same workload, so chaos runs stay
+// greppable across reruns.
+func NewObs(seed int64) *Obs { return obsv.New(seed, 0) }
+
+// DivergenceRef points from one alignment divergence to the trace
+// that recorded it (trace ID, suite index, round, cause).
+type DivergenceRef = align.DivergenceRef
+
+// DivergenceTraces lists every divergence an observed alignment run
+// recorded, ordered by (round, index) — the join between "which traces
+// diverged" and "where is the evidence" that align.Result deliberately
+// omits (results must be byte-identical with tracing on or off).
+func DivergenceTraces(ob *Obs) []DivergenceRef {
+	if ob == nil {
+		return nil
+	}
+	return align.DivergenceTraces(ob.Tracer.Snapshot())
+}
+
 // AlignResult is the outcome of the alignment loop.
 type AlignResult = align.Result
 
@@ -198,7 +224,16 @@ func AlignWithCloud(service string, opts Options) (*AlignResult, error) {
 // Every setting produces an identical AlignResult; workers only change
 // wall-clock time.
 func AlignWithCloudWorkers(service string, opts Options, workers int) (*AlignResult, error) {
-	return alignWithCloud(service, opts, workers, nil, nil)
+	return alignWithCloud(service, opts, workers, nil, nil, nil)
+}
+
+// AlignWithCloudObserved is AlignWithCloudWorkers under an
+// observability stack: every comparison records a root span with
+// nested replay and per-call spans, per-op latency histograms land in
+// the registry, and run counters are published as lce_align_* metrics.
+// The AlignResult is byte-identical to the unobserved run.
+func AlignWithCloudObserved(service string, opts Options, workers int, ob *Obs) (*AlignResult, error) {
+	return alignWithCloud(service, opts, workers, nil, nil, ob)
 }
 
 // AlignWithFlakyCloud is AlignWithCloudWorkers against a degraded
@@ -210,10 +245,18 @@ func AlignWithCloudWorkers(service string, opts Options, workers int) (*AlignRes
 // policy, injected faults surface as exhausted-transient divergences
 // (never semantic ones, and never spec repairs).
 func AlignWithFlakyCloud(service string, opts Options, workers int, cfg FaultConfig, policy *RetryPolicy) (*AlignResult, error) {
-	return alignWithCloud(service, opts, workers, &cfg, policy)
+	return alignWithCloud(service, opts, workers, &cfg, policy, nil)
 }
 
-func alignWithCloud(service string, opts Options, workers int, cfg *FaultConfig, policy *RetryPolicy) (*AlignResult, error) {
+// AlignWithFlakyCloudObserved is AlignWithFlakyCloud under an
+// observability stack: injected faults and the retries they triggered
+// appear as events on the comparison spans, so every divergence in the
+// result is findable by trace ID (DivergenceTraces).
+func AlignWithFlakyCloudObserved(service string, opts Options, workers int, cfg FaultConfig, policy *RetryPolicy, ob *Obs) (*AlignResult, error) {
+	return alignWithCloud(service, opts, workers, &cfg, policy, ob)
+}
+
+func alignWithCloud(service string, opts Options, workers int, cfg *FaultConfig, policy *RetryPolicy, ob *Obs) (*AlignResult, error) {
 	c, err := Documentation(service)
 	if err != nil {
 		return nil, err
@@ -234,7 +277,7 @@ func alignWithCloud(service string, opts Options, workers int, cfg *FaultConfig,
 	if err != nil {
 		return nil, err
 	}
-	return align.RunFactory(svc, briefDoc, factory, Scenarios(service), align.Options{GenerateViolations: true, Workers: workers, Retry: policy})
+	return align.RunFactory(svc, briefDoc, factory, Scenarios(service), align.Options{GenerateViolations: true, Workers: workers, Retry: policy, Obs: ob})
 }
 
 func corpusBrief(service string) (*docs.ServiceDoc, *docs.ServiceDoc) {
@@ -281,6 +324,14 @@ func Compare(subject, oracle Backend, tr trace.Trace) trace.Report {
 // (POST /invoke, POST /reset, GET /actions, GET /healthz).
 func Serve(b Backend) http.Handler {
 	return httpapi.Handler(b)
+}
+
+// ServeObserved is Serve under an observability stack: per-route
+// request/error counters and latency histograms, one root span per
+// request threaded into the backend call, plus GET /metrics
+// (Prometheus text) and GET /debug/traces (spans grouped by trace).
+func ServeObserved(b Backend, ob *Obs) http.Handler {
+	return httpapi.Observed(b, ob)
 }
 
 // Connect returns a Backend speaking to a served emulator over HTTP.

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench chaos obsv-smoke ci
+.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ci
 
 build:
 	$(GO) build ./...
@@ -49,4 +49,33 @@ obsv-smoke:
 	rc=$$?; [ $$rc -eq 0 ] || [ $$rc -eq 2 ] || exit $$rc # exit 2 = residual exhausted-transient divergences, expected without retries
 	$(GO) run ./cmd/lce-tracecheck trace-chaos.jsonl
 
-ci: build lint race chaos bench obsv-smoke
+# Tenant smoke: boot a real lce-server and drive the /v2 surface end
+# to end with curl — session isolation, batch, pool stats, and the
+# legacy wire format staying RequestId-free — then run the
+# multi-tenant bench (session sweep + /batch amortization) in smoke
+# mode, leaving bench-tenant.json behind as the perf artifact.
+tenant-smoke:
+	$(GO) build -o lce-server-smoke ./cmd/lce-server
+	@set -e; \
+	./lce-server-smoke -service ec2 -backend oracle -addr 127.0.0.1:4597 >/dev/null 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -f lce-server-smoke' EXIT; \
+	for i in $$(seq 1 50); do curl -sf 127.0.0.1:4597/healthz >/dev/null && break; sleep 0.1; done; \
+	out=$$(curl -sf -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4597/v2/ec2?Action=CreateVpc' -d '{"params":{"cidrBlock":"10.0.0.0/16"}}'); \
+	echo "$$out" | grep -q '"vpcId"' || { echo "v2 invoke failed: $$out"; exit 1; }; \
+	echo "$$out" | grep -q '"RequestId"' || { echo "v2 response missing RequestId: $$out"; exit 1; }; \
+	out=$$(curl -sf -XPOST -H 'X-LCE-Session: bob' '127.0.0.1:4597/v2/ec2?Action=DescribeVpcs'); \
+	echo "$$out" | grep -q '"vpcs":\[\]' || { echo "session isolation broken, bob sees: $$out"; exit 1; }; \
+	out=$$(curl -sf -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4597/v2/ec2/batch' -d '{"mode":"best-effort","requests":[{"action":"CreateVpc","params":{"cidrBlock":"10.1.0.0/16"}},{"action":"CreateVpc","params":{"cidrBlock":"10.0.0.0/8"}}]}'); \
+	echo "$$out" | grep -q '"succeeded":1' && echo "$$out" | grep -q '"failed":1' || { echo "batch semantics broken: $$out"; exit 1; }; \
+	out=$$(curl -sf '127.0.0.1:4597/v2/sessions'); \
+	echo "$$out" | grep -q '"sessions":2' || { echo "pool stats wrong: $$out"; exit 1; }; \
+	out=$$(curl -sf -XPOST '127.0.0.1:4597/invoke' -d '{"action":"DescribeVpcs"}'); \
+	echo "$$out" | grep -q '"result"' || { echo "legacy invoke failed: $$out"; exit 1; }; \
+	echo "$$out" | grep -q 'RequestId' && { echo "legacy wire format changed: $$out"; exit 1; }; \
+	curl -sf -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4597/v2/ec2/reset' -o /dev/null || { echo "session reset failed"; exit 1; }; \
+	out=$$(curl -sf -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4597/v2/ec2?Action=DescribeVpcs'); \
+	echo "$$out" | grep -q '"vpcs":\[\]' || { echo "session reset did not clear alice: $$out"; exit 1; }; \
+	echo "tenant smoke: v2 invoke, isolation, batch, stats, legacy format, session reset all OK"
+	$(GO) run ./cmd/lce-bench -tenant -short -json bench-tenant.json
+
+ci: build lint race chaos bench obsv-smoke tenant-smoke

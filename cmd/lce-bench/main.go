@@ -6,6 +6,7 @@
 //	lce-bench -alignspeed -workers 8        # parallel alignment speedup
 //	lce-bench -alignspeed -short -json out.json  # CI bench-smoke artifact
 //	lce-bench -chaos -short                 # alignment vs a flaky oracle, across fault rates
+//	lce-bench -tenant -short -json out.json # multi-tenant sweep + /batch amortization
 package main
 
 import (
@@ -40,6 +41,30 @@ type benchArtifact struct {
 	AlignSpeed    []speedupJSON  `json:"alignSpeedup,omitempty"`
 	Converge      []convergeJSON `json:"alignmentConvergence,omitempty"`
 	Chaos         []chaosJSON    `json:"chaosAlignment,omitempty"`
+	Tenant        []tenantJSON   `json:"tenantSweep,omitempty"`
+	Batch         []batchJSON    `json:"batchAmortization,omitempty"`
+}
+
+// tenantJSON is one -tenant sweep cell: the same total load pushed
+// through K pool sessions; speedup is relative to the 1-session row.
+type tenantJSON struct {
+	Sessions    int     `json:"sessions"`
+	Goroutines  int     `json:"goroutines"`
+	Ops         int     `json:"ops"`
+	PerCallNs   int64   `json:"perCallNs"`
+	ElapsedNs   int64   `json:"elapsedNs"`
+	CallsPerSec float64 `json:"callsPerSec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// batchJSON is one -tenant batch cell: n sequential single calls
+// versus one n-request /batch round trip at a simulated RTT.
+type batchJSON struct {
+	N         int     `json:"n"`
+	RTTNs     int64   `json:"rttNs"`
+	SinglesNs int64   `json:"singlesNs"`
+	BatchNs   int64   `json:"batchNs"`
+	Speedup   float64 `json:"speedup"`
 }
 
 // buildVCS reads the commit this binary was built from out of the
@@ -110,17 +135,18 @@ func main() {
 		decoding   = flag.Bool("decoding", false, "A2: decoding ablation")
 		graphs     = flag.Bool("graphs", false, "A3: complexity graphs and anti-patterns")
 		alignspeed = flag.Bool("alignspeed", false, "parallel-vs-serial alignment speedup (multi-service)")
+		tenantB    = flag.Bool("tenant", false, "multi-tenant serving sweep (K sessions x M goroutines) and /batch round-trip amortization")
 		chaos      = flag.Bool("chaos", false, "alignment throughput and retry overhead against a flaky oracle, across fault rates")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos fault/jitter streams")
 		workers    = flag.Int("workers", 8, "worker-pool size for -alignspeed and -chaos")
-		rtt        = flag.Duration("rtt", 200*time.Microsecond, "simulated cloud-oracle round trip per API call for -alignspeed (0 = in-process, pure CPU)")
+		rtt        = flag.Duration("rtt", 200*time.Microsecond, "simulated cloud round trip: per API call for -alignspeed (0 = in-process, pure CPU), per serialized call / HTTP request for -tenant")
 		short      = flag.Bool("short", false, "shrink -alignspeed/-chaos workload (CI smoke mode)")
 		jsonOut    = flag.String("json", "", "write machine-readable results to this file")
 		traceOut   = flag.String("trace-out", "", "record -chaos runs' spans and write them to this file as JSONL (empty = tracing off)")
 		traceSeed  = flag.Int64("trace-seed", 1, "seed for span/trace IDs when -trace-out is set")
 	)
 	flag.Parse()
-	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos)
+	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos || *tenantB)
 	sha, dirty := buildVCS()
 	artifact := benchArtifact{
 		SchemaVersion: artifactSchemaVersion,
@@ -209,6 +235,45 @@ func main() {
 				Service: r.Service, Traces: r.Traces, Workers: r.Workers,
 				OracleRTTNs: r.OracleRTT.Nanoseconds(),
 				SerialNs:    r.Serial.Nanoseconds(), ParallelNs: r.Parallel.Nanoseconds(),
+				Speedup: r.Speedup(),
+			})
+		}
+	}
+	if *tenantB {
+		sessions := []int{1, 2, 4, 8, 16}
+		goroutines, opsPerG := 16, 32
+		sizes := []int{8, 32, 128}
+		if *short {
+			sessions = []int{1, 4, 16}
+			goroutines, opsPerG = 16, 8
+			sizes = []int{8, 32}
+		}
+		perCall := *rtt
+		if perCall <= 0 {
+			perCall = 200 * time.Microsecond
+		}
+		trows, err := eval.TenantSweep(sessions, goroutines, opsPerG, perCall)
+		check(err)
+		fmt.Println(eval.FormatTenant(trows))
+		base := trows[0].Elapsed
+		for _, r := range trows {
+			sp := 0.0
+			if r.Elapsed > 0 {
+				sp = float64(base) / float64(r.Elapsed)
+			}
+			artifact.Tenant = append(artifact.Tenant, tenantJSON{
+				Sessions: r.Sessions, Goroutines: r.Goroutines, Ops: r.Ops,
+				PerCallNs: r.PerCall.Nanoseconds(), ElapsedNs: r.Elapsed.Nanoseconds(),
+				CallsPerSec: r.Throughput(), Speedup: sp,
+			})
+		}
+		brows, err := eval.BatchVsSingle(sizes, perCall)
+		check(err)
+		fmt.Println(eval.FormatBatch(brows))
+		for _, r := range brows {
+			artifact.Batch = append(artifact.Batch, batchJSON{
+				N: r.N, RTTNs: r.RTT.Nanoseconds(),
+				SinglesNs: r.Singles.Nanoseconds(), BatchNs: r.Batch.Nanoseconds(),
 				Speedup: r.Speedup(),
 			})
 		}

@@ -9,6 +9,14 @@
 // direct-to-code baseline), "manual" (the Moto-style partial
 // baseline).
 //
+// The server is multi-tenant by default: the X-LCE-Session header (or
+// the /v2/<service> surface generally) selects an isolated per-session
+// backend stamped from the same configuration, LRU-bounded by
+// -sessions across -shards shards and evicted after -session-ttl of
+// idleness. Clients that send no header share the pinned "default"
+// session and see the pre-session wire format unchanged. -sessions 0
+// turns the registry off.
+//
 // With -chaos the server fronts the backend with the deterministic
 // fault injector (internal/fault): a -fault-rate fraction of calls is
 // rejected with throttling codes (HTTP 400), transient server faults
@@ -37,8 +45,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 
 	"lce"
+	"lce/internal/cloudapi"
+	"lce/internal/fault"
 	"lce/internal/manual"
 	"lce/internal/obsv"
 )
@@ -54,6 +65,9 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "inject transient faults (throttling, 5xx, drops) in front of the backend")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault-injection stream (same seed = same faults)")
 		faultRate = flag.Float64("fault-rate", 0.1, "total per-call fault probability when -chaos is set")
+		sessions  = flag.Int("sessions", 64, "max resident tenant sessions (0 = single-tenant server, non-default X-LCE-Session rejected)")
+		shards    = flag.Int("shards", 8, "tenant-pool shard count")
+		ttl       = flag.Duration("session-ttl", 15*time.Minute, "evict tenant sessions idle longer than this (0 = never)")
 	)
 	flag.Parse()
 
@@ -62,12 +76,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Per-session backends are stamped from a factory: forkable
+	// backends (oracles, the learned emulator) fork cheaply; the rest
+	// (manual, d2c) rebuild from scratch on first use of a session.
+	factory := cloudapi.FactoryOf(b)
+	if factory == nil {
+		service, kind, noisy := *service, *backend, *noisy
+		factory = func() lce.Backend {
+			nb, err := buildBackend(service, kind, noisy)
+			if err != nil {
+				// The identical build above succeeded, so this is
+				// unreachable short of resource exhaustion.
+				log.Fatalf("session backend: %v", err)
+			}
+			return nb
+		}
+	}
 	if *chaos {
-		b = lce.Chaos(b, lce.UniformFaults(*faultRate, *chaosSeed))
+		cfg := lce.UniformFaults(*faultRate, *chaosSeed)
+		b = lce.Chaos(b, cfg)
+		factory = fault.Factory(factory, cfg)
 		log.Printf("chaos on: %.0f%% fault rate, seed %d (throttling → 400, unavailable → 503, internal → 500, drops → 408)",
 			100**faultRate, *chaosSeed)
 	}
 	ob := lce.NewObs(*traceSeed)
+	var pool *lce.Pool
+	if *sessions > 0 {
+		pool, err = lce.NewPool(factory, lce.PoolConfig{
+			Shards: *shards, Capacity: *sessions, IdleTTL: *ttl, Registry: ob.Registry,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *ttl > 0 {
+			go func() {
+				for range time.Tick(*ttl) {
+					pool.Sweep()
+				}
+			}()
+		}
+	}
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, ob)
 	}
@@ -76,9 +125,14 @@ func main() {
 		hint = "localhost" + hint
 	}
 	log.Printf("serving %s (%s backend, %d actions) on %s", *service, *backend, len(b.Actions()), *addr)
+	if pool != nil {
+		log.Printf("multi-tenant: up to %d sessions over %d shards, idle TTL %s (X-LCE-Session selects; stats on %s/v2/sessions)",
+			*sessions, pool.Shards(), *ttl, hint)
+		log.Printf("try: curl -s -XPOST -H 'X-LCE-Session: alice' '%s/v2/%s?Action=CreateVpc' -d '{\"params\":{\"cidrBlock\":\"10.0.0.0/16\"}}'", hint, *service)
+	}
 	log.Printf("observability: %s/metrics (Prometheus text), %s/debug/traces (span JSON)", hint, hint)
 	log.Printf("try: curl -s -XPOST %s/invoke -d '{\"action\":\"CreateVpc\",\"params\":{\"cidrBlock\":\"10.0.0.0/16\"}}'", hint)
-	if err := http.ListenAndServe(*addr, lce.ServeObserved(b, ob)); err != nil {
+	if err := http.ListenAndServe(*addr, lce.ServePool(b, pool, ob)); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package cloudapi
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -91,10 +92,16 @@ func Errf(code, format string, args ...any) *APIError {
 	return &APIError{Code: code, Message: fmt.Sprintf(format, args...)}
 }
 
-// AsAPIError unwraps err into an *APIError when it is one.
+// AsAPIError unwraps err into an *APIError when it is (or wraps) one.
+// Wrapper layers — the HTTP client's wire-metadata error, fmt %w
+// chains — stay classifiable as API errors as long as they expose
+// Unwrap.
 func AsAPIError(err error) (*APIError, bool) {
-	ae, ok := err.(*APIError)
-	return ae, ok
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
 }
 
 // Common framework-level error codes shared across services.
@@ -104,6 +111,12 @@ const (
 	CodeInvalidParameter    = "InvalidParameterValue"
 	CodeDependencyViolation = "DependencyViolation"
 	CodeInternalFailure     = "InternalFailure"
+	// CodeInvalidSession rejects a malformed or unavailable tenant
+	// session selector (the v2 HTTP API's X-LCE-Session header).
+	CodeInvalidSession = "InvalidSession"
+	// CodeInvalidService rejects a v2 request whose /v2/<service>
+	// path segment names a service this server does not host.
+	CodeInvalidService = "InvalidService"
 )
 
 // Transient infrastructure fault codes: the throttling, availability

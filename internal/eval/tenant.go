@@ -1,0 +1,224 @@
+package eval
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"lce/internal/cloud/aws/ec2"
+	"lce/internal/cloudapi"
+	"lce/internal/httpapi"
+	"lce/internal/tenant"
+)
+
+// serializedLatency models the cloud's per-account serialization: each
+// call holds the backend for the full simulated service time, so two
+// concurrent calls to the SAME session queue while calls to different
+// sessions overlap. This is the latency profile the tenant pool exists
+// to exploit — cloudapi.WithLatency deliberately sleeps outside the
+// inner lock (modeling a network RTT, which does overlap per session)
+// and therefore cannot show a sharding win.
+type serializedLatency struct {
+	mu      sync.Mutex
+	inner   cloudapi.Backend
+	perCall time.Duration
+}
+
+func (s *serializedLatency) Service() string   { return s.inner.Service() }
+func (s *serializedLatency) Actions() []string { return s.inner.Actions() }
+func (s *serializedLatency) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Reset()
+}
+func (s *serializedLatency) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(s.perCall)
+	return s.inner.Invoke(req)
+}
+
+// serializedFactory wraps every backend a factory stamps with
+// serializedLatency.
+func serializedFactory(f cloudapi.BackendFactory, perCall time.Duration) cloudapi.BackendFactory {
+	return func() cloudapi.Backend { return &serializedLatency{inner: f(), perCall: perCall} }
+}
+
+// TenantRow is one multi-tenant sweep cell: `Goroutines` workers push
+// `Ops` total calls through a pool partitioned into `Sessions`
+// sessions (worker g serves session g mod Sessions).
+type TenantRow struct {
+	Sessions   int
+	Goroutines int
+	Ops        int
+	PerCall    time.Duration
+	Elapsed    time.Duration
+}
+
+// Throughput returns calls per second.
+func (r TenantRow) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// TenantSweep measures what session partitioning buys: the same total
+// load (goroutines × opsPerG calls against a serialized EC2 oracle
+// costing perCall each) is replayed at each session count in
+// `sessionCounts`. With one session every call queues behind the same
+// lock and elapsed ≈ Ops × perCall; with K sessions the pool serves K
+// independent backends and the queue splits K ways. Rows come back in
+// sessionCounts order, so row[0] with sessionCounts[0] == 1 is the
+// single-tenant baseline.
+func TenantSweep(sessionCounts []int, goroutines, opsPerG int, perCall time.Duration) ([]TenantRow, error) {
+	var rows []TenantRow
+	for _, k := range sessionCounts {
+		if k < 1 {
+			return nil, fmt.Errorf("eval: session count %d < 1", k)
+		}
+		pool, err := tenant.New(serializedFactory(ec2.Factory(), perCall), tenant.Config{Capacity: k + 1})
+		if err != nil {
+			return nil, err
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		start := time.Now()
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				b, err := pool.Get(fmt.Sprintf("tenant-%d", g%k))
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := 0; i < opsPerG; i++ {
+					if _, err := b.Invoke(cloudapi.Request{Action: "DescribeVpcs"}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+		rows = append(rows, TenantRow{
+			Sessions: k, Goroutines: goroutines, Ops: goroutines * opsPerG,
+			PerCall: perCall, Elapsed: elapsed,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTenant renders the sweep with speedup relative to the first
+// row (the single-session baseline when sessionCounts starts at 1).
+func FormatTenant(rows []TenantRow) string {
+	var b strings.Builder
+	if len(rows) == 0 {
+		return ""
+	}
+	fmt.Fprintf(&b, "Multi-tenant serving: %d goroutines, %d calls total, %s serialized per call\n",
+		rows[0].Goroutines, rows[0].Ops, rows[0].PerCall)
+	fmt.Fprintf(&b, "%-10s %12s %12s %9s\n", "sessions", "elapsed", "calls/sec", "speedup")
+	base := rows[0].Elapsed
+	for _, r := range rows {
+		sp := 0.0
+		if r.Elapsed > 0 {
+			sp = float64(base) / float64(r.Elapsed)
+		}
+		fmt.Fprintf(&b, "%-10d %12s %12.0f %8.2fx\n", r.Sessions, r.Elapsed.Round(time.Microsecond), r.Throughput(), sp)
+	}
+	return b.String()
+}
+
+// BatchRow compares N sequential single-call round trips against one
+// /batch round trip carrying the same N requests, over a wire that
+// charges `RTT` per HTTP round trip.
+type BatchRow struct {
+	N       int
+	RTT     time.Duration
+	Singles time.Duration
+	Batch   time.Duration
+}
+
+// Speedup returns Singles/Batch (how much the batch route saves).
+func (r BatchRow) Speedup() float64 {
+	if r.Batch <= 0 {
+		return 0
+	}
+	return float64(r.Singles) / float64(r.Batch)
+}
+
+// BatchVsSingle measures the /v2 batch endpoint's round-trip
+// amortization: a pooled EC2 server is fronted by a middleware that
+// sleeps `rtt` once per HTTP request (the simulated network), and for
+// each n in sizes the same n CreateVpc calls are issued first as n
+// sequential singles, then — after a session reset — as one batch.
+// Singles pay n round trips, the batch pays one.
+func BatchVsSingle(sizes []int, rtt time.Duration) ([]BatchRow, error) {
+	pool, err := tenant.New(ec2.Factory(), tenant.Config{})
+	if err != nil {
+		return nil, err
+	}
+	inner := httpapi.New(ec2.New(), httpapi.WithPool(pool))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(rtt)
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var rows []BatchRow
+	for _, n := range sizes {
+		client := httpapi.NewClient(srv.URL).WithSession(fmt.Sprintf("batch-%d", n))
+		reqs := make([]cloudapi.Request, n)
+		for i := range reqs {
+			reqs[i] = cloudapi.Request{
+				Action: "CreateVpc",
+				Params: cloudapi.Params{"cidrBlock": cloudapi.Str(fmt.Sprintf("10.%d.0.0/16", i))},
+			}
+		}
+
+		start := time.Now()
+		for _, req := range reqs {
+			if _, err := client.Invoke(req); err != nil {
+				return nil, fmt.Errorf("eval: single call: %w", err)
+			}
+		}
+		singles := time.Since(start)
+
+		client.Reset()
+		start = time.Now()
+		res, err := client.Batch(reqs, httpapi.BatchModeStop)
+		if err != nil {
+			return nil, fmt.Errorf("eval: batch call: %w", err)
+		}
+		batch := time.Since(start)
+		if res.Failed != 0 || res.Succeeded != n {
+			return nil, fmt.Errorf("eval: batch of %d: %d ok, %d failed", n, res.Succeeded, res.Failed)
+		}
+		rows = append(rows, BatchRow{N: n, RTT: rtt, Singles: singles, Batch: batch})
+	}
+	return rows, nil
+}
+
+// FormatBatch renders the batch-amortization table.
+func FormatBatch(rows []BatchRow) string {
+	var b strings.Builder
+	if len(rows) == 0 {
+		return ""
+	}
+	fmt.Fprintf(&b, "Batch round-trip amortization (simulated RTT %s per HTTP request)\n", rows[0].RTT)
+	fmt.Fprintf(&b, "%-6s %14s %14s %9s\n", "n", "n singles", "one batch", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %14s %14s %8.2fx\n", r.N, r.Singles.Round(time.Microsecond), r.Batch.Round(time.Microsecond), r.Speedup())
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTenantSweepShowsPartitionWin: with a serialized per-session
+// backend, 8 sessions must beat 1 session on the same total load. The
+// ideal ratio is 8x; require a conservative 2x so scheduler noise on
+// a loaded CI runner cannot flake the test.
+func TestTenantSweepShowsPartitionWin(t *testing.T) {
+	rows, err := TenantSweep([]int{1, 8}, 8, 8, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Sessions != 1 || rows[1].Sessions != 8 {
+		t.Fatalf("row order = %+v", rows)
+	}
+	ratio := float64(rows[0].Elapsed) / float64(rows[1].Elapsed)
+	if ratio < 2 {
+		t.Errorf("8 sessions only %.2fx faster than 1 (elapsed %v vs %v) — partitioning shows no win",
+			ratio, rows[1].Elapsed, rows[0].Elapsed)
+	}
+}
+
+// TestBatchBeatsSingles: at a simulated 2ms RTT, one 16-request batch
+// (one round trip) must finish well ahead of 16 sequential singles
+// (16 round trips). Ideal is ~16x; require 3x for CI headroom.
+func TestBatchBeatsSingles(t *testing.T) {
+	rows, err := BatchVsSingle([]int{16}, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if sp := rows[0].Speedup(); sp < 3 {
+		t.Errorf("batch speedup = %.2fx (singles %v, batch %v), want >= 3x",
+			sp, rows[0].Singles, rows[0].Batch)
+	}
+}

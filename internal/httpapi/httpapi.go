@@ -5,14 +5,40 @@
 // over the wire, which makes a remote emulator interchangeable with an
 // in-process one everywhere in this repository (differential tests
 // included).
+//
+// Two route generations are served side by side:
+//
+// Legacy (PR 3 and earlier; byte-compatible):
+//
+//	POST /invoke       — execute an action
+//	POST /reset        — reset account state
+//	GET  /actions      — list supported actions
+//	GET  /healthz      — liveness
+//
+// v2 (multi-tenant): the session is selected by the X-LCE-Session
+// header; an absent header means the shared "default" session, so
+// legacy clients keep their one-account view of the world. Every v2
+// response carries a RequestId (echoed from X-LCE-Request-Id or
+// derived) and the same structured envelope:
+//
+//	POST /v2/{service}?Action=X   — execute an action in the session
+//	POST /v2/{service}/reset      — reset the session (session-scoped!)
+//	POST /v2/{service}/batch      — ordered request array, one round trip
+//	GET  /v2/sessions             — tenant-pool occupancy (pool servers)
+//
+// Every 4xx/5xx response — legacy or v2, handler or router — is the
+// same JSON error envelope {"__error":true, "Code", "Message",
+// "RequestId"}, so clients parse exactly one failure shape.
 package httpapi
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync/atomic"
 
@@ -21,27 +47,57 @@ import (
 	"lce/internal/interp"
 	"lce/internal/obsv"
 	"lce/internal/retry"
+	"lce/internal/tenant"
 )
 
-// wireRequest is the POST body of an Invoke call.
+// Wire headers of the v2 protocol.
+const (
+	// SessionHeader selects the tenant session. Absent or "default"
+	// means the shared legacy session.
+	SessionHeader = "X-LCE-Session"
+	// RequestIDHeader carries the request ID: clients may set it to
+	// tag a call (the server echoes it), and the server always
+	// returns it on v2 and error responses.
+	RequestIDHeader = "X-LCE-Request-Id"
+)
+
+// MaxBatch bounds the number of requests one /batch call may carry.
+const MaxBatch = 256
+
+// Batch failure modes.
+const (
+	// BatchModeStop stops at the first failed request; later
+	// requests are not executed.
+	BatchModeStop = "stop"
+	// BatchModeBestEffort executes every request regardless of
+	// earlier failures.
+	BatchModeBestEffort = "best-effort"
+)
+
+// wireRequest is the POST body of an invoke call (legacy and v2; in
+// v2 the action may instead arrive as the Action query parameter).
 type wireRequest struct {
 	Action string                    `json:"action"`
 	Params map[string]cloudapi.Value `json:"params,omitempty"`
 }
 
-// wireResponse is the reply envelope.
+// wireResponse is the success envelope. RequestId is set on v2
+// responses only — legacy success bodies stay byte-identical to
+// their pre-session wire format.
 type wireResponse struct {
-	Result map[string]cloudapi.Value `json:"result,omitempty"`
-	Error  *wireError                `json:"error,omitempty"`
+	RequestID string                    `json:"RequestId,omitempty"`
+	Result    map[string]cloudapi.Value `json:"result,omitempty"`
 }
 
+// wireError is the unified error envelope: the body of every 4xx/5xx
+// response. The __error marker lets clients decode success and
+// failure from one stream without sniffing status codes.
 type wireError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	// Advice carries the §4.3 enriched explanation (root cause and
-	// repair suggestions decoded from the learned specification) when
-	// the served backend is a learned emulator.
-	Advice *wireAdvice `json:"advice,omitempty"`
+	IsError   bool        `json:"__error"`
+	Code      string      `json:"Code"`
+	Message   string      `json:"Message"`
+	RequestID string      `json:"RequestId,omitempty"`
+	Advice    *wireAdvice `json:"advice,omitempty"`
 }
 
 type wireAdvice struct {
@@ -49,103 +105,458 @@ type wireAdvice struct {
 	Repairs   []string `json:"repairs,omitempty"`
 }
 
-// Handler serves one backend:
-//
-//	POST /invoke       — execute an action
-//	POST /reset        — reset account state
-//	GET  /actions      — list supported actions
-//	GET  /healthz      — liveness
-func Handler(b cloudapi.Backend) http.Handler { return Observed(b, nil) }
+// wireBatchRequest is the POST body of /v2/{service}/batch.
+type wireBatchRequest struct {
+	// Mode is "stop" (default) or "best-effort"; the mode query
+	// parameter overrides it.
+	Mode     string        `json:"mode,omitempty"`
+	Requests []wireRequest `json:"requests"`
+}
 
-// Observed is Handler under an observability stack: every handled
-// request increments lce_http_requests_total{route}, errored requests
-// (status >= 400) bump lce_http_errors_total{route} and carry span
-// error status, latencies land in lce_http_request_seconds{route}, and
-// each request runs under an http.<route> root span that /invoke
-// threads into the backend call (so a traced server records the same
-// call.<Action> spans and fault/retry events an in-process run does).
-// Two extra routes appear when the respective half is live:
+// wireBatchItem is one per-request outcome inside a batch response.
+type wireBatchItem struct {
+	Result map[string]cloudapi.Value `json:"result,omitempty"`
+	Error  *wireError                `json:"error,omitempty"`
+}
+
+// wireBatchResponse is the /batch reply: one item per *executed*
+// request, in request order. In stop mode a failure truncates the
+// item list and StoppedAt records the failing index.
+type wireBatchResponse struct {
+	RequestID string          `json:"RequestId,omitempty"`
+	Mode      string          `json:"mode"`
+	Items     []wireBatchItem `json:"items"`
+	Succeeded int             `json:"succeeded"`
+	Failed    int             `json:"failed"`
+	StoppedAt *int            `json:"stoppedAt,omitempty"`
+}
+
+// config collects New's functional options.
+type config struct {
+	obs  *obsv.Obs
+	pool *tenant.Pool
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithObs mounts the observability stack: per-route request/error
+// counters and latency histograms, one root span per request threaded
+// into the backend call, plus GET /metrics (Prometheus text) and
+// GET /debug/traces (spans grouped by trace). A nil obs is a no-op.
+func WithObs(o *obsv.Obs) Option { return func(c *config) { c.obs = o } }
+
+// WithPool mounts a tenant session pool: X-LCE-Session selects an
+// isolated per-session backend (created on first use, LRU/TTL
+// evicted), Reset becomes session-scoped, and GET /v2/sessions
+// reports occupancy. Requests without a session header use the
+// pool's pinned "default" session, whose backend is factory-made and
+// behaviourally identical to a fresh b. A nil pool is a no-op: the
+// server is single-tenant and non-default sessions are rejected.
+func WithPool(p *tenant.Pool) Option { return func(c *config) { c.pool = p } }
+
+// New serves backend b over HTTP with the given options — the one
+// constructor behind every server shape in this repository:
 //
-//	GET /metrics       — Prometheus text exposition (registry half)
-//	GET /debug/traces  — recorded spans grouped by trace (tracer half)
+//	New(b)                          // plain single-tenant server
+//	New(b, WithObs(o))              // instrumented
+//	New(b, WithPool(p), WithObs(o)) // multi-tenant and instrumented
 //
-// A nil obs is exactly Handler.
-func Observed(b cloudapi.Backend, obs *obsv.Obs) http.Handler {
-	mux := http.NewServeMux()
-	var requests atomic.Int64
-	handle := func(pattern, route string, fn http.HandlerFunc) {
-		mux.HandleFunc(pattern, instrument(obs, route, fn))
+// b itself handles single-tenant traffic and serves metadata
+// (/actions, /healthz); with a pool, invoke/reset traffic is routed
+// to per-session backends instead.
+func New(b cloudapi.Backend, opts ...Option) http.Handler {
+	var cfg config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
 	}
-	handle("POST /invoke", "invoke", func(w http.ResponseWriter, r *http.Request) {
-		requests.Add(1)
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "cannot read body: %v", err)
-			return
-		}
-		var req wireRequest
-		if err := json.Unmarshal(body, &req); err != nil {
-			httpError(w, http.StatusBadRequest, "malformed request: %v", err)
-			return
-		}
-		if req.Action == "" {
-			httpError(w, http.StatusBadRequest, "missing action")
-			return
-		}
-		creq := cloudapi.Request{Action: req.Action, Params: cloudapi.Params(req.Params), Ctx: r.Context()}
-		if sp := obsv.SpanFrom(r.Context()); sp != nil {
-			sp.SetAttr("action", req.Action)
-		}
-		res, err := b.Invoke(creq)
-		resp := wireResponse{}
-		if err != nil {
-			ae, ok := cloudapi.AsAPIError(err)
-			if !ok {
-				// A non-API error is a backend malfunction: report it as
-				// InternalFailure rather than letting it masquerade as a
-				// client-side MalformedRequest.
-				writeJSON(w, http.StatusInternalServerError, wireResponse{Error: &wireError{
-					Code:    cloudapi.CodeInternalFailure,
-					Message: fmt.Sprintf("backend failure: %v", err),
-				}})
-				return
-			}
-			resp.Error = &wireError{Code: ae.Code, Message: ae.Message}
-			if emu, isLearned := b.(*interp.Emulator); isLearned {
-				adv := advisor.Explain(emu, creq, ae)
-				resp.Error.Advice = &wireAdvice{RootCause: adv.RootCause, Repairs: adv.Repairs}
-			}
-			writeJSON(w, statusFor(ae.Code), resp)
-			return
-		}
-		resp.Result = cloudapi.NormalizeResult(res)
-		writeJSON(w, http.StatusOK, resp)
-	})
-	handle("POST /reset", "reset", func(w http.ResponseWriter, r *http.Request) {
-		b.Reset()
-		w.WriteHeader(http.StatusNoContent)
-	})
+	s := &server{backend: b, obs: cfg.obs, pool: cfg.pool}
+	return s.routes()
+}
+
+// Handler serves one backend over the legacy and v2 routes.
+//
+// Deprecated: use New(b).
+func Handler(b cloudapi.Backend) http.Handler { return New(b) }
+
+// Observed is Handler under an observability stack.
+//
+// Deprecated: use New(b, WithObs(obs)).
+func Observed(b cloudapi.Backend, obs *obsv.Obs) http.Handler {
+	return New(b, WithObs(obs))
+}
+
+// server is one constructed HTTP front-end.
+type server struct {
+	backend  cloudapi.Backend
+	obs      *obsv.Obs
+	pool     *tenant.Pool
+	requests atomic.Int64 // backend invocations, reported by /healthz
+	reqSeq   atomic.Uint64
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern, route string, fn http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(s.obs, route, fn))
+	}
+
+	// Legacy surface. The invoke/reset handlers are session-aware —
+	// an explicit X-LCE-Session header works here too — but without
+	// one they serve the default session, byte-identical to the
+	// pre-session wire format.
+	handle("POST /invoke", "invoke", s.legacyInvoke)
+	handle("POST /reset", "reset", s.reset)
 	handle("GET /actions", "actions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
-			"service": b.Service(),
-			"actions": b.Actions(),
+			"service": s.backend.Service(),
+			"actions": s.backend.Actions(),
 		})
 	})
 	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
-			"service":  b.Service(),
-			"requests": requests.Load(),
+			"service":  s.backend.Service(),
+			"requests": s.requests.Load(),
 		})
 	})
-	if obs != nil && obs.Registry != nil {
-		mux.Handle("GET /metrics", obs.Registry)
+
+	// v2 surface.
+	handle("POST /v2/{service}", "v2.invoke", s.v2Invoke)
+	handle("POST /v2/{service}/reset", "v2.reset", s.v2Reset)
+	handle("POST /v2/{service}/batch", "v2.batch", s.v2Batch)
+	if s.pool != nil {
+		handle("GET /v2/sessions", "v2.sessions", s.v2Sessions)
 	}
-	if t := obs.TracerOrNil(); t != nil {
+
+	if s.obs != nil && s.obs.Registry != nil {
+		mux.Handle("GET /metrics", s.obs.Registry)
+	}
+	if t := s.obs.TracerOrNil(); t != nil {
 		mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, obsv.GroupTraces(t.Snapshot()))
 		})
 	}
+
+	// Unmatched paths get the unified error envelope rather than the
+	// router's plain-text 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, s.requestID(r),
+			cloudapi.Errf("NotFound", "no route %s %s", r.Method, r.URL.Path), nil)
+	})
 	return mux
+}
+
+// requestID echoes the client-tagged request ID, or derives a fresh
+// one from the server's sequence counter (splitmix64, so IDs look
+// opaque but are deterministic per server instance).
+func (s *server) requestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	x := s.reqSeq.Add(1) * 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return fmt.Sprintf("lce-%016x", x)
+}
+
+// sessionOf extracts the session selector ("" means default).
+func sessionOf(r *http.Request) string { return r.Header.Get(SessionHeader) }
+
+// backendFor resolves the backend owning the request's session. On a
+// pool-less server only the default session exists.
+func (s *server) backendFor(r *http.Request) (cloudapi.Backend, error) {
+	sid := sessionOf(r)
+	if s.pool == nil {
+		if sid == "" || sid == tenant.DefaultSession {
+			return s.backend, nil
+		}
+		return nil, cloudapi.Errf(cloudapi.CodeInvalidSession,
+			"this server is single-tenant: session %q is unavailable (no session pool mounted)", sid)
+	}
+	return s.pool.Get(sid)
+}
+
+// legacyInvoke is the pre-v2 invoke: action and params in the body,
+// success envelope without RequestId.
+func (s *server) legacyInvoke(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	req, ok := s.readRequest(w, r, reqID)
+	if !ok {
+		return
+	}
+	if req.Action == "" {
+		s.malformed(w, reqID, "missing action")
+		return
+	}
+	b, err := s.backendFor(r)
+	if err != nil {
+		s.writeAPIError(w, reqID, err)
+		return
+	}
+	s.invoke(w, r, b, req, reqID, false)
+}
+
+// v2Invoke executes one action in the request's session:
+// POST /v2/{service}?Action=X with params in the JSON body. The
+// action may also arrive in the body; the query parameter wins.
+func (s *server) v2Invoke(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	if !s.checkService(w, r, reqID) {
+		return
+	}
+	req, ok := s.readRequest(w, r, reqID)
+	if !ok {
+		return
+	}
+	if a := r.URL.Query().Get("Action"); a != "" {
+		req.Action = a
+	}
+	if req.Action == "" {
+		s.malformed(w, reqID, "missing action: pass ?Action= or an action body field")
+		return
+	}
+	b, err := s.backendFor(r)
+	if err != nil {
+		s.writeAPIError(w, reqID, err)
+		return
+	}
+	s.invoke(w, r, b, req, reqID, true)
+}
+
+// invoke executes one request against b and writes the envelope. v2
+// responses carry the RequestId; legacy success bodies do not (byte
+// compatibility).
+func (s *server) invoke(w http.ResponseWriter, r *http.Request, b cloudapi.Backend, req wireRequest, reqID string, v2 bool) {
+	s.requests.Add(1)
+	if sp := obsv.SpanFrom(r.Context()); sp != nil {
+		sp.SetAttr("action", req.Action)
+		if sid := sessionOf(r); sid != "" {
+			sp.SetAttr("session", sid)
+		}
+	}
+	res, err := b.Invoke(cloudapi.Request{Action: req.Action, Params: cloudapi.Params(req.Params), Ctx: r.Context()})
+	if err != nil {
+		s.writeInvokeError(w, b, req, reqID, err)
+		return
+	}
+	resp := wireResponse{Result: cloudapi.NormalizeResult(res)}
+	if v2 {
+		resp.RequestID = reqID
+		w.Header().Set(RequestIDHeader, reqID)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// v2Reset resets exactly one session's account. With a pool this is
+// the session-scoped Reset; without one it resets the shared backend
+// (the only session there is).
+func (s *server) v2Reset(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	if !s.checkService(w, r, reqID) {
+		return
+	}
+	s.reset(w, r)
+}
+
+// reset serves both generations: the target session comes from the
+// header (default when absent), so a legacy headerless POST /reset
+// keeps resetting the shared account and nothing else.
+func (s *server) reset(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	b, err := s.backendFor(r)
+	if err != nil {
+		s.writeAPIError(w, reqID, err)
+		return
+	}
+	b.Reset()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// v2Batch executes an ordered array of requests in one round trip —
+// the batched form of v2Invoke. Mode "stop" (default) halts at the
+// first failure; "best-effort" runs everything. The response carries
+// one item per executed request plus success/failure tallies; the
+// HTTP status is 200 whenever the batch itself was well-formed
+// (per-item failures live in the items, like AWS batch APIs).
+func (s *server) v2Batch(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	if !s.checkService(w, r, reqID) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.malformed(w, reqID, "cannot read body: %v", err)
+		return
+	}
+	var breq wireBatchRequest
+	if err := json.Unmarshal(body, &breq); err != nil {
+		s.malformed(w, reqID, "malformed batch: %v", err)
+		return
+	}
+	mode := breq.Mode
+	if m := r.URL.Query().Get("mode"); m != "" {
+		mode = m
+	}
+	if mode == "" {
+		mode = BatchModeStop
+	}
+	if mode != BatchModeStop && mode != BatchModeBestEffort {
+		s.malformed(w, reqID, "unknown batch mode %q: want %q or %q", mode, BatchModeStop, BatchModeBestEffort)
+		return
+	}
+	if len(breq.Requests) == 0 {
+		s.malformed(w, reqID, "empty batch")
+		return
+	}
+	if len(breq.Requests) > MaxBatch {
+		s.malformed(w, reqID, "batch of %d exceeds the %d-request limit", len(breq.Requests), MaxBatch)
+		return
+	}
+	b, err := s.backendFor(r)
+	if err != nil {
+		s.writeAPIError(w, reqID, err)
+		return
+	}
+	if sp := obsv.SpanFrom(r.Context()); sp != nil {
+		sp.SetAttrInt("batch.size", int64(len(breq.Requests)))
+		sp.SetAttr("batch.mode", mode)
+		if sid := sessionOf(r); sid != "" {
+			sp.SetAttr("session", sid)
+		}
+	}
+
+	resp := wireBatchResponse{RequestID: reqID, Mode: mode, Items: make([]wireBatchItem, 0, len(breq.Requests))}
+	for i, item := range breq.Requests {
+		if item.Action == "" {
+			resp.Items = append(resp.Items, wireBatchItem{Error: s.invokeError(b, item,
+				cloudapi.Errf("MalformedRequest", "batch item %d: missing action", i))})
+			resp.Failed++
+		} else {
+			s.requests.Add(1)
+			res, err := b.Invoke(cloudapi.Request{Action: item.Action, Params: cloudapi.Params(item.Params), Ctx: r.Context()})
+			if err != nil {
+				resp.Items = append(resp.Items, wireBatchItem{Error: s.invokeError(b, item, err)})
+				resp.Failed++
+			} else {
+				resp.Items = append(resp.Items, wireBatchItem{Result: cloudapi.NormalizeResult(res)})
+				resp.Succeeded++
+				continue
+			}
+		}
+		if mode == BatchModeStop {
+			at := i
+			resp.StoppedAt = &at
+			break
+		}
+	}
+	w.Header().Set(RequestIDHeader, reqID)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// v2Sessions reports tenant-pool occupancy (mounted only on pool
+// servers).
+func (s *server) v2Sessions(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	w.Header().Set(RequestIDHeader, s.requestID(r))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions":          st.Sessions,
+		"shards":            s.pool.Shards(),
+		"perShard":          st.PerShard,
+		"hits":              st.Hits,
+		"misses":            st.Misses,
+		"hitRate":           st.HitRate(),
+		"idleEvictions":     st.IdleEvictions,
+		"capacityEvictions": st.CapacityEvictions,
+	})
+}
+
+// readRequest decodes an invoke body. An empty body is a valid
+// zero-parameter request on v2 (the action rides in the query), so
+// decoding failures are only reported for non-empty bodies.
+func (s *server) readRequest(w http.ResponseWriter, r *http.Request, reqID string) (wireRequest, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.malformed(w, reqID, "cannot read body: %v", err)
+		return wireRequest{}, false
+	}
+	var req wireRequest
+	if len(bytes.TrimSpace(body)) == 0 {
+		return req, true
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.malformed(w, reqID, "malformed request: %v", err)
+		return wireRequest{}, false
+	}
+	return req, true
+}
+
+// checkService rejects v2 calls whose path names a service this
+// server does not host.
+func (s *server) checkService(w http.ResponseWriter, r *http.Request, reqID string) bool {
+	if svc := r.PathValue("service"); svc != s.backend.Service() {
+		s.writeError(w, http.StatusNotFound, reqID,
+			cloudapi.Errf(cloudapi.CodeInvalidService, "this server hosts %q, not %q", s.backend.Service(), svc), nil)
+		return false
+	}
+	return true
+}
+
+// writeInvokeError maps a backend error onto the wire: API errors
+// keep their code (with learned-emulator advice when available), any
+// other error is a backend malfunction reported as InternalFailure.
+func (s *server) writeInvokeError(w http.ResponseWriter, b cloudapi.Backend, req wireRequest, reqID string, err error) {
+	we := s.invokeError(b, req, err)
+	we.RequestID = reqID
+	w.Header().Set(RequestIDHeader, reqID)
+	writeJSON(w, statusFor(we.Code), we)
+}
+
+// invokeError builds the envelope for one failed invocation (batch
+// items reuse it without a per-item RequestId — the batch-level one
+// covers them).
+func (s *server) invokeError(b cloudapi.Backend, req wireRequest, err error) *wireError {
+	ae, ok := cloudapi.AsAPIError(err)
+	if !ok {
+		// A non-API error is a backend malfunction: report it as
+		// InternalFailure rather than letting it masquerade as a
+		// client-side MalformedRequest.
+		return &wireError{IsError: true, Code: cloudapi.CodeInternalFailure,
+			Message: fmt.Sprintf("backend failure: %v", err)}
+	}
+	we := &wireError{IsError: true, Code: ae.Code, Message: ae.Message}
+	if emu, isLearned := b.(*interp.Emulator); isLearned {
+		adv := advisor.Explain(emu, cloudapi.Request{Action: req.Action, Params: cloudapi.Params(req.Params)}, ae)
+		we.Advice = &wireAdvice{RootCause: adv.RootCause, Repairs: adv.Repairs}
+	}
+	return we
+}
+
+// writeAPIError renders err (an *cloudapi.APIError, or a malfunction
+// mapped to InternalFailure) as the unified envelope.
+func (s *server) writeAPIError(w http.ResponseWriter, reqID string, err error) {
+	ae, ok := cloudapi.AsAPIError(err)
+	if !ok {
+		ae = cloudapi.Errf(cloudapi.CodeInternalFailure, "backend failure: %v", err)
+	}
+	s.writeError(w, statusFor(ae.Code), reqID, ae, nil)
+}
+
+func (s *server) writeError(w http.ResponseWriter, status int, reqID string, ae *cloudapi.APIError, advice *wireAdvice) {
+	w.Header().Set(RequestIDHeader, reqID)
+	writeJSON(w, status, wireError{IsError: true, Code: ae.Code, Message: ae.Message, RequestID: reqID, Advice: advice})
+}
+
+// malformed is the client-fault path (unreadable or malformed
+// requests): a 400 carrying the MalformedRequest code in the unified
+// envelope.
+func (s *server) malformed(w http.ResponseWriter, reqID, format string, args ...any) {
+	s.writeError(w, http.StatusBadRequest, reqID, cloudapi.Errf("MalformedRequest", format, args...), nil)
 }
 
 // statusWriter captures the response status for the instrumentation
@@ -221,6 +632,8 @@ func statusFor(code string) int {
 		return http.StatusInternalServerError
 	case cloudapi.CodeRequestTimeout:
 		return http.StatusRequestTimeout
+	case cloudapi.CodeInvalidService:
+		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}
@@ -232,17 +645,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, wireResponse{Error: &wireError{
-		Code:    "MalformedRequest",
-		Message: fmt.Sprintf(format, args...),
-	}})
-}
-
-// Client implements cloudapi.Backend over the HTTP protocol above.
+// Client implements cloudapi.Backend over the HTTP protocol above. A
+// zero session targets the legacy single-tenant wire; WithSession
+// derives clients that speak the v2 session protocol.
 type Client struct {
 	base    string
 	service string
+	session string
 	http    *http.Client
 }
 
@@ -262,6 +671,21 @@ func NewClient(baseURL string) *Client {
 	}
 	return &Client{base: baseURL, http: &http.Client{}}
 }
+
+// WithSession derives a client bound to the named tenant session:
+// invokes, resets and batches carry the X-LCE-Session header and use
+// the v2 routes, so this client's world is isolated from every other
+// session (Reset included). The receiver is not modified; derived
+// clients share the underlying HTTP connection pool.
+func (c *Client) WithSession(id string) *Client {
+	dup := *c
+	dup.session = id
+	return &dup
+}
+
+// Session returns the session this client is bound to ("" = legacy
+// shared session).
+func (c *Client) Session() string { return c.session }
 
 // Service implements cloudapi.Backend (fetched lazily).
 func (c *Client) Service() string {
@@ -294,31 +718,220 @@ func (c *Client) fetchMeta() (string, []string) {
 	return meta.Service, meta.Actions
 }
 
-// Reset implements cloudapi.Backend.
+// v2base resolves the session-scoped route prefix, fetching the
+// service name on first use.
+func (c *Client) v2base() (string, error) {
+	svc := c.Service()
+	if svc == "" {
+		return "", fmt.Errorf("httpapi: cannot resolve service name from %s/actions", c.base)
+	}
+	return c.base + "/v2/" + url.PathEscape(svc), nil
+}
+
+// do issues one POST with the session and decodes the unified
+// envelope.
+func (c *Client) do(u string, body []byte) (cloudapi.Result, error) {
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.session != "" {
+		req.Header.Set(SessionHeader, c.session)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	defer resp.Body.Close()
+	return decodeReply(resp)
+}
+
+// Reset implements cloudapi.Backend. Session clients reset only
+// their own session.
 func (c *Client) Reset() {
-	resp, err := c.http.Post(c.base+"/reset", "application/json", nil)
-	if err == nil {
+	u := c.base + "/reset"
+	if c.session != "" {
+		v2, err := c.v2base()
+		if err != nil {
+			return
+		}
+		u = v2 + "/reset"
+	}
+	req, err := http.NewRequest(http.MethodPost, u, nil)
+	if err != nil {
+		return
+	}
+	if c.session != "" {
+		req.Header.Set(SessionHeader, c.session)
+	}
+	if resp, err := c.http.Do(req); err == nil {
 		resp.Body.Close()
 	}
 }
 
 // Invoke implements cloudapi.Backend.
 func (c *Client) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
-	payload, err := json.Marshal(wireRequest{Action: req.Action, Params: map[string]cloudapi.Value(req.Params)})
+	if c.session == "" {
+		payload, err := json.Marshal(wireRequest{Action: req.Action, Params: map[string]cloudapi.Value(req.Params)})
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: marshal: %w", err)
+		}
+		return c.do(c.base+"/invoke", payload)
+	}
+	v2, err := c.v2base()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(wireRequest{Params: map[string]cloudapi.Value(req.Params)})
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: marshal: %w", err)
 	}
-	resp, err := c.http.Post(c.base+"/invoke", "application/json", bytes.NewReader(payload))
+	return c.do(v2+"?Action="+url.QueryEscape(req.Action), payload)
+}
+
+// BatchItem is one executed request's outcome: a result, or the
+// decoded API error.
+type BatchItem struct {
+	Result cloudapi.Result
+	Err    error
+}
+
+// BatchResult is the decoded /batch reply.
+type BatchResult struct {
+	// Items holds one entry per executed request, in request order.
+	// In stop mode a failure truncates the list.
+	Items     []BatchItem
+	RequestID string
+	Succeeded int
+	Failed    int
+	// StoppedAt is the index of the failing request when a stop-mode
+	// batch halted early, and -1 otherwise.
+	StoppedAt int
+}
+
+// Batch executes an ordered request array in one round trip. Mode ""
+// defaults to BatchModeStop. The returned error covers transport and
+// batch-shape failures only; per-request failures land in the items.
+func (c *Client) Batch(reqs []cloudapi.Request, mode string) (*BatchResult, error) {
+	if mode == "" {
+		mode = BatchModeStop
+	}
+	v2, err := c.v2base()
+	if err != nil {
+		return nil, err
+	}
+	breq := wireBatchRequest{Mode: mode, Requests: make([]wireRequest, len(reqs))}
+	for i, r := range reqs {
+		breq.Requests[i] = wireRequest{Action: r.Action, Params: map[string]cloudapi.Value(r.Params)}
+	}
+	payload, err := json.Marshal(breq)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: marshal: %w", err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, v2+"/batch", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.session != "" {
+		hreq.Header.Set(SessionHeader, c.session)
+	}
+	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
 	defer resp.Body.Close()
-	var wire wireResponse
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		if err := json.Unmarshal(body, &we); err == nil && we.IsError {
+			return nil, newWireError(&we, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("httpapi: batch failed with status %d", resp.StatusCode)
+	}
+	var bresp wireBatchResponse
+	if err := json.Unmarshal(body, &bresp); err != nil {
+		return nil, fmt.Errorf("httpapi: decode: %w", err)
+	}
+	out := &BatchResult{RequestID: bresp.RequestID, Succeeded: bresp.Succeeded, Failed: bresp.Failed, StoppedAt: -1}
+	if bresp.StoppedAt != nil {
+		out.StoppedAt = *bresp.StoppedAt
+	}
+	for _, item := range bresp.Items {
+		if item.Error != nil {
+			out.Items = append(out.Items, BatchItem{Err: newWireError(item.Error, 0)})
+		} else {
+			out.Items = append(out.Items, BatchItem{Result: cloudapi.Result(item.Result)})
+		}
+	}
+	return out, nil
+}
+
+// WireError is an API error decoded from the wire, carrying its
+// transport metadata: the HTTP status it arrived under and the
+// server-assigned RequestId — the handle that joins a client-visible
+// failure to the server's traces and logs. It unwraps to the
+// *cloudapi.APIError, so cloudapi.AsAPIError and the retry
+// classifier see straight through it.
+type WireError struct {
+	APIError  *cloudapi.APIError
+	Status    int
+	RequestID string
+}
+
+// Error surfaces the request ID on backend malfunctions — the
+// errors an operator must chase server-side — and stays terse (the
+// bare API error) on ordinary semantic failures.
+func (e *WireError) Error() string {
+	if e.RequestID != "" && e.APIError.Code == cloudapi.CodeInternalFailure {
+		return e.APIError.Error() + " (request-id " + e.RequestID + ")"
+	}
+	return e.APIError.Error()
+}
+
+// Unwrap exposes the API error to errors.As chains.
+func (e *WireError) Unwrap() error { return e.APIError }
+
+func newWireError(we *wireError, status int) *WireError {
+	return &WireError{
+		APIError:  &cloudapi.APIError{Code: we.Code, Message: we.Message},
+		Status:    status,
+		RequestID: we.RequestID,
+	}
+}
+
+// RequestIDFrom extracts the wire RequestId from an error returned by
+// Client (directly or through retry wrappers), or "" when the error
+// carries none.
+func RequestIDFrom(err error) string {
+	var we *WireError
+	if errors.As(err, &we) {
+		return we.RequestID
+	}
+	return ""
+}
+
+// wireReply is the client-side decode target: success and the
+// unified error envelope share one stream shape.
+type wireReply struct {
+	IsError   bool                      `json:"__error"`
+	Code      string                    `json:"Code"`
+	Message   string                    `json:"Message"`
+	RequestID string                    `json:"RequestId"`
+	Result    map[string]cloudapi.Value `json:"result"`
+}
+
+func decodeReply(resp *http.Response) (cloudapi.Result, error) {
+	var wire wireReply
 	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("httpapi: decode: %w", err)
 	}
-	if wire.Error != nil {
-		return nil, &cloudapi.APIError{Code: wire.Error.Code, Message: wire.Error.Message}
+	if wire.IsError {
+		return nil, newWireError(&wireError{Code: wire.Code, Message: wire.Message, RequestID: wire.RequestID}, resp.StatusCode)
 	}
 	return cloudapi.Result(wire.Result), nil
 }

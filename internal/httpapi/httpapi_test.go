@@ -3,6 +3,7 @@ package httpapi
 import (
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -122,12 +123,16 @@ func (e errBackend) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 	return nil, cloudapi.Errf(e.code, "scripted %s", e.code)
 }
 
-// TestErrorStatusMapping audits the error→HTTP mapping: throttling
-// stays 400 with the service's throttling code (as AWS query APIs
-// do), availability faults are 503, internal faults 500, timeouts
-// 408, semantic client errors 400 — and a non-API backend
-// malfunction is a 500 carrying InternalFailure, never a generic
-// client-fault envelope.
+// TestErrorStatusMapping is the wire-format round-trip audit: for
+// every framework and transient error code it pins (a) the
+// statusFor HTTP mapping — throttling stays 400 with the service's
+// throttling code as AWS query APIs do, availability faults are 503,
+// internal faults 500, timeouts 408, semantic client errors 400, a
+// non-API backend malfunction is a 500 carrying InternalFailure —
+// (b) the unified {__error, Code, Message, RequestId} envelope on
+// the raw wire, and (c) that Client decodes the envelope back into
+// an API error with the same code, the same transient-vs-semantic
+// classification, and the RequestId surfaced.
 func TestErrorStatusMapping(t *testing.T) {
 	cases := []struct {
 		code       string // "" = non-API error
@@ -144,6 +149,9 @@ func TestErrorStatusMapping(t *testing.T) {
 		{cloudapi.CodeRequestTimeout, 408, "RequestTimeout"},
 		{cloudapi.CodeInvalidParameter, 400, "InvalidParameterValue"},
 		{cloudapi.CodeMissingParameter, 400, "MissingParameter"},
+		{cloudapi.CodeUnknownAction, 400, "InvalidAction"},
+		{cloudapi.CodeDependencyViolation, 400, "DependencyViolation"},
+		{cloudapi.CodeInvalidSession, 400, "InvalidSession"},
 		{"InvalidVpc.Range", 400, "InvalidVpc.Range"},
 		{"", 500, "InternalFailure"}, // backend malfunction
 	}
@@ -153,9 +161,13 @@ func TestErrorStatusMapping(t *testing.T) {
 			name = "non-API error"
 		}
 		t.Run(name, func(t *testing.T) {
-			srv := httptest.NewServer(Handler(errBackend{code: c.code}))
+			srv := httptest.NewServer(New(errBackend{code: c.code}))
 			defer srv.Close()
-			resp, err := srv.Client().Post(srv.URL+"/invoke", "application/json", strings.NewReader(`{"action":"Ping"}`))
+
+			// Raw wire: status and unified envelope.
+			req, _ := http.NewRequest("POST", srv.URL+"/invoke", strings.NewReader(`{"action":"Ping"}`))
+			req.Header.Set(RequestIDHeader, "req-roundtrip-1")
+			resp, err := srv.Client().Do(req)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -163,15 +175,42 @@ func TestErrorStatusMapping(t *testing.T) {
 			if resp.StatusCode != c.wantStatus {
 				t.Errorf("status = %d, want %d", resp.StatusCode, c.wantStatus)
 			}
-			var wire wireResponse
+			var wire wireError
 			if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
 				t.Fatal(err)
 			}
-			if wire.Error == nil || wire.Error.Code != c.wantCode {
-				t.Errorf("wire error = %+v, want code %q", wire.Error, c.wantCode)
+			if !wire.IsError {
+				t.Error("__error marker missing from error envelope")
 			}
-			if wire.Error != nil && wire.Error.Message == "" {
+			if wire.Code != c.wantCode {
+				t.Errorf("wire code = %q, want %q", wire.Code, c.wantCode)
+			}
+			if wire.Message == "" {
 				t.Error("error message lost")
+			}
+			if wire.RequestID != "req-roundtrip-1" {
+				t.Errorf("RequestId = %q, want echoed req-roundtrip-1", wire.RequestID)
+			}
+			if got := resp.Header.Get(RequestIDHeader); got != "req-roundtrip-1" {
+				t.Errorf("response %s header = %q", RequestIDHeader, got)
+			}
+
+			// Client decode: same code, same classification, RequestId
+			// surfaced.
+			client := NewClient(srv.URL)
+			_, cerr := client.Invoke(cloudapi.Request{Action: "Ping"})
+			ae, ok := cloudapi.AsAPIError(cerr)
+			if !ok || ae.Code != c.wantCode {
+				t.Fatalf("client decoded %v, want APIError code %q", cerr, c.wantCode)
+			}
+			if c.code != "" && cloudapi.IsTransientCode(c.code) != cloudapi.IsTransientCode(ae.Code) {
+				t.Errorf("transient classification changed across the wire for %q", c.code)
+			}
+			if got := RequestIDFrom(cerr); got == "" {
+				t.Errorf("client error %v carries no RequestId", cerr)
+			}
+			if c.wantCode == cloudapi.CodeInternalFailure && !strings.Contains(cerr.Error(), "request-id") {
+				t.Errorf("malfunction error %q does not surface the request id", cerr.Error())
 			}
 		})
 	}
@@ -241,21 +280,20 @@ func TestAdviceInErrorEnvelope(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var envelope struct {
-		Error *struct {
-			Code   string `json:"code"`
-			Advice *struct {
-				RootCause string   `json:"rootCause"`
-				Repairs   []string `json:"repairs"`
-			} `json:"advice"`
-		} `json:"error"`
+		IsError bool   `json:"__error"`
+		Code    string `json:"Code"`
+		Advice  *struct {
+			RootCause string   `json:"rootCause"`
+			Repairs   []string `json:"repairs"`
+		} `json:"advice"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
 		t.Fatal(err)
 	}
-	if envelope.Error == nil || envelope.Error.Advice == nil {
+	if !envelope.IsError || envelope.Advice == nil {
 		t.Fatalf("no advice in learned-emulator error envelope: %+v", envelope)
 	}
-	if !strings.Contains(envelope.Error.Advice.RootCause, "prefixLen") || len(envelope.Error.Advice.Repairs) == 0 {
-		t.Errorf("advice = %+v", envelope.Error.Advice)
+	if !strings.Contains(envelope.Advice.RootCause, "prefixLen") || len(envelope.Advice.Repairs) == 0 {
+		t.Errorf("advice = %+v", envelope.Advice)
 	}
 }

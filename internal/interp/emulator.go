@@ -38,6 +38,16 @@ func New(svc *spec.Service) (*Emulator, error) {
 	return &Emulator{svc: svc, world: NewWorld(svc)}, nil
 }
 
+// Fork implements cloudapi.Forker: a fresh emulator over the same
+// (already indexed) spec with an empty world and restarted ID
+// allocation. The fork shares the spec, so it inherits the read-only
+// constraint documented on Emulator — safe for serving (the tenant
+// pool stamps out one emulator per session this way), not for
+// concurrent alignment repair.
+func (e *Emulator) Fork() cloudapi.Backend {
+	return &Emulator{svc: e.svc, world: NewWorld(e.svc)}
+}
+
 // Service implements cloudapi.Backend.
 func (e *Emulator) Service() string { return e.svc.Name }
 

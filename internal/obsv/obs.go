@@ -35,6 +35,15 @@ const (
 	MetricHTTPRequests     = "lce_http_requests_total"
 	MetricHTTPErrors       = "lce_http_errors_total"
 	MetricHTTPSeconds      = "lce_http_request_seconds"
+
+	// Tenant-pool series (internal/tenant): resident-session
+	// occupancy, registry hit/miss counters (hit rate = hits /
+	// (hits+misses)), and evictions labelled by reason
+	// ("idle" | "capacity").
+	MetricTenantSessions  = "lce_tenant_sessions"
+	MetricTenantHits      = "lce_tenant_hits_total"
+	MetricTenantMisses    = "lce_tenant_misses_total"
+	MetricTenantEvictions = "lce_tenant_evictions_total"
 )
 
 // Obs bundles a tracer and a registry — the two halves of the

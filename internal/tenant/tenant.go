@@ -1,0 +1,385 @@
+// Package tenant is the multi-tenant serving layer: a sharded session
+// registry that gives every tenant an isolated cloud backend. The
+// paper positions the learned emulator as a cheap many-developer
+// stand-in for the cloud (§1, §5 "local testing at scale"); one shared
+// account cannot deliver that — a global Reset from one client
+// corrupts every other client's world. A Pool maps session IDs to
+// per-session backends stamped out by a cloudapi.BackendFactory, so
+// each tenant owns a whole fresh account and sessions never observe
+// each other's state.
+//
+// Layout: sessions are partitioned across N locked shards by
+// FNV-1a(sessionID), so traffic on different shards never contends on
+// a lock. Each shard keeps its sessions in an LRU list; a per-shard
+// capacity slice (pool capacity / shards, rounded up) bounds residency
+// and an idle TTL (measured by an injectable obsv.Clock) retires cold
+// sessions. The reserved "default" session is pinned — never counted
+// against capacity, never expired — because it backs the legacy
+// single-tenant HTTP routes, and an eviction there would silently
+// reset clients that predate sessions.
+package tenant
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lce/internal/cloudapi"
+	"lce/internal/obsv"
+)
+
+// DefaultSession is the reserved session ID legacy (headerless)
+// clients share. It is pinned: exempt from capacity and TTL eviction.
+const DefaultSession = "default"
+
+// MaxSessionIDLen bounds session IDs on the wire.
+const MaxSessionIDLen = 128
+
+// Defaults applied by New when the corresponding Config field is zero.
+const (
+	DefaultShards   = 8
+	DefaultCapacity = 256
+)
+
+// Config tunes a Pool. The zero value is usable: 8 shards, 256
+// resident sessions, no idle TTL, system clock, no metrics.
+type Config struct {
+	// Shards is the number of independently locked partitions.
+	Shards int
+	// Capacity is the maximum number of resident sessions across the
+	// whole pool (the pinned default session is not counted). It is
+	// enforced per shard as ceil(Capacity/Shards), so worst-case
+	// residency rounds up to a multiple of the shard count.
+	Capacity int
+	// IdleTTL evicts a session untouched for longer than this. 0
+	// keeps idle sessions forever (capacity eviction still applies).
+	IdleTTL time.Duration
+	// Clock supplies the idle-TTL timebase. Nil means the system
+	// clock; tests inject an obsv.FakeClock to replay evictions
+	// deterministically.
+	Clock obsv.Clock
+	// Registry, when non-nil, receives the lce_tenant_* series:
+	// occupancy gauge, hit/miss counters, and per-reason eviction
+	// counters.
+	Registry *obsv.Registry
+}
+
+// session is one resident tenant: an isolated backend plus its LRU
+// bookkeeping.
+type session struct {
+	id       string
+	backend  cloudapi.Backend
+	lastUsed time.Time
+}
+
+// shard is one lock domain: a map for O(1) lookup and an LRU list
+// (front = most recently used) for eviction order.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*list.Element // value: *session
+	lru      *list.List
+}
+
+// Stats is a point-in-time snapshot of pool behaviour.
+type Stats struct {
+	// Sessions counts resident sessions, including the pinned
+	// default once it has been touched.
+	Sessions int
+	// PerShard is the resident count of each shard (default session
+	// excluded — it lives outside the shards).
+	PerShard []int
+	Hits     int64
+	Misses   int64
+	// IdleEvictions and CapacityEvictions partition evictions by
+	// cause.
+	IdleEvictions     int64
+	CapacityEvictions int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Pool is the sharded session registry. All methods are safe for
+// concurrent use.
+type Pool struct {
+	factory  cloudapi.BackendFactory
+	shards   []*shard
+	shardCap int
+	idleTTL  time.Duration
+	clock    obsv.Clock
+
+	defMu sync.Mutex
+	def   cloudapi.Backend
+
+	hits, misses       atomic.Int64
+	idleEvict, capEvic atomic.Int64
+
+	// instruments (nil-safe no-ops when Config.Registry is nil)
+	gSessions  *obsv.Gauge
+	cHits      *obsv.Counter
+	cMisses    *obsv.Counter
+	cEvictIdle *obsv.Counter
+	cEvictCap  *obsv.Counter
+}
+
+// New builds a pool over factory. Every session's backend is a fresh
+// factory product, so factories must produce behaviourally identical,
+// mutually independent instances (the same contract the parallel
+// alignment engine relies on).
+func New(factory cloudapi.BackendFactory, cfg Config) (*Pool, error) {
+	if factory == nil {
+		return nil, cloudapi.Errf(cloudapi.CodeInternalFailure, "tenant: nil backend factory")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = obsv.System()
+	}
+	p := &Pool{
+		factory:  factory,
+		shards:   make([]*shard, cfg.Shards),
+		shardCap: (cfg.Capacity + cfg.Shards - 1) / cfg.Shards,
+		idleTTL:  cfg.IdleTTL,
+		clock:    cfg.Clock,
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{sessions: make(map[string]*list.Element), lru: list.New()}
+	}
+	if reg := cfg.Registry; reg != nil {
+		p.gSessions = reg.Gauge(obsv.MetricTenantSessions)
+		p.cHits = reg.Counter(obsv.MetricTenantHits)
+		p.cMisses = reg.Counter(obsv.MetricTenantMisses)
+		p.cEvictIdle = reg.Counter(obsv.MetricTenantEvictions, "reason", "idle")
+		p.cEvictCap = reg.Counter(obsv.MetricTenantEvictions, "reason", "capacity")
+	}
+	return p, nil
+}
+
+// ValidSessionID reports whether id is usable on the wire: 1 to
+// MaxSessionIDLen characters from [A-Za-z0-9._-].
+func ValidSessionID(id string) bool {
+	if id == "" || len(id) > MaxSessionIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// fnv1a is the shard hash: tiny, allocation-free, and uniform enough
+// to spread session IDs across lock domains.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (p *Pool) shardFor(id string) *shard {
+	return p.shards[fnv1a(id)%uint32(len(p.shards))]
+}
+
+// Get returns the backend owning session id, creating it on first
+// use. An empty id means the pinned default session. Invalid IDs are
+// rejected with cloudapi.CodeInvalidSession, so the HTTP layer can
+// forward the error verbatim.
+func (p *Pool) Get(id string) (cloudapi.Backend, error) {
+	if id == "" || id == DefaultSession {
+		p.defMu.Lock()
+		if p.def == nil {
+			p.def = p.factory()
+			p.gSessions.Add(1)
+		}
+		b := p.def
+		p.defMu.Unlock()
+		p.hits.Add(1)
+		p.cHits.Inc()
+		return b, nil
+	}
+	if !ValidSessionID(id) {
+		return nil, cloudapi.Errf(cloudapi.CodeInvalidSession,
+			"session id must be 1-%d characters from [A-Za-z0-9._-]", MaxSessionIDLen)
+	}
+	sh := p.shardFor(id)
+	now := p.clock.Now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p.expireLocked(sh, now)
+	if el, ok := sh.sessions[id]; ok {
+		sess := el.Value.(*session)
+		sess.lastUsed = now
+		sh.lru.MoveToFront(el)
+		p.hits.Add(1)
+		p.cHits.Inc()
+		return sess.backend, nil
+	}
+	// Miss: stamp out a fresh backend. The factory runs under the
+	// shard lock — an expensive factory stalls only sessions hashing
+	// to this shard, which is the contention boundary the sharding
+	// exists to draw.
+	sess := &session{id: id, backend: p.factory(), lastUsed: now}
+	sh.sessions[id] = sh.lru.PushFront(sess)
+	p.misses.Add(1)
+	p.cMisses.Inc()
+	p.gSessions.Add(1)
+	for sh.lru.Len() > p.shardCap {
+		p.evictLocked(sh, sh.lru.Back(), &p.capEvic, p.cEvictCap)
+	}
+	return sess.backend, nil
+}
+
+// expireLocked retires every session in sh idle past the TTL. Caller
+// holds sh.mu.
+func (p *Pool) expireLocked(sh *shard, now time.Time) {
+	if p.idleTTL <= 0 {
+		return
+	}
+	for el := sh.lru.Back(); el != nil; {
+		sess := el.Value.(*session)
+		if now.Sub(sess.lastUsed) <= p.idleTTL {
+			break // LRU order: everything further front is fresher
+		}
+		prev := el.Prev()
+		p.evictLocked(sh, el, &p.idleEvict, p.cEvictIdle)
+		el = prev
+	}
+}
+
+func (p *Pool) evictLocked(sh *shard, el *list.Element, local *atomic.Int64, c *obsv.Counter) {
+	sess := el.Value.(*session)
+	sh.lru.Remove(el)
+	delete(sh.sessions, sess.id)
+	local.Add(1)
+	c.Inc()
+	p.gSessions.Add(-1)
+}
+
+// Sweep runs idle-TTL eviction across every shard and returns the
+// number of sessions retired. Get already sweeps the shard it
+// touches; Sweep exists for operators and tests that want eviction
+// without traffic.
+func (p *Pool) Sweep() int {
+	if p.idleTTL <= 0 {
+		return 0
+	}
+	now := p.clock.Now()
+	before := p.idleEvict.Load()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		p.expireLocked(sh, now)
+		sh.mu.Unlock()
+	}
+	return int(p.idleEvict.Load() - before)
+}
+
+// Reset clears one session's account — the session-scoped Reset the
+// v2 API exposes. Resetting a session that does not exist yet creates
+// it (a fresh account is already reset).
+func (p *Pool) Reset(id string) error {
+	b, err := p.Get(id)
+	if err != nil {
+		return err
+	}
+	b.Reset()
+	return nil
+}
+
+// Drop removes a session entirely, reporting whether it was resident.
+// The pinned default session cannot be dropped.
+func (p *Pool) Drop(id string) bool {
+	if id == "" || id == DefaultSession || !ValidSessionID(id) {
+		return false
+	}
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.sessions[id]
+	if !ok {
+		return false
+	}
+	sess := el.Value.(*session)
+	sh.lru.Remove(el)
+	delete(sh.sessions, sess.id)
+	p.gSessions.Add(-1)
+	return true
+}
+
+// Contains reports whether session id is currently resident, without
+// touching its LRU position.
+func (p *Pool) Contains(id string) bool {
+	if id == "" || id == DefaultSession {
+		return p.defaultLive()
+	}
+	if !ValidSessionID(id) {
+		return false
+	}
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.sessions[id]
+	return ok
+}
+
+func (p *Pool) defaultLive() bool {
+	p.defMu.Lock()
+	defer p.defMu.Unlock()
+	return p.def != nil
+}
+
+// Len returns the number of resident sessions, including the pinned
+// default once touched.
+func (p *Pool) Len() int {
+	n := 0
+	if p.defaultLive() {
+		n = 1
+	}
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Shards returns the shard count.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Stats snapshots occupancy and lookup/eviction counters.
+func (p *Pool) Stats() Stats {
+	st := Stats{
+		PerShard:          make([]int, len(p.shards)),
+		Hits:              p.hits.Load(),
+		Misses:            p.misses.Load(),
+		IdleEvictions:     p.idleEvict.Load(),
+		CapacityEvictions: p.capEvic.Load(),
+	}
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		st.PerShard[i] = sh.lru.Len()
+		sh.mu.Unlock()
+		st.Sessions += st.PerShard[i]
+	}
+	if p.defaultLive() {
+		st.Sessions++
+	}
+	return st
+}

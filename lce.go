@@ -39,6 +39,7 @@ import (
 	"lce/internal/scenarios"
 	"lce/internal/synth"
 	"lce/internal/synth/d2c"
+	"lce/internal/tenant"
 	"lce/internal/trace"
 )
 
@@ -344,4 +345,41 @@ func Connect(baseURL string) Backend {
 // genuinely degraded) server are retried instead of surfacing.
 func ConnectResilient(baseURL string) Backend {
 	return httpapi.NewResilientClient(baseURL, retry.DefaultPolicy())
+}
+
+// BackendFactory stamps out independent backend instances — one per
+// tenant session, one per alignment worker.
+type BackendFactory = cloudapi.BackendFactory
+
+// Pool is the sharded multi-tenant session registry: it maps session
+// IDs to isolated per-session backends stamped from a factory, with
+// LRU capacity and idle-TTL eviction. The "default" session is pinned
+// and backs legacy headerless clients.
+type Pool = tenant.Pool
+
+// PoolConfig tunes a Pool: shard count, capacity, idle TTL, clock and
+// metrics registry. The zero value gives sane defaults.
+type PoolConfig = tenant.Config
+
+// NewPool builds a session registry over a backend factory.
+func NewPool(factory BackendFactory, cfg PoolConfig) (*Pool, error) {
+	return tenant.New(factory, cfg)
+}
+
+// ServePool exposes a multi-tenant server: legacy routes plus the /v2
+// surface (POST /v2/{service}?Action=..., session selection via the
+// X-LCE-Session header, session-scoped reset, POST /v2/{service}/batch,
+// GET /v2/sessions). ob may be nil for an unobserved server.
+func ServePool(b Backend, p *Pool, ob *Obs) http.Handler {
+	return httpapi.New(b, httpapi.WithPool(p), httpapi.WithObs(ob))
+}
+
+// Client is the wire client; WithSession scopes it to a tenant
+// session and Batch sends many requests in one round trip.
+type Client = httpapi.Client
+
+// SessionClient returns a client for one tenant session on a pool
+// server. An empty session means the shared default session.
+func SessionClient(baseURL, session string) *Client {
+	return httpapi.NewClient(baseURL).WithSession(session)
 }

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ci
+.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ops-smoke ci
 
 build:
 	$(GO) build ./...
@@ -78,4 +78,36 @@ tenant-smoke:
 	echo "tenant smoke: v2 invoke, isolation, batch, stats, legacy format, session reset all OK"
 	$(GO) run ./cmd/lce-bench -tenant -short -json bench-tenant.json
 
-ci: build lint race chaos bench obsv-smoke tenant-smoke
+# Operations-plane smoke: boot a chaos lce-server with the ops plane
+# on, stream /debug/events over SSE while driving seeded traffic, lint
+# the live /metrics scrape in both content negotiations with
+# lce-tracecheck, then dump the flight recorder and replay it through
+# lce-replay against a fresh server with the same seeds — any byte
+# difference in any response fails the target. The dump and the SSE
+# capture are left behind as artifacts (flight-dump.json,
+# ops-events.txt).
+ops-smoke:
+	$(GO) build -o lce-server-ops ./cmd/lce-server
+	$(GO) build -o lce-replay-ops ./cmd/lce-replay
+	$(GO) build -o lce-tracecheck-ops ./cmd/lce-tracecheck
+	@set -e; \
+	./lce-server-ops -service ec2 -backend oracle -chaos -fault-rate 0.2 -chaos-seed 7 -addr 127.0.0.1:4599 -log-format off >/dev/null 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -f lce-server-ops lce-replay-ops lce-tracecheck-ops' EXIT; \
+	for i in $$(seq 1 50); do curl -s 127.0.0.1:4599/healthz >/dev/null && break; sleep 0.1; done; \
+	curl -s -N -m 30 '127.0.0.1:4599/debug/events' > ops-events.txt & sse=$$!; \
+	sleep 0.3; \
+	curl -s -XPOST '127.0.0.1:4599/invoke' -d '{"action":"CreateVpc","params":{"cidrBlock":"10.0.0.0/16"}}' >/dev/null; \
+	for i in $$(seq 1 15); do \
+		curl -s -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4599/v2/ec2?Action=DescribeVpcs' >/dev/null; \
+	done; \
+	curl -s 127.0.0.1:4599/metrics | ./lce-tracecheck-ops -metrics -; \
+	curl -s -H 'Accept: application/openmetrics-text' 127.0.0.1:4599/metrics | ./lce-tracecheck-ops -metrics -; \
+	curl -s 127.0.0.1:4599/debug/flightrecorder > flight-dump.json; \
+	sleep 0.2; kill $$sse 2>/dev/null || true; \
+	grep -q '^data: ' ops-events.txt || { echo "no SSE events captured"; exit 1; }; \
+	echo "ops smoke: $$(grep -c '^data: ' ops-events.txt) SSE events streamed"; \
+	kill $$pid 2>/dev/null; \
+	./lce-replay-ops -dump flight-dump.json -backend oracle -chaos -fault-rate 0.2 -chaos-seed 7; \
+	echo "ops smoke: metrics lint (prom + openmetrics), SSE stream, flight dump + byte-identical replay all OK"
+
+ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke

@@ -24,8 +24,9 @@ import (
 
 // artifactSchemaVersion identifies the benchArtifact layout; bump it
 // when a field changes meaning so trajectory tooling can dispatch on
-// shape instead of guessing from key presence.
-const artifactSchemaVersion = 2
+// shape instead of guessing from key presence. v3 added the run-wide
+// MemStats block and the operations-plane overhead rows.
+const artifactSchemaVersion = 3
 
 // benchArtifact is the JSON blob -json writes; CI uploads it so every
 // PR leaves a perf trajectory behind. GitSHA and GoMaxProcs pin each
@@ -43,6 +44,49 @@ type benchArtifact struct {
 	Chaos         []chaosJSON    `json:"chaosAlignment,omitempty"`
 	Tenant        []tenantJSON   `json:"tenantSweep,omitempty"`
 	Batch         []batchJSON    `json:"batchAmortization,omitempty"`
+	Ops           []opsJSON      `json:"opsOverhead,omitempty"`
+	// Mem is the whole-run heap delta: how much this benchmark binary
+	// allocated and collected between flag parsing and artifact write.
+	Mem *memJSON `json:"memStats,omitempty"`
+}
+
+// opsJSON is one -ops cell: the same HTTP load with the operations
+// plane off versus on.
+type opsJSON struct {
+	Mode        string  `json:"mode"`
+	Requests    int     `json:"requests"`
+	ElapsedNs   int64   `json:"elapsedNs"`
+	PerReqNs    int64   `json:"perReqNs"`
+	AllocBytes  uint64  `json:"allocBytes"`
+	Allocs      uint64  `json:"allocs"`
+	AllocsPerRq float64 `json:"allocsPerReq"`
+	NumGC       uint32  `json:"numGC"`
+}
+
+// memJSON pins each artifact to the memory behaviour of the run that
+// produced it, so a perf trajectory can tell a latency regression from
+// an allocation regression.
+type memJSON struct {
+	TotalAllocBytes uint64 `json:"totalAllocBytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	HeapAllocBytes  uint64 `json:"heapAllocBytes"`
+	HeapObjects     uint64 `json:"heapObjects"`
+	NumGC           uint32 `json:"numGC"`
+	GCPauseNs       uint64 `json:"gcPauseNs"`
+}
+
+// memDelta summarizes the run's allocation activity between two
+// MemStats snapshots (monotonic fields as deltas, heap fields as the
+// final state).
+func memDelta(before, after *runtime.MemStats) *memJSON {
+	return &memJSON{
+		TotalAllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Mallocs:         after.Mallocs - before.Mallocs,
+		HeapAllocBytes:  after.HeapAlloc,
+		HeapObjects:     after.HeapObjects,
+		NumGC:           after.NumGC - before.NumGC,
+		GCPauseNs:       after.PauseTotalNs - before.PauseTotalNs,
+	}
 }
 
 // tenantJSON is one -tenant sweep cell: the same total load pushed
@@ -137,6 +181,7 @@ func main() {
 		alignspeed = flag.Bool("alignspeed", false, "parallel-vs-serial alignment speedup (multi-service)")
 		tenantB    = flag.Bool("tenant", false, "multi-tenant serving sweep (K sessions x M goroutines) and /batch round-trip amortization")
 		chaos      = flag.Bool("chaos", false, "alignment throughput and retry overhead against a flaky oracle, across fault rates")
+		opsB       = flag.Bool("ops", false, "operations-plane overhead: the same HTTP load with the plane off vs on")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos fault/jitter streams")
 		workers    = flag.Int("workers", 8, "worker-pool size for -alignspeed and -chaos")
 		rtt        = flag.Duration("rtt", 200*time.Microsecond, "simulated cloud round trip: per API call for -alignspeed (0 = in-process, pure CPU), per serialized call / HTTP request for -tenant")
@@ -146,7 +191,9 @@ func main() {
 		traceSeed  = flag.Int64("trace-seed", 1, "seed for span/trace IDs when -trace-out is set")
 	)
 	flag.Parse()
-	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos || *tenantB)
+	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos || *tenantB || *opsB)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	sha, dirty := buildVCS()
 	artifact := benchArtifact{
 		SchemaVersion: artifactSchemaVersion,
@@ -313,6 +360,23 @@ func main() {
 			})
 		}
 	}
+	if *opsB {
+		requests := 2000
+		if *short {
+			requests = 300
+		}
+		rows, err := eval.OpsOverhead(requests)
+		check(err)
+		fmt.Println(eval.FormatOps(rows))
+		for _, r := range rows {
+			artifact.Ops = append(artifact.Ops, opsJSON{
+				Mode: r.Mode, Requests: r.Requests,
+				ElapsedNs: r.Elapsed.Nanoseconds(), PerReqNs: r.PerRequest().Nanoseconds(),
+				AllocBytes: r.AllocBytes, Allocs: r.Allocs,
+				AllocsPerRq: r.AllocsPerRequest(), NumGC: r.NumGC,
+			})
+		}
+	}
 	if all || *graphs {
 		stats, anti, err := eval.GraphReport()
 		check(err)
@@ -328,6 +392,9 @@ func main() {
 	}
 
 	if *jsonOut != "" {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		artifact.Mem = memDelta(&memBefore, &memAfter)
 		blob, err := json.MarshalIndent(artifact, "", "  ")
 		check(err)
 		check(os.WriteFile(*jsonOut, append(blob, '\n'), 0o644))

@@ -29,9 +29,16 @@
 // metrics registry in Prometheus text (per-route request/error
 // counters, latency histograms, per-op backend latencies), and
 // GET /debug/traces serves the recorded request spans grouped by
-// trace. With -debug-addr a side listener additionally exposes the
-// pprof profiling endpoints (kept off the main listener so a served
-// emulator never leaks profiles to its API clients):
+// trace. The operations plane (on by default, -ops=false to disable)
+// adds dimensional request metrics with trace exemplars, a structured
+// event log (-log-format text|json, -log-session to scope it to one
+// tenant), live SSE streaming on GET /debug/events, a flight recorder
+// of the last -flight data-plane requests on GET /debug/flightrecorder
+// (replayable with lce-replay), and an SLO health engine behind
+// GET /healthz and GET /readyz (-slo-error-rate, -slo-p99). With
+// -debug-addr a side listener additionally exposes the pprof profiling
+// endpoints (kept off the main listener so a served emulator never
+// leaks profiles to its API clients):
 //
 //	lce-server -service ec2 -debug-addr localhost:6060
 //	go tool pprof http://localhost:6060/debug/pprof/profile
@@ -42,15 +49,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"time"
 
 	"lce"
-	"lce/internal/cloudapi"
-	"lce/internal/fault"
-	"lce/internal/manual"
 	"lce/internal/obsv"
 )
 
@@ -68,72 +73,92 @@ func main() {
 		sessions  = flag.Int("sessions", 64, "max resident tenant sessions (0 = single-tenant server, non-default X-LCE-Session rejected)")
 		shards    = flag.Int("shards", 8, "tenant-pool shard count")
 		ttl       = flag.Duration("session-ttl", 15*time.Minute, "evict tenant sessions idle longer than this (0 = never)")
+
+		ops        = flag.Bool("ops", true, "mount the operations plane (dimensional metrics, /debug/events, flight recorder, SLO health)")
+		logFormat  = flag.String("log-format", "text", "structured process log format: text | json | off")
+		logLevel   = flag.String("log-level", "info", "minimum process log level: debug | info | warn | error")
+		logSession = flag.String("log-session", "", "scope the process log to one tenant session (event bus still sees all)")
+		flightCap  = flag.Int("flight", 0, "flight-recorder window size in requests (0 = default 1024)")
+		sloErrRate = flag.Float64("slo-error-rate", 0, "SLO error-rate target as a fraction (0 = default 0.01)")
+		sloP99     = flag.Duration("slo-p99", 0, "SLO p99 latency target (0 = default 250ms)")
 	)
 	flag.Parse()
 
-	b, err := buildBackend(*service, *backend, *noisy)
+	srv, err := lce.NewServer(lce.ServerConfig{
+		Service: *service, Backend: *backend, Noisy: *noisy,
+		Chaos: *chaos, ChaosSeed: *chaosSeed, FaultRate: *faultRate,
+		TraceSeed: *traceSeed,
+		Sessions:  *sessions, Shards: *shards, SessionTTL: *ttl,
+		Ops:            *ops,
+		FlightCapacity: *flightCap,
+		SLOErrorRate:   *sloErrRate,
+		SLOP99:         *sloP99,
+		LogHandler:     logHandler(*logFormat, *logLevel),
+		LogSession:     *logSession,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	// Per-session backends are stamped from a factory: forkable
-	// backends (oracles, the learned emulator) fork cheaply; the rest
-	// (manual, d2c) rebuild from scratch on first use of a session.
-	factory := cloudapi.FactoryOf(b)
-	if factory == nil {
-		service, kind, noisy := *service, *backend, *noisy
-		factory = func() lce.Backend {
-			nb, err := buildBackend(service, kind, noisy)
-			if err != nil {
-				// The identical build above succeeded, so this is
-				// unreachable short of resource exhaustion.
-				log.Fatalf("session backend: %v", err)
-			}
-			return nb
-		}
-	}
 	if *chaos {
-		cfg := lce.UniformFaults(*faultRate, *chaosSeed)
-		b = lce.Chaos(b, cfg)
-		factory = fault.Factory(factory, cfg)
 		log.Printf("chaos on: %.0f%% fault rate, seed %d (throttling → 400, unavailable → 503, internal → 500, drops → 408)",
 			100**faultRate, *chaosSeed)
 	}
-	ob := lce.NewObs(*traceSeed)
-	var pool *lce.Pool
-	if *sessions > 0 {
-		pool, err = lce.NewPool(factory, lce.PoolConfig{
-			Shards: *shards, Capacity: *sessions, IdleTTL: *ttl, Registry: ob.Registry,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if *ttl > 0 {
-			go func() {
-				for range time.Tick(*ttl) {
-					pool.Sweep()
-				}
-			}()
-		}
+	if srv.Pool != nil && *ttl > 0 {
+		pool := srv.Pool
+		go func() {
+			for range time.Tick(*ttl) {
+				pool.Sweep()
+			}
+		}()
 	}
 	if *debugAddr != "" {
-		go serveDebug(*debugAddr, ob)
+		go serveDebug(*debugAddr, srv.Obs)
 	}
 	hint := *addr
 	if len(hint) > 0 && hint[0] == ':' {
 		hint = "localhost" + hint
 	}
-	log.Printf("serving %s (%s backend, %d actions) on %s", *service, *backend, len(b.Actions()), *addr)
-	if pool != nil {
+	log.Printf("serving %s (%s backend, %d actions) on %s", *service, *backend, len(srv.Backend.Actions()), *addr)
+	if srv.Pool != nil {
 		log.Printf("multi-tenant: up to %d sessions over %d shards, idle TTL %s (X-LCE-Session selects; stats on %s/v2/sessions)",
-			*sessions, pool.Shards(), *ttl, hint)
+			*sessions, srv.Pool.Shards(), *ttl, hint)
 		log.Printf("try: curl -s -XPOST -H 'X-LCE-Session: alice' '%s/v2/%s?Action=CreateVpc' -d '{\"params\":{\"cidrBlock\":\"10.0.0.0/16\"}}'", hint, *service)
 	}
 	log.Printf("observability: %s/metrics (Prometheus text), %s/debug/traces (span JSON)", hint, hint)
+	if srv.Ops != nil {
+		log.Printf("operations plane: %s/debug/events (SSE), %s/debug/flightrecorder (dump for lce-replay), %s/healthz + %s/readyz (SLO verdicts)",
+			hint, hint, hint, hint)
+	}
 	log.Printf("try: curl -s -XPOST %s/invoke -d '{\"action\":\"CreateVpc\",\"params\":{\"cidrBlock\":\"10.0.0.0/16\"}}'", hint)
-	if err := http.ListenAndServe(*addr, lce.ServePool(b, pool, ob)); err != nil {
+	if err := http.ListenAndServe(*addr, srv.Handler); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// logHandler builds the process-log delegate for the operations plane's
+// slog pipeline. "off" (or an unknown format) returns nil: events still
+// reach the bus and SSE subscribers, nothing is printed.
+func logHandler(format, level string) slog.Handler {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		return slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil
 	}
 }
 
@@ -155,48 +180,5 @@ func serveDebug(addr string, ob *lce.Obs) {
 	log.Printf("debug listener (pprof, /metrics, /debug/traces) on %s", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		log.Printf("debug listener: %v", err)
-	}
-}
-
-func buildBackend(service, kind string, noisy bool) (lce.Backend, error) {
-	switch kind {
-	case "oracle":
-		return lce.Cloud(service)
-	case "manual":
-		switch service {
-		case "ec2":
-			return manual.NewEC2(), nil
-		case "dynamodb":
-			return manual.NewDynamoDB(), nil
-		case "network-firewall":
-			return manual.NewNetworkFirewall(), nil
-		case "eks":
-			return manual.NewEKS(), nil
-		default:
-			return nil, fmt.Errorf("no manual baseline for %q", service)
-		}
-	case "d2c":
-		c, err := lce.Documentation(service)
-		if err != nil {
-			return nil, err
-		}
-		return lce.DirectToCode(c)
-	case "learned":
-		c, err := lce.Documentation(service)
-		if err != nil {
-			return nil, err
-		}
-		opts := lce.PerfectOptions()
-		if noisy {
-			opts = lce.DefaultOptions()
-		}
-		emu, rep, err := lce.Learn(c, opts)
-		if err != nil {
-			return nil, err
-		}
-		log.Printf("synthesized %d SMs (%d re-prompts, %d stubs patched)", rep.SMCount, rep.RePrompts, rep.StubsPatched)
-		return emu, nil
-	default:
-		return nil, fmt.Errorf("unknown backend kind %q", kind)
 	}
 }

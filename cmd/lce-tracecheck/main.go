@@ -1,4 +1,8 @@
-// Command lce-tracecheck validates a JSONL trace export (lce-align
+// Command lce-tracecheck validates observability exports from the
+// outside, the way a consumer would, so CI catches a regression in an
+// exporter as well as in the instrumentation behind it.
+//
+// Trace mode (default) checks a JSONL trace export (lce-align
 // -trace-out, lce-bench -trace-out):
 //
 //	lce-tracecheck trace.jsonl
@@ -6,31 +10,76 @@
 // It fails (exit 1) when any span is malformed, references a parent
 // that is not in its trace, duplicates a span ID, belongs to a trace
 // with no root, or ends before it starts — the invariants the span
-// taxonomy guarantees, checked from the outside so CI catches a
-// regression in the exporter as well as in the tracer. On success it
-// prints a one-line digest (spans, traces, divergences, fault events).
+// taxonomy guarantees. On success it prints a one-line digest (spans,
+// traces, divergences, fault events).
+//
+// Metrics mode (-metrics) checks a Prometheus/OpenMetrics text
+// exposition — typically a live scrape of a running server:
+//
+//	curl -s localhost:4566/metrics | lce-tracecheck -metrics -
+//	curl -s -H 'Accept: application/openmetrics-text' localhost:4566/metrics > om.txt
+//	lce-tracecheck -metrics om.txt
+//
+// It fails when a line is malformed, a label value breaks the escaping
+// rules, families or series are out of the registry's deterministic
+// order, histogram buckets are not cumulative, or an exemplar does not
+// parse — see obsv.LintExposition for the full invariant list.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lce/internal/obsv"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: lce-tracecheck <trace.jsonl>")
+	metrics := flag.Bool("metrics", false, "validate a Prometheus/OpenMetrics text exposition instead of a trace export")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lce-tracecheck [-metrics] <file | ->")
 		os.Exit(2)
 	}
-	path := os.Args[1]
-	f, err := os.Open(path)
+	path := flag.Arg(0)
+	f := io.Reader(os.Stdin)
+	if path != "-" {
+		file, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lce-tracecheck:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		f = file
+	}
+	if *metrics {
+		checkMetrics(path, f)
+		return
+	}
+	checkTraces(path, f)
+}
+
+func checkMetrics(path string, f io.Reader) {
+	st, err := obsv.LintExposition(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lce-tracecheck:", err)
+		fmt.Fprintf(os.Stderr, "lce-tracecheck: %s invalid: %v\n", path, err)
 		os.Exit(1)
 	}
+	if st.Families == 0 {
+		fmt.Fprintln(os.Stderr, "lce-tracecheck: no metric families in", path)
+		os.Exit(1)
+	}
+	format := "prometheus 0.0.4"
+	if st.OpenMetrics {
+		format = "openmetrics"
+	}
+	fmt.Printf("%s: valid %s — %d families, %d series, %d samples, %d exemplars\n",
+		path, format, st.Families, st.Series, st.Samples, st.Exemplars)
+}
+
+func checkTraces(path string, f io.Reader) {
 	spans, err := obsv.ReadJSONL(f)
-	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lce-tracecheck:", err)
 		os.Exit(1)

@@ -361,16 +361,40 @@ func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.B
 		}
 	}
 
+	// Per-cause divergence counters, labelled with the service under
+	// alignment ({service,cause}) so a multi-service process attributes
+	// each divergence. Pre-created once per round; nil (no-op) without a
+	// registry, which keeps the uninstrumented path untouched.
+	var cDivSemantic, cDivTransient *obsv.Counter
+	if obs != nil && obs.Registry != nil {
+		cDivSemantic = obs.Registry.Counter(obsv.MetricAlignDivergences,
+			"service", svc.Name, "cause", CauseSemantic)
+		cDivTransient = obs.Registry.Counter(obsv.MetricAlignDivergences,
+			"service", svc.Name, "cause", CauseExhaustedTransient)
+	}
+	countDivergence := func(d *trace.StepDiff) {
+		if d == nil || cDivSemantic == nil {
+			return
+		}
+		if Cause(*d) == CauseSemantic {
+			cDivSemantic.Inc()
+		} else {
+			cDivTransient.Inc()
+		}
+	}
+
 	compare := func(emu *interp.Emulator, ora cloudapi.Backend, i int) trace.Report {
 		tracer := obs.TracerOrNil()
 		if tracer == nil {
 			// Nil-tracer fast path: exactly the untraced comparison.
 			rep := trace.CompareIndexed(emu, ora, i, traces[i])
 			counters.TraceCompared(!rep.Aligned())
+			countDivergence(rep.FirstDiff())
 			return rep
 		}
 		ctx := obs.Context(context.Background())
 		ctx, root := tracer.StartRootKeyed(ctx, obsv.SpanAlignTrace, rootKey(epoch, round, i))
+		root.SetAttr("service", svc.Name)
 		root.SetAttr("trace", traces[i].Name)
 		root.SetAttrInt("index", int64(i))
 		root.SetAttrInt("round", int64(round))
@@ -382,6 +406,7 @@ func compareRound(svc *spec.Service, oracle cloudapi.Backend, factory cloudapi.B
 			root.SetAttr("diff.kind", d.Kind.String())
 			root.SetAttr("diff.cause", Cause(*d))
 			root.SetError(d.Kind.String())
+			countDivergence(d)
 		} else {
 			root.SetAttr("aligned", "true")
 		}

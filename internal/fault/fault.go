@@ -227,7 +227,10 @@ func (in *Injector) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 	if sp := obsv.SpanFrom(req.Ctx); sp != nil {
 		switch {
 		case d.Injected():
-			sp.Event(obsv.EventFault, "code", d.Code,
+			// "action" rides along so downstream consumers (the ops
+			// plane's event bus) can attribute the fault without
+			// resolving the span tree.
+			sp.Event(obsv.EventFault, "code", d.Code, "action", req.Action,
 				"call", strconv.Itoa(d.Call), "seed", strconv.FormatInt(in.cfg.Seed, 10))
 		case d.Forced:
 			sp.Event(obsv.EventFaultForce, "call", strconv.Itoa(d.Call))

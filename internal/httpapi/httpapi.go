@@ -39,13 +39,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"strconv"
 	"sync/atomic"
 
 	"lce/internal/advisor"
 	"lce/internal/cloudapi"
 	"lce/internal/interp"
 	"lce/internal/obsv"
+	"lce/internal/opsplane"
 	"lce/internal/retry"
 	"lce/internal/tenant"
 )
@@ -135,6 +135,7 @@ type wireBatchResponse struct {
 type config struct {
 	obs  *obsv.Obs
 	pool *tenant.Pool
+	ops  *opsplane.Plane
 }
 
 // Option configures New.
@@ -172,7 +173,7 @@ func New(b cloudapi.Backend, opts ...Option) http.Handler {
 			o(&cfg)
 		}
 	}
-	s := &server{backend: b, obs: cfg.obs, pool: cfg.pool}
+	s := &server{backend: b, obs: cfg.obs, pool: cfg.pool, ops: cfg.ops}
 	return s.routes()
 }
 
@@ -193,6 +194,7 @@ type server struct {
 	backend  cloudapi.Backend
 	obs      *obsv.Obs
 	pool     *tenant.Pool
+	ops      *opsplane.Plane
 	requests atomic.Int64 // backend invocations, reported by /healthz
 	reqSeq   atomic.Uint64
 }
@@ -200,7 +202,7 @@ type server struct {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, fn http.HandlerFunc) {
-		mux.HandleFunc(pattern, instrument(s.obs, route, fn))
+		mux.HandleFunc(pattern, s.instrument(route, fn))
 	}
 
 	// Legacy surface. The invoke/reset handlers are session-aware —
@@ -216,6 +218,13 @@ func (s *server) routes() http.Handler {
 		})
 	})
 	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.ops != nil {
+			// With the operations plane mounted, /healthz is the SLO
+			// verdict: 200 while the multi-window burn rule holds, 503
+			// with per-check detail once it breaks.
+			s.ops.ServeHealthz(w, r)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"service":  s.backend.Service(),
 			"requests": s.requests.Load(),
@@ -238,6 +247,7 @@ func (s *server) routes() http.Handler {
 			writeJSON(w, http.StatusOK, obsv.GroupTraces(t.Snapshot()))
 		})
 	}
+	s.opsRoutes(mux)
 
 	// Unmatched paths get the unified error envelope rather than the
 	// router's plain-text 404.
@@ -561,9 +571,12 @@ func (s *server) malformed(w http.ResponseWriter, reqID, format string, args ...
 
 // statusWriter captures the response status for the instrumentation
 // layer; an unset status means an implicit 200 from the first Write.
+// A non-nil tee additionally mirrors the response bytes (for the
+// flight recorder and the error-code label).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	tee    *bytes.Buffer
 }
 
 func (w *statusWriter) WriteHeader(status int) {
@@ -573,48 +586,18 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.tee != nil && w.tee.Len() < 1<<20 {
+		w.tee.Write(p)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
 func (w *statusWriter) statusOrOK() int {
 	if w.status == 0 {
 		return http.StatusOK
 	}
 	return w.status
-}
-
-// instrument wraps one route's handler with the request-scoped
-// observability: root span, request/error counters, latency histogram.
-// With a disabled obs it returns fn untouched — the instrumented and
-// plain servers run the same code path.
-func instrument(obs *obsv.Obs, route string, fn http.HandlerFunc) http.HandlerFunc {
-	if !obs.Enabled() {
-		return fn
-	}
-	return func(w http.ResponseWriter, r *http.Request) {
-		tracer := obs.TracerOrNil()
-		clock := tracer.Clock()
-		start := clock.Now()
-		ctx := obs.Context(r.Context())
-		var sp *obsv.Span
-		if tracer != nil {
-			ctx, sp = tracer.StartRoot(ctx, obsv.SpanHTTPPfx+route)
-			sp.SetAttr("method", r.Method)
-			sp.SetAttr("route", route)
-		}
-		sw := &statusWriter{ResponseWriter: w}
-		fn(sw, r.WithContext(ctx))
-		status := sw.statusOrOK()
-		sp.SetAttrInt("status", int64(status))
-		if status >= 400 {
-			sp.SetError("status " + strconv.Itoa(status))
-		}
-		sp.End()
-		if reg := obs.Registry; reg != nil {
-			reg.Counter(obsv.MetricHTTPRequests, "route", route).Inc()
-			if status >= 400 {
-				reg.Counter(obsv.MetricHTTPErrors, "route", route).Inc()
-			}
-			reg.Histogram(obsv.MetricHTTPSeconds, "route", route).ObserveDuration(clock.Now().Sub(start))
-		}
-	}
 }
 
 // statusFor maps an API error code to its wire status the way AWS

@@ -1,0 +1,200 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+
+	"lce/internal/cloudapi"
+	"lce/internal/obsv"
+	"lce/internal/opsplane"
+	"lce/internal/tenant"
+)
+
+// WithOps mounts the live operations plane: dimensional request
+// metrics ({service,action,session,code} on top of the per-route
+// aggregates), latency exemplars carrying span trace IDs, SLO
+// recording for /healthz and /readyz, flight-recorder capture of the
+// data-plane routes, and the streaming endpoints
+//
+//	GET /debug/events          — SSE event stream (?session=&service=&kind=)
+//	GET /debug/flightrecorder  — JSON dump of the recent-request window
+//	GET /readyz                — fast-window SLO gate
+//
+// A nil plane is a no-op: the server runs the exact pre-ops code path.
+func WithOps(p *opsplane.Plane) Option { return func(c *config) { c.ops = p } }
+
+// flightRoutes are the data-plane routes the flight recorder captures:
+// the deterministic request/response conversation lce-replay can
+// re-drive byte-for-byte. Metadata and introspection routes (healthz,
+// sessions, metrics) are excluded — their bodies embed counters and
+// clocks that legitimately differ across runs.
+var flightRoutes = map[string]bool{
+	"invoke":    true,
+	"reset":     true,
+	"v2.invoke": true,
+	"v2.reset":  true,
+	"v2.batch":  true,
+}
+
+// codeOK is the "code" label value for non-error responses.
+const codeOK = "OK"
+
+// sloError classifies one response for the SLO engine's error rate:
+// server faults (5xx), timeouts (408), and transient API faults
+// surfaced as 400 (throttling — the AWS convention puts them there)
+// count; semantic client errors do not, so a misbehaving client cannot
+// burn the server's error budget.
+func sloError(status int, code string) bool {
+	switch {
+	case status >= 500, status == http.StatusRequestTimeout:
+		return true
+	case status == http.StatusBadRequest:
+		return cloudapi.IsTransientCode(code)
+	default:
+		return false
+	}
+}
+
+// responseCode extracts the "code" label from a finished exchange:
+// codeOK below 400, the unified envelope's Code when the body carries
+// one, and the bare HTTP status otherwise.
+func responseCode(status int, body []byte) string {
+	if status < 400 {
+		return codeOK
+	}
+	var we wireError
+	if err := json.Unmarshal(body, &we); err == nil && we.Code != "" {
+		return we.Code
+	}
+	return "HTTP" + strconv.Itoa(status)
+}
+
+// actionOf recovers the invoked action for the metric label and the
+// flight record: the v2 query parameter wins, then the request body's
+// action field. Routes without a single action (batch, reset) label
+// as "".
+func actionOf(r *http.Request, body []byte) string {
+	if a := r.URL.Query().Get("Action"); a != "" {
+		return a
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return ""
+	}
+	var req wireRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return ""
+	}
+	return req.Action
+}
+
+// instrument wraps one route's handler with the request-scoped
+// observability: root span, request/error counters, latency histogram,
+// and — when the operations plane is mounted — dimensional metric
+// vecs, latency exemplars, SLO recording, and flight capture. With
+// everything disabled it returns fn untouched, so the plain server
+// runs the exact same code path as before.
+func (s *server) instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
+	if !s.obs.Enabled() && s.ops == nil {
+		return fn
+	}
+	obs, ops := s.obs, s.ops
+	service := s.backend.Service()
+	capture := ops != nil && flightRoutes[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		tracer := obs.TracerOrNil()
+		clock := tracer.Clock()
+		start := clock.Now()
+		ctx := obs.Context(r.Context())
+		var sp *obsv.Span
+		if tracer != nil {
+			ctx, sp = tracer.StartRoot(ctx, obsv.SpanHTTPPfx+route)
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("route", route)
+		}
+		var reqBody []byte
+		if capture {
+			// Buffer the request wire bytes for the flight record and
+			// hand the handler an equivalent body.
+			reqBody, _ = io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			r.Body = io.NopCloser(bytes.NewReader(reqBody))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		if ops != nil {
+			sw.tee = &bytes.Buffer{}
+		}
+		fn(sw, r.WithContext(ctx))
+		status := sw.statusOrOK()
+		sp.SetAttrInt("status", int64(status))
+		if status >= 400 {
+			sp.SetError("status " + strconv.Itoa(status))
+		}
+		sp.End()
+		dur := clock.Now().Sub(start)
+
+		code, action := "", ""
+		if ops != nil {
+			code = responseCode(status, sw.tee.Bytes())
+			action = actionOf(r, reqBody)
+		}
+		if reg := obs.Registry; reg != nil {
+			// Per-route aggregates: the pre-ops series, kept stable so
+			// existing dashboards and tests read unchanged totals.
+			reg.Counter(obsv.MetricHTTPRequests, "route", route).Inc()
+			if status >= 400 {
+				reg.Counter(obsv.MetricHTTPErrors, "route", route).Inc()
+			}
+			h := reg.Histogram(obsv.MetricHTTPSeconds, "route", route)
+			if ops != nil && sp != nil {
+				// The exemplar joins this latency bucket to one concrete
+				// trace: scrape the histogram, follow the trace_id into
+				// GET /debug/traces.
+				h.ObserveDurationExemplar(dur, sp.TraceID())
+			} else {
+				h.ObserveDuration(dur)
+			}
+			if ops != nil {
+				session := sessionOf(r)
+				if session == "" {
+					session = tenant.DefaultSession
+				}
+				reg.Counter(obsv.MetricHTTPRequests,
+					"service", service, "action", action, "session", session, "code", code).Inc()
+			}
+		}
+		if ops != nil {
+			ops.Health.Record(sloError(status, code), dur)
+			if capture {
+				traceID := ""
+				if sp != nil {
+					traceID = sp.TraceID()
+				}
+				ops.Flight.Add(opsplane.FlightRecord{
+					Time:         start,
+					Method:       r.Method,
+					Path:         r.URL.RequestURI(),
+					Session:      sessionOf(r),
+					Action:       action,
+					TraceID:      traceID,
+					RequestID:    sw.Header().Get(RequestIDHeader),
+					Status:       status,
+					LatencyNs:    dur.Nanoseconds(),
+					RequestBody:  string(reqBody),
+					ResponseBody: sw.tee.String(),
+				})
+			}
+		}
+	}
+}
+
+// opsRoutes mounts the operations-plane endpoints on mux.
+func (s *server) opsRoutes(mux *http.ServeMux) {
+	if s.ops == nil {
+		return
+	}
+	mux.HandleFunc("GET /debug/events", s.ops.ServeEvents)
+	mux.HandleFunc("GET /debug/flightrecorder", s.ops.ServeFlightRecorder)
+	mux.HandleFunc("GET /readyz", s.ops.ServeReadyz)
+}

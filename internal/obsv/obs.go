@@ -38,12 +38,22 @@ const (
 
 	// Tenant-pool series (internal/tenant): resident-session
 	// occupancy, registry hit/miss counters (hit rate = hits /
-	// (hits+misses)), and evictions labelled by reason
+	// (hits+misses)), and evictions labelled by shard and reason
 	// ("idle" | "capacity").
 	MetricTenantSessions  = "lce_tenant_sessions"
 	MetricTenantHits      = "lce_tenant_hits_total"
 	MetricTenantMisses    = "lce_tenant_misses_total"
 	MetricTenantEvictions = "lce_tenant_evictions_total"
+
+	// Operations-plane series (internal/opsplane): per-divergence
+	// attribution {service,cause}, event-bus throughput/loss, flight
+	// recorder occupancy, and the SLO engine's per-window burn rates
+	// {slo,window} (a float gauge — burn is a ratio).
+	MetricAlignDivergences = "lce_align_divergences_total"
+	MetricOpsEvents        = "lce_ops_events_total"
+	MetricOpsEventsDropped = "lce_ops_events_dropped_total"
+	MetricFlightRecords    = "lce_flight_records_total"
+	MetricSLOBurnRate      = "lce_slo_burn_rate"
 )
 
 // Obs bundles a tracer and a registry — the two halves of the

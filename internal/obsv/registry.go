@@ -34,10 +34,46 @@ func NewRegistry() *Registry {
 type instrument struct {
 	name   string
 	labels string // canonical rendered {k="v",...} or ""
-	kind   string // "counter" | "gauge" | "histogram"
+	kind   string // "counter" | "gauge" | "floatgauge" | "histogram"
 
-	val  atomic.Int64 // counter/gauge
+	val  atomic.Int64  // counter/gauge
+	fval atomic.Uint64 // floatgauge (Float64bits)
 	hist *histogram
+}
+
+// exposKind maps the internal instrument kind to the Prometheus TYPE
+// keyword (float gauges expose as plain gauges).
+func exposKind(kind string) string {
+	if kind == "floatgauge" {
+		return "gauge"
+	}
+	return kind
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition rules: backslash, double quote, and line feed are the
+// only characters that need (and get) escaping. Go's %q is close but
+// not conformant — it escapes control and non-ASCII characters into
+// \u sequences Prometheus parsers reject.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 // renderLabels canonicalizes alternating key,value pairs into
@@ -59,7 +95,7 @@ func renderLabels(kv []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+		fmt.Fprintf(&b, `%s="%s"`, p.k, EscapeLabelValue(p.v))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -156,6 +192,38 @@ func (g *Gauge) Value() int64 {
 	return g.in.val.Load()
 }
 
+// FloatGauge is a float-valued series that can go up and down — the
+// SLO engine's burn rates are ratios, which an integer gauge cannot
+// carry without losing the signal near 1.0.
+type FloatGauge struct{ in *instrument }
+
+// FloatGauge returns the float gauge for name and label pairs. It
+// exposes as TYPE gauge; requesting the same series as an integer
+// Gauge panics (kind clash).
+func (r *Registry) FloatGauge(name string, labels ...string) *FloatGauge {
+	in := r.lookup("floatgauge", name, labels)
+	if in == nil {
+		return nil
+	}
+	return &FloatGauge{in: in}
+}
+
+// Set stores v (NaN is ignored).
+func (g *FloatGauge) Set(v float64) {
+	if g == nil || g.in == nil || math.IsNaN(v) {
+		return
+	}
+	g.in.fval.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil || g.in == nil {
+		return 0
+	}
+	return math.Float64frombits(g.in.fval.Load())
+}
+
 // DefaultDurationBuckets are the fixed histogram bounds, in seconds:
 // exponential from 10µs to 10s, sized for in-process backend calls at
 // the low end and retry-inflated chaos calls at the high end.
@@ -170,10 +238,29 @@ type histogram struct {
 	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
 	sumBits atomic.Uint64
 	count   atomic.Int64
+	// exemplars holds the most recent exemplar per bucket (last write
+	// wins) — the trace-ID breadcrumb that links a latency bucket to
+	// the request that landed in it.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar attaches one sampled observation's trace ID to a histogram
+// bucket, rendered in the OpenMetrics exposition as
+//
+//	..._bucket{le="0.1"} 17 # {trace_id="7f3a..."} 0.083
+//
+// so a slow bucket resolves straight to a trace in /debug/traces.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Histogram is a fixed-bucket distribution series.
@@ -208,6 +295,38 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records d in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one sample and attaches traceID as the
+// owning bucket's exemplar (an empty traceID records the sample only —
+// the same pay-for-what-you-use rule as everywhere else in obsv).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if h == nil || h.h == nil || traceID == "" || math.IsNaN(v) {
+		return
+	}
+	d := h.h
+	i := sort.SearchFloat64s(d.bounds, v)
+	d.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// ObserveDurationExemplar is ObserveExemplar over a duration in
+// seconds.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	h.ObserveExemplar(d.Seconds(), traceID)
+}
+
+// Exemplars returns the per-bucket exemplars (nil entries where no
+// exemplar has been recorded); index len(bounds) is the +Inf bucket.
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil || h.h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.h.exemplars))
+	for i := range h.h.exemplars {
+		out[i] = h.h.exemplars[i].Load()
+	}
+	return out
+}
 
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 {
@@ -304,29 +423,51 @@ func (r *Registry) snapshotItems() []*instrument {
 // WritePrometheus renders the registry in the Prometheus text
 // exposition format (version 0.0.4), instruments sorted by name then
 // labels so the output is diffable.
-func (r *Registry) WritePrometheus(w *strings.Builder) {
+func (r *Registry) WritePrometheus(w *strings.Builder) { r.writeExposition(w, false) }
+
+// WriteOpenMetrics renders the OpenMetrics-flavoured exposition: the
+// same deterministic body as WritePrometheus plus per-bucket histogram
+// exemplars (`# {trace_id="..."} value` suffixes) and the mandatory
+// `# EOF` trailer. Scrapers that ask for it get the trace-ID
+// breadcrumbs; 0.0.4 scrapers keep the plain format.
+func (r *Registry) WriteOpenMetrics(w *strings.Builder) { r.writeExposition(w, true) }
+
+func (r *Registry) writeExposition(w *strings.Builder, openMetrics bool) {
 	lastName := ""
 	for _, in := range r.snapshotItems() {
 		if in.name != lastName {
-			fmt.Fprintf(w, "# TYPE %s %s\n", in.name, in.kind)
+			fmt.Fprintf(w, "# TYPE %s %s\n", in.name, exposKind(in.kind))
 			lastName = in.name
 		}
 		switch in.kind {
 		case "counter", "gauge":
 			fmt.Fprintf(w, "%s%s %d\n", in.name, in.labels, in.val.Load())
+		case "floatgauge":
+			fmt.Fprintf(w, "%s%s %s\n", in.name, in.labels, formatFloat(math.Float64frombits(in.fval.Load())))
 		case "histogram":
 			d := in.hist
 			inner := strings.TrimSuffix(strings.TrimPrefix(in.labels, "{"), "}")
 			var cum int64
-			for i, b := range d.bounds {
+			for i := 0; i <= len(d.bounds); i++ {
+				le := `le="+Inf"`
+				if i < len(d.bounds) {
+					le = fmt.Sprintf(`le="%s"`, formatFloat(d.bounds[i]))
+				}
 				cum += d.counts[i].Load()
-				fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, joinLabels(inner, fmt.Sprintf("le=%q", formatFloat(b))), cum)
+				fmt.Fprintf(w, "%s_bucket%s %d", in.name, joinLabels(inner, le), cum)
+				if openMetrics {
+					if ex := d.exemplars[i].Load(); ex != nil {
+						fmt.Fprintf(w, ` # {trace_id="%s"} %s`, EscapeLabelValue(ex.TraceID), formatFloat(ex.Value))
+					}
+				}
+				w.WriteByte('\n')
 			}
-			cum += d.counts[len(d.bounds)].Load()
-			fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, joinLabels(inner, `le="+Inf"`), cum)
 			fmt.Fprintf(w, "%s_sum%s %s\n", in.name, in.labels, formatFloat(math.Float64frombits(d.sumBits.Load())))
 			fmt.Fprintf(w, "%s_count%s %d\n", in.name, in.labels, d.count.Load())
 		}
+	}
+	if openMetrics {
+		w.WriteString("# EOF\n")
 	}
 }
 
@@ -342,11 +483,21 @@ func formatFloat(f float64) string {
 	return s
 }
 
+// OpenMetricsContentType is the content type served when a scraper
+// negotiates the exemplar-bearing exposition.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // ServeHTTP implements http.Handler: GET /metrics in Prometheus text
-// format.
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// format, or the OpenMetrics-flavoured format (with histogram
+// exemplars) when the Accept header asks for application/openmetrics-text.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	var b strings.Builder
-	r.WritePrometheus(&b)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if req != nil && strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+		r.WriteOpenMetrics(&b)
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+	} else {
+		r.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -139,6 +140,88 @@ func TestPrometheusExposition(t *testing.T) {
 		}
 	}
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "path", "a\\b\"c\nd").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `m{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaping wrong, want %s in:\n%s", want, b.String())
+	}
+	// Non-ASCII and control characters other than \n pass through raw
+	// (UTF-8 label values are legal in the text format).
+	if got := EscapeLabelValue("héllo\tworld"); got != "héllo\tworld" {
+		t.Fatalf("over-escaped: %q", got)
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("lce_slo_burn_rate", "slo", "error-rate", "window", "5m")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("value = %v", g.Value())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "# TYPE lce_slo_burn_rate gauge") {
+		t.Fatalf("float gauge must expose as TYPE gauge:\n%s", out)
+	}
+	if !strings.Contains(out, `lce_slo_burn_rate{slo="error-rate",window="5m"} 2.5`) {
+		t.Fatalf("float gauge sample missing:\n%s", out)
+	}
+	var nilG *FloatGauge
+	nilG.Set(1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil float gauge must stay 0")
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lce_http_request_seconds", "route", "invoke")
+	h.ObserveExemplar(0.003, "00000000deadbeef")
+	h.ObserveExemplar(0.004, "00000000cafebabe") // same bucket: last write wins
+	h.ObserveDurationExemplar(2*time.Second, "1111111122222222")
+	h.Observe(0.5) // no exemplar
+
+	var om, prom strings.Builder
+	r.WriteOpenMetrics(&om)
+	r.WritePrometheus(&prom)
+	if strings.Contains(prom.String(), "trace_id") {
+		t.Fatalf("0.0.4 exposition must not carry exemplars:\n%s", prom.String())
+	}
+	out := om.String()
+	for _, want := range []string{
+		`lce_http_request_seconds_bucket{route="invoke",le="0.005"} 2 # {trace_id="00000000cafebabe"} 0.004`,
+		`# {trace_id="1111111122222222"} 2`,
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("openmetrics missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets without exemplars render bare.
+	if strings.Contains(out, `le="0.5"} 3 #`) {
+		t.Fatalf("bucket without exemplar must render bare:\n%s", out)
+	}
+	// Content negotiation: the Accept header selects the format.
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != OpenMetricsContentType {
 		t.Fatalf("content type %q", ct)
 	}
 }

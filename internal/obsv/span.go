@@ -91,6 +91,7 @@ type Tracer struct {
 	seed   uint64
 	roots  atomic.Uint64
 	epochs atomic.Int64
+	onEnd  func(SpanData)
 
 	mu      sync.Mutex
 	ring    []SpanData
@@ -117,6 +118,20 @@ func (t *Tracer) SetClock(c Clock) {
 		return
 	}
 	t.clock = c
+}
+
+// SetOnEnd installs a hook invoked with every finished span's
+// immutable SpanData, after it is committed to the ring. The ops plane
+// uses it to fan span ends (and the fault/retry events they carry)
+// into its event bus. Like SetClock, call before any spans are
+// started; it is not synchronized against live spans. The hook runs
+// outside the tracer's lock, on the goroutine that ended the span, so
+// it must be cheap and must not block.
+func (t *Tracer) SetOnEnd(fn func(SpanData)) {
+	if t == nil {
+		return
+	}
+	t.onEnd = fn
 }
 
 // Clock returns the tracer's clock, or the system clock on a nil
@@ -179,18 +194,21 @@ func (t *Tracer) startRoot(ctx context.Context, name string, tid uint64) (contex
 }
 
 // record appends one finished span to the ring, evicting the oldest
-// beyond capacity.
+// beyond capacity, then fires the OnEnd hook (outside the lock).
 func (t *Tracer) record(d SpanData) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.total++
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, d)
-		return
+	} else {
+		t.ring[t.next] = d
+		t.next = (t.next + 1) % cap(t.ring)
+		t.wrapped = true
 	}
-	t.ring[t.next] = d
-	t.next = (t.next + 1) % cap(t.ring)
-	t.wrapped = true
+	t.mu.Unlock()
+	if t.onEnd != nil {
+		t.onEnd(d)
+	}
 }
 
 // Recorded returns the total number of spans ever finished, including

@@ -1,0 +1,342 @@
+// Package opsplane is the live operations plane: a bounded event bus
+// fed by span ends and structured logs, an SSE streaming endpoint, a
+// lock-sharded flight recorder of recent HTTP exchanges, and a rolling
+// multi-window SLO health engine. It turns the passive observability
+// stack (internal/obsv: traces + metrics you pull after the fact) into
+// an active one you can watch and gate on while the emulator runs.
+//
+// The package depends only on internal/obsv and the standard library —
+// it knows nothing about cloudapi, tenants, or HTTP routing. Producers
+// push events in; internal/httpapi mounts the handlers.
+package opsplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+
+	"lce/internal/obsv"
+)
+
+// Config assembles a Plane.
+type Config struct {
+	// Service names the emulated service ("ec2", ...); stamped on
+	// events and the flight dump.
+	Service string
+	// Obs supplies the tracer whose span ends feed the bus and the
+	// registry that receives the plane's own series. Required.
+	Obs *obsv.Obs
+	// Clock drives the SLO windows (nil = system clock).
+	Clock obsv.Clock
+	// FlightCapacity is the recorder window (0 = DefaultFlightCapacity).
+	FlightCapacity int
+	// Objectives are the SLO targets (zero value disables both checks;
+	// use DefaultObjectives for the standard ones).
+	Objectives Objectives
+	// LogHandler is the process-log delegate (text or JSON); nil means
+	// events reach the bus but nothing is written to the process log.
+	LogHandler slog.Handler
+	// LogSession scopes the process log (not the bus) to one tenant.
+	LogSession string
+}
+
+// Plane bundles the four operations-plane subsystems behind one
+// pointer. A nil *Plane is fully disabled: every method is a no-op and
+// the instrumented paths run exactly as if the plane never existed
+// (pay-for-what-you-use).
+type Plane struct {
+	service string
+	clock   obsv.Clock
+	Bus     *Bus
+	Flight  *FlightRecorder
+	Health  *Health
+	// Logger fans through the bus and the configured process-log
+	// handler; hand it to anything that wants slog.
+	Logger *slog.Logger
+
+	mu          sync.Mutex
+	lastHealthy bool
+}
+
+// New wires a Plane: it hooks the tracer's span-end stream into the
+// bus, sizes the flight recorder, and starts the SLO engine. Call
+// before any spans start (SetOnEnd contract).
+func New(cfg Config) *Plane {
+	var reg *obsv.Registry
+	if cfg.Obs != nil {
+		reg = cfg.Obs.Registry
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = obsv.System()
+	}
+	p := &Plane{
+		service:     cfg.Service,
+		clock:       clock,
+		Bus:         NewBus(reg),
+		Flight:      NewFlightRecorder(cfg.FlightCapacity, reg),
+		Health:      NewHealth(cfg.Objectives, cfg.Clock, reg),
+		lastHealthy: true,
+	}
+	p.Logger = slog.New(NewHandler(p.Bus, cfg.LogHandler, cfg.Service, cfg.LogSession))
+	if cfg.Obs != nil && cfg.Obs.Tracer != nil {
+		cfg.Obs.Tracer.SetOnEnd(p.spanEnded)
+	}
+	return p
+}
+
+// Enabled reports whether the plane is live.
+func (p *Plane) Enabled() bool { return p != nil }
+
+// Service returns the configured service name ("" on a nil plane).
+func (p *Plane) Service() string {
+	if p == nil {
+		return ""
+	}
+	return p.service
+}
+
+// Publish forwards an event to the bus, stamping the service name and
+// the current time when absent. Nil-safe.
+func (p *Plane) Publish(e Event) {
+	if p == nil {
+		return
+	}
+	if e.Service == "" {
+		e.Service = p.service
+	}
+	if e.Time.IsZero() {
+		e.Time = p.clock.Now()
+	}
+	p.Bus.Publish(e)
+}
+
+// spanEnded is the tracer's OnEnd hook: it derives bus events from
+// every finished span — one KindSpanEnd, plus one event per fault /
+// retry span event, plus a KindDivergence for misaligned align.trace
+// roots. Runs on the ending goroutine; everything here is non-blocking.
+func (p *Plane) spanEnded(d obsv.SpanData) {
+	service := d.Attrs["service"]
+	if service == "" {
+		service = p.service
+	}
+	session := d.Attrs["session"]
+	action := d.Attrs["action"]
+	if action == "" {
+		if a, ok := strings.CutPrefix(d.Name, obsv.SpanCallPfx); ok {
+			action = a
+		}
+	}
+	base := Event{
+		Time:    d.End,
+		Service: service,
+		Session: session,
+		Action:  action,
+		TraceID: d.TraceID,
+	}
+	for _, ev := range d.Events {
+		kind := ""
+		switch ev.Name {
+		case obsv.EventFault:
+			kind = KindFaultInjected
+		case obsv.EventRetry:
+			kind = KindRetryBackoff
+		case obsv.EventTransient:
+			kind = KindRetryTransient
+		case obsv.EventExhausted:
+			kind = KindRetryExhausted
+		default:
+			continue
+		}
+		e := base
+		e.Kind = kind
+		e.Time = ev.Time
+		e.Attrs = ev.Attrs
+		if e.Action == "" {
+			e.Action = ev.Attrs["action"]
+		}
+		p.Bus.Publish(e)
+	}
+	if d.Name == obsv.SpanAlignTrace && d.Root() && d.Attrs["aligned"] == "false" {
+		e := base
+		e.Kind = KindDivergence
+		e.Action = d.Attrs["diff.action"]
+		e.Attrs = map[string]string{}
+		for _, k := range []string{"diff.action", "diff.kind", "diff.cause", "round", "index"} {
+			if v := d.Attrs[k]; v != "" {
+				e.Attrs[k] = v
+			}
+		}
+		p.Bus.Publish(e)
+	}
+	e := base
+	e.Kind = KindSpanEnd
+	e.Attrs = map[string]string{
+		"name":       d.Name,
+		"durationNs": fmt.Sprintf("%d", d.Duration().Nanoseconds()),
+	}
+	if d.Error != "" {
+		e.Attrs["error"] = d.Error
+	}
+	p.Bus.Publish(e)
+}
+
+// OnEvict returns the tenant-pool eviction hook: it publishes a
+// KindEviction event per evicted session. Nil on a nil plane, so the
+// pool stores a nil func and pays nothing.
+func (p *Plane) OnEvict() func(session string, shard int, reason string) {
+	if p == nil {
+		return nil
+	}
+	return func(session string, shard int, reason string) {
+		p.Publish(Event{
+			Kind:    KindEviction,
+			Session: session,
+			Attrs:   map[string]string{"shard": fmt.Sprintf("%d", shard), "reason": reason},
+		})
+	}
+}
+
+// --- HTTP surface (mounted by internal/httpapi) ---
+
+// ServeEvents streams the bus over SSE. Query parameters session,
+// service, and kind filter the stream (kind supports a trailing '*').
+// The stream ends when the client disconnects or falls a full buffer
+// behind (slow-consumer policy); the final frame before a slow-consumer
+// disconnect is an "overflow" comment so the client can tell loss from
+// a clean close.
+func (p *Plane) ServeEvents(w http.ResponseWriter, r *http.Request) {
+	if p == nil {
+		http.Error(w, "operations plane disabled", http.StatusNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	q := r.URL.Query()
+	sub := p.Bus.Subscribe(Filter{
+		Session: q.Get("session"),
+		Service: q.Get("service"),
+		Kind:    q.Get("kind"),
+	}, 0)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": stream open\n\n")
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, open := <-sub.Events():
+			if !open {
+				if sub.SlowConsumer() {
+					fmt.Fprintf(w, ": overflow, stream closed\n\n")
+					flusher.Flush()
+				}
+				return
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
+			flusher.Flush()
+		}
+	}
+}
+
+// ServeFlightRecorder dumps the retained request window as JSON.
+func (p *Plane) ServeFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if p == nil {
+		http.Error(w, "operations plane disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p.Flight.Dump(p.service))
+}
+
+// healthPayload is the JSON body of /healthz and /readyz.
+type healthPayload struct {
+	Status string        `json:"status"`
+	Checks []CheckResult `json:"checks,omitempty"`
+}
+
+// ServeHealthz is the liveness + SLO verdict: 200 "ok" while every SLO
+// holds under the multi-window rule, 503 "breach" once every window
+// with data of some SLO is burning. Each evaluation refreshes the
+// lce_slo_burn_rate gauges; a transition into breach publishes a
+// KindSLOBreach event.
+func (p *Plane) ServeHealthz(w http.ResponseWriter, r *http.Request) {
+	p.serveHealth(w, true)
+}
+
+// ServeReadyz is the fast traffic gate: 503 as soon as the *shortest*
+// window of any SLO breaches (fast burn — shed traffic now), 200
+// otherwise. /healthz is the slower, multi-window confirmation.
+func (p *Plane) ServeReadyz(w http.ResponseWriter, r *http.Request) {
+	p.serveHealth(w, false)
+}
+
+func (p *Plane) serveHealth(w http.ResponseWriter, multiWindow bool) {
+	if p == nil {
+		// Without a plane there is no SLO engine; report plain liveness
+		// so probes still work against a bare server.
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(healthPayload{Status: "ok"})
+		return
+	}
+	results := p.Health.Evaluate()
+	healthy := true
+	if multiWindow {
+		healthy = Healthy(results)
+	} else {
+		shortest := map[string]bool{}
+		for _, cr := range results {
+			if shortest[cr.SLO] {
+				continue // windows are ordered shortest-first per SLO
+			}
+			if cr.Verdict == "no-data" {
+				continue
+			}
+			shortest[cr.SLO] = true
+			if cr.Verdict == "breach" {
+				healthy = false
+			}
+		}
+	}
+	status := "ok"
+	code := http.StatusOK
+	if !healthy {
+		status = "breach"
+		code = http.StatusServiceUnavailable
+	}
+	if multiWindow {
+		p.mu.Lock()
+		flipped := p.lastHealthy && !healthy
+		p.lastHealthy = healthy
+		p.mu.Unlock()
+		if flipped {
+			p.Publish(Event{
+				Kind:  KindSLOBreach,
+				Attrs: map[string]string{"checks": FormatChecks(results)},
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(healthPayload{Status: status, Checks: results})
+}

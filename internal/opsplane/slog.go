@@ -1,0 +1,128 @@
+package opsplane
+
+import (
+	"context"
+	"log/slog"
+)
+
+// Conventional attribute keys the handler lifts out of a record and
+// into the Event's dimensional fields. Everything else lands in Attrs.
+const (
+	attrService = "service"
+	attrSession = "session"
+	attrAction  = "action"
+	attrTrace   = "trace"
+)
+
+// Handler is a slog.Handler that fans every record into the event bus
+// (so /debug/events subscribers see it live) and then delegates to an
+// inner handler (text or JSON) for the process log. The record message
+// becomes the event Kind; attrs named service/session/action/trace
+// become the event's dimensional fields.
+//
+// LogSession scopes the *delegated* log (not the bus) to one tenant:
+// when set, records carrying a different session are published to the
+// bus but suppressed from the process log. Operators use it to tail a
+// single tenant on a busy server without losing the stream for
+// everyone else.
+type Handler struct {
+	bus     *Bus
+	inner   slog.Handler
+	service string
+	// logSession, when non-empty, restricts inner-handler output to
+	// records whose session attr matches (records without a session
+	// attr always pass — they are process-scoped, not tenant-scoped).
+	logSession string
+	// attrs accumulated via WithAttrs, pre-resolved so Handle only
+	// walks the record's own attrs.
+	base []slog.Attr
+	// group prefix accumulated via WithGroup ("a.b." style).
+	prefix string
+}
+
+// NewHandler wires a bus-fanning handler in front of inner. A nil
+// inner suppresses process logging (bus-only); a nil bus suppresses
+// fanning (plain delegation). service stamps every event's Service
+// field unless the record overrides it.
+func NewHandler(bus *Bus, inner slog.Handler, service, logSession string) *Handler {
+	return &Handler{bus: bus, inner: inner, service: service, logSession: logSession}
+}
+
+// Enabled always accepts: the bus wants every record regardless of the
+// inner handler's level, and Handle re-checks inner.Enabled before
+// delegating.
+func (h *Handler) Enabled(context.Context, slog.Level) bool { return true }
+
+// Handle publishes the record to the bus, then delegates to the inner
+// handler (subject to its own level and the LogSession scope).
+func (h *Handler) Handle(ctx context.Context, r slog.Record) error {
+	e := Event{Time: r.Time, Kind: r.Message, Service: h.service}
+	absorb := func(key, val string) {
+		switch key {
+		case attrService:
+			e.Service = val
+		case attrSession:
+			e.Session = val
+		case attrAction:
+			e.Action = val
+		case attrTrace:
+			e.TraceID = val
+		default:
+			if e.Attrs == nil {
+				e.Attrs = make(map[string]string, r.NumAttrs()+len(h.base))
+			}
+			e.Attrs[key] = val
+		}
+	}
+	for _, a := range h.base {
+		absorb(a.Key, a.Value.Resolve().String())
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		absorb(h.prefix+a.Key, a.Value.Resolve().String())
+		return true
+	})
+	if h.bus != nil {
+		h.bus.Publish(e)
+	}
+	if h.inner == nil || !h.inner.Enabled(ctx, r.Level) {
+		return nil
+	}
+	if h.logSession != "" && e.Session != "" && e.Session != h.logSession {
+		return nil
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs returns a handler that adds attrs to every record.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	nh := *h
+	nh.base = append([]slog.Attr(nil), h.base...)
+	for _, a := range attrs {
+		// Stamp the group prefix at add time so a group opened later
+		// doesn't retroactively re-key earlier attrs.
+		a.Key = h.prefix + a.Key
+		nh.base = append(nh.base, a)
+	}
+	if h.inner != nil {
+		nh.inner = h.inner.WithAttrs(attrs)
+	}
+	return &nh
+}
+
+// WithGroup returns a handler that prefixes subsequent attr keys with
+// name + ".". Groups flatten into dotted keys in Event.Attrs — the bus
+// event model is flat by design.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.prefix = h.prefix + name + "."
+	if h.inner != nil {
+		nh.inner = h.inner.WithGroup(name)
+	}
+	return &nh
+}

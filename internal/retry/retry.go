@@ -203,21 +203,27 @@ func (r *backend) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 			return res, err
 		}
 		r.obs.RecordTransientFault()
+		// The triggering code travels on every retry-family event (not
+		// just retry.transient-fault) so a filtered event stream — an
+		// ops-plane subscriber watching only retry.backoff — still sees
+		// what the backoff was for.
+		code := ""
 		if ae, ok := cloudapi.AsAPIError(err); ok {
-			sp.Event(obsv.EventTransient, "code", ae.Code, "attempt", strconv.Itoa(attempt))
+			code = ae.Code
+			sp.Event(obsv.EventTransient, "code", code, "attempt", strconv.Itoa(attempt))
 		}
 		if attempt >= r.policy.MaxAttempts {
-			sp.Event(obsv.EventExhausted, "reason", "attempts")
+			sp.Event(obsv.EventExhausted, "reason", "attempts", "code", code)
 			return res, err
 		}
 		d := r.drawBackoff(attempt)
 		if r.policy.Budget > 0 && slept+d > r.policy.Budget {
-			sp.Event(obsv.EventExhausted, "reason", "budget")
+			sp.Event(obsv.EventExhausted, "reason", "budget", "code", code)
 			return res, err
 		}
 		slept += d
 		r.obs.RecordRetry()
-		sp.Event(obsv.EventRetry, "delay", d.String(), "attempt", strconv.Itoa(attempt))
+		sp.Event(obsv.EventRetry, "code", code, "delay", d.String(), "attempt", strconv.Itoa(attempt))
 		if d > 0 {
 			r.clock.Sleep(d)
 		}

@@ -21,6 +21,7 @@ package tenant
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,10 +61,24 @@ type Config struct {
 	// deterministically.
 	Clock obsv.Clock
 	// Registry, when non-nil, receives the lce_tenant_* series:
-	// occupancy gauge, hit/miss counters, and per-reason eviction
-	// counters.
+	// occupancy gauge, hit/miss counters, and eviction counters both
+	// as per-reason aggregates ({reason}) and per-shard breakdowns
+	// ({shard,reason}).
 	Registry *obsv.Registry
+	// OnEvict, when non-nil, is called once per evicted session with
+	// its id, owning shard, and reason (EvictIdle | EvictCapacity).
+	// It runs under the shard lock, so it must be fast and must not
+	// call back into the pool. The operations plane uses it to publish
+	// tenant.evicted events.
+	OnEvict func(session string, shard int, reason string)
 }
+
+// Eviction reasons passed to Config.OnEvict and used as the "reason"
+// label on lce_tenant_evictions_total.
+const (
+	EvictIdle     = "idle"
+	EvictCapacity = "capacity"
+)
 
 // session is one resident tenant: an isolated backend plus its LRU
 // bookkeeping.
@@ -76,6 +91,7 @@ type session struct {
 // shard is one lock domain: a map for O(1) lookup and an LRU list
 // (front = most recently used) for eviction order.
 type shard struct {
+	idx      int
 	mu       sync.Mutex
 	sessions map[string]*list.Element // value: *session
 	lru      *list.List
@@ -121,12 +137,18 @@ type Pool struct {
 	hits, misses       atomic.Int64
 	idleEvict, capEvic atomic.Int64
 
-	// instruments (nil-safe no-ops when Config.Registry is nil)
-	gSessions  *obsv.Gauge
-	cHits      *obsv.Counter
-	cMisses    *obsv.Counter
-	cEvictIdle *obsv.Counter
-	cEvictCap  *obsv.Counter
+	onEvict func(session string, shard int, reason string)
+
+	// instruments (nil-safe no-ops when Config.Registry is nil). The
+	// shard-labelled eviction counters are pre-created per shard so
+	// the eviction path never hits the registry's memoization lock.
+	gSessions       *obsv.Gauge
+	cHits           *obsv.Counter
+	cMisses         *obsv.Counter
+	cEvictIdle      *obsv.Counter
+	cEvictCap       *obsv.Counter
+	cEvictShardIdle []*obsv.Counter
+	cEvictShardCap  []*obsv.Counter
 }
 
 // New builds a pool over factory. Every session's backend is a fresh
@@ -153,15 +175,23 @@ func New(factory cloudapi.BackendFactory, cfg Config) (*Pool, error) {
 		idleTTL:  cfg.IdleTTL,
 		clock:    cfg.Clock,
 	}
+	p.onEvict = cfg.OnEvict
 	for i := range p.shards {
-		p.shards[i] = &shard{sessions: make(map[string]*list.Element), lru: list.New()}
+		p.shards[i] = &shard{idx: i, sessions: make(map[string]*list.Element), lru: list.New()}
 	}
 	if reg := cfg.Registry; reg != nil {
 		p.gSessions = reg.Gauge(obsv.MetricTenantSessions)
 		p.cHits = reg.Counter(obsv.MetricTenantHits)
 		p.cMisses = reg.Counter(obsv.MetricTenantMisses)
-		p.cEvictIdle = reg.Counter(obsv.MetricTenantEvictions, "reason", "idle")
-		p.cEvictCap = reg.Counter(obsv.MetricTenantEvictions, "reason", "capacity")
+		p.cEvictIdle = reg.Counter(obsv.MetricTenantEvictions, "reason", EvictIdle)
+		p.cEvictCap = reg.Counter(obsv.MetricTenantEvictions, "reason", EvictCapacity)
+		p.cEvictShardIdle = make([]*obsv.Counter, cfg.Shards)
+		p.cEvictShardCap = make([]*obsv.Counter, cfg.Shards)
+		for i := 0; i < cfg.Shards; i++ {
+			s := strconv.Itoa(i)
+			p.cEvictShardIdle[i] = reg.Counter(obsv.MetricTenantEvictions, "shard", s, "reason", EvictIdle)
+			p.cEvictShardCap[i] = reg.Counter(obsv.MetricTenantEvictions, "shard", s, "reason", EvictCapacity)
+		}
 	}
 	return p, nil
 }
@@ -242,7 +272,7 @@ func (p *Pool) Get(id string) (cloudapi.Backend, error) {
 	p.cMisses.Inc()
 	p.gSessions.Add(1)
 	for sh.lru.Len() > p.shardCap {
-		p.evictLocked(sh, sh.lru.Back(), &p.capEvic, p.cEvictCap)
+		p.evictLocked(sh, sh.lru.Back(), EvictCapacity)
 	}
 	return sess.backend, nil
 }
@@ -259,18 +289,32 @@ func (p *Pool) expireLocked(sh *shard, now time.Time) {
 			break // LRU order: everything further front is fresher
 		}
 		prev := el.Prev()
-		p.evictLocked(sh, el, &p.idleEvict, p.cEvictIdle)
+		p.evictLocked(sh, el, EvictIdle)
 		el = prev
 	}
 }
 
-func (p *Pool) evictLocked(sh *shard, el *list.Element, local *atomic.Int64, c *obsv.Counter) {
+func (p *Pool) evictLocked(sh *shard, el *list.Element, reason string) {
 	sess := el.Value.(*session)
 	sh.lru.Remove(el)
 	delete(sh.sessions, sess.id)
-	local.Add(1)
-	c.Inc()
+	if reason == EvictIdle {
+		p.idleEvict.Add(1)
+		p.cEvictIdle.Inc()
+		if p.cEvictShardIdle != nil {
+			p.cEvictShardIdle[sh.idx].Inc()
+		}
+	} else {
+		p.capEvic.Add(1)
+		p.cEvictCap.Inc()
+		if p.cEvictShardCap != nil {
+			p.cEvictShardCap[sh.idx].Inc()
+		}
+	}
 	p.gSessions.Add(-1)
+	if p.onEvict != nil {
+		p.onEvict(sess.id, sh.idx, reason)
+	}
 }
 
 // Sweep runs idle-TTL eviction across every shard and returns the

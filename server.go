@@ -1,0 +1,218 @@
+package lce
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"lce/internal/cloudapi"
+	"lce/internal/fault"
+	"lce/internal/httpapi"
+	"lce/internal/manual"
+	"lce/internal/obsv"
+	"lce/internal/opsplane"
+	"lce/internal/tenant"
+)
+
+// OpsPlane is the live operations plane: bounded event bus with SSE
+// streaming (GET /debug/events), structured slog fan-out, flight
+// recorder (GET /debug/flightrecorder), and the rolling multi-window
+// SLO health engine behind /healthz and /readyz. A nil *OpsPlane is
+// fully disabled.
+type OpsPlane = opsplane.Plane
+
+// OpsEvent is one structured operational event on the bus.
+type OpsEvent = opsplane.Event
+
+// FlightDump is the serialized flight-recorder window — the artifact
+// GET /debug/flightrecorder serves and cmd/lce-replay re-drives.
+type FlightDump = opsplane.FlightDump
+
+// SLOObjectives are the health engine's targets.
+type SLOObjectives = opsplane.Objectives
+
+// NewBackend builds one backend instance by kind: "learned" (emulator
+// synthesized from documentation), "oracle" (hand-written ground-truth
+// model), "d2c" (direct-to-code baseline), or "manual" (Moto-style
+// partial baseline). The same (service, kind, noisy) triple always
+// yields a behaviourally identical instance — the property the
+// flight-recorder replay relies on.
+func NewBackend(service, kind string, noisy bool) (Backend, error) {
+	switch kind {
+	case "oracle":
+		return Cloud(service)
+	case "manual":
+		switch service {
+		case "ec2":
+			return manual.NewEC2(), nil
+		case "dynamodb":
+			return manual.NewDynamoDB(), nil
+		case "network-firewall":
+			return manual.NewNetworkFirewall(), nil
+		case "eks":
+			return manual.NewEKS(), nil
+		default:
+			return nil, fmt.Errorf("lce: no manual baseline for %q", service)
+		}
+	case "d2c":
+		c, err := Documentation(service)
+		if err != nil {
+			return nil, err
+		}
+		return DirectToCode(c)
+	case "learned":
+		c, err := Documentation(service)
+		if err != nil {
+			return nil, err
+		}
+		opts := PerfectOptions()
+		if noisy {
+			opts = DefaultOptions()
+		}
+		emu, _, err := Learn(c, opts)
+		return emu, err
+	default:
+		return nil, fmt.Errorf("lce: unknown backend kind %q", kind)
+	}
+}
+
+// ServerConfig describes one complete server stack — backend, chaos
+// layer, tenant pool, observability, operations plane. It is the
+// single source of truth for server construction: cmd/lce-server
+// builds its process from it, and cmd/lce-replay rebuilds an identical
+// stack from the same configuration to re-drive a captured window
+// byte-for-byte (same chaos seed → same injected faults, same trace
+// seed → same trace IDs).
+type ServerConfig struct {
+	// Service and Backend select what to emulate and how (see
+	// NewBackend). Noisy switches the learned backend to the
+	// preliminary noise model.
+	Service string
+	Backend string
+	Noisy   bool
+
+	// Chaos fronts the backend (and every per-session backend) with
+	// the deterministic fault injector at FaultRate, seeded by
+	// ChaosSeed.
+	Chaos     bool
+	ChaosSeed int64
+	FaultRate float64
+
+	// TraceSeed seeds span/trace IDs (same seed + same request
+	// sequence = same IDs).
+	TraceSeed int64
+
+	// Sessions/Shards/SessionTTL configure the tenant pool; Sessions 0
+	// disables multi-tenancy.
+	Sessions   int
+	Shards     int
+	SessionTTL time.Duration
+
+	// Ops mounts the operations plane. FlightCapacity sizes the
+	// recorder window (0 = opsplane.DefaultFlightCapacity);
+	// SLOErrorRate and SLOP99 set the health targets (both 0 = the
+	// opsplane defaults: 1% errors, 250ms p99).
+	Ops            bool
+	FlightCapacity int
+	SLOErrorRate   float64
+	SLOP99         time.Duration
+
+	// LogHandler is the process-log delegate (text or JSON slog
+	// handler); LogSession scopes the process log to one tenant.
+	// Both only take effect with Ops.
+	LogHandler slog.Handler
+	LogSession string
+
+	// Clock drives SLO windows and event timestamps (nil = system).
+	Clock obsv.Clock
+}
+
+// Server is one assembled stack. Handler is ready for
+// http.ListenAndServe (or in-process replay via httptest).
+type Server struct {
+	Handler http.Handler
+	Backend Backend
+	Obs     *Obs
+	Ops     *OpsPlane
+	Pool    *Pool
+}
+
+// NewServer assembles the full stack from cfg: backend, optional chaos
+// wrap (base and factory alike), observability, optional operations
+// plane, optional tenant pool (with ops eviction events), and the
+// HTTP surface. Identical configs produce behaviourally identical
+// servers — the replay contract.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	b, err := NewBackend(cfg.Service, cfg.Backend, cfg.Noisy)
+	if err != nil {
+		return nil, err
+	}
+	factory := FactoryFor(b, cfg)
+	if cfg.Chaos {
+		fcfg := UniformFaults(cfg.FaultRate, cfg.ChaosSeed)
+		b = Chaos(b, fcfg)
+		factory = fault.Factory(factory, fcfg)
+	}
+	ob := NewObs(cfg.TraceSeed)
+
+	var ops *OpsPlane
+	if cfg.Ops {
+		obj := opsplane.DefaultObjectives()
+		if cfg.SLOErrorRate > 0 {
+			obj.ErrorRate = cfg.SLOErrorRate
+		}
+		if cfg.SLOP99 > 0 {
+			obj.P99 = cfg.SLOP99
+		}
+		ops = opsplane.New(opsplane.Config{
+			Service:        cfg.Service,
+			Obs:            ob,
+			Clock:          cfg.Clock,
+			FlightCapacity: cfg.FlightCapacity,
+			Objectives:     obj,
+			LogHandler:     cfg.LogHandler,
+			LogSession:     cfg.LogSession,
+		})
+	}
+
+	var pool *Pool
+	if cfg.Sessions > 0 {
+		pool, err = tenant.New(factory, tenant.Config{
+			Shards:   cfg.Shards,
+			Capacity: cfg.Sessions,
+			IdleTTL:  cfg.SessionTTL,
+			Clock:    cfg.Clock,
+			Registry: ob.Registry,
+			OnEvict:  ops.OnEvict(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Server{
+		Handler: httpapi.New(b, httpapi.WithPool(pool), httpapi.WithObs(ob), httpapi.WithOps(ops)),
+		Backend: b,
+		Obs:     ob,
+		Ops:     ops,
+		Pool:    pool,
+	}, nil
+}
+
+// FactoryFor resolves the per-session backend factory for b: forkable
+// backends (oracles, the learned emulator) fork cheaply; the rest
+// rebuild from the same configuration on first use of a session.
+func FactoryFor(b Backend, cfg ServerConfig) BackendFactory {
+	if f := cloudapi.FactoryOf(b); f != nil {
+		return f
+	}
+	return func() Backend {
+		nb, err := NewBackend(cfg.Service, cfg.Backend, cfg.Noisy)
+		if err != nil {
+			// The identical build in NewServer succeeded, so this is
+			// unreachable short of resource exhaustion.
+			panic(fmt.Sprintf("lce: session backend rebuild failed: %v", err))
+		}
+		return nb
+	}
+}

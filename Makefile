@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ops-smoke ci
+.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ops-smoke interp-smoke ci
 
 build:
 	$(GO) build ./...
@@ -110,4 +110,16 @@ ops-smoke:
 	./lce-replay-ops -dump flight-dump.json -backend oracle -chaos -fault-rate 0.2 -chaos-seed 7; \
 	echo "ops smoke: metrics lint (prom + openmetrics), SSE stream, flight dump + byte-identical replay all OK"
 
-ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke
+# Interp gate: the closure-compiled interpreter must answer
+# byte-identically to the reference tree-walker — differential suites
+# (chaos included) under the race detector, wire-level parity through
+# two full server stacks, the zero-alloc fast path (build-tagged out
+# under -race, hence the separate non-race run) — and the compiled-vs-
+# walked bench must clear the 5x speedup floor on the hot-loop row or
+# the target fails. bench-interp.json is left behind as the artifact.
+interp-smoke:
+	$(GO) test -race -run 'Interp' ./internal/interp/... ./internal/eval/... .
+	$(GO) test -run 'ZeroAlloc' ./internal/interp/
+	$(GO) run ./cmd/lce-bench -interp -interp-floor 5 -json bench-interp.json
+
+ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke interp-smoke

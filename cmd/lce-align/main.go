@@ -8,7 +8,9 @@
 //	lce-align -service ec2 -chaos -fault-rate 0.1 -chaos-seed 7
 //
 // The comparison phase fans out across -workers goroutines (default:
-// GOMAXPROCS); the result is identical at any worker count.
+// GOMAXPROCS); the result is identical at any worker count. It runs
+// the emulator compiled to pre-resolved closures by default; -interp
+// walk forces the reference tree-walker (same result, slower rounds).
 //
 // With -chaos the oracle is wrapped in the deterministic fault
 // injector and (unless -no-retry) each worker talks to it through the
@@ -40,6 +42,7 @@ import (
 func main() {
 	service := flag.String("service", "ec2", "service to align: ec2 | dynamodb | network-firewall | azure-network")
 	workers := flag.Int("workers", 0, "comparison worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	interpM := flag.String("interp", "compiled", "comparison-phase interpreter mode: compiled | walk (identical results, different wall-clock)")
 	chaos := flag.Bool("chaos", false, "inject transient faults into the oracle")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the fault-injection stream")
 	faultRate := flag.Float64("fault-rate", 0.1, "total per-call fault probability when -chaos is set")
@@ -66,10 +69,10 @@ func main() {
 			p.Seed = *chaosSeed
 			policy = &p
 		}
-		res, err = lce.AlignWithFlakyCloudObserved(*service, opts, *workers,
-			lce.UniformFaults(*faultRate, *chaosSeed), policy, ob)
+		res, err = lce.AlignWithFlakyCloudInterp(*service, opts, *workers,
+			lce.UniformFaults(*faultRate, *chaosSeed), policy, *interpM, ob)
 	} else {
-		res, err = lce.AlignWithCloudObserved(*service, opts, *workers, ob)
+		res, err = lce.AlignWithCloudInterp(*service, opts, *workers, *interpM, ob)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lce-align:", err)

@@ -136,6 +136,57 @@ func (v Value) AsList() []Value { return v.list }
 // AsMap returns the map payload; it is nil for non-maps.
 func (v Value) AsMap() map[string]Value { return v.m }
 
+// Pointer accessors. Value is a large struct, and its value-receiver
+// accessors copy the whole struct when called through a pointer — even
+// inlined, the compiler does not elide the copy. Interpreter hot paths
+// that already hold a *Value read through these instead.
+
+// KindOf is Kind without copying the value.
+func KindOf(v *Value) Kind { return v.kind }
+
+// IsNilPtr is IsNil without copying the value.
+func IsNilPtr(v *Value) bool { return v.kind == KindNil }
+
+// StringOf is AsString without copying the value.
+func StringOf(v *Value) string { return v.s }
+
+// IntOf is AsInt without copying the value.
+func IntOf(v *Value) int64 { return v.i }
+
+// BoolOf is AsBool without copying the value.
+func BoolOf(v *Value) bool { return v.b }
+
+// RefOfPtr is AsRef without copying the value.
+func RefOfPtr(v *Value) Ref { return v.ref }
+
+// ListOf is AsList without copying the value.
+func ListOf(v *Value) []Value { return v.list }
+
+// MapOf is AsMap without copying the value.
+func MapOf(v *Value) map[string]Value { return v.m }
+
+// TruthyPtr is Truthy without copying the value.
+func TruthyPtr(v *Value) bool {
+	switch v.kind {
+	case KindNil:
+		return false
+	case KindBool:
+		return v.b
+	case KindString:
+		return v.s != ""
+	case KindInt:
+		return v.i != 0
+	case KindRef:
+		return !v.ref.IsZero()
+	case KindList:
+		return len(v.list) > 0
+	case KindMap:
+		return len(v.m) > 0
+	default:
+		return false
+	}
+}
+
 // Truthy reports whether the value counts as true in a predicate:
 // booleans by their value, nil as false, everything else as non-empty.
 func (v Value) Truthy() bool {
@@ -161,7 +212,12 @@ func (v Value) Truthy() bool {
 
 // Equal reports deep equality of two values. Values of different kinds
 // are never equal (there is no implicit conversion).
-func (v Value) Equal(o Value) bool {
+func (v Value) Equal(o Value) bool { return EqualPtr(&v, &o) }
+
+// EqualPtr is Equal without copying its operands. Value is a large
+// struct, so interpreter hot paths (predicates, list membership)
+// compare through pointers; Equal is a convenience wrapper around it.
+func EqualPtr(v, o *Value) bool {
 	if v.kind != o.kind {
 		return false
 	}
@@ -181,7 +237,7 @@ func (v Value) Equal(o Value) bool {
 			return false
 		}
 		for i := range v.list {
-			if !v.list[i].Equal(o.list[i]) {
+			if !EqualPtr(&v.list[i], &o.list[i]) {
 				return false
 			}
 		}
@@ -192,7 +248,7 @@ func (v Value) Equal(o Value) bool {
 		}
 		for k, ve := range v.m {
 			oe, ok := o.m[k]
-			if !ok || !ve.Equal(oe) {
+			if !ok || !EqualPtr(&ve, &oe) {
 				return false
 			}
 		}

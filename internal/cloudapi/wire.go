@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strconv"
+	"unicode/utf8"
 )
 
 // The wire encoding maps Value to JSON so requests and responses can
@@ -37,6 +40,123 @@ func (v Value) MarshalJSON() ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("cloudapi: cannot marshal kind %v", v.kind)
 	}
+}
+
+// AppendJSON appends v's wire encoding to dst and returns the extended
+// slice. The output is byte-for-byte what encoding/json produces for
+// the same value — sorted map keys, HTML-escaped strings, the {"$ref"}
+// wrapper — which the wire tests assert; the HTTP front-end's pooled
+// success path depends on that equivalence to skip the reflective
+// marshaller (and its per-call allocations) without changing a single
+// response byte.
+func AppendJSON(dst []byte, v *Value) []byte {
+	switch v.kind {
+	case KindNil:
+		return append(dst, "null"...)
+	case KindString:
+		return appendJSONString(dst, v.s)
+	case KindInt:
+		return strconv.AppendInt(dst, v.i, 10)
+	case KindBool:
+		if v.b {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case KindRef:
+		dst = append(dst, `{"$ref":`...)
+		dst = appendJSONString(dst, v.ref.Type+"/"+v.ref.ID)
+		return append(dst, '}')
+	case KindList:
+		dst = append(dst, '[')
+		for i := range v.list {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = AppendJSON(dst, &v.list[i])
+		}
+		return append(dst, ']')
+	case KindMap:
+		dst = append(dst, '{')
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, k)
+			dst = append(dst, ':')
+			e := v.m[k]
+			dst = AppendJSON(dst, &e)
+		}
+		return append(dst, '}')
+	default:
+		// MarshalJSON errors here; the append path renders null so the
+		// caller still emits valid JSON. Unreachable for values built
+		// through this package's constructors.
+		return append(dst, "null"...)
+	}
+}
+
+// AppendJSONString appends s as a JSON string under the same escaping
+// contract as AppendJSON. The HTTP layer's envelope writer uses it for
+// the non-Value fields (request IDs) it splices around the payload.
+func AppendJSONString(dst []byte, s string) []byte { return appendJSONString(dst, s) }
+
+// appendJSONString appends s as a JSON string, matching encoding/json's
+// escaping exactly: quote and backslash, control characters (\n \r \t
+// named, the rest \u00xx), the HTML-unsafe set (< > &), the
+// line-separator pair U+2028/U+2029, and U+FFFD for invalid UTF-8.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"':
+				dst = append(dst, '\\', '"')
+			case '\\':
+				dst = append(dst, '\\', '\\')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				const hex = "0123456789abcdef"
+				dst = append(dst, '\\', 'u', '0', '0', hex[b>>4], hex[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', '8'+byte(r-'\u2028'))
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
 }
 
 // UnmarshalJSON implements json.Unmarshaler.

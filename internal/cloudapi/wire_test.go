@@ -1,0 +1,101 @@
+package cloudapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAppendJSONMatchesEncodingJSON: the append-based encoder the
+// pooled wire path uses must produce byte-for-byte what encoding/json
+// produces, across randomly generated value trees.
+func TestQuickAppendJSONMatchesEncodingJSON(t *testing.T) {
+	f := func(g valueGen) bool {
+		want, err := json.Marshal(g.V)
+		if err != nil {
+			return false
+		}
+		v := g.V
+		return bytes.Equal(AppendJSON(nil, &v), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendJSONEscaping pins the string-escaping corners the random
+// generator never reaches (its alphabet is plain ASCII): quotes,
+// backslashes, the HTML-unsafe set, control characters, the U+2028
+// pair, and invalid UTF-8.
+func TestAppendJSONEscaping(t *testing.T) {
+	cases := []Value{
+		Nil,
+		Bool(true),
+		Bool(false),
+		Int(0),
+		Int(-9223372036854775808),
+		Str(""),
+		Str("plain"),
+		Str(`quote " backslash \`),
+		Str("html <b>&amp;</b>"),
+		Str("ctl \n\r\t \x01\x1f"),
+		Str("unicode \u2713 sep \u2028 and \u2029 done"),
+		Str("bad utf8 \xff\xfe tail"),
+		Str("\xed\xa0\x80"), // lone surrogate bytes
+		RefVal("Vpc", "vpc-00000001"),
+		RefVal("We<ird", "id&1"),
+		List(),
+		List(Int(1), Str("two"), Nil, List(Bool(true))),
+		Map(nil),
+		Map(map[string]Value{
+			"b":      Int(2),
+			"a":      Str("x"),
+			"esc<&>": Str("v"),
+			"nested": List(Map(map[string]Value{"k": Nil})),
+		}),
+	}
+	for _, v := range cases {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got := AppendJSON(nil, &v); !bytes.Equal(got, want) {
+			t.Errorf("AppendJSON(%v)\n got %s\nwant %s", v, got, want)
+		}
+	}
+}
+
+// BenchmarkAppendJSON/BenchmarkMarshalJSON compare the two encoders on
+// a describe-sized payload.
+func benchPayload() Value {
+	vpcs := make([]Value, 8)
+	for i := range vpcs {
+		vpcs[i] = Map(map[string]Value{
+			"vpcId":     Str("vpc-00000001"),
+			"cidrBlock": Str("10.0.0.0/16"),
+			"state":     Str("available"),
+			"isDefault": Bool(false),
+		})
+	}
+	return Map(map[string]Value{"vpcs": List(vpcs...)})
+}
+
+func BenchmarkAppendJSON(b *testing.B) {
+	v := benchPayload()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendJSON(buf[:0], &v)
+	}
+}
+
+func BenchmarkMarshalJSON(b *testing.B) {
+	v := benchPayload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

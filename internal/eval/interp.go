@@ -1,0 +1,308 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"lce/internal/cloudapi"
+	"lce/internal/fault"
+	"lce/internal/interp"
+	"lce/internal/scenarios"
+	"lce/internal/spec"
+	"lce/internal/trace"
+)
+
+// InterpRow is one compiled-vs-walked cell: a workload replayed
+// through the tree-walking interpreter and the closure-compiled one,
+// with every response pair compared structurally and both sides
+// timed. Divergent must be zero everywhere — the compiled engine's
+// contract is byte-identical behaviour, and the CI interp gate fails
+// the push on any non-zero cell.
+type InterpRow struct {
+	Workload string
+	// Calls is the number of API calls replayed per timing pass.
+	Calls int
+	// Divergent counts steps whose (result, error code, error message)
+	// tuples differed between the engines.
+	Divergent int
+	// Walked/Compiled are total wall-clock per pass (best of reps).
+	Walked   time.Duration
+	Compiled time.Duration
+}
+
+// Speedup returns walked/compiled per-call latency (1.0 = no gain).
+func (r InterpRow) Speedup() float64 {
+	if r.Compiled <= 0 {
+		return 0
+	}
+	return float64(r.Walked) / float64(r.Compiled)
+}
+
+// PerCallWalked returns the walker's mean per-call latency.
+func (r InterpRow) PerCallWalked() time.Duration {
+	if r.Calls == 0 {
+		return 0
+	}
+	return r.Walked / time.Duration(r.Calls)
+}
+
+// PerCallCompiled returns the compiled engine's mean per-call latency.
+func (r InterpRow) PerCallCompiled() time.Duration {
+	if r.Calls == 0 {
+		return 0
+	}
+	return r.Compiled / time.Duration(r.Calls)
+}
+
+// interpHotSpec is the validation-heavy workload: a describe that
+// sweeps a list running nine predicates per element — range checks,
+// nil checks, arithmetic bounds, and an allow-list membership chain.
+// This is the
+// shape where interpretation overhead dominates — no allocation, no
+// world mutation, pure predicate evaluation — and therefore where the
+// compiled engine's pre-resolved closures pay off most; real
+// analogues are batch validators and consistency audits.
+const interpHotSpec = `
+service interpbench {
+  sm Table {
+    idprefix "tbl"
+    states {
+      items: list(int)
+      n: int
+    }
+    transition MkTable() create {
+      return(tableId, id(self))
+    }
+    transition Fill(self: ref(Table)) modify {
+      write(items, append(read(items), 7))
+      write(n, len(read(items)))
+    }
+    transition Audit(self: ref(Table)) describe {
+      foreach it in read(items) {
+        assert(it >= 0)
+        assert(it < 1000000)
+        assert(!isnil(it))
+        assert(it + 1 > it)
+        assert(it == 7 || it > 100)
+        assert(it <= 7)
+        assert(it != 0)
+        assert(it - 1 < it)
+        assert(it == 1 || it == 3 || it == 5 || it == 7)
+      }
+    }
+  }
+}
+`
+
+// interpHotItems is the audited list length; long enough that the
+// per-call fixed costs (action lookup, receiver binding) are noise.
+const interpHotItems = 96
+
+// InterpBench measures the compiled interpreter against the walker.
+//
+// Correctness first: the full EC2 and DynamoDB trace suites replay
+// through both engines — clean and under fault injection with the
+// same chaos seed on both sides — and every step's outcome tuple is
+// compared structurally. (The HTTP batch endpoint is differenced at
+// the wire level by the root package's interp e2e test; this harness
+// covers the backend surface.)
+//
+// Then latency: each workload is replayed through each engine `reps`
+// times and the best pass is kept, damping scheduler noise the same
+// way AlignSpeedup does. The hot-loop row is the headline per-call
+// latency reduction.
+func InterpBench(reps int, chaosSeed int64) ([]InterpRow, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	var rows []InterpRow
+	for _, c := range []struct {
+		service string
+		suite   []trace.Trace
+	}{
+		{"ec2", append(scenarios.EC2Fig3(), scenarios.EC2Extended()...)},
+		{"dynamodb", scenarios.DynamoDB()},
+	} {
+		svc, err := speedupSpec(c.service)
+		if err != nil {
+			return nil, fmt.Errorf("eval: interp synthesis of %s: %w", c.service, err)
+		}
+		row, err := interpSuiteRow(c.service+"-suite", svc, c.suite, reps, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		chaosRow, err := interpSuiteRow(c.service+"-suite+chaos", svc, c.suite, reps, 0.3, chaosSeed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, chaosRow)
+	}
+	hot, err := interpHotRow(reps)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, hot)
+	return rows, nil
+}
+
+// InterpHeadline returns the hot-loop row's speedup — the number the
+// CI gate holds against its floor.
+func InterpHeadline(rows []InterpRow) float64 {
+	for _, r := range rows {
+		if r.Workload == "hot-loop-audit" {
+			return r.Speedup()
+		}
+	}
+	return 0
+}
+
+// InterpDivergences sums divergent steps across all rows.
+func InterpDivergences(rows []InterpRow) int {
+	n := 0
+	for _, r := range rows {
+		n += r.Divergent
+	}
+	return n
+}
+
+func interpEngines(svc *spec.Service) (*interp.Emulator, *interp.Emulator, error) {
+	walk, err := interp.New(svc)
+	if err != nil {
+		return nil, nil, err
+	}
+	comp, err := interp.NewCompiled(svc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return walk, comp, nil
+}
+
+// interpSuiteRow replays a trace suite through both engines. With
+// faultRate > 0, each engine is wrapped in a fault injector carrying
+// the same seed: the two injectors draw identical decision streams,
+// so responses — injected faults included — must still match exactly.
+func interpSuiteRow(name string, svc *spec.Service, suite []trace.Trace, reps int, faultRate float64, chaosSeed int64) (InterpRow, error) {
+	walk, comp, err := interpEngines(svc)
+	if err != nil {
+		return InterpRow{}, err
+	}
+	var wb, cb cloudapi.Backend = walk, comp
+	if faultRate > 0 {
+		wb = fault.Wrap(wb, fault.Uniform(faultRate, chaosSeed))
+		cb = fault.Wrap(cb, fault.Uniform(faultRate, chaosSeed))
+	}
+	row := InterpRow{Workload: name}
+	for _, tr := range suite {
+		row.Calls += len(tr.Steps)
+		ow := trace.Run(wb, tr)
+		oc := trace.Run(cb, tr)
+		for i := range ow {
+			if !reflect.DeepEqual(ow[i], oc[i]) {
+				row.Divergent++
+			}
+		}
+	}
+	row.Walked = bestOf(reps, func() error {
+		for _, tr := range suite {
+			trace.Run(wb, tr)
+		}
+		return nil
+	})
+	row.Compiled = bestOf(reps, func() error {
+		for _, tr := range suite {
+			trace.Run(cb, tr)
+		}
+		return nil
+	})
+	return row, nil
+}
+
+// interpHotRow builds the audit workload, checks the two engines
+// answer identically, and times the audit call in a tight loop.
+func interpHotRow(reps int) (InterpRow, error) {
+	svc, err := spec.Parse(interpHotSpec)
+	if err != nil {
+		return InterpRow{}, fmt.Errorf("eval: interp hot spec: %w", err)
+	}
+	walk, comp, err := interpEngines(svc)
+	if err != nil {
+		return InterpRow{}, err
+	}
+	var tblW, tblC cloudapi.Value
+	for _, setup := range []struct {
+		emu *interp.Emulator
+		tbl *cloudapi.Value
+	}{{walk, &tblW}, {comp, &tblC}} {
+		res, err := setup.emu.Invoke(cloudapi.Request{Action: "MkTable"})
+		if err != nil {
+			return InterpRow{}, fmt.Errorf("eval: interp hot setup: %w", err)
+		}
+		*setup.tbl = res.Get("tableId")
+		for i := 0; i < interpHotItems; i++ {
+			if _, err := setup.emu.Invoke(cloudapi.Request{Action: "Fill", Params: cloudapi.Params{"self": *setup.tbl}}); err != nil {
+				return InterpRow{}, fmt.Errorf("eval: interp hot fill: %w", err)
+			}
+		}
+	}
+
+	reqW := cloudapi.Request{Action: "Audit", Params: cloudapi.Params{"self": tblW}}
+	reqC := cloudapi.Request{Action: "Audit", Params: cloudapi.Params{"self": tblC}}
+	row := InterpRow{Workload: "hot-loop-audit"}
+	rw, errW := walk.Invoke(reqW)
+	rc, errC := comp.Invoke(reqC)
+	if !reflect.DeepEqual(rw, rc) || !reflect.DeepEqual(fmt.Sprint(errW), fmt.Sprint(errC)) {
+		row.Divergent++
+	}
+
+	const calls = 400
+	row.Calls = calls
+	row.Walked = bestOf(reps, func() error {
+		for i := 0; i < calls; i++ {
+			if _, err := walk.Invoke(reqW); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	row.Compiled = bestOf(reps, func() error {
+		for i := 0; i < calls; i++ {
+			if _, err := comp.Invoke(reqC); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return row, nil
+}
+
+func bestOf(reps int, pass func() error) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := pass(); err != nil {
+			return 0
+		}
+		elapsed := time.Since(start)
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best
+}
+
+// FormatInterp renders the compiled-vs-walked table.
+func FormatInterp(rows []InterpRow) string {
+	var b strings.Builder
+	b.WriteString("Interpreter modes: closure-compiled vs tree-walked (per-call latency; divergent must be 0)\n")
+	fmt.Fprintf(&b, "%-22s %7s %10s %12s %12s %9s\n", "Workload", "calls", "divergent", "walked/call", "compiled/call", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %7d %10d %12s %12s %8.2fx\n",
+			r.Workload, r.Calls, r.Divergent,
+			r.PerCallWalked().Round(10*time.Nanosecond), r.PerCallCompiled().Round(10*time.Nanosecond), r.Speedup())
+	}
+	fmt.Fprintf(&b, "headline (hot-loop-audit): %.2fx per-call latency reduction\n", InterpHeadline(rows))
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInterpBenchDifferential runs the compiled-vs-walked harness end
+// to end: full EC2/DynamoDB suites clean and under same-seed chaos,
+// plus the hot-loop workload. Any divergent step is a parity bug in
+// the compiled engine.
+func TestInterpBenchDifferential(t *testing.T) {
+	rows, err := InterpBench(1, 20260808)
+	if err != nil {
+		t.Fatalf("InterpBench: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5 (ec2, ec2+chaos, dynamodb, dynamodb+chaos, hot-loop)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Divergent != 0 {
+			t.Errorf("%s: %d divergent steps between walked and compiled engines", r.Workload, r.Divergent)
+		}
+		if r.Calls == 0 {
+			t.Errorf("%s: replayed zero calls", r.Workload)
+		}
+		if r.Walked <= 0 || r.Compiled <= 0 {
+			t.Errorf("%s: missing timings (walked %s, compiled %s)", r.Workload, r.Walked, r.Compiled)
+		}
+	}
+	if h := InterpHeadline(rows); h <= 1 {
+		t.Errorf("hot-loop headline speedup %.2fx, want > 1x", h)
+	}
+	out := FormatInterp(rows)
+	if !strings.Contains(out, "hot-loop-audit") || !strings.Contains(out, "headline") {
+		t.Errorf("FormatInterp missing expected sections:\n%s", out)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sync"
 	"sync/atomic"
 
 	"lce/internal/advisor"
@@ -360,7 +361,55 @@ func (s *server) invoke(w http.ResponseWriter, r *http.Request, b cloudapi.Backe
 		resp.RequestID = reqID
 		w.Header().Set(RequestIDHeader, reqID)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWireResponse(w, http.StatusOK, resp)
+}
+
+// envelopePool recycles success-envelope buffers across requests. The
+// data plane's hottest path is invoke-success, and the reflective
+// encoder costs a fresh buffer plus per-field allocations on every
+// call; the append encoder into a pooled buffer emits the same bytes
+// with no per-request garbage.
+var envelopePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// envelopePoolMaxCap bounds what returns to the pool: one pathological
+// multi-megabyte describe must not pin its buffer forever.
+const envelopePoolMaxCap = 64 << 10
+
+// writeWireResponse writes the success envelope through the pooled
+// append encoder. The bytes are exactly what writeJSON (the stdlib
+// encoder) would produce — field order, omitempty on both fields,
+// sorted result keys, HTML-escaped strings, trailing newline — as
+// TestWireResponseBytes asserts; external tooling greps response
+// bodies, so the wire format is a compatibility surface.
+func writeWireResponse(w http.ResponseWriter, status int, resp wireResponse) {
+	bp := envelopePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, '{')
+	if resp.RequestID != "" {
+		buf = append(buf, `"RequestId":`...)
+		buf = cloudapi.AppendJSONString(buf, resp.RequestID)
+	}
+	if len(resp.Result) > 0 {
+		if resp.RequestID != "" {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `"result":`...)
+		mv := cloudapi.Map(resp.Result)
+		buf = cloudapi.AppendJSON(buf, &mv)
+	}
+	buf = append(buf, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
+	if cap(buf) <= envelopePoolMaxCap {
+		*bp = buf
+		envelopePool.Put(bp)
+	}
 }
 
 // v2Reset resets exactly one session's account. With a pool this is

@@ -1,0 +1,43 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"lce/internal/cloudapi"
+)
+
+// TestWireResponseBytes: the pooled envelope writer must emit exactly
+// what the stdlib encoder emitted before it existed — the success wire
+// format is a compatibility surface (clients, smoke-test greps).
+func TestWireResponseBytes(t *testing.T) {
+	cases := []wireResponse{
+		{},
+		{RequestID: "lce-00000000075bcd15"},
+		{RequestID: `tagged "<&>" id`},
+		{Result: map[string]cloudapi.Value{}},
+		{Result: map[string]cloudapi.Value{"vpcs": cloudapi.List()}},
+		{RequestID: "r1", Result: map[string]cloudapi.Value{
+			"vpcId": cloudapi.Str("vpc-00000001"),
+			"tags":  cloudapi.Map(map[string]cloudapi.Value{"b": cloudapi.Int(2), "a": cloudapi.Nil}),
+			"html":  cloudapi.Str("<script>&"),
+			"ref":   cloudapi.RefVal("Vpc", "vpc-00000001"),
+		}},
+	}
+	for _, resp := range cases {
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		writeWireResponse(rec, 200, resp)
+		if got := rec.Body.String(); got != want.String() {
+			t.Errorf("envelope %+v\n got %q\nwant %q", resp, got, want.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q", ct)
+		}
+	}
+}

@@ -233,8 +233,8 @@ func TestInternalTransitionsHiddenFromAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	inst, _ := emu.World().Lookup("A", id)
-	if inst.Attrs["n"].AsInt() != 7 {
-		t.Errorf("n = %v", inst.Attrs["n"])
+	if inst.attrOrNil("n").AsInt() != 7 {
+		t.Errorf("n = %v", inst.attrOrNil("n"))
 	}
 }
 

@@ -25,6 +25,11 @@ type Emulator struct {
 	mu    sync.Mutex
 	svc   *spec.Service
 	world *World
+	// prog, when non-nil, is the compiled program Invoke dispatches
+	// through instead of tree-walking the spec. It is an immutable
+	// snapshot of the spec at Compile time; mutating the spec
+	// invalidates it (call Compile again).
+	prog *Program
 }
 
 // New builds an emulator for the given service spec. The spec must
@@ -38,14 +43,78 @@ func New(svc *spec.Service) (*Emulator, error) {
 	return &Emulator{svc: svc, world: NewWorld(svc)}, nil
 }
 
+// Interpreter mode names, as accepted by the CLIs' -interp flags and
+// lce.ServerConfig.Interp. ModeCompiled is the default everywhere; the
+// walker stays available as the reference semantics and for debugging.
+const (
+	ModeWalk     = "walk"
+	ModeCompiled = "compiled"
+)
+
+// NewMode builds an emulator in the named interpreter mode: "" or
+// ModeCompiled lower the spec to closures, ModeWalk keeps tree-walking
+// dispatch. Any other name is an error.
+func NewMode(svc *spec.Service, mode string) (*Emulator, error) {
+	switch mode {
+	case ModeWalk:
+		return New(svc)
+	case "", ModeCompiled:
+		return NewCompiled(svc)
+	default:
+		return nil, fmt.Errorf("interp: unknown interpreter mode %q (want %q or %q)", mode, ModeWalk, ModeCompiled)
+	}
+}
+
+// NewCompiled is New followed by Compile.
+func NewCompiled(svc *spec.Service) (*Emulator, error) {
+	e, err := New(svc)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Compile(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Compile lowers the spec into pre-resolved closures and swaps the
+// emulator's dispatch to the compiled program. World state is
+// untouched: compiling mid-session is safe, and responses are
+// byte-identical to the walker's. The program is a snapshot — if the
+// spec is mutated afterwards (alignment repairs), Compile must be
+// called again.
+func (e *Emulator) Compile() error {
+	prog, err := CompileService(e.svc)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.prog = prog
+	e.mu.Unlock()
+	return nil
+}
+
+// Compiled reports whether Invoke dispatches through the compiled
+// program.
+func (e *Emulator) Compiled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.prog != nil
+}
+
 // Fork implements cloudapi.Forker: a fresh emulator over the same
 // (already indexed) spec with an empty world and restarted ID
-// allocation. The fork shares the spec, so it inherits the read-only
-// constraint documented on Emulator — safe for serving (the tenant
-// pool stamps out one emulator per session this way), not for
+// allocation. The compiled program, being immutable, is shared by the
+// fork — the tenant pool and alignment workers get compiled dispatch
+// without re-compiling. The fork shares the spec, so it inherits the
+// read-only constraint documented on Emulator — safe for serving (the
+// tenant pool stamps out one emulator per session this way), not for
 // concurrent alignment repair.
 func (e *Emulator) Fork() cloudapi.Backend {
-	return &Emulator{svc: e.svc, world: NewWorld(e.svc)}
+	e.mu.Lock()
+	prog := e.prog
+	e.mu.Unlock()
+	return &Emulator{svc: e.svc, world: NewWorld(e.svc), prog: prog}
 }
 
 // Service implements cloudapi.Backend.
@@ -71,6 +140,34 @@ func (e *Emulator) Spec() *spec.Service { return e.svc }
 // are invoking this emulator.
 func (e *Emulator) World() *World { return e.world }
 
+// envPool recycles top-level activation records between Invoke calls:
+// the env itself, its params map (clear-reused) and its response map.
+// Nested call activations are short-lived and stay heap-allocated.
+var envPool = sync.Pool{
+	New: func() any {
+		return &env{
+			params: make(map[string]cloudapi.Value, 8),
+			resp:   cloudapi.Result{},
+		}
+	},
+}
+
+func getEnv() *env {
+	e := envPool.Get().(*env)
+	return e
+}
+
+func putEnv(e *env) {
+	clear(e.params)
+	clear(e.resp)
+	e.world, e.sm, e.tr, e.self = nil, nil, nil, nil
+	clear(e.locals[:cap(e.locals)])
+	e.locals = e.locals[:0]
+	e.depth = 0
+	e.readonly = false
+	envPool.Put(e)
+}
+
 // Invoke implements cloudapi.Backend. API-level failures (unknown
 // action, missing/invalid parameters, missing resources, failed
 // assertions, dependency violations) come back as *cloudapi.APIError;
@@ -78,19 +175,34 @@ func (e *Emulator) World() *World { return e.world }
 func (e *Emulator) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.prog != nil {
+		return e.prog.invoke(e.world, req)
+	}
+	return e.invokeWalk(req)
+}
 
+// invokeWalk is the tree-walking dispatch path.
+func (e *Emulator) invokeWalk(req cloudapi.Request) (cloudapi.Result, error) {
 	sm, tr, ok := e.svc.Action(req.Action)
 	if !ok || tr.Internal {
 		return nil, cloudapi.Errf(cloudapi.CodeUnknownAction, "the action %s is not valid for this service", req.Action)
 	}
 
-	params, self, apiErr, err := e.bindParams(sm, tr, req.Params)
+	activation := getEnv()
+	defer putEnv(activation)
+	activation.world = e.world
+	activation.sm = sm
+	activation.tr = tr
+	activation.readonly = tr.Kind == spec.KDescribe
+
+	self, apiErr, err := e.bindParams(sm, tr, req.Params, activation.params)
 	if err != nil {
 		return nil, err
 	}
 	if apiErr != nil {
 		return nil, apiErr
 	}
+	params := activation.params
 
 	var created *Instance
 	if tr.Kind == spec.KCreate {
@@ -117,15 +229,7 @@ func (e *Emulator) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 		}
 	}
 
-	activation := &env{
-		world:    e.world,
-		sm:       sm,
-		tr:       tr,
-		self:     self,
-		params:   params,
-		readonly: tr.Kind == spec.KDescribe,
-		resp:     cloudapi.Result{},
-	}
+	activation.self = self
 	if err := activation.execStmts(tr.Body); err != nil {
 		if created != nil {
 			e.world.Discard(created.Ref)
@@ -143,17 +247,17 @@ func (e *Emulator) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 }
 
 // bindParams resolves request parameters against the transition's
-// declared parameters. It returns (params, receiver, apiError,
+// declared parameters into dest. It returns (receiver, apiError,
 // internalError).
-func (e *Emulator) bindParams(sm *spec.SM, tr *spec.Transition, in cloudapi.Params) (map[string]cloudapi.Value, *Instance, *cloudapi.APIError, error) {
-	params := make(map[string]cloudapi.Value, len(tr.Params))
+func (e *Emulator) bindParams(sm *spec.SM, tr *spec.Transition, in cloudapi.Params, dest map[string]cloudapi.Value) (*Instance, *cloudapi.APIError, error) {
+	params := dest
 	var self *Instance
 	for _, p := range tr.Params {
 		isRecv := p.Receiver || p.Name == "self"
 		raw, present := in[p.Name]
 		if !present || raw.IsNil() {
 			if isRecv || !p.Optional {
-				return nil, nil, cloudapi.Errf(cloudapi.CodeMissingParameter, "the request must contain the parameter %s", p.Name), nil
+				return nil, cloudapi.Errf(cloudapi.CodeMissingParameter, "the request must contain the parameter %s", p.Name), nil
 			}
 			if !p.Default.IsNil() {
 				params[p.Name] = p.Default
@@ -164,13 +268,13 @@ func (e *Emulator) bindParams(sm *spec.SM, tr *spec.Transition, in cloudapi.Para
 		}
 		v, apiErr, err := e.coerce(p, raw)
 		if err != nil || apiErr != nil {
-			return nil, nil, apiErr, err
+			return nil, apiErr, err
 		}
 		params[p.Name] = v
 		if isRecv {
 			inst, ok := e.world.Get(v.AsRef())
 			if !ok || !inst.Alive {
-				return nil, nil, notFoundError(sm, v.AsRef().ID), nil
+				return nil, notFoundError(sm, v.AsRef().ID), nil
 			}
 			self = inst
 		}
@@ -179,10 +283,10 @@ func (e *Emulator) bindParams(sm *spec.SM, tr *spec.Transition, in cloudapi.Para
 	// request shapes, and silent acceptance would hide trace bugs.
 	for name := range in {
 		if tr.Param(name) == nil {
-			return nil, nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "unknown parameter %s for action %s", name, tr.Name), nil
+			return nil, cloudapi.Errf(cloudapi.CodeInvalidParameter, "unknown parameter %s for action %s", name, tr.Name), nil
 		}
 	}
-	return params, self, nil, nil
+	return self, nil, nil
 }
 
 // coerce converts a wire value to the parameter's declared type.

@@ -94,7 +94,7 @@ func TestCrossSMCallAndZoneCheck(t *testing.T) {
 	if !ok {
 		t.Fatal("nic disappeared")
 	}
-	got := nic.Attrs["publicIp"]
+	got := nic.attrOrNil("publicIp")
 	if got.Kind() != cloudapi.KindRef || got.AsRef().ID != ipID {
 		t.Errorf("nic.publicIp = %v, want ref to %s", got, ipID)
 	}
@@ -113,8 +113,8 @@ func TestZoneMismatchRejected(t *testing.T) {
 	}
 	// The failed assert precedes the call: the NIC must be untouched.
 	nic, _ := emu.World().Lookup("NetworkInterface", nicID)
-	if !nic.Attrs["publicIp"].IsNil() {
-		t.Errorf("nic.publicIp mutated on failed transition: %v", nic.Attrs["publicIp"])
+	if !nic.attrOrNil("publicIp").IsNil() {
+		t.Errorf("nic.publicIp mutated on failed transition: %v", nic.attrOrNil("publicIp"))
 	}
 }
 
@@ -343,7 +343,7 @@ service bad {
 	if _, isAPI := cloudapi.AsAPIError(err); isAPI {
 		t.Fatalf("describe-with-write surfaced as API error %v; want framework error", err)
 	}
-	if got := insts[0].Attrs["n"]; got.AsInt() != 0 {
+	if got := insts[0].attrOrNil("n"); got.AsInt() != 0 {
 		t.Errorf("describe mutated state: n = %v", got)
 	}
 }
@@ -372,11 +372,11 @@ service s {
 	}
 	id := invoke(t, emu, "Mk", nil).Get("aId").AsString()
 	inst, _ := emu.World().Lookup("A", id)
-	if got := inst.Attrs["tenancy"].AsString(); got != "default" {
+	if got := inst.attrOrNil("tenancy").AsString(); got != "default" {
 		t.Errorf("tenancy = %q, want default via default value", got)
 	}
-	if !inst.Attrs["n"].IsNil() {
-		t.Errorf("n = %v, want nil (optional, no default)", inst.Attrs["n"])
+	if !inst.attrOrNil("n").IsNil() {
+		t.Errorf("n = %v, want nil (optional, no default)", inst.attrOrNil("n"))
 	}
 }
 
@@ -411,7 +411,7 @@ service s {
 		"xs":   cloudapi.List(cloudapi.Int(1), cloudapi.Int(2), cloudapi.Int(3)),
 	})
 	inst, _ := emu.World().Lookup("Box", id)
-	if got := inst.Attrs["total"].AsInt(); got != 6 {
+	if got := inst.attrOrNil("total").AsInt(); got != 6 {
 		t.Errorf("total = %d, want 6", got)
 	}
 }

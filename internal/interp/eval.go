@@ -83,7 +83,7 @@ func (e *env) execStmt(s spec.Stmt) error {
 		if err != nil {
 			return err
 		}
-		e.self.Attrs[st.State] = v
+		e.self.SetAttr(st.State, v)
 		return nil
 	case *spec.AssertStmt:
 		v, err := e.eval(st.Pred)
@@ -343,7 +343,7 @@ func (e *env) evalBinary(ex *spec.BinaryExpr) (cloudapi.Value, error) {
 	case spec.TokNeq:
 		return cloudapi.Bool(!l.Equal(r)), nil
 	case spec.TokLt, spec.TokLe, spec.TokGt, spec.TokGe:
-		cmp, err := compareValues(l, r)
+		cmp, err := compareValues(&l, &r)
 		if err != nil {
 			return cloudapi.Nil, internalErrf("transition %s: %v", e.tr.Name, err)
 		}
@@ -366,7 +366,10 @@ func (e *env) evalBinary(ex *spec.BinaryExpr) (cloudapi.Value, error) {
 	}
 }
 
-func compareValues(l, r cloudapi.Value) (int, error) {
+// compareValues orders two values of the same scalar kind. The int
+// fast path stays under the inlining budget by deferring strings and
+// the mismatch error to compareSlow.
+func compareValues(l, r *cloudapi.Value) (int, error) {
 	if l.Kind() == cloudapi.KindInt && r.Kind() == cloudapi.KindInt {
 		switch {
 		case l.AsInt() < r.AsInt():
@@ -377,6 +380,10 @@ func compareValues(l, r cloudapi.Value) (int, error) {
 			return 0, nil
 		}
 	}
+	return compareSlow(l, r)
+}
+
+func compareSlow(l, r *cloudapi.Value) (int, error) {
 	if l.Kind() == cloudapi.KindString && r.Kind() == cloudapi.KindString {
 		return strings.Compare(l.AsString(), r.AsString()), nil
 	}
@@ -392,13 +399,20 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 		}
 		args[i] = v
 	}
+	return applyBuiltin(e.world, e.self, ex.Name, args)
+}
+
+// applyBuiltin executes one builtin over already-evaluated arguments.
+// It is shared between the tree-walker and the compiled engine (which
+// routes cold builtins here and specializes the hot ones).
+func applyBuiltin(world *World, self *Instance, name string, args []cloudapi.Value) (cloudapi.Value, error) {
 	need := func(n int) error {
 		if len(args) != n {
-			return internalErrf("builtin %s: %d args, want %d", ex.Name, len(args), n)
+			return internalErrf("builtin %s: %d args, want %d", name, len(args), n)
 		}
 		return nil
 	}
-	switch ex.Name {
+	switch name {
 	case "len":
 		if err := need(1); err != nil {
 			return cloudapi.Nil, err
@@ -432,16 +446,16 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 		if err := need(1); err != nil {
 			return cloudapi.Nil, err
 		}
-		if e.self == nil {
+		if self == nil {
 			return cloudapi.Nil, internalErrf("builtin children with no receiver")
 		}
-		insts := e.world.Children(e.self.Ref, args[0].AsString())
+		insts := world.Children(self.Ref, args[0].AsString())
 		return refList(insts), nil
 	case "instances":
 		if err := need(1); err != nil {
 			return cloudapi.Nil, err
 		}
-		insts := e.world.Instances(args[0].AsString())
+		insts := world.Instances(args[0].AsString())
 		return refList(insts), nil
 	case "append":
 		if err := need(2); err != nil {
@@ -500,7 +514,7 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 			if v.Kind() != cloudapi.KindRef {
 				continue
 			}
-			if inst, ok := e.world.Get(v.AsRef()); ok {
+			if inst, ok := world.Get(v.AsRef()); ok {
 				out = append(out, inst.attrOrNil(args[1].AsString()))
 			}
 		}
@@ -514,7 +528,7 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 			if v.Kind() != cloudapi.KindRef {
 				continue
 			}
-			if inst, ok := e.world.Get(v.AsRef()); ok {
+			if inst, ok := world.Get(v.AsRef()); ok {
 				out = append(out, describeInstance(inst))
 			}
 		}
@@ -576,7 +590,7 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 		if args[1].Kind() != cloudapi.KindString {
 			return cloudapi.Nil, nil
 		}
-		inst, ok := e.world.Lookup(args[0].AsString(), args[1].AsString())
+		inst, ok := world.Lookup(args[0].AsString(), args[1].AsString())
 		if !ok {
 			return cloudapi.Nil, nil
 		}
@@ -586,7 +600,7 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 			return cloudapi.Nil, err
 		}
 		var out []cloudapi.Value
-		for _, inst := range e.world.Instances(args[0].AsString()) {
+		for _, inst := range world.Instances(args[0].AsString()) {
 			if inst.attrOrNil(args[1].AsString()).Equal(args[2]) {
 				out = append(out, cloudapi.RefOf(inst.Ref))
 			}
@@ -601,7 +615,7 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 			if v.Kind() != cloudapi.KindRef {
 				continue
 			}
-			inst, ok := e.world.Get(v.AsRef())
+			inst, ok := world.Get(v.AsRef())
 			if !ok {
 				continue
 			}
@@ -642,14 +656,14 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 		if args[0].Kind() != cloudapi.KindRef {
 			return cloudapi.Nil, internalErrf("builtin attrs: argument is %s, want ref", args[0].Kind())
 		}
-		inst, ok := e.world.Get(args[0].AsRef())
+		inst, ok := world.Get(args[0].AsRef())
 		if !ok {
 			return cloudapi.Nil, nil
 		}
-		m := make(map[string]cloudapi.Value, len(inst.Attrs))
-		for k, v := range inst.Attrs {
+		m := make(map[string]cloudapi.Value, inst.numAttrs())
+		inst.eachAttr(func(k string, v cloudapi.Value) {
 			m[k] = v
-		}
+		})
 		return cloudapi.Map(m), nil
 	case "describe":
 		if err := need(1); err != nil {
@@ -658,7 +672,7 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 		if args[0].Kind() != cloudapi.KindRef {
 			return cloudapi.Nil, internalErrf("builtin describe: argument is %s, want ref", args[0].Kind())
 		}
-		inst, ok := e.world.Get(args[0].AsRef())
+		inst, ok := world.Get(args[0].AsRef())
 		if !ok {
 			return cloudapi.Nil, nil
 		}
@@ -667,14 +681,14 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 		if err := need(1); err != nil {
 			return cloudapi.Nil, err
 		}
-		insts := e.world.Instances(args[0].AsString())
+		insts := world.Instances(args[0].AsString())
 		out := make([]cloudapi.Value, len(insts))
 		for i, inst := range insts {
 			out[i] = describeInstance(inst)
 		}
 		return cloudapi.List(out...), nil
 	default:
-		return cloudapi.Nil, internalErrf("unknown builtin %q", ex.Name)
+		return cloudapi.Nil, internalErrf("unknown builtin %q", name)
 	}
 }
 
@@ -682,13 +696,13 @@ func (e *env) evalBuiltin(ex *spec.BuiltinExpr) (cloudapi.Value, error) {
 // payload: every state attribute plus an "id" key. Nil attributes are
 // omitted, matching how cloud APIs omit unset fields.
 func describeInstance(inst *Instance) cloudapi.Value {
-	m := make(map[string]cloudapi.Value, len(inst.Attrs)+1)
-	for k, v := range inst.Attrs {
+	m := make(map[string]cloudapi.Value, inst.numAttrs()+1)
+	inst.eachAttr(func(k string, v cloudapi.Value) {
 		if v.IsNil() {
-			continue
+			return
 		}
 		m[k] = v
-	}
+	})
 	m["id"] = cloudapi.Str(inst.Ref.ID)
 	return cloudapi.Map(m)
 }

@@ -5,6 +5,12 @@
 // instance lifecycle, the containment hierarchy and its correctness
 // checks, parameter binding, error-code mapping for failed assertions,
 // and the pure builtin functions.
+//
+// The framework has two execution engines over the same store: the
+// tree-walking interpreter (eval.go), which resolves names and error
+// tables on every step, and the compiled engine (compile.go +
+// compiled.go), which lowers a type-checked spec into pre-resolved
+// closures once and then executes with slot-indexed state access.
 package interp
 
 import (
@@ -14,16 +20,111 @@ import (
 	"lce/internal/spec"
 )
 
-// Instance is one live (or destroyed) resource.
+// Instance is one live (or destroyed) resource. State variables live in
+// a dense slot array laid out by the SM's compile-time slot table
+// (spec.SM.StateSlot); attributes outside the layout — possible only
+// when the spec was never indexed — spill into an overflow map. The
+// written-flag per slot preserves the distinction between "never
+// written" and "written nil", which the attrs() builtin and Snapshot
+// observe.
 type Instance struct {
 	Ref    cloudapi.Ref
-	Attrs  map[string]cloudapi.Value
 	Parent cloudapi.Ref
 	Alive  bool
 	// Seq is the global creation sequence number; listings are ordered
 	// by it so two backends that process the same trace enumerate
 	// resources identically.
 	Seq int
+
+	sm    *spec.SM
+	slots []cloudapi.Value
+	set   []bool
+	extra map[string]cloudapi.Value // lazily allocated overflow
+}
+
+// Attr returns the named attribute and whether it has been written.
+// The slot-length guard covers instances created before a re-Index
+// grew the SM's layout; such names spill to the overflow map.
+func (inst *Instance) Attr(name string) (cloudapi.Value, bool) {
+	if inst.sm != nil {
+		if i, ok := inst.sm.StateSlot(name); ok && i < len(inst.slots) {
+			return inst.slots[i], inst.set[i]
+		}
+	}
+	v, ok := inst.extra[name]
+	return v, ok
+}
+
+// SetAttr writes the named attribute.
+func (inst *Instance) SetAttr(name string, v cloudapi.Value) {
+	if inst.sm != nil {
+		if i, ok := inst.sm.StateSlot(name); ok && i < len(inst.slots) {
+			inst.slots[i] = v
+			inst.set[i] = true
+			return
+		}
+	}
+	if inst.extra == nil {
+		inst.extra = make(map[string]cloudapi.Value)
+	}
+	inst.extra[name] = v
+}
+
+// slotValue is the compiled path's pre-resolved read: no name lookup,
+// just an index into the slot array. The compiler only emits it for
+// slots in the instance's own layout.
+func (inst *Instance) slotValue(i int) cloudapi.Value {
+	if i < len(inst.slots) {
+		return inst.slots[i]
+	}
+	return cloudapi.Nil
+}
+
+// setSlot is the compiled path's pre-resolved write; the name rides
+// along only for the out-of-layout spill.
+func (inst *Instance) setSlot(i int, name string, v cloudapi.Value) {
+	if i < len(inst.slots) {
+		inst.slots[i] = v
+		inst.set[i] = true
+		return
+	}
+	inst.SetAttr(name, v)
+}
+
+// attrOrNil returns the instance attribute, or Nil when unset.
+func (inst *Instance) attrOrNil(name string) cloudapi.Value {
+	v, _ := inst.Attr(name)
+	return v
+}
+
+// eachAttr calls fn for every written attribute. Slot-layout attributes
+// come first in declaration order, then overflow attributes in map
+// order.
+func (inst *Instance) eachAttr(fn func(name string, v cloudapi.Value)) {
+	if inst.sm != nil {
+		for i, name := range inst.sm.SlotNames() {
+			if i >= len(inst.set) {
+				break
+			}
+			if inst.set[i] {
+				fn(name, inst.slots[i])
+			}
+		}
+	}
+	for k, v := range inst.extra {
+		fn(k, v)
+	}
+}
+
+// numAttrs returns the number of written attributes.
+func (inst *Instance) numAttrs() int {
+	n := len(inst.extra)
+	for _, s := range inst.set {
+		if s {
+			n++
+		}
+	}
+	return n
 }
 
 // World is the resource store: every instance of every SM type,
@@ -53,17 +154,24 @@ func (w *World) Reset() {
 
 // Create allocates a new live instance of the given SM.
 func (w *World) Create(sm *spec.SM) *Instance {
-	prefix := sm.IDPrefix
-	if prefix == "" {
-		prefix = lowerFirst(sm.Name)
+	prefix := sm.ResolvedIDPrefix()
+	if prefix == "" { // unindexed SM: fall back to computing it here
+		prefix = sm.IDPrefix
+		if prefix == "" {
+			prefix = lowerFirst(sm.Name)
+		}
 	}
 	id := w.ids.Next(prefix)
 	w.seq++
 	inst := &Instance{
 		Ref:   cloudapi.Ref{Type: sm.Name, ID: id},
-		Attrs: make(map[string]cloudapi.Value),
 		Alive: true,
 		Seq:   w.seq,
+		sm:    sm,
+	}
+	if n := sm.NumStates(); n > 0 {
+		inst.slots = make([]cloudapi.Value, n)
+		inst.set = make([]bool, n)
 	}
 	m := w.byType[sm.Name]
 	if m == nil {
@@ -187,10 +295,10 @@ func (w *World) Snapshot() map[string]map[string]cloudapi.Value {
 			if !inst.Alive {
 				continue
 			}
-			attrs := make(map[string]cloudapi.Value, len(inst.Attrs))
-			for k, v := range inst.Attrs {
+			attrs := make(map[string]cloudapi.Value, inst.numAttrs())
+			inst.eachAttr(func(k string, v cloudapi.Value) {
 				attrs[k] = v
-			}
+			})
 			out[typ+"/"+id] = attrs
 		}
 	}
@@ -214,14 +322,6 @@ func lowerFirst(s string) string {
 		b[0] += 'a' - 'A'
 	}
 	return string(b)
-}
-
-// attrOrNil returns the instance attribute, or Nil when unset.
-func (inst *Instance) attrOrNil(name string) cloudapi.Value {
-	if v, ok := inst.Attrs[name]; ok {
-		return v
-	}
-	return cloudapi.Nil
 }
 
 func internalErrf(format string, args ...any) error {

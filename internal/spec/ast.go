@@ -194,6 +194,15 @@ type SM struct {
 	States      []*StateVar
 	Transitions []*Transition
 	Pos         Pos
+
+	// Compile-time linking tables, built by Service.Index: the state
+	// slot layout (state name → dense index in declaration order) and
+	// the resolved ID prefix. The interpreter's compiled path binds
+	// state reads/writes to slot indices instead of per-step map
+	// lookups; the slice-backed World view is laid out by this table.
+	slotIdx   map[string]int
+	slotNames []string
+	idPrefix  string
 }
 
 // StateVar is one typed state variable.
@@ -471,7 +480,54 @@ func (s *Service) Index() error {
 			s.actIdx[tr.Name] = &actionRef{sm: sm, trans: tr}
 		}
 	}
+	for _, sm := range s.SMs {
+		sm.slotIdx = make(map[string]int, len(sm.States))
+		sm.slotNames = make([]string, 0, len(sm.States))
+		for _, sv := range sm.States {
+			if _, dup := sm.slotIdx[sv.Name]; dup {
+				continue // typecheck reports duplicates; keep the first slot
+			}
+			sm.slotIdx[sv.Name] = len(sm.slotNames)
+			sm.slotNames = append(sm.slotNames, sv.Name)
+		}
+		sm.idPrefix = sm.IDPrefix
+		if sm.idPrefix == "" {
+			sm.idPrefix = lowerFirst(sm.Name)
+		}
+	}
 	return nil
+}
+
+// StateSlot resolves a state-variable name to its dense slot index in
+// the SM's slice layout. Only meaningful after Service.Index; an
+// unindexed SM has no layout and every lookup misses.
+func (m *SM) StateSlot(name string) (int, bool) {
+	i, ok := m.slotIdx[name]
+	return i, ok
+}
+
+// NumStates returns the size of the SM's slot layout (0 when the SM is
+// not indexed).
+func (m *SM) NumStates() int { return len(m.slotNames) }
+
+// SlotNames returns the slot layout in index order. Callers must not
+// mutate the returned slice.
+func (m *SM) SlotNames() []string { return m.slotNames }
+
+// ResolvedIDPrefix returns the ID prefix with the lowered-SM-name
+// fallback applied, or "" when the SM has not been indexed (callers
+// fall back to computing it themselves).
+func (m *SM) ResolvedIDPrefix() string { return m.idPrefix }
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	r := []rune(s)
+	if r[0] >= 'A' && r[0] <= 'Z' {
+		r[0] += 'a' - 'A'
+	}
+	return string(r)
 }
 
 // SM returns the named state machine, or nil.

@@ -9,6 +9,7 @@ package trace
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"lce/internal/cloudapi"
@@ -99,7 +100,18 @@ func RunTraced(ctx context.Context, b cloudapi.Backend, tr Trace, role string) [
 	for i, step := range tr.Steps {
 		params := cloudapi.Params{}
 		bad := false
-		for name, arg := range step.Params {
+		// Resolve in sorted parameter order: when several bindings are
+		// unresolved (a chaos fault swallowed the step that would have
+		// captured them), the Broken outcome must name the same one on
+		// every run — replays and differential comparisons depend on
+		// outcome stability, and map order would pick at random.
+		names := make([]string, 0, len(step.Params))
+		for name := range step.Params {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			arg := step.Params[name]
 			if arg.Var != "" {
 				v, ok := bindings[arg.Var]
 				if !ok {

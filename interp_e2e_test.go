@@ -1,0 +1,132 @@
+package lce
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lce/internal/httpapi"
+)
+
+// interpServerConfig is the stack both sides of the wire-parity test
+// build: a multi-tenant learned-emulator server, differing only in the
+// interpreter mode (and optionally fronted by same-seed chaos).
+func interpServerConfig(mode string, chaos bool) ServerConfig {
+	return ServerConfig{
+		Service: "ec2", Backend: "learned", Interp: mode,
+		Chaos: chaos, ChaosSeed: 11, FaultRate: 0.25,
+		TraceSeed: 5,
+		Sessions:  8, Shards: 2, SessionTTL: time.Hour,
+	}
+}
+
+// driveInterpScript runs one fixed request sequence against a server
+// and returns every response as "status|body". The script covers the
+// legacy surface (/invoke success, API error, unknown action), the v2
+// tenant surface (per-session backends — which a compiled server
+// stamps out by forking the shared program), a mixed-outcome batch,
+// and a session-scoped reset. Everything in the stack is
+// deterministic per server instance (IDs, RequestId sequence, chaos
+// stream), so two servers given this script must answer each step
+// byte-identically.
+func driveInterpScript(t *testing.T, baseURL string) []string {
+	t.Helper()
+	var out []string
+	post := func(path, session, body string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, baseURL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if session != "" {
+			req.Header.Set(httpapi.SessionHeader, session)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, resp.Status+"|"+string(b))
+	}
+
+	// Legacy surface on the default session.
+	post("/invoke", "", `{"action":"CreateVpc","params":{"cidrBlock":"10.0.0.0/16"}}`)
+	post("/invoke", "", `{"action":"DescribeVpcs","params":{}}`)
+	post("/invoke", "", `{"action":"CreateVpc","params":{"cidr":"oops"}}`)
+	post("/invoke", "", `{"action":"NoSuchAction","params":{}}`)
+
+	// Tenant surface: alice gets her own forked backend; the vpcId her
+	// server returned drives a dependent call (empty if chaos ate the
+	// create — identically on both sides).
+	post("/v2/ec2?Action=CreateVpc", "alice", `{"params":{"cidrBlock":"10.1.0.0/16"}}`)
+	var last struct {
+		Result map[string]any `json:"result"`
+	}
+	_ = json.Unmarshal([]byte(out[len(out)-1][strings.Index(out[len(out)-1], "|")+1:]), &last)
+	vpcID, _ := last.Result["vpcId"].(string)
+	post("/v2/ec2?Action=CreateSubnet", "alice", `{"params":{"vpcId":"`+vpcID+`","cidrBlock":"10.1.1.0/24"}}`)
+	post("/v2/ec2?Action=DescribeVpcs", "alice", `{"params":{}}`)
+
+	// Batch surface on a second tenant: success, API error, success.
+	post("/v2/ec2/batch", "bob", `{"mode":"best-effort","requests":[`+
+		`{"action":"CreateVpc","params":{"cidrBlock":"10.2.0.0/16"}},`+
+		`{"action":"CreateVpc","params":{"cidrBlock":"10.0.0.0/8"}},`+
+		`{"action":"DescribeVpcs","params":{}}]}`)
+
+	// Session-scoped reset: alice empties, bob is untouched.
+	post("/v2/ec2/reset", "alice", ``)
+	post("/v2/ec2?Action=DescribeVpcs", "alice", `{"params":{}}`)
+	post("/v2/ec2?Action=DescribeVpcs", "bob", `{"params":{}}`)
+	return out
+}
+
+// TestInterpWireParity proves the compiled interpreter is
+// indistinguishable from the walker at the HTTP boundary: two full
+// server stacks — identical configuration except the interpreter mode
+// — answer a scripted sequence across the legacy, tenant, batch and
+// reset surfaces with byte-identical bodies, clean and under
+// same-seed chaos.
+func TestInterpWireParity(t *testing.T) {
+	for _, chaos := range []bool{false, true} {
+		name := "clean"
+		if chaos {
+			name = "chaos"
+		}
+		t.Run(name, func(t *testing.T) {
+			var got [2][]string
+			for i, mode := range []string{"walk", "compiled"} {
+				srv, err := NewServer(interpServerConfig(mode, chaos))
+				if err != nil {
+					t.Fatalf("%s server: %v", mode, err)
+				}
+				ts := httptest.NewServer(srv.Handler)
+				got[i] = driveInterpScript(t, ts.URL)
+				ts.Close()
+			}
+			if len(got[0]) != len(got[1]) {
+				t.Fatalf("step counts differ: walk=%d compiled=%d", len(got[0]), len(got[1]))
+			}
+			for i := range got[0] {
+				if got[0][i] != got[1][i] {
+					t.Errorf("step %d diverged at the wire:\n  walk:     %s\n  compiled: %s", i, got[0][i], got[1][i])
+				}
+			}
+		})
+	}
+}
+
+// TestInterpModeRejected: an unknown interpreter mode fails server
+// construction instead of silently falling back.
+func TestInterpModeRejected(t *testing.T) {
+	if _, err := NewServer(interpServerConfig("jit", false)); err == nil {
+		t.Fatal("unknown interp mode accepted")
+	}
+}

@@ -141,13 +141,15 @@ type LearnReport = synth.Report
 
 // Learn synthesizes a learned emulator from rendered documentation:
 // wrangling, dependency-ordered incremental extraction, specification
-// linking, consistency checking, interpretation.
+// linking, consistency checking, compilation to pre-resolved closures.
+// The emulator comes back in the default compiled dispatch mode;
+// NewBackendInterp("…", "learned", …, "walk") gets the tree-walker.
 func Learn(c docs.Corpus, opts Options) (*Emulator, *LearnReport, error) {
 	svc, rep, err := synth.Synthesize(c, opts)
 	if err != nil {
 		return nil, rep, err
 	}
-	emu, err := interp.New(svc)
+	emu, err := interp.NewCompiled(svc)
 	return emu, rep, err
 }
 
@@ -225,7 +227,7 @@ func AlignWithCloud(service string, opts Options) (*AlignResult, error) {
 // Every setting produces an identical AlignResult; workers only change
 // wall-clock time.
 func AlignWithCloudWorkers(service string, opts Options, workers int) (*AlignResult, error) {
-	return alignWithCloud(service, opts, workers, nil, nil, nil)
+	return alignWithCloud(service, opts, workers, nil, nil, nil, "")
 }
 
 // AlignWithCloudObserved is AlignWithCloudWorkers under an
@@ -234,7 +236,16 @@ func AlignWithCloudWorkers(service string, opts Options, workers int) (*AlignRes
 // the registry, and run counters are published as lce_align_* metrics.
 // The AlignResult is byte-identical to the unobserved run.
 func AlignWithCloudObserved(service string, opts Options, workers int, ob *Obs) (*AlignResult, error) {
-	return alignWithCloud(service, opts, workers, nil, nil, ob)
+	return alignWithCloud(service, opts, workers, nil, nil, ob, "")
+}
+
+// AlignWithCloudInterp is AlignWithCloudObserved with an explicit
+// comparison-phase interpreter mode: "" or "compiled" lower the spec
+// to closures (recompiled every round, since repairs mutate it),
+// "walk" forces the reference tree-walker. The AlignResult is
+// identical either way — the modes answer byte-identically.
+func AlignWithCloudInterp(service string, opts Options, workers int, interpMode string, ob *Obs) (*AlignResult, error) {
+	return alignWithCloud(service, opts, workers, nil, nil, ob, interpMode)
 }
 
 // AlignWithFlakyCloud is AlignWithCloudWorkers against a degraded
@@ -246,7 +257,7 @@ func AlignWithCloudObserved(service string, opts Options, workers int, ob *Obs) 
 // policy, injected faults surface as exhausted-transient divergences
 // (never semantic ones, and never spec repairs).
 func AlignWithFlakyCloud(service string, opts Options, workers int, cfg FaultConfig, policy *RetryPolicy) (*AlignResult, error) {
-	return alignWithCloud(service, opts, workers, &cfg, policy, nil)
+	return alignWithCloud(service, opts, workers, &cfg, policy, nil, "")
 }
 
 // AlignWithFlakyCloudObserved is AlignWithFlakyCloud under an
@@ -254,10 +265,16 @@ func AlignWithFlakyCloud(service string, opts Options, workers int, cfg FaultCon
 // appear as events on the comparison spans, so every divergence in the
 // result is findable by trace ID (DivergenceTraces).
 func AlignWithFlakyCloudObserved(service string, opts Options, workers int, cfg FaultConfig, policy *RetryPolicy, ob *Obs) (*AlignResult, error) {
-	return alignWithCloud(service, opts, workers, &cfg, policy, ob)
+	return alignWithCloud(service, opts, workers, &cfg, policy, ob, "")
 }
 
-func alignWithCloud(service string, opts Options, workers int, cfg *FaultConfig, policy *RetryPolicy, ob *Obs) (*AlignResult, error) {
+// AlignWithFlakyCloudInterp is AlignWithFlakyCloudObserved with an
+// explicit comparison-phase interpreter mode (see AlignWithCloudInterp).
+func AlignWithFlakyCloudInterp(service string, opts Options, workers int, cfg FaultConfig, policy *RetryPolicy, interpMode string, ob *Obs) (*AlignResult, error) {
+	return alignWithCloud(service, opts, workers, &cfg, policy, ob, interpMode)
+}
+
+func alignWithCloud(service string, opts Options, workers int, cfg *FaultConfig, policy *RetryPolicy, ob *Obs, interpMode string) (*AlignResult, error) {
 	c, err := Documentation(service)
 	if err != nil {
 		return nil, err
@@ -278,7 +295,7 @@ func alignWithCloud(service string, opts Options, workers int, cfg *FaultConfig,
 	if err != nil {
 		return nil, err
 	}
-	return align.RunFactory(svc, briefDoc, factory, Scenarios(service), align.Options{GenerateViolations: true, Workers: workers, Retry: policy, Obs: ob})
+	return align.RunFactory(svc, briefDoc, factory, Scenarios(service), align.Options{GenerateViolations: true, Workers: workers, Retry: policy, Obs: ob, Interp: interpMode})
 }
 
 func corpusBrief(service string) (*docs.ServiceDoc, *docs.ServiceDoc) {

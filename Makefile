@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ops-smoke interp-smoke ci
+.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke ci
 
 build:
 	$(GO) build ./...
@@ -122,4 +122,42 @@ interp-smoke:
 	$(GO) test -run 'ZeroAlloc' ./internal/interp/
 	$(GO) run ./cmd/lce-bench -interp -interp-floor 5 -json bench-interp.json
 
-ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke interp-smoke
+# Durable gate: the journal-torture, spill-transparency, and
+# kill-and-recover suites under the race detector; short fuzz passes
+# over the journal reader and snapshot decoder (the torn-tail /
+# bit-flip corpus); then a real-process crash drill — boot lce-server
+# over a data directory, mint state across two sessions, kill -9 the
+# process, restart over the same directory, and assert every session
+# answers with its pre-crash state and continues its ID space. The
+# -durable bench leaves bench-durable.json behind and itself exits
+# non-zero if the sessions-beyond-RAM continuity oracle breaks.
+durable-smoke:
+	$(GO) test -race ./internal/durable/...
+	$(GO) test -race -run 'Durable|Export|Restore|ReplayPartialWindow' ./internal/interp/ ./internal/eval/ .
+	$(GO) test -run '^$$' -fuzz FuzzReadJournal -fuzztime 5s ./internal/durable/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeSnapshot -fuzztime 5s ./internal/durable/
+	$(GO) build -o lce-server-durable ./cmd/lce-server
+	@set -e; \
+	datadir=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -f lce-server-durable; rm -rf $$datadir' EXIT; \
+	./lce-server-durable -service ec2 -backend learned -data-dir $$datadir -fsync batch -addr 127.0.0.1:4601 -log-format off >/dev/null 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do curl -sf 127.0.0.1:4601/healthz >/dev/null && break; sleep 0.1; done; \
+	curl -sf -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4601/v2/ec2?Action=CreateVpc' -d '{"params":{"cidrBlock":"10.0.0.0/16"}}' >/dev/null; \
+	curl -sf -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4601/v2/ec2?Action=CreateVpc' -d '{"params":{"cidrBlock":"10.1.0.0/16"}}' >/dev/null; \
+	curl -sf -XPOST -H 'X-LCE-Session: bob' '127.0.0.1:4601/v2/ec2?Action=CreateVpc' -d '{"params":{"cidrBlock":"10.2.0.0/16"}}' >/dev/null; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	./lce-server-durable -service ec2 -backend learned -data-dir $$datadir -fsync batch -addr 127.0.0.1:4601 -log-format off >/dev/null 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do curl -sf 127.0.0.1:4601/healthz >/dev/null && break; sleep 0.1; done; \
+	out=$$(curl -sf -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4601/v2/ec2?Action=DescribeVpcs'); \
+	echo "$$out" | grep -q 'vpc-00000001' && echo "$$out" | grep -q 'vpc-00000002' || { echo "alice lost state across kill -9: $$out"; exit 1; }; \
+	out=$$(curl -sf -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4601/v2/ec2?Action=CreateVpc' -d '{"params":{"cidrBlock":"10.3.0.0/16"}}'); \
+	echo "$$out" | grep -q 'vpc-00000003' || { echo "alice ID continuity broken after recovery: $$out"; exit 1; }; \
+	out=$$(curl -sf -XPOST -H 'X-LCE-Session: bob' '127.0.0.1:4601/v2/ec2?Action=DescribeVpcs'); \
+	echo "$$out" | grep -q 'vpc-00000001' || { echo "bob lost state across kill -9: $$out"; exit 1; }; \
+	echo "$$out" | grep -q 'vpc-00000002' && { echo "session isolation broken after recovery: $$out"; exit 1; }; \
+	out=$$(curl -sf '127.0.0.1:4601/v2/sessions'); \
+	echo "$$out" | grep -q '"spilled"' || { echo "pool stats missing spill tier: $$out"; exit 1; }; \
+	echo "durable smoke: kill -9 recovery, ID continuity, isolation, spill stats all OK"
+	$(GO) run ./cmd/lce-bench -durable -short -json bench-durable.json
+
+ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke

@@ -8,6 +8,7 @@
 //	lce-bench -chaos -short                 # alignment vs a flaky oracle, across fault rates
 //	lce-bench -tenant -short -json out.json # multi-tenant sweep + /batch amortization
 //	lce-bench -interp -interp-floor 5 -json out.json # compiled vs walked interpreter, with CI floor
+//	lce-bench -durable -short -json out.json # journal/spill/rehydrate latency + sessions beyond RAM
 package main
 
 import (
@@ -27,8 +28,10 @@ import (
 // when a field changes meaning so trajectory tooling can dispatch on
 // shape instead of guessing from key presence. v3 added the run-wide
 // MemStats block and the operations-plane overhead rows; v4 added the
-// compiled-vs-walked interpreter rows.
-const artifactSchemaVersion = 4
+// compiled-vs-walked interpreter rows; v5 added the durable-tier
+// block (journal write path, spill/rehydrate latency,
+// sessions-beyond-RAM capacity).
+const artifactSchemaVersion = 5
 
 // benchArtifact is the JSON blob -json writes; CI uploads it so every
 // PR leaves a perf trajectory behind. GitSHA and GoMaxProcs pin each
@@ -48,6 +51,7 @@ type benchArtifact struct {
 	Batch         []batchJSON    `json:"batchAmortization,omitempty"`
 	Ops           []opsJSON      `json:"opsOverhead,omitempty"`
 	Interp        []interpJSON   `json:"interpSpeedup,omitempty"`
+	Durable       *durableJSON   `json:"durable,omitempty"`
 	// Mem is the whole-run heap delta: how much this benchmark binary
 	// allocated and collected between flag parsing and artifact write.
 	Mem *memJSON `json:"memStats,omitempty"`
@@ -126,6 +130,39 @@ type interpJSON struct {
 	Speedup         float64 `json:"speedup"`
 }
 
+// durableJSON is the -durable block: per-call journal overhead by
+// fsync policy, spill/rehydrate latency by world size, and the
+// sessions-beyond-RAM capacity run.
+type durableJSON struct {
+	Calls    []durableCallJSON   `json:"journalWritePath"`
+	Cycles   []durableCycleJSON  `json:"spillRehydrate"`
+	Capacity durableCapacityJSON `json:"sessionsBeyondRAM"`
+}
+
+type durableCallJSON struct {
+	Mode      string `json:"mode"`
+	Calls     int    `json:"calls"`
+	ElapsedNs int64  `json:"elapsedNs"`
+	PerCallNs int64  `json:"perCallNs"`
+}
+
+type durableCycleJSON struct {
+	WorldSize     int   `json:"worldSize"`
+	Cycles        int   `json:"cycles"`
+	SpillNs       int64 `json:"spillNsPerCycle"`
+	RehydrateNs   int64 `json:"rehydrateNsPerCycle"`
+	SnapshotBytes int64 `json:"snapshotBytes"`
+}
+
+type durableCapacityJSON struct {
+	Resident  int   `json:"residentSlots"`
+	Sessions  int   `json:"journaledSessions"`
+	CallsEach int   `json:"callsPerSession"`
+	DiskBytes int64 `json:"diskBytes"`
+	ElapsedNs int64 `json:"elapsedNs"`
+	Verified  bool  `json:"continuityVerified"`
+}
+
 // buildVCS reads the commit this binary was built from out of the
 // embedded build info (set for `go build` inside a git checkout; empty
 // for `go run` and test binaries).
@@ -198,6 +235,7 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "alignment throughput and retry overhead against a flaky oracle, across fault rates")
 		opsB       = flag.Bool("ops", false, "operations-plane overhead: the same HTTP load with the plane off vs on")
 		interpB    = flag.Bool("interp", false, "compiled-vs-walked interpreter: differential parity over the EC2/DynamoDB suites (clean and chaos) plus per-call latency rows")
+		durableB   = flag.Bool("durable", false, "durable-tier rows: journal write path per fsync policy, spill/rehydrate latency by world size, and the sessions-beyond-RAM capacity run")
 		interpFlr  = flag.Float64("interp-floor", 0, "with -interp: exit non-zero if the hot-loop speedup falls below this (0 = report only)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos fault/jitter streams")
 		workers    = flag.Int("workers", 8, "worker-pool size for -alignspeed and -chaos")
@@ -208,7 +246,7 @@ func main() {
 		traceSeed  = flag.Int64("trace-seed", 1, "seed for span/trace IDs when -trace-out is set")
 	)
 	flag.Parse()
-	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos || *tenantB || *opsB || *interpB)
+	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos || *tenantB || *opsB || *interpB || *durableB)
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	sha, dirty := buildVCS()
@@ -401,6 +439,42 @@ func main() {
 				fmt.Fprintf(os.Stderr, "lce-bench: interp gate FAILED: hot-loop speedup %.2fx below floor %.2fx\n", h, *interpFlr)
 				defer os.Exit(1)
 			}
+		}
+	}
+	if *durableB {
+		calls, worldSizes, cycles, sessions, resident := 512, []int{16, 128, 512}, 8, 256, 8
+		if *short {
+			calls, worldSizes, cycles, sessions, resident = 128, []int{16, 64}, 4, 48, 4
+		}
+		dir, err := os.MkdirTemp("", "lce-bench-durable-")
+		check(err)
+		defer os.RemoveAll(dir)
+		res, err := eval.DurableBench(dir, calls, worldSizes, cycles, sessions, resident)
+		check(err)
+		fmt.Println(eval.FormatDurable(res))
+		dj := &durableJSON{}
+		for _, r := range res.Calls {
+			dj.Calls = append(dj.Calls, durableCallJSON{
+				Mode: r.Mode, Calls: r.Calls,
+				ElapsedNs: r.Elapsed.Nanoseconds(), PerCallNs: r.PerCall().Nanoseconds(),
+			})
+		}
+		for _, r := range res.Cycles {
+			dj.Cycles = append(dj.Cycles, durableCycleJSON{
+				WorldSize: r.WorldSize, Cycles: r.Cycles,
+				SpillNs: r.PerSpill().Nanoseconds(), RehydrateNs: r.PerRehydrate().Nanoseconds(),
+				SnapshotBytes: r.SnapshotBytes,
+			})
+		}
+		dj.Capacity = durableCapacityJSON{
+			Resident: res.Capacity.Resident, Sessions: res.Capacity.Sessions,
+			CallsEach: res.Capacity.CallsEach, DiskBytes: res.Capacity.DiskBytes,
+			ElapsedNs: res.Capacity.Elapsed.Nanoseconds(), Verified: res.Capacity.Verified,
+		}
+		artifact.Durable = dj
+		if !res.Capacity.Verified {
+			fmt.Fprintln(os.Stderr, "lce-bench: durable gate FAILED: sessions-beyond-RAM continuity broken")
+			defer os.Exit(1)
 		}
 	}
 	if *opsB {

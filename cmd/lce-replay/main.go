@@ -17,10 +17,16 @@
 // that differs is printed with the first diverging byte offset; the
 // exit status is non-zero when any record diverges.
 //
-// Caveat: chaos decisions are drawn in call order from server boot, so
-// byte-identical replay of a chaos run needs a dump that covers the
-// whole run (a -flight window at least as large as the request count).
-// Without -chaos any captured window replays exactly.
+// A partial window (a -flight window smaller than the run) replays
+// exactly when the captured state before the window is available:
+// point -data-dir at the capturing server's data directory and the
+// replay stack restores every session — latest snapshot plus journal
+// — before the first record is driven. The directory is opened
+// read-only; replaying never mutates the baseline. Without -data-dir
+// the old caveat stands: chaos decisions are drawn in call order from
+// server boot, so byte-identical replay of a chaos run needs a dump
+// covering the whole run. Without -chaos and without prior state, any
+// captured window replays exactly.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 		sessions  = flag.Int("sessions", 64, "max resident tenant sessions")
 		shards    = flag.Int("shards", 8, "tenant-pool shard count")
 		ttl       = flag.Duration("session-ttl", 15*time.Minute, "tenant idle TTL")
+		dataDir   = flag.String("data-dir", "", "restore session state from this durable data directory (opened read-only) before replaying — lets a partial flight window replay against the world it was captured over")
 		verbose   = flag.Bool("v", false, "print every replayed record, not just divergences")
 	)
 	flag.Parse()
@@ -76,6 +83,7 @@ func main() {
 		Chaos: *chaos, ChaosSeed: *chaosSeed, FaultRate: *faultRate,
 		TraceSeed: *traceSeed,
 		Sessions:  *sessions, Shards: *shards, SessionTTL: *ttl,
+		DataDir: *dataDir, ReadOnlyData: *dataDir != "",
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lce-replay: %v\n", err)

@@ -22,6 +22,19 @@
 // session and see the pre-session wire format unchanged. -sessions 0
 // turns the registry off.
 //
+// With -data-dir the server is durable: every session's calls are
+// write-ahead journaled (CRC-framed, -fsync always|batch|off),
+// evicted sessions spill to deterministic binary snapshots instead of
+// being dropped, and a restarted server recovers every session from
+// its latest snapshot plus journal replay — lazily, on each session's
+// first touch:
+//
+//	lce-server -service ec2 -backend learned -data-dir /var/lib/lce
+//
+// Only the learned backend is snapshottable (its whole world lives in
+// the interpreter's value model); oracle/manual/d2c sessions keep
+// native Go state and are dropped on eviction as before.
+//
 // With -chaos the server fronts the backend with the deterministic
 // fault injector (internal/fault): a -fault-rate fraction of calls is
 // rejected with throttling codes (HTTP 400), transient server faults
@@ -79,6 +92,8 @@ func main() {
 		sessions  = flag.Int("sessions", 64, "max resident tenant sessions (0 = single-tenant server, non-default X-LCE-Session rejected)")
 		shards    = flag.Int("shards", 8, "tenant-pool shard count")
 		ttl       = flag.Duration("session-ttl", 15*time.Minute, "evict tenant sessions idle longer than this (0 = never)")
+		dataDir   = flag.String("data-dir", "", "durable tier: write-ahead journal + snapshot directory; evicted sessions spill here and a restart recovers every session (empty = in-memory only)")
+		fsyncPol  = flag.String("fsync", "batch", "journal fsync policy with -data-dir: always (sync every record) | batch (every 64 records and on rotation) | off (page cache only)")
 
 		ops        = flag.Bool("ops", true, "mount the operations plane (dimensional metrics, /debug/events, flight recorder, SLO health)")
 		logFormat  = flag.String("log-format", "text", "structured process log format: text | json | off")
@@ -95,6 +110,7 @@ func main() {
 		Chaos: *chaos, ChaosSeed: *chaosSeed, FaultRate: *faultRate,
 		TraceSeed: *traceSeed,
 		Sessions:  *sessions, Shards: *shards, SessionTTL: *ttl,
+		DataDir: *dataDir, Fsync: *fsyncPol,
 		Ops:            *ops,
 		FlightCapacity: *flightCap,
 		SLOErrorRate:   *sloErrRate,
@@ -109,6 +125,10 @@ func main() {
 	if *chaos {
 		log.Printf("chaos on: %.0f%% fault rate, seed %d (throttling → 400, unavailable → 503, internal → 500, drops → 408)",
 			100**faultRate, *chaosSeed)
+	}
+	if srv.Store != nil {
+		log.Printf("durable tier: %s (fsync %s), %d session(s) recovered — each rehydrates on first touch",
+			*dataDir, *fsyncPol, len(srv.Recovered))
 	}
 	if srv.Pool != nil && *ttl > 0 {
 		pool := srv.Pool

@@ -55,3 +55,28 @@ func (g *IDGen) Reset() {
 	defer g.mu.Unlock()
 	g.next = make(map[string]int)
 }
+
+// Counters returns a copy of the per-prefix allocation counters — the
+// generator's complete dynamic state. Durable snapshots persist it so
+// a restored world keeps issuing the exact IDs the original would
+// have.
+func (g *IDGen) Counters() map[string]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int, len(g.next))
+	for k, v := range g.next {
+		out[k] = v
+	}
+	return out
+}
+
+// SetCounters replaces every prefix counter with the given state (the
+// inverse of Counters). The map is copied.
+func (g *IDGen) SetCounters(next map[string]int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.next = make(map[string]int, len(next))
+	for k, v := range next {
+		g.next[k] = v
+	}
+}

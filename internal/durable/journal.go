@@ -1,0 +1,423 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"lce/internal/cloudapi"
+)
+
+// Fsync policies for journal appends. "always" syncs every record —
+// nothing acknowledged is ever lost, at one fsync per call. "batch"
+// syncs every batchSyncEvery records and at every rotation/snapshot —
+// a crash loses at most the last unsynced batch, which recovery
+// detects and reports as a torn tail. "off" never syncs — fastest,
+// and exactly as durable as the page cache.
+const (
+	FsyncAlways = "always"
+	FsyncBatch  = "batch"
+	FsyncOff    = "off"
+
+	batchSyncEvery = 64
+)
+
+// Journal record types. Every record body begins with the record's
+// uvarint sequence number; the remainder is type-specific.
+const (
+	// recChaosInit carries the session's derived chaos seed (varint).
+	// It is written once, when a chaos-wrapped session is first
+	// adopted: factory-derived seeds depend on instance creation
+	// order, so a recovered process would otherwise re-derive the
+	// wrong stream for sessions that were never snapshotted.
+	recChaosInit = byte(1)
+	// recCall is one applied API call: action string, then a sorted
+	// (key, value) parameter list. Every call is journaled — faulted
+	// and read-only calls included — because the chaos injector's PRNG
+	// advances on every call, and replay must advance it identically.
+	recCall = byte(2)
+	// recReset marks a session-scoped Reset.
+	recReset = byte(3)
+)
+
+// Record framing on disk:
+//
+//	uint32 LE  length of (type byte + body)
+//	byte       record type
+//	body       …
+//	uint32 LE  CRC-32 (IEEE) over (type byte + body)
+//
+// A reader stops at the first frame that doesn't check out — short
+// header, short body, or CRC mismatch — and reports what it dropped.
+// maxRecordLen bounds a single frame so a corrupted length field
+// cannot make the reader attempt a multi-gigabyte allocation.
+const maxRecordLen = 16 << 20
+
+// segPrefix/segSuffix name journal segments: journal-00000001.wal,
+// journal-00000002.wal, … Numbering is monotonic across the session's
+// lifetime; compaction deletes every segment older than the current
+// one, and recovery replays the survivors in numeric order.
+const (
+	segPrefix = "journal-"
+	segSuffix = ".wal"
+)
+
+func segName(idx int) string { return fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix) }
+
+// segIndex parses a segment filename, returning -1 for non-segments.
+func segIndex(name string) int {
+	s, ok := strings.CutPrefix(name, segPrefix)
+	if !ok {
+		return -1
+	}
+	s, ok = strings.CutSuffix(s, segSuffix)
+	if !ok || len(s) != 8 {
+		return -1
+	}
+	idx := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return -1
+		}
+		idx = idx*10 + int(s[i]-'0')
+	}
+	return idx
+}
+
+// listSegments returns the session directory's segment filenames in
+// numeric order.
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []string
+	for _, ent := range ents {
+		if segIndex(ent.Name()) >= 0 {
+			segs = append(segs, ent.Name())
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segIndex(segs[i]) < segIndex(segs[j]) })
+	return segs, nil
+}
+
+// journal is one session's append side: the current segment file plus
+// the sequence counter. Not safe for concurrent use — the session
+// wrapper serializes appends with its own mutex, which also pins
+// journal order to execution order.
+type journal struct {
+	dir      string
+	fsync    string
+	maxSeg   int64
+	f        *os.File
+	segIdx   int
+	segSize  int64
+	seq      uint64
+	unsynced int
+}
+
+// openJournal opens a fresh segment numbered after every existing one.
+// Appending never continues an old segment: if the previous tail is
+// torn, writing after it would bury valid-looking garbage in the
+// middle of a segment, where recovery could not tell it from
+// corruption.
+func openJournal(dir, fsync string, maxSeg int64, startSeq uint64) (*journal, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	idx := 1
+	if n := len(segs); n > 0 {
+		idx = segIndex(segs[n-1]) + 1
+	}
+	j := &journal{dir: dir, fsync: fsync, maxSeg: maxSeg, segIdx: idx, seq: startSeq}
+	if err := j.openSegment(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *journal) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(j.dir, segName(j.segIdx)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	j.segSize = 0
+	return nil
+}
+
+// append frames and writes one record, assigning it the next sequence
+// number, applying the fsync policy, and rotating full segments.
+func (j *journal) append(typ byte, body func(*encoder)) error {
+	j.seq++
+	e := &encoder{buf: make([]byte, 4, 64)} // length patched below
+	e.byte(typ)
+	e.uvarint(j.seq)
+	if body != nil {
+		body(e)
+	}
+	payload := e.buf[4:]
+	binary.LittleEndian.PutUint32(e.buf[:4], uint32(len(payload)))
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(payload))
+	if _, err := j.f.Write(e.buf); err != nil {
+		return err
+	}
+	j.segSize += int64(len(e.buf))
+	switch j.fsync {
+	case FsyncAlways:
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	case FsyncOff:
+	default: // FsyncBatch
+		j.unsynced++
+		if j.unsynced >= batchSyncEvery {
+			if err := j.f.Sync(); err != nil {
+				return err
+			}
+			j.unsynced = 0
+		}
+	}
+	if j.segSize >= j.maxSeg {
+		return j.rotate()
+	}
+	return nil
+}
+
+// rotate closes the current segment (synced unless fsync is off) and
+// opens the next.
+func (j *journal) rotate() error {
+	if err := j.closeSegment(); err != nil {
+		return err
+	}
+	j.segIdx++
+	return j.openSegment()
+}
+
+func (j *journal) closeSegment() error {
+	if j.f == nil {
+		return nil
+	}
+	if j.fsync != FsyncOff {
+		if err := j.f.Sync(); err != nil {
+			j.f.Close()
+			j.f = nil
+			return err
+		}
+	}
+	err := j.f.Close()
+	j.f = nil
+	j.unsynced = 0
+	return err
+}
+
+// dropSegmentsBefore deletes every segment numbered below idx — the
+// compaction step after a snapshot has made them redundant. A crash
+// between snapshot and deletion is harmless: their records carry
+// sequence numbers at or below the snapshot's LastSeq, so replay
+// skips them as duplicates.
+func dropSegmentsBefore(dir string, idx int) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range segs {
+		if segIndex(name) < idx {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dropSegmentsAfter deletes every segment numbered above idx. After a
+// recovery that hit a damaged frame, the segments past the damage were
+// never replayed, so leaving them would let a *future* recovery apply
+// records the rehydrated world never saw.
+func dropSegmentsAfter(dir string, idx int) {
+	segs, _ := listSegments(dir)
+	for _, name := range segs {
+		if segIndex(name) > idx {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// record is one decoded journal record.
+type record struct {
+	typ    byte
+	seq    uint64
+	action string          // recCall
+	params cloudapi.Params // recCall
+	seed   int64           // recChaosInit
+}
+
+// readResult is what scanning a session's journal yields: the valid
+// records in order, plus an account of anything dropped. Recovery
+// stops at the first damaged frame — records past a tear are
+// unordered garbage even if their own CRCs check out, and later
+// segments cannot be trusted either (they were written after the
+// damage point in wall time only if the tear is a clean tail).
+type readResult struct {
+	records      []record
+	maxSeq       uint64
+	droppedBytes int64
+	dropReason   string
+	dropSegment  string
+	dropSegIdx   int   // segment number of the damaged frame (0 = none)
+	validPrefix  int64 // bytes of valid records before the damage
+}
+
+// readJournal scans every segment in order, stopping (not failing) at
+// the first invalid frame. droppedBytes counts everything after the
+// last valid record, across segment boundaries.
+func readJournal(dir string) (readResult, error) {
+	var res readResult
+	segs, err := listSegments(dir)
+	if err != nil {
+		return res, err
+	}
+	for si, name := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return res, err
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, reason := decodeFrame(data[off:])
+			if reason != "" {
+				res.dropReason = reason
+				res.dropSegment = name
+				res.dropSegIdx = segIndex(name)
+				res.validPrefix = int64(off)
+				res.droppedBytes = int64(len(data) - off)
+				for _, later := range segs[si+1:] {
+					if fi, err := os.Stat(filepath.Join(dir, later)); err == nil {
+						res.droppedBytes += fi.Size()
+					}
+				}
+				return res, nil
+			}
+			res.records = append(res.records, rec)
+			if rec.seq > res.maxSeq {
+				res.maxSeq = rec.seq
+			}
+			off += n
+		}
+	}
+	return res, nil
+}
+
+// decodeFrame parses one framed record from the front of data,
+// returning the consumed length, or a non-empty reason why the frame
+// is invalid ("torn tail" for truncation, "crc mismatch", …).
+func decodeFrame(data []byte) (record, int, string) {
+	var rec record
+	if len(data) < 4 {
+		return rec, 0, "torn tail (short length header)"
+	}
+	plen := int(binary.LittleEndian.Uint32(data[:4]))
+	if plen < 1 || plen > maxRecordLen {
+		return rec, 0, fmt.Sprintf("bad record length %d", plen)
+	}
+	if len(data) < 4+plen+4 {
+		return rec, 0, "torn tail (truncated record)"
+	}
+	payload := data[4 : 4+plen]
+	got := binary.LittleEndian.Uint32(data[4+plen : 4+plen+4])
+	if want := crc32.ChecksumIEEE(payload); got != want {
+		return rec, 0, fmt.Sprintf("crc mismatch (got %08x want %08x)", got, want)
+	}
+	d := &decoder{data: payload}
+	rec.typ = d.byte()
+	rec.seq = d.uvarint()
+	switch rec.typ {
+	case recChaosInit:
+		rec.seed = d.varint()
+	case recCall:
+		rec.action = d.string()
+		n := d.uvarint()
+		if n > 0 && d.err == nil {
+			rec.params = make(cloudapi.Params, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				k := d.string()
+				rec.params[k] = d.value()
+			}
+		}
+	case recReset:
+	default:
+		return rec, 0, fmt.Sprintf("unknown record type %d", rec.typ)
+	}
+	if d.err != nil {
+		return rec, 0, "malformed record body"
+	}
+	return rec, 4 + plen + 4, ""
+}
+
+// writeFileAtomic writes data to path via a temp file + rename, the
+// usual crash-safe publish: readers see the old file or the new one,
+// never a half-written hybrid. The file (and, unless fsync is off,
+// the directory) is synced before the rename is trusted.
+func writeFileAtomic(path string, data []byte, fsync string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if fsync != FsyncOff {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if fsync != FsyncOff {
+		syncDir(filepath.Dir(path))
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss; best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// copyParams clones a request's parameter map so journaled values are
+// insulated from any caller reuse of the map (Values themselves are
+// immutable by convention).
+func copyParams(p cloudapi.Params) cloudapi.Params {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(cloudapi.Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}

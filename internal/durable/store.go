@@ -1,0 +1,645 @@
+package durable
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lce/internal/cloudapi"
+	"lce/internal/fault"
+	"lce/internal/interp"
+	"lce/internal/obsv"
+)
+
+// Event kinds the store reports through Config.Events. The strings
+// match the operations plane's Kind* constants, so the server can
+// forward them to the bus verbatim.
+const (
+	EventSpilled      = "session.spilled"
+	EventRehydrated   = "session.rehydrated"
+	EventRecoveryScan = "recovery.start"
+	EventRecoverySess = "recovery.session"
+	EventRecoveryDone = "recovery.done"
+	EventJournalError = "journal.error"
+)
+
+// Defaults applied by Open when the corresponding Config field is
+// zero.
+const (
+	DefaultSegmentMaxBytes = 1 << 20
+	DefaultCompactEvery    = 256
+)
+
+// Config tunes a Store.
+type Config struct {
+	// Dir is the data directory; Open creates Dir/sessions.
+	Dir string
+	// Fsync is the journal durability policy: FsyncAlways, FsyncBatch
+	// (the default), or FsyncOff.
+	Fsync string
+	// SegmentMaxBytes rotates journal segments past this size
+	// (0 = DefaultSegmentMaxBytes).
+	SegmentMaxBytes int64
+	// CompactEvery folds the journal into a fresh snapshot after this
+	// many records (0 = DefaultCompactEvery). Compaction bounds both
+	// recovery time and disk growth.
+	CompactEvery int
+	// ReadOnly opens the store as a rehydration baseline only: Adopt
+	// restores on-disk state but nothing is ever written — no
+	// journaling, no compaction, no spill. cmd/lce-replay uses it to
+	// replay a partial flight dump against a recovered world.
+	ReadOnly bool
+	// Registry, when non-nil, receives the lce_durable_* series.
+	Registry *obsv.Registry
+	// Events, when non-nil, receives the store's operational events
+	// (Event* kinds). The server forwards them to the ops-plane bus.
+	Events func(kind, session string, attrs map[string]string)
+}
+
+// Stats is a point-in-time snapshot of store activity.
+type Stats struct {
+	// Sessions is the number of sessions with on-disk state.
+	Sessions int
+	// Spills / SpillBytes count evict-time snapshots and their bytes.
+	Spills     int64
+	SpillBytes int64
+	// Rehydrations counts on-disk sessions restored into live
+	// backends (spill rehydrates and crash recoveries look identical
+	// here — recovery is just rehydration on first touch).
+	Rehydrations int64
+	// JournalRecords counts appended journal records.
+	JournalRecords int64
+}
+
+// Store is the durable tier: it owns the data directory, adopts live
+// backends into journaled session wrappers, spills evicted sessions
+// to snapshots, and rehydrates on-disk state — whether spilled by
+// this process or left behind by a crashed one. It implements
+// tenant.SpillTier. All methods are safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu    sync.Mutex
+	known map[string]struct{} // sessions with on-disk state
+
+	spills       atomic.Int64
+	spillBytes   atomic.Int64
+	rehydrations atomic.Int64
+	records      atomic.Int64
+
+	gSessions  *obsv.Gauge
+	cSpills    *obsv.Counter
+	cSpillB    *obsv.Counter
+	cRehydrate *obsv.Counter
+	cRecords   *obsv.Counter
+}
+
+// Open initializes a store over cfg.Dir, creating the directory tree
+// and scanning it for sessions persisted by earlier processes.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("durable: empty data directory")
+	}
+	switch cfg.Fsync {
+	case "":
+		cfg.Fsync = FsyncBatch
+	case FsyncAlways, FsyncBatch, FsyncOff:
+	default:
+		return nil, fmt.Errorf("durable: unknown fsync policy %q (want %s|%s|%s)",
+			cfg.Fsync, FsyncAlways, FsyncBatch, FsyncOff)
+	}
+	if cfg.SegmentMaxBytes <= 0 {
+		cfg.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = DefaultCompactEvery
+	}
+	if !cfg.ReadOnly {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, "sessions"), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	s := &Store{cfg: cfg, known: map[string]struct{}{}}
+	for _, id := range s.scanSessions() {
+		s.known[id] = struct{}{}
+	}
+	if reg := cfg.Registry; reg != nil {
+		s.gSessions = reg.Gauge(obsv.MetricDurableSessions)
+		s.cSpills = reg.Counter(obsv.MetricDurableSpills)
+		s.cSpillB = reg.Counter(obsv.MetricDurableSpillBytes)
+		s.cRehydrate = reg.Counter(obsv.MetricDurableRehydrations)
+		s.cRecords = reg.Counter(obsv.MetricDurableJournalRecords)
+		s.gSessions.Add(int64(len(s.known)))
+	}
+	return s, nil
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+// ReadOnly reports whether the store was opened as a baseline only.
+func (s *Store) ReadOnly() bool { return s.cfg.ReadOnly }
+
+// sessionDir maps a session ID to its directory. Wire-valid IDs
+// ([A-Za-z0-9._-]) are stored readably under an "s-" prefix — except
+// "." and "..", which are wire-valid but filesystem-hostile — and
+// anything else under a hex "x-" prefix; the distinct prefixes keep
+// the two encodings from colliding.
+func (s *Store) sessionDir(id string) string {
+	name := "x-" + hex.EncodeToString([]byte(id))
+	if id != "." && id != ".." && safeID(id) {
+		name = "s-" + id
+	}
+	return filepath.Join(s.cfg.Dir, "sessions", name)
+}
+
+func safeID(id string) bool {
+	if id == "" {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// decodeDirName inverts sessionDir's naming, returning ok=false for
+// foreign entries.
+func decodeDirName(name string) (string, bool) {
+	if id, ok := strings.CutPrefix(name, "s-"); ok {
+		return id, id != ""
+	}
+	if h, ok := strings.CutPrefix(name, "x-"); ok {
+		b, err := hex.DecodeString(h)
+		return string(b), err == nil && len(b) > 0
+	}
+	return "", false
+}
+
+// scanSessions lists the session IDs with on-disk state.
+func (s *Store) scanSessions() []string {
+	ents, err := os.ReadDir(filepath.Join(s.cfg.Dir, "sessions"))
+	if err != nil {
+		return nil
+	}
+	var ids []string
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		if id, ok := decodeDirName(ent.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Sessions returns the IDs of every session with on-disk state, in
+// sorted order.
+func (s *Store) Sessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.known))
+	for id := range s.known {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Count returns the number of sessions with on-disk state — the
+// spill-tier occupancy the pool reports alongside resident counts.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.known)
+}
+
+// Has reports whether session id has on-disk state.
+func (s *Store) Has(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.known[id]
+	return ok
+}
+
+// Stats snapshots store activity.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Sessions:       s.Count(),
+		Spills:         s.spills.Load(),
+		SpillBytes:     s.spillBytes.Load(),
+		Rehydrations:   s.rehydrations.Load(),
+		JournalRecords: s.records.Load(),
+	}
+}
+
+func (s *Store) markKnown(id string) {
+	s.mu.Lock()
+	if _, ok := s.known[id]; !ok {
+		s.known[id] = struct{}{}
+		s.gSessions.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) emit(kind, session string, attrs map[string]string) {
+	if s.cfg.Events != nil {
+		s.cfg.Events(kind, session, attrs)
+	}
+}
+
+// --- adopting live backends ---
+
+// chaosBackend is the slice of the fault injector the store needs:
+// the stream cursor for snapshots, restore for rehydration.
+type chaosBackend interface {
+	Cursor() fault.Cursor
+	Restore(fault.Cursor)
+}
+
+type innerer interface{ Inner() cloudapi.Backend }
+
+// capture walks a backend chain down to the learned emulator, noting
+// the outermost chaos layer on the way. Only chains terminating in
+// *interp.Emulator are snapshottable; oracle, manual, and d2c
+// backends keep native Go state the codec cannot see, so capture
+// reports them as non-durable and the pool drops them on eviction.
+func capture(b cloudapi.Backend) (*interp.Emulator, chaosBackend) {
+	var chaos chaosBackend
+	cur := b
+	for depth := 0; depth < 8 && cur != nil; depth++ {
+		if emu, ok := cur.(*interp.Emulator); ok {
+			return emu, chaos
+		}
+		if c, ok := cur.(chaosBackend); ok && chaos == nil {
+			chaos = c
+		}
+		u, ok := cur.(innerer)
+		if !ok {
+			return nil, nil
+		}
+		cur = u.Inner()
+	}
+	return nil, nil
+}
+
+// Adopt wraps a freshly created backend for session id, restoring any
+// state the store holds for it (a spilled world, or one left by a
+// crashed process) and journaling every subsequent call. ok=false
+// means the backend is not snapshottable and is returned unwrapped.
+// Adopt is the single rehydration path: crash recovery is lazy —
+// Recover only scans and reports at boot, and each session's state is
+// actually rebuilt here, on its first touch.
+func (s *Store) Adopt(id string, b cloudapi.Backend) (cloudapi.Backend, bool) {
+	emu, chaos := capture(b)
+	if emu == nil {
+		return b, false
+	}
+	sb := &sessionBackend{store: s, id: id, dir: s.sessionDir(id), inner: b, emu: emu, chaos: chaos}
+	startSeq, rehydrated := s.rehydrate(sb)
+	sb.lastSeq = startSeq
+	if s.cfg.ReadOnly {
+		return sb, true
+	}
+	if err := os.MkdirAll(sb.dir, 0o755); err != nil {
+		s.emit(EventJournalError, id, map[string]string{"error": err.Error()})
+		return b, false
+	}
+	jr, err := openJournal(sb.dir, s.cfg.Fsync, s.cfg.SegmentMaxBytes, startSeq)
+	if err != nil {
+		s.emit(EventJournalError, id, map[string]string{"error": err.Error()})
+		return b, false
+	}
+	sb.jr = jr
+	s.markKnown(id)
+	if chaos != nil && !rehydrated {
+		// First sight of a chaos-wrapped session: pin its derived seed
+		// so a recovered process replays the same fault stream no
+		// matter what order sessions are re-created in.
+		seed := chaos.Cursor().Seed
+		sb.mu.Lock()
+		sb.appendLocked(recChaosInit, func(e *encoder) { e.varint(seed) })
+		sb.mu.Unlock()
+	}
+	return sb, true
+}
+
+// rehydrate restores on-disk state for sb's session into its live
+// backend: latest valid snapshot first, then every journal record
+// newer than the snapshot, replayed through the full chain (chaos
+// included — faulted calls must advance the injector's PRNG exactly
+// as they did live). Returns the journal sequence to continue from
+// and whether any state was restored.
+func (s *Store) rehydrate(sb *sessionBackend) (uint64, bool) {
+	if !s.Has(sb.id) {
+		return 0, false
+	}
+	snapPath := filepath.Join(sb.dir, "snapshot.bin")
+	var st *SessionState
+	attrs := map[string]string{"snapshot": "false"}
+	if data, err := os.ReadFile(snapPath); err == nil {
+		st, err = DecodeSnapshot(data)
+		if err != nil {
+			// A damaged snapshot cannot anchor a replay; surface it and
+			// fall back to journal-only recovery from sequence zero.
+			attrs["snapshotError"] = err.Error()
+			st = nil
+		} else {
+			attrs["snapshot"] = "true"
+		}
+	}
+	jr, err := readJournal(sb.dir)
+	if err != nil {
+		s.emit(EventJournalError, sb.id, map[string]string{"error": err.Error()})
+		return 0, false
+	}
+	if st == nil && len(jr.records) == 0 {
+		return jr.maxSeq, false
+	}
+	var lastSeq uint64
+	if st != nil {
+		lastSeq = st.LastSeq
+		if err := sb.emu.RestoreState(st.World); err != nil {
+			s.emit(EventJournalError, sb.id, map[string]string{"error": err.Error()})
+			return 0, false
+		}
+		if st.Chaos != nil && sb.chaos != nil {
+			sb.chaos.Restore(*st.Chaos)
+		}
+	}
+	applied, skipped := 0, 0
+	for _, rec := range jr.records {
+		if rec.seq <= lastSeq {
+			// Pre-compaction leftovers: a crash between snapshot write
+			// and segment deletion re-presents already-folded records.
+			skipped++
+			continue
+		}
+		switch rec.typ {
+		case recChaosInit:
+			if sb.chaos != nil {
+				sb.chaos.Restore(fault.Cursor{Seed: rec.seed})
+			}
+		case recCall:
+			sb.inner.Invoke(cloudapi.Request{Action: rec.action, Params: rec.params, Ctx: context.Background()})
+		case recReset:
+			sb.inner.Reset()
+		}
+		applied++
+	}
+	attrs["records"] = strconv.Itoa(applied)
+	if skipped > 0 {
+		attrs["skipped"] = strconv.Itoa(skipped)
+	}
+	if jr.dropReason != "" {
+		attrs["dropped"] = jr.dropReason
+		attrs["droppedBytes"] = strconv.FormatInt(jr.droppedBytes, 10)
+		attrs["droppedSegment"] = jr.dropSegment
+		if !s.cfg.ReadOnly {
+			// The damaged frame and everything after it were not
+			// replayed, so they must not survive into a future
+			// recovery: trim the torn segment to its valid prefix and
+			// delete the segments past it.
+			os.Truncate(filepath.Join(sb.dir, jr.dropSegment), jr.validPrefix)
+			dropSegmentsAfter(sb.dir, jr.dropSegIdx)
+		}
+	}
+	s.rehydrations.Add(1)
+	s.cRehydrate.Inc()
+	s.emit(EventRehydrated, sb.id, attrs)
+	seq := jr.maxSeq
+	if lastSeq > seq {
+		seq = lastSeq
+	}
+	return seq, true
+}
+
+// Spill snapshots session id's state to disk and drops its journal
+// tail, so the pool can release the resident world. Returns the
+// snapshot size in bytes. Errors mean the state could not be
+// persisted (non-durable backend, read-only store, disk failure) and
+// the eviction is a plain drop.
+func (s *Store) Spill(id string, b cloudapi.Backend) (int64, error) {
+	sb, ok := b.(*sessionBackend)
+	if !ok {
+		return 0, fmt.Errorf("durable: session %q backend is not snapshottable", id)
+	}
+	if s.cfg.ReadOnly {
+		return 0, fmt.Errorf("durable: store is read-only")
+	}
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	n, err := sb.snapshotLocked()
+	if err != nil {
+		return 0, err
+	}
+	// The wrapper is about to be orphaned by the pool; stop journaling
+	// so a straggling in-flight call cannot append after the snapshot
+	// that no longer covers it.
+	if sb.jr != nil {
+		sb.jr.closeSegment()
+		sb.jr = nil
+	}
+	s.spills.Add(1)
+	s.spillBytes.Add(n)
+	s.cSpills.Inc()
+	s.cSpillB.Add(n)
+	s.emit(EventSpilled, id, map[string]string{"bytes": strconv.FormatInt(n, 10)})
+	return n, nil
+}
+
+// Forget deletes session id's on-disk state (the durable side of
+// Pool.Drop).
+func (s *Store) Forget(id string) {
+	if s.cfg.ReadOnly {
+		return
+	}
+	os.RemoveAll(s.sessionDir(id))
+	s.mu.Lock()
+	if _, ok := s.known[id]; ok {
+		delete(s.known, id)
+		s.gSessions.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+// RecoveredSession describes one session found on disk at boot.
+type RecoveredSession struct {
+	ID          string
+	HasSnapshot bool
+	Segments    int
+}
+
+// Recover scans the data directory and reports every persisted
+// session, emitting recovery.* events. It restores nothing itself:
+// recovery is lazy, each session rehydrating through Adopt on its
+// first touch — the same path a spilled session takes — so boot cost
+// is one directory walk regardless of how much state is on disk.
+func (s *Store) Recover() []RecoveredSession {
+	ids := s.Sessions()
+	s.emit(EventRecoveryScan, "", map[string]string{"sessions": strconv.Itoa(len(ids))})
+	out := make([]RecoveredSession, 0, len(ids))
+	for _, id := range ids {
+		dir := s.sessionDir(id)
+		rs := RecoveredSession{ID: id}
+		if _, err := os.Stat(filepath.Join(dir, "snapshot.bin")); err == nil {
+			rs.HasSnapshot = true
+		}
+		if segs, err := listSegments(dir); err == nil {
+			rs.Segments = len(segs)
+		}
+		out = append(out, rs)
+		s.emit(EventRecoverySess, id, map[string]string{
+			"snapshot": strconv.FormatBool(rs.HasSnapshot),
+			"segments": strconv.Itoa(rs.Segments),
+		})
+	}
+	s.emit(EventRecoveryDone, "", map[string]string{"sessions": strconv.Itoa(len(ids))})
+	return out
+}
+
+// --- the journaled session wrapper ---
+
+// sessionBackend wraps one session's backend chain with write-ahead
+// journaling: each call is framed to the journal before it executes,
+// under one mutex, so journal order is execution order and a crash
+// after the append replays the call recovery-side (redo logging).
+// The mutex serializes calls per session — the same serialization the
+// emulator's own invoke mutex already imposes.
+type sessionBackend struct {
+	store *Store
+	id    string
+	dir   string
+	inner cloudapi.Backend
+	emu   *interp.Emulator
+	chaos chaosBackend
+
+	mu sync.Mutex
+	jr *journal // nil: read-only store, spilled, or broken
+	// lastSeq mirrors the journal's sequence counter so a snapshot
+	// taken after journaling broke still records the true coverage
+	// point — a LastSeq of zero there would make recovery re-apply
+	// every surviving record on top of a world that already contains
+	// their effects.
+	lastSeq       uint64
+	recsSinceSnap int
+}
+
+// Service implements cloudapi.Backend.
+func (sb *sessionBackend) Service() string { return sb.inner.Service() }
+
+// Actions implements cloudapi.Backend.
+func (sb *sessionBackend) Actions() []string { return sb.inner.Actions() }
+
+// Invoke implements cloudapi.Backend: journal the call, execute it,
+// compact if the journal has grown past the configured interval.
+func (sb *sessionBackend) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	action, params := req.Action, copyParams(req.Params)
+	sb.appendLocked(recCall, func(e *encoder) {
+		e.string(action)
+		keys := make([]string, 0, len(params))
+		for k := range params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.string(k)
+			e.value(params[k])
+		}
+	})
+	res, err := sb.inner.Invoke(req)
+	sb.maybeCompactLocked()
+	return res, err
+}
+
+// Reset implements cloudapi.Backend, journaling the reset so replay
+// reproduces it (the chaos stream deliberately continues across
+// Reset, matching the injector's own semantics).
+func (sb *sessionBackend) Reset() {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.appendLocked(recReset, nil)
+	sb.inner.Reset()
+	sb.maybeCompactLocked()
+}
+
+// appendLocked writes one journal record, counting it toward the
+// compaction interval. A write failure (disk full, closed file)
+// disables journaling for the session — it keeps serving from RAM,
+// its eviction becomes a drop, and the failure is surfaced once.
+func (sb *sessionBackend) appendLocked(typ byte, body func(*encoder)) {
+	if sb.jr == nil {
+		return
+	}
+	if err := sb.jr.append(typ, body); err != nil {
+		sb.lastSeq = sb.jr.seq
+		sb.jr.closeSegment()
+		sb.jr = nil
+		sb.store.emit(EventJournalError, sb.id, map[string]string{"error": err.Error()})
+		return
+	}
+	sb.lastSeq = sb.jr.seq
+	sb.recsSinceSnap++
+	sb.store.records.Add(1)
+	sb.store.cRecords.Inc()
+}
+
+func (sb *sessionBackend) maybeCompactLocked() {
+	if sb.jr == nil || sb.recsSinceSnap < sb.store.cfg.CompactEvery {
+		return
+	}
+	if _, err := sb.snapshotLocked(); err != nil {
+		sb.store.emit(EventJournalError, sb.id, map[string]string{"error": err.Error()})
+		sb.jr.closeSegment()
+		sb.jr = nil
+	}
+}
+
+// snapshotLocked captures the session's full state, publishes it
+// atomically as snapshot.bin, rotates the journal onto a fresh
+// segment, and deletes the segments the snapshot made redundant.
+// Returns the snapshot's size in bytes.
+func (sb *sessionBackend) snapshotLocked() (int64, error) {
+	st := &SessionState{LastSeq: sb.lastSeq, World: sb.emu.ExportState()}
+	if sb.chaos != nil {
+		c := sb.chaos.Cursor()
+		st.Chaos = &c
+	}
+	data := EncodeSnapshot(st)
+	if err := os.MkdirAll(sb.dir, 0o755); err != nil {
+		return 0, err
+	}
+	if err := writeFileAtomic(filepath.Join(sb.dir, "snapshot.bin"), data, sb.store.cfg.Fsync); err != nil {
+		return 0, err
+	}
+	if sb.jr != nil {
+		if err := sb.jr.rotate(); err != nil {
+			return int64(len(data)), err
+		}
+		// Deleting old segments is an optimization, not a correctness
+		// step: their records are ≤ LastSeq and replay skips them.
+		if err := dropSegmentsBefore(sb.dir, sb.jr.segIdx); err != nil {
+			return int64(len(data)), err
+		}
+	}
+	sb.recsSinceSnap = 0
+	sb.store.markKnown(sb.id)
+	return int64(len(data)), nil
+}

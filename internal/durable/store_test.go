@@ -1,0 +1,565 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"lce/internal/cloudapi"
+	"lce/internal/fault"
+	"lce/internal/interp"
+	"lce/internal/spec"
+	"lce/internal/tenant"
+)
+
+func newToyEmu(t testing.TB) *interp.Emulator {
+	t.Helper()
+	svc, err := spec.Parse(spec.ToySource)
+	if err != nil {
+		t.Fatalf("Parse(ToySource): %v", err)
+	}
+	if errs := spec.Check(svc, spec.Strict); len(errs) > 0 {
+		t.Fatalf("Check(ToySource): %v", errs)
+	}
+	emu, err := interp.New(svc)
+	if err != nil {
+		t.Fatalf("interp.New: %v", err)
+	}
+	return emu
+}
+
+// toyCalls is a deterministic call script; toyCall applies step i of it
+// to any backend. The script mixes creates (which advance the ID
+// generator — lost or duplicated replay shifts every later ID) with a
+// failing call (parameter assert), so both outcomes are covered.
+func toyCall(b cloudapi.Backend, i int) (cloudapi.Result, error) {
+	switch i % 4 {
+	case 0:
+		return b.Invoke(cloudapi.Request{Action: "CreatePublicIp", Params: cloudapi.Params{"region": cloudapi.Str("us-east")}})
+	case 1:
+		return b.Invoke(cloudapi.Request{Action: "CreateNic", Params: cloudapi.Params{"zone": cloudapi.Str("us-west")}})
+	case 2:
+		return b.Invoke(cloudapi.Request{Action: "CreatePublicIp", Params: cloudapi.Params{"region": cloudapi.Str("mars")}}) // InvalidParameterValue
+	default:
+		return b.Invoke(cloudapi.Request{Action: "CreatePublicIp", Params: cloudapi.Params{"region": cloudapi.Str("us-west")}})
+	}
+}
+
+// controlState returns the world an unkilled backend holds after the
+// first n script steps.
+func controlState(t testing.TB, n int) interp.WorldState {
+	t.Helper()
+	emu := newToyEmu(t)
+	for i := 0; i < n; i++ {
+		toyCall(emu, i)
+	}
+	return emu.ExportState()
+}
+
+// eventSink collects store events for assertions.
+type eventSink struct {
+	mu     sync.Mutex
+	events []sinkEvent
+}
+
+type sinkEvent struct {
+	kind, session string
+	attrs         map[string]string
+}
+
+func (s *eventSink) hook() func(kind, session string, attrs map[string]string) {
+	return func(kind, session string, attrs map[string]string) {
+		s.mu.Lock()
+		s.events = append(s.events, sinkEvent{kind, session, attrs})
+		s.mu.Unlock()
+	}
+}
+
+func (s *eventSink) last(kind string) (sinkEvent, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.events) - 1; i >= 0; i-- {
+		if s.events[i].kind == kind {
+			return s.events[i], true
+		}
+	}
+	return sinkEvent{}, false
+}
+
+func openTest(t testing.TB, dir string, mut func(*Config)) (*Store, *eventSink) {
+	t.Helper()
+	sink := &eventSink{}
+	cfg := Config{Dir: dir, Fsync: FsyncOff, Events: sink.hook()}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, sink
+}
+
+func adoptEmu(t testing.TB, s *Store, id string) (cloudapi.Backend, *interp.Emulator) {
+	t.Helper()
+	emu := newToyEmu(t)
+	b, ok := s.Adopt(id, emu)
+	if !ok {
+		t.Fatalf("Adopt(%s): not snapshottable", id)
+	}
+	return b, emu
+}
+
+func TestCrashRecoveryJournalOnly(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := openTest(t, dir, nil)
+	b1, emu1 := adoptEmu(t, s1, "alice")
+	const n = 6
+	for i := 0; i < n; i++ {
+		toyCall(b1, i)
+	}
+	// Crash: the process dies with no snapshot ever written — recovery
+	// has only the journal.
+	s2, sink := openTest(t, dir, nil)
+	if got := s2.Sessions(); !reflect.DeepEqual(got, []string{"alice"}) {
+		t.Fatalf("recovered sessions = %v", got)
+	}
+	rec := s2.Recover()
+	if len(rec) != 1 || rec[0].ID != "alice" || rec[0].HasSnapshot || rec[0].Segments == 0 {
+		t.Fatalf("Recover() = %+v", rec)
+	}
+	b2, emu2 := adoptEmu(t, s2, "alice")
+	if got, want := emu2.ExportState(), emu1.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state differs:\n got %+v\nwant %+v", got, want)
+	}
+	ev, ok := sink.last(EventRehydrated)
+	if !ok || ev.attrs["snapshot"] != "false" || ev.attrs["records"] != fmt.Sprint(n) {
+		t.Errorf("rehydrated event = %+v", ev)
+	}
+	// The recovered session keeps answering in sequence: the next
+	// create continues the journaled ID space.
+	gr, ge := toyCall(b2, n)
+	cr := newToyEmu(t)
+	for i := 0; i <= n; i++ {
+		if i == n {
+			wr, we := toyCall(cr, i)
+			if !reflect.DeepEqual(gr, wr) || !reflect.DeepEqual(ge, we) {
+				t.Errorf("post-recovery call diverged: (%v, %v) != (%v, %v)", gr, ge, wr, we)
+			}
+		} else {
+			toyCall(cr, i)
+		}
+	}
+}
+
+func TestSpillRehydrateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, sink := openTest(t, dir, nil)
+	b1, emu1 := adoptEmu(t, s, "bob")
+	for i := 0; i < 5; i++ {
+		toyCall(b1, i)
+	}
+	n, err := s.Spill("bob", b1)
+	if err != nil {
+		t.Fatalf("Spill: %v", err)
+	}
+	if n <= 0 {
+		t.Fatalf("Spill wrote %d bytes", n)
+	}
+	if !s.Has("bob") || s.Count() != 1 {
+		t.Fatalf("spilled session not tracked: has=%v count=%d", s.Has("bob"), s.Count())
+	}
+	if ev, ok := sink.last(EventSpilled); !ok || ev.session != "bob" || ev.attrs["bytes"] == "" {
+		t.Errorf("spilled event = %+v", ev)
+	}
+
+	_, emu2 := adoptEmu(t, s, "bob")
+	if got, want := emu2.ExportState(), emu1.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rehydrated state differs:\n got %+v\nwant %+v", got, want)
+	}
+	if ev, ok := sink.last(EventRehydrated); !ok || ev.attrs["snapshot"] != "true" {
+		t.Errorf("rehydrated event = %+v", ev)
+	}
+	st := s.Stats()
+	if st.Spills != 1 || st.Rehydrations != 1 || st.SpillBytes != n || st.JournalRecords == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Spilling a backend the store never adopted is an error — that
+	// eviction must be a plain drop.
+	if _, err := s.Spill("carol", newToyEmu(t)); err == nil {
+		t.Error("Spill of unadopted backend succeeded")
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := openTest(t, dir, nil)
+	b1, _ := adoptEmu(t, s1, "torn")
+	const n = 6
+	for i := 0; i < n; i++ {
+		toyCall(b1, i)
+	}
+	// Tear the tail: clip the last record's CRC, as a crash between
+	// write and sync would.
+	seg := onlySegment(t, s1.sessionDir("torn"))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, sink := openTest(t, dir, nil)
+	_, emu2 := adoptEmu(t, s2, "torn")
+	if got, want := emu2.ExportState(), controlState(t, n-1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("torn-tail recovery: state is not the %d-call prefix", n-1)
+	}
+	ev, ok := sink.last(EventRehydrated)
+	if !ok || !strings.Contains(ev.attrs["dropped"], "torn tail") || ev.attrs["droppedBytes"] == "0" {
+		t.Fatalf("rehydrated event = %+v", ev)
+	}
+
+	// Recovery trimmed the damage, so a second crash-recover lands on
+	// exactly the same state — the tear cannot re-surface.
+	s3, sink3 := openTest(t, dir, nil)
+	_, emu3 := adoptEmu(t, s3, "torn")
+	if !reflect.DeepEqual(emu3.ExportState(), emu2.ExportState()) {
+		t.Fatal("second recovery diverged from first")
+	}
+	if ev, ok := sink3.last(EventRehydrated); !ok || ev.attrs["dropped"] != "" {
+		t.Errorf("trim did not stick: %+v", ev)
+	}
+}
+
+func TestCRCCorruptionMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := openTest(t, dir, nil)
+	b1, _ := adoptEmu(t, s1, "crc")
+	const n = 6
+	for i := 0; i < n; i++ {
+		toyCall(b1, i)
+	}
+	// Flip one byte inside the 4th record's payload: recovery must
+	// stop after the 3rd — records past a damaged frame are unordered
+	// garbage even when their own CRCs check out.
+	seg := onlySegment(t, s1.sessionDir("crc"))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for i := 0; i < 3; i++ {
+		_, consumed, reason := decodeFrame(data[off:])
+		if reason != "" {
+			t.Fatalf("control decode of record %d: %s", i+1, reason)
+		}
+		off += consumed
+	}
+	data[off+6] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, sink := openTest(t, dir, nil)
+	_, emu2 := adoptEmu(t, s2, "crc")
+	if got, want := emu2.ExportState(), controlState(t, 3); !reflect.DeepEqual(got, want) {
+		t.Fatal("mid-segment corruption: state is not the 3-call prefix")
+	}
+	ev, ok := sink.last(EventRehydrated)
+	if !ok || !strings.Contains(ev.attrs["dropped"], "crc mismatch") || ev.attrs["records"] != "3" {
+		t.Fatalf("rehydrated event = %+v", ev)
+	}
+	if fi, err := os.Stat(seg); err != nil || fi.Size() != int64(off) {
+		t.Errorf("damaged segment not trimmed to valid prefix: size=%v off=%d err=%v", fi.Size(), off, err)
+	}
+}
+
+func TestDuplicateReplayAfterPartialCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := openTest(t, dir, func(c *Config) { c.CompactEvery = 4 })
+	b1, _ := adoptEmu(t, s1, "dup")
+	for i := 0; i < 3; i++ {
+		toyCall(b1, i)
+	}
+	// Save the pre-compaction segment (records 1–3), let the 4th call
+	// trigger compaction (snapshot at seq 4, old segment deleted), then
+	// put the stale segment back — the state a crash between snapshot
+	// publish and segment deletion leaves behind.
+	seg1 := onlySegment(t, s1.sessionDir("dup"))
+	stale, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toyCall(b1, 3)
+	if _, err := os.Stat(filepath.Join(s1.sessionDir("dup"), "snapshot.bin")); err != nil {
+		t.Fatalf("compaction did not publish a snapshot: %v", err)
+	}
+	if _, err := os.Stat(seg1); !os.IsNotExist(err) {
+		t.Fatalf("compaction did not delete the folded segment: %v", err)
+	}
+	if err := os.WriteFile(seg1, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	toyCall(b1, 4) // seq 5, lands in the post-compaction segment
+
+	s2, sink := openTest(t, dir, nil)
+	_, emu2 := adoptEmu(t, s2, "dup")
+	if got, want := emu2.ExportState(), controlState(t, 5); !reflect.DeepEqual(got, want) {
+		t.Fatal("stale pre-compaction segment was double-applied")
+	}
+	ev, ok := sink.last(EventRehydrated)
+	if !ok || ev.attrs["snapshot"] != "true" || ev.attrs["skipped"] != "3" || ev.attrs["records"] != "1" {
+		t.Fatalf("rehydrated event = %+v", ev)
+	}
+}
+
+func TestChaosSessionRecovery(t *testing.T) {
+	// A chaos-wrapped session: the injector's PRNG advances on every
+	// call (faulted ones included), so recovery must land the stream
+	// cursor exactly where the crash left it.
+	cfg := fault.Uniform(0.4, 99)
+	dir := t.TempDir()
+	s1, _ := openTest(t, dir, nil)
+	live := fault.New(newToyEmu(t), cfg)
+	b1, ok := s1.Adopt("chaos", live)
+	if !ok {
+		t.Fatal("chaos-wrapped emulator not snapshottable")
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		toyCall(b1, i)
+	}
+	// Crash and recover into a *fresh* injector with a different seed:
+	// the journaled chaos-init record must pin the original stream.
+	s2, _ := openTest(t, dir, nil)
+	b2, ok := s2.Adopt("chaos", fault.New(newToyEmu(t), fault.Uniform(0.4, 12345)))
+	if !ok {
+		t.Fatal("recovered chaos backend not snapshottable")
+	}
+	// Control: same script, never killed.
+	control := fault.New(newToyEmu(t), cfg)
+	for i := 0; i < n; i++ {
+		toyCall(control, i)
+	}
+	for i := n; i < n+8; i++ {
+		gr, ge := toyCall(b2, i)
+		wr, we := toyCall(control, i)
+		if !reflect.DeepEqual(gr, wr) || !reflect.DeepEqual(ge, we) {
+			t.Fatalf("call %d diverged after recovery: (%v, %v) != (%v, %v)", i, gr, ge, wr, we)
+		}
+	}
+}
+
+func TestReadOnlyStore(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := openTest(t, dir, nil)
+	b1, emu1 := adoptEmu(t, s1, "ro")
+	for i := 0; i < 5; i++ {
+		toyCall(b1, i)
+	}
+	if _, err := s1.Spill("ro", b1); err != nil {
+		t.Fatal(err)
+	}
+	before := dirListing(t, dir)
+
+	s2, _ := openTest(t, dir, func(c *Config) { c.ReadOnly = true })
+	_, emu2 := adoptEmu(t, s2, "ro")
+	if !reflect.DeepEqual(emu2.ExportState(), emu1.ExportState()) {
+		t.Fatal("read-only rehydration differs")
+	}
+	if _, err := s2.Spill("ro", b1); err == nil {
+		t.Error("Spill succeeded on a read-only store")
+	}
+	s2.Forget("ro")
+	if !s2.Has("ro") {
+		t.Error("Forget mutated a read-only store")
+	}
+	if after := dirListing(t, dir); !reflect.DeepEqual(after, before) {
+		t.Errorf("read-only store touched the directory:\nbefore %v\nafter  %v", before, after)
+	}
+}
+
+func TestAdoptNonSnapshottable(t *testing.T) {
+	s, _ := openTest(t, t.TempDir(), nil)
+	nb := opaqueBackend{}
+	if b, ok := s.Adopt("x", nb); ok || b != cloudapi.Backend(nb) {
+		t.Fatalf("Adopt of an opaque backend: ok=%v", ok)
+	}
+	if s.Count() != 0 {
+		t.Errorf("opaque adopt left on-disk state")
+	}
+}
+
+// TestPoolSpillTransparency is the satellite acceptance check: a
+// capacity-2 pool backed by the spill tier must answer exactly like an
+// effectively unlimited pool, even though its sessions are constantly
+// spilled and rehydrated between touches.
+func TestPoolSpillTransparency(t *testing.T) {
+	store, _ := openTest(t, t.TempDir(), nil)
+	factory := func() cloudapi.Backend { return newToyEmu(t) }
+	limited, err := tenant.New(factory, tenant.Config{Shards: 1, Capacity: 2, Spill: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlimited, err := tenant.New(factory, tenant.Config{Shards: 1, Capacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions, rounds = 6, 4
+	for r := 0; r < rounds; r++ {
+		for g := 0; g < sessions; g++ {
+			id := fmt.Sprintf("s%d", g)
+			lb, err := limited.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ub, err := unlimited.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := r*2 + g // per-session script position varies by session
+			for k := 0; k < 2; k++ {
+				gr, ge := toyCall(lb, step+k)
+				wr, we := toyCall(ub, step+k)
+				if !reflect.DeepEqual(gr, wr) || !reflect.DeepEqual(ge, we) {
+					t.Fatalf("round %d session %s call %d: limited (%v, %v) != unlimited (%v, %v)",
+						r, id, k, gr, ge, wr, we)
+				}
+			}
+		}
+	}
+	pst := limited.Stats()
+	if pst.Spills == 0 || pst.Spilled == 0 {
+		t.Fatalf("no spills happened — the test is vacuous: %+v", pst)
+	}
+	if st := store.Stats(); st.Rehydrations == 0 {
+		t.Fatalf("no rehydrations happened: %+v", st)
+	}
+	if pst.Sessions > 2 {
+		t.Errorf("resident sessions %d exceed capacity 2", pst.Sessions)
+	}
+
+	// Concurrent hammer under the race detector: sessions within
+	// capacity (no forced evictions mid-flight), plus explicit
+	// spill/rehydrate cycles from a sweeper goroutine via Drop-free
+	// Get churn on extra sessions.
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("hot%d", g)
+			for i := 0; i < 30; i++ {
+				b, err := limited.Get(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				toyCall(b, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// --- helpers ---
+
+type opaqueBackend struct{}
+
+func (opaqueBackend) Service() string   { return "opaque" }
+func (opaqueBackend) Actions() []string { return nil }
+func (opaqueBackend) Reset()            {}
+func (opaqueBackend) Invoke(cloudapi.Request) (cloudapi.Result, error) {
+	return cloudapi.Result{}, nil
+}
+
+func onlySegment(t testing.TB, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("want exactly one segment in %s, have %v", dir, segs)
+	}
+	return filepath.Join(dir, segs[0])
+}
+
+// dirListing walks dir and returns relative path + size for every
+// file, for before/after comparisons.
+func dirListing(t testing.TB, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !fi.IsDir() {
+			rel, _ := filepath.Rel(dir, path)
+			out = append(out, fmt.Sprintf("%s:%d", rel, fi.Size()))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// FuzzReadJournal hammers the recovery reader with arbitrary segment
+// bytes: it must never panic, and everything it accepts must lie
+// within the file.
+func FuzzReadJournal(f *testing.F) {
+	// Seed with a real segment.
+	dir := f.TempDir()
+	s, _ := openTest(f, dir, nil)
+	b, _ := adoptEmu(f, s, "seed")
+	for i := 0; i < 4; i++ {
+		toyCall(b, i)
+	}
+	data, err := os.ReadFile(onlySegment(f, s.sessionDir("seed")))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, seg []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), seg, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := readJournal(dir)
+		if err != nil {
+			t.Fatalf("readJournal must tolerate damage, got error: %v", err)
+		}
+		if res.validPrefix < 0 || res.validPrefix > int64(len(seg)) {
+			t.Fatalf("validPrefix %d outside file of %d bytes", res.validPrefix, len(seg))
+		}
+		if res.dropReason != "" && res.droppedBytes <= 0 {
+			t.Fatalf("damage reported (%s) but droppedBytes=%d", res.dropReason, res.droppedBytes)
+		}
+	})
+}
+
+// FuzzDecodeSnapshot: arbitrary bytes must decode cleanly or error,
+// never panic.
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add(EncodeSnapshot(fixtureState()))
+	f.Add([]byte("LCES"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeSnapshot(data)
+		if err == nil && st == nil {
+			t.Fatal("nil state with nil error")
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDurableBenchSmoke(t *testing.T) {
+	res, err := DurableBench(t.TempDir(), 16, []int{8}, 2, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Calls) != 4 {
+		t.Fatalf("want 4 write-path rows (none + 3 policies), got %d", len(res.Calls))
+	}
+	if res.Calls[0].Mode != "none" || res.Calls[1].Mode != "fsync=off" {
+		t.Errorf("row order: %q, %q", res.Calls[0].Mode, res.Calls[1].Mode)
+	}
+	if len(res.Cycles) != 1 || res.Cycles[0].SnapshotBytes <= 0 {
+		t.Fatalf("cycle rows: %+v", res.Cycles)
+	}
+	if !res.Capacity.Verified {
+		t.Fatal("sessions-beyond-RAM continuity broken")
+	}
+	if res.Capacity.DiskBytes <= 0 {
+		t.Errorf("capacity row reports no disk usage: %+v", res.Capacity)
+	}
+	out := FormatDurable(res)
+	for _, want := range []string{"Durable write path", "Spill / rehydrate", "Sessions beyond RAM", "state continuity verified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatDurable output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -250,6 +250,10 @@ func (in *Injector) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 func (in *Injector) decide(action string) Decision {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	return in.decideLocked(action)
+}
+
+func (in *Injector) decideLocked(action string) Decision {
 	in.calls++
 	d := Decision{Call: in.calls, Action: action, Delay: in.cfg.Latency}
 	if in.cfg.Jitter > 0 {
@@ -314,6 +318,59 @@ func (in *Injector) Stats() Stats {
 	}
 	return Stats{Calls: in.calls, Faults: in.faults, ByCode: by}
 }
+
+// Cursor is the injector's position in its fault stream: the seed it
+// draws from and how many calls it has decided. Because every rand
+// draw decide makes is a deterministic function of the seed, the
+// config, and the call index (throttle/server-fault outcomes draw one
+// extra Intn each, and which branch a roll lands in is itself
+// determined by the stream), replaying `Calls` decisions from a fresh
+// rng reconstructs the exact PRNG position, fault streak, and stats.
+// Durable snapshots persist the cursor so a rehydrated session's
+// chaos continues precisely where the evicted one stopped.
+type Cursor struct {
+	Seed  int64
+	Calls int
+}
+
+// Cursor returns the injector's current fault-stream position.
+func (in *Injector) Cursor() Cursor {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return Cursor{Seed: in.cfg.Seed, Calls: in.calls}
+}
+
+// Restore rewinds the injector to a fresh stream at c.Seed and fast-
+// forwards it c.Calls decisions, reconstructing the PRNG position,
+// consecutive-fault streak, and fault stats exactly. The decision log
+// restarts empty (replayed decisions carry no action names, so keeping
+// them would only mislead); the injector's rates, latency, and jitter
+// config must match the original — Restore only repositions the
+// stream. It adopts c.Seed even if the injector was constructed with a
+// different one, which is the restart case: factory-derived seeds
+// depend on instance creation order, and a recovered session must
+// resume *its* stream, not the stream of whatever order sessions were
+// rehydrated in.
+func (in *Injector) Restore(c Cursor) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cfg.Seed = c.Seed
+	in.rng = rand.New(rand.NewSource(c.Seed))
+	in.calls = 0
+	in.streak = 0
+	in.faults = 0
+	in.byCode = map[string]int{}
+	in.log = nil
+	for i := 0; i < c.Calls; i++ {
+		in.decideLocked("")
+	}
+	in.log = nil
+}
+
+// Inner returns the wrapped backend, for callers (the durable layer)
+// that must reach through the chaos wrapper to snapshot or drive the
+// underlying emulator directly.
+func (in *Injector) Inner() cloudapi.Backend { return in.inner }
 
 // fork stamps out a child injector over a fork of the inner backend,
 // with a derived seed and a fresh log.

@@ -532,6 +532,10 @@ func (s *server) v2Sessions(w http.ResponseWriter, r *http.Request) {
 		"hitRate":           st.HitRate(),
 		"idleEvictions":     st.IdleEvictions,
 		"capacityEvictions": st.CapacityEvictions,
+		// Spill tier: sessions whose state lives on disk, and how many
+		// evictions reached it. Both 0 on servers without -data-dir.
+		"spilled": st.Spilled,
+		"spills":  st.Spills,
 	})
 }
 

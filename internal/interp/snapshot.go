@@ -1,0 +1,130 @@
+package interp
+
+import (
+	"sort"
+
+	"lce/internal/cloudapi"
+)
+
+// AttrState is one written attribute of a snapshotted instance.
+type AttrState struct {
+	Name  string
+	Value cloudapi.Value
+}
+
+// InstanceState is the portable form of one Instance — everything the
+// store tracks, dead instances included (a destroyed-but-remembered
+// instance answers NotFound differently from a never-created one only
+// in principle, but exactness is the whole point of a snapshot).
+type InstanceState struct {
+	Type   string
+	ID     string
+	Parent cloudapi.Ref
+	Alive  bool
+	Seq    int
+	// Attrs holds the written attributes sorted by name. "Written nil"
+	// appears here (the set-flag distinction Snapshot also observes);
+	// never-written attributes are absent.
+	Attrs []AttrState
+}
+
+// WorldState is the complete dynamic state of a World: the creation
+// sequence cursor, the ID-generator counters, and every instance.
+// Export order is deterministic — instances sorted by (Type, ID),
+// attributes sorted by name — so two identical worlds export equal
+// states and the durable codec encodes them to identical bytes.
+type WorldState struct {
+	Seq       int
+	IDs       map[string]int
+	Instances []InstanceState
+}
+
+// ExportState snapshots the world. The returned state shares Value
+// payloads with the live world (Values are immutable by convention in
+// this repository — the interpreter never mutates a stored list or map
+// in place, it writes fresh ones), so export is cheap.
+func (w *World) ExportState() WorldState {
+	st := WorldState{Seq: w.seq, IDs: w.ids.Counters()}
+	for typ, m := range w.byType {
+		for id, inst := range m {
+			is := InstanceState{
+				Type:   typ,
+				ID:     id,
+				Parent: inst.Parent,
+				Alive:  inst.Alive,
+				Seq:    inst.Seq,
+				Attrs:  make([]AttrState, 0, inst.numAttrs()),
+			}
+			inst.eachAttr(func(name string, v cloudapi.Value) {
+				is.Attrs = append(is.Attrs, AttrState{Name: name, Value: v})
+			})
+			sort.Slice(is.Attrs, func(i, j int) bool { return is.Attrs[i].Name < is.Attrs[j].Name })
+			st.Instances = append(st.Instances, is)
+		}
+	}
+	sort.Slice(st.Instances, func(i, j int) bool {
+		a, b := &st.Instances[i], &st.Instances[j]
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.ID < b.ID
+	})
+	return st
+}
+
+// RestoreState replaces the world's entire dynamic state with st. The
+// spec the world was built over must declare every instance type in
+// the state — restoring a snapshot against a different service is a
+// hard error, not a best-effort merge.
+func (w *World) RestoreState(st WorldState) error {
+	byType := make(map[string]map[string]*Instance)
+	for i := range st.Instances {
+		is := &st.Instances[i]
+		sm := w.svc.SM(is.Type)
+		if sm == nil {
+			return internalErrf("restore: snapshot instance %s/%s has no SM in service %s", is.Type, is.ID, w.svc.Name)
+		}
+		inst := &Instance{
+			Ref:    cloudapi.Ref{Type: is.Type, ID: is.ID},
+			Parent: is.Parent,
+			Alive:  is.Alive,
+			Seq:    is.Seq,
+			sm:     sm,
+		}
+		if n := sm.NumStates(); n > 0 {
+			inst.slots = make([]cloudapi.Value, n)
+			inst.set = make([]bool, n)
+		}
+		for _, a := range is.Attrs {
+			inst.SetAttr(a.Name, a.Value)
+		}
+		m := byType[is.Type]
+		if m == nil {
+			m = make(map[string]*Instance)
+			byType[is.Type] = m
+		}
+		m[is.ID] = inst
+	}
+	w.byType = byType
+	w.seq = st.Seq
+	w.ids.SetCounters(st.IDs)
+	return nil
+}
+
+// ExportState snapshots the emulator's world under the invoke mutex,
+// so it is safe to call while the emulator serves traffic.
+func (e *Emulator) ExportState() WorldState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.world.ExportState()
+}
+
+// RestoreState replaces the emulator's world state under the invoke
+// mutex. The compiled program (if any) is untouched — it reads
+// whatever world Invoke hands it — so restoring into a compiled
+// emulator keeps compiled dispatch.
+func (e *Emulator) RestoreState(st WorldState) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.world.RestoreState(st)
+}

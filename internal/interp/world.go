@@ -15,6 +15,7 @@ package interp
 
 import (
 	"fmt"
+	"sort"
 
 	"lce/internal/cloudapi"
 	"lce/internal/spec"
@@ -97,9 +98,11 @@ func (inst *Instance) attrOrNil(name string) cloudapi.Value {
 	return v
 }
 
-// eachAttr calls fn for every written attribute. Slot-layout attributes
-// come first in declaration order, then overflow attributes in map
-// order.
+// eachAttr calls fn for every written attribute in a deterministic
+// order: slot-layout attributes first in declaration order, then
+// overflow attributes sorted by name. Determinism here is load-bearing
+// — the durable snapshot codec walks attributes through this and its
+// encoding must be byte-stable across runs and Go versions.
 func (inst *Instance) eachAttr(fn func(name string, v cloudapi.Value)) {
 	if inst.sm != nil {
 		for i, name := range inst.sm.SlotNames() {
@@ -111,8 +114,15 @@ func (inst *Instance) eachAttr(fn func(name string, v cloudapi.Value)) {
 			}
 		}
 	}
-	for k, v := range inst.extra {
-		fn(k, v)
+	if len(inst.extra) > 0 {
+		keys := make([]string, 0, len(inst.extra))
+		for k := range inst.extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fn(k, inst.extra[k])
+		}
 	}
 }
 

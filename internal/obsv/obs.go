@@ -54,6 +54,15 @@ const (
 	MetricOpsEventsDropped = "lce_ops_events_dropped_total"
 	MetricFlightRecords    = "lce_flight_records_total"
 	MetricSLOBurnRate      = "lce_slo_burn_rate"
+
+	// Durable-tier series (internal/durable): sessions with on-disk
+	// state (gauge), spill counts and bytes, rehydrations (spill
+	// restores and lazy crash recoveries alike), and journal appends.
+	MetricDurableSessions       = "lce_durable_sessions"
+	MetricDurableSpills         = "lce_durable_spills_total"
+	MetricDurableSpillBytes     = "lce_durable_spill_bytes_total"
+	MetricDurableRehydrations   = "lce_durable_rehydrations_total"
+	MetricDurableJournalRecords = "lce_durable_journal_records_total"
 )
 
 // Obs bundles a tracer and a registry — the two halves of the

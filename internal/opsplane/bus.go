@@ -44,6 +44,19 @@ const (
 	KindDivergence     = "align.divergence"
 	KindEviction       = "tenant.evicted"
 	KindSLOBreach      = "slo.breach"
+
+	// Durable-tier kinds (internal/durable reports these through the
+	// server's event hook; the strings match durable's Event*
+	// constants). session.spilled / session.rehydrated bracket the
+	// disk tier's round trip; recovery.* narrate the boot-time scan of
+	// a data directory; journal.error surfaces a session whose
+	// journaling failed and was disabled.
+	KindSessionSpilled    = "session.spilled"
+	KindSessionRehydrated = "session.rehydrated"
+	KindRecoveryStart     = "recovery.start"
+	KindRecoverySession   = "recovery.session"
+	KindRecoveryDone      = "recovery.done"
+	KindJournalError      = "journal.error"
 )
 
 // Filter selects a subset of the event stream. Empty fields match

@@ -185,18 +185,36 @@ func (p *Plane) spanEnded(d obsv.SpanData) {
 }
 
 // OnEvict returns the tenant-pool eviction hook: it publishes a
-// KindEviction event per evicted session. Nil on a nil plane, so the
-// pool stores a nil func and pays nothing.
-func (p *Plane) OnEvict() func(session string, shard int, reason string) {
+// KindEviction event per evicted session, carrying the spill outcome
+// ("spilled" with the snapshot bytes, or "dropped") so an operator
+// can tell retired-to-disk from gone. Nil on a nil plane, so the pool
+// stores a nil func and pays nothing.
+func (p *Plane) OnEvict() func(session string, shard int, reason, outcome string, bytes int64) {
 	if p == nil {
 		return nil
 	}
-	return func(session string, shard int, reason string) {
-		p.Publish(Event{
-			Kind:    KindEviction,
-			Session: session,
-			Attrs:   map[string]string{"shard": fmt.Sprintf("%d", shard), "reason": reason},
-		})
+	return func(session string, shard int, reason, outcome string, bytes int64) {
+		attrs := map[string]string{
+			"shard":   fmt.Sprintf("%d", shard),
+			"reason":  reason,
+			"outcome": outcome,
+		}
+		if outcome == "spilled" {
+			attrs["bytes"] = fmt.Sprintf("%d", bytes)
+		}
+		p.Publish(Event{Kind: KindEviction, Session: session, Attrs: attrs})
+	}
+}
+
+// OnDurable returns the durable store's event hook: it forwards each
+// store event (session.spilled, session.rehydrated, recovery.*,
+// journal.error) to the bus. Nil-safe the same way OnEvict is.
+func (p *Plane) OnDurable() func(kind, session string, attrs map[string]string) {
+	if p == nil {
+		return nil
+	}
+	return func(kind, session string, attrs map[string]string) {
+		p.Publish(Event{Kind: kind, Session: session, Attrs: attrs})
 	}
 }
 

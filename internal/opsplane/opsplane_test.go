@@ -399,7 +399,7 @@ func TestServeEventsSSE(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	p.OnEvict()("s9", 3, "capacity")
+	p.OnEvict()("s9", 3, "capacity", "spilled", 4096)
 	p.Publish(Event{Kind: KindSpanEnd}) // filtered out
 
 	sc := bufio.NewScanner(resp.Body)

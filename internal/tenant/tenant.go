@@ -66,11 +66,37 @@ type Config struct {
 	// ({shard,reason}).
 	Registry *obsv.Registry
 	// OnEvict, when non-nil, is called once per evicted session with
-	// its id, owning shard, and reason (EvictIdle | EvictCapacity).
-	// It runs under the shard lock, so it must be fast and must not
-	// call back into the pool. The operations plane uses it to publish
-	// tenant.evicted events.
-	OnEvict func(session string, shard int, reason string)
+	// its id, owning shard, reason (EvictIdle | EvictCapacity),
+	// outcome (OutcomeSpilled | OutcomeDropped), and — for spills —
+	// the snapshot bytes written. It runs under the shard lock, so it
+	// must be fast and must not call back into the pool. The
+	// operations plane uses it to publish tenant.evicted events.
+	OnEvict func(session string, shard int, reason, outcome string, bytes int64)
+	// Spill, when non-nil, is the disk tier: sessions are adopted
+	// into it on first touch (journaling + transparent rehydration of
+	// persisted state) and offered to it on eviction. With a spill
+	// tier, Capacity bounds *resident* worlds only — evicted sessions
+	// survive on disk and total capacity is measured in journaled
+	// sessions.
+	Spill SpillTier
+}
+
+// SpillTier is the disk tier a pool can evict into. internal/durable
+// implements it; the interface lives here so the pool stays free of
+// persistence dependencies.
+type SpillTier interface {
+	// Adopt wraps a freshly created session backend, rehydrating any
+	// state the tier already holds for the session. ok=false means
+	// the backend cannot be persisted and is returned unwrapped.
+	Adopt(session string, b cloudapi.Backend) (wrapped cloudapi.Backend, ok bool)
+	// Spill persists the session's state so the resident world can be
+	// released, returning the bytes written. An error means the state
+	// was not persisted and the eviction is a plain drop.
+	Spill(session string, b cloudapi.Backend) (int64, error)
+	// Forget deletes the tier's state for a session.
+	Forget(session string)
+	// Count returns the number of sessions the tier holds.
+	Count() int
 }
 
 // Eviction reasons passed to Config.OnEvict and used as the "reason"
@@ -78,6 +104,13 @@ type Config struct {
 const (
 	EvictIdle     = "idle"
 	EvictCapacity = "capacity"
+)
+
+// Eviction outcomes passed to Config.OnEvict: whether the session's
+// state reached the spill tier or was discarded with the world.
+const (
+	OutcomeSpilled = "spilled"
+	OutcomeDropped = "dropped"
 )
 
 // session is one resident tenant: an isolated backend plus its LRU
@@ -111,6 +144,11 @@ type Stats struct {
 	// cause.
 	IdleEvictions     int64
 	CapacityEvictions int64
+	// Spilled is the spill tier's occupancy — sessions whose state
+	// lives on disk (0 without a tier); Spills counts evictions whose
+	// state reached the tier.
+	Spilled int
+	Spills  int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -136,8 +174,10 @@ type Pool struct {
 
 	hits, misses       atomic.Int64
 	idleEvict, capEvic atomic.Int64
+	spillsOK           atomic.Int64
 
-	onEvict func(session string, shard int, reason string)
+	onEvict func(session string, shard int, reason, outcome string, bytes int64)
+	spill   SpillTier
 
 	// instruments (nil-safe no-ops when Config.Registry is nil). The
 	// shard-labelled eviction counters are pre-created per shard so
@@ -176,6 +216,7 @@ func New(factory cloudapi.BackendFactory, cfg Config) (*Pool, error) {
 		clock:    cfg.Clock,
 	}
 	p.onEvict = cfg.OnEvict
+	p.spill = cfg.Spill
 	for i := range p.shards {
 		p.shards[i] = &shard{idx: i, sessions: make(map[string]*list.Element), lru: list.New()}
 	}
@@ -236,7 +277,7 @@ func (p *Pool) Get(id string) (cloudapi.Backend, error) {
 	if id == "" || id == DefaultSession {
 		p.defMu.Lock()
 		if p.def == nil {
-			p.def = p.factory()
+			p.def = p.adopt(DefaultSession, p.factory())
 			p.gSessions.Add(1)
 		}
 		b := p.def
@@ -265,8 +306,10 @@ func (p *Pool) Get(id string) (cloudapi.Backend, error) {
 	// Miss: stamp out a fresh backend. The factory runs under the
 	// shard lock — an expensive factory stalls only sessions hashing
 	// to this shard, which is the contention boundary the sharding
-	// exists to draw.
-	sess := &session{id: id, backend: p.factory(), lastUsed: now}
+	// exists to draw. The spill tier adopts the product, transparently
+	// rehydrating any state it holds for this id (a spilled world, or
+	// one a crashed process left behind).
+	sess := &session{id: id, backend: p.adopt(id, p.factory()), lastUsed: now}
 	sh.sessions[id] = sh.lru.PushFront(sess)
 	p.misses.Add(1)
 	p.cMisses.Inc()
@@ -294,10 +337,29 @@ func (p *Pool) expireLocked(sh *shard, now time.Time) {
 	}
 }
 
+// adopt hands a fresh backend to the spill tier, if one is mounted.
+func (p *Pool) adopt(id string, b cloudapi.Backend) cloudapi.Backend {
+	if p.spill == nil {
+		return b
+	}
+	wb, ok := p.spill.Adopt(id, b)
+	if !ok {
+		return b
+	}
+	return wb
+}
+
 func (p *Pool) evictLocked(sh *shard, el *list.Element, reason string) {
 	sess := el.Value.(*session)
 	sh.lru.Remove(el)
 	delete(sh.sessions, sess.id)
+	outcome, bytes := OutcomeDropped, int64(0)
+	if p.spill != nil {
+		if n, err := p.spill.Spill(sess.id, sess.backend); err == nil {
+			outcome, bytes = OutcomeSpilled, n
+			p.spillsOK.Add(1)
+		}
+	}
 	if reason == EvictIdle {
 		p.idleEvict.Add(1)
 		p.cEvictIdle.Inc()
@@ -313,7 +375,7 @@ func (p *Pool) evictLocked(sh *shard, el *list.Element, reason string) {
 	}
 	p.gSessions.Add(-1)
 	if p.onEvict != nil {
-		p.onEvict(sess.id, sh.idx, reason)
+		p.onEvict(sess.id, sh.idx, reason, outcome, bytes)
 	}
 }
 
@@ -347,11 +409,15 @@ func (p *Pool) Reset(id string) error {
 	return nil
 }
 
-// Drop removes a session entirely, reporting whether it was resident.
-// The pinned default session cannot be dropped.
+// Drop removes a session entirely — resident world and any spilled
+// state — reporting whether anything was removed. The pinned default
+// session cannot be dropped.
 func (p *Pool) Drop(id string) bool {
 	if id == "" || id == DefaultSession || !ValidSessionID(id) {
 		return false
+	}
+	if p.spill != nil {
+		p.spill.Forget(id)
 	}
 	sh := p.shardFor(id)
 	sh.mu.Lock()
@@ -415,6 +481,10 @@ func (p *Pool) Stats() Stats {
 		Misses:            p.misses.Load(),
 		IdleEvictions:     p.idleEvict.Load(),
 		CapacityEvictions: p.capEvic.Load(),
+		Spills:            p.spillsOK.Load(),
+	}
+	if p.spill != nil {
+		st.Spilled = p.spill.Count()
 	}
 	for i, sh := range p.shards {
 		sh.mu.Lock()

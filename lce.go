@@ -31,6 +31,7 @@ import (
 	"lce/internal/cloudapi"
 	"lce/internal/docs"
 	"lce/internal/docs/corpus"
+	"lce/internal/durable"
 	"lce/internal/fault"
 	"lce/internal/httpapi"
 	"lce/internal/interp"
@@ -389,6 +390,25 @@ func NewPool(factory BackendFactory, cfg PoolConfig) (*Pool, error) {
 // GET /v2/sessions). ob may be nil for an unobserved server.
 func ServePool(b Backend, p *Pool, ob *Obs) http.Handler {
 	return httpapi.New(b, httpapi.WithPool(p), httpapi.WithObs(ob))
+}
+
+// DurableStore is the persistence tier: a deterministic binary
+// snapshot codec plus a CRC-framed write-ahead journal per session.
+// Mounted into a Pool (PoolConfig.Spill) it spills cold sessions to
+// disk on eviction and rehydrates them transparently on next touch;
+// pointed at a previous process's data directory it recovers every
+// session, lazily, through the same path. ServerConfig.DataDir wires
+// it through the whole stack.
+type DurableStore = durable.Store
+
+// DurableConfig tunes a DurableStore: data directory, fsync policy
+// ("always" | "batch" | "off"), segment size, compaction interval.
+type DurableConfig = durable.Config
+
+// OpenDurable opens (or creates) a durable store over a data
+// directory, scanning it for sessions persisted by earlier processes.
+func OpenDurable(cfg DurableConfig) (*DurableStore, error) {
+	return durable.Open(cfg)
 }
 
 // Client is the wire client; WithSession scopes it to a tenant

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lce/internal/cloudapi"
+	"lce/internal/durable"
 	"lce/internal/fault"
 	"lce/internal/httpapi"
 	"lce/internal/interp"
@@ -132,6 +133,19 @@ type ServerConfig struct {
 	Shards     int
 	SessionTTL time.Duration
 
+	// DataDir mounts the durable tier: sessions are write-ahead
+	// journaled under this directory, cold sessions spill to
+	// snapshots on eviction, and a server restarted over the same
+	// directory recovers every session (lazily, on first touch).
+	// Empty disables durability. Fsync selects the journal policy
+	// ("always" | "batch" | "off"; empty = "batch"), and ReadOnlyData
+	// opens the directory as a rehydration baseline only — nothing is
+	// written, which is what cmd/lce-replay wants when replaying a
+	// partial flight dump against recovered state.
+	DataDir      string
+	Fsync        string
+	ReadOnlyData bool
+
 	// Ops mounts the operations plane. FlightCapacity sizes the
 	// recorder window (0 = opsplane.DefaultFlightCapacity);
 	// SLOErrorRate and SLOP99 set the health targets (both 0 = the
@@ -159,6 +173,10 @@ type Server struct {
 	Obs     *Obs
 	Ops     *OpsPlane
 	Pool    *Pool
+	// Store is the durable tier (nil without DataDir); Recovered lists
+	// the sessions its boot-time scan found on disk.
+	Store     *DurableStore
+	Recovered []durable.RecoveredSession
 }
 
 // NewServer assembles the full stack from cfg: backend, optional chaos
@@ -199,26 +217,53 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		})
 	}
 
+	var store *durable.Store
+	var recovered []durable.RecoveredSession
+	if cfg.DataDir != "" {
+		store, err = durable.Open(durable.Config{
+			Dir:      cfg.DataDir,
+			Fsync:    cfg.Fsync,
+			ReadOnly: cfg.ReadOnlyData,
+			Registry: ob.Registry,
+			Events:   ops.OnDurable(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		recovered = store.Recover()
+	}
+
 	var pool *Pool
 	if cfg.Sessions > 0 {
-		pool, err = tenant.New(factory, tenant.Config{
+		tcfg := tenant.Config{
 			Shards:   cfg.Shards,
 			Capacity: cfg.Sessions,
 			IdleTTL:  cfg.SessionTTL,
 			Clock:    cfg.Clock,
 			Registry: ob.Registry,
 			OnEvict:  ops.OnEvict(),
-		})
+		}
+		if store != nil {
+			tcfg.Spill = store
+		}
+		pool, err = tenant.New(factory, tcfg)
 		if err != nil {
 			return nil, err
 		}
+	} else if store != nil {
+		// Single-tenant server: the one backend is the "default"
+		// session — journal it so even a pool-less server survives a
+		// restart.
+		b, _ = store.Adopt(tenant.DefaultSession, b)
 	}
 	return &Server{
-		Handler: httpapi.New(b, httpapi.WithPool(pool), httpapi.WithObs(ob), httpapi.WithOps(ops)),
-		Backend: b,
-		Obs:     ob,
-		Ops:     ops,
-		Pool:    pool,
+		Handler:   httpapi.New(b, httpapi.WithPool(pool), httpapi.WithObs(ob), httpapi.WithOps(ops)),
+		Backend:   b,
+		Obs:       ob,
+		Ops:       ops,
+		Pool:      pool,
+		Store:     store,
+		Recovered: recovered,
 	}, nil
 }
 

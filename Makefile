@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke ci
+.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke phase-smoke ci
 
 build:
 	$(GO) build ./...
@@ -160,4 +160,31 @@ durable-smoke:
 	echo "durable smoke: kill -9 recovery, ID continuity, isolation, spill stats all OK"
 	$(GO) run ./cmd/lce-bench -durable -short -json bench-durable.json
 
-ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke
+# Phase gate: the request-path timing spine end to end. The spine's
+# suites (phase timer self-time accounting, on-vs-off byte parity,
+# stall watchdog, SSE heartbeats, durable metric cycles) run under the
+# race detector; the -phases bench itself fails unless per-phase
+# latency tiles end-to-end latency (coverage within [0.9, 1.1]) and
+# the durable scenario records an fsync phase; lce-perfdiff gates the
+# machine-independent trajectory against the committed baseline and
+# self-tests that an injected 2x fsync regression is caught; finally a
+# live lce-server must answer /v2 with a Server-Timing header carrying
+# the phase breakdown. bench-phases.json is left behind as the
+# artifact.
+phase-smoke:
+	$(GO) test -race -run 'Phase|Stall|Heartbeat|RuntimeSampler|DurableMetrics|ServerTiming' ./internal/obsv/ ./internal/durable/ ./internal/opsplane/ ./internal/eval/ ./internal/httpapi/ .
+	$(GO) run ./cmd/lce-bench -phases -short -json bench-phases.json
+	$(GO) run ./cmd/lce-perfdiff -tolerance 0.5 bench/bench-phases-baseline.json bench-phases.json
+	$(GO) run ./cmd/lce-perfdiff -self-test bench-phases.json
+	$(GO) build -o lce-server-phase ./cmd/lce-server
+	@set -e; \
+	./lce-server-phase -service ec2 -backend oracle -addr 127.0.0.1:4603 -log-format off >/dev/null 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -f lce-server-phase' EXIT; \
+	for i in $$(seq 1 50); do curl -sf 127.0.0.1:4603/healthz >/dev/null && break; sleep 0.1; done; \
+	hdr=$$(curl -sf -D - -o /dev/null -XPOST -H 'X-LCE-Session: alice' '127.0.0.1:4603/v2/ec2?Action=CreateVpc' -d '{"params":{"cidrBlock":"10.0.0.0/16"}}' | grep -i '^server-timing:'); \
+	echo "$$hdr" | grep -q 'decode;dur=' || { echo "Server-Timing missing decode phase: $$hdr"; exit 1; }; \
+	echo "$$hdr" | grep -q 'interp.dispatch;dur=' || { echo "Server-Timing missing dispatch phase: $$hdr"; exit 1; }; \
+	curl -sf 127.0.0.1:4603/metrics | grep -q 'lce_phase_seconds_count' || { echo "lce_phase_seconds missing from live scrape"; exit 1; }; \
+	echo "phase smoke: Server-Timing + live phase histograms OK"
+
+ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke phase-smoke

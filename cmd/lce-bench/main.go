@@ -9,6 +9,7 @@
 //	lce-bench -tenant -short -json out.json # multi-tenant sweep + /batch amortization
 //	lce-bench -interp -interp-floor 5 -json out.json # compiled vs walked interpreter, with CI floor
 //	lce-bench -durable -short -json out.json # journal/spill/rehydrate latency + sessions beyond RAM
+//	lce-bench -phases -short -json out.json # phase-timing attribution, gated on coverage vs end-to-end
 package main
 
 import (
@@ -30,8 +31,10 @@ import (
 // MemStats block and the operations-plane overhead rows; v4 added the
 // compiled-vs-walked interpreter rows; v5 added the durable-tier
 // block (journal write path, spill/rehydrate latency,
-// sessions-beyond-RAM capacity).
-const artifactSchemaVersion = 5
+// sessions-beyond-RAM capacity); v6 added the phase-attribution
+// block (-phases: per-phase latency percentiles + coverage vs the
+// end-to-end distribution). lce-perfdiff accepts any schema ≥ 3.
+const artifactSchemaVersion = 6
 
 // benchArtifact is the JSON blob -json writes; CI uploads it so every
 // PR leaves a perf trajectory behind. GitSHA and GoMaxProcs pin each
@@ -52,6 +55,7 @@ type benchArtifact struct {
 	Ops           []opsJSON      `json:"opsOverhead,omitempty"`
 	Interp        []interpJSON   `json:"interpSpeedup,omitempty"`
 	Durable       *durableJSON   `json:"durable,omitempty"`
+	Phases        *phasesJSON    `json:"phases,omitempty"`
 	// Mem is the whole-run heap delta: how much this benchmark binary
 	// allocated and collected between flag parsing and artifact write.
 	Mem *memJSON `json:"memStats,omitempty"`
@@ -163,6 +167,34 @@ type durableCapacityJSON struct {
 	Verified  bool  `json:"continuityVerified"`
 }
 
+// phasesJSON is the -phases block: the phase-timing spine's latency
+// attribution per scenario, with the coverage ratio between the sum of
+// phase self-times and the end-to-end request distribution.
+type phasesJSON struct {
+	Scenarios []phaseScenarioJSON `json:"scenarios"`
+}
+
+type phaseScenarioJSON struct {
+	Name         string         `json:"name"`
+	Requests     int            `json:"requests"`
+	Coverage     float64        `json:"coverage"`
+	AllocsPerReq float64        `json:"allocsPerReq"`
+	E2E          phaseStatJSON  `json:"e2e"`
+	Phases       []phaseRowJSON `json:"phases"`
+}
+
+type phaseRowJSON struct {
+	Phase string `json:"phase"`
+	phaseStatJSON
+}
+
+type phaseStatJSON struct {
+	Count  int64 `json:"count"`
+	P50Ns  int64 `json:"p50Ns"`
+	P99Ns  int64 `json:"p99Ns"`
+	MeanNs int64 `json:"meanNs"`
+}
+
 // buildVCS reads the commit this binary was built from out of the
 // embedded build info (set for `go build` inside a git checkout; empty
 // for `go run` and test binaries).
@@ -236,6 +268,7 @@ func main() {
 		opsB       = flag.Bool("ops", false, "operations-plane overhead: the same HTTP load with the plane off vs on")
 		interpB    = flag.Bool("interp", false, "compiled-vs-walked interpreter: differential parity over the EC2/DynamoDB suites (clean and chaos) plus per-call latency rows")
 		durableB   = flag.Bool("durable", false, "durable-tier rows: journal write path per fsync policy, spill/rehydrate latency by world size, and the sessions-beyond-RAM capacity run")
+		phasesB    = flag.Bool("phases", false, "phase-timing attribution: per-phase latency percentiles through the instrumented stack, gated on coverage vs end-to-end latency")
 		interpFlr  = flag.Float64("interp-floor", 0, "with -interp: exit non-zero if the hot-loop speedup falls below this (0 = report only)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos fault/jitter streams")
 		workers    = flag.Int("workers", 8, "worker-pool size for -alignspeed and -chaos")
@@ -246,7 +279,7 @@ func main() {
 		traceSeed  = flag.Int64("trace-seed", 1, "seed for span/trace IDs when -trace-out is set")
 	)
 	flag.Parse()
-	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos || *tenantB || *opsB || *interpB || *durableB)
+	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos || *tenantB || *opsB || *interpB || *durableB || *phasesB)
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	sha, dirty := buildVCS()
@@ -476,6 +509,53 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lce-bench: durable gate FAILED: sessions-beyond-RAM continuity broken")
 			defer os.Exit(1)
 		}
+	}
+	if *phasesB {
+		requests := 1500
+		if *short {
+			requests = 200
+		}
+		dir, err := os.MkdirTemp("", "lce-bench-phases-")
+		check(err)
+		defer os.RemoveAll(dir)
+		scs, err := eval.PhaseBench(dir, requests)
+		check(err)
+		fmt.Println(eval.FormatPhases(scs))
+		pj := &phasesJSON{}
+		for _, sc := range scs {
+			row := phaseScenarioJSON{
+				Name: sc.Name, Requests: sc.Requests,
+				Coverage: sc.Coverage, AllocsPerReq: sc.AllocsPerReq,
+				E2E: phaseStatJSON{
+					Count: sc.E2ECount, P50Ns: sc.E2EP50.Nanoseconds(),
+					P99Ns: sc.E2EP99.Nanoseconds(), MeanNs: sc.E2EMean.Nanoseconds(),
+				},
+			}
+			sawFsync := false
+			for _, ps := range sc.Phases {
+				sawFsync = sawFsync || ps.Phase == "fsync"
+				row.Phases = append(row.Phases, phaseRowJSON{
+					Phase: ps.Phase,
+					phaseStatJSON: phaseStatJSON{
+						Count: ps.Count, P50Ns: ps.P50.Nanoseconds(),
+						P99Ns: ps.P99.Nanoseconds(), MeanNs: ps.Mean.Nanoseconds(),
+					},
+				})
+			}
+			pj.Scenarios = append(pj.Scenarios, row)
+			// The spine defines end-to-end latency as the sum of phase
+			// self-times, so coverage drifting off 1.0 means a layer
+			// leaked an open region or double-counted.
+			if sc.Coverage < 0.9 || sc.Coverage > 1.1 {
+				fmt.Fprintf(os.Stderr, "lce-bench: phase gate FAILED: %s coverage %.4f outside [0.9, 1.1]\n", sc.Name, sc.Coverage)
+				defer os.Exit(1)
+			}
+			if sc.Name == "durable" && !sawFsync {
+				fmt.Fprintln(os.Stderr, "lce-bench: phase gate FAILED: durable scenario recorded no fsync phase")
+				defer os.Exit(1)
+			}
+		}
+		artifact.Phases = pj
 	}
 	if *opsB {
 		requests := 2000

@@ -94,6 +94,8 @@ func main() {
 		ttl       = flag.Duration("session-ttl", 15*time.Minute, "evict tenant sessions idle longer than this (0 = never)")
 		dataDir   = flag.String("data-dir", "", "durable tier: write-ahead journal + snapshot directory; evicted sessions spill here and a restart recovers every session (empty = in-memory only)")
 		fsyncPol  = flag.String("fsync", "batch", "journal fsync policy with -data-dir: always (sync every record) | batch (every 64 records and on rotation) | off (page cache only)")
+		stallThr  = flag.Duration("stall-threshold", 0, "durable tier: emit a durable.stall event when a journal append exceeds this (0 = default 100ms, negative = off)")
+		telemetry = flag.Duration("telemetry", 10*time.Second, "runtime telemetry sampling interval for the lce_runtime_* gauges (0 = off)")
 
 		ops        = flag.Bool("ops", true, "mount the operations plane (dimensional metrics, /debug/events, flight recorder, SLO health)")
 		logFormat  = flag.String("log-format", "text", "structured process log format: text | json | off")
@@ -110,7 +112,7 @@ func main() {
 		Chaos: *chaos, ChaosSeed: *chaosSeed, FaultRate: *faultRate,
 		TraceSeed: *traceSeed,
 		Sessions:  *sessions, Shards: *shards, SessionTTL: *ttl,
-		DataDir: *dataDir, Fsync: *fsyncPol,
+		DataDir: *dataDir, Fsync: *fsyncPol, StallThreshold: *stallThr,
 		Ops:            *ops,
 		FlightCapacity: *flightCap,
 		SLOErrorRate:   *sloErrRate,
@@ -137,6 +139,11 @@ func main() {
 				pool.Sweep()
 			}
 		}()
+	}
+	if *telemetry > 0 && srv.Obs != nil && srv.Obs.Registry != nil {
+		sampler := obsv.NewRuntimeSampler(srv.Obs.Registry, nil)
+		go sampler.Run(nil, *telemetry)
+		log.Printf("runtime telemetry: lce_runtime_* sampled every %s", *telemetry)
 	}
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, srv.Obs)

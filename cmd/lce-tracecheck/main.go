@@ -10,8 +10,12 @@
 // It fails (exit 1) when any span is malformed, references a parent
 // that is not in its trace, duplicates a span ID, belongs to a trace
 // with no root, or ends before it starts — the invariants the span
-// taxonomy guarantees. On success it prints a one-line digest (spans,
-// traces, divergences, fault events).
+// taxonomy guarantees. Spans carrying phase.* attributes (the request
+// path's timing spine) are additionally checked: every phase name must
+// be known, self-times must be non-negative integers, and their sum
+// must not exceed the span's duration. On success it prints a one-line
+// digest (spans, phase-annotated spans, traces, divergences, fault
+// events).
 //
 // Metrics mode (-metrics) checks a Prometheus/OpenMetrics text
 // exposition — typically a live scrape of a running server:
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"lce/internal/obsv"
 )
@@ -92,10 +97,20 @@ func checkTraces(path string, f io.Reader) {
 		fmt.Fprintf(os.Stderr, "lce-tracecheck: %s invalid: %v\n", path, err)
 		os.Exit(1)
 	}
+	if err := obsv.ValidatePhases(spans); err != nil {
+		fmt.Fprintf(os.Stderr, "lce-tracecheck: %s invalid: %v\n", path, err)
+		os.Exit(1)
+	}
 	traces := map[string]bool{}
-	var divergences, faults, retries int
+	var divergences, faults, retries, phased int
 	for _, sp := range spans {
 		traces[sp.TraceID] = true
+		for k := range sp.Attrs {
+			if strings.HasPrefix(k, obsv.SpanAttrPhasePfx) {
+				phased++
+				break
+			}
+		}
 		if sp.Root() && sp.Name == obsv.SpanAlignTrace && sp.Attrs["aligned"] == "false" {
 			divergences++
 		}
@@ -108,6 +123,6 @@ func checkTraces(path string, f io.Reader) {
 			}
 		}
 	}
-	fmt.Printf("%s: valid — %d spans, %d traces, %d divergences, %d injected faults, %d retries\n",
-		path, len(spans), len(traces), divergences, faults, retries)
+	fmt.Printf("%s: valid — %d spans (%d phase-annotated), %d traces, %d divergences, %d injected faults, %d retries\n",
+		path, len(spans), phased, len(traces), divergences, faults, retries)
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"lce/internal/cloudapi"
+	"lce/internal/obsv"
 )
 
 // Fsync policies for journal appends. "always" syncs every record —
@@ -155,8 +156,12 @@ func (j *journal) openSegment() error {
 }
 
 // append frames and writes one record, assigning it the next sequence
-// number, applying the fsync policy, and rotating full segments.
-func (j *journal) append(typ byte, body func(*encoder)) error {
+// number, applying the fsync policy, and rotating full segments. pt —
+// the triggering request's phase timer, nil when un-instrumented —
+// gets the file-sync time as its own "fsync" phase, nested inside the
+// caller's "journal.append" region so self-time accounting separates
+// encode+write cost from sync cost.
+func (j *journal) append(typ byte, body func(*encoder), pt *obsv.PhaseTimer) error {
 	j.seq++
 	e := &encoder{buf: make([]byte, 4, 64)} // length patched below
 	e.byte(typ)
@@ -173,14 +178,20 @@ func (j *journal) append(typ byte, body func(*encoder)) error {
 	j.segSize += int64(len(e.buf))
 	switch j.fsync {
 	case FsyncAlways:
-		if err := j.f.Sync(); err != nil {
+		region := pt.Start(obsv.PhaseFsync)
+		err := j.f.Sync()
+		region.End()
+		if err != nil {
 			return err
 		}
 	case FsyncOff:
 	default: // FsyncBatch
 		j.unsynced++
 		if j.unsynced >= batchSyncEvery {
-			if err := j.f.Sync(); err != nil {
+			region := pt.Start(obsv.PhaseFsync)
+			err := j.f.Sync()
+			region.End()
+			if err != nil {
 				return err
 			}
 			j.unsynced = 0

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lce/internal/cloudapi"
 	"lce/internal/fault"
@@ -28,6 +29,7 @@ const (
 	EventRecoverySess = "recovery.session"
 	EventRecoveryDone = "recovery.done"
 	EventJournalError = "journal.error"
+	EventStall        = "durable.stall"
 )
 
 // Defaults applied by Open when the corresponding Config field is
@@ -35,6 +37,12 @@ const (
 const (
 	DefaultSegmentMaxBytes = 1 << 20
 	DefaultCompactEvery    = 256
+	// DefaultStallThreshold is the journal-append latency past which
+	// the fsync-stall watchdog fires. 100ms is far above any healthy
+	// append (a local fsync is single-digit milliseconds) and well
+	// below the timeouts clients notice, so a firing watchdog means
+	// the disk is genuinely misbehaving.
+	DefaultStallThreshold = 100 * time.Millisecond
 )
 
 // Config tunes a Store.
@@ -61,6 +69,16 @@ type Config struct {
 	// Events, when non-nil, receives the store's operational events
 	// (Event* kinds). The server forwards them to the ops-plane bus.
 	Events func(kind, session string, attrs map[string]string)
+	// Clock times journal appends for the stall watchdog. Nil means
+	// the system clock; tests inject an obsv.FakeClock (whose Now
+	// never advances) to pin the watchdog off.
+	Clock obsv.Clock
+	// StallThreshold is the journal-append duration past which the
+	// store emits an EventStall ("durable.stall") and increments
+	// lce_durable_stalls_total — the canary for a degrading disk or a
+	// saturated fsync queue. 0 means DefaultStallThreshold; negative
+	// disables the watchdog.
+	StallThreshold time.Duration
 }
 
 // Stats is a point-in-time snapshot of store activity.
@@ -99,6 +117,10 @@ type Store struct {
 	cSpillB    *obsv.Counter
 	cRehydrate *obsv.Counter
 	cRecords   *obsv.Counter
+	cStalls    *obsv.Counter
+
+	clock          obsv.Clock
+	stallThreshold time.Duration // resolved: 0 = watchdog off
 }
 
 // Open initializes a store over cfg.Dir, creating the directory tree
@@ -126,7 +148,16 @@ func Open(cfg Config) (*Store, error) {
 			return nil, err
 		}
 	}
-	s := &Store{cfg: cfg, known: map[string]struct{}{}}
+	s := &Store{cfg: cfg, known: map[string]struct{}{}, clock: cfg.Clock}
+	if s.clock == nil {
+		s.clock = obsv.System()
+	}
+	switch {
+	case cfg.StallThreshold == 0:
+		s.stallThreshold = DefaultStallThreshold
+	case cfg.StallThreshold > 0:
+		s.stallThreshold = cfg.StallThreshold
+	}
 	for _, id := range s.scanSessions() {
 		s.known[id] = struct{}{}
 	}
@@ -136,6 +167,7 @@ func Open(cfg Config) (*Store, error) {
 		s.cSpillB = reg.Counter(obsv.MetricDurableSpillBytes)
 		s.cRehydrate = reg.Counter(obsv.MetricDurableRehydrations)
 		s.cRecords = reg.Counter(obsv.MetricDurableJournalRecords)
+		s.cStalls = reg.Counter(obsv.MetricDurableStalls)
 		s.gSessions.Add(int64(len(s.known)))
 	}
 	return s, nil
@@ -303,14 +335,20 @@ func capture(b cloudapi.Backend) (*interp.Emulator, chaosBackend) {
 // means the backend is not snapshottable and is returned unwrapped.
 // Adopt is the single rehydration path: crash recovery is lazy —
 // Recover only scans and reports at boot, and each session's state is
-// actually rebuilt here, on its first touch.
-func (s *Store) Adopt(id string, b cloudapi.Backend) (cloudapi.Backend, bool) {
+// actually rebuilt here, on its first touch. ctx is the triggering
+// request's context: when it carries an obsv.PhaseTimer, the
+// rehydration (snapshot decode + journal replay) is charged to that
+// request as its "rehydrate" phase — the latency a cold session's
+// first caller actually pays.
+func (s *Store) Adopt(ctx context.Context, id string, b cloudapi.Backend) (cloudapi.Backend, bool) {
 	emu, chaos := capture(b)
 	if emu == nil {
 		return b, false
 	}
 	sb := &sessionBackend{store: s, id: id, dir: s.sessionDir(id), inner: b, emu: emu, chaos: chaos}
+	region := obsv.PhasesFrom(ctx).Start(obsv.PhaseRehydrate)
 	startSeq, rehydrated := s.rehydrate(sb)
+	region.End()
 	sb.lastSeq = startSeq
 	if s.cfg.ReadOnly {
 		return sb, true
@@ -332,7 +370,7 @@ func (s *Store) Adopt(id string, b cloudapi.Backend) (cloudapi.Backend, bool) {
 		// matter what order sessions are re-created in.
 		seed := chaos.Cursor().Seed
 		sb.mu.Lock()
-		sb.appendLocked(recChaosInit, func(e *encoder) { e.varint(seed) })
+		sb.appendLocked(recChaosInit, func(e *encoder) { e.varint(seed) }, nil)
 		sb.mu.Unlock()
 	}
 	return sb, true
@@ -551,6 +589,8 @@ func (sb *sessionBackend) Invoke(req cloudapi.Request) (cloudapi.Result, error) 
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
 	action, params := req.Action, copyParams(req.Params)
+	pt := obsv.PhasesFrom(req.Ctx)
+	region := pt.Start(obsv.PhaseJournalAppend)
 	sb.appendLocked(recCall, func(e *encoder) {
 		e.string(action)
 		keys := make([]string, 0, len(params))
@@ -563,7 +603,8 @@ func (sb *sessionBackend) Invoke(req cloudapi.Request) (cloudapi.Result, error) 
 			e.string(k)
 			e.value(params[k])
 		}
-	})
+	}, pt)
+	region.End()
 	res, err := sb.inner.Invoke(req)
 	sb.maybeCompactLocked()
 	return res, err
@@ -575,7 +616,7 @@ func (sb *sessionBackend) Invoke(req cloudapi.Request) (cloudapi.Result, error) 
 func (sb *sessionBackend) Reset() {
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
-	sb.appendLocked(recReset, nil)
+	sb.appendLocked(recReset, nil, nil)
 	sb.inner.Reset()
 	sb.maybeCompactLocked()
 }
@@ -584,11 +625,33 @@ func (sb *sessionBackend) Reset() {
 // compaction interval. A write failure (disk full, closed file)
 // disables journaling for the session — it keeps serving from RAM,
 // its eviction becomes a drop, and the failure is surfaced once.
-func (sb *sessionBackend) appendLocked(typ byte, body func(*encoder)) {
+// pt, when non-nil, receives the fsync portion as its own phase.
+//
+// The store's stall watchdog times the whole append (frame + write +
+// sync) on the store clock: past the threshold it emits a
+// "durable.stall" event and bumps lce_durable_stalls_total, the
+// operator's early warning that the disk is the bottleneck — visible
+// even when no client is watching latency.
+func (sb *sessionBackend) appendLocked(typ byte, body func(*encoder), pt *obsv.PhaseTimer) {
 	if sb.jr == nil {
 		return
 	}
-	if err := sb.jr.append(typ, body); err != nil {
+	watch := sb.store.stallThreshold > 0
+	var t0 time.Time
+	if watch {
+		t0 = sb.store.clock.Now()
+	}
+	err := sb.jr.append(typ, body, pt)
+	if watch {
+		if d := sb.store.clock.Now().Sub(t0); d >= sb.store.stallThreshold {
+			sb.store.cStalls.Inc()
+			sb.store.emit(EventStall, sb.id, map[string]string{
+				"durationNs":  strconv.FormatInt(d.Nanoseconds(), 10),
+				"thresholdNs": strconv.FormatInt(sb.store.stallThreshold.Nanoseconds(), 10),
+			})
+		}
+	}
+	if err != nil {
 		sb.lastSeq = sb.jr.seq
 		sb.jr.closeSegment()
 		sb.jr = nil

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -107,7 +108,7 @@ func openTest(t testing.TB, dir string, mut func(*Config)) (*Store, *eventSink) 
 func adoptEmu(t testing.TB, s *Store, id string) (cloudapi.Backend, *interp.Emulator) {
 	t.Helper()
 	emu := newToyEmu(t)
-	b, ok := s.Adopt(id, emu)
+	b, ok := s.Adopt(context.Background(), id, emu)
 	if !ok {
 		t.Fatalf("Adopt(%s): not snapshottable", id)
 	}
@@ -327,7 +328,7 @@ func TestChaosSessionRecovery(t *testing.T) {
 	dir := t.TempDir()
 	s1, _ := openTest(t, dir, nil)
 	live := fault.New(newToyEmu(t), cfg)
-	b1, ok := s1.Adopt("chaos", live)
+	b1, ok := s1.Adopt(context.Background(), "chaos", live)
 	if !ok {
 		t.Fatal("chaos-wrapped emulator not snapshottable")
 	}
@@ -338,7 +339,7 @@ func TestChaosSessionRecovery(t *testing.T) {
 	// Crash and recover into a *fresh* injector with a different seed:
 	// the journaled chaos-init record must pin the original stream.
 	s2, _ := openTest(t, dir, nil)
-	b2, ok := s2.Adopt("chaos", fault.New(newToyEmu(t), fault.Uniform(0.4, 12345)))
+	b2, ok := s2.Adopt(context.Background(), "chaos", fault.New(newToyEmu(t), fault.Uniform(0.4, 12345)))
 	if !ok {
 		t.Fatal("recovered chaos backend not snapshottable")
 	}
@@ -388,7 +389,7 @@ func TestReadOnlyStore(t *testing.T) {
 func TestAdoptNonSnapshottable(t *testing.T) {
 	s, _ := openTest(t, t.TempDir(), nil)
 	nb := opaqueBackend{}
-	if b, ok := s.Adopt("x", nb); ok || b != cloudapi.Backend(nb) {
+	if b, ok := s.Adopt(context.Background(), "x", nb); ok || b != cloudapi.Backend(nb) {
 		t.Fatalf("Adopt of an opaque backend: ok=%v", ok)
 	}
 	if s.Count() != 0 {

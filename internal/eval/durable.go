@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -125,7 +126,7 @@ func DurableBench(dir string, calls int, worldSizes []int, cycles, sessions, res
 		if err != nil {
 			return nil, err
 		}
-		b, ok := store.Adopt("bench", emu)
+		b, ok := store.Adopt(context.Background(), "bench", emu)
 		if !ok {
 			return nil, fmt.Errorf("eval: durable adopt failed")
 		}
@@ -142,7 +143,7 @@ func DurableBench(dir string, calls int, worldSizes []int, cycles, sessions, res
 		if err != nil {
 			return nil, err
 		}
-		b, ok := store.Adopt("cycle", emu)
+		b, ok := store.Adopt(context.Background(), "cycle", emu)
 		if !ok {
 			return nil, fmt.Errorf("eval: durable adopt failed")
 		}
@@ -161,7 +162,7 @@ func DurableBench(dir string, calls int, worldSizes []int, cycles, sessions, res
 				return nil, err
 			}
 			start = time.Now()
-			b, ok = store.Adopt("cycle", fresh)
+			b, ok = store.Adopt(context.Background(), "cycle", fresh)
 			if !ok {
 				return nil, fmt.Errorf("eval: durable re-adopt failed")
 			}

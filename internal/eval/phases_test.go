@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPhaseBench(t *testing.T) {
+	scs, err := PhaseBench(t.TempDir(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 || scs[0].Name != "hot" || scs[1].Name != "durable" {
+		t.Fatalf("scenarios = %+v, want hot+durable", scs)
+	}
+	for _, sc := range scs {
+		if sc.E2ECount < int64(sc.Requests) {
+			t.Errorf("%s: e2e count %d < %d requests", sc.Name, sc.E2ECount, sc.Requests)
+		}
+		// The timing spine defines e2e latency as the sum of phase
+		// self-times, so coverage must hold tightly — drift means a
+		// layer leaked an open region.
+		if sc.Coverage < 0.9 || sc.Coverage > 1.1 {
+			t.Errorf("%s: coverage %.4f outside [0.9, 1.1]", sc.Name, sc.Coverage)
+		}
+		phases := map[string]PhaseStat{}
+		for _, ps := range sc.Phases {
+			phases[ps.Phase] = ps
+		}
+		for _, want := range []string{"decode", "session.lookup", "interp.dispatch", "encode", "other"} {
+			if _, ok := phases[want]; !ok {
+				t.Errorf("%s: phase %q missing (have %v)", sc.Name, want, sc.Phases)
+			}
+		}
+		if sc.Name == "durable" {
+			for _, want := range []string{"journal.append", "fsync", "rehydrate"} {
+				if _, ok := phases[want]; !ok {
+					t.Errorf("durable: phase %q missing (have %v)", want, sc.Phases)
+				}
+			}
+		}
+	}
+	out := FormatPhases(scs)
+	if !strings.Contains(out, "hot") || !strings.Contains(out, "end-to-end") {
+		t.Errorf("FormatPhases output missing sections:\n%s", out)
+	}
+}

@@ -282,6 +282,8 @@ func sessionOf(r *http.Request) string { return r.Header.Get(SessionHeader) }
 // backendFor resolves the backend owning the request's session. On a
 // pool-less server only the default session exists.
 func (s *server) backendFor(r *http.Request) (cloudapi.Backend, error) {
+	region := obsv.PhasesFrom(r.Context()).Start(obsv.PhaseSessionLookup)
+	defer region.End()
 	sid := sessionOf(r)
 	if s.pool == nil {
 		if sid == "" || sid == tenant.DefaultSession {
@@ -290,7 +292,10 @@ func (s *server) backendFor(r *http.Request) (cloudapi.Backend, error) {
 		return nil, cloudapi.Errf(cloudapi.CodeInvalidSession,
 			"this server is single-tenant: session %q is unavailable (no session pool mounted)", sid)
 	}
-	return s.pool.Get(sid)
+	// GetCtx threads the request context down so a first-touch
+	// rehydration in the spill tier nests as this lookup's
+	// "rehydrate" child phase.
+	return s.pool.GetCtx(r.Context(), sid)
 }
 
 // legacyInvoke is the pre-v2 invoke: action and params in the body,
@@ -351,7 +356,12 @@ func (s *server) invoke(w http.ResponseWriter, r *http.Request, b cloudapi.Backe
 			sp.SetAttr("session", sid)
 		}
 	}
+	// The dispatch region covers every backend kind; for the learned
+	// backend the interpreter opens its own same-named region inside it
+	// and self-time accounting merges the two.
+	region := obsv.PhasesFrom(r.Context()).Start(obsv.PhaseDispatch)
 	res, err := b.Invoke(cloudapi.Request{Action: req.Action, Params: cloudapi.Params(req.Params), Ctx: r.Context()})
+	region.End()
 	if err != nil {
 		s.writeInvokeError(w, b, req, reqID, err)
 		return
@@ -361,7 +371,7 @@ func (s *server) invoke(w http.ResponseWriter, r *http.Request, b cloudapi.Backe
 		resp.RequestID = reqID
 		w.Header().Set(RequestIDHeader, reqID)
 	}
-	writeWireResponse(w, http.StatusOK, resp)
+	writeWireResponse(w, http.StatusOK, resp, obsv.PhasesFrom(r.Context()))
 }
 
 // envelopePool recycles success-envelope buffers across requests. The
@@ -386,7 +396,11 @@ const envelopePoolMaxCap = 64 << 10
 // sorted result keys, HTML-escaped strings, trailing newline — as
 // TestWireResponseBytes asserts; external tooling greps response
 // bodies, so the wire format is a compatibility surface.
-func writeWireResponse(w http.ResponseWriter, status int, resp wireResponse) {
+func writeWireResponse(w http.ResponseWriter, status int, resp wireResponse, pt *obsv.PhaseTimer) {
+	// The encode region closes before WriteHeader, so the "encode"
+	// phase makes it into the Server-Timing header the status write
+	// emits.
+	region := pt.Start(obsv.PhaseEncode)
 	bp := envelopePool.Get().(*[]byte)
 	buf := (*bp)[:0]
 	buf = append(buf, '{')
@@ -403,6 +417,7 @@ func writeWireResponse(w http.ResponseWriter, status int, resp wireResponse) {
 		buf = cloudapi.AppendJSON(buf, &mv)
 	}
 	buf = append(buf, '}', '\n')
+	region.End()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(buf)
@@ -448,13 +463,17 @@ func (s *server) v2Batch(w http.ResponseWriter, r *http.Request) {
 	if !s.checkService(w, r, reqID) {
 		return
 	}
+	region := obsv.PhasesFrom(r.Context()).Start(obsv.PhaseDecode)
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
+		region.End()
 		s.malformed(w, reqID, "cannot read body: %v", err)
 		return
 	}
 	var breq wireBatchRequest
-	if err := json.Unmarshal(body, &breq); err != nil {
+	err = json.Unmarshal(body, &breq)
+	region.End()
+	if err != nil {
 		s.malformed(w, reqID, "malformed batch: %v", err)
 		return
 	}
@@ -498,7 +517,9 @@ func (s *server) v2Batch(w http.ResponseWriter, r *http.Request) {
 			resp.Failed++
 		} else {
 			s.requests.Add(1)
+			region := obsv.PhasesFrom(r.Context()).Start(obsv.PhaseDispatch)
 			res, err := b.Invoke(cloudapi.Request{Action: item.Action, Params: cloudapi.Params(item.Params), Ctx: r.Context()})
+			region.End()
 			if err != nil {
 				resp.Items = append(resp.Items, wireBatchItem{Error: s.invokeError(b, item, err)})
 				resp.Failed++
@@ -514,8 +535,22 @@ func (s *server) v2Batch(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	// Encode the batch envelope up front (byte-identical to writeJSON's
+	// json.Encoder: Marshal plus the trailing newline Encode appends)
+	// so the encode region closes before the status commit and the
+	// phase reaches the Server-Timing header.
+	region = obsv.PhasesFrom(r.Context()).Start(obsv.PhaseEncode)
+	data, err := json.Marshal(resp)
+	region.End()
+	if err != nil {
+		s.writeAPIError(w, reqID, err)
+		return
+	}
+	data = append(data, '\n')
 	w.Header().Set(RequestIDHeader, reqID)
-	writeJSON(w, http.StatusOK, resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 // v2Sessions reports tenant-pool occupancy (mounted only on pool
@@ -543,6 +578,8 @@ func (s *server) v2Sessions(w http.ResponseWriter, r *http.Request) {
 // zero-parameter request on v2 (the action rides in the query), so
 // decoding failures are only reported for non-empty bodies.
 func (s *server) readRequest(w http.ResponseWriter, r *http.Request, reqID string) (wireRequest, bool) {
+	region := obsv.PhasesFrom(r.Context()).Start(obsv.PhaseDecode)
+	defer region.End()
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		s.malformed(w, reqID, "cannot read body: %v", err)
@@ -625,16 +662,23 @@ func (s *server) malformed(w http.ResponseWriter, reqID, format string, args ...
 // statusWriter captures the response status for the instrumentation
 // layer; an unset status means an implicit 200 from the first Write.
 // A non-nil tee additionally mirrors the response bytes (for the
-// flight recorder and the error-code label).
+// flight recorder and the error-code label). A non-nil phases timer
+// renders the request's phase breakdown as a Server-Timing header at
+// the moment the status commits — the last point headers can still
+// change, by which time every pre-write phase has closed.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	tee    *bytes.Buffer
+	phases *obsv.PhaseTimer
 }
 
 func (w *statusWriter) WriteHeader(status int) {
 	if w.status == 0 {
 		w.status = status
+		if h := w.phases.ServerTiming(); h != "" {
+			w.Header().Set("Server-Timing", h)
+		}
 	}
 	w.ResponseWriter.WriteHeader(status)
 }

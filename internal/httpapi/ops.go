@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	"lce/internal/cloudapi"
 	"lce/internal/obsv"
@@ -114,6 +116,11 @@ func (s *server) instrument(route string, fn http.HandlerFunc) http.HandlerFunc 
 			sp.SetAttr("method", r.Method)
 			sp.SetAttr("route", route)
 		}
+		// The phase timer rides the request context through every
+		// layer; pooled, so the instrumented path stays allocation-
+		// stable per request.
+		pt := obsv.AcquirePhaseTimer(clock)
+		ctx = obsv.ContextWithPhases(ctx, pt)
 		var reqBody []byte
 		if capture {
 			// Buffer the request wire bytes for the flight record and
@@ -125,14 +132,30 @@ func (s *server) instrument(route string, fn http.HandlerFunc) http.HandlerFunc 
 		if ops != nil {
 			sw.tee = &bytes.Buffer{}
 		}
+		if strings.HasPrefix(route, "v2.") {
+			// /v2 responses advertise the phase breakdown as a
+			// Server-Timing header, injected when the handler commits
+			// its status — by which point every pre-write phase
+			// (decode through encode) has closed.
+			sw.phases = pt
+		}
+		// The catch-all region makes the named phases tile the handler
+		// window exactly: whatever no layer claimed is "other", and
+		// pt.Total() — the sum of phase self-times — IS the end-to-end
+		// handler latency. The bench's coverage gate leans on that.
+		outer := pt.Start(obsv.PhaseOther)
 		fn(sw, r.WithContext(ctx))
+		outer.End()
 		status := sw.statusOrOK()
 		sp.SetAttrInt("status", int64(status))
 		if status >= 400 {
 			sp.SetError("status " + strconv.Itoa(status))
 		}
+		pt.Each(func(name string, self time.Duration, _ uint32) {
+			sp.SetAttrInt(obsv.SpanAttrPhasePfx+name, self.Nanoseconds())
+		})
 		sp.End()
-		dur := clock.Now().Sub(start)
+		dur := pt.Total()
 
 		code, action := "", ""
 		if ops != nil {
@@ -155,6 +178,17 @@ func (s *server) instrument(route string, fn http.HandlerFunc) http.HandlerFunc 
 			} else {
 				h.ObserveDuration(dur)
 			}
+			// Per-phase self-time histograms: lce_phase_seconds sums
+			// to lce_http_request_seconds by construction, so a
+			// dashboard can stack the phases under the request curve.
+			pt.Each(func(name string, self time.Duration, _ uint32) {
+				ph := reg.Histogram(obsv.MetricPhaseSeconds, "phase", name, "service", service)
+				if ops != nil && sp != nil {
+					ph.ObserveDurationExemplar(self, sp.TraceID())
+				} else {
+					ph.ObserveDuration(self)
+				}
+			})
 			if ops != nil {
 				session := sessionOf(r)
 				if session == "" {
@@ -183,9 +217,14 @@ func (s *server) instrument(route string, fn http.HandlerFunc) http.HandlerFunc 
 					LatencyNs:    dur.Nanoseconds(),
 					RequestBody:  string(reqBody),
 					ResponseBody: sw.tee.String(),
+					Phases:       pt.Map(),
 				})
 			}
 		}
+		// Every consumer above copied what it needed; the contexts
+		// holding pt died with the handler, so it can go back to the
+		// pool.
+		pt.Release()
 	}
 }
 

@@ -32,7 +32,7 @@ func TestWireResponseBytes(t *testing.T) {
 			t.Fatal(err)
 		}
 		rec := httptest.NewRecorder()
-		writeWireResponse(rec, 200, resp)
+		writeWireResponse(rec, 200, resp, nil)
 		if got := rec.Body.String(); got != want.String() {
 			t.Errorf("envelope %+v\n got %q\nwant %q", resp, got, want.String())
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"lce/internal/cloudapi"
+	"lce/internal/obsv"
 	"lce/internal/spec"
 )
 
@@ -173,8 +174,14 @@ func putEnv(e *env) {
 // assertions, dependency violations) come back as *cloudapi.APIError;
 // other errors indicate a malfunctioning spec or framework bug.
 func (e *Emulator) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
+	// The "interp.dispatch" phase covers lock wait + execution — the
+	// emulator's whole contribution to a request. PhasesFrom on a nil
+	// or bare context is a nil timer and the region is free, so the
+	// compiled hot path stays zero-alloc when uninstrumented.
+	region := obsv.PhasesFrom(req.Ctx).Start(obsv.PhaseDispatch)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer region.End()
 	if e.prog != nil {
 		return e.prog.invoke(e.world, req)
 	}

@@ -1,0 +1,55 @@
+// Package leakcheck fails a test that leaks goroutines. The e2e tests
+// that assemble full server stacks (SSE subscribers, tenant sweepers,
+// telemetry samplers) use it to prove everything they started is torn
+// down by the time the test returns.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and registers a cleanup
+// that fails t if, after a grace period for in-flight shutdowns, more
+// goroutines are running than when the test began. Call it first in
+// the test, before anything is spawned.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Shutdown is asynchronous (connection teardown, ticker stops),
+		// so retry before declaring a leak.
+		deadline := time.Now().Add(2 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if now > before {
+			t.Errorf("leakcheck: %d goroutine(s) leaked (%d -> %d)\n%s",
+				now-before, before, now, stacks())
+		}
+	})
+}
+
+// stacks dumps all goroutine stacks, trimmed to keep failure output
+// readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	const limit = 8192
+	if len(s) > limit {
+		if cut := strings.LastIndex(s[:limit], "\n\n"); cut > 0 {
+			return fmt.Sprintf("%s\n... (%d bytes of stacks elided)", s[:cut], len(s)-cut)
+		}
+		return s[:limit]
+	}
+	return s
+}

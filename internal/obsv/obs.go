@@ -63,6 +63,19 @@ const (
 	MetricDurableSpillBytes     = "lce_durable_spill_bytes_total"
 	MetricDurableRehydrations   = "lce_durable_rehydrations_total"
 	MetricDurableJournalRecords = "lce_durable_journal_records_total"
+	MetricDurableStalls         = "lce_durable_stalls_total"
+
+	// Latency-attribution series: per-phase self-time histograms
+	// labelled {phase,service}, recorded by the PhaseTimer spine.
+	MetricPhaseSeconds = "lce_phase_seconds"
+
+	// Runtime telemetry series (RuntimeSampler): process health
+	// sampled on the injectable clock.
+	MetricRuntimeGoroutines  = "lce_runtime_goroutines"
+	MetricRuntimeHeapBytes   = "lce_runtime_heap_alloc_bytes"
+	MetricRuntimeHeapObjects = "lce_runtime_heap_objects"
+	MetricRuntimeGCCycles    = "lce_runtime_gc_cycles_total"
+	MetricRuntimeGCPauseNs   = "lce_runtime_gc_pause_ns_total"
 )
 
 // Obs bundles a tracer and a registry — the two halves of the

@@ -1,0 +1,47 @@
+package obsv
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerNil(t *testing.T) {
+	var s *RuntimeSampler
+	s.Sample() // must not panic
+	s.Run(nil, time.Second)
+	if got := NewRuntimeSampler(nil, nil); got != nil {
+		t.Fatalf("NewRuntimeSampler(nil) = %v, want nil", got)
+	}
+}
+
+func TestRuntimeSamplerSample(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg, NewFakeClock(time.Time{}))
+	s.Sample()
+
+	if got := reg.Gauge(MetricRuntimeGoroutines).Value(); got < 1 {
+		t.Fatalf("goroutines gauge = %d, want >= 1", got)
+	}
+	if got := reg.Gauge(MetricRuntimeHeapBytes).Value(); got <= 0 {
+		t.Fatalf("heap bytes gauge = %d, want > 0", got)
+	}
+	if got := reg.Gauge(MetricRuntimeHeapObjects).Value(); got <= 0 {
+		t.Fatalf("heap objects gauge = %d, want > 0", got)
+	}
+
+	// Force a GC cycle and re-sample: the cycle counter must advance by
+	// the delta (monotone), not reset to the absolute runtime total.
+	before := reg.Counter(MetricRuntimeGCCycles).Value()
+	runtime.GC()
+	s.Sample()
+	after := reg.Counter(MetricRuntimeGCCycles).Value()
+	if after < before+1 {
+		t.Fatalf("gc cycles counter %d -> %d, want an increase", before, after)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if after > int64(ms.NumGC) {
+		t.Fatalf("gc cycles counter %d exceeds runtime total %d (double counting)", after, ms.NumGC)
+	}
+}

@@ -428,6 +428,7 @@ type ctxKey int
 const (
 	spanCtxKey ctxKey = iota
 	registryCtxKey
+	phaseCtxKey
 )
 
 // ContextWithSpan returns ctx carrying sp as the current span.

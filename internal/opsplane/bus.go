@@ -57,6 +57,9 @@ const (
 	KindRecoverySession   = "recovery.session"
 	KindRecoveryDone      = "recovery.done"
 	KindJournalError      = "journal.error"
+	// KindDurableStall flags a journal append that blew past the
+	// store's stall threshold — the fsync-stall watchdog's output.
+	KindDurableStall = "durable.stall"
 )
 
 // Filter selects a subset of the event stream. Empty fields match

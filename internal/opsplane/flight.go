@@ -32,6 +32,12 @@ type FlightRecord struct {
 	// lce-replay's byte-diff must see what actually crossed the wire.
 	RequestBody  string `json:"requestBody,omitempty"`
 	ResponseBody string `json:"responseBody,omitempty"`
+	// Phases is the request's latency attribution: phase name →
+	// self-time nanoseconds, from the obsv.PhaseTimer that rode the
+	// request. The values sum to LatencyNs (minus the writer's own
+	// post-handler accounting), so a flight dump doubles as a
+	// per-request latency profile.
+	Phases map[string]int64 `json:"phases,omitempty"`
 }
 
 // FlightDumpSchema versions the dump format for lce-replay.

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"lce/internal/obsv"
 )
@@ -41,18 +42,28 @@ type Config struct {
 	LogHandler slog.Handler
 	// LogSession scopes the process log (not the bus) to one tenant.
 	LogSession string
+	// Heartbeat is the SSE keepalive interval for /debug/events: an
+	// idle stream writes a ": keepalive" comment this often so
+	// proxies and idle-timeout middleboxes don't kill quiet streams.
+	// 0 means DefaultHeartbeat; negative disables keepalives.
+	Heartbeat time.Duration
 }
+
+// DefaultHeartbeat is the SSE keepalive interval when Config leaves it
+// zero — comfortably inside the common 30–60s proxy idle timeouts.
+const DefaultHeartbeat = 15 * time.Second
 
 // Plane bundles the four operations-plane subsystems behind one
 // pointer. A nil *Plane is fully disabled: every method is a no-op and
 // the instrumented paths run exactly as if the plane never existed
 // (pay-for-what-you-use).
 type Plane struct {
-	service string
-	clock   obsv.Clock
-	Bus     *Bus
-	Flight  *FlightRecorder
-	Health  *Health
+	service   string
+	clock     obsv.Clock
+	heartbeat time.Duration // resolved: 0 = keepalives off
+	Bus       *Bus
+	Flight    *FlightRecorder
+	Health    *Health
 	// Logger fans through the bus and the configured process-log
 	// handler; hand it to anything that wants slog.
 	Logger *slog.Logger
@@ -73,9 +84,17 @@ func New(cfg Config) *Plane {
 	if clock == nil {
 		clock = obsv.System()
 	}
+	heartbeat := cfg.Heartbeat
+	switch {
+	case heartbeat == 0:
+		heartbeat = DefaultHeartbeat
+	case heartbeat < 0:
+		heartbeat = 0
+	}
 	p := &Plane{
 		service:     cfg.Service,
 		clock:       clock,
+		heartbeat:   heartbeat,
 		Bus:         NewBus(reg),
 		Flight:      NewFlightRecorder(cfg.FlightCapacity, reg),
 		Health:      NewHealth(cfg.Objectives, cfg.Clock, reg),
@@ -178,6 +197,14 @@ func (p *Plane) spanEnded(d obsv.SpanData) {
 		"name":       d.Name,
 		"durationNs": fmt.Sprintf("%d", d.Duration().Nanoseconds()),
 	}
+	// Phase attributes ride the span-end event verbatim, so an SSE
+	// subscriber sees each request's latency attribution live without
+	// scraping the trace export.
+	for k, v := range d.Attrs {
+		if strings.HasPrefix(k, obsv.SpanAttrPhasePfx) {
+			e.Attrs[k] = v
+		}
+	}
 	if d.Error != "" {
 		e.Attrs["error"] = d.Error
 	}
@@ -251,10 +278,24 @@ func (p *Plane) ServeEvents(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, ": stream open\n\n")
 	flusher.Flush()
 
+	// Keepalive comments let an idle stream survive proxy and LB idle
+	// timeouts; SSE clients ignore comment lines, so the event protocol
+	// is unchanged. The ticker runs on real time deliberately — the
+	// middleboxes being outlived do too.
+	var heartbeat <-chan time.Time
+	if p.heartbeat > 0 {
+		t := time.NewTicker(p.heartbeat)
+		defer t.Stop()
+		heartbeat = t.C
+	}
+
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-heartbeat:
+			fmt.Fprintf(w, ": keepalive\n\n")
+			flusher.Flush()
 		case e, open := <-sub.Events():
 			if !open {
 				if sub.SlowConsumer() {

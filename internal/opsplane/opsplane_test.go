@@ -494,3 +494,100 @@ func TestServeHealthzFlip(t *testing.T) {
 		t.Fatalf("nil plane healthz = %d", rec.Code)
 	}
 }
+
+// TestServeEventsHeartbeat: an idle SSE stream must carry ": keepalive"
+// comments at the configured interval so intermediaries don't reap the
+// connection, and a real event arriving between heartbeats still
+// parses as a normal frame.
+func TestServeEventsHeartbeat(t *testing.T) {
+	p := New(Config{Service: "ec2", Obs: obsv.New(1, 16), Heartbeat: 20 * time.Millisecond})
+	srv := httptest.NewServer(http.HandlerFunc(p.ServeEvents))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type line struct {
+		text string
+		err  error
+	}
+	lines := make(chan line, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- line{text: sc.Text()}
+		}
+		lines <- line{err: sc.Err()}
+	}()
+	read := func(what string) string {
+		select {
+		case l := <-lines:
+			if l.err != nil {
+				t.Fatalf("stream error waiting for %s: %v", what, l.err)
+			}
+			return l.text
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+			return ""
+		}
+	}
+
+	// Nothing is published: the only traffic is comments (the opening
+	// banner, then keepalives).
+	keepalives := 0
+	for keepalives < 2 {
+		l := read("keepalive")
+		switch {
+		case l == ": keepalive":
+			keepalives++
+		case l == "" || strings.HasPrefix(l, ":"):
+			// blank separators and other comments are fine
+		default:
+			t.Fatalf("idle stream sent non-comment line %q", l)
+		}
+	}
+
+	p.Publish(Event{Kind: KindSpanEnd})
+	var frame []string
+	for {
+		l := read("event frame")
+		if strings.HasPrefix(l, ":") {
+			continue // keepalives may interleave
+		}
+		if l == "" {
+			if len(frame) > 0 {
+				break
+			}
+			continue
+		}
+		frame = append(frame, l)
+	}
+	if len(frame) != 3 || frame[1] != "event: span.end" {
+		t.Fatalf("frame after heartbeats wrong: %q", frame)
+	}
+}
+
+// TestServeEventsNoHeartbeatWhenDisabled: a negative interval turns
+// keepalives off — an idle stream stays silent.
+func TestServeEventsNoHeartbeatWhenDisabled(t *testing.T) {
+	p := New(Config{Service: "ec2", Obs: obsv.New(1, 16), Heartbeat: -1})
+	srv := httptest.NewServer(http.HandlerFunc(p.ServeEvents))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 256)
+	n, _ := resp.Body.Read(buf) // blocks until ctx deadline kills the idle stream
+	if got := string(buf[:n]); strings.Contains(got, "keepalive") {
+		t.Fatalf("disabled heartbeat still sent %q", got)
+	}
+}

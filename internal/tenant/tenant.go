@@ -21,6 +21,7 @@ package tenant
 
 import (
 	"container/list"
+	"context"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -87,8 +88,12 @@ type Config struct {
 type SpillTier interface {
 	// Adopt wraps a freshly created session backend, rehydrating any
 	// state the tier already holds for the session. ok=false means
-	// the backend cannot be persisted and is returned unwrapped.
-	Adopt(session string, b cloudapi.Backend) (wrapped cloudapi.Backend, ok bool)
+	// the backend cannot be persisted and is returned unwrapped. The
+	// context is the triggering request's (context.Background() for
+	// internal adoption): the tier reads the request's latency
+	// attribution from it so rehydration time is charged to the
+	// request that paid it.
+	Adopt(ctx context.Context, session string, b cloudapi.Backend) (wrapped cloudapi.Backend, ok bool)
 	// Spill persists the session's state so the resident world can be
 	// released, returning the bytes written. An error means the state
 	// was not persisted and the eviction is a plain drop.
@@ -274,10 +279,18 @@ func (p *Pool) shardFor(id string) *shard {
 // rejected with cloudapi.CodeInvalidSession, so the HTTP layer can
 // forward the error verbatim.
 func (p *Pool) Get(id string) (cloudapi.Backend, error) {
+	return p.GetCtx(context.Background(), id)
+}
+
+// GetCtx is Get carrying the triggering request's context, so a
+// first-touch rehydration in the spill tier is attributed (via the
+// context's obsv.PhaseTimer, when present) to the request that paid
+// for it.
+func (p *Pool) GetCtx(ctx context.Context, id string) (cloudapi.Backend, error) {
 	if id == "" || id == DefaultSession {
 		p.defMu.Lock()
 		if p.def == nil {
-			p.def = p.adopt(DefaultSession, p.factory())
+			p.def = p.adopt(ctx, DefaultSession, p.factory())
 			p.gSessions.Add(1)
 		}
 		b := p.def
@@ -309,7 +322,7 @@ func (p *Pool) Get(id string) (cloudapi.Backend, error) {
 	// exists to draw. The spill tier adopts the product, transparently
 	// rehydrating any state it holds for this id (a spilled world, or
 	// one a crashed process left behind).
-	sess := &session{id: id, backend: p.adopt(id, p.factory()), lastUsed: now}
+	sess := &session{id: id, backend: p.adopt(ctx, id, p.factory()), lastUsed: now}
 	sh.sessions[id] = sh.lru.PushFront(sess)
 	p.misses.Add(1)
 	p.cMisses.Inc()
@@ -338,11 +351,11 @@ func (p *Pool) expireLocked(sh *shard, now time.Time) {
 }
 
 // adopt hands a fresh backend to the spill tier, if one is mounted.
-func (p *Pool) adopt(id string, b cloudapi.Backend) cloudapi.Backend {
+func (p *Pool) adopt(ctx context.Context, id string, b cloudapi.Backend) cloudapi.Backend {
 	if p.spill == nil {
 		return b
 	}
-	wb, ok := p.spill.Adopt(id, b)
+	wb, ok := p.spill.Adopt(ctx, id, b)
 	if !ok {
 		return b
 	}

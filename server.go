@@ -1,6 +1,7 @@
 package lce
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -146,6 +147,13 @@ type ServerConfig struct {
 	Fsync        string
 	ReadOnlyData bool
 
+	// StallThreshold arms the durable tier's fsync-stall watchdog: a
+	// journal append slower than this emits a "durable.stall" event
+	// and bumps lce_durable_stalls_total. 0 means
+	// durable.DefaultStallThreshold; negative disables the watchdog.
+	// Only meaningful with DataDir.
+	StallThreshold time.Duration
+
 	// Ops mounts the operations plane. FlightCapacity sizes the
 	// recorder window (0 = opsplane.DefaultFlightCapacity);
 	// SLOErrorRate and SLOP99 set the health targets (both 0 = the
@@ -221,11 +229,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	var recovered []durable.RecoveredSession
 	if cfg.DataDir != "" {
 		store, err = durable.Open(durable.Config{
-			Dir:      cfg.DataDir,
-			Fsync:    cfg.Fsync,
-			ReadOnly: cfg.ReadOnlyData,
-			Registry: ob.Registry,
-			Events:   ops.OnDurable(),
+			Dir:            cfg.DataDir,
+			Fsync:          cfg.Fsync,
+			ReadOnly:       cfg.ReadOnlyData,
+			Registry:       ob.Registry,
+			Events:         ops.OnDurable(),
+			Clock:          cfg.Clock,
+			StallThreshold: cfg.StallThreshold,
 		})
 		if err != nil {
 			return nil, err
@@ -254,7 +264,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		// Single-tenant server: the one backend is the "default"
 		// session — journal it so even a pool-less server survives a
 		// restart.
-		b, _ = store.Adopt(tenant.DefaultSession, b)
+		b, _ = store.Adopt(context.Background(), tenant.DefaultSession, b)
 	}
 	return &Server{
 		Handler:   httpapi.New(b, httpapi.WithPool(pool), httpapi.WithObs(ob), httpapi.WithOps(ops)),

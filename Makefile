@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke phase-smoke ci
+.PHONY: build test race lint bench chaos obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke phase-smoke cluster-smoke ci
 
 build:
 	$(GO) build ./...
@@ -187,4 +187,57 @@ phase-smoke:
 	curl -sf 127.0.0.1:4603/metrics | grep -q 'lce_phase_seconds_count' || { echo "lce_phase_seconds missing from live scrape"; exit 1; }; \
 	echo "phase smoke: Server-Timing + live phase histograms OK"
 
-ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke phase-smoke
+# Cluster smoke: the scale-out tier end to end with real processes.
+# Three learned lce-server nodes share one data directory with -fsync
+# always; an lce-router fronts them with a fast prober. Sessions
+# accumulate state through the router while a control server receives
+# the same calls with the same request IDs; one node is kill -9'd
+# mid-traffic, and after the ring rebalances every session must
+# answer byte-identically to the control — the surviving owners adopt
+# the dead node's sessions from the shared directory, and any 5xx in
+# the failover window must carry the unified transient envelope. The
+# /v2/cluster view must report the death and /v2/sessions must
+# aggregate the fleet. The -cluster bench leaves bench-cluster.json
+# behind and itself exits non-zero if live migration breaks byte
+# continuity.
+cluster-smoke:
+	$(GO) test -race ./internal/cluster/...
+	$(GO) build -o lce-server-cluster ./cmd/lce-server
+	$(GO) build -o lce-router-cluster ./cmd/lce-router
+	@set -e; \
+	datadir=$$(mktemp -d); \
+	trap 'kill $$p1 $$p2 $$p3 $$pr $$pc 2>/dev/null || true; rm -f lce-server-cluster lce-router-cluster; rm -rf $$datadir' EXIT; \
+	./lce-server-cluster -service ec2 -backend learned -node n1 -data-dir $$datadir -fsync always -addr 127.0.0.1:4611 -log-format off >/dev/null 2>&1 & p1=$$!; \
+	./lce-server-cluster -service ec2 -backend learned -node n2 -data-dir $$datadir -fsync always -addr 127.0.0.1:4612 -log-format off >/dev/null 2>&1 & p2=$$!; \
+	./lce-server-cluster -service ec2 -backend learned -node n3 -data-dir $$datadir -fsync always -addr 127.0.0.1:4613 -log-format off >/dev/null 2>&1 & p3=$$!; \
+	./lce-server-cluster -service ec2 -backend learned -addr 127.0.0.1:4614 -log-format off >/dev/null 2>&1 & pc=$$!; \
+	for port in 4611 4612 4613 4614; do for i in $$(seq 1 50); do curl -sf 127.0.0.1:$$port/healthz >/dev/null && break; sleep 0.1; done; done; \
+	./lce-router-cluster -addr 127.0.0.1:4610 -nodes n1=http://127.0.0.1:4611,n2=http://127.0.0.1:4612,n3=http://127.0.0.1:4613 -probe-interval 200ms -fail-threshold 1 >/dev/null 2>&1 & pr=$$!; \
+	for i in $$(seq 1 50); do curl -sf 127.0.0.1:4610/healthz >/dev/null && break; sleep 0.1; done; \
+	for s in 1 2 3 4 5 6; do for c in 1 2; do \
+		r=$$(curl -s -XPOST -H "X-LCE-Session: smoke-$$s" -H "X-LCE-Request-Id: pre-$$s-$$c" "127.0.0.1:4610/v2/ec2?Action=CreateVpc" -d "{\"params\":{\"cidrBlock\":\"10.$$c.0.0/16\"}}"); \
+		k=$$(curl -s -XPOST -H "X-LCE-Session: smoke-$$s" -H "X-LCE-Request-Id: pre-$$s-$$c" "127.0.0.1:4614/v2/ec2?Action=CreateVpc" -d "{\"params\":{\"cidrBlock\":\"10.$$c.0.0/16\"}}"); \
+		[ "$$r" = "$$k" ] || { echo "pre-kill divergence (session $$s call $$c):"; echo "router : $$r"; echo "control: $$k"; exit 1; }; \
+	done; done; \
+	kill -9 $$p2; \
+	sleep 1; \
+	for s in 1 2 3 4 5 6; do \
+		for i in $$(seq 1 30); do \
+			code=$$(curl -s -o /tmp/lce-cluster-smoke-body -w '%{http_code}' -XPOST -H "X-LCE-Session: smoke-$$s" -H "X-LCE-Request-Id: post-$$s" "127.0.0.1:4610/v2/ec2?Action=DescribeVpcs"); \
+			[ "$$code" = 502 ] || [ "$$code" = 503 ] || break; \
+			grep -q '"__error":true' /tmp/lce-cluster-smoke-body || { echo "failover 5xx without unified envelope: $$(cat /tmp/lce-cluster-smoke-body)"; exit 1; }; \
+			sleep 0.2; \
+		done; \
+		r=$$(cat /tmp/lce-cluster-smoke-body); \
+		k=$$(curl -s -XPOST -H "X-LCE-Session: smoke-$$s" -H "X-LCE-Request-Id: post-$$s" "127.0.0.1:4614/v2/ec2?Action=DescribeVpcs"); \
+		[ "$$r" = "$$k" ] || { echo "post-kill divergence (session $$s):"; echo "router : $$r"; echo "control: $$k"; exit 1; }; \
+	done; \
+	out=$$(curl -s 127.0.0.1:4610/v2/cluster); \
+	echo "$$out" | grep -q '"healthy":false' || { echo "cluster view missing dead node: $$out"; exit 1; }; \
+	out=$$(curl -s 127.0.0.1:4610/v2/sessions); \
+	echo "$$out" | grep -q '"cluster":true' || { echo "fleet sessions aggregation broken: $$out"; exit 1; }; \
+	rm -f /tmp/lce-cluster-smoke-body; \
+	echo "cluster smoke: 3-node fleet, kill -9 failover, byte parity vs control, fleet views all OK"
+	$(GO) run ./cmd/lce-bench -cluster -short -json bench-cluster.json
+
+ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke phase-smoke cluster-smoke

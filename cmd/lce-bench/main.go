@@ -10,6 +10,7 @@
 //	lce-bench -interp -interp-floor 5 -json out.json # compiled vs walked interpreter, with CI floor
 //	lce-bench -durable -short -json out.json # journal/spill/rehydrate latency + sessions beyond RAM
 //	lce-bench -phases -short -json out.json # phase-timing attribution, gated on coverage vs end-to-end
+//	lce-bench -cluster -short -json out.json # router hop overhead, fleet scale-out sweep, live-migration cost
 package main
 
 import (
@@ -33,8 +34,10 @@ import (
 // block (journal write path, spill/rehydrate latency,
 // sessions-beyond-RAM capacity); v6 added the phase-attribution
 // block (-phases: per-phase latency percentiles + coverage vs the
-// end-to-end distribution). lce-perfdiff accepts any schema ≥ 3.
-const artifactSchemaVersion = 6
+// end-to-end distribution); v7 added the cluster block (-cluster:
+// router hop overhead, fleet scale-out sweep, join-triggered live
+// migration). lce-perfdiff accepts any schema ≥ 3.
+const artifactSchemaVersion = 7
 
 // benchArtifact is the JSON blob -json writes; CI uploads it so every
 // PR leaves a perf trajectory behind. GitSHA and GoMaxProcs pin each
@@ -56,6 +59,7 @@ type benchArtifact struct {
 	Interp        []interpJSON   `json:"interpSpeedup,omitempty"`
 	Durable       *durableJSON   `json:"durable,omitempty"`
 	Phases        *phasesJSON    `json:"phases,omitempty"`
+	Cluster       *clusterJSON   `json:"cluster,omitempty"`
 	// Mem is the whole-run heap delta: how much this benchmark binary
 	// allocated and collected between flag parsing and artifact write.
 	Mem *memJSON `json:"memStats,omitempty"`
@@ -167,6 +171,42 @@ type durableCapacityJSON struct {
 	Verified  bool  `json:"continuityVerified"`
 }
 
+// clusterJSON is the -cluster block: the router hop's per-call tax,
+// the fleet-size throughput sweep (node-serialized backends, so nodes
+// — not sessions — buy parallelism), and the join-triggered live
+// migration with its byte-continuity verdict.
+type clusterJSON struct {
+	Overhead  []clusterOverheadJSON `json:"routingOverhead"`
+	Sweep     []clusterSweepJSON    `json:"fleetSweep"`
+	Migration clusterMigrationJSON  `json:"migration"`
+}
+
+type clusterOverheadJSON struct {
+	Mode      string `json:"mode"`
+	Calls     int    `json:"calls"`
+	ElapsedNs int64  `json:"elapsedNs"`
+	PerCallNs int64  `json:"perCallNs"`
+}
+
+type clusterSweepJSON struct {
+	Nodes       int     `json:"nodes"`
+	Goroutines  int     `json:"goroutines"`
+	Ops         int     `json:"ops"`
+	PerCallNs   int64   `json:"perCallNs"`
+	ElapsedNs   int64   `json:"elapsedNs"`
+	CallsPerSec float64 `json:"callsPerSec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type clusterMigrationJSON struct {
+	Sessions     int   `json:"sessions"`
+	PreCalls     int   `json:"preCallsPerSession"`
+	Migrated     int   `json:"migrated"`
+	ElapsedNs    int64 `json:"elapsedNs"`
+	PerSessionNs int64 `json:"perSessionNs"`
+	Verified     bool  `json:"continuityVerified"`
+}
+
 // phasesJSON is the -phases block: the phase-timing spine's latency
 // attribution per scenario, with the coverage ratio between the sum of
 // phase self-times and the end-to-end request distribution.
@@ -269,6 +309,7 @@ func main() {
 		interpB    = flag.Bool("interp", false, "compiled-vs-walked interpreter: differential parity over the EC2/DynamoDB suites (clean and chaos) plus per-call latency rows")
 		durableB   = flag.Bool("durable", false, "durable-tier rows: journal write path per fsync policy, spill/rehydrate latency by world size, and the sessions-beyond-RAM capacity run")
 		phasesB    = flag.Bool("phases", false, "phase-timing attribution: per-phase latency percentiles through the instrumented stack, gated on coverage vs end-to-end latency")
+		clusterB   = flag.Bool("cluster", false, "scale-out rows: router hop overhead, fleet-size throughput sweep, and join-triggered live migration with byte-continuity verification")
 		interpFlr  = flag.Float64("interp-floor", 0, "with -interp: exit non-zero if the hot-loop speedup falls below this (0 = report only)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for -chaos fault/jitter streams")
 		workers    = flag.Int("workers", 8, "worker-pool size for -alignspeed and -chaos")
@@ -279,7 +320,7 @@ func main() {
 		traceSeed  = flag.Int64("trace-seed", 1, "seed for span/trace IDs when -trace-out is set")
 	)
 	flag.Parse()
-	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos || *tenantB || *opsB || *interpB || *durableB || *phasesB)
+	all := !(*table1 || *fig3 || *fig4 || *basic || *vsManual || *d2cTax || *multicloud || *converge || *decoding || *graphs || *alignspeed || *chaos || *tenantB || *opsB || *interpB || *durableB || *phasesB || *clusterB)
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	sha, dirty := buildVCS()
@@ -556,6 +597,51 @@ func main() {
 			}
 		}
 		artifact.Phases = pj
+	}
+	if *clusterB {
+		overheadCalls, fleets, goroutines, opsPerG := 200, []int{1, 2, 3}, 24, 12
+		migSessions, migPreCalls := 24, 4
+		perCall := 1 * time.Millisecond
+		if *short {
+			overheadCalls, fleets, goroutines, opsPerG = 40, []int{1, 2}, 12, 6
+			migSessions, migPreCalls = 8, 3
+			perCall = 500 * time.Microsecond
+		}
+		res, err := eval.ClusterBench(overheadCalls, fleets, goroutines, opsPerG, perCall, migSessions, migPreCalls)
+		check(err)
+		fmt.Println(eval.FormatCluster(res))
+		cj := &clusterJSON{}
+		for _, r := range res.Overhead {
+			cj.Overhead = append(cj.Overhead, clusterOverheadJSON{
+				Mode: r.Mode, Calls: r.Calls,
+				ElapsedNs: r.Elapsed.Nanoseconds(), PerCallNs: r.PerCall().Nanoseconds(),
+			})
+		}
+		base := time.Duration(0)
+		if len(res.Sweep) > 0 {
+			base = res.Sweep[0].Elapsed
+		}
+		for _, r := range res.Sweep {
+			sp := 0.0
+			if r.Elapsed > 0 {
+				sp = float64(base) / float64(r.Elapsed)
+			}
+			cj.Sweep = append(cj.Sweep, clusterSweepJSON{
+				Nodes: r.Nodes, Goroutines: r.Goroutines, Ops: r.Ops,
+				PerCallNs: r.PerCall.Nanoseconds(), ElapsedNs: r.Elapsed.Nanoseconds(),
+				CallsPerSec: r.Throughput(), Speedup: sp,
+			})
+		}
+		cj.Migration = clusterMigrationJSON{
+			Sessions: res.Migration.Sessions, PreCalls: res.Migration.PreCalls,
+			Migrated: res.Migration.Migrated, ElapsedNs: res.Migration.Elapsed.Nanoseconds(),
+			PerSessionNs: res.Migration.PerSession().Nanoseconds(), Verified: res.Migration.Verified,
+		}
+		artifact.Cluster = cj
+		if !res.Migration.Verified {
+			fmt.Fprintln(os.Stderr, "lce-bench: cluster gate FAILED: live migration broke byte continuity")
+			defer os.Exit(1)
+		}
 	}
 	if *opsB {
 		requests := 2000

@@ -89,6 +89,7 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "inject transient faults (throttling, 5xx, drops) in front of the backend")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault-injection stream (same seed = same faults)")
 		faultRate = flag.Float64("fault-rate", 0.1, "total per-call fault probability when -chaos is set")
+		node      = flag.String("node", "", "cluster node name reported to fleet aggregation (set by lce-router deployments; empty = standalone)")
 		sessions  = flag.Int("sessions", 64, "max resident tenant sessions (0 = single-tenant server, non-default X-LCE-Session rejected)")
 		shards    = flag.Int("shards", 8, "tenant-pool shard count")
 		ttl       = flag.Duration("session-ttl", 15*time.Minute, "evict tenant sessions idle longer than this (0 = never)")
@@ -111,6 +112,7 @@ func main() {
 		Service: *service, Backend: *backend, Noisy: *noisy, Interp: *interpM,
 		Chaos: *chaos, ChaosSeed: *chaosSeed, FaultRate: *faultRate,
 		TraceSeed: *traceSeed,
+		Node:      *node,
 		Sessions:  *sessions, Shards: *shards, SessionTTL: *ttl,
 		DataDir: *dataDir, Fsync: *fsyncPol, StallThreshold: *stallThr,
 		Ops:            *ops,

@@ -134,6 +134,13 @@ const (
 	CodeInternalError        = "InternalError"
 	CodeServiceUnavailable   = "ServiceUnavailable"
 	CodeRequestTimeout       = "RequestTimeout"
+	// CodeBadGateway is a router-originated fault: a cluster front
+	// tier could not complete the exchange with the node owning the
+	// session (the node died mid-response, or answered garbage). Like
+	// the other availability codes it describes the fleet, not the
+	// request, so retrying against the rebalanced ring is the correct
+	// client move.
+	CodeBadGateway = "BadGateway"
 )
 
 // transientCodes is the classifier's transient set. InternalFailure is
@@ -148,6 +155,7 @@ var transientCodes = map[string]bool{
 	CodeServiceUnavailable:   true,
 	CodeRequestTimeout:       true,
 	CodeInternalFailure:      true,
+	CodeBadGateway:           true,
 }
 
 // IsTransientCode reports whether code names a transient

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("session-%04d", i)
+	}
+	return out
+}
+
+func owners(r *Ring, ks []string) map[string]string {
+	out := make(map[string]string, len(ks))
+	for _, k := range ks {
+		out[k] = r.Owner(k)
+	}
+	return out
+}
+
+// TestRingDeterminism: ownership is a pure function of membership —
+// two rings built in different insertion orders agree on every key.
+func TestRingDeterminism(t *testing.T) {
+	a, b := NewRing(64), NewRing(64)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"n3", "n1", "n2"} {
+		b.Add(n)
+	}
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("insertion order changed ownership of %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingAddMinimalRemapping: adding one node to n moves roughly
+// 1/(n+1) of the keyspace and never moves a key between two old
+// nodes.
+func TestRingAddMinimalRemapping(t *testing.T) {
+	r := NewRing(0)
+	for i := 1; i <= 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	ks := keys(2000)
+	before := owners(r, ks)
+	r.Add("n5")
+	after := owners(r, ks)
+
+	moved := 0
+	for _, k := range ks {
+		if before[k] == after[k] {
+			continue
+		}
+		moved++
+		if after[k] != "n5" {
+			t.Fatalf("key %s moved %s→%s: only moves onto the new node are minimal", k, before[k], after[k])
+		}
+	}
+	// Expected share 1/5 = 400 of 2000; allow generous variance but
+	// fail on gross imbalance (which would mean vnodes are broken).
+	if moved < 200 || moved > 700 {
+		t.Fatalf("adding 1 of 5 nodes moved %d/2000 keys, want ≈400", moved)
+	}
+}
+
+// TestRingRemoveMinimalRemapping: removing a node moves exactly its
+// keys — everyone else's owner is untouched.
+func TestRingRemoveMinimalRemapping(t *testing.T) {
+	r := NewRing(0)
+	for i := 1; i <= 5; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	ks := keys(2000)
+	before := owners(r, ks)
+	r.Remove("n3")
+	after := owners(r, ks)
+	for _, k := range ks {
+		if before[k] == "n3" {
+			if after[k] == "n3" || after[k] == "" {
+				t.Fatalf("key %s still owned by removed node (now %q)", k, after[k])
+			}
+			continue
+		}
+		if before[k] != after[k] {
+			t.Fatalf("key %s not owned by n3 moved %s→%s", k, before[k], after[k])
+		}
+	}
+}
+
+// TestRingBalance: with default vnodes every node owns a meaningful
+// share (no starved member).
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"n1", "n2", "n3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	for _, k := range keys(3000) {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		if counts[n] < 3000/3/3 {
+			t.Fatalf("node %s owns only %d/3000 keys: ring is badly unbalanced (%v)", n, counts[n], counts)
+		}
+	}
+}
+
+// TestRingEdges: empty ring, unknown removals, duplicate adds.
+func TestRingEdges(t *testing.T) {
+	r := NewRing(8)
+	if r.Owner("x") != "" {
+		t.Fatal("empty ring owns keys")
+	}
+	r.Remove("ghost") // no-op
+	r.Add("n1")
+	r.Add("n1") // no-op
+	if got := len(r.points); got != 8 {
+		t.Fatalf("duplicate Add grew the ring to %d points, want 8", got)
+	}
+	if r.Owner("anything") != "n1" {
+		t.Fatal("single-node ring must own everything")
+	}
+	r.Remove("n1")
+	if r.Len() != 0 || r.Owner("x") != "" {
+		t.Fatal("ring not empty after removing its last node")
+	}
+}

@@ -1,0 +1,661 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lce/internal/cloudapi"
+	"lce/internal/httpapi"
+)
+
+// Node names one fleet member: a stable name (the ring identity) and
+// the base URL its lce-server listens on.
+type Node struct {
+	Name string
+	URL  string
+}
+
+// Config tunes a Router.
+type Config struct {
+	// Nodes is the initial membership. More nodes can join (and leave)
+	// at runtime via POST /v2/cluster/join and /leave.
+	Nodes []Node
+	// VNodes is the virtual-node count per physical node (<= 0 means
+	// DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the health-probe period (0 means 2s; negative
+	// disables the background prober — CheckNow still works, and
+	// forward-path failures still detect death).
+	ProbeInterval time.Duration
+	// FailThreshold is how many consecutive probe/forward transport
+	// failures mark a node dead (<= 0 means 2). Any HTTP response —
+	// even a 503 SLO breach — counts as alive: the node is reachable
+	// and owns its sessions.
+	FailThreshold int
+	// Client is the HTTP client used for forwards, probes and
+	// migration (nil means a client with a 30s timeout; the SSE
+	// multiplexer always uses an untimed clone, streams outlive any
+	// sane timeout).
+	Client *http.Client
+}
+
+// nodeState is one member's runtime state.
+type nodeState struct {
+	name  string
+	url   string
+	alive atomic.Bool
+	fails atomic.Int32
+}
+
+// Router is the cluster front tier: an http.Handler that owns the
+// hash ring, forwards session traffic to ring owners, aggregates the
+// fleet's observability surfaces, and migrates sessions on membership
+// change. Start launches the background health prober; Close stops
+// it.
+type Router struct {
+	cfg    Config
+	client *http.Client
+
+	mu         sync.RWMutex
+	ring       *Ring
+	nodes      map[string]*nodeState
+	placements map[string]string // session → node name it last answered on
+	migrating  map[string]bool   // sessions mid-transfer (503 until done)
+
+	reqSeq  atomic.Uint64
+	stop    chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+}
+
+// NewRouter builds a router over the initial membership. Every
+// initial node starts presumed-alive; the first probe pass corrects
+// that.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	rt := &Router{
+		cfg:        cfg,
+		client:     client,
+		ring:       NewRing(cfg.VNodes),
+		nodes:      make(map[string]*nodeState),
+		placements: make(map[string]string),
+		migrating:  make(map[string]bool),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for _, n := range cfg.Nodes {
+		if n.Name == "" || n.URL == "" {
+			return nil, fmt.Errorf("cluster: node needs both name and url (got %q=%q)", n.Name, n.URL)
+		}
+		if _, dup := rt.nodes[n.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		st := &nodeState{name: n.Name, url: strings.TrimRight(n.URL, "/")}
+		st.alive.Store(true)
+		rt.nodes[n.Name] = st
+		rt.ring.Add(n.Name)
+	}
+	return rt, nil
+}
+
+// Start launches the background health prober (no-op when disabled).
+func (rt *Router) Start() {
+	if rt.cfg.ProbeInterval < 0 || !rt.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(rt.done)
+		t := time.NewTicker(rt.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-t.C:
+				rt.CheckNow()
+			}
+		}
+	}()
+}
+
+// Close stops the prober. Safe without a prior Start, and safe to
+// call more than once.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	if rt.started.Load() {
+		<-rt.done
+	}
+}
+
+// CheckNow runs one synchronous health pass over every member: probe
+// each node's /healthz, apply the failure threshold, and rebalance if
+// any node died or resurrected. Tests use it for deterministic
+// membership transitions.
+func (rt *Router) CheckNow() {
+	rt.mu.RLock()
+	members := make([]*nodeState, 0, len(rt.nodes))
+	for _, st := range rt.nodes {
+		members = append(members, st)
+	}
+	rt.mu.RUnlock()
+
+	var wg sync.WaitGroup
+	changed := make([]bool, len(members))
+	for i, st := range members {
+		wg.Add(1)
+		go func(i int, st *nodeState) {
+			defer wg.Done()
+			resp, err := rt.client.Get(st.url + "/healthz")
+			if err != nil {
+				changed[i] = rt.noteFailure(st)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			changed[i] = rt.noteAlive(st)
+		}(i, st)
+	}
+	wg.Wait()
+	for _, c := range changed {
+		if c {
+			rt.rebalance()
+			return
+		}
+	}
+}
+
+// noteFailure records one transport failure against a node; crossing
+// the threshold marks it dead and removes it from the ring. Reports
+// whether membership changed (caller rebalances).
+func (rt *Router) noteFailure(st *nodeState) bool {
+	if st.fails.Add(1) < int32(rt.cfg.FailThreshold) || !st.alive.Load() {
+		return false
+	}
+	st.alive.Store(false)
+	rt.mu.Lock()
+	rt.ring.Remove(st.name)
+	rt.mu.Unlock()
+	return true
+}
+
+// noteAlive resets a node's failure count; a dead node answering its
+// probe rejoins the ring. Reports whether membership changed.
+func (rt *Router) noteAlive(st *nodeState) bool {
+	st.fails.Store(0)
+	if st.alive.Load() {
+		return false
+	}
+	st.alive.Store(true)
+	rt.mu.Lock()
+	rt.ring.Add(st.name)
+	rt.mu.Unlock()
+	return true
+}
+
+// requestID echoes the client-tagged request ID or derives one — the
+// same splitmix64 scheme the node uses, with a router marker so an
+// operator can tell which tier minted an ID.
+func (rt *Router) requestID(r *http.Request) string {
+	if id := r.Header.Get(httpapi.RequestIDHeader); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	x := rt.reqSeq.Add(1) * 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return fmt.Sprintf("lce-r-%016x", x)
+}
+
+// wireError mirrors httpapi's unified error envelope field-for-field,
+// so router-originated failures decode exactly like node-originated
+// ones.
+type wireError struct {
+	IsError   bool   `json:"__error"`
+	Code      string `json:"Code"`
+	Message   string `json:"Message"`
+	RequestID string `json:"RequestId,omitempty"`
+}
+
+// statusFor mirrors httpapi's code→status table for the codes the
+// router itself originates.
+func statusFor(code string) int {
+	switch code {
+	case cloudapi.CodeBadGateway:
+		return http.StatusBadGateway
+	case cloudapi.CodeServiceUnavailable:
+		return http.StatusServiceUnavailable
+	case "NotFound":
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeError renders a router-originated failure in the unified
+// envelope, version-stamped and request-ID'd like everything the
+// router serves. The two codes the data plane uses — BadGateway (node
+// died mid-exchange) and ServiceUnavailable (migration in flight, or
+// no owner) — are both transient per cloudapi.IsTransientCode, so
+// resilient clients ride through membership changes on their
+// ordinary retry policy.
+func (rt *Router) writeError(w http.ResponseWriter, reqID, code, format string, args ...any) {
+	w.Header().Set(httpapi.APIVersionHeader, httpapi.APIVersionCluster)
+	w.Header().Set(httpapi.RequestIDHeader, reqID)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statusFor(code))
+	_ = json.NewEncoder(w).Encode(wireError{IsError: true, Code: code, Message: fmt.Sprintf(format, args...), RequestID: reqID})
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, reqID string, status int, v any) {
+	w.Header().Set(httpapi.APIVersionHeader, httpapi.APIVersionCluster)
+	w.Header().Set(httpapi.RequestIDHeader, reqID)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the router's HTTP surface: the full node wire
+// surface forwarded by session ownership, plus the fleet views.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	// Data plane: ring-routed by the session header ("" → "default",
+	// exactly the node's own defaulting rule).
+	mux.HandleFunc("POST /invoke", rt.forwardSession)
+	mux.HandleFunc("POST /reset", rt.forwardSession)
+	mux.HandleFunc("POST /v2/{service}", rt.forwardSession)
+	mux.HandleFunc("POST /v2/{service}/reset", rt.forwardSession)
+	mux.HandleFunc("POST /v2/{service}/batch", rt.forwardSession)
+
+	// Metadata: any healthy node answers (all nodes host the same
+	// service).
+	mux.HandleFunc("GET /actions", rt.forwardAny)
+
+	// Fleet views.
+	mux.HandleFunc("GET /healthz", rt.healthz)
+	mux.HandleFunc("GET /readyz", rt.healthz)
+	mux.HandleFunc("GET /metrics", rt.metrics)
+	mux.HandleFunc("GET /v2/sessions", rt.sessions)
+	mux.HandleFunc("GET /v2/cluster", rt.cluster)
+	mux.HandleFunc("POST /v2/cluster/join", rt.join)
+	mux.HandleFunc("POST /v2/cluster/leave", rt.leave)
+	mux.HandleFunc("GET /debug/events", rt.events)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		rt.writeError(w, rt.requestID(r), "NotFound", "no route %s %s", r.Method, r.URL.Path)
+	})
+	return mux
+}
+
+// owner resolves the node owning a session right now. The empty
+// session maps to the pinned "default" session — the router must
+// agree with the node's defaulting rule, or headerless legacy clients
+// would smear the default account across the fleet.
+func (rt *Router) owner(session string) (*nodeState, error) {
+	if session == "" {
+		session = "default"
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.migrating[session] {
+		return nil, fmt.Errorf("session %q is migrating between nodes; retry", session)
+	}
+	name := rt.ring.Owner(session)
+	if name == "" {
+		return nil, fmt.Errorf("no healthy node owns session %q (ring is empty)", session)
+	}
+	return rt.nodes[name], nil
+}
+
+// forwardSession routes one data-plane request to its session's ring
+// owner.
+func (rt *Router) forwardSession(w http.ResponseWriter, r *http.Request) {
+	sid := r.Header.Get(httpapi.SessionHeader)
+	st, err := rt.owner(sid)
+	if err != nil {
+		rt.writeError(w, rt.requestID(r), cloudapi.CodeServiceUnavailable, "%v", err)
+		return
+	}
+	if rt.forward(w, r, st) {
+		key := sid
+		if key == "" {
+			key = "default"
+		}
+		rt.mu.Lock()
+		rt.placements[key] = st.name
+		rt.mu.Unlock()
+	}
+}
+
+// forwardAny routes a node-agnostic request to any live member.
+func (rt *Router) forwardAny(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	var st *nodeState
+	for _, name := range rt.ring.Nodes() {
+		if c := rt.nodes[name]; c != nil && c.alive.Load() {
+			st = c
+			break
+		}
+	}
+	rt.mu.RUnlock()
+	if st == nil {
+		rt.writeError(w, rt.requestID(r), cloudapi.CodeServiceUnavailable, "no healthy node")
+		return
+	}
+	rt.forward(w, r, st)
+}
+
+// hopHeaders are not forwarded in either direction.
+var hopHeaders = map[string]bool{
+	"Connection":        true,
+	"Keep-Alive":        true,
+	"Transfer-Encoding": true,
+	"Upgrade":           true,
+}
+
+// forward proxies one exchange to st verbatim — body streamed, query
+// preserved, headers copied minus hop-by-hop — and stamps the cluster
+// API version over the node's own. A transport failure counts toward
+// the node's death threshold (fail-fast: a kill -9 is usually
+// detected by the request that hits it, not the next probe) and
+// returns a transient BadGateway envelope. Reports whether the node
+// answered.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, st *nodeState) bool {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, st.url+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		rt.writeError(w, rt.requestID(r), cloudapi.CodeBadGateway, "cannot build upstream request: %v", err)
+		return false
+	}
+	req.ContentLength = r.ContentLength
+	for k, vs := range r.Header {
+		if hopHeaders[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		req.Header[k] = vs
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		if rt.noteFailure(st) {
+			go rt.rebalance()
+		}
+		rt.writeError(w, rt.requestID(r), cloudapi.CodeBadGateway,
+			"node %s did not answer: %v", st.name, err)
+		return false
+	}
+	defer resp.Body.Close()
+	st.fails.Store(0)
+	h := w.Header()
+	for k, vs := range resp.Header {
+		if hopHeaders[k] {
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set(httpapi.APIVersionHeader, httpapi.APIVersionCluster)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// healthz summarizes fleet health: 200 while any member is alive, 503
+// once none are. The per-node verdicts ride in the body either way.
+func (rt *Router) healthz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	names := make([]string, 0, len(rt.nodes))
+	for name := range rt.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	nodes := make(map[string]bool, len(names))
+	anyAlive := false
+	for _, name := range names {
+		alive := rt.nodes[name].alive.Load()
+		nodes[name] = alive
+		anyAlive = anyAlive || alive
+	}
+	rt.mu.RUnlock()
+	status := http.StatusOK
+	if !anyAlive {
+		status = http.StatusServiceUnavailable
+	}
+	rt.writeJSON(w, rt.requestID(r), status, map[string]any{
+		"router": true,
+		"nodes":  nodes,
+	})
+}
+
+// clusterNode is one member's row in GET /v2/cluster.
+type clusterNode struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	InRing   bool   `json:"inRing"`
+	Sessions int    `json:"sessions"`
+}
+
+// cluster reports ring membership, per-node health, and session
+// placement counts — the fleet map a cluster-aware client reads after
+// spotting the "+cluster" API version.
+func (rt *Router) cluster(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	counts := make(map[string]int)
+	for _, node := range rt.placements {
+		counts[node]++
+	}
+	out := struct {
+		APIVersion string        `json:"apiVersion"`
+		VNodes     int           `json:"vnodes"`
+		Nodes      []clusterNode `json:"nodes"`
+		Placements int           `json:"placements"`
+		Migrating  int           `json:"migrating"`
+	}{
+		APIVersion: httpapi.APIVersionCluster,
+		VNodes:     rt.ring.VNodes(),
+		Placements: len(rt.placements),
+		Migrating:  len(rt.migrating),
+	}
+	names := make([]string, 0, len(rt.nodes))
+	for name := range rt.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := rt.nodes[name]
+		out.Nodes = append(out.Nodes, clusterNode{
+			Name:     name,
+			URL:      st.url,
+			Healthy:  st.alive.Load(),
+			InRing:   rt.ring.Contains(name),
+			Sessions: counts[name],
+		})
+	}
+	rt.mu.RUnlock()
+	rt.writeJSON(w, rt.requestID(r), http.StatusOK, out)
+}
+
+// join adds a member (?name=N&url=U) and rebalances: sessions whose
+// ownership moves to the newcomer are migrated onto it immediately.
+func (rt *Router) join(w http.ResponseWriter, r *http.Request) {
+	reqID := rt.requestID(r)
+	name, rawurl := r.URL.Query().Get("name"), r.URL.Query().Get("url")
+	if name == "" || rawurl == "" {
+		rt.writeError(w, reqID, "MalformedRequest", "join needs name and url query parameters")
+		return
+	}
+	if _, err := url.Parse(rawurl); err != nil {
+		rt.writeError(w, reqID, "MalformedRequest", "bad url: %v", err)
+		return
+	}
+	rt.mu.Lock()
+	st, known := rt.nodes[name]
+	if !known {
+		st = &nodeState{name: name, url: strings.TrimRight(rawurl, "/")}
+		rt.nodes[name] = st
+	}
+	st.alive.Store(true)
+	st.fails.Store(0)
+	rt.ring.Add(name)
+	rt.mu.Unlock()
+	moved := rt.rebalance()
+	rt.writeJSON(w, reqID, http.StatusOK, map[string]any{"joined": name, "migrated": moved})
+}
+
+// leave gracefully removes a member (?name=N): it leaves the ring,
+// its sessions migrate to their new owners while it can still export
+// them, and then it is forgotten.
+func (rt *Router) leave(w http.ResponseWriter, r *http.Request) {
+	reqID := rt.requestID(r)
+	name := r.URL.Query().Get("name")
+	rt.mu.Lock()
+	st := rt.nodes[name]
+	if st == nil {
+		rt.mu.Unlock()
+		rt.writeError(w, reqID, "MalformedRequest", "unknown node %q", name)
+		return
+	}
+	rt.ring.Remove(name)
+	rt.mu.Unlock()
+	moved := rt.rebalance()
+	rt.mu.Lock()
+	delete(rt.nodes, name)
+	rt.mu.Unlock()
+	rt.writeJSON(w, reqID, http.StatusOK, map[string]any{"left": name, "migrated": moved})
+}
+
+// rebalance reconciles session placements with current ring
+// ownership: every placed session whose ring owner changed is
+// migrated there — live-exported when its old node still answers,
+// adopted from the shared data directory otherwise. Returns how many
+// sessions moved.
+func (rt *Router) rebalance() int {
+	type move struct {
+		sid, to string
+		from    *nodeState
+	}
+	rt.mu.Lock()
+	var moves []move
+	for sid, placed := range rt.placements {
+		newOwner := rt.ring.Owner(sid)
+		if newOwner == "" || newOwner == placed {
+			continue
+		}
+		if rt.migrating[sid] {
+			continue // already in flight
+		}
+		rt.migrating[sid] = true
+		moves = append(moves, move{sid: sid, to: newOwner, from: rt.nodes[placed]})
+	}
+	rt.mu.Unlock()
+
+	for _, m := range moves {
+		rt.migrate(m.sid, m.from, m.to)
+	}
+	return len(moves)
+}
+
+// migrate moves one session: drain (the migrating mark 503s new
+// traffic), export from the old owner (which spills and releases it),
+// import on the new one, flip the placement, unmark. When the old
+// node is dead or the transfer fails, the placement still flips — the
+// new owner lazily rehydrates the session from the shared data
+// directory on first touch (durable.Store.Adopt), which is the
+// kill -9 recovery path.
+func (rt *Router) migrate(sid string, from *nodeState, to string) {
+	defer func() {
+		rt.mu.Lock()
+		rt.placements[sid] = to
+		delete(rt.migrating, sid)
+		rt.mu.Unlock()
+	}()
+	rt.mu.RLock()
+	dst := rt.nodes[to]
+	rt.mu.RUnlock()
+	if dst == nil || from == nil || !from.alive.Load() {
+		return
+	}
+	data, err := rt.exportSession(from, sid)
+	if err != nil {
+		return
+	}
+	_ = rt.importSession(dst, sid, data)
+}
+
+// exportSession drains one session off a node via its migration admin
+// route.
+func (rt *Router) exportSession(st *nodeState, sid string) ([]byte, error) {
+	resp, err := rt.client.Post(st.url+"/v2/admin/export?session="+url.QueryEscape(sid), "", nil)
+	if err != nil {
+		if rt.noteFailure(st) {
+			go rt.rebalance()
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("export %s from %s: status %d", sid, st.name, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}
+
+// importSession lands exported bytes on a node.
+func (rt *Router) importSession(st *nodeState, sid string, data []byte) error {
+	resp, err := rt.client.Post(st.url+"/v2/admin/import?session="+url.QueryEscape(sid),
+		"application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		if rt.noteFailure(st) {
+			go rt.rebalance()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("import %s to %s: status %d", sid, st.name, resp.StatusCode)
+	}
+	return nil
+}
+
+// liveNodes snapshots the current live membership (sorted by name).
+func (rt *Router) liveNodes() []*nodeState {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	names := make([]string, 0, len(rt.nodes))
+	for name := range rt.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*nodeState, 0, len(names))
+	for _, name := range names {
+		if st := rt.nodes[name]; st.alive.Load() {
+			out = append(out, st)
+		}
+	}
+	return out
+}

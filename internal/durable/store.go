@@ -268,6 +268,14 @@ func (s *Store) Has(id string) bool {
 	return ok
 }
 
+// onDisk reports whether a session directory for id exists right now
+// — state a different process over the same data directory may have
+// written after this store's boot scan.
+func (s *Store) onDisk(id string) bool {
+	fi, err := os.Stat(s.sessionDir(id))
+	return err == nil && fi.IsDir()
+}
+
 // Stats snapshots store activity.
 func (s *Store) Stats() Stats {
 	return Stats{
@@ -383,7 +391,13 @@ func (s *Store) Adopt(ctx context.Context, id string, b cloudapi.Backend) (cloud
 // as they did live). Returns the journal sequence to continue from
 // and whether any state was restored.
 func (s *Store) rehydrate(sb *sessionBackend) (uint64, bool) {
-	if !s.Has(sb.id) {
+	if !s.Has(sb.id) && !s.onDisk(sb.id) {
+		// Neither the boot-time scan nor the directory knows this
+		// session: it is genuinely new. The disk check matters in
+		// shared-data-dir clusters, where another node may have
+		// journaled the session after this process booted — failover
+		// adoption must find that state, not shadow it with a fresh
+		// world.
 		return 0, false
 	}
 	snapPath := filepath.Join(sb.dir, "snapshot.bin")

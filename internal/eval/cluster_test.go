@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterBench runs the scale-out scenarios at smoke size and
+// checks the shape: both overhead modes timed, sweep rows in fleet
+// order with real work recorded, and the join migration moving
+// sessions without breaking byte continuity.
+func TestClusterBench(t *testing.T) {
+	res, err := ClusterBench(20, []int{1, 2}, 8, 4, 500*time.Microsecond, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Overhead) != 2 || res.Overhead[0].Mode != "direct" || res.Overhead[1].Mode != "routed" {
+		t.Fatalf("overhead rows: %+v", res.Overhead)
+	}
+	for _, r := range res.Overhead {
+		if r.PerCall() <= 0 {
+			t.Fatalf("%s mode recorded no latency", r.Mode)
+		}
+	}
+	if len(res.Sweep) != 2 || res.Sweep[0].Nodes != 1 || res.Sweep[1].Nodes != 2 {
+		t.Fatalf("sweep rows: %+v", res.Sweep)
+	}
+	for _, r := range res.Sweep {
+		if r.Ops != 32 || r.Elapsed <= 0 {
+			t.Fatalf("sweep row did no work: %+v", r)
+		}
+	}
+	// With a node-wide bottleneck, one node must pay at least
+	// Ops x perCall wall clock; the 2-node fleet splits the queue and
+	// must beat that serial floor.
+	if serialFloor := 32 * 500 * time.Microsecond; res.Sweep[0].Elapsed < serialFloor {
+		t.Fatalf("1-node fleet finished %v, below the %v serial floor — node serialization not modeled", res.Sweep[0].Elapsed, serialFloor)
+	}
+	if res.Sweep[1].Elapsed >= res.Sweep[0].Elapsed {
+		t.Fatalf("2-node fleet (%v) not faster than 1-node (%v)", res.Sweep[1].Elapsed, res.Sweep[0].Elapsed)
+	}
+	m := res.Migration
+	if m.Migrated == 0 {
+		t.Fatal("join migrated no sessions")
+	}
+	if !m.Verified {
+		t.Fatal("migration broke byte continuity")
+	}
+	if FormatCluster(res) == "" {
+		t.Fatal("empty cluster report")
+	}
+}

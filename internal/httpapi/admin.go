@@ -1,0 +1,107 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+
+	"lce/internal/cloudapi"
+	"lce/internal/durable"
+	"lce/internal/tenant"
+)
+
+// Migration admin routes (pool servers only). The cluster router
+// (internal/cluster) moves a session between nodes with one export on
+// the old owner and one import on the new one:
+//
+//	POST /v2/admin/export?session=S  → snapshot bytes (octet-stream);
+//	                                   the session leaves this node's pool
+//	POST /v2/admin/import?session=S  → 204; S now answers here with the
+//	                                   imported world
+//
+// The payload is the durable tier's self-verifying snapshot format —
+// the same bytes spills and crash recovery use — so a migrated
+// session is byte-identical to one that never moved.
+
+// maxImportBody bounds an import payload. Snapshots are compact JSON
+// world state; 64 MiB is far beyond any session this repository can
+// grow, while still refusing a runaway upload.
+const maxImportBody = 64 << 20
+
+// CodeNotSnapshottable rejects export/import of a backend chain with
+// no learned emulator in it (oracle, manual, d2c): there is no
+// portable world state to move. Semantic — retrying cannot help.
+const CodeNotSnapshottable = "NotSnapshottable"
+
+// v2AdminExport cuts a consistent snapshot of one session and removes
+// the session from this node's pool (spilling it if a durable tier is
+// mounted, so the disk copy stays the fallback of record). The
+// response body is the raw snapshot; the session and request IDs ride
+// in headers so the body stays pristine snapshot bytes.
+func (s *server) v2AdminExport(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	sid := r.URL.Query().Get("session")
+	if sid == "" {
+		s.malformed(w, reqID, "missing session query parameter")
+		return
+	}
+	b, err := s.pool.GetCtx(r.Context(), sid)
+	if err != nil {
+		s.writeAPIError(w, reqID, err)
+		return
+	}
+	data, err := durable.ExportBackend(b)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, reqID,
+			cloudapi.Errf(CodeNotSnapshottable, "cannot export session %q: %v", sid, err), nil)
+		return
+	}
+	// The session leaves this pool the moment its bytes are cut: the
+	// next request for it must rehydrate (locally from spill, or on
+	// the importing node), never hit a stale resident copy. The pinned
+	// default session cannot be released; its bytes still export, and
+	// the idle resident copy is unreachable once the router stops
+	// sending traffic here.
+	if sid != tenant.DefaultSession {
+		s.pool.Release(sid)
+	}
+	w.Header().Set(RequestIDHeader, reqID)
+	w.Header().Set(SessionHeader, sid)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// v2AdminImport lands exported snapshot bytes on this node: the
+// session's backend is created (or rehydrated) through the normal
+// pool path, its state replaced wholesale, and — when a durable tier
+// is mounted — immediately checkpointed so a crash replays the
+// imported world, not a stale journal.
+func (s *server) v2AdminImport(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	sid := r.URL.Query().Get("session")
+	if sid == "" {
+		s.malformed(w, reqID, "missing session query parameter")
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxImportBody))
+	if err != nil {
+		s.malformed(w, reqID, "cannot read snapshot body: %v", err)
+		return
+	}
+	if len(data) == 0 {
+		s.malformed(w, reqID, "empty snapshot body")
+		return
+	}
+	b, err := s.pool.GetCtx(r.Context(), sid)
+	if err != nil {
+		s.writeAPIError(w, reqID, err)
+		return
+	}
+	if err := durable.RestoreBackend(b, data); err != nil {
+		s.writeError(w, http.StatusBadRequest, reqID,
+			cloudapi.Errf(CodeNotSnapshottable, "cannot import session %q: %v", sid, err), nil)
+		return
+	}
+	w.Header().Set(RequestIDHeader, reqID)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -39,6 +39,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -60,6 +61,27 @@ const (
 	// tag a call (the server echoes it), and the server always
 	// returns it on v2 and error responses.
 	RequestIDHeader = "X-LCE-Request-Id"
+	// APIVersionHeader is returned on every /v2 response, so clients
+	// can detect which surface generation — and which deployment
+	// shape — they are talking to. A single lce-server answers
+	// APIVersion; the cluster router (cmd/lce-router) overrides the
+	// header with APIVersionCluster on everything it serves, which is
+	// how a client discovers that GET /v2/cluster exists and that
+	// sessions live on a fleet.
+	APIVersionHeader = "X-LCE-Api-Version"
+)
+
+// API surface versions stamped into APIVersionHeader.
+const (
+	// APIVersion is the cluster-aware /v2 surface of one lce-server
+	// node (sessions carry a node identity, migration admin routes
+	// exist).
+	APIVersion = "2.1"
+	// APIVersionCluster is APIVersion served through lce-router: the
+	// same wire surface plus fleet aggregation (GET /v2/cluster,
+	// fleet-wide /v2/sessions and /metrics) and transparent session
+	// routing.
+	APIVersionCluster = "2.1+cluster"
 )
 
 // MaxBatch bounds the number of requests one /batch call may carry.
@@ -137,6 +159,7 @@ type config struct {
 	obs  *obsv.Obs
 	pool *tenant.Pool
 	ops  *opsplane.Plane
+	node string
 }
 
 // Option configures New.
@@ -147,6 +170,13 @@ type Option func(*config)
 // into the backend call, plus GET /metrics (Prometheus text) and
 // GET /debug/traces (spans grouped by trace). A nil obs is a no-op.
 func WithObs(o *obsv.Obs) Option { return func(c *config) { c.obs = o } }
+
+// WithNode names this server as one node of a cluster: GET
+// /v2/sessions reports the name in its node field, so fleet-wide
+// aggregation (lce-router) can attribute occupancy, and operators can
+// tell which node answered. Empty (the default) means a standalone
+// server; the field is still present so the response shape is stable.
+func WithNode(name string) Option { return func(c *config) { c.node = name } }
 
 // WithPool mounts a tenant session pool: X-LCE-Session selects an
 // isolated per-session backend (created on first use, LRU/TTL
@@ -174,20 +204,8 @@ func New(b cloudapi.Backend, opts ...Option) http.Handler {
 			o(&cfg)
 		}
 	}
-	s := &server{backend: b, obs: cfg.obs, pool: cfg.pool, ops: cfg.ops}
+	s := &server{backend: b, obs: cfg.obs, pool: cfg.pool, ops: cfg.ops, node: cfg.node}
 	return s.routes()
-}
-
-// Handler serves one backend over the legacy and v2 routes.
-//
-// Deprecated: use New(b).
-func Handler(b cloudapi.Backend) http.Handler { return New(b) }
-
-// Observed is Handler under an observability stack.
-//
-// Deprecated: use New(b, WithObs(obs)).
-func Observed(b cloudapi.Backend, obs *obsv.Obs) http.Handler {
-	return New(b, WithObs(obs))
 }
 
 // server is one constructed HTTP front-end.
@@ -196,6 +214,7 @@ type server struct {
 	obs      *obsv.Obs
 	pool     *tenant.Pool
 	ops      *opsplane.Plane
+	node     string
 	requests atomic.Int64 // backend invocations, reported by /healthz
 	reqSeq   atomic.Uint64
 }
@@ -203,6 +222,16 @@ type server struct {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, fn http.HandlerFunc) {
+		if strings.HasPrefix(route, "v2.") {
+			// Every /v2 response advertises the surface version, so a
+			// client can detect the cluster-aware generation (and the
+			// router can override it with its own value).
+			inner := fn
+			fn = func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set(APIVersionHeader, APIVersion)
+				inner(w, r)
+			}
+		}
 		mux.HandleFunc(pattern, s.instrument(route, fn))
 	}
 
@@ -238,6 +267,14 @@ func (s *server) routes() http.Handler {
 	handle("POST /v2/{service}/batch", "v2.batch", s.v2Batch)
 	if s.pool != nil {
 		handle("GET /v2/sessions", "v2.sessions", s.v2Sessions)
+		// Migration admin surface: the cluster router drains sessions
+		// off this node (export) and lands them on their new ring
+		// owner (import). Session state moves as the durable tier's
+		// snapshot bytes — the same format spills and crash recovery
+		// use — so a migrated session is byte-identical to one that
+		// never moved.
+		handle("POST /v2/admin/export", "v2.admin.export", s.v2AdminExport)
+		handle("POST /v2/admin/import", "v2.admin.import", s.v2AdminImport)
 	}
 
 	if s.obs != nil && s.obs.Registry != nil {
@@ -559,6 +596,10 @@ func (s *server) v2Sessions(w http.ResponseWriter, r *http.Request) {
 	st := s.pool.Stats()
 	w.Header().Set(RequestIDHeader, s.requestID(r))
 	writeJSON(w, http.StatusOK, map[string]any{
+		// The node name this server was started with ("" standalone):
+		// the field that lets fleet-wide aggregation attribute these
+		// counts to a cluster member.
+		"node":              s.node,
 		"sessions":          st.Sessions,
 		"shards":            s.pool.Shards(),
 		"perShard":          st.PerShard,
@@ -630,11 +671,29 @@ func (s *server) invokeError(b cloudapi.Backend, req wireRequest, err error) *wi
 			Message: fmt.Sprintf("backend failure: %v", err)}
 	}
 	we := &wireError{IsError: true, Code: ae.Code, Message: ae.Message}
-	if emu, isLearned := b.(*interp.Emulator); isLearned {
+	if emu, isLearned := learnedEmulator(b); isLearned {
 		adv := advisor.Explain(emu, cloudapi.Request{Action: req.Action, Params: cloudapi.Params(req.Params)}, ae)
 		we.Advice = &wireAdvice{RootCause: adv.RootCause, Repairs: adv.Repairs}
 	}
 	return we
+}
+
+// learnedEmulator walks the backend chain — fault injectors, durable
+// session wrappers, anything exposing Inner — to the learned emulator
+// terminating it, so error advice survives whatever the session is
+// wrapped in.
+func learnedEmulator(b cloudapi.Backend) (*interp.Emulator, bool) {
+	for depth := 0; depth < 8 && b != nil; depth++ {
+		if emu, ok := b.(*interp.Emulator); ok {
+			return emu, true
+		}
+		u, ok := b.(interface{ Inner() cloudapi.Backend })
+		if !ok {
+			return nil, false
+		}
+		b = u.Inner()
+	}
+	return nil, false
 }
 
 // writeAPIError renders err (an *cloudapi.APIError, or a malfunction
@@ -708,6 +767,8 @@ func statusFor(code string) int {
 	switch code {
 	case cloudapi.CodeServiceUnavailable:
 		return http.StatusServiceUnavailable
+	case cloudapi.CodeBadGateway:
+		return http.StatusBadGateway
 	case cloudapi.CodeInternalError, cloudapi.CodeInternalFailure:
 		return http.StatusInternalServerError
 	case cloudapi.CodeRequestTimeout:
@@ -725,14 +786,39 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// Client implements cloudapi.Backend over the HTTP protocol above. A
-// zero session targets the legacy single-tenant wire; WithSession
-// derives clients that speak the v2 session protocol.
+// Client implements cloudapi.Backend over the HTTP protocol above —
+// the one client for every server shape in this repository: a plain
+// lce-server, a pool server, or an lce-router fronting a fleet. The
+// target's shape is discovered, not configured: the router stamps
+// APIVersionCluster into every /v2 response it serves, and the client
+// records the last version it saw (APIVersion / ClusterAware). A zero
+// session targets the legacy single-tenant wire; WithSession derives
+// clients that speak the v2 session protocol.
 type Client struct {
 	base    string
-	service string
 	session string
 	http    *http.Client
+	meta    *clientMeta
+}
+
+// clientMeta is the slow-changing endpoint metadata shared across
+// every WithSession derivation of one client: the service name
+// (fetched lazily from /actions) and the last-seen API version
+// header. Sharing it means one metadata fetch serves all sessions and
+// a cluster detected on any derived client is visible on all of them.
+type clientMeta struct {
+	mu         sync.Mutex
+	service    string
+	apiVersion string
+}
+
+func (m *clientMeta) setAPIVersion(v string) {
+	if v == "" {
+		return
+	}
+	m.mu.Lock()
+	m.apiVersion = v
+	m.mu.Unlock()
 }
 
 // NewResilientClient connects to a served backend and retries
@@ -749,7 +835,7 @@ func NewClient(baseURL string) *Client {
 	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
 		baseURL = baseURL[:len(baseURL)-1]
 	}
-	return &Client{base: baseURL, http: &http.Client{}}
+	return &Client{base: baseURL, http: &http.Client{}, meta: &clientMeta{}}
 }
 
 // WithSession derives a client bound to the named tenant session:
@@ -767,12 +853,33 @@ func (c *Client) WithSession(id string) *Client {
 // shared session).
 func (c *Client) Session() string { return c.session }
 
-// Service implements cloudapi.Backend (fetched lazily).
+// APIVersion returns the X-LCE-Api-Version the endpoint most recently
+// stamped on a /v2 response, or "" before any v2 exchange has
+// happened. A single node reports APIVersion ("2.1"); a router
+// reports APIVersionCluster ("2.1+cluster").
+func (c *Client) APIVersion() string {
+	c.meta.mu.Lock()
+	defer c.meta.mu.Unlock()
+	return c.meta.apiVersion
+}
+
+// ClusterAware reports whether the endpoint has identified itself as
+// a cluster router (the "+cluster" API-version suffix): GET
+// /v2/cluster exists there, and sessions are spread over a fleet.
+func (c *Client) ClusterAware() bool {
+	return strings.HasSuffix(c.APIVersion(), "+cluster")
+}
+
+// Service implements cloudapi.Backend (fetched lazily, cached across
+// all WithSession derivations).
 func (c *Client) Service() string {
-	if c.service == "" {
-		c.service, _ = c.fetchMeta()
+	c.meta.mu.Lock()
+	svc := c.meta.service
+	c.meta.mu.Unlock()
+	if svc == "" {
+		svc, _ = c.fetchMeta()
 	}
-	return c.service
+	return svc
 }
 
 // Actions implements cloudapi.Backend.
@@ -794,7 +901,9 @@ func (c *Client) fetchMeta() (string, []string) {
 	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
 		return "", nil
 	}
-	c.service = meta.Service
+	c.meta.mu.Lock()
+	c.meta.service = meta.Service
+	c.meta.mu.Unlock()
 	return meta.Service, meta.Actions
 }
 
@@ -824,6 +933,7 @@ func (c *Client) do(u string, body []byte) (cloudapi.Result, error) {
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
 	defer resp.Body.Close()
+	c.meta.setAPIVersion(resp.Header.Get(APIVersionHeader))
 	return decodeReply(resp)
 }
 
@@ -922,6 +1032,7 @@ func (c *Client) Batch(reqs []cloudapi.Request, mode string) (*BatchResult, erro
 		return nil, fmt.Errorf("httpapi: %w", err)
 	}
 	defer resp.Body.Close()
+	c.meta.setAPIVersion(resp.Header.Get(APIVersionHeader))
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: read: %w", err)

@@ -23,7 +23,7 @@ import (
 
 func newServer(t *testing.T) (*httptest.Server, *Client) {
 	t.Helper()
-	srv := httptest.NewServer(Handler(ec2.New()))
+	srv := httptest.NewServer(New(ec2.New()))
 	t.Cleanup(srv.Close)
 	return srv, NewClient(srv.URL + "/")
 }
@@ -221,7 +221,7 @@ func TestErrorStatusMapping(t *testing.T) {
 // succeed even though a third of the wire calls are faulted.
 func TestResilientClientSurvivesChaosServer(t *testing.T) {
 	flaky := fault.Wrap(ec2.New(), fault.Uniform(0.3, 77))
-	srv := httptest.NewServer(Handler(flaky))
+	srv := httptest.NewServer(New(flaky))
 	defer srv.Close()
 	policy := retry.Policy{MaxAttempts: fault.DefaultMaxConsecutive + 2, Seed: 1}
 	client := NewResilientClient(srv.URL, policy)
@@ -270,7 +270,7 @@ func TestAdviceInErrorEnvelope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(Handler(emu))
+	srv := httptest.NewServer(New(emu))
 	defer srv.Close()
 
 	body := `{"action":"CreateVpc","params":{"cidrBlock":"10.0.0.0/8"}}`

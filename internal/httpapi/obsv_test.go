@@ -16,7 +16,7 @@ import (
 func newObservedServer(t *testing.T) (*httptest.Server, *Client, *obsv.Obs) {
 	t.Helper()
 	obs := obsv.New(11, 0)
-	srv := httptest.NewServer(Observed(ec2.New(), obs))
+	srv := httptest.NewServer(New(ec2.New(), WithObs(obs)))
 	t.Cleanup(srv.Close)
 	return srv, NewClient(srv.URL), obs
 }
@@ -148,7 +148,7 @@ func TestMetricsAndTraceEndpoints(t *testing.T) {
 // TestObservedNilIsHandler: a nil obs serves the plain routes and no
 // debug endpoints.
 func TestObservedNilIsHandler(t *testing.T) {
-	srv := httptest.NewServer(Observed(ec2.New(), nil))
+	srv := httptest.NewServer(New(ec2.New(), WithObs(nil)))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {

@@ -1,0 +1,116 @@
+package tenant
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"lce/internal/cloudapi"
+)
+
+// memSpill is a SpillTier that keeps snapshots in memory, counting
+// spills, so Release's spill behaviour is observable without a real
+// durable store.
+type memSpill struct {
+	mu      sync.Mutex
+	spilled map[string]bool
+}
+
+func (m *memSpill) Adopt(ctx context.Context, id string, b cloudapi.Backend) (cloudapi.Backend, bool) {
+	return b, true
+}
+func (m *memSpill) Spill(id string, b cloudapi.Backend) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.spilled == nil {
+		m.spilled = make(map[string]bool)
+	}
+	m.spilled[id] = true
+	return 1, nil
+}
+func (m *memSpill) Forget(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.spilled, id)
+}
+func (m *memSpill) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.spilled)
+}
+
+// TestReleaseEvicts: Release removes the resident session (next Get
+// recreates it) and counts under the "release" eviction reason.
+func TestReleaseEvicts(t *testing.T) {
+	f, made := countingFactory()
+	p := mustPool(t, f, Config{})
+	b, err := p.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Invoke(cloudapi.Request{Action: "Create"}); err != nil {
+		t.Fatal(err)
+	}
+	found, spilled := p.Release("alice")
+	if !found || spilled {
+		t.Fatalf("Release = (%v, %v), want (true, false) without a spill tier", found, spilled)
+	}
+	if p.Contains("alice") {
+		t.Fatal("released session still resident")
+	}
+	if p.Releases() != 1 {
+		t.Fatalf("Releases = %d, want 1", p.Releases())
+	}
+	b2, err := p.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b2.Invoke(cloudapi.Request{Action: "Count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Get("n").AsInt(); n != 0 {
+		t.Fatalf("released session kept state: count %d, want 0 (fresh backend)", n)
+	}
+	if *made != 2 {
+		t.Fatalf("made %d backends, want 2 (fresh instance after release)", *made)
+	}
+}
+
+// TestReleaseRefusals: the pinned default, malformed IDs, and unknown
+// sessions are not releasable.
+func TestReleaseRefusals(t *testing.T) {
+	f, _ := countingFactory()
+	p := mustPool(t, f, Config{})
+	if found, _ := p.Release(DefaultSession); found {
+		t.Fatal("released the pinned default session")
+	}
+	if found, _ := p.Release("no such session"); found {
+		t.Fatal("released a malformed session ID")
+	}
+	if found, _ := p.Release("ghost"); found {
+		t.Fatal("released a session that was never created")
+	}
+	if p.Releases() != 0 {
+		t.Fatalf("Releases = %d, want 0", p.Releases())
+	}
+}
+
+// TestReleaseSpills: with a spill tier mounted, a released session's
+// state reaches the tier — the export path relies on this so the disk
+// copy stays the fallback of record mid-migration.
+func TestReleaseSpills(t *testing.T) {
+	f, _ := countingFactory()
+	tier := &memSpill{}
+	p := mustPool(t, f, Config{Spill: tier})
+	if _, err := p.Get("alice"); err != nil {
+		t.Fatal(err)
+	}
+	found, spilled := p.Release("alice")
+	if !found || !spilled {
+		t.Fatalf("Release = (%v, %v), want (true, true) with a spill tier", found, spilled)
+	}
+	if !tier.spilled["alice"] {
+		t.Fatal("spill tier never saw the released session")
+	}
+}

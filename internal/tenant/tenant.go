@@ -105,10 +105,12 @@ type SpillTier interface {
 }
 
 // Eviction reasons passed to Config.OnEvict and used as the "reason"
-// label on lce_tenant_evictions_total.
+// label on lce_tenant_evictions_total. EvictRelease is the targeted
+// eviction Release performs — the drain step of a cluster migration.
 const (
 	EvictIdle     = "idle"
 	EvictCapacity = "capacity"
+	EvictRelease  = "release"
 )
 
 // Eviction outcomes passed to Config.OnEvict: whether the session's
@@ -179,6 +181,7 @@ type Pool struct {
 
 	hits, misses       atomic.Int64
 	idleEvict, capEvic atomic.Int64
+	releases           atomic.Int64
 	spillsOK           atomic.Int64
 
 	onEvict func(session string, shard int, reason, outcome string, bytes int64)
@@ -192,6 +195,7 @@ type Pool struct {
 	cMisses         *obsv.Counter
 	cEvictIdle      *obsv.Counter
 	cEvictCap       *obsv.Counter
+	cEvictRelease   *obsv.Counter
 	cEvictShardIdle []*obsv.Counter
 	cEvictShardCap  []*obsv.Counter
 }
@@ -231,6 +235,7 @@ func New(factory cloudapi.BackendFactory, cfg Config) (*Pool, error) {
 		p.cMisses = reg.Counter(obsv.MetricTenantMisses)
 		p.cEvictIdle = reg.Counter(obsv.MetricTenantEvictions, "reason", EvictIdle)
 		p.cEvictCap = reg.Counter(obsv.MetricTenantEvictions, "reason", EvictCapacity)
+		p.cEvictRelease = reg.Counter(obsv.MetricTenantEvictions, "reason", EvictRelease)
 		p.cEvictShardIdle = make([]*obsv.Counter, cfg.Shards)
 		p.cEvictShardCap = make([]*obsv.Counter, cfg.Shards)
 		for i := 0; i < cfg.Shards; i++ {
@@ -373,13 +378,17 @@ func (p *Pool) evictLocked(sh *shard, el *list.Element, reason string) {
 			p.spillsOK.Add(1)
 		}
 	}
-	if reason == EvictIdle {
+	switch reason {
+	case EvictIdle:
 		p.idleEvict.Add(1)
 		p.cEvictIdle.Inc()
 		if p.cEvictShardIdle != nil {
 			p.cEvictShardIdle[sh.idx].Inc()
 		}
-	} else {
+	case EvictRelease:
+		p.releases.Add(1)
+		p.cEvictRelease.Inc()
+	default:
 		p.capEvic.Add(1)
 		p.cEvictCap.Inc()
 		if p.cEvictShardCap != nil {
@@ -421,6 +430,33 @@ func (p *Pool) Reset(id string) error {
 	b.Reset()
 	return nil
 }
+
+// Release retires one resident session on demand — the drain step of
+// a cluster migration. The session's state is offered to the spill
+// tier exactly like a capacity eviction (snapshot written, journal
+// closed), but on-disk state is kept, so the session's new owner —
+// this pool later, or another node sharing the data directory — can
+// rehydrate it. It reports whether the session was resident and, if
+// so, whether its state reached the spill tier. The pinned default
+// session cannot be released.
+func (p *Pool) Release(id string) (found, spilled bool) {
+	if id == "" || id == DefaultSession || !ValidSessionID(id) {
+		return false, false
+	}
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.sessions[id]
+	if !ok {
+		return false, false
+	}
+	before := p.spillsOK.Load()
+	p.evictLocked(sh, el, EvictRelease)
+	return true, p.spillsOK.Load() > before
+}
+
+// Releases counts targeted Release evictions.
+func (p *Pool) Releases() int64 { return p.releases.Load() }
 
 // Drop removes a session entirely — resident world and any spilled
 // state — reporting whether anything was removed. The pinned default

@@ -342,7 +342,7 @@ func Compare(subject, oracle Backend, tr trace.Trace) trace.Report {
 // Serve exposes any backend over HTTP in the LocalStack style
 // (POST /invoke, POST /reset, GET /actions, GET /healthz).
 func Serve(b Backend) http.Handler {
-	return httpapi.Handler(b)
+	return httpapi.New(b)
 }
 
 // ServeObserved is Serve under an observability stack: per-route
@@ -350,7 +350,7 @@ func Serve(b Backend) http.Handler {
 // request threaded into the backend call, plus GET /metrics
 // (Prometheus text) and GET /debug/traces (spans grouped by trace).
 func ServeObserved(b Backend, ob *Obs) http.Handler {
-	return httpapi.Observed(b, ob)
+	return httpapi.New(b, httpapi.WithObs(ob))
 }
 
 // Connect returns a Backend speaking to a served emulator over HTTP.

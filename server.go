@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lce/internal/cloudapi"
+	"lce/internal/cluster"
 	"lce/internal/durable"
 	"lce/internal/fault"
 	"lce/internal/httpapi"
@@ -133,6 +134,11 @@ type ServerConfig struct {
 	Sessions   int
 	Shards     int
 	SessionTTL time.Duration
+
+	// Node names this server as one member of a cluster (lce-router
+	// fleet): GET /v2/sessions reports it so fleet aggregation can
+	// attribute occupancy. Empty means standalone.
+	Node string
 
 	// DataDir mounts the durable tier: sessions are write-ahead
 	// journaled under this directory, cold sessions spill to
@@ -267,7 +273,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		b, _ = store.Adopt(context.Background(), tenant.DefaultSession, b)
 	}
 	return &Server{
-		Handler:   httpapi.New(b, httpapi.WithPool(pool), httpapi.WithObs(ob), httpapi.WithOps(ops)),
+		Handler:   httpapi.New(b, httpapi.WithPool(pool), httpapi.WithObs(ob), httpapi.WithOps(ops), httpapi.WithNode(cfg.Node)),
 		Backend:   b,
 		Obs:       ob,
 		Ops:       ops,
@@ -275,6 +281,29 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Store:     store,
 		Recovered: recovered,
 	}, nil
+}
+
+// ClusterNode names one fleet member for NewClusterRouter: a stable
+// name (the hash-ring identity) plus the base URL its lce-server
+// listens on.
+type ClusterNode = cluster.Node
+
+// ClusterConfig tunes a cluster router: initial membership, virtual
+// nodes per member, health-probe cadence and failure threshold.
+type ClusterConfig = cluster.Config
+
+// ClusterRouter is the scale-out front tier (cmd/lce-router): it
+// consistent-hashes X-LCE-Session over the fleet, forwards the /v2
+// wire surface untouched, aggregates /metrics, /v2/sessions and
+// /debug/events fleet-wide, serves GET /v2/cluster, and migrates
+// sessions between nodes on membership change via the durable tier's
+// snapshot export. Call Start to launch health probing, Handler for
+// the HTTP surface, Close to stop.
+type ClusterRouter = cluster.Router
+
+// NewClusterRouter builds a router over an initial fleet.
+func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) {
+	return cluster.NewRouter(cfg)
 }
 
 // FactoryFor resolves the per-session backend factory for b: forkable

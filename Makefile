@@ -197,16 +197,27 @@ phase-smoke:
 # the dead node's sessions from the shared directory, and any 5xx in
 # the failover window must carry the unified transient envelope. The
 # /v2/cluster view must report the death and /v2/sessions must
-# aggregate the fleet. The -cluster bench leaves bench-cluster.json
-# behind and itself exits non-zero if live migration breaks byte
-# continuity.
+# aggregate the fleet.
+#
+# The tracing leg: every process runs with its default tracer, so
+# after the traffic the surviving nodes' /debug/traces dumps plus the
+# router's fleet-merged dump form a bundle lce-tracecheck -stitch
+# validates — no orphan remote parents, child windows nested in
+# parents' (500ms skew: separate processes end spans concurrently),
+# migration spans bracketing each placement flip. The router /healthz
+# body must carry the fleet SLO section. The -cluster bench leaves
+# bench-cluster.json behind (router hop + tracing-tax rows), itself
+# exits non-zero if live migration breaks byte continuity, and
+# lce-perfdiff gates the machine-independent ratios against the
+# committed baseline.
 cluster-smoke:
 	$(GO) test -race ./internal/cluster/...
 	$(GO) build -o lce-server-cluster ./cmd/lce-server
 	$(GO) build -o lce-router-cluster ./cmd/lce-router
+	$(GO) build -o lce-tracecheck-cluster ./cmd/lce-tracecheck
 	@set -e; \
 	datadir=$$(mktemp -d); \
-	trap 'kill $$p1 $$p2 $$p3 $$pr $$pc 2>/dev/null || true; rm -f lce-server-cluster lce-router-cluster; rm -rf $$datadir' EXIT; \
+	trap 'kill $$p1 $$p2 $$p3 $$pr $$pc 2>/dev/null || true; rm -f lce-server-cluster lce-router-cluster lce-tracecheck-cluster; rm -rf $$datadir' EXIT; \
 	./lce-server-cluster -service ec2 -backend learned -node n1 -data-dir $$datadir -fsync always -addr 127.0.0.1:4611 -log-format off >/dev/null 2>&1 & p1=$$!; \
 	./lce-server-cluster -service ec2 -backend learned -node n2 -data-dir $$datadir -fsync always -addr 127.0.0.1:4612 -log-format off >/dev/null 2>&1 & p2=$$!; \
 	./lce-server-cluster -service ec2 -backend learned -node n3 -data-dir $$datadir -fsync always -addr 127.0.0.1:4613 -log-format off >/dev/null 2>&1 & p3=$$!; \
@@ -236,8 +247,15 @@ cluster-smoke:
 	echo "$$out" | grep -q '"healthy":false' || { echo "cluster view missing dead node: $$out"; exit 1; }; \
 	out=$$(curl -s 127.0.0.1:4610/v2/sessions); \
 	echo "$$out" | grep -q '"cluster":true' || { echo "fleet sessions aggregation broken: $$out"; exit 1; }; \
+	out=$$(curl -s 127.0.0.1:4610/healthz); \
+	echo "$$out" | grep -q '"slo"' || { echo "router /healthz missing fleet SLO section: $$out"; exit 1; }; \
+	curl -s "127.0.0.1:4610/debug/traces?format=jsonl" > trace-router.jsonl; \
+	curl -s "127.0.0.1:4611/debug/traces?format=jsonl" > trace-n1.jsonl; \
+	curl -s "127.0.0.1:4613/debug/traces?format=jsonl" > trace-n3.jsonl; \
+	./lce-tracecheck-cluster -stitch -skew 500ms trace-router.jsonl trace-n1.jsonl trace-n3.jsonl; \
 	rm -f /tmp/lce-cluster-smoke-body; \
-	echo "cluster smoke: 3-node fleet, kill -9 failover, byte parity vs control, fleet views all OK"
+	echo "cluster smoke: 3-node fleet, kill -9 failover, byte parity vs control, fleet views, stitched traces all OK"
 	$(GO) run ./cmd/lce-bench -cluster -short -json bench-cluster.json
+	$(GO) run ./cmd/lce-perfdiff -tolerance 0.5 bench/bench-cluster-baseline.json bench-cluster.json
 
 ci: build lint race chaos bench obsv-smoke tenant-smoke ops-smoke interp-smoke durable-smoke phase-smoke cluster-smoke

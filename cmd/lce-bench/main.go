@@ -36,8 +36,10 @@ import (
 // block (-phases: per-phase latency percentiles + coverage vs the
 // end-to-end distribution); v7 added the cluster block (-cluster:
 // router hop overhead, fleet scale-out sweep, join-triggered live
-// migration). lce-perfdiff accepts any schema ≥ 3.
-const artifactSchemaVersion = 7
+// migration); v8 added the routed-traced routing-overhead row (the
+// router-hop distributed-tracing tax) and its machine-independent
+// overheadRatio gate field. lce-perfdiff accepts any schema ≥ 3.
+const artifactSchemaVersion = 8
 
 // benchArtifact is the JSON blob -json writes; CI uploads it so every
 // PR leaves a perf trajectory behind. GitSHA and GoMaxProcs pin each
@@ -186,6 +188,12 @@ type clusterOverheadJSON struct {
 	Calls     int    `json:"calls"`
 	ElapsedNs int64  `json:"elapsedNs"`
 	PerCallNs int64  `json:"perCallNs"`
+	// OverheadRatio is this mode's per-call cost over the previous
+	// row's ("routed" over "direct" = the hop tax, "routed-traced"
+	// over "routed" = the tracing tax). A ratio of same-machine
+	// timings is machine-independent, so perfdiff gates it at the
+	// plain tolerance.
+	OverheadRatio float64 `json:"overheadRatio,omitempty"`
 }
 
 type clusterSweepJSON struct {
@@ -603,7 +611,10 @@ func main() {
 		migSessions, migPreCalls := 24, 4
 		perCall := 1 * time.Millisecond
 		if *short {
-			overheadCalls, fleets, goroutines, opsPerG = 40, []int{1, 2}, 12, 6
+			// overheadCalls stays at full size even in -short: the
+			// overheadRatio rows are perfdiff-gated, and a pass much
+			// under ~20ms of wall clock drowns the hop tax in noise.
+			overheadCalls, fleets, goroutines, opsPerG = 200, []int{1, 2}, 12, 6
 			migSessions, migPreCalls = 8, 3
 			perCall = 500 * time.Microsecond
 		}
@@ -611,11 +622,17 @@ func main() {
 		check(err)
 		fmt.Println(eval.FormatCluster(res))
 		cj := &clusterJSON{}
-		for _, r := range res.Overhead {
-			cj.Overhead = append(cj.Overhead, clusterOverheadJSON{
+		for i, r := range res.Overhead {
+			row := clusterOverheadJSON{
 				Mode: r.Mode, Calls: r.Calls,
 				ElapsedNs: r.Elapsed.Nanoseconds(), PerCallNs: r.PerCall().Nanoseconds(),
-			})
+			}
+			if i > 0 {
+				if prev := res.Overhead[i-1].PerCall(); prev > 0 {
+					row.OverheadRatio = float64(r.PerCall()) / float64(prev)
+				}
+			}
+			cj.Overhead = append(cj.Overhead, row)
 		}
 		base := time.Duration(0)
 		if len(res.Sweep) > 0 {

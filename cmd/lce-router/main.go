@@ -56,6 +56,7 @@ func main() {
 		vnodes    = flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default 128)")
 		probe     = flag.Duration("probe-interval", 2*time.Second, "health-probe period (negative = no background probing)")
 		threshold = flag.Int("fail-threshold", 2, "consecutive transport failures before a node is declared dead and the ring rebalances")
+		traceSeed = flag.Int64("trace-seed", 1, "seed for router span/trace IDs (same seed + same request sequence = same IDs; 0 disables router tracing)")
 	)
 	flag.Parse()
 
@@ -64,11 +65,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var ob *lce.Obs
+	if *traceSeed != 0 {
+		ob = lce.NewObs(*traceSeed)
+	}
 	rt, err := lce.NewClusterRouter(lce.ClusterConfig{
 		Nodes:         members,
 		VNodes:        *vnodes,
 		ProbeInterval: *probe,
 		FailThreshold: *threshold,
+		Obs:           ob,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -83,6 +89,9 @@ func main() {
 	}
 	log.Printf("routing %d node(s): %s", len(members), *nodes)
 	log.Printf("cluster surface: %s/v2/cluster (membership), %s/v2/sessions (fleet pools), %s/metrics (merged), %s/debug/events (muxed SSE)", hint, hint, hint, hint)
+	if ob != nil {
+		log.Printf("fleet traces: %s/debug/traces (merged; ?format=jsonl for lce-tracecheck -stitch), SLO attribution on %s/healthz", hint, hint)
+	}
 	log.Printf("try: curl -s -XPOST -H 'X-LCE-Session: alice' '%s/v2/ec2?Action=CreateVpc' -d '{\"params\":{\"cidrBlock\":\"10.0.0.0/16\"}}'", hint)
 	if err := http.ListenAndServe(*addr, rt.Handler()); err != nil {
 		log.Fatal(err)

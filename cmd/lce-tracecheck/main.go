@@ -17,6 +17,16 @@
 // digest (spans, phase-annotated spans, traces, divergences, fault
 // events).
 //
+// Stitch mode (-stitch) merges several JSONL exports — typically the
+// router's /debug/traces?format=jsonl plus one dump per node — and
+// validates cross-process integrity on top of the per-file invariants:
+// every remote span's parent must exist somewhere in the merged set,
+// child windows must nest inside parent windows (within -skew, since
+// clocks are per-process), and migration export/import spans must end
+// before the placement flip starts:
+//
+//	lce-tracecheck -stitch router.jsonl node-a.jsonl node-b.jsonl
+//
 // Metrics mode (-metrics) checks a Prometheus/OpenMetrics text
 // exposition — typically a live scrape of a running server:
 //
@@ -36,13 +46,24 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"lce/internal/obsv"
 )
 
 func main() {
 	metrics := flag.Bool("metrics", false, "validate a Prometheus/OpenMetrics text exposition instead of a trace export")
+	stitch := flag.Bool("stitch", false, "merge several trace exports and validate cross-process parent/child integrity")
+	skew := flag.Duration("skew", 100*time.Millisecond, "clock-skew allowance for -stitch window nesting (spans are stamped per-process)")
 	flag.Parse()
+	if *stitch {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: lce-tracecheck -stitch [-skew d] <file> [file ...]")
+			os.Exit(2)
+		}
+		checkStitch(flag.Args(), *skew)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lce-tracecheck [-metrics] <file | ->")
 		os.Exit(2)
@@ -63,6 +84,58 @@ func main() {
 		return
 	}
 	checkTraces(path, f)
+}
+
+// checkStitch merges every input file's spans (dropping exact
+// duplicates — the router's merged dump repeats node spans the node's
+// own dump also carries) and runs the cross-process validators.
+func checkStitch(paths []string, skew time.Duration) {
+	type key struct{ trace, span string }
+	seen := map[key]bool{}
+	var spans []obsv.SpanData
+	for _, path := range paths {
+		f := io.Reader(os.Stdin)
+		var file *os.File
+		if path != "-" {
+			var err error
+			file, err = os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lce-tracecheck:", err)
+				os.Exit(1)
+			}
+			f = file
+		}
+		fileSpans, err := obsv.ReadJSONL(f)
+		if file != nil {
+			file.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lce-tracecheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		for _, sp := range fileSpans {
+			k := key{sp.TraceID, sp.SpanID}
+			if !seen[k] {
+				seen[k] = true
+				spans = append(spans, sp)
+			}
+		}
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(os.Stderr, "lce-tracecheck: no spans in", strings.Join(paths, ", "))
+		os.Exit(1)
+	}
+	st, err := obsv.ValidateStitch(spans, skew)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lce-tracecheck: stitch invalid: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obsv.ValidatePhases(spans); err != nil {
+		fmt.Fprintf(os.Stderr, "lce-tracecheck: stitch invalid: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("stitch: valid — %d files, %d spans, %d traces, %d nodes, %d remote spans (%d stitched), %d migrations\n",
+		len(paths), st.Spans, st.Traces, st.Nodes, st.Remote, st.Stitched, st.Migrations)
 }
 
 func checkMetrics(path string, f io.Reader) {

@@ -2,12 +2,14 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,8 @@ import (
 
 	"lce/internal/cloudapi"
 	"lce/internal/httpapi"
+	"lce/internal/obsv"
+	"lce/internal/opsplane"
 )
 
 // Node names one fleet member: a stable name (the ring identity) and
@@ -46,14 +50,30 @@ type Config struct {
 	// multiplexer always uses an untimed clone, streams outlive any
 	// sane timeout).
 	Client *http.Client
+	// Obs mounts the router-tier observability: ingress spans
+	// (remote-parented when the client propagates X-LCE-Trace),
+	// route.decide / forward.<service> / probe / migrate.* spans, the
+	// X-LCE-Trace header injected into every downstream request, and
+	// GET /debug/traces serving the fleet-merged store. Nil disables
+	// all of it — forwarded bytes are identical either way.
+	Obs *obsv.Obs
+	// SLO tunes the fleet burn-rate engines /healthz evaluates over
+	// per-node counters recorded at forward time. Both targets zero
+	// means opsplane.DefaultObjectives.
+	SLO opsplane.Objectives
+	// SSERetryMax caps the backoff between reconnect attempts when a
+	// node drops out of the merged /debug/events stream (<= 0 means
+	// 2s; the first retry starts at 1/16th of the cap).
+	SSERetryMax time.Duration
 }
 
 // nodeState is one member's runtime state.
 type nodeState struct {
-	name  string
-	url   string
-	alive atomic.Bool
-	fails atomic.Int32
+	name   string
+	url    string
+	alive  atomic.Bool
+	fails  atomic.Int32
+	probes atomic.Uint64 // per-node probe sequence, keys probe span roots
 }
 
 // Router is the cluster front tier: an http.Handler that owns the
@@ -64,6 +84,7 @@ type nodeState struct {
 type Router struct {
 	cfg    Config
 	client *http.Client
+	obs    *obsv.Obs
 
 	mu         sync.RWMutex
 	ring       *Ring
@@ -71,7 +92,15 @@ type Router struct {
 	placements map[string]string // session → node name it last answered on
 	migrating  map[string]bool   // sessions mid-transfer (503 until done)
 
+	// obsMu guards the fleet SLO engines and phase totals — deliberately
+	// separate from mu so healthz evaluation never contends with the
+	// membership lock on the forward path.
+	obsMu   sync.Mutex
+	health  map[string]*opsplane.Health // node name → engine; fleetKey → merged
+	phaseNs map[string]map[string]int64 // node → phase → Server-Timing self ns
+
 	reqSeq  atomic.Uint64
+	migSeq  atomic.Uint64 // keys migrate span roots, off the request counter
 	stop    chan struct{}
 	done    chan struct{}
 	started atomic.Bool
@@ -94,13 +123,24 @@ func NewRouter(cfg Config) (*Router, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
+	if cfg.SLO.ErrorRate == 0 && cfg.SLO.P99 == 0 {
+		cfg.SLO = opsplane.DefaultObjectives()
+	}
+	// The front tier salts its root IDs with its own identity: nodes
+	// and router all default to trace seed 1, and unsalted same-seed
+	// processes mint colliding root (trace, span) streams that a
+	// merged fleet dump would fuse into nonsense traces.
+	cfg.Obs.TracerOrNil().SetIdentity(routerNode)
 	rt := &Router{
 		cfg:        cfg,
 		client:     client,
+		obs:        cfg.Obs,
 		ring:       NewRing(cfg.VNodes),
 		nodes:      make(map[string]*nodeState),
 		placements: make(map[string]string),
 		migrating:  make(map[string]bool),
+		health:     make(map[string]*opsplane.Health),
+		phaseNs:    make(map[string]map[string]int64),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
@@ -110,6 +150,9 @@ func NewRouter(cfg Config) (*Router, error) {
 		}
 		if _, dup := rt.nodes[n.Name]; dup {
 			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		if n.Name == routerNode {
+			return nil, fmt.Errorf("cluster: node name %q is reserved for the front tier", routerNode)
 		}
 		st := &nodeState{name: n.Name, url: strings.TrimRight(n.URL, "/")}
 		st.alive.Store(true)
@@ -166,17 +209,31 @@ func (rt *Router) CheckNow() {
 
 	var wg sync.WaitGroup
 	changed := make([]bool, len(members))
+	tracer := rt.obs.TracerOrNil()
 	for i, st := range members {
 		wg.Add(1)
 		go func(i int, st *nodeState) {
 			defer wg.Done()
+			// Probe spans draw keyed roots (node name + per-node probe
+			// sequence), not the request root counter: request trace IDs
+			// stay a function of request order alone no matter how many
+			// probes a larger fleet runs in between.
+			_, sp := tracer.StartRootKeyed(context.Background(), obsv.SpanProbe,
+				keyedRootKey("probe."+st.name, st.probes.Add(1)))
+			sp.SetAttr("node", routerNode)
+			sp.SetAttr("target", st.name)
+			defer sp.End()
 			resp, err := rt.client.Get(st.url + "/healthz")
 			if err != nil {
+				sp.SetError(err.Error())
+				sp.SetAttr("alive", "false")
 				changed[i] = rt.noteFailure(st)
 				return
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			sp.SetAttr("alive", "true")
+			sp.SetAttrInt("status", int64(resp.StatusCode))
 			changed[i] = rt.noteAlive(st)
 		}(i, st)
 	}
@@ -288,16 +345,18 @@ func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	// Data plane: ring-routed by the session header ("" → "default",
-	// exactly the node's own defaulting rule).
-	mux.HandleFunc("POST /invoke", rt.forwardSession)
-	mux.HandleFunc("POST /reset", rt.forwardSession)
-	mux.HandleFunc("POST /v2/{service}", rt.forwardSession)
-	mux.HandleFunc("POST /v2/{service}/reset", rt.forwardSession)
-	mux.HandleFunc("POST /v2/{service}/batch", rt.forwardSession)
+	// exactly the node's own defaulting rule). Route names match the
+	// node's own span naming, so a fleet trace reads http.v2.invoke at
+	// the router and http.v2.invoke again on the serving node.
+	mux.HandleFunc("POST /invoke", rt.forwardSession("invoke"))
+	mux.HandleFunc("POST /reset", rt.forwardSession("reset"))
+	mux.HandleFunc("POST /v2/{service}", rt.forwardSession("v2.invoke"))
+	mux.HandleFunc("POST /v2/{service}/reset", rt.forwardSession("v2.reset"))
+	mux.HandleFunc("POST /v2/{service}/batch", rt.forwardSession("v2.batch"))
 
 	// Metadata: any healthy node answers (all nodes host the same
 	// service).
-	mux.HandleFunc("GET /actions", rt.forwardAny)
+	mux.HandleFunc("GET /actions", rt.forwardAny("actions"))
 
 	// Fleet views.
 	mux.HandleFunc("GET /healthz", rt.healthz)
@@ -308,6 +367,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/cluster/join", rt.join)
 	mux.HandleFunc("POST /v2/cluster/leave", rt.leave)
 	mux.HandleFunc("GET /debug/events", rt.events)
+	if rt.obs.TracerOrNil() != nil {
+		mux.HandleFunc("GET /debug/traces", rt.traces)
+	}
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, rt.requestID(r), "NotFound", "no route %s %s", r.Method, r.URL.Path)
@@ -336,41 +398,72 @@ func (rt *Router) owner(session string) (*nodeState, error) {
 }
 
 // forwardSession routes one data-plane request to its session's ring
-// owner.
-func (rt *Router) forwardSession(w http.ResponseWriter, r *http.Request) {
-	sid := r.Header.Get(httpapi.SessionHeader)
-	st, err := rt.owner(sid)
-	if err != nil {
-		rt.writeError(w, rt.requestID(r), cloudapi.CodeServiceUnavailable, "%v", err)
-		return
-	}
-	if rt.forward(w, r, st) {
-		key := sid
-		if key == "" {
-			key = "default"
+// owner, under a router ingress span with a route.decide child
+// covering the ring lookup.
+func (rt *Router) forwardSession(route string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := rt.requestID(r)
+		ctx, root := rt.startIngress(r, route)
+		defer root.End()
+		r = r.WithContext(ctx)
+
+		sid := r.Header.Get(httpapi.SessionHeader)
+		_, decide := obsv.StartSpan(ctx, obsv.SpanRouteDecide)
+		st, err := rt.owner(sid)
+		decide.SetAttr("session", placementKey(sid))
+		if st != nil {
+			decide.SetAttr("target", st.name)
 		}
-		rt.mu.Lock()
-		rt.placements[key] = st.name
-		rt.mu.Unlock()
+		if err != nil {
+			decide.SetError(err.Error())
+		}
+		decide.End()
+		if err != nil {
+			root.SetError(err.Error())
+			rt.writeError(w, reqID, cloudapi.CodeServiceUnavailable, "%v", err)
+			return
+		}
+		if rt.forward(w, r, st, reqID) {
+			rt.mu.Lock()
+			rt.placements[placementKey(sid)] = st.name
+			rt.mu.Unlock()
+		}
 	}
 }
 
+// placementKey normalizes a session header into the placement-table
+// key (the node's own "" → "default" rule).
+func placementKey(sid string) string {
+	if sid == "" {
+		return "default"
+	}
+	return sid
+}
+
 // forwardAny routes a node-agnostic request to any live member.
-func (rt *Router) forwardAny(w http.ResponseWriter, r *http.Request) {
-	rt.mu.RLock()
-	var st *nodeState
-	for _, name := range rt.ring.Nodes() {
-		if c := rt.nodes[name]; c != nil && c.alive.Load() {
-			st = c
-			break
+func (rt *Router) forwardAny(route string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := rt.requestID(r)
+		ctx, root := rt.startIngress(r, route)
+		defer root.End()
+		r = r.WithContext(ctx)
+
+		rt.mu.RLock()
+		var st *nodeState
+		for _, name := range rt.ring.Nodes() {
+			if c := rt.nodes[name]; c != nil && c.alive.Load() {
+				st = c
+				break
+			}
 		}
+		rt.mu.RUnlock()
+		if st == nil {
+			root.SetError("no healthy node")
+			rt.writeError(w, reqID, cloudapi.CodeServiceUnavailable, "no healthy node")
+			return
+		}
+		rt.forward(w, r, st, reqID)
 	}
-	rt.mu.RUnlock()
-	if st == nil {
-		rt.writeError(w, rt.requestID(r), cloudapi.CodeServiceUnavailable, "no healthy node")
-		return
-	}
-	rt.forward(w, r, st)
 }
 
 // hopHeaders are not forwarded in either direction.
@@ -381,6 +474,16 @@ var hopHeaders = map[string]bool{
 	"Upgrade":           true,
 }
 
+// forwardService names the proxied service for the forward.<service>
+// span: the /v2/{service} path value, or "legacy" for the pre-v2
+// routes and metadata forwards.
+func forwardService(r *http.Request) string {
+	if svc := r.PathValue("service"); svc != "" {
+		return svc
+	}
+	return "legacy"
+}
+
 // forward proxies one exchange to st verbatim — body streamed, query
 // preserved, headers copied minus hop-by-hop — and stamps the cluster
 // API version over the node's own. A transport failure counts toward
@@ -388,10 +491,23 @@ var hopHeaders = map[string]bool{
 // detected by the request that hits it, not the next probe) and
 // returns a transient BadGateway envelope. Reports whether the node
 // answered.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, st *nodeState) bool {
+//
+// With observability mounted the exchange runs under a
+// forward.<service> span whose context is injected downstream as
+// X-LCE-Trace (overwriting any client-sent value — the node must
+// parent under this hop, not skip it), and the outcome feeds the fleet
+// SLO engines. The request ID — the client's own, or the router-minted
+// fallback — is forwarded too, so node flight records and logs
+// correlate with what the client saw.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, st *nodeState, reqID string) bool {
+	_, fsp := obsv.StartSpan(r.Context(), obsv.SpanForwardPfx+forwardService(r))
+	fsp.SetAttr("node", routerNode)
+	fsp.SetAttr("target", st.name)
+	defer fsp.End()
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, st.url+r.URL.RequestURI(), r.Body)
 	if err != nil {
-		rt.writeError(w, rt.requestID(r), cloudapi.CodeBadGateway, "cannot build upstream request: %v", err)
+		fsp.SetError(err.Error())
+		rt.writeError(w, reqID, cloudapi.CodeBadGateway, "cannot build upstream request: %v", err)
 		return false
 	}
 	req.ContentLength = r.ContentLength
@@ -401,12 +517,20 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, st *nodeState)
 		}
 		req.Header[k] = vs
 	}
+	if req.Header.Get(httpapi.RequestIDHeader) == "" {
+		req.Header.Set(httpapi.RequestIDHeader, reqID)
+	}
+	obsv.Inject(req.Header, fsp)
+	clock := rt.obs.TracerOrNil().Clock()
+	start := clock.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		fsp.SetError(err.Error())
+		rt.recordForward(st.name, true, clock.Now().Sub(start), "")
 		if rt.noteFailure(st) {
 			go rt.rebalance()
 		}
-		rt.writeError(w, rt.requestID(r), cloudapi.CodeBadGateway,
+		rt.writeError(w, reqID, cloudapi.CodeBadGateway,
 			"node %s did not answer: %v", st.name, err)
 		return false
 	}
@@ -422,11 +546,22 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, st *nodeState)
 	h.Set(httpapi.APIVersionHeader, httpapi.APIVersionCluster)
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+	fsp.SetAttrInt("status", int64(resp.StatusCode))
+	if resp.StatusCode >= 400 {
+		fsp.SetError("status " + strconv.Itoa(resp.StatusCode))
+	}
+	rt.recordForward(st.name, sloForwardError(resp.StatusCode), clock.Now().Sub(start),
+		resp.Header.Get("Server-Timing"))
 	return true
 }
 
 // healthz summarizes fleet health: 200 while any member is alive, 503
-// once none are. The per-node verdicts ride in the body either way.
+// once none are. The per-node liveness verdicts ride in the body, and
+// so does the fleet SLO section — the multi-window burn-rate engine
+// run over per-node counters recorded at forward time, naming the
+// worst-offending node and its hottest phase. Liveness alone decides
+// the status code (a burning SLO is an alert, not an outage), so the
+// prober's node /healthz semantics stay unchanged.
 func (rt *Router) healthz(w http.ResponseWriter, r *http.Request) {
 	rt.mu.RLock()
 	names := make([]string, 0, len(rt.nodes))
@@ -449,6 +584,7 @@ func (rt *Router) healthz(w http.ResponseWriter, r *http.Request) {
 	rt.writeJSON(w, rt.requestID(r), status, map[string]any{
 		"router": true,
 		"nodes":  nodes,
+		"slo":    rt.fleetSLO(),
 	})
 }
 
@@ -588,31 +724,58 @@ func (rt *Router) rebalance() int {
 // new owner lazily rehydrates the session from the shared data
 // directory on first touch (durable.Store.Adopt), which is the
 // kill -9 recovery path.
+//
+// Each migration is one trace: a migrate root (keyed off the request
+// counter, like probes) with migrate.export / migrate.import children
+// around the transfer and a migrate.flip child around the placement
+// update — always last, which is the ordering lce-tracecheck -stitch
+// enforces.
 func (rt *Router) migrate(sid string, from *nodeState, to string) {
+	ctx, root := rt.obs.TracerOrNil().StartRootKeyed(context.Background(), obsv.SpanMigrate,
+		keyedRootKey("migrate."+sid, rt.migSeq.Add(1)))
+	root.SetAttr("node", routerNode)
+	root.SetAttr("session", sid)
+	root.SetAttr("to", to)
+	if from != nil {
+		root.SetAttr("from", from.name)
+	}
+	defer root.End()
 	defer func() {
+		_, flip := obsv.StartSpan(ctx, obsv.SpanMigrateFlip)
 		rt.mu.Lock()
 		rt.placements[sid] = to
 		delete(rt.migrating, sid)
 		rt.mu.Unlock()
+		flip.End()
 	}()
 	rt.mu.RLock()
 	dst := rt.nodes[to]
 	rt.mu.RUnlock()
 	if dst == nil || from == nil || !from.alive.Load() {
+		root.SetAttr("mode", "adopt") // new owner rehydrates from disk
 		return
 	}
-	data, err := rt.exportSession(from, sid)
+	root.SetAttr("mode", "live")
+	data, err := rt.exportSession(ctx, from, sid)
 	if err != nil {
+		root.SetError(err.Error())
 		return
 	}
-	_ = rt.importSession(dst, sid, data)
+	if err := rt.importSession(ctx, dst, sid, data); err != nil {
+		root.SetError(err.Error())
+	}
 }
 
 // exportSession drains one session off a node via its migration admin
 // route.
-func (rt *Router) exportSession(st *nodeState, sid string) ([]byte, error) {
+func (rt *Router) exportSession(ctx context.Context, st *nodeState, sid string) ([]byte, error) {
+	_, sp := obsv.StartSpan(ctx, obsv.SpanMigrateExport)
+	sp.SetAttr("node", routerNode)
+	sp.SetAttr("target", st.name)
+	defer sp.End()
 	resp, err := rt.client.Post(st.url+"/v2/admin/export?session="+url.QueryEscape(sid), "", nil)
 	if err != nil {
+		sp.SetError(err.Error())
 		if rt.noteFailure(st) {
 			go rt.rebalance()
 		}
@@ -620,16 +783,28 @@ func (rt *Router) exportSession(st *nodeState, sid string) ([]byte, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("export %s from %s: status %d", sid, st.name, resp.StatusCode)
+		err := fmt.Errorf("export %s from %s: status %d", sid, st.name, resp.StatusCode)
+		sp.SetError(err.Error())
+		return nil, err
 	}
-	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err == nil {
+		sp.SetAttrInt("bytes", int64(len(data)))
+	}
+	return data, err
 }
 
 // importSession lands exported bytes on a node.
-func (rt *Router) importSession(st *nodeState, sid string, data []byte) error {
+func (rt *Router) importSession(ctx context.Context, st *nodeState, sid string, data []byte) error {
+	_, sp := obsv.StartSpan(ctx, obsv.SpanMigrateImport)
+	sp.SetAttr("node", routerNode)
+	sp.SetAttr("target", st.name)
+	sp.SetAttrInt("bytes", int64(len(data)))
+	defer sp.End()
 	resp, err := rt.client.Post(st.url+"/v2/admin/import?session="+url.QueryEscape(sid),
 		"application/octet-stream", bytes.NewReader(data))
 	if err != nil {
+		sp.SetError(err.Error())
 		if rt.noteFailure(st) {
 			go rt.rebalance()
 		}
@@ -637,7 +812,9 @@ func (rt *Router) importSession(st *nodeState, sid string, data []byte) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("import %s to %s: status %d", sid, st.name, resp.StatusCode)
+		err := fmt.Errorf("import %s to %s: status %d", sid, st.name, resp.StatusCode)
+		sp.SetError(err.Error())
+		return err
 	}
 	return nil
 }

@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"lce/internal/cloudapi"
 	"lce/internal/httpapi"
@@ -49,6 +51,11 @@ func (rt *Router) events(w http.ResponseWriter, r *http.Request) {
 	// so the router side doesn't cut them either.
 	client := &http.Client{Transport: rt.client.Transport}
 
+	retryMax := rt.cfg.SSERetryMax
+	if retryMax <= 0 {
+		retryMax = 2 * time.Second
+	}
+
 	var wg sync.WaitGroup
 	for _, st := range nodes {
 		wg.Add(1)
@@ -58,20 +65,61 @@ func (rt *Router) events(w http.ResponseWriter, r *http.Request) {
 			if q := r.URL.RawQuery; q != "" {
 				u += "?" + q
 			}
-			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
-			if err != nil {
-				return
-			}
-			resp, err := client.Do(req)
-			if err != nil {
-				write(fmt.Sprintf(": node %s unreachable\n\n", st.name))
-				return
-			}
-			defer resp.Body.Close()
-			relayFrames(resp.Body, st.name, write)
+			rt.relayNode(r.Context(), client, st, u, retryMax, write)
 		}(st)
 	}
 	wg.Wait()
+}
+
+// relayNode tails one node's /debug/events for the life of the client
+// request, reconnecting with capped exponential backoff whenever the
+// node drops the stream (restart, kill -9, transient network fault) —
+// a restarted node rejoins the merged stream instead of silently
+// falling out of it. Each transition is announced as an SSE comment so
+// a watching operator sees the gap.
+func (rt *Router) relayNode(ctx context.Context, client *http.Client, st *nodeState, u string, retryMax time.Duration, write func(string)) {
+	backoff := retryMax / 16
+	if backoff <= 0 {
+		backoff = retryMax
+	}
+	connected := false
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return
+		}
+		resp, err := client.Do(req)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if err == nil {
+			if connected {
+				write(fmt.Sprintf(": node %s reconnected\n\n", st.name))
+			}
+			connected = true
+			backoff = retryMax / 16
+			relayFrames(resp.Body, st.name, write)
+			resp.Body.Close()
+			if ctx.Err() != nil {
+				return
+			}
+			write(fmt.Sprintf(": node %s disconnected\n\n", st.name))
+		} else if ctx.Err() != nil {
+			return
+		} else if attempt == 0 {
+			write(fmt.Sprintf(": node %s unreachable\n\n", st.name))
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > retryMax {
+			backoff = retryMax
+		}
+	}
 }
 
 // relayFrames splits an SSE byte stream into frames (blank-line

@@ -6,15 +6,17 @@ import (
 )
 
 // TestClusterBench runs the scale-out scenarios at smoke size and
-// checks the shape: both overhead modes timed, sweep rows in fleet
-// order with real work recorded, and the join migration moving
-// sessions without breaking byte continuity.
+// checks the shape: all three overhead modes timed (direct, routed,
+// routed-traced), sweep rows in fleet order with real work recorded,
+// and the join migration moving sessions without breaking byte
+// continuity.
 func TestClusterBench(t *testing.T) {
 	res, err := ClusterBench(20, []int{1, 2}, 8, 4, 500*time.Microsecond, 6, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Overhead) != 2 || res.Overhead[0].Mode != "direct" || res.Overhead[1].Mode != "routed" {
+	if len(res.Overhead) != 3 || res.Overhead[0].Mode != "direct" ||
+		res.Overhead[1].Mode != "routed" || res.Overhead[2].Mode != "routed-traced" {
 		t.Fatalf("overhead rows: %+v", res.Overhead)
 	}
 	for _, r := range res.Overhead {

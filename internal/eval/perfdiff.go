@@ -45,6 +45,7 @@ var perfMetricClass = map[string]struct{ latency, higherBetter bool }{
 	"spillNsPerCycle":     {true, false},
 	"rehydrateNsPerCycle": {true, false},
 	"callsPerSec":         {true, true},
+	"overheadRatio":       {false, false},
 }
 
 // rowIdentity lists the fields that name a row within an artifact

@@ -33,6 +33,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -282,6 +283,14 @@ func (s *server) routes() http.Handler {
 	}
 	if t := s.obs.TracerOrNil(); t != nil {
 		mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			// ?format=jsonl serves the raw span export — the same shape
+			// as -trace-out files, so lce-tracecheck (and the router's
+			// fleet merge) can consume a live node without a restart.
+			if r.URL.Query().Get("format") == "jsonl" {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				_ = t.WriteJSONL(w)
+				return
+			}
 			writeJSON(w, http.StatusOK, obsv.GroupTraces(t.Snapshot()))
 		})
 	}
@@ -918,8 +927,10 @@ func (c *Client) v2base() (string, error) {
 }
 
 // do issues one POST with the session and decodes the unified
-// envelope.
-func (c *Client) do(u string, body []byte) (cloudapi.Result, error) {
+// envelope. When ctx carries a live span its trace context rides the
+// X-LCE-Trace header, so the server's http.<route> span parents under
+// the caller's trace; a nil or untraced ctx leaves the wire untouched.
+func (c *Client) do(ctx context.Context, u string, body []byte) (cloudapi.Result, error) {
 	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: %w", err)
@@ -928,6 +939,7 @@ func (c *Client) do(u string, body []byte) (cloudapi.Result, error) {
 	if c.session != "" {
 		req.Header.Set(SessionHeader, c.session)
 	}
+	obsv.Inject(req.Header, obsv.SpanFrom(ctx))
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: %w", err)
@@ -967,7 +979,7 @@ func (c *Client) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("httpapi: marshal: %w", err)
 		}
-		return c.do(c.base+"/invoke", payload)
+		return c.do(req.Ctx, c.base+"/invoke", payload)
 	}
 	v2, err := c.v2base()
 	if err != nil {
@@ -977,7 +989,7 @@ func (c *Client) Invoke(req cloudapi.Request) (cloudapi.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: marshal: %w", err)
 	}
-	return c.do(v2+"?Action="+url.QueryEscape(req.Action), payload)
+	return c.do(req.Ctx, v2+"?Action="+url.QueryEscape(req.Action), payload)
 }
 
 // BatchItem is one executed request's outcome: a result, or the
@@ -1026,6 +1038,11 @@ func (c *Client) Batch(reqs []cloudapi.Request, mode string) (*BatchResult, erro
 	hreq.Header.Set("Content-Type", "application/json")
 	if c.session != "" {
 		hreq.Header.Set(SessionHeader, c.session)
+	}
+	// A batch is one wire exchange; the first request's ctx (they share
+	// a caller) donates the trace context for the whole round trip.
+	if len(reqs) > 0 {
+		obsv.Inject(hreq.Header, obsv.SpanFrom(reqs[0].Ctx))
 	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {

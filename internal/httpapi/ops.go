@@ -112,9 +112,19 @@ func (s *server) instrument(route string, fn http.HandlerFunc) http.HandlerFunc 
 		ctx := obs.Context(r.Context())
 		var sp *obsv.Span
 		if tracer != nil {
-			ctx, sp = tracer.StartRoot(ctx, obsv.SpanHTTPPfx+route)
+			// A propagated X-LCE-Trace header (router → node, or a traced
+			// client → router) continues the upstream trace; without one
+			// this request roots a fresh trace, exactly as before.
+			if sc, ok := obsv.Extract(r.Header); ok {
+				ctx, sp = tracer.StartRemote(ctx, obsv.SpanHTTPPfx+route, sc)
+			} else {
+				ctx, sp = tracer.StartRoot(ctx, obsv.SpanHTTPPfx+route)
+			}
 			sp.SetAttr("method", r.Method)
 			sp.SetAttr("route", route)
+			if s.node != "" {
+				sp.SetAttr("node", s.node)
+			}
 		}
 		// The phase timer rides the request context through every
 		// layer; pooled, so the instrumented path stays allocation-

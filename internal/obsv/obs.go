@@ -27,6 +27,28 @@ const (
 	EventRetry      = "retry.backoff"
 	EventTransient  = "retry.transient-fault"
 	EventExhausted  = "retry.exhausted"
+
+	// Router-tier spans (internal/cluster). A routed request's trace is
+	//
+	//	http.<route>          router ingress (remote child if the client
+	//	├─ route.decide       sent X-LCE-Trace; a fresh root otherwise)
+	//	└─ forward.<service>  the proxied exchange — the node's own
+	//	                      http.<route> span parents under this one
+	//	                      via the injected header
+	//
+	// Migrations and probes trace out-of-band of any request:
+	//
+	//	migrate               one session move (attrs: session, from, to)
+	//	├─ migrate.export     drain + snapshot from the source node
+	//	├─ migrate.import     restore into the destination node
+	//	└─ migrate.flip       the placement-table update — always last
+	SpanRouteDecide   = "route.decide"
+	SpanForwardPfx    = "forward."
+	SpanProbe         = "probe"
+	SpanMigrate       = "migrate"
+	SpanMigrateExport = "migrate.export"
+	SpanMigrateImport = "migrate.import"
+	SpanMigrateFlip   = "migrate.flip"
 )
 
 // Canonical metric names.

@@ -268,6 +268,38 @@ func (pt *PhaseTimer) ServerTiming() string {
 	return b.String()
 }
 
+// ParseServerTiming decodes a ServerTiming header value back into
+// per-phase durations — the router reads each node's response header
+// this way to attribute fleet latency to a node's phase without a
+// second round trip. Unknown metrics and malformed entries are
+// skipped; an empty or absent header yields an empty map.
+func ParseServerTiming(v string) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, entry := range strings.Split(v, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, ";")
+		if !ok {
+			continue
+		}
+		name = strings.TrimSpace(name)
+		for _, param := range strings.Split(rest, ";") {
+			k, val, ok := strings.Cut(strings.TrimSpace(param), "=")
+			if !ok || strings.TrimSpace(k) != "dur" {
+				continue
+			}
+			ms, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil || ms < 0 {
+				continue
+			}
+			out[name] = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	return out
+}
+
 // ContextWithPhases attaches the timer to ctx so deeper layers
 // (tenant, durable, interp) can record their phases. A nil timer
 // returns ctx unchanged.

@@ -1,0 +1,250 @@
+package obsv
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTracer(42, 16)
+	_, sp := tr.StartRoot(context.Background(), "http.v2.invoke")
+	h := http.Header{}
+	Inject(h, sp)
+	got := h.Get(TraceHeader)
+	if got == "" {
+		t.Fatalf("Inject set no %s header", TraceHeader)
+	}
+	sc, ok := Extract(h)
+	if !ok {
+		t.Fatalf("Extract failed on %q", got)
+	}
+	if sc.TraceID != sp.TraceID() || sc.SpanID != sp.SpanID() {
+		t.Fatalf("round trip mismatch: got %+v want trace=%s span=%s", sc, sp.TraceID(), sp.SpanID())
+	}
+	if sc.Flags&FlagSampled == 0 {
+		t.Fatalf("sampled flag lost: %+v", sc)
+	}
+	if sc.String() != got {
+		t.Fatalf("String() = %q, wire = %q", sc.String(), got)
+	}
+}
+
+func TestInjectNilSpanLeavesWireUntouched(t *testing.T) {
+	h := http.Header{}
+	Inject(h, nil)
+	Inject(nil, nil)
+	if len(h) != 0 {
+		t.Fatalf("nil-span Inject mutated headers: %v", h)
+	}
+	if _, ok := Extract(http.Header{}); ok {
+		t.Fatal("Extract claimed success on empty headers")
+	}
+}
+
+func TestParseTraceContextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"xyz",
+		"0123456789abcdef-0123456789abcdef", // two fields
+		"0123456789abcdef-0123456789abcdef-01-extra", // four fields
+		"0123456789ABCDEF-0123456789abcdef-01",       // uppercase
+		"0123456789abcde-0123456789abcdef-01",        // short trace ID
+		"0123456789abcdef-0123456789abcdef-1",        // short flags
+		"0123456789abcdef-0123456789abcdef-zz",       // non-hex flags
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceContext(s); ok {
+			t.Errorf("ParseTraceContext(%q) accepted malformed input", s)
+		}
+	}
+	sc, ok := ParseTraceContext("0123456789abcdef-fedcba9876543210-01")
+	if !ok || sc.TraceID != "0123456789abcdef" || sc.SpanID != "fedcba9876543210" || sc.Flags != 1 {
+		t.Fatalf("valid context rejected or misparsed: %+v ok=%v", sc, ok)
+	}
+}
+
+func TestStartRemoteDeterministicAcrossTracers(t *testing.T) {
+	sc := SpanContext{TraceID: "0123456789abcdef", SpanID: "fedcba9876543210", Flags: FlagSampled}
+	// Two different tracers with different seeds stand in for two
+	// different nodes: whichever one serves the request must mint the
+	// same span ID, because the ID is a pure function of the context.
+	a := NewTracer(1, 16)
+	b := NewTracer(999, 16)
+	_, spA := a.StartRemote(context.Background(), "http.v2.invoke", sc)
+	_, spB := b.StartRemote(context.Background(), "http.v2.invoke", sc)
+	if spA.SpanID() != spB.SpanID() {
+		t.Fatalf("remote span ID depends on the serving tracer: %s vs %s", spA.SpanID(), spB.SpanID())
+	}
+	if spA.TraceID() != sc.TraceID {
+		t.Fatalf("trace ID not adopted: got %s want %s", spA.TraceID(), sc.TraceID)
+	}
+	spA.End()
+	d := a.Snapshot()[0]
+	if !d.Remote || d.ParentID != sc.SpanID {
+		t.Fatalf("remote span misrecorded: %+v", d)
+	}
+	if !d.EntryPoint() || d.Root() {
+		t.Fatalf("remote span should be a non-root entry point: %+v", d)
+	}
+	// Children of the remote span chain deterministically too.
+	_, child := StartSpan(ContextWithSpan(context.Background(), spA), "call.CreateVpc")
+	_, child2 := StartSpan(ContextWithSpan(context.Background(), spB), "call.CreateVpc")
+	if child.SpanID() != child2.SpanID() {
+		t.Fatalf("remote child IDs diverge: %s vs %s", child.SpanID(), child2.SpanID())
+	}
+}
+
+func TestStartRemoteInvalidContextFallsBackToRoot(t *testing.T) {
+	tr := NewTracer(7, 16)
+	_, sp := tr.StartRemote(context.Background(), "http.v2.invoke", SpanContext{})
+	sp.End()
+	d := tr.Snapshot()[0]
+	if d.Remote || d.ParentID != "" {
+		t.Fatalf("invalid context should degrade to a root span: %+v", d)
+	}
+}
+
+func TestValidateAcceptsRemoteEntryPoint(t *testing.T) {
+	tr := NewTracer(3, 16)
+	sc := SpanContext{TraceID: "00000000000000aa", SpanID: "00000000000000bb", Flags: 1}
+	_, sp := tr.StartRemote(context.Background(), "http.v2.invoke", sc)
+	sp.End()
+	if err := Validate(tr.Snapshot()); err != nil {
+		t.Fatalf("Validate rejected a remote-rooted single-process export: %v", err)
+	}
+}
+
+// span builds a SpanData literal for stitch tests; offsets are
+// milliseconds from a fixed epoch.
+func span(tid, sid, parent, name string, startMs, endMs int, remote bool, node string) SpanData {
+	base := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	d := SpanData{
+		TraceID: tid, SpanID: sid, ParentID: parent, Name: name,
+		Start:  base.Add(time.Duration(startMs) * time.Millisecond),
+		End:    base.Add(time.Duration(endMs) * time.Millisecond),
+		Remote: remote,
+	}
+	if node != "" {
+		d.Attrs = map[string]string{"node": node}
+	}
+	return d
+}
+
+func TestValidateStitchHappyPath(t *testing.T) {
+	spans := []SpanData{
+		// Router process: root + decide + forward.
+		span("aaaaaaaaaaaaaaaa", "1111111111111111", "", "http.v2.invoke", 0, 100, false, "router"),
+		span("aaaaaaaaaaaaaaaa", "2222222222222222", "1111111111111111", "route.decide", 1, 2, false, "router"),
+		span("aaaaaaaaaaaaaaaa", "3333333333333333", "1111111111111111", "forward.ec2", 3, 99, false, "router"),
+		// Node process: remote child of the forward span.
+		span("aaaaaaaaaaaaaaaa", "4444444444444444", "3333333333333333", "http.v2.invoke", 10, 90, true, "n1"),
+	}
+	st, err := ValidateStitch(spans, 0)
+	if err != nil {
+		t.Fatalf("ValidateStitch: %v", err)
+	}
+	if st.Spans != 4 || st.Traces != 1 || st.Remote != 1 || st.Stitched != 1 || st.Nodes != 2 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestValidateStitchOrphanRemoteParent(t *testing.T) {
+	spans := []SpanData{
+		span("aaaaaaaaaaaaaaaa", "4444444444444444", "3333333333333333", "http.v2.invoke", 10, 90, true, "n1"),
+	}
+	if _, err := ValidateStitch(spans, 0); err == nil {
+		t.Fatal("orphan remote parent not detected")
+	}
+}
+
+func TestValidateStitchWindowEscape(t *testing.T) {
+	spans := []SpanData{
+		span("aaaaaaaaaaaaaaaa", "1111111111111111", "", "forward.ec2", 0, 50, false, "router"),
+		// Child ends after its parent — a stitch violation at skew 0...
+		span("aaaaaaaaaaaaaaaa", "4444444444444444", "1111111111111111", "http.v2.invoke", 10, 60, true, "n1"),
+	}
+	if _, err := ValidateStitch(spans, 0); err == nil {
+		t.Fatal("window escape not detected")
+	}
+	// ...but tolerated under a generous clock-skew allowance.
+	if _, err := ValidateStitch(spans, 20*time.Millisecond); err != nil {
+		t.Fatalf("skew allowance not honored: %v", err)
+	}
+}
+
+func TestValidateStitchMigrationBracketsFlip(t *testing.T) {
+	ok := []SpanData{
+		span("bbbbbbbbbbbbbbbb", "1111111111111111", "", "migrate", 0, 100, false, "router"),
+		span("bbbbbbbbbbbbbbbb", "2222222222222222", "1111111111111111", "migrate.export", 5, 40, false, "router"),
+		span("bbbbbbbbbbbbbbbb", "3333333333333333", "1111111111111111", "migrate.import", 41, 80, false, "router"),
+		span("bbbbbbbbbbbbbbbb", "4444444444444444", "1111111111111111", "migrate.flip", 81, 82, false, "router"),
+	}
+	if st, err := ValidateStitch(ok, 0); err != nil || st.Migrations != 1 {
+		t.Fatalf("valid migration rejected: %v (stats %+v)", err, st)
+	}
+
+	bad := make([]SpanData, len(ok))
+	copy(bad, ok)
+	// Import finishes after the flip starts — state moved after the
+	// placement changed, which the validator must reject.
+	bad[2] = span("bbbbbbbbbbbbbbbb", "3333333333333333", "1111111111111111", "migrate.import", 41, 90, false, "router")
+	if _, err := ValidateStitch(bad, 0); err == nil {
+		t.Fatal("unbracketed flip not detected")
+	}
+
+	noFlip := ok[:3]
+	if _, err := ValidateStitch(noFlip, 0); err == nil {
+		t.Fatal("export/import without flip not detected")
+	}
+}
+
+// TestSetIdentityDisjointRoots: every fleet process defaults to trace
+// seed 1, so unsalted tracers mint identical root (trace, span)
+// streams — a merged fleet dump would fuse a node's Nth root with the
+// router's. SetIdentity must make same-seed streams disjoint per
+// identity, stay reproducible for a fixed identity (same-seed fleet
+// determinism), and leave the empty standalone identity untouched.
+func TestSetIdentityDisjointRoots(t *testing.T) {
+	roots := func(identity string) []string {
+		tr := NewTracer(1, 0)
+		tr.SetIdentity(identity)
+		var ids []string
+		for i := 0; i < 4; i++ {
+			_, sp := tr.StartRoot(context.Background(), "r")
+			ids = append(ids, sp.TraceID()+"/"+sp.SpanID())
+			sp.End()
+		}
+		_, kp := tr.StartRootKeyed(context.Background(), "k", 7)
+		ids = append(ids, kp.TraceID()+"/"+kp.SpanID())
+		kp.End()
+		return ids
+	}
+	streams := map[string][]string{
+		"n1": roots("n1"), "n2": roots("n2"), "router": roots("router"), "": roots(""),
+	}
+	for identity, ids := range streams {
+		again := roots(identity)
+		for i := range ids {
+			if ids[i] != again[i] {
+				t.Fatalf("identity %q not reproducible: %s vs %s", identity, ids[i], again[i])
+			}
+		}
+	}
+	unsalted := NewTracer(1, 0)
+	_, sp := unsalted.StartRoot(context.Background(), "r")
+	if got := sp.TraceID() + "/" + sp.SpanID(); got != streams[""][0] {
+		t.Fatalf("empty identity must not change the ID stream: %s vs %s", got, streams[""][0])
+	}
+	sp.End()
+	seen := map[string]string{}
+	for identity, ids := range streams {
+		for _, id := range ids {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("root ID %s collides between identities %q and %q", id, prev, identity)
+			}
+			seen[id] = identity
+		}
+	}
+}

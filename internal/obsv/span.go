@@ -33,6 +33,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"sync"
@@ -71,6 +72,11 @@ type SpanData struct {
 	Attrs    map[string]string `json:"attrs,omitempty"`
 	Events   []Event           `json:"events,omitempty"`
 	Error    string            `json:"error,omitempty"`
+	// Remote marks a span whose parent lives in another process (it was
+	// started via StartRemote from a propagated X-LCE-Trace header).
+	// Such a span is a legal entry point of its trace within one
+	// process's export; ValidateStitch checks the cross-process edge.
+	Remote bool `json:"remote,omitempty"`
 }
 
 // Duration returns End - Start.
@@ -78,6 +84,11 @@ func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
 
 // Root reports whether the span is a trace root.
 func (d SpanData) Root() bool { return d.ParentID == "" }
+
+// EntryPoint reports whether the span can legitimately begin a trace
+// within one process's export: a true root, or a remote-parented span
+// whose parent was recorded by another process.
+func (d SpanData) EntryPoint() bool { return d.ParentID == "" || d.Remote }
 
 // DefaultCapacity is the tracer ring-buffer size when NewTracer is
 // given a non-positive capacity.
@@ -132,6 +143,29 @@ func (t *Tracer) SetOnEnd(fn func(SpanData)) {
 		return
 	}
 	t.onEnd = fn
+}
+
+// SetIdentity salts every root ID derivation (sequential and keyed)
+// with a process identity — a cluster node name, or "router" on the
+// front tier. Without it, two processes sharing a trace seed (the
+// fleet default: every lce-server and lce-router seeds 1) mint
+// identical (trace, span) ID streams from their root counters, and a
+// merged fleet dump fuses unrelated traces — a node's probe-ingress
+// root colliding with the router's Nth request root. The salt keeps
+// same-seed fleets deterministic (identities are config, not
+// scheduling) while making each member's root streams disjoint. The
+// empty identity is a no-op, so standalone single-process ID streams
+// are unchanged. Like SetClock, call before any spans are started.
+// Remote spans are unaffected: their IDs stay a pure function of the
+// propagated wire context, which is what lets stitch re-derive the
+// same tree from any process's dump.
+func (t *Tracer) SetIdentity(name string) {
+	if t == nil || name == "" {
+		return
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, name)
+	t.seed ^= mix64(h.Sum64())
 }
 
 // Clock returns the tracer's clock, or the system clock on a nil
@@ -497,8 +531,8 @@ func GroupTraces(spans []SpanData) []TraceGroup {
 	out := make([]TraceGroup, 0, len(byID))
 	for id, sps := range byID {
 		sort.SliceStable(sps, func(i, j int) bool {
-			if sps[i].Root() != sps[j].Root() {
-				return sps[i].Root()
+			if sps[i].EntryPoint() != sps[j].EntryPoint() {
+				return sps[i].EntryPoint()
 			}
 			return sps[i].Start.Before(sps[j].Start)
 		})
@@ -515,9 +549,12 @@ func GroupTraces(spans []SpanData) []TraceGroup {
 }
 
 // Validate checks the structural integrity of an exported span set:
-// span IDs unique, every non-root span's parent present within its
-// own trace, every trace owning at least one root, and no span ending
-// before it starts. It is the -trace-out artifact checker CI runs.
+// span IDs unique, every non-root local span's parent present within
+// its own trace, every trace owning at least one entry point (a root
+// or a remote-parented span), and no span ending before it starts. It
+// is the -trace-out artifact checker CI runs. Cross-process edges of
+// Remote spans are out of scope here — ValidateStitch covers them over
+// merged multi-process exports.
 //
 // A ring-buffer export can legitimately have evicted a parent; callers
 // validating a live server snapshot (rather than a complete run
@@ -535,7 +572,7 @@ func Validate(spans []SpanData) error {
 			return fmt.Errorf("obsv: duplicate span ID %s in trace %s", sp.SpanID, sp.TraceID)
 		}
 		ids[k] = true
-		if sp.ParentID == "" {
+		if sp.EntryPoint() {
 			roots[sp.TraceID] = true
 		}
 		if sp.End.Before(sp.Start) {
@@ -543,7 +580,9 @@ func Validate(spans []SpanData) error {
 		}
 	}
 	for _, sp := range spans {
-		if sp.ParentID == "" {
+		if sp.ParentID == "" || sp.Remote {
+			// A remote span's parent was recorded by another process;
+			// ValidateStitch enforces that edge over merged exports.
 			continue
 		}
 		if !ids[key{sp.TraceID, sp.ParentID}] {

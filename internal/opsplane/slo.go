@@ -289,6 +289,25 @@ func Healthy(results []CheckResult) bool {
 	return true
 }
 
+// Worst returns the highest-burn check among results that have data,
+// and false when every check is no-data. The cluster router uses it to
+// name the worst-offending node in its fleet /healthz: evaluate each
+// node's engine, take each node's Worst, compare burns.
+func Worst(results []CheckResult) (CheckResult, bool) {
+	var worst CheckResult
+	found := false
+	for _, cr := range results {
+		if cr.Verdict == "no-data" {
+			continue
+		}
+		if !found || cr.Burn > worst.Burn {
+			worst = cr
+			found = true
+		}
+	}
+	return worst, found
+}
+
 // FormatChecks renders results as an aligned text table (one line per
 // check) for human-readable /healthz output and logs.
 func FormatChecks(results []CheckResult) string {

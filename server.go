@@ -210,6 +210,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		factory = fault.Factory(factory, fcfg)
 	}
 	ob := NewObs(cfg.TraceSeed)
+	// Fleet members salt root IDs with their node name so same-seed
+	// processes (the default) never mint colliding trace IDs; the
+	// empty standalone identity leaves the ID stream untouched.
+	ob.TracerOrNil().SetIdentity(cfg.Node)
 
 	var ops *OpsPlane
 	if cfg.Ops {
